@@ -1,0 +1,30 @@
+//! DCT codec microbenchmarks: encode/decode at the qualities AIU uses.
+
+use bees_datasets::{Scene, SceneConfig, ViewJitter};
+use bees_image::codec;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_encode(c: &mut Criterion) {
+    let img = Scene::new(5, SceneConfig::default()).render(&ViewJitter::identity());
+    let mut group = c.benchmark_group("codec_encode_rgb");
+    group.sample_size(20);
+    // Quality 15 is BEES' upload operating point (proportion 0.85).
+    for q in [15u8, 50, 90] {
+        group.bench_with_input(BenchmarkId::from_parameter(q), &img, |b, img| {
+            b.iter(|| black_box(codec::encode_rgb(black_box(img), q).expect("valid quality")))
+        });
+    }
+    group.finish();
+}
+
+fn bench_decode(c: &mut Criterion) {
+    let img = Scene::new(6, SceneConfig::default()).render(&ViewJitter::identity());
+    let encoded = codec::encode_rgb(&img, 50).expect("valid quality");
+    c.bench_function("codec_decode_rgb_q50", |b| {
+        b.iter(|| black_box(codec::decode_rgb(black_box(&encoded)).expect("own bitstream")))
+    });
+}
+
+criterion_group!(benches, bench_encode, bench_decode);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Server-index ablation: exact linear scan vs multi-index hashing for
+//! max-similarity queries as the index grows.
+
+use bees_features::descriptor::BinaryDescriptor;
+use bees_features::similarity::SimilarityConfig;
+use bees_features::{Descriptors, ImageFeatures, Keypoint};
+use bees_index::vocab::{VocabConfig, VocabIndex, Vocabulary};
+use bees_index::{FeatureIndex, ImageId, LinearIndex, MihIndex};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::hint::black_box;
+
+fn random_features(rng: &mut ChaCha8Rng, n: usize) -> ImageFeatures {
+    let descs: Vec<BinaryDescriptor> = (0..n)
+        .map(|_| {
+            let mut bytes = [0u8; 32];
+            rng.fill(&mut bytes);
+            BinaryDescriptor::from_bytes(bytes)
+        })
+        .collect();
+    ImageFeatures {
+        keypoints: descs.iter().map(|_| Keypoint::default()).collect(),
+        descriptors: Descriptors::Binary(descs),
+    }
+}
+
+fn bench_index_query(c: &mut Criterion) {
+    let mut group = c.benchmark_group("index_max_similarity");
+    group.sample_size(10);
+    for size in [50usize, 200] {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let mut linear = LinearIndex::new(SimilarityConfig::default());
+        let mut mih = MihIndex::new(SimilarityConfig::default());
+        // Train the vocabulary on the first few images' descriptors.
+        let training: Vec<_> = (0..8)
+            .flat_map(|_| {
+                let f = random_features(&mut rng, 150);
+                if let bees_features::Descriptors::Binary(d) = f.descriptors {
+                    d
+                } else {
+                    unreachable!()
+                }
+            })
+            .collect();
+        let vocab = Vocabulary::train(&training, VocabConfig::default());
+        let mut vt = VocabIndex::new(SimilarityConfig::default(), vocab);
+        for i in 0..size {
+            let f = random_features(&mut rng, 150);
+            linear.insert(ImageId(i as u64), f.clone());
+            mih.insert(ImageId(i as u64), f.clone());
+            vt.insert(ImageId(i as u64), f);
+        }
+        let query = random_features(&mut rng, 150);
+        group.bench_with_input(BenchmarkId::new("linear", size), &query, |b, q| {
+            b.iter(|| black_box(linear.max_similarity(black_box(q))))
+        });
+        group.bench_with_input(BenchmarkId::new("mih", size), &query, |b, q| {
+            b.iter(|| black_box(mih.max_similarity(black_box(q))))
+        });
+        group.bench_with_input(BenchmarkId::new("vocab_tree", size), &query, |b, q| {
+            b.iter(|| black_box(vt.max_similarity(black_box(q))))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_index_query);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Descriptor matching and Jaccard similarity microbenchmarks.
+
+use bees_features::descriptor::BinaryDescriptor;
+use bees_features::matcher::{match_binary, MatchConfig};
+use bees_features::similarity::{jaccard_similarity, SimilarityConfig};
+use bees_features::{Descriptors, ImageFeatures, Keypoint};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::hint::black_box;
+
+fn random_descriptors(rng: &mut ChaCha8Rng, n: usize) -> Vec<BinaryDescriptor> {
+    (0..n)
+        .map(|_| {
+            let mut bytes = [0u8; 32];
+            rng.fill(&mut bytes);
+            BinaryDescriptor::from_bytes(bytes)
+        })
+        .collect()
+}
+
+fn features(descs: Vec<BinaryDescriptor>) -> ImageFeatures {
+    ImageFeatures {
+        keypoints: descs.iter().map(|_| Keypoint::default()).collect(),
+        descriptors: Descriptors::Binary(descs),
+    }
+}
+
+fn bench_hamming_matching(c: &mut Criterion) {
+    let mut rng = ChaCha8Rng::seed_from_u64(1);
+    let mut group = c.benchmark_group("hamming_match");
+    group.sample_size(20);
+    for n in [50usize, 150, 500] {
+        let a = random_descriptors(&mut rng, n);
+        let b = random_descriptors(&mut rng, n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &(a, b), |bench, (a, b)| {
+            bench.iter(|| black_box(match_binary(black_box(a), black_box(b), &MatchConfig::default())))
+        });
+    }
+    group.finish();
+}
+
+fn bench_jaccard_similarity(c: &mut Criterion) {
+    let mut rng = ChaCha8Rng::seed_from_u64(2);
+    let a = features(random_descriptors(&mut rng, 150));
+    let b = features(random_descriptors(&mut rng, 150));
+    let cfg = SimilarityConfig::default();
+    c.bench_function("jaccard_similarity_150", |bench| {
+        bench.iter(|| black_box(jaccard_similarity(black_box(&a), black_box(&b), &cfg)))
+    });
+}
+
+criterion_group!(benches, bench_hamming_matching, bench_jaccard_similarity);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! ORB extraction microbenchmarks, including the EAC ablation: extraction
+//! cost at the bitmap-compression proportions the energy-aware scheme
+//! chooses at various battery levels.
+
+use bees_datasets::{Scene, SceneConfig, ViewJitter};
+use bees_features::orb::Orb;
+use bees_features::sift::Sift;
+use bees_features::FeatureExtractor;
+use bees_image::resize;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_orb_extraction(c: &mut Criterion) {
+    let img = Scene::new(1, SceneConfig::default())
+        .render(&ViewJitter::identity())
+        .to_gray();
+    let orb = Orb::default();
+    let mut group = c.benchmark_group("orb_extract");
+    group.sample_size(10);
+    // Ablation: EAC bitmap compression before extraction. C = 0 is
+    // full-quality; C = 0.4 is the empty-battery operating point.
+    for proportion in [0.0f64, 0.2, 0.4] {
+        let compressed = resize::compress_bitmap(&img, proportion).expect("valid proportion");
+        group.bench_with_input(
+            BenchmarkId::new("compression", format!("{proportion:.1}")),
+            &compressed,
+            |b, input| b.iter(|| black_box(orb.extract(black_box(input)))),
+        );
+    }
+    group.finish();
+}
+
+fn bench_sift_vs_orb(c: &mut Criterion) {
+    // The paper picks ORB because it is orders cheaper than SIFT; measure
+    // the actual wall-clock gap of our implementations.
+    let img = Scene::new(2, SceneConfig { width: 192, height: 144, n_shapes: 16, texture_amp: 10.0 })
+        .render(&ViewJitter::identity())
+        .to_gray();
+    let orb = Orb::default();
+    let sift = Sift::default();
+    let mut group = c.benchmark_group("extractor_comparison");
+    group.sample_size(10);
+    group.bench_function("orb", |b| b.iter(|| black_box(orb.extract(black_box(&img)))));
+    group.bench_function("sift", |b| b.iter(|| black_box(sift.extract(black_box(&img)))));
+    group.finish();
+}
+
+criterion_group!(benches, bench_orb_extraction, bench_sift_vs_orb);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! SSMM ablations: naive vs lazy greedy, and the full summarize pipeline.
+
+use bees_submodular::{
+    greedy_maximize, lazy_greedy_maximize, CoverageFunction, SimilarityGraph, Ssmm, SsmmConfig,
+};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::hint::black_box;
+
+fn random_graph(n: usize, seed: u64) -> SimilarityGraph {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    SimilarityGraph::from_pairwise(n, |_, _| {
+        if rng.gen_bool(0.3) {
+            rng.gen_range(0.0..0.6)
+        } else {
+            0.0
+        }
+    })
+}
+
+fn bench_greedy_variants(c: &mut Criterion) {
+    let mut group = c.benchmark_group("greedy");
+    group.sample_size(20);
+    for n in [40usize, 100] {
+        let g = random_graph(n, 3);
+        let budget = n / 3;
+        group.bench_with_input(BenchmarkId::new("naive", n), &g, |b, g| {
+            b.iter(|| {
+                let f = CoverageFunction::new(g);
+                black_box(greedy_maximize(&f, budget))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("lazy", n), &g, |b, g| {
+            b.iter(|| {
+                let f = CoverageFunction::new(g);
+                black_box(lazy_greedy_maximize(&f, budget))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_ssmm_summarize(c: &mut Criterion) {
+    let g = random_graph(100, 9);
+    let ssmm = Ssmm::new(SsmmConfig::default());
+    c.bench_function("ssmm_summarize_100", |b| {
+        b.iter(|| black_box(ssmm.summarize(black_box(&g), 0.12)))
+    });
+}
+
+criterion_group!(benches, bench_greedy_variants, bench_ssmm_summarize);
+criterion_main!(benches);

@@ -1,0 +1,96 @@
+//! Minimal CLI argument handling shared by the experiment binaries.
+
+/// Common experiment options.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExpArgs {
+    /// Workload scale factor; 1.0 is the binary's default size (already
+    /// scaled down from the paper for wall-clock sanity).
+    pub scale: f64,
+    /// Workload seed.
+    pub seed: u64,
+    /// Quick mode: a much smaller run for smoke-testing.
+    pub quick: bool,
+}
+
+impl Default for ExpArgs {
+    fn default() -> Self {
+        ExpArgs { scale: 1.0, seed: 0xBEE5, quick: false }
+    }
+}
+
+impl ExpArgs {
+    /// Parses `--scale <f>`, `--seed <n>`, and `--quick` from an iterator
+    /// of arguments (unknown arguments are ignored with a warning).
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Self {
+        let mut out = ExpArgs::default();
+        let mut it = args.into_iter();
+        while let Some(a) = it.next() {
+            match a.as_str() {
+                "--scale" => {
+                    if let Some(v) = it.next().and_then(|s| s.parse().ok()) {
+                        out.scale = v;
+                    }
+                }
+                "--seed" => {
+                    if let Some(v) = it.next().and_then(|s| s.parse().ok()) {
+                        out.seed = v;
+                    }
+                }
+                "--quick" => out.quick = true,
+                other => eprintln!("warning: ignoring unknown argument `{other}`"),
+            }
+        }
+        if out.quick {
+            out.scale = out.scale.min(0.2);
+        }
+        out
+    }
+
+    /// Parses from the process environment (skipping the binary name).
+    pub fn from_env() -> Self {
+        Self::parse(std::env::args().skip(1))
+    }
+
+    /// Scales a count, keeping at least `min`.
+    pub fn scaled(&self, base: usize, min: usize) -> usize {
+        ((base as f64 * self.scale).round() as usize).max(min)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(v: &[&str]) -> ExpArgs {
+        ExpArgs::parse(v.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults() {
+        let a = parse(&[]);
+        assert_eq!(a.scale, 1.0);
+        assert!(!a.quick);
+    }
+
+    #[test]
+    fn parses_all_flags() {
+        let a = parse(&["--scale", "0.5", "--seed", "99"]);
+        assert_eq!(a.scale, 0.5);
+        assert_eq!(a.seed, 99);
+    }
+
+    #[test]
+    fn quick_caps_scale() {
+        let a = parse(&["--scale", "2.0", "--quick"]);
+        assert!(a.quick);
+        assert!(a.scale <= 0.2);
+    }
+
+    #[test]
+    fn scaled_respects_minimum() {
+        let a = parse(&["--scale", "0.01"]);
+        assert_eq!(a.scaled(100, 4), 4);
+        let b = parse(&["--scale", "0.5"]);
+        assert_eq!(b.scaled(100, 4), 50);
+    }
+}

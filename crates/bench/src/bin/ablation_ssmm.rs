@@ -1,0 +1,6 @@
+//! Ablation: SSMM's adaptive budget vs fixed budgets (DESIGN.md §4).
+use bees_bench::args::ExpArgs;
+
+fn main() {
+    bees_bench::experiments::ablation_ssmm::run(&ExpArgs::from_env()).print();
+}

@@ -1,0 +1,7 @@
+//! Measures similarity-score distributions and prints the threshold
+//! constants `BeesConfig` should use (see DESIGN.md §5).
+use bees_bench::args::ExpArgs;
+
+fn main() {
+    bees_bench::experiments::calibrate::run(&ExpArgs::from_env()).print();
+}

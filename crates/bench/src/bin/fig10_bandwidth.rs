@@ -1,0 +1,6 @@
+//! Reproduces Fig. 10: bandwidth overhead vs cross-batch redundancy ratio.
+use bees_bench::args::ExpArgs;
+
+fn main() {
+    bees_bench::experiments::redundancy_sweep::run(&ExpArgs::from_env()).print_bandwidth();
+}

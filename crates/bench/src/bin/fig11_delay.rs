@@ -1,0 +1,6 @@
+//! Reproduces Fig. 11: average per-image upload delay vs network bitrate.
+use bees_bench::args::ExpArgs;
+
+fn main() {
+    bees_bench::experiments::fig11_delay::run(&ExpArgs::from_env()).print();
+}

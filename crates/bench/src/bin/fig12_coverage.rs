@@ -1,0 +1,6 @@
+//! Reproduces Fig. 12: situation-awareness coverage, Direct Upload vs BEES.
+use bees_bench::args::ExpArgs;
+
+fn main() {
+    bees_bench::experiments::fig12_coverage::run(&ExpArgs::from_env()).print();
+}

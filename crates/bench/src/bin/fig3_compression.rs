@@ -1,0 +1,6 @@
+//! Reproduces Fig. 3: bitmap compression vs precision & extraction energy.
+use bees_bench::args::ExpArgs;
+
+fn main() {
+    bees_bench::experiments::fig3_compression::run(&ExpArgs::from_env()).print();
+}

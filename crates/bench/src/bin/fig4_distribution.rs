@@ -1,0 +1,6 @@
+//! Reproduces Fig. 4: similarity distribution and the derived EDR constants.
+use bees_bench::args::ExpArgs;
+
+fn main() {
+    bees_bench::experiments::fig4_distribution::run(&ExpArgs::from_env()).print();
+}

@@ -1,0 +1,6 @@
+//! Reproduces Fig. 5: quality/resolution compression vs bandwidth (and SSIM).
+use bees_bench::args::ExpArgs;
+
+fn main() {
+    bees_bench::experiments::fig5_upload::run(&ExpArgs::from_env()).print();
+}

@@ -1,0 +1,6 @@
+//! Reproduces Fig. 6: precision of SIFT / PCA-SIFT / BEES(Ebat).
+use bees_bench::args::ExpArgs;
+
+fn main() {
+    bees_bench::experiments::fig6_precision::run(&ExpArgs::from_env()).print();
+}

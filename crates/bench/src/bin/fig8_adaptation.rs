@@ -1,0 +1,6 @@
+//! Reproduces Fig. 8: BEES energy breakdown vs remaining energy.
+use bees_bench::args::ExpArgs;
+
+fn main() {
+    bees_bench::experiments::fig8_adaptation::run(&ExpArgs::from_env()).print();
+}

@@ -1,0 +1,6 @@
+//! Reproduces Fig. 9: battery lifetime curves for all five schemes.
+use bees_bench::args::ExpArgs;
+
+fn main() {
+    bees_bench::experiments::fig9_lifetime::run(&ExpArgs::from_env()).print();
+}

@@ -1,0 +1,7 @@
+//! Measures the paper's SIII-D claim: local (ORB) vs global (histogram)
+//! feature accuracy for similarity detection.
+use bees_bench::args::ExpArgs;
+
+fn main() {
+    bees_bench::experiments::global_vs_local::run(&ExpArgs::from_env()).print();
+}

@@ -1,0 +1,6 @@
+//! Reproduces Table I: feature space overheads.
+use bees_bench::args::ExpArgs;
+
+fn main() {
+    bees_bench::experiments::table1_space::run(&ExpArgs::from_env()).print();
+}

@@ -1,0 +1,110 @@
+//! Fig. 11: average per-image upload delay under network bitrates of
+//! 128 / 256 / 512 Kbps for Direct Upload, SmartEye, MRC, and BEES.
+//!
+//! The paper's delay includes feature extraction plus feature/image
+//! transmission, excluding server query time. Shapes: Direct Upload is the
+//! slowest; SmartEye is slower than MRC (PCA-SIFT extraction); BEES is the
+//! fastest by a wide margin; all delays fall as the bitrate rises.
+
+use crate::args::ExpArgs;
+use crate::table::{f1, Table};
+use bees_core::schemes::{Bees, DirectUpload, Mrc, SmartEye, UploadScheme};
+use bees_core::{BeesConfig, Client, Server};
+use bees_datasets::{disaster_batch, SceneConfig};
+use bees_net::BandwidthTrace;
+
+/// Average delays at one bitrate.
+#[derive(Debug, Clone)]
+pub struct DelayPoint {
+    /// Bitrate in Kbps.
+    pub kbps: u32,
+    /// Per-scheme average per-image delay (seconds), [Direct, SmartEye,
+    /// MRC, BEES] order.
+    pub avg_delay_s: Vec<f64>,
+}
+
+/// Full experiment result.
+#[derive(Debug, Clone)]
+pub struct Fig11Result {
+    /// Batch size used.
+    pub batch_size: usize,
+    /// One point per bitrate.
+    pub points: Vec<DelayPoint>,
+}
+
+impl Fig11Result {
+    /// Prints the paper-style table.
+    pub fn print(&self) {
+        println!(
+            "\n== Fig. 11: average per-image upload delay ({} images, 50% redundancy) ==",
+            self.batch_size
+        );
+        let mut t =
+            Table::new(vec!["bitrate", "Direct (s)", "SmartEye (s)", "MRC (s)", "BEES (s)"]);
+        for p in &self.points {
+            let mut row = vec![format!("{} Kbps", p.kbps)];
+            row.extend(p.avg_delay_s.iter().map(|&d| f1(d)));
+            t.row(row);
+        }
+        t.print();
+        if let Some(p) = self.points.iter().find(|p| p.kbps == 256) {
+            println!(
+                "at 256 Kbps: BEES cuts {:.1}% of Direct Upload's delay and {:.1}% of MRC's",
+                (1.0 - p.avg_delay_s[3] / p.avg_delay_s[0]) * 100.0,
+                (1.0 - p.avg_delay_s[3] / p.avg_delay_s[2]) * 100.0
+            );
+        }
+    }
+}
+
+/// Runs the bitrate sweep.
+pub fn run(args: &ExpArgs) -> Fig11Result {
+    let batch_size = args.scaled(100, 8);
+    let in_batch = (batch_size / 10).max(1);
+    let data = disaster_batch(args.seed, batch_size, in_batch, 0.5, SceneConfig::default());
+
+    let mut points = Vec::new();
+    for kbps in [128u32, 256, 512] {
+        let mut config = BeesConfig::default();
+        config.trace =
+            BandwidthTrace::constant(kbps as f64 * 1000.0).expect("constant trace is valid");
+        let schemes: Vec<Box<dyn UploadScheme>> = vec![
+            Box::new(DirectUpload::new(&config)),
+            Box::new(SmartEye::new(&config)),
+            Box::new(Mrc::new(&config)),
+            Box::new(Bees::adaptive(&config)),
+        ];
+        let mut avg = Vec::new();
+        for scheme in &schemes {
+            let mut server = Server::new(&config);
+            let mut client = Client::new(0, &config);
+            scheme.preload_server(&mut server, &data.server_preload);
+            let report = scheme
+                .upload_batch(&mut client, &mut server, &data.batch)
+                .expect("constant trace cannot stall");
+            avg.push(report.avg_delay_per_image());
+        }
+        points.push(DelayPoint { kbps, avg_delay_s: avg });
+    }
+    Fig11Result { batch_size, points }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delay_shapes_match_paper() {
+        let args = ExpArgs { scale: 0.12, seed: 71, quick: true };
+        let r = run(&args);
+        assert_eq!(r.points.len(), 3);
+        for p in &r.points {
+            let [direct, smarteye, mrc, bees] = p.avg_delay_s[..] else { panic!("4 schemes") };
+            assert!(bees < direct, "{} Kbps: BEES {bees} vs Direct {direct}", p.kbps);
+            assert!(bees < mrc, "{} Kbps: BEES {bees} vs MRC {mrc}", p.kbps);
+            assert!(smarteye > mrc, "{} Kbps: SmartEye {smarteye} vs MRC {mrc}", p.kbps);
+        }
+        // Higher bitrate, lower Direct Upload delay.
+        assert!(r.points[2].avg_delay_s[0] < r.points[0].avg_delay_s[0]);
+    }
+}

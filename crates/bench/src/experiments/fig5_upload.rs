@@ -1,0 +1,170 @@
+//! Fig. 5: how quality compression (a) and resolution compression (b)
+//! trade image fidelity for bandwidth before upload.
+//!
+//! Paper shape: both compressions cut the uploaded bytes dramatically;
+//! quality compression keeps SSIM high until the proportion approaches
+//! ~0.85, after which quality collapses — which is why BEES fixes the
+//! quality proportion at 0.85 and adapts only the resolution.
+
+use crate::args::ExpArgs;
+use crate::table::{f3, kib, Table};
+use bees_core::BeesConfig;
+use bees_datasets::{Scene, SceneConfig, ViewJitter};
+use bees_image::{codec, metrics, resize, RgbImage};
+
+/// One quality-compression point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QualityPoint {
+    /// Quality compression proportion (0 = lossless-ish, 0.95 = harshest).
+    pub proportion: f64,
+    /// Mean encoded size in bytes.
+    pub mean_bytes: f64,
+    /// Mean SSIM of the decoded image vs the original.
+    pub mean_ssim: f64,
+}
+
+/// One resolution-compression point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ResolutionPoint {
+    /// Resolution compression proportion.
+    pub proportion: f64,
+    /// Mean encoded size in bytes (at a fixed high quality).
+    pub mean_bytes: f64,
+}
+
+/// Full experiment result.
+#[derive(Debug, Clone)]
+pub struct Fig5Result {
+    /// Number of images measured.
+    pub n_images: usize,
+    /// Mean raw (uncompressed RGB) size in bytes.
+    pub mean_raw_bytes: f64,
+    /// Mean losslessly compressed (PNG-like) size in bytes — the paper's
+    /// alternative format, shown for contrast.
+    pub mean_lossless_bytes: f64,
+    /// Quality sweep (Fig. 5a).
+    pub quality: Vec<QualityPoint>,
+    /// Resolution sweep (Fig. 5b).
+    pub resolution: Vec<ResolutionPoint>,
+}
+
+impl Fig5Result {
+    /// Prints both series.
+    pub fn print(&self) {
+        println!("\n== Fig. 5a: quality compression vs bandwidth & SSIM ==");
+        println!(
+            "({} images, mean raw size {} KiB, lossless/PNG-like {} KiB)",
+            self.n_images,
+            kib(self.mean_raw_bytes as usize),
+            kib(self.mean_lossless_bytes as usize)
+        );
+        let mut t = Table::new(vec!["proportion", "mean KiB", "SSIM"]);
+        for p in &self.quality {
+            t.row(vec![
+                format!("{:.2}", p.proportion),
+                kib(p.mean_bytes as usize),
+                f3(p.mean_ssim),
+            ]);
+        }
+        t.print();
+        println!("\n== Fig. 5b: resolution compression vs bandwidth ==");
+        let mut t = Table::new(vec!["proportion", "mean KiB"]);
+        for p in &self.resolution {
+            t.row(vec![format!("{:.2}", p.proportion), kib(p.mean_bytes as usize)]);
+        }
+        t.print();
+    }
+}
+
+fn test_images(seed: u64, n: usize) -> Vec<RgbImage> {
+    (0..n)
+        .map(|i| {
+            Scene::new(seed.wrapping_add(i as u64), SceneConfig::default())
+                .render(&ViewJitter::identity())
+        })
+        .collect()
+}
+
+/// Runs both sweeps.
+pub fn run(args: &ExpArgs) -> Fig5Result {
+    let n = args.scaled(30, 4);
+    let images = test_images(args.seed, n);
+    let mean_raw =
+        images.iter().map(|i| i.raw_byte_size() as f64).sum::<f64>() / images.len() as f64;
+    let mean_lossless = images
+        .iter()
+        .map(|i| codec::lossless::encode_gray_lossless(&i.to_gray()).len() as f64)
+        .sum::<f64>()
+        / images.len() as f64;
+
+    let mut quality = Vec::new();
+    for i in 0..10 {
+        let proportion = i as f64 * 0.1;
+        let q = BeesConfig::quality_for_proportion(proportion);
+        let mut bytes = 0.0;
+        let mut ssim = 0.0;
+        for img in &images {
+            let encoded = codec::encode_rgb(img, q).expect("valid quality");
+            bytes += encoded.len() as f64;
+            let decoded = codec::decode_rgb(&encoded).expect("own bitstream decodes");
+            ssim += metrics::ssim(&img.to_gray(), &decoded.to_gray())
+                .expect("dimensions match");
+        }
+        quality.push(QualityPoint {
+            proportion,
+            mean_bytes: bytes / images.len() as f64,
+            mean_ssim: ssim / images.len() as f64,
+        });
+    }
+
+    let mut resolution = Vec::new();
+    for i in 0..9 {
+        let proportion = i as f64 * 0.1;
+        let mut bytes = 0.0;
+        for img in &images {
+            let shrunk = resize::compress_resolution_rgb(img, proportion)
+                .expect("valid proportion");
+            let encoded = codec::encode_rgb(&shrunk, 90).expect("valid quality");
+            bytes += encoded.len() as f64;
+        }
+        resolution.push(ResolutionPoint {
+            proportion,
+            mean_bytes: bytes / images.len() as f64,
+        });
+    }
+
+    Fig5Result {
+        n_images: images.len(),
+        mean_raw_bytes: mean_raw,
+        mean_lossless_bytes: mean_lossless,
+        quality,
+        resolution,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn both_axes_shrink_bytes() {
+        let args = ExpArgs { scale: 0.15, seed: 3, quick: true };
+        let r = run(&args);
+        // Quality compression: bytes fall, SSIM falls, monotonically-ish.
+        assert!(r.quality.first().unwrap().mean_bytes > r.quality.last().unwrap().mean_bytes);
+        assert!(r.quality.first().unwrap().mean_ssim > r.quality.last().unwrap().mean_ssim);
+        // Even the lightest encoding beats raw RGB, and the lossy path
+        // beats the lossless (PNG-like) alternative, the paper's rationale
+        // for quality compression.
+        assert!(r.quality[0].mean_bytes < r.mean_raw_bytes);
+        assert!(r.quality[3].mean_bytes < r.mean_lossless_bytes);
+        // SSIM is still decent at the paper's 0.85 operating point...
+        let at_85 = &r.quality[8];
+        assert!(at_85.mean_ssim > 0.5, "ssim at 0.8: {}", at_85.mean_ssim);
+        // Resolution compression shrinks bytes monotonically.
+        for w in r.resolution.windows(2) {
+            assert!(w[1].mean_bytes <= w[0].mean_bytes * 1.05);
+        }
+        assert!(r.resolution.last().unwrap().mean_bytes < r.resolution[0].mean_bytes / 2.0);
+    }
+}

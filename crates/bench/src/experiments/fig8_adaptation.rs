@@ -1,0 +1,116 @@
+//! Fig. 8: energy savings from energy-aware adaptation — BEES' per-category
+//! energy (feature extraction, feature upload, image upload) for the same
+//! batch at remaining-energy levels 100/70/40/10 %.
+//!
+//! Paper shape: total energy, extraction energy, and image-upload energy
+//! all fall as `Ebat` falls; feature-upload energy stays small throughout
+//! ("the energy overhead of uploading features is small, due to the
+//! lightweight ORB features").
+
+use crate::args::ExpArgs;
+use crate::table::{f1, Table};
+use bees_core::schemes::{Bees, UploadScheme};
+use bees_core::{BatchReport, BeesConfig, Client, Server};
+use bees_datasets::{disaster_batch, SceneConfig};
+use bees_energy::EnergyCategory;
+use bees_net::BandwidthTrace;
+
+/// BEES' breakdown at one battery level.
+#[derive(Debug, Clone)]
+pub struct AdaptationPoint {
+    /// Remaining energy percentage (100, 70, 40, 10).
+    pub ebat_pct: u32,
+    /// The batch report.
+    pub report: BatchReport,
+}
+
+/// Full experiment result.
+#[derive(Debug, Clone)]
+pub struct Fig8Result {
+    /// One point per battery level.
+    pub points: Vec<AdaptationPoint>,
+}
+
+impl Fig8Result {
+    /// Prints the paper-style breakdown.
+    pub fn print(&self) {
+        println!("\n== Fig. 8: BEES energy breakdown vs remaining energy ==");
+        let mut t = Table::new(vec![
+            "Ebat",
+            "extract (J)",
+            "upload features (J)",
+            "upload images (J)",
+            "compress (J)",
+            "total (J)",
+        ]);
+        for p in &self.points {
+            let e = &p.report.energy;
+            t.row(vec![
+                format!("{}%", p.ebat_pct),
+                f1(e.get(EnergyCategory::FeatureExtraction)),
+                f1(e.get(EnergyCategory::FeatureUpload)),
+                f1(e.get(EnergyCategory::ImageUpload)),
+                f1(e.get(EnergyCategory::Compression)),
+                f1(p.report.active_energy()),
+            ]);
+        }
+        t.print();
+    }
+}
+
+/// Runs BEES on the same batch at four staged battery levels.
+pub fn run(args: &ExpArgs) -> Fig8Result {
+    let mut config = BeesConfig::default();
+    config.trace = BandwidthTrace::constant(256_000.0).expect("constant trace is valid");
+    let batch_size = args.scaled(100, 8);
+    let in_batch = (batch_size / 10).max(1);
+    // Paper: 25% cross-batch redundancy for each upload.
+    let data = disaster_batch(args.seed, batch_size, in_batch, 0.25, SceneConfig::default());
+    let scheme = Bees::adaptive(&config);
+
+    let mut points = Vec::new();
+    for ebat_pct in [100u32, 70, 40, 10] {
+        let mut server = Server::new(&config);
+        let mut client = Client::new(0, &config);
+        scheme.preload_server(&mut server, &data.server_preload);
+        client.battery_mut().set_fraction(ebat_pct as f64 / 100.0);
+        let report = scheme
+            .upload_batch(&mut client, &mut server, &data.batch)
+            .expect("constant trace cannot stall");
+        points.push(AdaptationPoint { ebat_pct, report });
+    }
+    Fig8Result { points }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn energy_falls_as_battery_falls() {
+        let args = ExpArgs { scale: 0.12, seed: 51, quick: true };
+        let r = run(&args);
+        assert_eq!(r.points.len(), 4);
+        let totals: Vec<f64> = r.points.iter().map(|p| p.report.active_energy()).collect();
+        // 100% -> 10%: total must fall substantially.
+        assert!(
+            totals[3] < totals[0] * 0.9,
+            "totals {totals:?} should fall with Ebat"
+        );
+        // Image upload energy falls (resolution compression kicks in).
+        let img = |i: usize| r.points[i].report.energy.get(EnergyCategory::ImageUpload);
+        assert!(img(3) < img(0), "image upload {} vs {}", img(3), img(0));
+        // Feature upload is a minor share at full battery and roughly
+        // constant across levels (ORB payloads do not adapt; the paper's
+        // "energy overhead of uploading features is small").
+        let fu: Vec<f64> =
+            r.points.iter().map(|p| p.report.energy.get(EnergyCategory::FeatureUpload)).collect();
+        assert!(
+            fu[0] < 0.5 * r.points[0].report.active_energy(),
+            "feature upload {} should be a minor share at full battery",
+            fu[0]
+        );
+        let (lo, hi) = fu.iter().fold((f64::MAX, 0.0f64), |(l, h), &v| (l.min(v), h.max(v)));
+        assert!(hi / lo.max(1e-12) < 1.5, "feature upload should stay flat: {fu:?}");
+    }
+}

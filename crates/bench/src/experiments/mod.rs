@@ -1,0 +1,19 @@
+//! One module per paper table/figure. See `DESIGN.md` §3 for the index.
+
+pub mod ablation_ssmm;
+pub mod calibrate;
+pub mod fig11_delay;
+pub mod fig12_coverage;
+pub mod fig3_compression;
+pub mod fig4_distribution;
+pub mod fig5_upload;
+pub mod fig6_precision;
+pub mod fig8_adaptation;
+pub mod global_vs_local;
+pub mod fig9_lifetime;
+pub mod redundancy_sweep;
+pub mod table1_space;
+
+mod precision;
+
+pub use precision::top4_precision;

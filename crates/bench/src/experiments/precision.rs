@@ -1,0 +1,70 @@
+//! Shared top-4 precision measurement on Kentucky-like groups.
+//!
+//! Mirrors the paper's protocol: every group image is indexed, one image
+//! per group is re-queried, and precision is the average fraction of top-4
+//! results that belong to the query's own group.
+
+use bees_datasets::KentuckyGroup;
+use bees_features::similarity::SimilarityConfig;
+use bees_features::ImageFeatures;
+use bees_image::GrayImage;
+use bees_index::{FeatureIndex, ImageId, LinearIndex};
+
+/// Measures top-4 precision.
+///
+/// `index_extract` produces the features stored on the server (full-size
+/// extraction); `query_extract` produces the client's query features (may
+/// be approximate, e.g. from a compressed bitmap). Returns the mean
+/// fraction of top-4 hits that are in the query's group.
+pub fn top4_precision<FI, FQ>(
+    groups: &[KentuckyGroup],
+    similarity: &SimilarityConfig,
+    mut index_extract: FI,
+    mut query_extract: FQ,
+) -> f64
+where
+    FI: FnMut(&GrayImage) -> ImageFeatures,
+    FQ: FnMut(&GrayImage) -> ImageFeatures,
+{
+    assert!(!groups.is_empty(), "need at least one group");
+    let mut index = LinearIndex::new(*similarity);
+    for (g, group) in groups.iter().enumerate() {
+        for (k, img) in group.images.iter().enumerate() {
+            let id = ImageId((g * KentuckyGroup::GROUP_SIZE + k) as u64);
+            index.insert(id, index_extract(&img.to_gray()));
+        }
+    }
+    let mut total = 0.0;
+    for (g, group) in groups.iter().enumerate() {
+        let query = query_extract(&group.images[0].to_gray());
+        let hits = index.top_k(&query, 4);
+        let own = hits
+            .iter()
+            .filter(|h| (h.id.0 as usize) / KentuckyGroup::GROUP_SIZE == g)
+            .count();
+        total += own as f64 / 4.0;
+    }
+    total / groups.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bees_datasets::{kentucky_like, SceneConfig};
+    use bees_features::orb::Orb;
+    use bees_features::FeatureExtractor;
+
+    #[test]
+    fn uncompressed_orb_precision_is_high() {
+        let groups =
+            kentucky_like(3, 4, SceneConfig { width: 128, height: 96, n_shapes: 14, texture_amp: 8.0 });
+        let orb = Orb::default();
+        let p = top4_precision(
+            &groups,
+            &SimilarityConfig::default(),
+            |g| orb.extract(g),
+            |g| orb.extract(g),
+        );
+        assert!(p > 0.7, "precision {p}");
+    }
+}

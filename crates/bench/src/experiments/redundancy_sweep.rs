@@ -1,0 +1,164 @@
+//! Figs. 7 & 10: energy and bandwidth overheads of the four schemes as the
+//! cross-batch redundancy ratio varies over {0, 25, 50, 75} %.
+//!
+//! Workload (paper §IV-B3): a batch of 100 disaster images containing 10
+//! in-batch similar images with no server-side counterpart; the server is
+//! pre-seeded so that the stated fraction of the batch is cross-batch
+//! redundant.
+//!
+//! Paper shapes: all feature-based schemes improve with redundancy;
+//! SmartEye > MRC > BEES on energy everywhere; at 0 % redundancy SmartEye
+//! and MRC cost *more* than Direct Upload while BEES still saves ~67 %;
+//! BEES saves ≥77 % bandwidth vs SmartEye; MRC uses slightly more
+//! bandwidth than SmartEye (thumbnails).
+
+use crate::args::ExpArgs;
+use crate::table::{f1, kib, Table};
+use bees_core::schemes::{Bees, DirectUpload, Mrc, SmartEye, UploadScheme};
+use bees_core::{BatchReport, BeesConfig, Client, Server};
+use bees_datasets::{disaster_batch, SceneConfig};
+use bees_net::BandwidthTrace;
+
+/// Reports for all schemes at one redundancy ratio.
+#[derive(Debug, Clone)]
+pub struct RatioPoint {
+    /// Cross-batch redundancy ratio staged.
+    pub ratio: f64,
+    /// One report per scheme, in [Direct, SmartEye, MRC, BEES] order.
+    pub reports: Vec<BatchReport>,
+}
+
+/// Full sweep result, shared by Fig. 7 (energy) and Fig. 10 (bandwidth).
+#[derive(Debug, Clone)]
+pub struct SweepResult {
+    /// Batch size used.
+    pub batch_size: usize,
+    /// In-batch similar images staged.
+    pub in_batch: usize,
+    /// One point per ratio.
+    pub points: Vec<RatioPoint>,
+}
+
+impl SweepResult {
+    /// Prints the Fig. 7 energy table.
+    pub fn print_energy(&self) {
+        println!(
+            "\n== Fig. 7: energy overhead vs cross-batch redundancy ratio ({} images, {} in-batch similars) ==",
+            self.batch_size, self.in_batch
+        );
+        let mut t = Table::new(vec!["ratio", "Direct (J)", "SmartEye (J)", "MRC (J)", "BEES (J)"]);
+        for p in &self.points {
+            let mut row = vec![format!("{:.0}%", p.ratio * 100.0)];
+            row.extend(p.reports.iter().map(|r| f1(r.active_energy())));
+            t.row(row);
+        }
+        t.print();
+        if let Some(zero) = self.points.first() {
+            let direct = zero.reports[0].active_energy();
+            let bees = zero.reports[3].active_energy();
+            println!(
+                "at 0% redundancy: BEES saves {:.1}% vs Direct Upload",
+                (1.0 - bees / direct) * 100.0
+            );
+        }
+    }
+
+    /// Prints the Fig. 10 bandwidth table.
+    pub fn print_bandwidth(&self) {
+        println!(
+            "\n== Fig. 10: bandwidth overhead vs cross-batch redundancy ratio ({} images) ==",
+            self.batch_size
+        );
+        let mut t = Table::new(vec![
+            "ratio",
+            "Direct (KiB)",
+            "SmartEye (KiB)",
+            "MRC (KiB)",
+            "BEES (KiB)",
+        ]);
+        for p in &self.points {
+            let mut row = vec![format!("{:.0}%", p.ratio * 100.0)];
+            row.extend(p.reports.iter().map(|r| kib(r.bandwidth_bytes())));
+            t.row(row);
+        }
+        t.print();
+        if let Some(p) = self.points.iter().find(|p| (p.ratio - 0.5).abs() < 0.01) {
+            let se = p.reports[1].bandwidth_bytes() as f64;
+            let bees = p.reports[3].bandwidth_bytes() as f64;
+            println!("at 50% redundancy: BEES saves {:.1}% bandwidth vs SmartEye", (1.0 - bees / se) * 100.0);
+        }
+    }
+}
+
+/// Runs the sweep once (both figures read from the same run, as in the
+/// paper: "when examining the energy overheads ... we record the bandwidth
+/// overhead of each scheme").
+pub fn run(args: &ExpArgs) -> SweepResult {
+    let mut config = BeesConfig::default();
+    // A steady median bitrate keeps the sweep comparable across ratios; the
+    // delay experiment (Fig. 11) varies the bitrate explicitly.
+    config.trace = BandwidthTrace::constant(256_000.0).expect("constant trace is valid");
+
+    let batch_size = args.scaled(100, 8);
+    let in_batch = (batch_size / 10).max(1);
+    let scene = SceneConfig::default();
+
+    let schemes: Vec<Box<dyn UploadScheme>> = vec![
+        Box::new(DirectUpload::new(&config)),
+        Box::new(SmartEye::new(&config)),
+        Box::new(Mrc::new(&config)),
+        Box::new(Bees::adaptive(&config)),
+    ];
+
+    let mut points = Vec::new();
+    for (k, &ratio) in [0.0, 0.25, 0.5, 0.75].iter().enumerate() {
+        let data = disaster_batch(
+            args.seed.wrapping_add(k as u64),
+            batch_size,
+            in_batch,
+            ratio,
+            scene,
+        );
+        let mut reports = Vec::new();
+        for scheme in &schemes {
+            let mut server = Server::new(&config);
+            let mut client = Client::new(0, &config);
+            scheme.preload_server(&mut server, &data.server_preload);
+            let report = scheme
+                .upload_batch(&mut client, &mut server, &data.batch)
+                .expect("constant trace cannot stall");
+            reports.push(report);
+        }
+        points.push(RatioPoint { ratio, reports });
+    }
+    SweepResult { batch_size, in_batch, points }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_shapes_hold() {
+        let args = ExpArgs { scale: 0.12, seed: 41, quick: true };
+        let r = run(&args);
+        assert_eq!(r.points.len(), 4);
+        for p in &r.points {
+            let [direct, smarteye, mrc, bees] = &p.reports[..] else { panic!("4 schemes") };
+            // BEES wins energy and bandwidth everywhere.
+            assert!(bees.active_energy() < direct.active_energy(), "ratio {}", p.ratio);
+            assert!(bees.active_energy() < mrc.active_energy(), "ratio {}", p.ratio);
+            assert!(bees.bandwidth_bytes() < smarteye.bandwidth_bytes(), "ratio {}", p.ratio);
+            // SmartEye extraction (PCA-SIFT) costs more than MRC's ORB.
+            assert!(smarteye.active_energy() > mrc.active_energy(), "ratio {}", p.ratio);
+        }
+        // At 0% cross-batch redundancy the feature-only schemes lose to
+        // Direct Upload (they still pay extraction + features).
+        let zero = &r.points[0];
+        assert!(zero.reports[1].active_energy() > zero.reports[0].active_energy());
+        // Feature-based schemes improve as redundancy grows.
+        let e = |k: usize, s: usize| r.points[k].reports[s].active_energy();
+        assert!(e(3, 3) < e(0, 3), "BEES should improve with redundancy");
+        assert!(e(3, 2) < e(0, 2), "MRC should improve with redundancy");
+    }
+}

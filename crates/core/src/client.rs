@@ -1,0 +1,270 @@
+//! The smartphone client: battery, ledger, clock, channel.
+
+use crate::config::BeesConfig;
+use crate::error::CoreError;
+use crate::Result;
+use bees_energy::{Battery, EnergyCategory, EnergyLedger, EnergyModel};
+use bees_net::{BandwidthTrace, Channel, SimClock};
+
+/// A simulated smartphone.
+///
+/// Holds the physical state every scheme manipulates — remaining battery,
+/// the per-category energy ledger, a simulated clock, and the
+/// bandwidth-limited channel to the server — and exposes the primitive
+/// operations (spend CPU, transmit, receive, idle) that drain them
+/// consistently. Schemes are written purely in terms of these primitives,
+/// so energy/delay accounting cannot diverge between schemes.
+#[derive(Debug)]
+pub struct Client {
+    id: u64,
+    battery: Battery,
+    ledger: EnergyLedger,
+    clock: SimClock,
+    channel: Channel,
+    energy: EnergyModel,
+}
+
+impl Client {
+    /// Creates a client with a full battery. Each client gets its own
+    /// bandwidth trace, derived from the configured trace and `id` so that
+    /// phones in a fleet do not see identical fluctuations.
+    pub fn new(id: u64, config: &BeesConfig) -> Self {
+        let trace = match &config.trace {
+            BandwidthTrace::Fluctuating { seed, min_bps, max_bps, interval_s } => {
+                BandwidthTrace::Fluctuating {
+                    seed: seed.wrapping_add(id.wrapping_mul(0x5851_F42D_4C95_7F2D)),
+                    min_bps: *min_bps,
+                    max_bps: *max_bps,
+                    interval_s: *interval_s,
+                }
+            }
+            other => other.clone(),
+        };
+        Client {
+            id,
+            battery: config.battery,
+            ledger: EnergyLedger::new(),
+            clock: SimClock::new(),
+            channel: Channel::new(trace),
+            energy: config.energy,
+        }
+    }
+
+    /// The client's identifier.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Remaining battery fraction — the `Ebat` every EAAS scheme reads.
+    pub fn ebat(&self) -> f64 {
+        self.battery.fraction()
+    }
+
+    /// The battery.
+    pub fn battery(&self) -> &Battery {
+        &self.battery
+    }
+
+    /// Mutable battery access (experiments stage specific `Ebat` values).
+    pub fn battery_mut(&mut self) -> &mut Battery {
+        &mut self.battery
+    }
+
+    /// The energy ledger so far.
+    pub fn ledger(&self) -> &EnergyLedger {
+        &self.ledger
+    }
+
+    /// Clears the ledger (between experiment phases).
+    pub fn reset_ledger(&mut self) {
+        self.ledger.clear();
+    }
+
+    /// Current simulated time in seconds.
+    pub fn now(&self) -> f64 {
+        self.clock.now()
+    }
+
+    /// The energy model in force.
+    pub fn energy_model(&self) -> &EnergyModel {
+        &self.energy
+    }
+
+    /// Drains the baseline (screen/system) power for `seconds` of elapsed
+    /// activity — the screen stays bright while computing or transferring,
+    /// so every wall-clock second costs `idle_watts` on top of the
+    /// activity-specific energy.
+    fn drain_baseline(&mut self, seconds: f64) -> bool {
+        let joules = self.energy.idle_energy(seconds);
+        let drained = self.battery.drain(joules);
+        self.ledger.record(EnergyCategory::Idle, drained);
+        drained >= joules
+    }
+
+    /// Spends CPU energy on `category`, advancing the clock by the
+    /// corresponding CPU time (and draining the screen baseline for that
+    /// time). Returns the CPU seconds spent.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::BatteryExhausted`] if the battery empties.
+    pub fn spend_cpu(&mut self, category: EnergyCategory, joules: f64) -> Result<f64> {
+        let drained = self.battery.drain(joules);
+        self.ledger.record(category, drained);
+        let seconds = self.energy.cpu_seconds(joules);
+        self.clock.advance(seconds);
+        let baseline_ok = self.drain_baseline(seconds);
+        if drained < joules || !baseline_ok {
+            return Err(CoreError::BatteryExhausted { during: category_name(category) });
+        }
+        Ok(seconds)
+    }
+
+    /// Transmits `bytes` to the server, draining radio energy and advancing
+    /// the clock by the transfer duration. Returns that duration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::BatteryExhausted`] if the battery empties, or a
+    /// network error if the channel stalls.
+    pub fn transmit(&mut self, category: EnergyCategory, bytes: usize) -> Result<f64> {
+        let duration = self.channel.transfer_duration(self.clock.now(), bytes)?;
+        let joules = self.energy.radio_tx_energy(duration);
+        let drained = self.battery.drain(joules);
+        self.ledger.record(category, drained);
+        self.clock.advance(duration);
+        let baseline_ok = self.drain_baseline(duration);
+        if drained < joules || !baseline_ok {
+            return Err(CoreError::BatteryExhausted { during: category_name(category) });
+        }
+        Ok(duration)
+    }
+
+    /// Receives `bytes` from the server (verdicts, thumbnails).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::BatteryExhausted`] if the battery empties, or a
+    /// network error if the channel stalls.
+    pub fn receive(&mut self, bytes: usize) -> Result<f64> {
+        let duration = self.channel.transfer_duration(self.clock.now(), bytes)?;
+        let joules = self.energy.radio_rx_energy(duration);
+        let drained = self.battery.drain(joules);
+        self.ledger.record(EnergyCategory::Download, drained);
+        self.clock.advance(duration);
+        let baseline_ok = self.drain_baseline(duration);
+        if drained < joules || !baseline_ok {
+            return Err(CoreError::BatteryExhausted { during: "download" });
+        }
+        Ok(duration)
+    }
+
+    /// Idles for `seconds` of wall-clock time (screen on), draining the
+    /// baseline power.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::BatteryExhausted`] if the battery empties.
+    pub fn idle(&mut self, seconds: f64) -> Result<()> {
+        let joules = self.energy.idle_energy(seconds);
+        let drained = self.battery.drain(joules);
+        self.ledger.record(EnergyCategory::Idle, drained);
+        self.clock.advance(seconds);
+        if drained < joules {
+            return Err(CoreError::BatteryExhausted { during: "idle" });
+        }
+        Ok(())
+    }
+}
+
+fn category_name(category: EnergyCategory) -> &'static str {
+    match category {
+        EnergyCategory::FeatureExtraction => "feature extraction",
+        EnergyCategory::FeatureUpload => "feature upload",
+        EnergyCategory::ImageUpload => "image upload",
+        EnergyCategory::Download => "download",
+        EnergyCategory::Compression => "compression",
+        EnergyCategory::Idle => "idle",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config() -> BeesConfig {
+        let mut c = BeesConfig::default();
+        c.trace = BandwidthTrace::constant(256_000.0).unwrap();
+        c
+    }
+
+    #[test]
+    fn spend_cpu_drains_and_advances() {
+        let mut c = Client::new(1, &config());
+        let t = c.spend_cpu(EnergyCategory::FeatureExtraction, 4.0).unwrap();
+        assert!((t - 2.0).abs() < 1e-9); // 4 J at 2 W
+        assert!((c.now() - 2.0).abs() < 1e-9);
+        assert!((c.ledger().get(EnergyCategory::FeatureExtraction) - 4.0).abs() < 1e-9);
+        assert!(c.ebat() < 1.0);
+    }
+
+    #[test]
+    fn transmit_uses_channel_and_radio_power() {
+        let mut c = Client::new(1, &config());
+        // 32 KB at 256 Kbps = 1 s at 0.8 W.
+        let d = c.transmit(EnergyCategory::ImageUpload, 32_000).unwrap();
+        assert!((d - 1.0).abs() < 1e-9);
+        assert!((c.ledger().get(EnergyCategory::ImageUpload) - 0.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn screen_keeps_draining_during_activity() {
+        // The battery pays idle_watts for every wall-clock second, whether
+        // the phone is transferring, computing, or waiting: slow uploads
+        // cost screen time too (the effect Fig. 9/12 depend on).
+        let mut c = Client::new(1, &config());
+        let d = c.transmit(EnergyCategory::ImageUpload, 32_000).unwrap(); // 1 s
+        assert!((c.ledger().get(EnergyCategory::Idle) - d * 1.0).abs() < 1e-9);
+        c.spend_cpu(EnergyCategory::FeatureExtraction, 4.0).unwrap(); // 2 s CPU
+        assert!((c.ledger().get(EnergyCategory::Idle) - (d + 2.0)).abs() < 1e-9);
+        // Total drain = activity + baseline.
+        let expected = 0.8 + 4.0 + (d + 2.0) * 1.0;
+        let drained = c.battery().capacity_joules() - c.battery().remaining_joules();
+        assert!((drained - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn exhaustion_is_reported() {
+        let mut c = Client::new(1, &config());
+        c.battery_mut().set_fraction(0.0);
+        let err = c.spend_cpu(EnergyCategory::Compression, 1.0);
+        assert!(matches!(err, Err(CoreError::BatteryExhausted { .. })));
+    }
+
+    #[test]
+    fn idle_records_idle_category() {
+        let mut c = Client::new(1, &config());
+        c.idle(10.0).unwrap();
+        assert!((c.ledger().get(EnergyCategory::Idle) - 10.0).abs() < 1e-9);
+        assert!((c.now() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fleet_clients_get_distinct_traces() {
+        let mut cfg = BeesConfig::default(); // fluctuating trace
+        cfg.battery = bees_energy::Battery::from_joules(1e9);
+        let mut a = Client::new(1, &cfg);
+        let mut b = Client::new(2, &cfg);
+        let da = a.transmit(EnergyCategory::ImageUpload, 200_000).unwrap();
+        let db = b.transmit(EnergyCategory::ImageUpload, 200_000).unwrap();
+        assert_ne!(da, db);
+    }
+
+    #[test]
+    fn reset_ledger_clears_counters() {
+        let mut c = Client::new(3, &config());
+        c.idle(1.0).unwrap();
+        c.reset_ledger();
+        assert_eq!(c.ledger().total(), 0.0);
+    }
+}

@@ -1,0 +1,78 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors surfaced by the system layer.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// An image operation (resize, codec) failed.
+    Image(bees_image::ImageError),
+    /// A network transfer failed (stalled trace, invalid parameters).
+    Net(bees_net::NetError),
+    /// The client battery drained mid-operation.
+    BatteryExhausted {
+        /// What the client was doing when the battery died.
+        during: &'static str,
+    },
+    /// A configuration value is unusable.
+    InvalidConfig {
+        /// Human-readable description of the problem.
+        detail: String,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Image(e) => write!(f, "image operation failed: {e}"),
+            CoreError::Net(e) => write!(f, "network operation failed: {e}"),
+            CoreError::BatteryExhausted { during } => {
+                write!(f, "battery exhausted during {during}")
+            }
+            CoreError::InvalidConfig { detail } => write!(f, "invalid configuration: {detail}"),
+        }
+    }
+}
+
+impl Error for CoreError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CoreError::Image(e) => Some(e),
+            CoreError::Net(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<bees_image::ImageError> for CoreError {
+    fn from(e: bees_image::ImageError) -> Self {
+        CoreError::Image(e)
+    }
+}
+
+impl From<bees_net::NetError> for CoreError {
+    fn from(e: bees_net::NetError) -> Self {
+        CoreError::Net(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source_chain() {
+        let e = CoreError::from(bees_net::NetError::Stalled { bytes: 1, waited_seconds: 2.0 });
+        assert!(e.to_string().contains("network"));
+        assert!(e.source().is_some());
+        let b = CoreError::BatteryExhausted { during: "image upload" };
+        assert!(b.to_string().contains("image upload"));
+        assert!(b.source().is_none());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CoreError>();
+    }
+}

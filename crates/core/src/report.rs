@@ -1,0 +1,86 @@
+//! Per-batch experiment metrics.
+
+use bees_energy::EnergyLedger;
+use serde::{Deserialize, Serialize};
+
+/// Everything the experiments measure about one batch upload.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct BatchReport {
+    /// Human-readable name of the scheme that produced this report.
+    pub scheme: String,
+    /// Number of images in the input batch.
+    pub batch_size: usize,
+    /// Images actually transmitted.
+    pub uploaded_images: usize,
+    /// Images eliminated by cross-batch redundancy detection.
+    pub skipped_cross_batch: usize,
+    /// Images eliminated by in-batch redundancy detection (SSMM).
+    pub skipped_in_batch: usize,
+    /// Total bytes sent client → server (features + images + headers).
+    pub uplink_bytes: usize,
+    /// Total bytes received server → client (verdicts, thumbnails).
+    pub downlink_bytes: usize,
+    /// Uplink bytes spent on image payloads.
+    pub image_bytes: usize,
+    /// Uplink bytes spent on feature payloads.
+    pub feature_bytes: usize,
+    /// Wall-clock seconds spent on the batch (CPU + transfers), the paper's
+    /// "delay".
+    pub total_delay_s: f64,
+    /// Energy consumed, by category.
+    pub energy: EnergyLedger,
+    /// Whether the battery died before the batch finished (the report then
+    /// covers only the completed prefix).
+    pub exhausted: bool,
+}
+
+impl BatchReport {
+    /// Creates an empty report for a scheme/batch.
+    pub fn new(scheme: impl Into<String>, batch_size: usize) -> Self {
+        BatchReport { scheme: scheme.into(), batch_size, ..BatchReport::default() }
+    }
+
+    /// Total bandwidth overhead (uplink + downlink), the Fig. 10 metric.
+    pub fn bandwidth_bytes(&self) -> usize {
+        self.uplink_bytes + self.downlink_bytes
+    }
+
+    /// Average upload delay per *batch image* (Fig. 11 normalizes by the
+    /// batch size, not the uploaded count).
+    pub fn avg_delay_per_image(&self) -> f64 {
+        if self.batch_size == 0 {
+            return 0.0;
+        }
+        self.total_delay_s / self.batch_size as f64
+    }
+
+    /// Active energy (everything but idle), the Fig. 7 metric.
+    pub fn active_energy(&self) -> f64 {
+        self.energy.total_active()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bees_energy::EnergyCategory;
+
+    #[test]
+    fn derived_metrics() {
+        let mut r = BatchReport::new("BEES", 10);
+        r.uplink_bytes = 1000;
+        r.downlink_bytes = 200;
+        r.total_delay_s = 5.0;
+        r.energy.record(EnergyCategory::ImageUpload, 3.0);
+        r.energy.record(EnergyCategory::Idle, 1.0);
+        assert_eq!(r.bandwidth_bytes(), 1200);
+        assert!((r.avg_delay_per_image() - 0.5).abs() < 1e-12);
+        assert!((r.active_energy() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_batch_has_zero_average_delay() {
+        let r = BatchReport::new("Direct Upload", 0);
+        assert_eq!(r.avg_delay_per_image(), 0.0);
+    }
+}

@@ -1,0 +1,353 @@
+//! BEES: Approximate Image Sharing with energy-aware adaptation.
+//!
+//! The full pipeline of Fig. 2, per batch:
+//!
+//! 1. **AFE** — compress each bitmap by the EAC proportion
+//!    `C = 0.4 − 0.4·Ebat`, then extract ORB features from the compressed
+//!    bitmap,
+//! 2. **CBRD** — upload the features, receive per-image verdicts, and drop
+//!    images whose max server similarity exceeds the EDR threshold
+//!    `T = T0 + k·Ebat`,
+//! 3. **IBRD** — build the pairwise similarity graph over the survivors and
+//!    run SSMM (partition at `Tw`, budget = #subgraphs, greedy
+//!    coverage+diversity maximization) to pick the unique subset,
+//! 4. **AIU** — resolution-compress each selected image by the EAU
+//!    proportion `Cr = 0.8 − 0.8·Ebat`, quality-compress with the DCT codec
+//!    at the fixed 0.85 proportion, and upload.
+//!
+//! `BEES-EA` is the ablation without adaptation: identical pipeline with
+//! every scheme frozen at its `Ebat = 1` value (no bitmap compression,
+//! highest threshold, no resolution compression) — quality compression,
+//! ORB, and both redundancy eliminations still apply.
+
+use crate::schemes::{try_power, SchemeKind, UploadScheme};
+use crate::{BatchReport, BeesConfig, Client, Result, Server};
+use bees_energy::{AdaptiveScheme, EnergyCategory, LinearScheme};
+use bees_features::orb::Orb;
+use bees_features::similarity::jaccard_similarity;
+use bees_features::{FeatureExtractor, ImageFeatures};
+use bees_image::{codec, resize, RgbImage};
+use bees_net::wire;
+use bees_submodular::{SimilarityGraph, Ssmm};
+
+/// The BEES scheme (or BEES-EA when adaptation is disabled).
+pub struct Bees {
+    extractor: Orb,
+    eac: LinearScheme,
+    edr: LinearScheme,
+    tw: LinearScheme,
+    eau: LinearScheme,
+    ssmm: Ssmm,
+    similarity: bees_features::similarity::SimilarityConfig,
+    upload_quality: u8,
+    adaptive: bool,
+}
+
+impl Bees {
+    /// Full BEES with energy-aware adaptation.
+    pub fn adaptive(config: &BeesConfig) -> Self {
+        Self::build(config, true)
+    }
+
+    /// BEES-EA: the same pipeline with every EAAS scheme frozen at its
+    /// `Ebat = 1` value.
+    pub fn without_adaptation(config: &BeesConfig) -> Self {
+        Self::build(config, false)
+    }
+
+    fn build(config: &BeesConfig, adaptive: bool) -> Self {
+        Bees {
+            extractor: Orb::new(config.orb),
+            eac: config.eac,
+            edr: config.edr,
+            tw: config.tw,
+            eau: config.eau,
+            ssmm: Ssmm::new(config.ssmm),
+            similarity: config.similarity,
+            upload_quality: config.upload_quality(),
+            adaptive,
+        }
+    }
+
+    /// The `Ebat` the EAAS schemes see: the real battery fraction when
+    /// adaptive, a constant 1.0 for BEES-EA.
+    fn effective_ebat(&self, client: &Client) -> f64 {
+        if self.adaptive {
+            client.ebat()
+        } else {
+            1.0
+        }
+    }
+}
+
+impl UploadScheme for Bees {
+    fn kind(&self) -> SchemeKind {
+        if self.adaptive {
+            SchemeKind::Bees
+        } else {
+            SchemeKind::BeesEa
+        }
+    }
+
+    fn upload_batch_tagged(
+        &self,
+        client: &mut Client,
+        server: &mut Server,
+        batch: &[RgbImage],
+        geotags: Option<&[(f64, f64)]>,
+    ) -> Result<BatchReport> {
+        if let Some(tags) = geotags {
+            assert_eq!(tags.len(), batch.len(), "one geotag per image");
+        }
+        let mut report = BatchReport::new(self.kind().to_string(), batch.len());
+        client.reset_ledger();
+        let start = client.now();
+        let model = *client.energy_model();
+
+        // ---- Stage 1: Approximate Feature Extraction --------------------
+        let mut features: Vec<ImageFeatures> = Vec::with_capacity(batch.len());
+        for img in batch {
+            let ebat = self.effective_ebat(client);
+            let c = self.eac.value(ebat);
+            let gray = img.to_gray();
+            let resize_j = model.resize_energy(gray.pixel_count());
+            try_power!(report, client, client.spend_cpu(EnergyCategory::Compression, resize_j));
+            let compressed = resize::compress_bitmap(&gray, c)?;
+            let (f, stats) = self.extractor.extract_with_stats(&compressed);
+            let extract_j = model.extraction_energy(self.extractor.kind(), &stats);
+            try_power!(
+                report,
+                client,
+                client.spend_cpu(EnergyCategory::FeatureExtraction, extract_j)
+            );
+            features.push(f);
+        }
+
+        // ---- Stage 2: Cross-Batch Redundancy Detection -------------------
+        let feature_payload: usize = features.iter().map(|f| f.wire_size()).sum();
+        let query_bytes = wire::feature_query_bytes(feature_payload);
+        try_power!(report, client, client.transmit(EnergyCategory::FeatureUpload, query_bytes));
+        report.uplink_bytes += query_bytes;
+        report.feature_bytes += feature_payload;
+
+        let verdict_bytes = wire::query_response_bytes(batch.len());
+        try_power!(report, client, client.receive(verdict_bytes));
+        report.downlink_bytes += verdict_bytes;
+
+        let t = self.edr.value(self.effective_ebat(client));
+        let mut survivors: Vec<usize> = Vec::with_capacity(batch.len());
+        for (i, f) in features.iter().enumerate() {
+            let redundant = server
+                .query_max_similarity(f)
+                .map(|hit| hit.similarity > t)
+                .unwrap_or(false);
+            if redundant {
+                report.skipped_cross_batch += 1;
+            } else {
+                survivors.push(i);
+            }
+        }
+
+        // ---- Stage 3: In-Batch Redundancy Detection (SSMM) ---------------
+        let selected: Vec<usize> = if survivors.len() > 1 {
+            // Pairwise matching cost on the phone.
+            let mut pair_j = 0.0;
+            for (a, &i) in survivors.iter().enumerate() {
+                for &j in survivors.iter().skip(a + 1) {
+                    pair_j += model.matching_energy(features[i].len(), features[j].len());
+                }
+            }
+            try_power!(
+                report,
+                client,
+                client.spend_cpu(EnergyCategory::FeatureExtraction, pair_j)
+            );
+            let graph = SimilarityGraph::from_pairwise(survivors.len(), |a, b| {
+                jaccard_similarity(
+                    &features[survivors[a]],
+                    &features[survivors[b]],
+                    &self.similarity,
+                )
+            });
+            let tw = self.tw.value(self.effective_ebat(client));
+            let summary = self.ssmm.summarize(&graph, tw);
+            report.skipped_in_batch = survivors.len() - summary.selected.len();
+            summary.selected.iter().map(|&local| survivors[local]).collect()
+        } else {
+            survivors
+        };
+
+        // ---- Stage 4: Approximate Image Uploading ------------------------
+        for &i in &selected {
+            let ebat = self.effective_ebat(client);
+            let cr = self.eau.value(ebat);
+            let resize_j = model.resize_energy(batch[i].pixel_count());
+            try_power!(report, client, client.spend_cpu(EnergyCategory::Compression, resize_j));
+            let shrunk = resize::compress_resolution_rgb(&batch[i], cr)?;
+            let encode_j = model.encode_energy(shrunk.pixel_count());
+            try_power!(report, client, client.spend_cpu(EnergyCategory::Compression, encode_j));
+            let payload = codec::encode_rgb(&shrunk, self.upload_quality)?;
+            let bytes = wire::image_upload_bytes(payload.len());
+            try_power!(report, client, client.transmit(EnergyCategory::ImageUpload, bytes));
+            report.uplink_bytes += bytes;
+            report.image_bytes += payload.len();
+            report.uploaded_images += 1;
+            server.ingest_image(features[i].clone(), payload.len(), geotags.map(|g| g[i]));
+        }
+
+        report.total_delay_s = client.now() - start;
+        report.energy = client.ledger().clone();
+        Ok(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schemes::DirectUpload;
+    use bees_datasets::{disaster_batch, SceneConfig};
+    use bees_net::BandwidthTrace;
+
+    fn config() -> BeesConfig {
+        let mut c = BeesConfig::default();
+        c.trace = BandwidthTrace::constant(256_000.0).unwrap();
+        c
+    }
+
+    fn small() -> SceneConfig {
+        SceneConfig { width: 96, height: 72, n_shapes: 10, texture_amp: 8.0 }
+    }
+
+    #[test]
+    fn eliminates_both_redundancy_kinds() {
+        let cfg = config();
+        let scheme = Bees::adaptive(&cfg);
+        let mut server = Server::new(&cfg);
+        let mut client = Client::new(0, &cfg);
+        // 10 images: 2 in-batch extras, 25% cross-batch (2-3 images).
+        let data = disaster_batch(31, 10, 2, 0.25, small());
+        scheme.preload_server(&mut server, &data.server_preload);
+        let r = scheme.upload_batch(&mut client, &mut server, &data.batch).unwrap();
+        assert!(r.skipped_cross_batch >= 1, "cross-batch: {}", r.skipped_cross_batch);
+        assert!(r.skipped_in_batch >= 1, "in-batch: {}", r.skipped_in_batch);
+        assert_eq!(
+            r.uploaded_images + r.skipped_cross_batch + r.skipped_in_batch,
+            r.batch_size
+        );
+    }
+
+    #[test]
+    fn uses_far_less_bandwidth_than_direct_even_without_redundancy() {
+        let cfg = config();
+        // Realistic scene sizes: with tiny test scenes the camera files are
+        // no larger than feature payloads and the comparison is meaningless.
+        let data = disaster_batch(32, 5, 0, 0.0, SceneConfig::default());
+
+        let mut server1 = Server::new(&cfg);
+        let mut client1 = Client::new(0, &cfg);
+        let rb = Bees::adaptive(&cfg)
+            .upload_batch(&mut client1, &mut server1, &data.batch)
+            .unwrap();
+
+        let mut server2 = Server::new(&cfg);
+        let mut client2 = Client::new(0, &cfg);
+        let rd = DirectUpload::new(&cfg)
+            .upload_batch(&mut client2, &mut server2, &data.batch)
+            .unwrap();
+
+        assert!(
+            (rb.bandwidth_bytes() as f64) < 0.5 * rd.bandwidth_bytes() as f64,
+            "BEES {} vs Direct {}",
+            rb.bandwidth_bytes(),
+            rd.bandwidth_bytes()
+        );
+        assert!(rb.active_energy() < rd.active_energy());
+    }
+
+    #[test]
+    fn low_battery_uploads_smaller_images() {
+        let cfg = config();
+        let data = disaster_batch(33, 3, 0, 0.0, small());
+
+        let mut server1 = Server::new(&cfg);
+        let mut client1 = Client::new(0, &cfg);
+        let r_full = Bees::adaptive(&cfg)
+            .upload_batch(&mut client1, &mut server1, &data.batch)
+            .unwrap();
+
+        let mut server2 = Server::new(&cfg);
+        let mut client2 = Client::new(0, &cfg);
+        client2.battery_mut().set_fraction(0.1);
+        let r_low = Bees::adaptive(&cfg)
+            .upload_batch(&mut client2, &mut server2, &data.batch)
+            .unwrap();
+
+        assert!(
+            r_low.image_bytes < r_full.image_bytes,
+            "low battery {} vs full {}",
+            r_low.image_bytes,
+            r_full.image_bytes
+        );
+    }
+
+    #[test]
+    fn bees_ea_ignores_battery_level() {
+        let cfg = config();
+        let data = disaster_batch(34, 3, 0, 0.0, small());
+
+        let run = |fraction: f64| {
+            let mut server = Server::new(&cfg);
+            let mut client = Client::new(0, &cfg);
+            client.battery_mut().set_fraction(fraction);
+            Bees::without_adaptation(&cfg)
+                .upload_batch(&mut client, &mut server, &data.batch)
+                .unwrap()
+        };
+        let full = run(1.0);
+        let low = run(0.3);
+        assert_eq!(full.image_bytes, low.image_bytes);
+        assert_eq!(full.uploaded_images, low.uploaded_images);
+    }
+
+    #[test]
+    fn adaptive_saves_energy_at_low_battery_vs_ea() {
+        let cfg = config();
+        let data = disaster_batch(35, 4, 0, 0.0, small());
+        let run = |adaptive: bool| {
+            let mut server = Server::new(&cfg);
+            let mut client = Client::new(0, &cfg);
+            client.battery_mut().set_fraction(0.15);
+            let scheme =
+                if adaptive { Bees::adaptive(&cfg) } else { Bees::without_adaptation(&cfg) };
+            scheme.upload_batch(&mut client, &mut server, &data.batch).unwrap()
+        };
+        let r_adaptive = run(true);
+        let r_ea = run(false);
+        assert!(
+            r_adaptive.active_energy() < r_ea.active_energy(),
+            "adaptive {} vs EA {}",
+            r_adaptive.active_energy(),
+            r_ea.active_energy()
+        );
+    }
+
+    #[test]
+    fn uploaded_images_reach_the_server_index() {
+        let cfg = config();
+        let scheme = Bees::adaptive(&cfg);
+        let mut server = Server::new(&cfg);
+        let mut client = Client::new(0, &cfg);
+        let data = disaster_batch(36, 4, 0, 0.0, small());
+        let r = scheme.upload_batch(&mut client, &mut server, &data.batch).unwrap();
+        assert_eq!(server.received_images(), r.uploaded_images);
+        assert_eq!(server.indexed_images(), r.uploaded_images);
+        // A second identical batch should now be (mostly) cross-redundant.
+        let mut client2 = Client::new(1, &cfg);
+        let r2 = scheme.upload_batch(&mut client2, &mut server, &data.batch).unwrap();
+        assert!(
+            r2.skipped_cross_batch >= r.uploaded_images / 2,
+            "second pass skipped only {}",
+            r2.skipped_cross_batch
+        );
+    }
+}

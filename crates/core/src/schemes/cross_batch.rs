@@ -1,0 +1,105 @@
+//! Shared machinery for the feature-based cross-batch-only schemes
+//! (SmartEye and MRC).
+//!
+//! Both follow the traditional architecture of Fig. 1: extract features →
+//! upload features → server answers redundancy verdicts → upload the
+//! unique images verbatim. They differ only in the extractor (PCA-SIFT vs
+//! ORB) and in MRC's thumbnail feedback downlink.
+
+use crate::schemes::{try_power, SchemeKind};
+use crate::{BatchReport, Client, Result, Server};
+use bees_energy::EnergyCategory;
+use bees_features::FeatureExtractor;
+use bees_image::RgbImage;
+use bees_net::wire;
+
+/// Knobs distinguishing SmartEye from MRC.
+pub(crate) struct CrossBatchOptions {
+    pub scheme: SchemeKind,
+    /// Fixed similarity threshold `T` (neither scheme adapts it).
+    pub threshold: f64,
+    /// Whether the server sends a thumbnail per redundant candidate for
+    /// client-side confirmation (MRC).
+    pub thumbnail_feedback: bool,
+    /// Stored-photo codec quality (the file that gets uploaded verbatim).
+    pub camera_quality: u8,
+}
+
+pub(crate) fn run_cross_batch_scheme(
+    extractor: &dyn FeatureExtractor,
+    opts: &CrossBatchOptions,
+    client: &mut Client,
+    server: &mut Server,
+    batch: &[RgbImage],
+    geotags: Option<&[(f64, f64)]>,
+) -> Result<BatchReport> {
+    if let Some(tags) = geotags {
+        assert_eq!(tags.len(), batch.len(), "one geotag per image");
+    }
+    let mut report = BatchReport::new(opts.scheme.to_string(), batch.len());
+    client.reset_ledger();
+    let start = client.now();
+
+    // 1. Image Feature Extraction (on the full-resolution bitmaps — these
+    //    schemes have no approximate stage).
+    let mut features = Vec::with_capacity(batch.len());
+    for img in batch {
+        let gray = img.to_gray();
+        let (f, stats) = extractor.extract_with_stats(&gray);
+        let joules = client.energy_model().extraction_energy(extractor.kind(), &stats);
+        try_power!(report, client, client.spend_cpu(EnergyCategory::FeatureExtraction, joules));
+        features.push(f);
+    }
+
+    // 2. Upload the feature payload for the whole batch.
+    let feature_payload: usize = features.iter().map(|f| f.wire_size()).sum();
+    let query_bytes = wire::feature_query_bytes(feature_payload);
+    try_power!(report, client, client.transmit(EnergyCategory::FeatureUpload, query_bytes));
+    report.uplink_bytes += query_bytes;
+    report.feature_bytes += feature_payload;
+
+    // 3. Server answers one verdict per image.
+    let verdict_bytes = wire::query_response_bytes(batch.len());
+    try_power!(report, client, client.receive(verdict_bytes));
+    report.downlink_bytes += verdict_bytes;
+
+    let redundant: Vec<bool> = features
+        .iter()
+        .map(|f| {
+            server
+                .query_max_similarity(f)
+                .map(|hit| hit.similarity > opts.threshold)
+                .unwrap_or(false)
+        })
+        .collect();
+    let n_redundant = redundant.iter().filter(|&&r| r).count();
+    report.skipped_cross_batch = n_redundant;
+
+    // 4. MRC: the server sends a thumbnail per redundant candidate so the
+    //    client can confirm the match before dropping the image.
+    if opts.thumbnail_feedback && n_redundant > 0 {
+        let thumb_bytes = wire::thumbnail_feedback_bytes(n_redundant);
+        try_power!(report, client, client.receive(thumb_bytes));
+        report.downlink_bytes += thumb_bytes;
+    }
+
+    // 5. Upload the unique images verbatim; the server indexes the features
+    //    it already received.
+    for (i, img) in batch.iter().enumerate() {
+        if redundant[i] {
+            continue;
+        }
+        // The stored photo file (encoded at capture time; no CPU charged).
+        let payload = bees_image::codec::encoded_rgb_size(img, opts.camera_quality)?;
+        let bytes = wire::image_upload_bytes(payload);
+        try_power!(report, client, client.transmit(EnergyCategory::ImageUpload, bytes));
+        report.uplink_bytes += bytes;
+        report.image_bytes += payload;
+        report.uploaded_images += 1;
+        server.ingest_image(features[i].clone(), payload, geotags.map(|t| t[i]));
+    }
+
+    report.total_delay_s = client.now() - start;
+    report.energy = client.ledger().clone();
+    Ok(report)
+}

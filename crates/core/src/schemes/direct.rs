@@ -1,0 +1,158 @@
+//! Direct Upload: the baseline that sends every image verbatim.
+
+use crate::schemes::{try_power, SchemeKind, UploadScheme};
+use crate::{BatchReport, Client, Result, Server};
+use bees_energy::EnergyCategory;
+use bees_features::ImageFeatures;
+use bees_image::RgbImage;
+use bees_net::wire;
+
+/// Uploads every stored photo file verbatim, with no redundancy detection.
+///
+/// The "file" is the camera-quality encoding of the image (phones store
+/// JPEGs, not raw bitmaps), so Direct Upload's bytes are the same files the
+/// feature-based schemes would have sent for their unique images.
+///
+/// # Examples
+///
+/// ```no_run
+/// use bees_core::schemes::{DirectUpload, UploadScheme};
+/// use bees_core::{BeesConfig, Client, Server};
+/// use bees_datasets::{Scene, SceneConfig, ViewJitter};
+///
+/// # fn main() -> Result<(), bees_core::CoreError> {
+/// let config = BeesConfig::default();
+/// let mut server = Server::new(&config);
+/// let mut client = Client::new(0, &config);
+/// let img = Scene::new(1, SceneConfig::default()).render(&ViewJitter::identity());
+/// let report = DirectUpload::new(&config).upload_batch(&mut client, &mut server, &[img])?;
+/// assert_eq!(report.uploaded_images, 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct DirectUpload {
+    camera_quality: u8,
+}
+
+impl DirectUpload {
+    /// Creates the scheme with the configured stored-photo quality.
+    pub fn new(config: &crate::BeesConfig) -> Self {
+        DirectUpload { camera_quality: config.camera_quality }
+    }
+}
+
+impl UploadScheme for DirectUpload {
+    fn kind(&self) -> SchemeKind {
+        SchemeKind::DirectUpload
+    }
+
+    fn upload_batch_tagged(
+        &self,
+        client: &mut Client,
+        server: &mut Server,
+        batch: &[RgbImage],
+        geotags: Option<&[(f64, f64)]>,
+    ) -> Result<BatchReport> {
+        if let Some(tags) = geotags {
+            assert_eq!(tags.len(), batch.len(), "one geotag per image");
+        }
+        let mut report = BatchReport::new(self.kind().to_string(), batch.len());
+        client.reset_ledger();
+        let start = client.now();
+        for (i, img) in batch.iter().enumerate() {
+            // The stored photo file; encoding happened at capture time, so
+            // no CPU is charged here.
+            let payload = bees_image::codec::encoded_rgb_size(img, self.camera_quality)?;
+            let bytes = wire::image_upload_bytes(payload);
+            try_power!(report, client, client.transmit(EnergyCategory::ImageUpload, bytes));
+            report.uplink_bytes += bytes;
+            report.image_bytes += payload;
+            report.uploaded_images += 1;
+            // Direct Upload carries no features; the server stores an empty
+            // feature set (it performs no deduplication for this scheme).
+            server.ingest_image(
+                ImageFeatures::empty_binary(),
+                payload,
+                geotags.map(|t| t[i]),
+            );
+            report.total_delay_s = client.now() - start;
+        }
+        report.total_delay_s = client.now() - start;
+        report.energy = client.ledger().clone();
+        Ok(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::BeesConfig;
+    use bees_datasets::{Scene, SceneConfig, ViewJitter};
+    use bees_net::BandwidthTrace;
+
+    fn setup() -> (BeesConfig, Server, Client) {
+        let mut cfg = BeesConfig::default();
+        cfg.trace = BandwidthTrace::constant(256_000.0).unwrap();
+        let server = Server::new(&cfg);
+        let client = Client::new(0, &cfg);
+        (cfg, server, client)
+    }
+
+    fn images(n: usize) -> Vec<RgbImage> {
+        (0..n)
+            .map(|i| {
+                Scene::new(i as u64, SceneConfig { width: 96, height: 72, n_shapes: 8, texture_amp: 8.0 })
+                    .render(&ViewJitter::identity())
+            })
+            .collect()
+    }
+
+    #[test]
+    fn uploads_everything() {
+        let (cfg, mut server, mut client) = setup();
+        let batch = images(3);
+        let r = DirectUpload::new(&cfg).upload_batch(&mut client, &mut server, &batch).unwrap();
+        assert_eq!(r.uploaded_images, 3);
+        assert_eq!(r.skipped_cross_batch, 0);
+        assert_eq!(r.skipped_in_batch, 0);
+        assert_eq!(server.received_images(), 3);
+        // Camera files are encoded: smaller than raw, larger than zero.
+        assert!(r.image_bytes > 0);
+        assert!(r.image_bytes < 3 * 96 * 72 * 3);
+        assert!(r.uplink_bytes > r.image_bytes);
+        assert!(!r.exhausted);
+        assert!(r.total_delay_s > 0.0);
+    }
+
+    #[test]
+    fn all_energy_is_image_upload() {
+        let (cfg, mut server, mut client) = setup();
+        let batch = images(2);
+        let r = DirectUpload::new(&cfg).upload_batch(&mut client, &mut server, &batch).unwrap();
+        assert!(r.energy.get(EnergyCategory::ImageUpload) > 0.0);
+        assert_eq!(r.energy.get(EnergyCategory::FeatureExtraction), 0.0);
+        assert_eq!(r.energy.get(EnergyCategory::FeatureUpload), 0.0);
+    }
+
+    #[test]
+    fn exhaustion_stops_mid_batch() {
+        let (cfg, mut server, mut client) = setup();
+        client.battery_mut().set_fraction(0.0);
+        let batch = images(2);
+        let r = DirectUpload::new(&cfg).upload_batch(&mut client, &mut server, &batch).unwrap();
+        assert!(r.exhausted);
+        assert_eq!(r.uploaded_images, 0);
+    }
+
+    #[test]
+    fn geotags_reach_the_server() {
+        let (cfg, mut server, mut client) = setup();
+        let batch = images(2);
+        let tags = vec![(2.32, 48.86), (2.33, 48.87)];
+        DirectUpload::new(&cfg)
+            .upload_batch_tagged(&mut client, &mut server, &batch, Some(&tags))
+            .unwrap();
+        assert_eq!(server.unique_locations(), 2);
+    }
+}

@@ -1,0 +1,148 @@
+//! The five upload schemes of the paper's evaluation (§IV).
+//!
+//! | Scheme | Features | Cross-batch dedup | In-batch dedup | AIS | EAAS |
+//! |---|---|---|---|---|---|
+//! | Direct Upload | — | — | — | — | — |
+//! | PhotoNet-like | color histogram | yes | — | — | — |
+//! | SmartEye | PCA-SIFT | yes | — | — | — |
+//! | MRC | ORB | yes (+ thumbnail feedback) | — | — | — |
+//! | BEES-EA | ORB | yes | SSMM | yes | fixed at `Ebat = 1` |
+//! | BEES | ORB | yes | SSMM | yes | adaptive |
+//!
+//! All schemes are written against [`Client`]'s power/clock primitives, so
+//! their energy, bandwidth, and delay accounting is directly comparable.
+
+mod bees;
+mod cross_batch;
+mod direct;
+mod mrc;
+mod photonet;
+mod smarteye;
+
+pub use bees::Bees;
+pub use direct::DirectUpload;
+pub use mrc::Mrc;
+pub use photonet::PhotoNetLike;
+pub use smarteye::SmartEye;
+
+use crate::{BatchReport, Client, Result, Server};
+use bees_image::RgbImage;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifies a scheme in reports and experiment output.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SchemeKind {
+    /// Upload every image as-is.
+    DirectUpload,
+    /// SmartEye (INFOCOM'15): PCA-SIFT features, cross-batch dedup.
+    SmartEye,
+    /// PhotoNet-like (RTSS'11): global color-histogram dedup only.
+    PhotoNetLike,
+    /// MRC (CoNEXT'14): ORB features, cross-batch dedup, thumbnails.
+    Mrc,
+    /// BEES without energy-aware adaptation.
+    BeesEa,
+    /// Full BEES.
+    Bees,
+}
+
+impl fmt::Display for SchemeKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            SchemeKind::DirectUpload => "Direct Upload",
+            SchemeKind::SmartEye => "SmartEye",
+            SchemeKind::PhotoNetLike => "PhotoNet-like",
+            SchemeKind::Mrc => "MRC",
+            SchemeKind::BeesEa => "BEES-EA",
+            SchemeKind::Bees => "BEES",
+        };
+        f.write_str(name)
+    }
+}
+
+/// An image-upload scheme.
+///
+/// Object-safe so experiment drivers can iterate over
+/// `Vec<Box<dyn UploadScheme>>`.
+pub trait UploadScheme {
+    /// Which scheme this is.
+    fn kind(&self) -> SchemeKind;
+
+    /// Uploads a batch, optionally tagging each image with a geotag (used
+    /// by the coverage experiment). `geotags`, when given, must be the same
+    /// length as `batch`.
+    ///
+    /// If the client battery dies mid-batch the report of the completed
+    /// prefix is returned with [`BatchReport::exhausted`] set.
+    ///
+    /// # Errors
+    ///
+    /// Returns a network error if the channel stalls beyond its limit.
+    fn upload_batch_tagged(
+        &self,
+        client: &mut Client,
+        server: &mut Server,
+        batch: &[RgbImage],
+        geotags: Option<&[(f64, f64)]>,
+    ) -> Result<BatchReport>;
+
+    /// Uploads a batch without geotags.
+    ///
+    /// # Errors
+    ///
+    /// Returns a network error if the channel stalls beyond its limit.
+    fn upload_batch(
+        &self,
+        client: &mut Client,
+        server: &mut Server,
+        batch: &[RgbImage],
+    ) -> Result<BatchReport> {
+        self.upload_batch_tagged(client, server, batch, None)
+    }
+
+    /// Pre-loads server-side images using this scheme's *own* feature kind,
+    /// so staged cross-batch redundancy is detectable by the scheme. The
+    /// default extracts ORB features (what the BEES/MRC servers store).
+    fn preload_server(&self, server: &mut Server, images: &[RgbImage]) {
+        server.preload(images);
+    }
+}
+
+/// Runs a power primitive inside a scheme body: on battery exhaustion,
+/// snapshots the ledger into the report, marks it exhausted, and returns
+/// it as the (partial) result.
+macro_rules! try_power {
+    ($report:expr, $client:expr, $call:expr) => {
+        match $call {
+            Ok(v) => v,
+            Err($crate::CoreError::BatteryExhausted { .. }) => {
+                $report.exhausted = true;
+                $report.energy = $client.ledger().clone();
+                return Ok($report);
+            }
+            Err(other) => return Err(other),
+        }
+    };
+}
+pub(crate) use try_power;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_displays_paper_names() {
+        assert_eq!(SchemeKind::DirectUpload.to_string(), "Direct Upload");
+        assert_eq!(SchemeKind::SmartEye.to_string(), "SmartEye");
+        assert_eq!(SchemeKind::PhotoNetLike.to_string(), "PhotoNet-like");
+        assert_eq!(SchemeKind::Mrc.to_string(), "MRC");
+        assert_eq!(SchemeKind::BeesEa.to_string(), "BEES-EA");
+        assert_eq!(SchemeKind::Bees.to_string(), "BEES");
+    }
+
+    #[test]
+    fn trait_is_object_safe() {
+        fn _takes_dyn(_s: &dyn UploadScheme) {}
+    }
+}

@@ -1,0 +1,175 @@
+//! A PhotoNet-like baseline: redundancy elimination by *global* features.
+//!
+//! PhotoNet (Uddin et al., RTSS 2011 — the BEES paper's reference [3])
+//! "uses image metadata, i.e., geotags and color histograms of images, to
+//! approximately evaluate and eliminate similar images". This scheme
+//! reproduces the histogram half of that idea in the source-side
+//! architecture: compute a 64-cell color histogram per image (far cheaper
+//! than any local-feature extraction), upload the histograms, and drop
+//! images whose histogram-intersection similarity against the server's
+//! store exceeds a threshold.
+//!
+//! It exists to make the paper's §III-D claim measurable: global features
+//! are cheap but markedly less accurate than local ones (see the
+//! `global_vs_local` experiment), which is why BEES pays for ORB.
+
+use crate::schemes::{try_power, SchemeKind, UploadScheme};
+use crate::{BatchReport, BeesConfig, Client, Result, Server};
+use bees_energy::EnergyCategory;
+use bees_features::global::ColorHistogram;
+use bees_image::RgbImage;
+use bees_net::wire;
+
+/// The PhotoNet-like scheme.
+#[derive(Debug, Clone, Copy)]
+pub struct PhotoNetLike {
+    threshold: f64,
+    camera_quality: u8,
+}
+
+impl PhotoNetLike {
+    /// Builds the scheme from the system configuration.
+    pub fn new(config: &BeesConfig) -> Self {
+        PhotoNetLike {
+            threshold: config.histogram_threshold,
+            camera_quality: config.camera_quality,
+        }
+    }
+}
+
+impl UploadScheme for PhotoNetLike {
+    fn kind(&self) -> SchemeKind {
+        SchemeKind::PhotoNetLike
+    }
+
+    fn upload_batch_tagged(
+        &self,
+        client: &mut Client,
+        server: &mut Server,
+        batch: &[RgbImage],
+        geotags: Option<&[(f64, f64)]>,
+    ) -> Result<BatchReport> {
+        if let Some(tags) = geotags {
+            assert_eq!(tags.len(), batch.len(), "one geotag per image");
+        }
+        let mut report = BatchReport::new(self.kind().to_string(), batch.len());
+        client.reset_ledger();
+        let start = client.now();
+        let model = *client.energy_model();
+
+        // 1. Global feature extraction: one pass over the pixels.
+        let mut histograms = Vec::with_capacity(batch.len());
+        for img in batch {
+            let joules = model.histogram_energy(img.pixel_count());
+            try_power!(report, client, client.spend_cpu(EnergyCategory::FeatureExtraction, joules));
+            histograms.push(ColorHistogram::from_image(img));
+        }
+
+        // 2. Upload the histograms (256 B each) and receive verdicts.
+        let feature_payload = histograms.len() * ColorHistogram::WIRE_SIZE;
+        let query_bytes = wire::feature_query_bytes(feature_payload);
+        try_power!(report, client, client.transmit(EnergyCategory::FeatureUpload, query_bytes));
+        report.uplink_bytes += query_bytes;
+        report.feature_bytes += feature_payload;
+        let verdict_bytes = wire::query_response_bytes(batch.len());
+        try_power!(report, client, client.receive(verdict_bytes));
+        report.downlink_bytes += verdict_bytes;
+
+        // 3. Dedup by histogram intersection. Verdicts are computed for the
+        //    whole batch against the server's *current* store before any
+        //    upload (as in the other cross-batch schemes): in-batch
+        //    duplicates are invisible to this scheme.
+        let redundant: Vec<bool> = histograms
+            .iter()
+            .map(|h| {
+                server
+                    .query_max_histogram(h)
+                    .map(|(_, sim)| sim > self.threshold)
+                    .unwrap_or(false)
+            })
+            .collect();
+        report.skipped_cross_batch = redundant.iter().filter(|&&r| r).count();
+        for (i, img) in batch.iter().enumerate() {
+            if redundant[i] {
+                continue;
+            }
+            let payload = bees_image::codec::encoded_rgb_size(img, self.camera_quality)?;
+            let bytes = wire::image_upload_bytes(payload);
+            try_power!(report, client, client.transmit(EnergyCategory::ImageUpload, bytes));
+            report.uplink_bytes += bytes;
+            report.image_bytes += payload;
+            report.uploaded_images += 1;
+            server.ingest_image_with_histogram(
+                histograms[i].clone(),
+                payload,
+                geotags.map(|t| t[i]),
+            );
+        }
+
+        report.total_delay_s = client.now() - start;
+        report.energy = client.ledger().clone();
+        Ok(report)
+    }
+
+    fn preload_server(&self, server: &mut Server, images: &[RgbImage]) {
+        server.preload_histograms(images);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schemes::Mrc;
+    use bees_datasets::{disaster_batch, SceneConfig};
+    use bees_net::BandwidthTrace;
+
+    fn config() -> BeesConfig {
+        let mut c = BeesConfig::default();
+        c.trace = BandwidthTrace::constant(256_000.0).unwrap();
+        c
+    }
+
+    #[test]
+    fn extraction_is_far_cheaper_than_orb() {
+        let cfg = config();
+        let data = disaster_batch(61, 4, 0, 0.0, SceneConfig::default());
+        let run = |scheme: &dyn UploadScheme| {
+            let mut server = Server::new(&cfg);
+            let mut client = Client::new(0, &cfg);
+            scheme.upload_batch(&mut client, &mut server, &data.batch).unwrap()
+        };
+        let pn = run(&PhotoNetLike::new(&cfg));
+        let mrc = run(&Mrc::new(&cfg));
+        let e = |r: &BatchReport| r.energy.get(EnergyCategory::FeatureExtraction);
+        assert!(e(&pn) < e(&mrc) / 5.0, "photonet {} vs mrc {}", e(&pn), e(&mrc));
+        // And its feature payload is far smaller too.
+        assert!(pn.feature_bytes < mrc.feature_bytes / 5);
+    }
+
+    #[test]
+    fn detects_exact_duplicates() {
+        let cfg = config();
+        let data = disaster_batch(62, 6, 0, 0.5, SceneConfig::default());
+        let scheme = PhotoNetLike::new(&cfg);
+        let mut server = Server::new(&cfg);
+        scheme.preload_server(&mut server, &data.server_preload);
+        let mut client = Client::new(0, &cfg);
+        let r = scheme.upload_batch(&mut client, &mut server, &data.batch).unwrap();
+        assert_eq!(r.uploaded_images + r.skipped_cross_batch, 6);
+        // Histogram dedup should catch at least some of the staged similar
+        // views (they differ only by small jitter/brightness shifts).
+        assert!(r.skipped_cross_batch >= 1, "no histogram dedup at all");
+    }
+
+    #[test]
+    fn conservation_holds_with_exhaustion() {
+        let cfg = config();
+        let data = disaster_batch(63, 4, 0, 0.0, SceneConfig::default());
+        let scheme = PhotoNetLike::new(&cfg);
+        let mut server = Server::new(&cfg);
+        let mut client = Client::new(0, &cfg);
+        client.battery_mut().set_fraction(0.0);
+        let r = scheme.upload_batch(&mut client, &mut server, &data.batch).unwrap();
+        assert!(r.exhausted);
+    }
+}

@@ -1,0 +1,107 @@
+//! SmartEye (Hua et al., INFOCOM 2015), reimplemented from the BEES
+//! paper's description: PCA-SIFT features, cross-batch redundancy
+//! elimination at the source, no in-batch detection, no approximate
+//! sharing. The paper's measurements hinge on PCA-SIFT's cost: "SmartEye
+//! extracts image features using PCA-SIFT that consumes more energy than
+//! MRC".
+
+use crate::schemes::cross_batch::{run_cross_batch_scheme, CrossBatchOptions};
+use crate::schemes::{SchemeKind, UploadScheme};
+use crate::{BatchReport, BeesConfig, Client, Result, Server};
+use bees_features::pca::PcaSift;
+use bees_image::RgbImage;
+
+/// The SmartEye scheme.
+pub struct SmartEye {
+    extractor: PcaSift,
+    threshold: f64,
+    camera_quality: u8,
+}
+
+impl SmartEye {
+    /// Builds SmartEye from the system configuration (PCA-SIFT with the
+    /// configured deterministic basis).
+    pub fn new(config: &BeesConfig) -> Self {
+        SmartEye {
+            extractor: PcaSift::with_seeded_basis(config.pca_sift, config.pca_basis_seed),
+            threshold: config.fixed_threshold_pca,
+            camera_quality: config.camera_quality,
+        }
+    }
+}
+
+impl UploadScheme for SmartEye {
+    fn kind(&self) -> SchemeKind {
+        SchemeKind::SmartEye
+    }
+
+    fn upload_batch_tagged(
+        &self,
+        client: &mut Client,
+        server: &mut Server,
+        batch: &[RgbImage],
+        geotags: Option<&[(f64, f64)]>,
+    ) -> Result<BatchReport> {
+        let opts = CrossBatchOptions {
+            scheme: self.kind(),
+            threshold: self.threshold,
+            thumbnail_feedback: false,
+            camera_quality: self.camera_quality,
+        };
+        run_cross_batch_scheme(&self.extractor, &opts, client, server, batch, geotags)
+    }
+
+    fn preload_server(&self, server: &mut Server, images: &[RgbImage]) {
+        // SmartEye's server index stores PCA-SIFT features; ORB preloads
+        // would be invisible to its queries.
+        server.preload_with(&self.extractor, images);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bees_datasets::{disaster_batch, SceneConfig};
+    use bees_energy::EnergyCategory;
+    use bees_net::BandwidthTrace;
+
+    fn config() -> BeesConfig {
+        let mut c = BeesConfig::default();
+        c.trace = BandwidthTrace::constant(256_000.0).unwrap();
+        c
+    }
+
+    #[test]
+    fn detects_cross_batch_redundancy_with_pca_features() {
+        let cfg = config();
+        let scheme = SmartEye::new(&cfg);
+        let mut server = Server::new(&cfg);
+        let mut client = Client::new(0, &cfg);
+        let small = SceneConfig { width: 96, height: 72, n_shapes: 10, texture_amp: 8.0 };
+        let data = disaster_batch(11, 6, 0, 0.5, small);
+        scheme.preload_server(&mut server, &data.server_preload);
+        let r = scheme.upload_batch(&mut client, &mut server, &data.batch).unwrap();
+        assert_eq!(r.batch_size, 6);
+        assert_eq!(r.uploaded_images + r.skipped_cross_batch, 6);
+        // Feature extraction energy must be nonzero and no in-batch
+        // elimination ever happens.
+        assert!(r.energy.get(EnergyCategory::FeatureExtraction) > 0.0);
+        assert_eq!(r.skipped_in_batch, 0);
+    }
+
+    #[test]
+    fn costs_more_extraction_energy_than_direct() {
+        let cfg = config();
+        let scheme = SmartEye::new(&cfg);
+        let mut server = Server::new(&cfg);
+        let mut client = Client::new(0, &cfg);
+        let small = SceneConfig { width: 96, height: 72, n_shapes: 10, texture_amp: 8.0 };
+        let data = disaster_batch(13, 3, 0, 0.0, small);
+        let r = scheme.upload_batch(&mut client, &mut server, &data.batch).unwrap();
+        // With zero redundancy, SmartEye pays extraction + features on top
+        // of the same image uploads: strictly worse than Direct Upload.
+        let extraction = r.energy.get(EnergyCategory::FeatureExtraction);
+        assert!(extraction > 0.0);
+        assert_eq!(r.uploaded_images, 3);
+    }
+}

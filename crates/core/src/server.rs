@@ -1,0 +1,250 @@
+//! The cloud server: feature index plus received-image bookkeeping.
+
+use crate::config::{BeesConfig, IndexBackend};
+use bees_features::global::ColorHistogram;
+use bees_features::orb::Orb;
+use bees_features::{FeatureExtractor, ImageFeatures};
+use bees_image::RgbImage;
+use bees_index::{FeatureIndex, ImageId, LinearIndex, MihIndex, QueryHit};
+
+/// The server side of the system.
+///
+/// Holds the feature index used by Cross-Batch Redundancy Detection and
+/// counts what it has received. Per the paper, server resources are assumed
+/// plentiful: server-side CPU is not charged to any battery and query time
+/// is excluded from the delay metric.
+pub struct Server {
+    index: Box<dyn FeatureIndex>,
+    orb: Orb,
+    next_id: u64,
+    received_images: usize,
+    received_image_bytes: usize,
+    /// Optional geotag per stored image (coverage experiment).
+    geotags: Vec<(ImageId, (f64, f64))>,
+    /// Global-feature store for PhotoNet-like schemes (histogram dedup).
+    histograms: Vec<(ImageId, ColorHistogram)>,
+}
+
+impl Server {
+    /// Creates an empty server configured like the client.
+    pub fn new(config: &BeesConfig) -> Self {
+        let index: Box<dyn FeatureIndex> = match config.index_backend {
+            IndexBackend::Linear => Box::new(LinearIndex::new(config.similarity)),
+            IndexBackend::Mih => Box::new(MihIndex::new(config.similarity)),
+        };
+        Server {
+            index,
+            orb: Orb::new(config.orb),
+            next_id: 0,
+            received_images: 0,
+            received_image_bytes: 0,
+            geotags: Vec::new(),
+            histograms: Vec::new(),
+        }
+    }
+
+    fn fresh_id(&mut self) -> ImageId {
+        let id = ImageId(self.next_id);
+        self.next_id += 1;
+        id
+    }
+
+    /// Pre-loads images into the index (extracting ORB features
+    /// server-side), used to stage a target cross-batch redundancy ratio.
+    pub fn preload(&mut self, images: &[RgbImage]) {
+        for img in images {
+            let features = self.orb.extract(&img.to_gray());
+            let id = self.fresh_id();
+            self.index.insert(id, features);
+        }
+    }
+
+    /// Pre-loads images using an explicit extractor. Schemes whose clients
+    /// speak a different feature language (SmartEye's PCA-SIFT) stage their
+    /// redundancy with this.
+    pub fn preload_with(&mut self, extractor: &dyn FeatureExtractor, images: &[RgbImage]) {
+        for img in images {
+            let features = extractor.extract(&img.to_gray());
+            let id = self.fresh_id();
+            self.index.insert(id, features);
+        }
+    }
+
+    /// Answers a CBRD query: the highest similarity any indexed image has
+    /// to the queried features.
+    pub fn query_max_similarity(&self, features: &ImageFeatures) -> Option<QueryHit> {
+        self.index.max_similarity(features)
+    }
+
+    /// Top-k query (precision experiments).
+    pub fn query_top_k(&self, features: &ImageFeatures, k: usize) -> Vec<QueryHit> {
+        self.index.top_k(features, k)
+    }
+
+    /// Ingests an uploaded image: records the payload size and indexes the
+    /// supplied features (the ones the client already uploaded for CBRD)
+    /// so later batches can deduplicate against it. Returns the new id.
+    pub fn ingest_image(
+        &mut self,
+        features: ImageFeatures,
+        payload_bytes: usize,
+        geotag: Option<(f64, f64)>,
+    ) -> ImageId {
+        let id = self.fresh_id();
+        self.index.insert(id, features);
+        self.received_images += 1;
+        self.received_image_bytes += payload_bytes;
+        if let Some(g) = geotag {
+            self.geotags.push((id, g));
+        }
+        id
+    }
+
+    /// Number of images stored in the index (preloads + uploads).
+    pub fn indexed_images(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Number of images actually uploaded (excludes preloads).
+    pub fn received_images(&self) -> usize {
+        self.received_images
+    }
+
+    /// Total uploaded image payload bytes.
+    pub fn received_image_bytes(&self) -> usize {
+        self.received_image_bytes
+    }
+
+    /// Geotags of received images (coverage experiment).
+    pub fn geotags(&self) -> &[(ImageId, (f64, f64))] {
+        &self.geotags
+    }
+
+    /// Number of unique geotagged locations among received images — the
+    /// paper's coverage metric (Fig. 12).
+    pub fn unique_locations(&self) -> usize {
+        let mut coords: Vec<(u64, u64)> = self
+            .geotags
+            .iter()
+            .map(|&(_, (lon, lat))| (lon.to_bits(), lat.to_bits()))
+            .collect();
+        coords.sort_unstable();
+        coords.dedup();
+        coords.len()
+    }
+
+    /// Stored feature bytes (Table I space overhead).
+    pub fn feature_bytes(&self) -> usize {
+        self.index.feature_bytes()
+    }
+
+    /// Pre-loads global features (color histograms) for the PhotoNet-like
+    /// scheme's staging.
+    pub fn preload_histograms(&mut self, images: &[RgbImage]) {
+        for img in images {
+            let h = ColorHistogram::from_image(img);
+            let id = self.fresh_id();
+            self.histograms.push((id, h));
+        }
+    }
+
+    /// Maximum histogram-intersection similarity of `query` against every
+    /// stored histogram, or `None` when none are stored.
+    pub fn query_max_histogram(&self, query: &ColorHistogram) -> Option<(ImageId, f64)> {
+        self.histograms
+            .iter()
+            .map(|(id, h)| (*id, query.intersection(h)))
+            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("similarities are finite"))
+    }
+
+    /// Ingests an image deduplicated by global features: stores its
+    /// histogram and payload accounting. Returns the new id.
+    pub fn ingest_image_with_histogram(
+        &mut self,
+        histogram: ColorHistogram,
+        payload_bytes: usize,
+        geotag: Option<(f64, f64)>,
+    ) -> ImageId {
+        let id = self.fresh_id();
+        self.histograms.push((id, histogram));
+        self.received_images += 1;
+        self.received_image_bytes += payload_bytes;
+        if let Some(g) = geotag {
+            self.geotags.push((id, g));
+        }
+        id
+    }
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server")
+            .field("indexed_images", &self.index.len())
+            .field("received_images", &self.received_images)
+            .field("received_image_bytes", &self.received_image_bytes)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bees_datasets::{Scene, SceneConfig, ViewJitter};
+
+    fn config() -> BeesConfig {
+        BeesConfig::default()
+    }
+
+    fn small_scene(seed: u64) -> RgbImage {
+        Scene::new(seed, SceneConfig { width: 96, height: 72, n_shapes: 10, texture_amp: 8.0 })
+            .render(&ViewJitter::identity())
+    }
+
+    #[test]
+    fn preload_populates_index() {
+        let mut s = Server::new(&config());
+        assert_eq!(s.indexed_images(), 0);
+        s.preload(&[small_scene(1), small_scene(2)]);
+        assert_eq!(s.indexed_images(), 2);
+        assert_eq!(s.received_images(), 0);
+        assert!(s.feature_bytes() > 0);
+    }
+
+    #[test]
+    fn query_finds_preloaded_similars() {
+        let cfg = config();
+        let mut s = Server::new(&cfg);
+        let scene = Scene::new(5, SceneConfig { width: 96, height: 72, n_shapes: 10, texture_amp: 8.0 });
+        s.preload(&[scene.render(&ViewJitter::identity())]);
+        let orb = Orb::new(cfg.orb);
+        let other_view = scene.render(&ViewJitter {
+            dx: 2.0,
+            brightness: 5,
+            ..ViewJitter::identity()
+        });
+        let f = orb.extract(&other_view.to_gray());
+        let hit = s.query_max_similarity(&f).expect("similar image indexed");
+        assert!(hit.similarity > 0.1, "similarity {}", hit.similarity);
+    }
+
+    #[test]
+    fn ingest_tracks_bytes_and_geotags() {
+        let mut s = Server::new(&config());
+        let id1 = s.ingest_image(ImageFeatures::empty_binary(), 1000, Some((2.32, 48.86)));
+        let id2 = s.ingest_image(ImageFeatures::empty_binary(), 500, Some((2.32, 48.86)));
+        let id3 = s.ingest_image(ImageFeatures::empty_binary(), 200, Some((2.33, 48.87)));
+        assert_ne!(id1, id2);
+        assert_ne!(id2, id3);
+        assert_eq!(s.received_images(), 3);
+        assert_eq!(s.received_image_bytes(), 1700);
+        assert_eq!(s.unique_locations(), 2);
+    }
+
+    #[test]
+    fn mih_backend_works_too() {
+        let cfg = BeesConfig { index_backend: IndexBackend::Mih, ..config() };
+        let mut s = Server::new(&cfg);
+        s.preload(&[small_scene(3)]);
+        assert_eq!(s.indexed_images(), 1);
+    }
+}

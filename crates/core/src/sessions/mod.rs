@@ -1,0 +1,8 @@
+//! Long-running experiment drivers: battery lifetime (Fig. 9) and
+//! multi-phone coverage (Fig. 12).
+
+mod coverage;
+mod lifetime;
+
+pub use coverage::{run_coverage, CoverageConfig, CoverageResult};
+pub use lifetime::{run_lifetime, LifetimeConfig, LifetimeResult, LifetimeSample};

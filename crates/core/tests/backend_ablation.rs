@@ -1,0 +1,67 @@
+//! Ablation: the server's index backend (exact linear scan vs multi-index
+//! hashing). MIH scores exactly the candidates its word probes surface, so
+//! it can never deduplicate an image the linear scan would keep — but it
+//! may keep an image the linear scan would deduplicate when the descriptor
+//! noise exceeds its probe radius. The system stays correct either way
+//! (dedup is an optimization); these tests pin down that containment.
+
+use bees_core::schemes::{Bees, Mrc, UploadScheme};
+use bees_core::{BatchReport, BeesConfig, Client, IndexBackend, Server};
+use bees_datasets::{disaster_batch, SceneConfig};
+use bees_net::BandwidthTrace;
+
+fn config(backend: IndexBackend) -> BeesConfig {
+    let mut c = BeesConfig::default();
+    c.trace = BandwidthTrace::constant(256_000.0).unwrap();
+    c.index_backend = backend;
+    c
+}
+
+fn small() -> SceneConfig {
+    SceneConfig { width: 128, height: 96, n_shapes: 12, texture_amp: 8.0 }
+}
+
+fn run(scheme_for: impl Fn(&BeesConfig) -> Box<dyn UploadScheme>, seed: u64) -> [BatchReport; 2] {
+    let data = disaster_batch(seed, 10, 2, 0.5, small());
+    let mut out = Vec::new();
+    for backend in [IndexBackend::Linear, IndexBackend::Mih] {
+        let cfg = config(backend);
+        let scheme = scheme_for(&cfg);
+        let mut server = Server::new(&cfg);
+        scheme.preload_server(&mut server, &data.server_preload);
+        let mut client = Client::new(0, &cfg);
+        out.push(scheme.upload_batch(&mut client, &mut server, &data.batch).unwrap());
+    }
+    out.try_into().expect("two backends")
+}
+
+#[test]
+fn mih_dedup_decisions_are_a_subset_of_linear_for_bees() {
+    let [linear, mih] = run(|cfg| Box::new(Bees::adaptive(cfg)), 17);
+    assert!(mih.skipped_cross_batch <= linear.skipped_cross_batch);
+    assert!(mih.uploaded_images + mih.skipped_in_batch >= linear.uploaded_images);
+    // Identical inputs otherwise: feature payloads match exactly.
+    assert_eq!(mih.feature_bytes, linear.feature_bytes);
+    assert_eq!(mih.batch_size, linear.batch_size);
+}
+
+#[test]
+fn mih_dedup_decisions_are_a_subset_of_linear_for_mrc() {
+    let [linear, mih] = run(|cfg| Box::new(Mrc::new(cfg)), 18);
+    assert!(mih.skipped_cross_batch <= linear.skipped_cross_batch);
+    assert_eq!(mih.feature_bytes, linear.feature_bytes);
+}
+
+#[test]
+fn mih_recall_is_high_on_this_workload() {
+    // With radius-1 multi-probe, MIH should catch the large majority of
+    // the staged redundancy the linear scan catches.
+    let [linear, mih] = run(|cfg| Box::new(Mrc::new(cfg)), 19);
+    assert!(linear.skipped_cross_batch > 0, "workload must contain redundancy");
+    assert!(
+        mih.skipped_cross_batch * 2 >= linear.skipped_cross_batch,
+        "MIH recall collapsed: {} vs {}",
+        mih.skipped_cross_batch,
+        linear.skipped_cross_batch
+    );
+}

@@ -1,0 +1,82 @@
+//! Edge-case integration tests: degenerate batches must flow through every
+//! scheme without panicking or corrupting the accounting.
+
+use bees_core::schemes::{Bees, DirectUpload, Mrc, SmartEye, UploadScheme};
+use bees_core::{BeesConfig, Client, Server};
+use bees_datasets::{Scene, SceneConfig, ViewJitter};
+use bees_image::RgbImage;
+use bees_net::BandwidthTrace;
+
+fn config() -> BeesConfig {
+    let mut c = BeesConfig::default();
+    c.trace = BandwidthTrace::constant(256_000.0).unwrap();
+    c
+}
+
+fn schemes(cfg: &BeesConfig) -> Vec<Box<dyn UploadScheme>> {
+    vec![
+        Box::new(DirectUpload::new(&cfg)),
+        Box::new(SmartEye::new(cfg)),
+        Box::new(Mrc::new(cfg)),
+        Box::new(Bees::adaptive(cfg)),
+    ]
+}
+
+#[test]
+fn empty_batch_is_a_noop() {
+    let cfg = config();
+    for scheme in schemes(&cfg) {
+        let mut server = Server::new(&cfg);
+        let mut client = Client::new(0, &cfg);
+        let r = scheme.upload_batch(&mut client, &mut server, &[]).unwrap();
+        assert_eq!(r.batch_size, 0, "{}", r.scheme);
+        assert_eq!(r.uploaded_images, 0);
+        assert_eq!(r.avg_delay_per_image(), 0.0);
+        assert_eq!(server.received_images(), 0);
+    }
+}
+
+#[test]
+fn single_image_batch_uploads_exactly_one() {
+    let cfg = config();
+    let img = Scene::new(1, SceneConfig { width: 128, height: 96, n_shapes: 12, texture_amp: 8.0 })
+        .render(&ViewJitter::identity());
+    for scheme in schemes(&cfg) {
+        let mut server = Server::new(&cfg);
+        let mut client = Client::new(0, &cfg);
+        let r = scheme.upload_batch(&mut client, &mut server, &[img.clone()]).unwrap();
+        assert_eq!(r.uploaded_images, 1, "{}", r.scheme);
+        assert_eq!(r.skipped_in_batch, 0, "{}", r.scheme);
+    }
+}
+
+#[test]
+fn featureless_images_are_uploaded_not_deduplicated() {
+    // A flat image yields zero ORB features; similarity is defined as 0,
+    // so it can never be declared redundant — no information, no dedup.
+    let cfg = config();
+    let flat = RgbImage::new(128, 96).unwrap();
+    let batch = vec![flat.clone(), flat.clone()];
+    let scheme = Bees::adaptive(&cfg);
+    let mut server = Server::new(&cfg);
+    let mut client = Client::new(0, &cfg);
+    // Even preloading an identical flat image doesn't create similarity.
+    scheme.preload_server(&mut server, &[flat]);
+    let r = scheme.upload_batch(&mut client, &mut server, &batch).unwrap();
+    assert_eq!(r.skipped_cross_batch, 0);
+    assert_eq!(r.uploaded_images + r.skipped_in_batch, 2);
+}
+
+#[test]
+fn batch_of_identical_images_collapses_to_one_for_bees() {
+    let cfg = config();
+    let img = Scene::new(9, SceneConfig { width: 128, height: 96, n_shapes: 12, texture_amp: 8.0 })
+        .render(&ViewJitter::identity());
+    let batch = vec![img.clone(), img.clone(), img.clone(), img];
+    let scheme = Bees::adaptive(&cfg);
+    let mut server = Server::new(&cfg);
+    let mut client = Client::new(0, &cfg);
+    let r = scheme.upload_batch(&mut client, &mut server, &batch).unwrap();
+    assert_eq!(r.uploaded_images, 1, "identical images must collapse");
+    assert_eq!(r.skipped_in_batch, 3);
+}

@@ -1,0 +1,74 @@
+//! Cross-scheme integration: the PhotoNet-like global-feature baseline
+//! against BEES — cheap extraction, weaker dedup, the trade-off the paper
+//! resolves in favor of local features.
+
+use bees_core::schemes::{Bees, PhotoNetLike, UploadScheme};
+use bees_core::{BeesConfig, Client, Server};
+use bees_datasets::{disaster_batch, SceneConfig};
+use bees_energy::EnergyCategory;
+use bees_net::BandwidthTrace;
+
+fn config() -> BeesConfig {
+    let mut c = BeesConfig::default();
+    c.trace = BandwidthTrace::constant(256_000.0).unwrap();
+    c
+}
+
+#[test]
+fn photonet_extraction_is_cheapest_but_bees_dedups_in_batch() {
+    let cfg = config();
+    // Heavy in-batch duplication, no server-side redundancy: PhotoNet's
+    // cross-batch-only dedup cannot touch it.
+    let data = disaster_batch(71, 12, 4, 0.0, SceneConfig::default());
+
+    let run = |scheme: &dyn UploadScheme| {
+        let mut server = Server::new(&cfg);
+        scheme.preload_server(&mut server, &data.server_preload);
+        let mut client = Client::new(0, &cfg);
+        scheme.upload_batch(&mut client, &mut server, &data.batch).unwrap()
+    };
+    let pn = run(&PhotoNetLike::new(&cfg));
+    let bees = run(&Bees::adaptive(&cfg));
+
+    // PhotoNet extraction is far cheaper than ORB...
+    assert!(
+        pn.energy.get(EnergyCategory::FeatureExtraction)
+            < bees.energy.get(EnergyCategory::FeatureExtraction),
+        "histograms should cost less than ORB"
+    );
+    // ...but it misses every in-batch duplicate while BEES' SSMM catches
+    // them, so BEES uploads fewer images.
+    assert_eq!(pn.skipped_in_batch, 0);
+    assert!(bees.skipped_in_batch >= 3, "SSMM caught only {}", bees.skipped_in_batch);
+    assert!(bees.uploaded_images < pn.uploaded_images);
+    // Net effect: BEES still wins total energy despite paying for ORB.
+    assert!(
+        bees.active_energy() < pn.active_energy(),
+        "BEES {} vs PhotoNet {}",
+        bees.active_energy(),
+        pn.active_energy()
+    );
+}
+
+#[test]
+fn photonet_histogram_dedup_misfires_where_orb_does_not() {
+    // Two different scenes posterized onto similar global tones: the
+    // histogram dedup is the only scheme at risk of dropping a genuinely
+    // new image. We verify the conservative threshold prevents that here,
+    // and that ORB-based BEES never relies on color at all.
+    let cfg = config();
+    let data = disaster_batch(72, 8, 0, 0.5, SceneConfig::default());
+    let pn = PhotoNetLike::new(&cfg);
+    let mut server = Server::new(&cfg);
+    pn.preload_server(&mut server, &data.server_preload);
+    let mut client = Client::new(0, &cfg);
+    let r = pn.upload_batch(&mut client, &mut server, &data.batch).unwrap();
+    // Everything it skipped must have been genuinely staged as redundant
+    // (no false-positive drops of the unique tail images).
+    assert!(
+        r.skipped_cross_batch <= data.cross_batch_redundant.len(),
+        "histogram dedup dropped {} images but only {} were staged redundant",
+        r.skipped_cross_batch,
+        data.cross_batch_redundant.len()
+    );
+}

@@ -1,0 +1,75 @@
+//! Session-level sanity properties: resources in, work out.
+
+use bees_core::schemes::{Bees, DirectUpload, UploadScheme};
+use bees_core::sessions::{run_lifetime, LifetimeConfig};
+use bees_core::BeesConfig;
+use bees_datasets::SceneConfig;
+use bees_energy::Battery;
+use bees_net::BandwidthTrace;
+
+fn config(battery_j: f64) -> BeesConfig {
+    let mut c = BeesConfig::default();
+    c.trace = BandwidthTrace::constant(256_000.0).unwrap();
+    c.battery = Battery::from_joules(battery_j);
+    c
+}
+
+fn lt() -> LifetimeConfig {
+    LifetimeConfig {
+        group_size: 3,
+        n_groups: 30,
+        interval_s: 60.0,
+        cross_ratio: 0.3,
+        scene: SceneConfig { width: 96, height: 72, n_shapes: 8, texture_amp: 8.0 },
+        seed: 11,
+    }
+}
+
+#[test]
+fn bigger_battery_never_shortens_the_session() {
+    let mut last_groups = 0usize;
+    let mut last_life = 0.0f64;
+    for joules in [150.0, 400.0, 900.0] {
+        let cfg = config(joules);
+        let res = run_lifetime(&DirectUpload::new(&cfg), &cfg, &lt()).unwrap();
+        assert!(
+            res.groups_uploaded >= last_groups,
+            "{joules} J uploaded {} < {last_groups}",
+            res.groups_uploaded
+        );
+        assert!(res.lifetime_s >= last_life);
+        last_groups = res.groups_uploaded;
+        last_life = res.lifetime_s;
+    }
+}
+
+#[test]
+fn lifetime_discharge_is_reported_consistently() {
+    let cfg = config(500.0);
+    for scheme in [&DirectUpload::new(&cfg) as &dyn UploadScheme, &Bees::adaptive(&cfg)] {
+        let res = run_lifetime(scheme, &cfg, &lt()).unwrap();
+        // Samples start full and never rise.
+        assert!((res.samples[0].ebat - 1.0).abs() < 1e-9);
+        for w in res.samples.windows(2) {
+            assert!(w[1].ebat <= w[0].ebat + 1e-9, "{}", res.scheme);
+            assert!(w[1].time_s > w[0].time_s, "{}", res.scheme);
+        }
+        // The final time stamp never exceeds the reported lifetime.
+        assert!(res.samples.last().unwrap().time_s <= res.lifetime_s + 1e-9);
+    }
+}
+
+#[test]
+fn bees_always_uploads_at_least_as_many_groups_as_direct() {
+    // Same battery, same workload: BEES' per-group cost is lower, so it can
+    // never finish fewer groups.
+    let cfg = config(350.0);
+    let direct = run_lifetime(&DirectUpload::new(&cfg), &cfg, &lt()).unwrap();
+    let bees = run_lifetime(&Bees::adaptive(&cfg), &cfg, &lt()).unwrap();
+    assert!(
+        bees.groups_uploaded >= direct.groups_uploaded,
+        "BEES {} vs Direct {}",
+        bees.groups_uploaded,
+        direct.groups_uploaded
+    );
+}

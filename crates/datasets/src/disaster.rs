@@ -1,0 +1,192 @@
+//! Disaster-like upload batches with controlled redundancy.
+//!
+//! The Fig. 7/8/10/11 experiments upload a 100-image batch while varying
+//! the **cross-batch redundancy ratio** (fraction of batch images that
+//! already have similar images in the server) and keeping **10 in-batch
+//! similar images** that have no server-side counterpart. This module
+//! builds exactly that workload.
+
+use crate::scene::{Scene, SceneConfig, ViewJitter};
+use bees_image::RgbImage;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// A synthetic upload batch with known redundancy structure.
+#[derive(Debug, Clone)]
+pub struct DisasterBatch {
+    /// The images the client will upload, in upload order.
+    pub batch: Vec<RgbImage>,
+    /// Images to pre-insert into the server index: one similar view per
+    /// cross-batch-redundant batch image.
+    pub server_preload: Vec<RgbImage>,
+    /// Indices (into `batch`) of images whose scene also appears in
+    /// `server_preload` — the ground-truth cross-batch redundant set.
+    pub cross_batch_redundant: Vec<usize>,
+    /// Groups of batch indices that are in-batch similar (same scene,
+    /// absent from the server).
+    pub in_batch_groups: Vec<Vec<usize>>,
+}
+
+impl DisasterBatch {
+    /// The realized cross-batch redundancy ratio.
+    pub fn cross_ratio(&self) -> f64 {
+        self.cross_batch_redundant.len() as f64 / self.batch.len() as f64
+    }
+
+    /// Number of in-batch redundant images (batch size minus the number of
+    /// distinct scenes).
+    pub fn in_batch_redundant_count(&self) -> usize {
+        self.in_batch_groups.iter().map(|g| g.len() - 1).sum()
+    }
+}
+
+/// Builds a batch of `n` images where:
+///
+/// * `round(cross_ratio · n)` images have a similar view pre-loaded on the
+///   server (the paper's cross-batch redundancy),
+/// * `n_in_batch_extra` images are *additional views* of scenes already in
+///   the batch but absent from the server (the paper's in-batch similars —
+///   the batch contains `n - n_in_batch_extra` distinct scenes).
+///
+/// # Panics
+///
+/// Panics if the counts cannot fit — each in-batch extra needs a distinct
+/// base scene outside the cross-redundant prefix, so
+/// `2·n_in_batch_extra + round(cross_ratio·n)` must not exceed `n` — or if
+/// `n == 0` or `cross_ratio` is outside `[0, 1]`.
+///
+/// # Examples
+///
+/// ```
+/// use bees_datasets::{disaster_batch, SceneConfig};
+///
+/// let cfg = SceneConfig { width: 96, height: 72, n_shapes: 10, texture_amp: 8.0 };
+/// let b = disaster_batch(7, 20, 2, 0.25, cfg);
+/// assert_eq!(b.batch.len(), 20);
+/// assert_eq!(b.server_preload.len(), 5);
+/// assert_eq!(b.in_batch_redundant_count(), 2);
+/// ```
+pub fn disaster_batch(
+    seed: u64,
+    n: usize,
+    n_in_batch_extra: usize,
+    cross_ratio: f64,
+    config: SceneConfig,
+) -> DisasterBatch {
+    assert!(n > 0, "batch must contain at least one image");
+    assert!((0.0..=1.0).contains(&cross_ratio), "cross_ratio must be in [0, 1]");
+    let n_cross = (cross_ratio * n as f64).round() as usize;
+    assert!(
+        n_cross + 2 * n_in_batch_extra <= n,
+        "cannot fit {n_cross} cross-redundant plus {n_in_batch_extra} in-batch extras in {n} \
+         (each extra needs its own base scene outside the cross-redundant prefix)"
+    );
+    let n_unique = n - n_in_batch_extra;
+
+    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xD15A_57E2);
+    let scenes: Vec<Scene> = (0..n_unique)
+        .map(|i| {
+            let s = seed.wrapping_mul(7_368_787).wrapping_add(i as u64);
+            Scene::new(s, config)
+        })
+        .collect();
+
+    let mut batch: Vec<RgbImage> = Vec::with_capacity(n);
+    // One canonical view per distinct scene.
+    for scene in &scenes {
+        batch.push(scene.render(&ViewJitter::identity()));
+    }
+
+    // Cross-batch redundancy: server holds a jittered view of the FIRST
+    // n_cross scenes (and those scenes are never duplicated in-batch, so
+    // the two redundancy kinds do not overlap).
+    let mut server_preload = Vec::with_capacity(n_cross);
+    for scene in scenes.iter().take(n_cross) {
+        server_preload.push(scene.render(&ViewJitter::sample(&mut rng)));
+    }
+    let cross_batch_redundant: Vec<usize> = (0..n_cross).collect();
+
+    // In-batch similars: extra views of the LAST scenes (outside the
+    // cross-redundant prefix).
+    let mut in_batch_groups = Vec::with_capacity(n_in_batch_extra);
+    for k in 0..n_in_batch_extra {
+        let base = n_unique - 1 - k; // distinct scenes from the tail
+        debug_assert!(base >= n_cross, "guaranteed by the capacity assert above");
+        let extra = scenes[base].render(&ViewJitter::sample(&mut rng));
+        in_batch_groups.push(vec![base, batch.len()]);
+        batch.push(extra);
+    }
+
+    DisasterBatch { batch, server_preload, cross_batch_redundant, in_batch_groups }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bees_features::orb::Orb;
+    use bees_features::similarity::{jaccard_similarity, SimilarityConfig};
+    use bees_features::FeatureExtractor;
+
+    fn small() -> SceneConfig {
+        SceneConfig { width: 96, height: 72, n_shapes: 10, texture_amp: 8.0 }
+    }
+
+    #[test]
+    fn counts_match_request() {
+        let b = disaster_batch(1, 40, 4, 0.5, small());
+        assert_eq!(b.batch.len(), 40);
+        assert_eq!(b.server_preload.len(), 20);
+        assert_eq!(b.cross_batch_redundant.len(), 20);
+        assert_eq!(b.in_batch_redundant_count(), 4);
+        assert!((b.cross_ratio() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_redundancy_batch() {
+        let b = disaster_batch(2, 10, 0, 0.0, small());
+        assert!(b.server_preload.is_empty());
+        assert!(b.in_batch_groups.is_empty());
+        assert_eq!(b.batch.len(), 10);
+    }
+
+    #[test]
+    fn batches_are_deterministic() {
+        let a = disaster_batch(3, 12, 2, 0.25, small());
+        let b = disaster_batch(3, 12, 2, 0.25, small());
+        assert_eq!(a.batch, b.batch);
+        assert_eq!(a.server_preload, b.server_preload);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot fit")]
+    fn overfull_batch_panics() {
+        let _ = disaster_batch(1, 10, 6, 0.5, small());
+    }
+
+    #[test]
+    fn preload_is_similar_to_its_batch_image() {
+        let b = disaster_batch(5, 8, 0, 0.25, small());
+        let orb = Orb::default();
+        let cfg = SimilarityConfig::default();
+        for (k, &idx) in b.cross_batch_redundant.iter().enumerate() {
+            let fb = orb.extract(&b.batch[idx].to_gray());
+            let fs = orb.extract(&b.server_preload[k].to_gray());
+            let sim = jaccard_similarity(&fb, &fs, &cfg);
+            assert!(sim > 0.05, "preload {k} not similar enough: {sim}");
+        }
+    }
+
+    #[test]
+    fn in_batch_groups_reference_same_scene() {
+        let b = disaster_batch(6, 12, 2, 0.25, small());
+        let orb = Orb::default();
+        let cfg = SimilarityConfig::default();
+        for g in &b.in_batch_groups {
+            assert_eq!(g.len(), 2);
+            let f0 = orb.extract(&b.batch[g[0]].to_gray());
+            let f1 = orb.extract(&b.batch[g[1]].to_gray());
+            let sim = jaccard_similarity(&f0, &f1, &cfg);
+            assert!(sim > 0.05, "in-batch pair {g:?} not similar: {sim}");
+        }
+    }
+}

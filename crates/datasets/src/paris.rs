@@ -1,0 +1,264 @@
+//! The Paris-like geotagged corpus.
+//!
+//! The real Paris dataset is 501,356 Flickr/Panoramio photos inside a
+//! geographic bounding box, with a heavily skewed images-per-location
+//! distribution (the paper's densest location has 5,399 images). This
+//! generator reproduces the structure at configurable scale: `n_locations`
+//! points inside the paper's bounding box, a Zipf images-per-location law,
+//! and per-location scenes so that photos *of the same location are
+//! similar* — exactly why redundancy elimination helps coverage (Fig. 12).
+//!
+//! Images are rendered lazily by index; a corpus of tens of thousands of
+//! images costs nothing until rendered.
+
+use crate::scene::{Scene, SceneConfig, ViewJitter};
+use bees_image::RgbImage;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// Configuration for [`ParisLike`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ParisConfig {
+    /// Bounding box `(lon_min, lon_max, lat_min, lat_max)`; the default is
+    /// the paper's test region (2.31–2.34° E, 48.855–48.872° N).
+    pub bbox: (f64, f64, f64, f64),
+    /// Number of unique photo locations.
+    pub n_locations: usize,
+    /// Total number of images.
+    pub n_images: usize,
+    /// Zipf exponent for the images-per-location law (1.0 ≈ classic Zipf).
+    pub zipf_s: f64,
+    /// Scene parameters for the rendered images.
+    pub scene: SceneConfig,
+}
+
+impl Default for ParisConfig {
+    fn default() -> Self {
+        ParisConfig {
+            bbox: (2.31, 2.34, 48.855, 48.872),
+            n_locations: 400,
+            n_images: 1200,
+            zipf_s: 1.0,
+            scene: SceneConfig::default(),
+        }
+    }
+}
+
+/// One geotagged image reference.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GeoImage {
+    /// Index within the corpus.
+    pub index: usize,
+    /// Longitude in degrees east.
+    pub lon: f64,
+    /// Latitude in degrees north.
+    pub lat: f64,
+    /// The location this photo was taken at.
+    pub location_id: usize,
+    /// The rendered image.
+    pub image: RgbImage,
+}
+
+/// A lazily rendered geotagged corpus.
+///
+/// # Examples
+///
+/// ```
+/// use bees_datasets::{ParisConfig, ParisLike, SceneConfig};
+///
+/// let corpus = ParisLike::generate(1, ParisConfig {
+///     n_locations: 10,
+///     n_images: 30,
+///     scene: SceneConfig { width: 96, height: 72, n_shapes: 8, texture_amp: 8.0 },
+///     ..ParisConfig::default()
+/// });
+/// assert_eq!(corpus.len(), 30);
+/// let img = corpus.image(0);
+/// assert!(img.lon >= 2.31 && img.lon <= 2.34);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ParisLike {
+    seed: u64,
+    config: ParisConfig,
+    /// `(lon, lat)` per location.
+    locations: Vec<(f64, f64)>,
+    /// Location id per image index.
+    assignment: Vec<usize>,
+}
+
+impl ParisLike {
+    /// Generates the corpus skeleton (locations + assignment, no pixels).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_locations == 0`, `n_images == 0`, or the bounding box
+    /// is inverted.
+    pub fn generate(seed: u64, config: ParisConfig) -> Self {
+        assert!(config.n_locations > 0, "need at least one location");
+        assert!(config.n_images > 0, "need at least one image");
+        let (lon0, lon1, lat0, lat1) = config.bbox;
+        assert!(lon0 < lon1 && lat0 < lat1, "bounding box is inverted");
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x9A15_1234);
+        let locations: Vec<(f64, f64)> = (0..config.n_locations)
+            .map(|_| (rng.gen_range(lon0..lon1), rng.gen_range(lat0..lat1)))
+            .collect();
+        // Zipf weights over locations (location 0 is the densest).
+        let weights: Vec<f64> =
+            (0..config.n_locations).map(|r| 1.0 / ((r + 1) as f64).powf(config.zipf_s)).collect();
+        let total: f64 = weights.iter().sum();
+        // Cumulative distribution for weighted sampling.
+        let mut cdf = Vec::with_capacity(weights.len());
+        let mut acc = 0.0;
+        for w in &weights {
+            acc += w / total;
+            cdf.push(acc);
+        }
+        let assignment: Vec<usize> = (0..config.n_images)
+            .map(|_| {
+                let u: f64 = rng.gen();
+                cdf.partition_point(|&c| c < u).min(config.n_locations - 1)
+            })
+            .collect();
+        ParisLike { seed, config, locations, assignment }
+    }
+
+    /// Number of images in the corpus.
+    pub fn len(&self) -> usize {
+        self.assignment.len()
+    }
+
+    /// Whether the corpus is empty (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.assignment.is_empty()
+    }
+
+    /// The configuration used to generate the corpus.
+    pub fn config(&self) -> &ParisConfig {
+        &self.config
+    }
+
+    /// Number of distinct locations that have at least one image.
+    pub fn occupied_locations(&self) -> usize {
+        let mut seen = vec![false; self.config.n_locations];
+        for &l in &self.assignment {
+            seen[l] = true;
+        }
+        seen.iter().filter(|&&s| s).count()
+    }
+
+    /// Location id of image `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    pub fn location_of(&self, i: usize) -> usize {
+        self.assignment[i]
+    }
+
+    /// Coordinates of a location.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `location_id >= n_locations`.
+    pub fn location_coords(&self, location_id: usize) -> (f64, f64) {
+        self.locations[location_id]
+    }
+
+    /// Renders image `i`. Images at the same location are jittered views of
+    /// that location's scene.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    pub fn image(&self, i: usize) -> GeoImage {
+        let location_id = self.assignment[i];
+        let (lon, lat) = self.locations[location_id];
+        let scene_seed = self.seed.wrapping_mul(86_028_121).wrapping_add(location_id as u64);
+        let scene = Scene::new(scene_seed, self.config.scene);
+        let mut rng =
+            ChaCha8Rng::seed_from_u64(self.seed.wrapping_mul(31).wrapping_add(i as u64));
+        // First image rendered for a location is not necessarily canonical;
+        // each photo is an independent jittered view.
+        let image = scene.render(&ViewJitter::sample(&mut rng));
+        GeoImage { index: i, lon, lat, location_id, image }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> ParisConfig {
+        ParisConfig {
+            n_locations: 20,
+            n_images: 100,
+            scene: SceneConfig { width: 96, height: 72, n_shapes: 8, texture_amp: 8.0 },
+            ..ParisConfig::default()
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = ParisLike::generate(4, small());
+        let b = ParisLike::generate(4, small());
+        assert_eq!(a.len(), b.len());
+        for i in [0usize, 17, 99] {
+            assert_eq!(a.location_of(i), b.location_of(i));
+            assert_eq!(a.image(i).image, b.image(i).image);
+        }
+    }
+
+    #[test]
+    fn zipf_skews_toward_low_ranks() {
+        let p = ParisLike::generate(1, small());
+        let mut counts = vec![0usize; 20];
+        for i in 0..p.len() {
+            counts[p.location_of(i)] += 1;
+        }
+        // Head locations dominate the tail under Zipf.
+        let head: usize = counts[..4].iter().sum();
+        let tail: usize = counts[16..].iter().sum();
+        assert!(head > 2 * tail, "head {head} vs tail {tail}: {counts:?}");
+    }
+
+    #[test]
+    fn coordinates_stay_in_bbox() {
+        let p = ParisLike::generate(2, small());
+        for i in (0..p.len()).step_by(13) {
+            let g = p.image(i);
+            assert!((2.31..=2.34).contains(&g.lon));
+            assert!((48.855..=48.872).contains(&g.lat));
+        }
+    }
+
+    #[test]
+    fn same_location_images_share_coordinates() {
+        let p = ParisLike::generate(3, small());
+        // Find two images at the same location.
+        let mut by_loc: std::collections::HashMap<usize, Vec<usize>> = Default::default();
+        for i in 0..p.len() {
+            by_loc.entry(p.location_of(i)).or_default().push(i);
+        }
+        let pair = by_loc.values().find(|v| v.len() >= 2).expect("zipf guarantees collisions");
+        let a = p.image(pair[0]);
+        let b = p.image(pair[1]);
+        assert_eq!((a.lon, a.lat), (b.lon, b.lat));
+        assert_ne!(a.image, b.image); // distinct views
+    }
+
+    #[test]
+    fn occupied_locations_counts_unique() {
+        let p = ParisLike::generate(5, small());
+        let occ = p.occupied_locations();
+        assert!(occ > 0 && occ <= 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "inverted")]
+    fn inverted_bbox_rejected() {
+        let mut cfg = small();
+        cfg.bbox = (2.34, 2.31, 48.855, 48.872);
+        let _ = ParisLike::generate(1, cfg);
+    }
+}

@@ -1,0 +1,98 @@
+//! Property-based tests of the synthetic datasets: determinism, structural
+//! guarantees, and bound-respecting generation for arbitrary seeds and
+//! (small) configurations.
+
+use bees_datasets::{
+    disaster_batch, kentucky_like, ParisConfig, ParisLike, Scene, SceneConfig, ViewJitter,
+};
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn arb_scene_config() -> impl Strategy<Value = SceneConfig> {
+    ((48u32..128), (48u32..96), (1usize..12), (0.0f32..15.0)).prop_map(
+        |(width, height, n_shapes, texture_amp)| SceneConfig {
+            width,
+            height,
+            n_shapes,
+            texture_amp,
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn scene_rendering_is_deterministic(seed in any::<u64>(), cfg in arb_scene_config()) {
+        let a = Scene::new(seed, cfg).render(&ViewJitter::identity());
+        let b = Scene::new(seed, cfg).render(&ViewJitter::identity());
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn jittered_views_differ_from_canonical(seed in any::<u64>(), cfg in arb_scene_config()) {
+        let scene = Scene::new(seed, cfg);
+        let canonical = scene.render(&ViewJitter::identity());
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 1);
+        let jittered = scene.render(&ViewJitter::sample(&mut rng));
+        prop_assert_eq!(canonical.dimensions(), jittered.dimensions());
+        prop_assert_ne!(canonical, jittered);
+    }
+
+    #[test]
+    fn kentucky_groups_have_stable_structure(seed in any::<u64>(), n in 1usize..4, cfg in arb_scene_config()) {
+        let groups = kentucky_like(seed, n, cfg);
+        prop_assert_eq!(groups.len(), n);
+        for g in &groups {
+            prop_assert_eq!(g.images.len(), 4);
+            for img in &g.images {
+                prop_assert_eq!(img.dimensions(), (cfg.width, cfg.height));
+            }
+        }
+    }
+
+    #[test]
+    fn disaster_batch_counts_always_add_up(
+        seed in any::<u64>(),
+        n in 2usize..12,
+        cross in 0.0f64..1.0,
+        cfg in arb_scene_config(),
+    ) {
+        let n_cross = (cross * n as f64).round() as usize;
+        let extras = (n / 4).min(n.saturating_sub(n_cross) / 2);
+        let b = disaster_batch(seed, n, extras, cross, cfg);
+        prop_assert_eq!(b.batch.len(), n);
+        prop_assert_eq!(b.server_preload.len(), n_cross);
+        prop_assert_eq!(b.in_batch_redundant_count(), extras);
+        // Ground-truth indices are valid and disjoint between kinds.
+        for &i in &b.cross_batch_redundant {
+            prop_assert!(i < n);
+            for g in &b.in_batch_groups {
+                prop_assert!(!g.contains(&i), "index {} in both redundancy kinds", i);
+            }
+        }
+    }
+
+    #[test]
+    fn paris_assignment_is_total_and_in_bounds(seed in any::<u64>(), n_loc in 1usize..10, n_img in 1usize..40) {
+        let cfg = ParisConfig {
+            n_locations: n_loc,
+            n_images: n_img,
+            scene: SceneConfig { width: 48, height: 48, n_shapes: 3, texture_amp: 5.0 },
+            ..ParisConfig::default()
+        };
+        let p = ParisLike::generate(seed, cfg);
+        prop_assert_eq!(p.len(), n_img);
+        for i in 0..p.len() {
+            prop_assert!(p.location_of(i) < n_loc);
+        }
+        prop_assert!(p.occupied_locations() <= n_loc.min(n_img));
+        let (lon0, lon1, lat0, lat1) = cfg.bbox;
+        for l in 0..n_loc {
+            let (lon, lat) = p.location_coords(l);
+            prop_assert!(lon >= lon0 && lon <= lon1);
+            prop_assert!(lat >= lat0 && lat <= lat1);
+        }
+    }
+}

@@ -1,0 +1,179 @@
+//! Per-category energy accounting.
+//!
+//! The paper's Fig. 8 breaks BEES' consumption into feature extraction,
+//! feature upload, and image upload; the ledger keeps those buckets (plus
+//! compression and idle) for every scheme.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Where a joule went.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EnergyCategory {
+    /// Computing image features.
+    FeatureExtraction,
+    /// Transmitting feature payloads to the server.
+    FeatureUpload,
+    /// Transmitting image payloads to the server.
+    ImageUpload,
+    /// Receiving server responses (query results, thumbnail feedback).
+    Download,
+    /// Bitmap/resolution resizing and DCT encoding.
+    Compression,
+    /// Baseline screen/system drain.
+    Idle,
+}
+
+impl EnergyCategory {
+    /// All categories, in reporting order.
+    pub const ALL: [EnergyCategory; 6] = [
+        EnergyCategory::FeatureExtraction,
+        EnergyCategory::FeatureUpload,
+        EnergyCategory::ImageUpload,
+        EnergyCategory::Download,
+        EnergyCategory::Compression,
+        EnergyCategory::Idle,
+    ];
+}
+
+impl fmt::Display for EnergyCategory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            EnergyCategory::FeatureExtraction => "feature-extraction",
+            EnergyCategory::FeatureUpload => "feature-upload",
+            EnergyCategory::ImageUpload => "image-upload",
+            EnergyCategory::Download => "download",
+            EnergyCategory::Compression => "compression",
+            EnergyCategory::Idle => "idle",
+        };
+        f.write_str(name)
+    }
+}
+
+/// Accumulates joules per [`EnergyCategory`].
+///
+/// # Examples
+///
+/// ```
+/// use bees_energy::{EnergyCategory, EnergyLedger};
+///
+/// let mut ledger = EnergyLedger::new();
+/// ledger.record(EnergyCategory::ImageUpload, 2.5);
+/// ledger.record(EnergyCategory::ImageUpload, 1.5);
+/// assert_eq!(ledger.get(EnergyCategory::ImageUpload), 4.0);
+/// assert_eq!(ledger.total(), 4.0);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct EnergyLedger {
+    entries: [(f64, u64); 6], // (joules, event count) indexed by category
+}
+
+fn index_of(cat: EnergyCategory) -> usize {
+    EnergyCategory::ALL.iter().position(|&c| c == cat).expect("category is in ALL")
+}
+
+impl EnergyLedger {
+    /// Creates an empty ledger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records `joules` against a category.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `joules` is negative or not finite.
+    pub fn record(&mut self, cat: EnergyCategory, joules: f64) {
+        assert!(joules.is_finite() && joules >= 0.0, "recorded energy must be non-negative");
+        let e = &mut self.entries[index_of(cat)];
+        e.0 += joules;
+        e.1 += 1;
+    }
+
+    /// Total joules recorded against a category.
+    pub fn get(&self, cat: EnergyCategory) -> f64 {
+        self.entries[index_of(cat)].0
+    }
+
+    /// Number of events recorded against a category.
+    pub fn count(&self, cat: EnergyCategory) -> u64 {
+        self.entries[index_of(cat)].1
+    }
+
+    /// Total joules across all categories.
+    pub fn total(&self) -> f64 {
+        self.entries.iter().map(|e| e.0).sum()
+    }
+
+    /// Total excluding the idle baseline — the "work energy" compared across
+    /// schemes in Fig. 7.
+    pub fn total_active(&self) -> f64 {
+        self.total() - self.get(EnergyCategory::Idle)
+    }
+
+    /// Merges another ledger into this one.
+    pub fn merge(&mut self, other: &EnergyLedger) {
+        for (mine, theirs) in self.entries.iter_mut().zip(&other.entries) {
+            mine.0 += theirs.0;
+            mine.1 += theirs.1;
+        }
+    }
+
+    /// Resets all buckets to zero.
+    pub fn clear(&mut self) {
+        *self = Self::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn categories_accumulate_independently() {
+        let mut l = EnergyLedger::new();
+        l.record(EnergyCategory::FeatureExtraction, 1.0);
+        l.record(EnergyCategory::ImageUpload, 2.0);
+        l.record(EnergyCategory::FeatureExtraction, 0.5);
+        assert_eq!(l.get(EnergyCategory::FeatureExtraction), 1.5);
+        assert_eq!(l.get(EnergyCategory::ImageUpload), 2.0);
+        assert_eq!(l.get(EnergyCategory::Download), 0.0);
+        assert_eq!(l.count(EnergyCategory::FeatureExtraction), 2);
+        assert_eq!(l.total(), 3.5);
+    }
+
+    #[test]
+    fn total_active_excludes_idle() {
+        let mut l = EnergyLedger::new();
+        l.record(EnergyCategory::Idle, 10.0);
+        l.record(EnergyCategory::ImageUpload, 5.0);
+        assert_eq!(l.total(), 15.0);
+        assert_eq!(l.total_active(), 5.0);
+    }
+
+    #[test]
+    fn merge_adds_buckets() {
+        let mut a = EnergyLedger::new();
+        a.record(EnergyCategory::FeatureUpload, 1.0);
+        let mut b = EnergyLedger::new();
+        b.record(EnergyCategory::FeatureUpload, 2.0);
+        b.record(EnergyCategory::Compression, 4.0);
+        a.merge(&b);
+        assert_eq!(a.get(EnergyCategory::FeatureUpload), 3.0);
+        assert_eq!(a.get(EnergyCategory::Compression), 4.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_energy_rejected() {
+        EnergyLedger::new().record(EnergyCategory::Idle, -1.0);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut l = EnergyLedger::new();
+        l.record(EnergyCategory::Idle, 1.0);
+        l.clear();
+        assert_eq!(l.total(), 0.0);
+    }
+}

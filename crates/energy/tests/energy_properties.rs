@@ -1,0 +1,85 @@
+//! Property-based tests of the energy substrate: battery conservation,
+//! adaptive-scheme monotonicity, and cost-model linearity.
+
+use bees_energy::{AdaptiveScheme, Battery, EnergyCategory, EnergyLedger, EnergyModel, LinearScheme};
+use bees_features::{ExtractionStats, ExtractorKind};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn battery_conserves_energy(capacity in 1.0f64..10_000.0, drains in proptest::collection::vec(0.0f64..1_000.0, 0..30)) {
+        let mut b = Battery::from_joules(capacity);
+        let mut total_drained = 0.0;
+        for d in drains {
+            total_drained += b.drain(d);
+        }
+        prop_assert!((b.remaining_joules() + total_drained - capacity).abs() < 1e-6);
+    }
+
+    #[test]
+    fn eac_and_eau_fall_with_battery_edr_rises(e1 in 0.0f64..1.0, e2 in 0.0f64..1.0) {
+        let (lo, hi) = if e1 <= e2 { (e1, e2) } else { (e2, e1) };
+        // More battery -> less compression.
+        prop_assert!(LinearScheme::eac().value(hi) <= LinearScheme::eac().value(lo) + 1e-12);
+        prop_assert!(LinearScheme::eau().value(hi) <= LinearScheme::eau().value(lo) + 1e-12);
+        // More battery -> higher (stricter) redundancy threshold.
+        let edr = LinearScheme::edr(0.12, 0.03);
+        prop_assert!(edr.value(hi) >= edr.value(lo) - 1e-12);
+    }
+
+    #[test]
+    fn extraction_energy_is_linear_in_work(pixels in 0usize..10_000_000, kps in 0usize..5_000) {
+        let m = EnergyModel::default();
+        for kind in [ExtractorKind::Orb, ExtractorKind::Sift, ExtractorKind::PcaSift] {
+            let one = ExtractionStats { pixels_processed: pixels, keypoints_described: kps, descriptor_bytes: 0 };
+            let double = ExtractionStats { pixels_processed: pixels * 2, keypoints_described: kps * 2, descriptor_bytes: 0 };
+            let e1 = m.extraction_energy(kind, &one);
+            let e2 = m.extraction_energy(kind, &double);
+            prop_assert!((e2 - 2.0 * e1).abs() < 1e-9 * (1.0 + e2), "{kind:?}");
+            prop_assert!(e1 >= 0.0);
+        }
+    }
+
+    #[test]
+    fn orb_is_cheapest_for_any_workload(pixels in 1usize..10_000_000, kps in 1usize..5_000) {
+        let m = EnergyModel::default();
+        let stats = ExtractionStats { pixels_processed: pixels, keypoints_described: kps, descriptor_bytes: 0 };
+        let orb = m.extraction_energy(ExtractorKind::Orb, &stats);
+        let sift = m.extraction_energy(ExtractorKind::Sift, &stats);
+        let pca = m.extraction_energy(ExtractorKind::PcaSift, &stats);
+        prop_assert!(orb < sift);
+        prop_assert!(sift <= pca);
+    }
+
+    #[test]
+    fn ledger_merge_is_additive(
+        a in proptest::collection::vec((0u8..6, 0.0f64..50.0), 0..20),
+        b in proptest::collection::vec((0u8..6, 0.0f64..50.0), 0..20),
+    ) {
+        let fill = |entries: &[(u8, f64)]| {
+            let mut l = EnergyLedger::new();
+            for &(c, j) in entries {
+                l.record(EnergyCategory::ALL[c as usize], j);
+            }
+            l
+        };
+        let la = fill(&a);
+        let lb = fill(&b);
+        let mut merged = la.clone();
+        merged.merge(&lb);
+        prop_assert!((merged.total() - la.total() - lb.total()).abs() < 1e-9);
+        for cat in EnergyCategory::ALL {
+            prop_assert!((merged.get(cat) - la.get(cat) - lb.get(cat)).abs() < 1e-9);
+            prop_assert_eq!(merged.count(cat), la.count(cat) + lb.count(cat));
+        }
+    }
+
+    #[test]
+    fn radio_energy_scales_with_time(t in 0.0f64..100_000.0) {
+        let m = EnergyModel::default();
+        prop_assert!((m.radio_tx_energy(t) - t * m.radio_tx_watts).abs() < 1e-9);
+        prop_assert!(m.radio_rx_energy(t) <= m.radio_tx_energy(t));
+    }
+}

@@ -1,0 +1,245 @@
+//! FAST-9 corner detection (Rosten & Drummond) with non-maximum suppression.
+//!
+//! ORB's detector is "oFAST": FAST-9 corners ranked by a Harris response and
+//! given an intensity-centroid orientation. This module implements the
+//! segment-test detector itself; ranking and orientation live in
+//! [`harris`](crate::harris) and [`orientation`](crate::orientation).
+
+use bees_image::GrayImage;
+
+/// Offsets of the 16-pixel Bresenham circle of radius 3 used by FAST,
+/// starting at 12 o'clock and proceeding clockwise.
+pub const CIRCLE: [(i32, i32); 16] = [
+    (0, -3),
+    (1, -3),
+    (2, -2),
+    (3, -1),
+    (3, 0),
+    (3, 1),
+    (2, 2),
+    (1, 3),
+    (0, 3),
+    (-1, 3),
+    (-2, 2),
+    (-3, 1),
+    (-3, 0),
+    (-3, -1),
+    (-2, -2),
+    (-1, -3),
+];
+
+/// Minimum contiguous arc length for the FAST-9 segment test.
+pub const ARC_LENGTH: usize = 9;
+
+/// A raw FAST corner: integer position plus segment-test score.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FastCorner {
+    /// Column of the corner.
+    pub x: u32,
+    /// Row of the corner.
+    pub y: u32,
+    /// Segment-test score (sum of absolute differences over the arc beyond
+    /// the threshold); larger is stronger.
+    pub score: f32,
+}
+
+/// Runs the FAST-9 segment test at a single pixel, returning the corner
+/// score, or `None` if the pixel is not a corner.
+///
+/// The pixel must be at least 3 pixels from every border.
+fn segment_test(img: &GrayImage, x: u32, y: u32, threshold: u8) -> Option<f32> {
+    let p = img.get(x, y) as i32;
+    let t = threshold as i32;
+    let mut values = [0i32; 16];
+    for (i, &(dx, dy)) in CIRCLE.iter().enumerate() {
+        values[i] = img.get((x as i32 + dx) as u32, (y as i32 + dy) as u32) as i32;
+    }
+    // Quick rejection: for an arc of 9 to exist, at least one of each
+    // opposite pair among pixels {0, 4, 8, 12} must be on the same side.
+    let quick = [values[0], values[4], values[8], values[12]];
+    let brighter_quick = quick.iter().filter(|&&v| v >= p + t).count();
+    let darker_quick = quick.iter().filter(|&&v| v <= p - t).count();
+    if brighter_quick < 2 && darker_quick < 2 {
+        return None;
+    }
+
+    // Full test: longest contiguous run (with wraparound) of pixels all
+    // brighter than p + t, or all darker than p - t.
+    let mut best_score = None::<f32>;
+    for (class_sign, pass) in [(1i32, brighter_quick >= 2), (-1i32, darker_quick >= 2)] {
+        if !pass {
+            continue;
+        }
+        let is_member = |v: i32| -> bool {
+            if class_sign > 0 {
+                v >= p + t
+            } else {
+                v <= p - t
+            }
+        };
+        let mut run = 0usize;
+        let mut max_run = 0usize;
+        let mut run_excess = 0i32;
+        let mut best_excess = 0i32;
+        // Walk the circle twice to handle wraparound runs.
+        for i in 0..32 {
+            let v = values[i % 16];
+            if is_member(v) {
+                run += 1;
+                run_excess += (v - p).abs() - t;
+                if run > max_run || (run == max_run && run_excess > best_excess) {
+                    max_run = run.min(16);
+                    best_excess = run_excess;
+                }
+            } else {
+                run = 0;
+                run_excess = 0;
+            }
+            if max_run >= 16 {
+                break;
+            }
+        }
+        if max_run >= ARC_LENGTH {
+            let score = best_excess as f32;
+            if best_score.map_or(true, |s| score > s) {
+                best_score = Some(score);
+            }
+        }
+    }
+    best_score
+}
+
+/// Detects FAST-9 corners with the given brightness threshold, applying 3×3
+/// non-maximum suppression on the score map.
+///
+/// Returns corners sorted by descending score.
+///
+/// # Examples
+///
+/// ```
+/// use bees_features::fast::detect;
+/// use bees_image::GrayImage;
+///
+/// // A bright square on dark background has corners at its 4 vertices.
+/// let img = GrayImage::from_fn(32, 32, |x, y| {
+///     if (8..24).contains(&x) && (8..24).contains(&y) { 220 } else { 20 }
+/// });
+/// let corners = detect(&img, 40);
+/// assert!(corners.len() >= 4);
+/// ```
+pub fn detect(img: &GrayImage, threshold: u8) -> Vec<FastCorner> {
+    let (w, h) = img.dimensions();
+    if w < 7 || h < 7 {
+        return Vec::new();
+    }
+    let mut scores = vec![0f32; (w * h) as usize];
+    let mut candidates = Vec::new();
+    for y in 3..h - 3 {
+        for x in 3..w - 3 {
+            if let Some(score) = segment_test(img, x, y, threshold) {
+                scores[(y * w + x) as usize] = score;
+                candidates.push((x, y, score));
+            }
+        }
+    }
+    // 3x3 non-maximum suppression.
+    let mut corners = Vec::new();
+    'cand: for (x, y, score) in candidates {
+        for dy in -1i32..=1 {
+            for dx in -1i32..=1 {
+                if dx == 0 && dy == 0 {
+                    continue;
+                }
+                let nx = (x as i32 + dx) as u32;
+                let ny = (y as i32 + dy) as u32;
+                let neighbor = scores[(ny * w + nx) as usize];
+                // Strict inequality on one side breaks ties deterministically
+                // toward the top-left pixel.
+                if neighbor > score || (neighbor == score && (dy < 0 || (dy == 0 && dx < 0))) {
+                    continue 'cand;
+                }
+            }
+        }
+        corners.push(FastCorner { x, y, score });
+    }
+    corners.sort_by(|a, b| b.score.partial_cmp(&a.score).expect("scores are finite"));
+    corners
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn square_image() -> GrayImage {
+        GrayImage::from_fn(40, 40, |x, y| {
+            if (12..28).contains(&x) && (12..28).contains(&y) {
+                230
+            } else {
+                25
+            }
+        })
+    }
+
+    #[test]
+    fn flat_image_has_no_corners() {
+        let img = GrayImage::from_fn(32, 32, |_, _| 128);
+        assert!(detect(&img, 20).is_empty());
+    }
+
+    #[test]
+    fn tiny_image_is_handled() {
+        let img = GrayImage::from_fn(5, 5, |x, y| ((x * y) % 256) as u8);
+        assert!(detect(&img, 20).is_empty());
+    }
+
+    #[test]
+    fn square_corners_are_found_near_vertices() {
+        let corners = detect(&square_image(), 40);
+        assert!(!corners.is_empty());
+        let vertices = [(12.0, 12.0), (27.0, 12.0), (12.0, 27.0), (27.0, 27.0)];
+        for (vx, vy) in vertices {
+            let close = corners
+                .iter()
+                .any(|c| ((c.x as f32 - vx).powi(2) + (c.y as f32 - vy).powi(2)).sqrt() < 3.0);
+            assert!(close, "no corner near ({vx}, {vy}): {corners:?}");
+        }
+    }
+
+    #[test]
+    fn straight_edges_are_not_corners() {
+        let corners = detect(&square_image(), 40);
+        // Midpoint of the top edge must not be detected.
+        assert!(!corners.iter().any(|c| c.x == 20 && c.y == 12));
+    }
+
+    #[test]
+    fn higher_threshold_finds_fewer_corners() {
+        let img = GrayImage::from_fn(64, 64, |x, y| {
+            (((x / 7) * 37 + (y / 7) * 61) % 200) as u8
+        });
+        let low = detect(&img, 10).len();
+        let high = detect(&img, 60).len();
+        assert!(high <= low, "high {high} vs low {low}");
+    }
+
+    #[test]
+    fn corners_sorted_by_score() {
+        let corners = detect(&square_image(), 30);
+        for pair in corners.windows(2) {
+            assert!(pair[0].score >= pair[1].score);
+        }
+    }
+
+    #[test]
+    fn dark_corners_detected_too() {
+        // Dark square on bright background.
+        let img = GrayImage::from_fn(40, 40, |x, y| {
+            if (12..28).contains(&x) && (12..28).contains(&y) {
+                20
+            } else {
+                230
+            }
+        });
+        assert!(!detect(&img, 40).is_empty());
+    }
+}

@@ -1,0 +1,465 @@
+//! Small dense linear algebra: just enough for PCA.
+//!
+//! PCA-SIFT needs an eigendecomposition of a gradient-patch covariance
+//! matrix. This module provides a row-major [`Matrix`] and the cyclic
+//! Jacobi eigenvalue algorithm for symmetric matrices — simple, robust, and
+//! dependency-free.
+
+/// A row-major dense matrix of `f64`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates a zero matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be non-zero");
+        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Creates the identity matrix of size `n`.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m.set(i, i, 1.0);
+        }
+        m
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Element at `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        assert!(r < self.rows && c < self.cols, "index ({r}, {c}) out of bounds");
+        self.data[r * self.cols + c]
+    }
+
+    /// Sets element `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f64) {
+        assert!(r < self.rows && c < self.cols, "index ({r}, {c}) out of bounds");
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// One row as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= rows`.
+    pub fn row(&self, r: usize) -> &[f64] {
+        assert!(r < self.rows);
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Matrix-vector product.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.len() != cols`.
+    pub fn mul_vec(&self, v: &[f64]) -> Vec<f64> {
+        assert_eq!(v.len(), self.cols, "vector length must equal column count");
+        (0..self.rows)
+            .map(|r| self.row(r).iter().zip(v).map(|(a, b)| a * b).sum())
+            .collect()
+    }
+
+    /// Whether the matrix is symmetric within `tol`.
+    pub fn is_symmetric(&self, tol: f64) -> bool {
+        if self.rows != self.cols {
+            return false;
+        }
+        for r in 0..self.rows {
+            for c in (r + 1)..self.cols {
+                if (self.get(r, c) - self.get(c, r)).abs() > tol {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+/// Result of a symmetric eigendecomposition: eigenvalues in descending
+/// order with matching eigenvectors (rows of `vectors`).
+#[derive(Debug, Clone)]
+pub struct EigenDecomposition {
+    /// Eigenvalues, largest first.
+    pub values: Vec<f64>,
+    /// `vectors.row(i)` is the unit eigenvector for `values[i]`.
+    pub vectors: Matrix,
+}
+
+/// Computes the eigendecomposition of a symmetric matrix with the cyclic
+/// Jacobi method.
+///
+/// # Panics
+///
+/// Panics if the matrix is not square/symmetric (tolerance `1e-8`).
+pub fn jacobi_eigen(a: &Matrix) -> EigenDecomposition {
+    assert!(a.is_symmetric(1e-8), "jacobi_eigen requires a symmetric matrix");
+    let n = a.rows();
+    let mut m = a.clone();
+    let mut v = Matrix::identity(n);
+
+    for _sweep in 0..100 {
+        // Off-diagonal Frobenius norm.
+        let mut off = 0.0;
+        for r in 0..n {
+            for c in (r + 1)..n {
+                off += m.get(r, c) * m.get(r, c);
+            }
+        }
+        if off.sqrt() < 1e-12 {
+            break;
+        }
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let apq = m.get(p, q);
+                if apq.abs() < 1e-15 {
+                    continue;
+                }
+                let app = m.get(p, p);
+                let aqq = m.get(q, q);
+                let theta = (aqq - app) / (2.0 * apq);
+                let t = if theta >= 0.0 {
+                    1.0 / (theta + (1.0 + theta * theta).sqrt())
+                } else {
+                    -1.0 / (-theta + (1.0 + theta * theta).sqrt())
+                };
+                let c = 1.0 / (1.0 + t * t).sqrt();
+                let s = t * c;
+                // Apply the rotation G(p, q, theta) on both sides.
+                for k in 0..n {
+                    let mkp = m.get(k, p);
+                    let mkq = m.get(k, q);
+                    m.set(k, p, c * mkp - s * mkq);
+                    m.set(k, q, s * mkp + c * mkq);
+                }
+                for k in 0..n {
+                    let mpk = m.get(p, k);
+                    let mqk = m.get(q, k);
+                    m.set(p, k, c * mpk - s * mqk);
+                    m.set(q, k, s * mpk + c * mqk);
+                }
+                for k in 0..n {
+                    let vkp = v.get(k, p);
+                    let vkq = v.get(k, q);
+                    v.set(k, p, c * vkp - s * vkq);
+                    v.set(k, q, s * vkp + c * vkq);
+                }
+            }
+        }
+    }
+
+    // Collect (eigenvalue, eigenvector-column) pairs and sort descending.
+    let mut pairs: Vec<(f64, Vec<f64>)> = (0..n)
+        .map(|i| (m.get(i, i), (0..n).map(|k| v.get(k, i)).collect()))
+        .collect();
+    pairs.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("eigenvalues are finite"));
+
+    let mut vectors = Matrix::zeros(n, n);
+    let mut values = Vec::with_capacity(n);
+    for (i, (val, vec)) in pairs.into_iter().enumerate() {
+        values.push(val);
+        for (k, x) in vec.into_iter().enumerate() {
+            vectors.set(i, k, x);
+        }
+    }
+    EigenDecomposition { values, vectors }
+}
+
+/// Computes the covariance matrix of a set of row vectors (rows of `data`),
+/// after centering on the column means. Returns `(covariance, means)`.
+///
+/// # Panics
+///
+/// Panics if `data` is empty.
+pub fn covariance(data: &[Vec<f64>]) -> (Matrix, Vec<f64>) {
+    assert!(!data.is_empty(), "covariance of an empty sample set");
+    let dim = data[0].len();
+    let n = data.len() as f64;
+    let mut means = vec![0.0; dim];
+    for row in data {
+        assert_eq!(row.len(), dim, "all sample vectors must share a dimension");
+        for (m, &x) in means.iter_mut().zip(row) {
+            *m += x;
+        }
+    }
+    for m in &mut means {
+        *m /= n;
+    }
+    let mut cov = Matrix::zeros(dim, dim);
+    for row in data {
+        for i in 0..dim {
+            let di = row[i] - means[i];
+            for j in i..dim {
+                let dj = row[j] - means[j];
+                let v = cov.get(i, j) + di * dj / n;
+                cov.set(i, j, v);
+            }
+        }
+    }
+    // Mirror the upper triangle.
+    for i in 0..dim {
+        for j in (i + 1)..dim {
+            let v = cov.get(i, j);
+            cov.set(j, i, v);
+        }
+    }
+    (cov, means)
+}
+
+/// Computes the top-`k` eigenpairs of a symmetric positive-semidefinite
+/// matrix by power iteration with deflation.
+///
+/// Much cheaper than a full Jacobi decomposition when only a few leading
+/// components are needed (PCA-SIFT keeps 36 of 162). Deterministic: the
+/// starting vectors are fixed.
+///
+/// # Panics
+///
+/// Panics if the matrix is not square/symmetric or `k > n`.
+pub fn power_iteration_topk(a: &Matrix, k: usize, iterations: usize) -> EigenDecomposition {
+    assert!(a.is_symmetric(1e-8), "power iteration requires a symmetric matrix");
+    let n = a.rows();
+    assert!(k <= n, "cannot extract more eigenpairs than the dimension");
+    let mut deflated = a.clone();
+    let mut values = Vec::with_capacity(k);
+    let mut vectors = Matrix::zeros(k.max(1), n);
+    for comp in 0..k {
+        // Deterministic pseudo-random start vector.
+        let mut v: Vec<f64> = (0..n)
+            .map(|i| {
+                let h = (i as u64)
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407 + comp as u64);
+                ((h >> 33) as f64 / (1u64 << 31) as f64) - 0.5
+            })
+            .collect();
+        normalize(&mut v);
+        let mut lambda = 0.0;
+        for _ in 0..iterations {
+            let mut w = deflated.mul_vec(&v);
+            let norm = normalize(&mut w);
+            if norm < 1e-15 {
+                // Remaining spectrum is (numerically) zero.
+                w = v.clone();
+            }
+            lambda = dot(&deflated.mul_vec(&w), &w);
+            v = w;
+        }
+        values.push(lambda);
+        for (j, &x) in v.iter().enumerate() {
+            vectors.set(comp, j, x);
+        }
+        // Deflate: A <- A - lambda * v v^T.
+        for r in 0..n {
+            for c in 0..n {
+                let updated = deflated.get(r, c) - lambda * v[r] * v[c];
+                deflated.set(r, c, updated);
+            }
+        }
+    }
+    EigenDecomposition { values, vectors }
+}
+
+fn normalize(v: &mut [f64]) -> f64 {
+    let norm = dot(v, v).sqrt();
+    if norm > 0.0 {
+        for x in v.iter_mut() {
+            *x /= norm;
+        }
+    }
+    norm
+}
+
+fn dot(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_eigen() {
+        let eig = jacobi_eigen(&Matrix::identity(4));
+        for v in &eig.values {
+            assert!((v - 1.0).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn known_2x2_eigenvalues() {
+        // [[2, 1], [1, 2]] has eigenvalues 3 and 1.
+        let mut m = Matrix::zeros(2, 2);
+        m.set(0, 0, 2.0);
+        m.set(0, 1, 1.0);
+        m.set(1, 0, 1.0);
+        m.set(1, 1, 2.0);
+        let eig = jacobi_eigen(&m);
+        assert!((eig.values[0] - 3.0).abs() < 1e-9);
+        assert!((eig.values[1] - 1.0).abs() < 1e-9);
+        // Eigenvector for 3 is (1, 1)/sqrt(2) up to sign.
+        let v = eig.vectors.row(0);
+        assert!((v[0].abs() - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-6);
+        assert!((v[0] - v[1]).abs() < 1e-6);
+    }
+
+    #[test]
+    fn eigenvectors_satisfy_definition() {
+        // Random-ish symmetric 5x5.
+        let n = 5;
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in i..n {
+                let v = ((i * 7 + j * 13) % 11) as f64 - 5.0;
+                m.set(i, j, v);
+                m.set(j, i, v);
+            }
+        }
+        let eig = jacobi_eigen(&m);
+        for (idx, &lambda) in eig.values.iter().enumerate() {
+            let v: Vec<f64> = eig.vectors.row(idx).to_vec();
+            let mv = m.mul_vec(&v);
+            for k in 0..n {
+                assert!((mv[k] - lambda * v[k]).abs() < 1e-7, "eigenpair {idx} component {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn eigenvectors_are_orthonormal() {
+        let mut m = Matrix::zeros(3, 3);
+        for i in 0..3 {
+            for j in i..3 {
+                let v = (i + j) as f64;
+                m.set(i, j, v);
+                m.set(j, i, v);
+            }
+        }
+        let eig = jacobi_eigen(&m);
+        for i in 0..3 {
+            for j in 0..3 {
+                let dot: f64 =
+                    eig.vectors.row(i).iter().zip(eig.vectors.row(j)).map(|(a, b)| a * b).sum();
+                let expected = if i == j { 1.0 } else { 0.0 };
+                assert!((dot - expected).abs() < 1e-8, "({i}, {j}) dot {dot}");
+            }
+        }
+    }
+
+    #[test]
+    fn covariance_of_correlated_data() {
+        // y = 2x exactly: covariance matrix is [[var, 2var], [2var, 4var]].
+        let data: Vec<Vec<f64>> = (0..100).map(|i| vec![i as f64, 2.0 * i as f64]).collect();
+        let (cov, means) = covariance(&data);
+        assert!((means[0] - 49.5).abs() < 1e-9);
+        assert!((cov.get(0, 1) - 2.0 * cov.get(0, 0)).abs() < 1e-6);
+        assert!((cov.get(1, 1) - 4.0 * cov.get(0, 0)).abs() < 1e-6);
+        assert!(cov.is_symmetric(1e-12));
+    }
+
+    #[test]
+    fn pca_finds_dominant_direction() {
+        // Points along (1, 1) with small noise in (1, -1).
+        let data: Vec<Vec<f64>> = (0..200)
+            .map(|i| {
+                let t = i as f64 / 10.0;
+                let noise = ((i * 37) % 7) as f64 / 70.0 - 0.05;
+                vec![t + noise, t - noise]
+            })
+            .collect();
+        let (cov, _) = covariance(&data);
+        let eig = jacobi_eigen(&cov);
+        let v = eig.vectors.row(0);
+        // Dominant eigenvector is parallel to (1, 1).
+        assert!((v[0].abs() - v[1].abs()).abs() < 0.05);
+        assert!(eig.values[0] > 100.0 * eig.values[1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "symmetric")]
+    fn asymmetric_matrix_panics() {
+        let mut m = Matrix::zeros(2, 2);
+        m.set(0, 1, 1.0);
+        let _ = jacobi_eigen(&m);
+    }
+
+    #[test]
+    fn power_iteration_matches_jacobi_on_leading_pairs() {
+        let n = 8;
+        let mut m = Matrix::zeros(n, n);
+        // Positive semi-definite: A = B^T B for a deterministic B.
+        for i in 0..n {
+            for j in i..n {
+                let mut v = 0.0;
+                for k in 0..n {
+                    let bi = (((k * 11 + i * 5) % 13) as f64) - 6.0;
+                    let bj = (((k * 11 + j * 5) % 13) as f64) - 6.0;
+                    v += bi * bj;
+                }
+                m.set(i, j, v);
+                m.set(j, i, v);
+            }
+        }
+        let full = jacobi_eigen(&m);
+        let top = power_iteration_topk(&m, 3, 300);
+        for i in 0..3 {
+            assert!(
+                (full.values[i] - top.values[i]).abs() < 1e-5 * full.values[0].max(1.0),
+                "eigenvalue {i}: {} vs {}",
+                full.values[i],
+                top.values[i]
+            );
+        }
+    }
+
+    #[test]
+    fn power_iteration_vectors_are_orthonormal() {
+        let mut m = Matrix::zeros(4, 4);
+        for i in 0..4 {
+            m.set(i, i, (i + 1) as f64);
+        }
+        m.set(0, 1, 0.5);
+        m.set(1, 0, 0.5);
+        let top = power_iteration_topk(&m, 2, 500);
+        let r0: Vec<f64> = top.vectors.row(0).to_vec();
+        let r1: Vec<f64> = top.vectors.row(1).to_vec();
+        let dot01: f64 = r0.iter().zip(&r1).map(|(a, b)| a * b).sum();
+        assert!(dot01.abs() < 1e-4, "dot {dot01}");
+    }
+
+    #[test]
+    fn mul_vec_matches_manual() {
+        let mut m = Matrix::zeros(2, 3);
+        for (i, v) in [1.0, 2.0, 3.0, 4.0, 5.0, 6.0].iter().enumerate() {
+            m.set(i / 3, i % 3, *v);
+        }
+        assert_eq!(m.mul_vec(&[1.0, 0.0, -1.0]), vec![-2.0, -2.0]);
+    }
+}

@@ -1,0 +1,133 @@
+//! Scale pyramids for multi-scale detection.
+//!
+//! ORB detects FAST corners on a geometric scale pyramid (factor ≈ 1.2, 8
+//! levels in the reference implementation) so that features match across
+//! moderate scale changes — which is exactly what Approximate Feature
+//! Extraction stresses when it shrinks bitmaps before extraction.
+
+use bees_image::{resize, GrayImage};
+
+/// A geometric image pyramid. Level 0 is the original image; level `i` is
+/// scaled down by `scale_factor^i`.
+#[derive(Debug, Clone)]
+pub struct Pyramid {
+    levels: Vec<GrayImage>,
+    scale_factor: f32,
+}
+
+impl Pyramid {
+    /// Builds a pyramid with the given per-level scale factor (> 1) and
+    /// maximum level count. Levels stop early when either side would fall
+    /// below `min_side` pixels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale_factor <= 1.0` or `n_levels == 0`.
+    pub fn build(img: &GrayImage, scale_factor: f32, n_levels: u8, min_side: u32) -> Self {
+        assert!(scale_factor > 1.0, "scale factor must exceed 1");
+        assert!(n_levels > 0, "pyramid needs at least one level");
+        let mut levels = vec![img.clone()];
+        for i in 1..n_levels {
+            let s = scale_factor.powi(i as i32);
+            let w = (img.width() as f32 / s).round() as u32;
+            let h = (img.height() as f32 / s).round() as u32;
+            if w < min_side || h < min_side {
+                break;
+            }
+            let level =
+                resize::resize_bilinear(img, w, h).expect("pyramid level dimensions are non-zero");
+            levels.push(level);
+        }
+        Pyramid { levels, scale_factor }
+    }
+
+    /// Number of levels actually built.
+    pub fn len(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Whether the pyramid is empty (never true: level 0 always exists).
+    pub fn is_empty(&self) -> bool {
+        self.levels.is_empty()
+    }
+
+    /// Image at `level`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level >= len()`.
+    pub fn level(&self, level: usize) -> &GrayImage {
+        &self.levels[level]
+    }
+
+    /// Scale of `level` relative to the original image (>= 1).
+    pub fn scale_of(&self, level: usize) -> f32 {
+        self.scale_factor.powi(level as i32)
+    }
+
+    /// Iterates over `(level_index, image, scale)` triples.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &GrayImage, f32)> {
+        self.levels.iter().enumerate().map(move |(i, img)| (i, img, self.scale_of(i)))
+    }
+
+    /// Total number of pixels across all levels — the work-size input to the
+    /// energy model for pyramid construction and detection.
+    pub fn total_pixels(&self) -> usize {
+        self.levels.iter().map(|l| l.pixel_count()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn img() -> GrayImage {
+        GrayImage::from_fn(120, 90, |x, y| ((x + y) % 256) as u8)
+    }
+
+    #[test]
+    fn level_zero_is_original() {
+        let p = Pyramid::build(&img(), 1.2, 8, 16);
+        assert_eq!(p.level(0), &img());
+    }
+
+    #[test]
+    fn levels_shrink_geometrically() {
+        let p = Pyramid::build(&img(), 1.2, 8, 8);
+        for i in 1..p.len() {
+            assert!(p.level(i).width() < p.level(i - 1).width());
+            let expected = (120.0 / 1.2f32.powi(i as i32)).round() as u32;
+            assert_eq!(p.level(i).width(), expected);
+        }
+    }
+
+    #[test]
+    fn min_side_truncates_pyramid() {
+        let p = Pyramid::build(&img(), 2.0, 8, 30);
+        // 90 -> 45 -> 22 (too small): only 2 levels survive with min_side 30.
+        assert_eq!(p.len(), 2);
+    }
+
+    #[test]
+    fn total_pixels_sums_levels() {
+        let p = Pyramid::build(&img(), 2.0, 2, 8);
+        assert_eq!(p.total_pixels(), 120 * 90 + 60 * 45);
+    }
+
+    #[test]
+    #[should_panic(expected = "scale factor")]
+    fn bad_scale_factor_panics() {
+        let _ = Pyramid::build(&img(), 1.0, 4, 8);
+    }
+
+    #[test]
+    fn iter_reports_scales() {
+        let p = Pyramid::build(&img(), 1.5, 3, 8);
+        let scales: Vec<f32> = p.iter().map(|(_, _, s)| s).collect();
+        assert_eq!(scales.len(), p.len());
+        assert!((scales[0] - 1.0).abs() < 1e-6);
+        if scales.len() > 1 {
+            assert!((scales[1] - 1.5).abs() < 1e-6);
+        }
+    }
+}

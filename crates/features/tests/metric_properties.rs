@@ -1,0 +1,125 @@
+//! Property-based tests of the feature substrate: the Hamming distance is
+//! a metric, matching is one-to-one under cross-check, and Jaccard
+//! similarity behaves like a similarity.
+
+use bees_features::descriptor::{BinaryDescriptor, VectorDescriptor};
+use bees_features::matcher::{match_binary, match_vector, MatchConfig};
+use bees_features::similarity::{jaccard_similarity, SimilarityConfig};
+use bees_features::{Descriptors, ImageFeatures, Keypoint};
+use proptest::prelude::*;
+
+fn arb_descriptor() -> impl Strategy<Value = BinaryDescriptor> {
+    any::<[u8; 32]>().prop_map(BinaryDescriptor::from_bytes)
+}
+
+fn features(descs: Vec<BinaryDescriptor>) -> ImageFeatures {
+    ImageFeatures {
+        keypoints: descs.iter().map(|_| Keypoint::default()).collect(),
+        descriptors: Descriptors::Binary(descs),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn hamming_distance_is_a_metric(a in arb_descriptor(), b in arb_descriptor(), c in arb_descriptor()) {
+        // Identity of indiscernibles.
+        prop_assert_eq!(a.hamming_distance(&a), 0);
+        prop_assert_eq!(a.hamming_distance(&b) == 0, a == b);
+        // Symmetry.
+        prop_assert_eq!(a.hamming_distance(&b), b.hamming_distance(&a));
+        // Triangle inequality.
+        prop_assert!(a.hamming_distance(&c) <= a.hamming_distance(&b) + b.hamming_distance(&c));
+        // Bounded by the descriptor width.
+        prop_assert!(a.hamming_distance(&b) <= 256);
+    }
+
+    #[test]
+    fn bit_flips_move_distance_by_exactly_one(a in arb_descriptor(), bit in 0usize..256) {
+        let mut bytes = *a.as_bytes();
+        bytes[bit / 8] ^= 1 << (bit % 8);
+        let flipped = BinaryDescriptor::from_bytes(bytes);
+        prop_assert_eq!(a.hamming_distance(&flipped), 1);
+    }
+
+    #[test]
+    fn matches_reference_valid_indices(
+        a in proptest::collection::vec(arb_descriptor(), 0..20),
+        b in proptest::collection::vec(arb_descriptor(), 0..20),
+    ) {
+        let cfg = MatchConfig { max_hamming: 256, ..MatchConfig::default() };
+        for m in match_binary(&a, &b, &cfg) {
+            prop_assert!(m.query_idx < a.len());
+            prop_assert!(m.train_idx < b.len());
+            prop_assert_eq!(m.distance, a[m.query_idx].hamming_distance(&b[m.train_idx]) as f32);
+        }
+    }
+
+    #[test]
+    fn exact_duplicates_always_match_themselves(descs in proptest::collection::vec(arb_descriptor(), 1..15)) {
+        // Deduplicate first: identical descriptors are legitimately
+        // ambiguous under cross-check.
+        let mut unique = descs.clone();
+        unique.sort_by_key(|d| *d.as_bytes());
+        unique.dedup();
+        let matches = match_binary(&unique, &unique, &MatchConfig::default());
+        prop_assert_eq!(matches.len(), unique.len());
+        for m in matches {
+            prop_assert_eq!(m.query_idx, m.train_idx);
+        }
+    }
+
+    #[test]
+    fn jaccard_with_self_is_one_or_zero(descs in proptest::collection::vec(arb_descriptor(), 0..20)) {
+        let f = features(descs);
+        let s = jaccard_similarity(&f, &f, &SimilarityConfig::default());
+        if f.is_empty() {
+            prop_assert_eq!(s, 0.0);
+        } else {
+            prop_assert!((s - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn jaccard_never_exceeds_size_ratio(
+        a in proptest::collection::vec(arb_descriptor(), 1..20),
+        b in proptest::collection::vec(arb_descriptor(), 1..20),
+    ) {
+        // |A ∩ B| <= min(|A|, |B|), so J <= min/max.
+        let (fa, fb) = (features(a), features(b));
+        let bound = fa.len().min(fb.len()) as f64 / fa.len().max(fb.len()) as f64;
+        let s = jaccard_similarity(&fa, &fb, &SimilarityConfig::default());
+        prop_assert!(s <= bound + 1e-12, "J {s} exceeds bound {bound}");
+    }
+
+    #[test]
+    fn vector_matching_indices_are_valid(
+        a in proptest::collection::vec(proptest::collection::vec(-1.0f32..1.0, 4), 0..12),
+        b in proptest::collection::vec(proptest::collection::vec(-1.0f32..1.0, 4), 0..12),
+    ) {
+        let va: Vec<VectorDescriptor> = a.into_iter().map(VectorDescriptor::from_values).collect();
+        let vb: Vec<VectorDescriptor> = b.into_iter().map(VectorDescriptor::from_values).collect();
+        let cfg = MatchConfig { max_l2: 10.0, lowe_ratio: 1.0, ..MatchConfig::default() };
+        for m in match_vector(&va, &vb, &cfg) {
+            prop_assert!(m.query_idx < va.len());
+            prop_assert!(m.train_idx < vb.len());
+        }
+    }
+
+    #[test]
+    fn l2_distance_is_a_metric(
+        a in proptest::collection::vec(-10.0f32..10.0, 6),
+        b in proptest::collection::vec(-10.0f32..10.0, 6),
+        c in proptest::collection::vec(-10.0f32..10.0, 6),
+    ) {
+        let (da, db, dc) = (
+            VectorDescriptor::from_values(a),
+            VectorDescriptor::from_values(b),
+            VectorDescriptor::from_values(c),
+        );
+        prop_assert!(da.l2(&da) < 1e-6);
+        prop_assert!((da.l2(&db) - db.l2(&da)).abs() < 1e-5);
+        prop_assert!(da.l2(&dc) <= da.l2(&db) + db.l2(&dc) + 1e-4);
+    }
+}

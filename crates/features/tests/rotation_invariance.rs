@@ -1,0 +1,65 @@
+//! End-to-end rotation invariance: ORB's steered BRIEF should keep a
+//! rotated view of an image far more similar to the original than an
+//! unrelated image — the property that justifies the intensity-centroid
+//! orientation and pattern steering.
+
+use bees_features::orb::Orb;
+use bees_features::similarity::{jaccard_similarity, SimilarityConfig};
+use bees_features::FeatureExtractor;
+use bees_image::{transform, GrayImage};
+
+fn textured(seed: u64) -> GrayImage {
+    GrayImage::from_fn(160, 160, |x, y| {
+        let s = seed as f32;
+        let v = 128.0
+            + 55.0 * ((x as f32) * (0.21 + s * 0.01)).sin()
+            + 45.0 * ((y as f32) * (0.17 + s * 0.013)).cos()
+            + 30.0 * (((x + y) as f32) * 0.11 + s).sin()
+            + if ((x / 16) + (y / 16)) % 2 == 0 { 25.0 } else { -25.0 };
+        v.clamp(0.0, 255.0) as u8
+    })
+}
+
+#[test]
+fn quarter_turn_rotation_preserves_similarity() {
+    let orb = Orb::default();
+    let cfg = SimilarityConfig::default();
+    let img = textured(1);
+    let f_orig = orb.extract(&img);
+    assert!(f_orig.len() > 30, "base image too feature-poor: {}", f_orig.len());
+
+    let stranger = orb.extract(&textured(9));
+    let baseline = jaccard_similarity(&f_orig, &stranger, &cfg);
+
+    for (name, rotated) in [
+        ("90", transform::rotate90(&img)),
+        ("180", transform::rotate180(&img)),
+        ("270", transform::rotate270(&img)),
+    ] {
+        let f_rot = orb.extract(&rotated);
+        let sim = jaccard_similarity(&f_orig, &f_rot, &cfg);
+        assert!(
+            sim > 2.0 * baseline + 0.02,
+            "rotation {name}: similarity {sim} vs stranger baseline {baseline}"
+        );
+    }
+}
+
+#[test]
+fn mirrored_images_are_not_matched() {
+    // BRIEF is not mirror-invariant (a mirror flips the sampling-pair
+    // geometry), so a flipped image should score like a stranger — this
+    // pins down that the rotation test above is not passing vacuously.
+    let orb = Orb::default();
+    let cfg = SimilarityConfig::default();
+    let img = textured(2);
+    let f_orig = orb.extract(&img);
+    let f_flip = orb.extract(&transform::flip_horizontal(&img));
+    let f_rot = orb.extract(&transform::rotate180(&img));
+    let sim_flip = jaccard_similarity(&f_orig, &f_flip, &cfg);
+    let sim_rot = jaccard_similarity(&f_orig, &f_rot, &cfg);
+    assert!(
+        sim_rot > sim_flip,
+        "rotation ({sim_rot}) should outscore mirroring ({sim_flip})"
+    );
+}

@@ -1,0 +1,152 @@
+//! Separable Gaussian filtering.
+//!
+//! Used by the SIFT difference-of-Gaussians pyramid and by ORB's pre-smoothing
+//! before BRIEF sampling (the original ORB paper smooths the patch; OpenCV
+//! blurs the pyramid level).
+
+use crate::{GrayF32, GrayImage, ImageError, Result};
+
+/// Builds a normalized 1-D Gaussian kernel for standard deviation `sigma`.
+///
+/// The radius is `ceil(3·sigma)`, which captures > 99.7 % of the mass.
+///
+/// # Errors
+///
+/// Returns [`ImageError::InvalidParameter`] if `sigma` is not finite and
+/// positive.
+pub fn gaussian_kernel(sigma: f64) -> Result<Vec<f32>> {
+    if !sigma.is_finite() || sigma <= 0.0 {
+        return Err(ImageError::InvalidParameter { name: "sigma", value: sigma });
+    }
+    let radius = (3.0 * sigma).ceil() as i64;
+    let mut kernel = Vec::with_capacity((2 * radius + 1) as usize);
+    let denom = 2.0 * sigma * sigma;
+    for i in -radius..=radius {
+        kernel.push((-((i * i) as f64) / denom).exp() as f32);
+    }
+    let sum: f32 = kernel.iter().sum();
+    for k in &mut kernel {
+        *k /= sum;
+    }
+    Ok(kernel)
+}
+
+/// Applies a horizontal-then-vertical pass of the given odd-length kernel.
+fn convolve_separable(src: &GrayF32, kernel: &[f32]) -> GrayF32 {
+    let radius = (kernel.len() / 2) as i64;
+    let (w, h) = (src.width(), src.height());
+    let mut tmp = GrayF32::new(w, h).expect("source image is non-empty");
+    for y in 0..h {
+        for x in 0..w {
+            let mut acc = 0.0f32;
+            for (i, &k) in kernel.iter().enumerate() {
+                acc += k * src.get_clamped(x as i64 + i as i64 - radius, y as i64);
+            }
+            tmp.set(x, y, acc);
+        }
+    }
+    let mut out = GrayF32::new(w, h).expect("source image is non-empty");
+    for y in 0..h {
+        for x in 0..w {
+            let mut acc = 0.0f32;
+            for (i, &k) in kernel.iter().enumerate() {
+                acc += k * tmp.get_clamped(x as i64, y as i64 + i as i64 - radius);
+            }
+            out.set(x, y, acc);
+        }
+    }
+    out
+}
+
+/// Gaussian-blurs a floating-point image.
+///
+/// # Errors
+///
+/// Returns [`ImageError::InvalidParameter`] if `sigma` is not finite and
+/// positive.
+///
+/// # Examples
+///
+/// ```
+/// use bees_image::{GrayImage, blur};
+///
+/// # fn main() -> Result<(), bees_image::ImageError> {
+/// let img = GrayImage::from_fn(16, 16, |x, _| if x == 8 { 255 } else { 0 });
+/// let soft = blur::gaussian_blur_f32(&img.to_f32(), 1.5)?;
+/// // Energy spreads out but total mass is conserved (up to clamping).
+/// assert!(soft.get(8, 8) < 255.0);
+/// assert!(soft.get(6, 8) > 0.0);
+/// # Ok(())
+/// # }
+/// ```
+pub fn gaussian_blur_f32(src: &GrayF32, sigma: f64) -> Result<GrayF32> {
+    let kernel = gaussian_kernel(sigma)?;
+    Ok(convolve_separable(src, &kernel))
+}
+
+/// Gaussian-blurs an 8-bit image, rounding the result back to 8 bits.
+///
+/// # Errors
+///
+/// Returns [`ImageError::InvalidParameter`] if `sigma` is not finite and
+/// positive.
+pub fn gaussian_blur(src: &GrayImage, sigma: f64) -> Result<GrayImage> {
+    Ok(gaussian_blur_f32(&src.to_f32(), sigma)?.to_u8())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kernel_is_normalized_and_symmetric() {
+        let k = gaussian_kernel(2.0).unwrap();
+        let sum: f32 = k.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-5);
+        assert_eq!(k.len() % 2, 1);
+        for i in 0..k.len() / 2 {
+            assert!((k[i] - k[k.len() - 1 - i]).abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn kernel_rejects_bad_sigma() {
+        assert!(gaussian_kernel(0.0).is_err());
+        assert!(gaussian_kernel(-1.0).is_err());
+        assert!(gaussian_kernel(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn blur_preserves_constant_image() {
+        let img = GrayImage::from_fn(10, 10, |_, _| 123);
+        let out = gaussian_blur(&img, 1.2).unwrap();
+        assert!(out.pixels().iter().all(|&p| (p as i32 - 123).abs() <= 1));
+    }
+
+    #[test]
+    fn blur_preserves_mean_approximately() {
+        let img = GrayImage::from_fn(32, 32, |x, y| ((x * 7 + y * 13) % 256) as u8);
+        let out = gaussian_blur(&img, 2.0).unwrap();
+        assert!((img.mean() - out.mean()).abs() < 3.0);
+    }
+
+    #[test]
+    fn blur_reduces_variance() {
+        let img = GrayImage::from_fn(32, 32, |x, y| if (x + y) % 2 == 0 { 0 } else { 255 });
+        let out = gaussian_blur(&img, 1.5).unwrap();
+        let var = |im: &GrayImage| {
+            let m = im.mean();
+            im.pixels().iter().map(|&p| (p as f64 - m).powi(2)).sum::<f64>()
+                / im.pixel_count() as f64
+        };
+        assert!(var(&out) < var(&img) / 4.0);
+    }
+
+    #[test]
+    fn larger_sigma_blurs_more() {
+        let img = GrayImage::from_fn(24, 24, |x, _| if x == 12 { 255 } else { 0 });
+        let a = gaussian_blur(&img, 0.8).unwrap();
+        let b = gaussian_blur(&img, 3.0).unwrap();
+        assert!(b.get(12, 12) < a.get(12, 12));
+    }
+}

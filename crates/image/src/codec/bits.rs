@@ -1,0 +1,171 @@
+//! Bit-level I/O for the entropy coder.
+
+use crate::{ImageError, Result};
+
+/// Accumulates bits most-significant-first into a byte vector.
+///
+/// # Examples
+///
+/// ```
+/// use bees_image::codec::bits::{BitReader, BitWriter};
+///
+/// # fn main() -> Result<(), bees_image::ImageError> {
+/// let mut w = BitWriter::new();
+/// w.write_bits(0b101, 3);
+/// w.write_bits(0xFF, 8);
+/// let bytes = w.into_bytes();
+/// let mut r = BitReader::new(&bytes);
+/// assert_eq!(r.read_bits(3)?, 0b101);
+/// assert_eq!(r.read_bits(8)?, 0xFF);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct BitWriter {
+    bytes: Vec<u8>,
+    current: u8,
+    filled: u8,
+}
+
+impl BitWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends the low `count` bits of `value`, most significant first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count > 64`.
+    pub fn write_bits(&mut self, value: u64, count: u8) {
+        assert!(count <= 64, "cannot write more than 64 bits at once");
+        for i in (0..count).rev() {
+            let bit = ((value >> i) & 1) as u8;
+            self.current = (self.current << 1) | bit;
+            self.filled += 1;
+            if self.filled == 8 {
+                self.bytes.push(self.current);
+                self.current = 0;
+                self.filled = 0;
+            }
+        }
+    }
+
+    /// Appends a single bit.
+    pub fn write_bit(&mut self, bit: bool) {
+        self.write_bits(bit as u64, 1);
+    }
+
+    /// Number of complete bits written so far.
+    pub fn bit_len(&self) -> usize {
+        self.bytes.len() * 8 + self.filled as usize
+    }
+
+    /// Flushes (zero-padding the final partial byte) and returns the bytes.
+    pub fn into_bytes(mut self) -> Vec<u8> {
+        if self.filled > 0 {
+            self.current <<= 8 - self.filled;
+            self.bytes.push(self.current);
+        }
+        self.bytes
+    }
+}
+
+/// Reads bits most-significant-first from a byte slice.
+#[derive(Debug, Clone)]
+pub struct BitReader<'a> {
+    bytes: &'a [u8],
+    pos: usize, // bit position
+}
+
+impl<'a> BitReader<'a> {
+    /// Creates a reader over `bytes`.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        BitReader { bytes, pos: 0 }
+    }
+
+    /// Reads `count` bits into the low bits of a `u64`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ImageError::CorruptBitstream`] if the input is exhausted.
+    pub fn read_bits(&mut self, count: u8) -> Result<u64> {
+        assert!(count <= 64, "cannot read more than 64 bits at once");
+        let mut value = 0u64;
+        for _ in 0..count {
+            let byte_idx = self.pos / 8;
+            if byte_idx >= self.bytes.len() {
+                return Err(ImageError::CorruptBitstream { detail: "unexpected end of input" });
+            }
+            let bit = (self.bytes[byte_idx] >> (7 - (self.pos % 8))) & 1;
+            value = (value << 1) | bit as u64;
+            self.pos += 1;
+        }
+        Ok(value)
+    }
+
+    /// Reads a single bit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ImageError::CorruptBitstream`] if the input is exhausted.
+    pub fn read_bit(&mut self) -> Result<bool> {
+        Ok(self.read_bits(1)? == 1)
+    }
+
+    /// Number of bits consumed so far.
+    pub fn bits_read(&self) -> usize {
+        self.pos
+    }
+
+    /// Number of bits still available to read.
+    pub fn bits_remaining(&self) -> usize {
+        (self.bytes.len() * 8).saturating_sub(self.pos)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_various_widths() {
+        let mut w = BitWriter::new();
+        let values: Vec<(u64, u8)> =
+            vec![(1, 1), (0, 1), (0b1011, 4), (0xABCD, 16), (u64::MAX >> 3, 61), (7, 3)];
+        for &(v, n) in &values {
+            w.write_bits(v, n);
+        }
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        for &(v, n) in &values {
+            assert_eq!(r.read_bits(n).unwrap(), v, "width {n}");
+        }
+    }
+
+    #[test]
+    fn reading_past_end_errors() {
+        let mut r = BitReader::new(&[0xFF]);
+        assert!(r.read_bits(8).is_ok());
+        assert!(r.read_bits(1).is_err());
+    }
+
+    #[test]
+    fn bit_len_tracks_partial_bytes() {
+        let mut w = BitWriter::new();
+        w.write_bits(0b11, 2);
+        assert_eq!(w.bit_len(), 2);
+        w.write_bits(0xFF, 8);
+        assert_eq!(w.bit_len(), 10);
+        assert_eq!(w.into_bytes().len(), 2);
+    }
+
+    #[test]
+    fn padding_is_zero_bits() {
+        let mut w = BitWriter::new();
+        w.write_bit(true);
+        let bytes = w.into_bytes();
+        assert_eq!(bytes, vec![0b1000_0000]);
+    }
+}

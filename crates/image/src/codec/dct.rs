@@ -1,0 +1,158 @@
+//! 8×8 type-II discrete cosine transform and its inverse.
+//!
+//! Implemented as a separable transform (rows then columns) with a
+//! precomputed cosine basis, matching the orthonormal DCT used by JPEG.
+
+/// Precomputed `cos((2x + 1) * u * PI / 16)` basis, `BASIS[u][x]`.
+fn basis() -> &'static [[f32; 8]; 8] {
+    use std::sync::OnceLock;
+    static BASIS: OnceLock<[[f32; 8]; 8]> = OnceLock::new();
+    BASIS.get_or_init(|| {
+        let mut b = [[0f32; 8]; 8];
+        for (u, row) in b.iter_mut().enumerate() {
+            for (x, v) in row.iter_mut().enumerate() {
+                *v = (((2 * x + 1) as f32) * (u as f32) * std::f32::consts::PI / 16.0).cos();
+            }
+        }
+        b
+    })
+}
+
+#[inline]
+fn alpha(u: usize) -> f32 {
+    if u == 0 {
+        std::f32::consts::FRAC_1_SQRT_2
+    } else {
+        1.0
+    }
+}
+
+/// Forward 2-D DCT of one 8×8 block (row-major `input[y*8 + x]`).
+///
+/// # Examples
+///
+/// ```
+/// use bees_image::codec::dct;
+///
+/// let flat = [10.0f32; 64];
+/// let mut out = [0f32; 64];
+/// dct::forward_dct_8x8(&flat, &mut out);
+/// // A constant block has all its energy in the DC coefficient.
+/// assert!((out[0] - 80.0).abs() < 1e-3);
+/// assert!(out[1..].iter().all(|&c| c.abs() < 1e-3));
+/// ```
+pub fn forward_dct_8x8(input: &[f32; 64], output: &mut [f32; 64]) {
+    let b = basis();
+    // Rows.
+    let mut tmp = [0f32; 64];
+    for y in 0..8 {
+        for u in 0..8 {
+            let mut acc = 0.0;
+            for x in 0..8 {
+                acc += input[y * 8 + x] * b[u][x];
+            }
+            tmp[y * 8 + u] = 0.5 * alpha(u) * acc;
+        }
+    }
+    // Columns.
+    for u in 0..8 {
+        for v in 0..8 {
+            let mut acc = 0.0;
+            for y in 0..8 {
+                acc += tmp[y * 8 + u] * b[v][y];
+            }
+            output[v * 8 + u] = 0.5 * alpha(v) * acc;
+        }
+    }
+}
+
+/// Inverse 2-D DCT of one 8×8 coefficient block.
+pub fn inverse_dct_8x8(coeffs: &[f32; 64], output: &mut [f32; 64]) {
+    let b = basis();
+    // Columns first (inverse of the forward order, though the transform is
+    // separable so order does not matter mathematically).
+    let mut tmp = [0f32; 64];
+    for u in 0..8 {
+        for y in 0..8 {
+            let mut acc = 0.0;
+            for v in 0..8 {
+                acc += alpha(v) * coeffs[v * 8 + u] * b[v][y];
+            }
+            tmp[y * 8 + u] = 0.5 * acc;
+        }
+    }
+    for y in 0..8 {
+        for x in 0..8 {
+            let mut acc = 0.0;
+            for u in 0..8 {
+                acc += alpha(u) * tmp[y * 8 + u] * b[u][x];
+            }
+            output[y * 8 + x] = 0.5 * acc;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_block(seed: u32) -> [f32; 64] {
+        let mut block = [0f32; 64];
+        for (i, v) in block.iter_mut().enumerate() {
+            // Deterministic pseudo-random values in [-128, 127].
+            let h = (i as u32).wrapping_mul(2654435761).wrapping_add(seed);
+            *v = ((h >> 8) % 256) as f32 - 128.0;
+        }
+        block
+    }
+
+    #[test]
+    fn roundtrip_recovers_input() {
+        for seed in [1u32, 42, 12345] {
+            let block = sample_block(seed);
+            let mut coeffs = [0f32; 64];
+            let mut back = [0f32; 64];
+            forward_dct_8x8(&block, &mut coeffs);
+            inverse_dct_8x8(&coeffs, &mut back);
+            for i in 0..64 {
+                assert!((block[i] - back[i]).abs() < 1e-2, "i={i} seed={seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn transform_is_orthonormal_energy_preserving() {
+        let block = sample_block(7);
+        let mut coeffs = [0f32; 64];
+        forward_dct_8x8(&block, &mut coeffs);
+        let e_in: f32 = block.iter().map(|v| v * v).sum();
+        let e_out: f32 = coeffs.iter().map(|v| v * v).sum();
+        assert!((e_in - e_out).abs() / e_in < 1e-4, "Parseval: {e_in} vs {e_out}");
+    }
+
+    #[test]
+    fn dc_of_constant_block() {
+        let block = [-64.0f32; 64];
+        let mut coeffs = [0f32; 64];
+        forward_dct_8x8(&block, &mut coeffs);
+        // DC = 8 * mean for the orthonormal normalization.
+        assert!((coeffs[0] - (-512.0)).abs() < 1e-3);
+    }
+
+    #[test]
+    fn linearity() {
+        let a = sample_block(3);
+        let b = sample_block(9);
+        let mut sum = [0f32; 64];
+        for i in 0..64 {
+            sum[i] = a[i] + b[i];
+        }
+        let (mut ca, mut cb, mut cs) = ([0f32; 64], [0f32; 64], [0f32; 64]);
+        forward_dct_8x8(&a, &mut ca);
+        forward_dct_8x8(&b, &mut cb);
+        forward_dct_8x8(&sum, &mut cs);
+        for i in 0..64 {
+            assert!((cs[i] - (ca[i] + cb[i])).abs() < 1e-2);
+        }
+    }
+}

@@ -1,0 +1,220 @@
+//! Entropy coding for quantized DCT blocks.
+//!
+//! DC coefficients are coded differentially; AC coefficients as
+//! (zero-run, value) pairs — both with exponential-Golomb codes, a
+//! self-terminating variable-length code that needs no stored Huffman
+//! tables. This is the same structure JPEG uses (DPCM DC + run-length AC),
+//! with exp-Golomb replacing canonical Huffman.
+
+use super::bits::{BitReader, BitWriter};
+use crate::{ImageError, Result};
+
+/// Writes an unsigned exp-Golomb code for `v`.
+pub fn write_ue(writer: &mut BitWriter, v: u64) {
+    let x = v + 1;
+    let bits = 64 - x.leading_zeros() as u8; // position of the highest set bit
+    writer.write_bits(0, bits - 1); // prefix zeros
+    writer.write_bits(x, bits);
+}
+
+/// Reads an unsigned exp-Golomb code.
+///
+/// # Errors
+///
+/// Returns [`ImageError::CorruptBitstream`] on truncated input or an
+/// implausibly long prefix.
+pub fn read_ue(reader: &mut BitReader<'_>) -> Result<u64> {
+    let mut zeros = 0u8;
+    while !reader.read_bit()? {
+        zeros += 1;
+        if zeros > 62 {
+            return Err(ImageError::CorruptBitstream { detail: "exp-golomb prefix too long" });
+        }
+    }
+    let rest = reader.read_bits(zeros)?;
+    Ok(((1u64 << zeros) | rest) - 1)
+}
+
+/// Writes a signed exp-Golomb code (zigzag mapping of the integers).
+pub fn write_se(writer: &mut BitWriter, v: i64) {
+    let u = if v > 0 { (v as u64) * 2 - 1 } else { (-v as u64) * 2 };
+    write_ue(writer, u);
+}
+
+/// Reads a signed exp-Golomb code.
+///
+/// # Errors
+///
+/// Returns [`ImageError::CorruptBitstream`] on truncated input.
+pub fn read_se(reader: &mut BitReader<'_>) -> Result<i64> {
+    let u = read_ue(reader)?;
+    Ok(if u % 2 == 1 { ((u + 1) / 2) as i64 } else { -((u / 2) as i64) })
+}
+
+/// Encodes one zigzag-ordered quantized block. `prev_dc` carries the DC
+/// predictor across blocks and is updated in place.
+pub fn encode_block(writer: &mut BitWriter, zz: &[i32; 64], prev_dc: &mut i32) {
+    write_se(writer, (zz[0] - *prev_dc) as i64);
+    *prev_dc = zz[0];
+    let mut run = 0u64;
+    for &c in &zz[1..] {
+        if c == 0 {
+            run += 1;
+        } else {
+            writer.write_bit(true); // another (run, value) pair follows
+            write_ue(writer, run);
+            // Value is non-zero; shift magnitude down by one so the code is
+            // dense: v>0 -> 2(v-1), v<0 -> 2(|v|-1)+1.
+            let mag = (c.unsigned_abs() as u64) - 1;
+            writer.write_bit(c < 0);
+            write_ue(writer, mag);
+            run = 0;
+        }
+    }
+    writer.write_bit(false); // end of block
+}
+
+/// Decodes one zigzag-ordered block. `prev_dc` carries the DC predictor and
+/// is updated in place.
+///
+/// # Errors
+///
+/// Returns [`ImageError::CorruptBitstream`] for truncated input or runs that
+/// overflow the block.
+pub fn decode_block(reader: &mut BitReader<'_>, prev_dc: &mut i32) -> Result<[i32; 64]> {
+    let mut zz = [0i32; 64];
+    let delta = read_se(reader)?;
+    let dc = (*prev_dc as i64) + delta;
+    if dc.abs() > i32::MAX as i64 / 2 {
+        return Err(ImageError::CorruptBitstream { detail: "dc coefficient out of range" });
+    }
+    zz[0] = dc as i32;
+    *prev_dc = zz[0];
+    let mut pos = 1usize;
+    while reader.read_bit()? {
+        let run = read_ue(reader)? as usize;
+        pos = pos.checked_add(run).ok_or(ImageError::CorruptBitstream {
+            detail: "ac run overflow",
+        })?;
+        if pos >= 64 {
+            return Err(ImageError::CorruptBitstream { detail: "ac run past end of block" });
+        }
+        let negative = reader.read_bit()?;
+        let mag = read_ue(reader)? + 1;
+        if mag > i32::MAX as u64 {
+            return Err(ImageError::CorruptBitstream { detail: "ac magnitude out of range" });
+        }
+        zz[pos] = if negative { -(mag as i64) as i32 } else { mag as i32 };
+        pos += 1;
+    }
+    Ok(zz)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exp_golomb_roundtrip_unsigned() {
+        let mut w = BitWriter::new();
+        let values = [0u64, 1, 2, 5, 17, 255, 100_000, u32::MAX as u64];
+        for &v in &values {
+            write_ue(&mut w, v);
+        }
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        for &v in &values {
+            assert_eq!(read_ue(&mut r).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn exp_golomb_roundtrip_signed() {
+        let mut w = BitWriter::new();
+        let values = [0i64, 1, -1, 2, -2, 100, -100, 65535, -65535];
+        for &v in &values {
+            write_se(&mut w, v);
+        }
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        for &v in &values {
+            assert_eq!(read_se(&mut r).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn small_values_get_short_codes() {
+        let mut w = BitWriter::new();
+        write_ue(&mut w, 0);
+        assert_eq!(w.bit_len(), 1); // "1"
+        write_ue(&mut w, 1);
+        assert_eq!(w.bit_len(), 4); // "010"
+    }
+
+    #[test]
+    fn block_roundtrip() {
+        let mut zz = [0i32; 64];
+        zz[0] = 37;
+        zz[1] = -5;
+        zz[4] = 2;
+        zz[63] = -1;
+        let mut w = BitWriter::new();
+        let mut dc_enc = 10;
+        encode_block(&mut w, &zz, &mut dc_enc);
+        assert_eq!(dc_enc, 37);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        let mut dc_dec = 10;
+        let back = decode_block(&mut r, &mut dc_dec).unwrap();
+        assert_eq!(back, zz);
+        assert_eq!(dc_dec, 37);
+    }
+
+    #[test]
+    fn multi_block_dc_prediction_chains() {
+        let mut blocks = Vec::new();
+        for k in 0..5 {
+            let mut zz = [0i32; 64];
+            zz[0] = 100 - 30 * k;
+            zz[2] = k;
+            blocks.push(zz);
+        }
+        let mut w = BitWriter::new();
+        let mut dc = 0;
+        for b in &blocks {
+            encode_block(&mut w, b, &mut dc);
+        }
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        let mut dc = 0;
+        for b in &blocks {
+            assert_eq!(&decode_block(&mut r, &mut dc).unwrap(), b);
+        }
+    }
+
+    #[test]
+    fn all_zero_block_is_tiny() {
+        let zz = [0i32; 64];
+        let mut w = BitWriter::new();
+        let mut dc = 0;
+        encode_block(&mut w, &zz, &mut dc);
+        assert!(w.bit_len() <= 2); // DC delta "1" + EOB "0"
+    }
+
+    #[test]
+    fn truncated_block_errors() {
+        let mut zz = [0i32; 64];
+        zz[0] = 4;
+        zz[10] = 9;
+        let mut w = BitWriter::new();
+        let mut dc = 0;
+        encode_block(&mut w, &zz, &mut dc);
+        let bytes = w.into_bytes();
+        // Cut mid-stream: decoding should fail, not panic, for all prefixes.
+        for cut in 0..bytes.len().saturating_sub(1) {
+            let mut r = BitReader::new(&bytes[..cut]);
+            let mut dc = 0;
+            let _ = decode_block(&mut r, &mut dc); // must not panic
+        }
+    }
+}

@@ -1,0 +1,65 @@
+//! Zigzag scan ordering for 8×8 blocks.
+//!
+//! The zigzag order groups low-frequency coefficients first so that the
+//! run-length entropy coder sees long tails of zeros.
+
+/// Zigzag scan order: `ZIGZAG[i]` is the row-major index of the `i`-th
+/// coefficient in scan order.
+pub const ZIGZAG: [usize; 64] = [
+    0, 1, 8, 16, 9, 2, 3, 10, //
+    17, 24, 32, 25, 18, 11, 4, 5, //
+    12, 19, 26, 33, 40, 48, 41, 34, //
+    27, 20, 13, 6, 7, 14, 21, 28, //
+    35, 42, 49, 56, 57, 50, 43, 36, //
+    29, 22, 15, 23, 30, 37, 44, 51, //
+    58, 59, 52, 45, 38, 31, 39, 46, //
+    53, 60, 61, 54, 47, 55, 62, 63,
+];
+
+/// Reorders a row-major block into zigzag scan order.
+pub fn to_zigzag(block: &[i32; 64]) -> [i32; 64] {
+    let mut out = [0i32; 64];
+    for (i, &src) in ZIGZAG.iter().enumerate() {
+        out[i] = block[src];
+    }
+    out
+}
+
+/// Reorders a zigzag-scanned block back to row-major order.
+pub fn from_zigzag(scan: &[i32; 64]) -> [i32; 64] {
+    let mut out = [0i32; 64];
+    for (i, &dst) in ZIGZAG.iter().enumerate() {
+        out[dst] = scan[i];
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zigzag_is_a_permutation() {
+        let mut seen = [false; 64];
+        for &idx in &ZIGZAG {
+            assert!(!seen[idx], "duplicate index {idx}");
+            seen[idx] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn roundtrip_is_identity() {
+        let mut block = [0i32; 64];
+        for (i, v) in block.iter_mut().enumerate() {
+            *v = i as i32 * 3 - 50;
+        }
+        assert_eq!(from_zigzag(&to_zigzag(&block)), block);
+    }
+
+    #[test]
+    fn scan_starts_at_dc_and_walks_the_first_antidiagonal() {
+        assert_eq!(&ZIGZAG[..6], &[0, 1, 8, 16, 9, 2]);
+        assert_eq!(ZIGZAG[63], 63);
+    }
+}

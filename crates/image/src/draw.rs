@@ -1,0 +1,280 @@
+//! Deterministic drawing primitives.
+//!
+//! The paper evaluates on real photo collections (Kentucky, Nepal, Paris);
+//! this reproduction generates synthetic scenes instead (see `bees-datasets`).
+//! These primitives provide enough visual structure — corners, edges, texture
+//! — for FAST/ORB/SIFT to find meaningful keypoints.
+
+use crate::{Rgb, RgbImage};
+
+/// Fills an axis-aligned rectangle, clipped to the image.
+pub fn fill_rect(img: &mut RgbImage, x0: i64, y0: i64, w: u32, h: u32, color: Rgb) {
+    let (iw, ih) = (img.width() as i64, img.height() as i64);
+    let xs = x0.max(0);
+    let ys = y0.max(0);
+    let xe = (x0 + w as i64).min(iw);
+    let ye = (y0 + h as i64).min(ih);
+    for y in ys..ye {
+        for x in xs..xe {
+            img.set(x as u32, y as u32, color);
+        }
+    }
+}
+
+/// Fills a disk of the given radius, clipped to the image.
+pub fn fill_disk(img: &mut RgbImage, cx: i64, cy: i64, radius: u32, color: Rgb) {
+    let r = radius as i64;
+    let (iw, ih) = (img.width() as i64, img.height() as i64);
+    for y in (cy - r).max(0)..(cy + r + 1).min(ih) {
+        for x in (cx - r).max(0)..(cx + r + 1).min(iw) {
+            let dx = x - cx;
+            let dy = y - cy;
+            if dx * dx + dy * dy <= r * r {
+                img.set(x as u32, y as u32, color);
+            }
+        }
+    }
+}
+
+/// Draws a line with Bresenham's algorithm, clipped to the image.
+pub fn draw_line(img: &mut RgbImage, x0: i64, y0: i64, x1: i64, y1: i64, color: Rgb) {
+    let (iw, ih) = (img.width() as i64, img.height() as i64);
+    let dx = (x1 - x0).abs();
+    let dy = -(y1 - y0).abs();
+    let sx = if x0 < x1 { 1 } else { -1 };
+    let sy = if y0 < y1 { 1 } else { -1 };
+    let mut err = dx + dy;
+    let (mut x, mut y) = (x0, y0);
+    loop {
+        if (0..iw).contains(&x) && (0..ih).contains(&y) {
+            img.set(x as u32, y as u32, color);
+        }
+        if x == x1 && y == y1 {
+            break;
+        }
+        let e2 = 2 * err;
+        if e2 >= dy {
+            err += dy;
+            x += sx;
+        }
+        if e2 <= dx {
+            err += dx;
+            y += sy;
+        }
+    }
+}
+
+/// Draws a filled triangle (scanline fill), clipped to the image.
+pub fn fill_triangle(
+    img: &mut RgbImage,
+    p0: (i64, i64),
+    p1: (i64, i64),
+    p2: (i64, i64),
+    color: Rgb,
+) {
+    let min_x = p0.0.min(p1.0).min(p2.0).max(0);
+    let max_x = p0.0.max(p1.0).max(p2.0).min(img.width() as i64 - 1);
+    let min_y = p0.1.min(p1.1).min(p2.1).max(0);
+    let max_y = p0.1.max(p1.1).max(p2.1).min(img.height() as i64 - 1);
+    let edge = |a: (i64, i64), b: (i64, i64), p: (i64, i64)| -> i64 {
+        (b.0 - a.0) * (p.1 - a.1) - (b.1 - a.1) * (p.0 - a.0)
+    };
+    let area = edge(p0, p1, p2);
+    if area == 0 {
+        return;
+    }
+    for y in min_y..=max_y {
+        for x in min_x..=max_x {
+            let p = (x, y);
+            let w0 = edge(p1, p2, p);
+            let w1 = edge(p2, p0, p);
+            let w2 = edge(p0, p1, p);
+            let all_nonneg = w0 >= 0 && w1 >= 0 && w2 >= 0;
+            let all_nonpos = w0 <= 0 && w1 <= 0 && w2 <= 0;
+            if all_nonneg || all_nonpos {
+                img.set(x as u32, y as u32, color);
+            }
+        }
+    }
+}
+
+/// Fills the whole image with a smooth two-color vertical gradient.
+pub fn fill_vertical_gradient(img: &mut RgbImage, top: Rgb, bottom: Rgb) {
+    let h = img.height().max(2);
+    for y in 0..img.height() {
+        let t = y as f32 / (h - 1) as f32;
+        let lerp = |a: u8, b: u8| (a as f32 + t * (b as f32 - a as f32)).round() as u8;
+        let c = Rgb::new(lerp(top.r, bottom.r), lerp(top.g, bottom.g), lerp(top.b, bottom.b));
+        for x in 0..img.width() {
+            img.set(x, y, c);
+        }
+    }
+}
+
+/// Overlays a checkerboard texture inside a rectangle; `cell` is the square
+/// size in pixels. Checker corners are strong FAST/Harris responses.
+pub fn draw_checker(
+    img: &mut RgbImage,
+    x0: i64,
+    y0: i64,
+    w: u32,
+    h: u32,
+    cell: u32,
+    a: Rgb,
+    b: Rgb,
+) {
+    let cell = cell.max(1) as i64;
+    let (iw, ih) = (img.width() as i64, img.height() as i64);
+    for y in y0.max(0)..(y0 + h as i64).min(ih) {
+        for x in x0.max(0)..(x0 + w as i64).min(iw) {
+            let cxi = (x - x0) / cell;
+            let cyi = (y - y0) / cell;
+            img.set(x as u32, y as u32, if (cxi + cyi) % 2 == 0 { a } else { b });
+        }
+    }
+}
+
+/// Quantizes every pixel to its nearest color (squared-RGB distance) in
+/// `palette`. Posterization collapses an image's color world onto a shared
+/// palette — useful for simulating corpora whose photos share tones (rubble,
+/// sky, vegetation), where global color features lose their power.
+///
+/// # Panics
+///
+/// Panics if `palette` is empty.
+pub fn posterize(img: &RgbImage, palette: &[Rgb]) -> RgbImage {
+    assert!(!palette.is_empty(), "palette must contain at least one color");
+    RgbImage::from_fn(img.width(), img.height(), |x, y| {
+        let p = img.get(x, y);
+        *palette
+            .iter()
+            .min_by_key(|c| {
+                let dr = p.r as i32 - c.r as i32;
+                let dg = p.g as i32 - c.g as i32;
+                let db = p.b as i32 - c.b as i32;
+                dr * dr + dg * dg + db * db
+            })
+            .expect("palette is non-empty")
+    })
+}
+
+/// Adjusts global brightness by `delta` (may be negative), saturating.
+pub fn adjust_brightness(img: &mut RgbImage, delta: i32) {
+    for y in 0..img.height() {
+        for x in 0..img.width() {
+            let p = img.get(x, y);
+            let adj = |v: u8| (v as i32 + delta).clamp(0, 255) as u8;
+            img.set(x, y, Rgb::new(adj(p.r), adj(p.g), adj(p.b)));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blank(w: u32, h: u32) -> RgbImage {
+        RgbImage::new(w, h).unwrap()
+    }
+
+    #[test]
+    fn fill_rect_clips_to_bounds() {
+        let mut img = blank(10, 10);
+        fill_rect(&mut img, -5, -5, 8, 8, Rgb::new(255, 0, 0));
+        assert_eq!(img.get(0, 0).r, 255);
+        assert_eq!(img.get(2, 2).r, 255);
+        assert_eq!(img.get(3, 3).r, 0);
+        // Entirely outside: no panic, no change.
+        fill_rect(&mut img, 20, 20, 4, 4, Rgb::new(0, 255, 0));
+    }
+
+    #[test]
+    fn disk_is_roughly_circular() {
+        let mut img = blank(21, 21);
+        fill_disk(&mut img, 10, 10, 5, Rgb::new(0, 0, 255));
+        assert_eq!(img.get(10, 10).b, 255);
+        assert_eq!(img.get(10, 5).b, 255);
+        assert_eq!(img.get(10, 4).b, 0);
+        assert_eq!(img.get(0, 0).b, 0);
+    }
+
+    #[test]
+    fn line_endpoints_are_set() {
+        let mut img = blank(16, 16);
+        draw_line(&mut img, 1, 2, 12, 9, Rgb::new(9, 9, 9));
+        assert_eq!(img.get(1, 2).r, 9);
+        assert_eq!(img.get(12, 9).r, 9);
+    }
+
+    #[test]
+    fn line_clips_out_of_bounds() {
+        let mut img = blank(8, 8);
+        // Must not panic even with endpoints far outside.
+        draw_line(&mut img, -10, -10, 20, 20, Rgb::new(1, 1, 1));
+        assert_eq!(img.get(4, 4).r, 1);
+    }
+
+    #[test]
+    fn triangle_fills_interior() {
+        let mut img = blank(20, 20);
+        fill_triangle(&mut img, (2, 2), (17, 3), (9, 16), Rgb::new(200, 0, 0));
+        assert_eq!(img.get(9, 7).r, 200);
+        assert_eq!(img.get(0, 19).r, 0);
+    }
+
+    #[test]
+    fn degenerate_triangle_is_noop() {
+        let mut img = blank(10, 10);
+        fill_triangle(&mut img, (1, 1), (5, 5), (9, 9), Rgb::new(50, 0, 0));
+        // Collinear points: area zero, nothing drawn.
+        assert_eq!(img.get(5, 5).r, 0);
+    }
+
+    #[test]
+    fn gradient_interpolates_between_colors() {
+        let mut img = blank(4, 11);
+        fill_vertical_gradient(&mut img, Rgb::new(0, 0, 0), Rgb::new(200, 100, 50));
+        assert_eq!(img.get(0, 0), Rgb::new(0, 0, 0));
+        assert_eq!(img.get(0, 10), Rgb::new(200, 100, 50));
+        let mid = img.get(0, 5);
+        assert!((mid.r as i32 - 100).abs() <= 2);
+    }
+
+    #[test]
+    fn checker_alternates_cells() {
+        let mut img = blank(8, 8);
+        draw_checker(&mut img, 0, 0, 8, 8, 2, Rgb::new(255, 255, 255), Rgb::new(0, 0, 0));
+        assert_eq!(img.get(0, 0).r, 255);
+        assert_eq!(img.get(2, 0).r, 0);
+        assert_eq!(img.get(2, 2).r, 255);
+    }
+
+    #[test]
+    fn posterize_maps_to_palette_members() {
+        let img = RgbImage::from_fn(8, 8, |x, y| Rgb::new((x * 30) as u8, (y * 30) as u8, 99));
+        let palette = [Rgb::new(0, 0, 0), Rgb::new(255, 255, 255), Rgb::new(200, 30, 30)];
+        let out = posterize(&img, &palette);
+        for p in out.pixels() {
+            assert!(palette.contains(p), "{p:?} not in palette");
+        }
+        // Idempotent: posterizing a posterized image changes nothing.
+        assert_eq!(posterize(&out, &palette), out);
+    }
+
+    #[test]
+    #[should_panic(expected = "palette")]
+    fn posterize_rejects_empty_palette() {
+        let img = RgbImage::new(2, 2).unwrap();
+        let _ = posterize(&img, &[]);
+    }
+
+    #[test]
+    fn brightness_saturates() {
+        let mut img = blank(2, 1);
+        img.set(0, 0, Rgb::new(250, 5, 128));
+        adjust_brightness(&mut img, 20);
+        assert_eq!(img.get(0, 0), Rgb::new(255, 25, 148));
+        adjust_brightness(&mut img, -300);
+        assert_eq!(img.get(0, 0), Rgb::new(0, 0, 0));
+    }
+}

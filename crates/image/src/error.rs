@@ -1,0 +1,95 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error type for image construction, resampling, codec, and metric operations.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ImageError {
+    /// An image dimension was zero or otherwise unusable.
+    InvalidDimensions {
+        /// Requested width in pixels.
+        width: u32,
+        /// Requested height in pixels.
+        height: u32,
+    },
+    /// The supplied pixel buffer length does not match `width * height` (times
+    /// the channel count).
+    BufferSizeMismatch {
+        /// Length the buffer should have had.
+        expected: usize,
+        /// Length the buffer actually had.
+        actual: usize,
+    },
+    /// A proportion/quality parameter was outside its valid range.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// The value that was rejected.
+        value: f64,
+    },
+    /// Two images that must share dimensions did not.
+    DimensionMismatch {
+        /// Dimensions of the first image.
+        first: (u32, u32),
+        /// Dimensions of the second image.
+        second: (u32, u32),
+    },
+    /// The encoded bitstream was truncated or corrupt.
+    CorruptBitstream {
+        /// Human-readable description of what failed to parse.
+        detail: &'static str,
+    },
+}
+
+impl fmt::Display for ImageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ImageError::InvalidDimensions { width, height } => {
+                write!(f, "invalid image dimensions {width}x{height}")
+            }
+            ImageError::BufferSizeMismatch { expected, actual } => {
+                write!(f, "pixel buffer length {actual} does not match expected {expected}")
+            }
+            ImageError::InvalidParameter { name, value } => {
+                write!(f, "parameter `{name}` out of range: {value}")
+            }
+            ImageError::DimensionMismatch { first, second } => write!(
+                f,
+                "image dimensions differ: {}x{} vs {}x{}",
+                first.0, first.1, second.0, second.1
+            ),
+            ImageError::CorruptBitstream { detail } => {
+                write!(f, "corrupt encoded bitstream: {detail}")
+            }
+        }
+    }
+}
+
+impl Error for ImageError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let errors = [
+            ImageError::InvalidDimensions { width: 0, height: 3 },
+            ImageError::BufferSizeMismatch { expected: 12, actual: 9 },
+            ImageError::InvalidParameter { name: "quality", value: 1.4 },
+            ImageError::DimensionMismatch { first: (1, 2), second: (3, 4) },
+            ImageError::CorruptBitstream { detail: "truncated header" },
+        ];
+        for e in errors {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ImageError>();
+    }
+}

@@ -1,0 +1,161 @@
+//! Summed-area (integral) images for O(1) box sums.
+//!
+//! Used by the SSIM implementation for windowed means/variances and available
+//! to feature code for fast patch statistics.
+
+use crate::{GrayImage, Result};
+
+/// A summed-area table over an image, with one extra row/column of zeros so
+/// that rectangle sums need no boundary special-casing.
+///
+/// # Examples
+///
+/// ```
+/// use bees_image::{GrayImage, integral::IntegralImage};
+///
+/// let img = GrayImage::from_fn(4, 4, |_, _| 2);
+/// let ii = IntegralImage::from_image(&img);
+/// assert_eq!(ii.rect_sum(0, 0, 4, 4), 32);
+/// assert_eq!(ii.rect_sum(1, 1, 2, 2), 8);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct IntegralImage {
+    width: u32,
+    height: u32,
+    // (width + 1) * (height + 1) table of cumulative sums.
+    table: Vec<u64>,
+}
+
+impl IntegralImage {
+    /// Builds the integral image of `src`.
+    pub fn from_image(src: &GrayImage) -> Self {
+        Self::from_values(src.width(), src.height(), |x, y| src.get(x, y) as u64)
+    }
+
+    /// Builds an integral image over squared pixel values (for variances).
+    pub fn from_image_squared(src: &GrayImage) -> Self {
+        Self::from_values(src.width(), src.height(), |x, y| {
+            let v = src.get(x, y) as u64;
+            v * v
+        })
+    }
+
+    fn from_values<F: Fn(u32, u32) -> u64>(width: u32, height: u32, f: F) -> Self {
+        let w1 = width as usize + 1;
+        let h1 = height as usize + 1;
+        let mut table = vec![0u64; w1 * h1];
+        for y in 1..h1 {
+            let mut row_sum = 0u64;
+            for x in 1..w1 {
+                row_sum += f((x - 1) as u32, (y - 1) as u32);
+                table[y * w1 + x] = table[(y - 1) * w1 + x] + row_sum;
+            }
+        }
+        IntegralImage { width, height, table }
+    }
+
+    /// Width of the underlying image.
+    #[inline]
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Height of the underlying image.
+    #[inline]
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+
+    /// Sum of the `w × h` rectangle whose top-left corner is `(x, y)`.
+    ///
+    /// The rectangle is clamped to the image bounds; a fully out-of-bounds or
+    /// empty rectangle sums to zero.
+    pub fn rect_sum(&self, x: u32, y: u32, w: u32, h: u32) -> u64 {
+        if w == 0 || h == 0 || x >= self.width || y >= self.height {
+            return 0;
+        }
+        let x1 = (x + w).min(self.width) as usize;
+        let y1 = (y + h).min(self.height) as usize;
+        let x0 = x as usize;
+        let y0 = y as usize;
+        let w1 = self.width as usize + 1;
+        self.table[y1 * w1 + x1] + self.table[y0 * w1 + x0]
+            - self.table[y0 * w1 + x1]
+            - self.table[y1 * w1 + x0]
+    }
+
+    /// Mean pixel value over the clamped rectangle.
+    pub fn rect_mean(&self, x: u32, y: u32, w: u32, h: u32) -> f64 {
+        if w == 0 || h == 0 || x >= self.width || y >= self.height {
+            return 0.0;
+        }
+        let cw = ((x + w).min(self.width) - x) as f64;
+        let ch = ((y + h).min(self.height) - y) as f64;
+        self.rect_sum(x, y, w, h) as f64 / (cw * ch)
+    }
+}
+
+/// Convenience: builds both the plain and squared integral images at once.
+///
+/// # Errors
+///
+/// Infallible today; returns `Result` for interface stability with the rest
+/// of the crate.
+pub fn integral_pair(src: &GrayImage) -> Result<(IntegralImage, IntegralImage)> {
+    Ok((IntegralImage::from_image(src), IntegralImage::from_image_squared(src)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn brute_sum(img: &GrayImage, x: u32, y: u32, w: u32, h: u32) -> u64 {
+        let mut s = 0u64;
+        for yy in y..(y + h).min(img.height()) {
+            for xx in x..(x + w).min(img.width()) {
+                s += img.get(xx, yy) as u64;
+            }
+        }
+        s
+    }
+
+    #[test]
+    fn rect_sum_matches_brute_force() {
+        let img = GrayImage::from_fn(13, 9, |x, y| ((x * 31 + y * 17) % 251) as u8);
+        let ii = IntegralImage::from_image(&img);
+        for (x, y, w, h) in [(0, 0, 13, 9), (2, 3, 4, 4), (12, 8, 1, 1), (5, 0, 20, 2), (0, 7, 3, 9)]
+        {
+            assert_eq!(ii.rect_sum(x, y, w, h), brute_sum(&img, x, y, w, h), "{x},{y},{w},{h}");
+        }
+    }
+
+    #[test]
+    fn empty_and_out_of_bounds_rects_are_zero() {
+        let img = GrayImage::from_fn(4, 4, |_, _| 50);
+        let ii = IntegralImage::from_image(&img);
+        assert_eq!(ii.rect_sum(0, 0, 0, 4), 0);
+        assert_eq!(ii.rect_sum(4, 0, 1, 1), 0);
+        assert_eq!(ii.rect_sum(0, 9, 1, 1), 0);
+    }
+
+    #[test]
+    fn squared_integral_supports_variance() {
+        let img = GrayImage::from_fn(6, 6, |x, _| (x * 40) as u8);
+        let (ii, ii2) = integral_pair(&img).unwrap();
+        let n = 36.0;
+        let mean = ii.rect_sum(0, 0, 6, 6) as f64 / n;
+        let var = ii2.rect_sum(0, 0, 6, 6) as f64 / n - mean * mean;
+        // Direct computation.
+        let m = img.pixels().iter().map(|&p| p as f64).sum::<f64>() / n;
+        let v = img.pixels().iter().map(|&p| (p as f64 - m).powi(2)).sum::<f64>() / n;
+        assert!((mean - m).abs() < 1e-9);
+        assert!((var - v).abs() < 1e-6);
+    }
+
+    #[test]
+    fn rect_mean_of_constant_region() {
+        let img = GrayImage::from_fn(8, 8, |_, _| 77);
+        let ii = IntegralImage::from_image(&img);
+        assert!((ii.rect_mean(3, 3, 10, 10) - 77.0).abs() < 1e-9);
+    }
+}

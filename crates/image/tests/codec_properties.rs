@@ -1,0 +1,115 @@
+//! Property-based tests of the image substrate: codec round-trips, resize
+//! bounds, bit-level I/O, and entropy-coding invariants.
+
+use bees_image::codec::bits::{BitReader, BitWriter};
+use bees_image::codec::{self, entropy, zigzag};
+use bees_image::{resize, GrayImage, Rgb, RgbImage};
+use proptest::prelude::*;
+
+fn arb_gray(max_w: u32, max_h: u32) -> impl Strategy<Value = GrayImage> {
+    ((1..=max_w), (1..=max_h), any::<u64>()).prop_map(|(w, h, seed)| {
+        GrayImage::from_fn(w, h, |x, y| {
+            let v = seed
+                .wrapping_add(((x as u64) << 24) ^ ((y as u64) << 8))
+                .wrapping_mul(0x2545F4914F6CDD1D);
+            (v >> 48) as u8
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn gray_codec_roundtrips_any_shape(img in arb_gray(40, 40), q in 1u8..=100) {
+        let encoded = codec::encode_gray(&img, q).unwrap();
+        let decoded = codec::decode_gray(&encoded).unwrap();
+        prop_assert_eq!(decoded.dimensions(), img.dimensions());
+    }
+
+    #[test]
+    fn rgb_codec_roundtrips_any_shape(w in 1u32..24, h in 1u32..24, seed in any::<u64>(), q in 1u8..=100) {
+        let img = RgbImage::from_fn(w, h, |x, y| {
+            let v = seed.wrapping_add((x * 31 + y * 7) as u64).wrapping_mul(0x9E3779B97F4A7C15);
+            Rgb::new((v >> 16) as u8, (v >> 32) as u8, (v >> 48) as u8)
+        });
+        let decoded = codec::decode_rgb(&codec::encode_rgb(&img, q).unwrap()).unwrap();
+        prop_assert_eq!(decoded.dimensions(), img.dimensions());
+    }
+
+    #[test]
+    fn truncated_streams_error_not_panic(img in arb_gray(24, 24), cut_fraction in 0.0f64..1.0) {
+        let encoded = codec::encode_gray(&img, 50).unwrap();
+        let cut = (encoded.len() as f64 * cut_fraction) as usize;
+        if cut < encoded.len() {
+            let _ = codec::decode_gray(&encoded[..cut]); // Err or Ok, never panic
+        }
+    }
+
+    #[test]
+    fn bit_io_roundtrips_any_sequence(values in proptest::collection::vec((any::<u64>(), 1u8..=64), 0..50)) {
+        let mut w = BitWriter::new();
+        for &(v, n) in &values {
+            let masked = if n == 64 { v } else { v & ((1u64 << n) - 1) };
+            w.write_bits(masked, n);
+        }
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        for &(v, n) in &values {
+            let masked = if n == 64 { v } else { v & ((1u64 << n) - 1) };
+            prop_assert_eq!(r.read_bits(n).unwrap(), masked);
+        }
+    }
+
+    #[test]
+    fn entropy_block_roundtrips_any_coefficients(
+        coeffs in proptest::collection::vec(-2048i32..2048, 64),
+        prev in -1000i32..1000,
+    ) {
+        let mut zz = [0i32; 64];
+        zz.copy_from_slice(&coeffs);
+        let mut w = BitWriter::new();
+        let mut dc_enc = prev;
+        entropy::encode_block(&mut w, &zz, &mut dc_enc);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        let mut dc_dec = prev;
+        let back = entropy::decode_block(&mut r, &mut dc_dec).unwrap();
+        prop_assert_eq!(back, zz);
+        prop_assert_eq!(dc_dec, dc_enc);
+    }
+
+    #[test]
+    fn zigzag_roundtrips_any_block(coeffs in proptest::collection::vec(any::<i32>(), 64)) {
+        let mut block = [0i32; 64];
+        block.copy_from_slice(&coeffs);
+        prop_assert_eq!(zigzag::from_zigzag(&zigzag::to_zigzag(&block)), block);
+    }
+
+    #[test]
+    fn compress_bitmap_dimensions_shrink_by_proportion(img in arb_gray(64, 64), c in 0.0f64..0.95) {
+        let out = resize::compress_bitmap(&img, c).unwrap();
+        let expected_w = ((img.width() as f64 * (1.0 - c)).round() as u32).max(1);
+        prop_assert_eq!(out.width(), expected_w);
+        prop_assert!(out.width() <= img.width());
+        prop_assert!(out.height() <= img.height());
+    }
+
+    #[test]
+    fn bilinear_resize_stays_within_value_range(img in arb_gray(32, 32), w in 1u32..48, h in 1u32..48) {
+        let out = resize::resize_bilinear(&img, w, h).unwrap();
+        let (mn, mx) = img.pixels().iter().fold((255u8, 0u8), |(a, b), &p| (a.min(p), b.max(p)));
+        for &p in out.pixels() {
+            prop_assert!(p >= mn && p <= mx);
+        }
+    }
+
+    #[test]
+    fn ssim_is_bounded_and_reflexive(img in arb_gray(24, 24)) {
+        use bees_image::metrics::ssim;
+        let s = ssim(&img, &img).unwrap();
+        // f32 Gaussian-kernel normalization leaves ~1e-6 residue on tiny
+        // constant images.
+        prop_assert!((s - 1.0).abs() < 1e-5, "ssim(self) = {}", s);
+    }
+}

@@ -1,0 +1,86 @@
+#![warn(missing_docs)]
+
+//! Server-side image feature index for the BEES reproduction.
+//!
+//! Cross-Batch Redundancy Detection (paper §III-B1) works by "querying the
+//! server index": the client uploads an image's features, the server finds
+//! the *maximum similarity* against every stored image, and the image is
+//! declared redundant when that similarity exceeds the threshold `T`.
+//! The Kentucky precision experiments additionally need top-k queries.
+//!
+//! Three backends are provided:
+//!
+//! * [`LinearIndex`] — exact: scores the query against every stored image,
+//! * [`MihIndex`] — multi-index hashing over the four 64-bit words of each
+//!   256-bit ORB descriptor: images sharing no descriptor word with the
+//!   query (within the multi-probe radius) are skipped; survivors are
+//!   rescored exactly,
+//! * [`vocab::VocabIndex`] — a vocabulary tree (Nistér & Stewénius, the
+//!   paper's reference [20]): hierarchical k-medoids quantization into
+//!   visual words plus an inverted file, again with exact rescoring.
+//!
+//! # Examples
+//!
+//! ```
+//! use bees_index::{ImageId, LinearIndex, FeatureIndex};
+//! use bees_features::ImageFeatures;
+//! use bees_features::similarity::SimilarityConfig;
+//!
+//! let mut index = LinearIndex::new(SimilarityConfig::default());
+//! index.insert(ImageId(1), ImageFeatures::empty_binary());
+//! assert_eq!(index.len(), 1);
+//! ```
+
+mod linear;
+mod mih;
+mod store;
+pub mod vocab;
+
+pub use linear::LinearIndex;
+pub use mih::MihIndex;
+pub use store::{ImageEntry, ImageId, QueryHit};
+
+use bees_features::similarity::SimilarityConfig;
+use bees_features::ImageFeatures;
+
+/// A queryable image-feature index.
+///
+/// Implemented by [`LinearIndex`] (exact) and [`MihIndex`] (accelerated).
+pub trait FeatureIndex {
+    /// Inserts an image's features under `id`.
+    ///
+    /// Re-inserting an existing id replaces the stored features.
+    fn insert(&mut self, id: ImageId, features: ImageFeatures);
+
+    /// Number of indexed images.
+    fn len(&self) -> usize;
+
+    /// Whether the index is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Finds the stored image with the highest Jaccard similarity to
+    /// `query`, or `None` when the index is empty or every score is zero.
+    fn max_similarity(&self, query: &ImageFeatures) -> Option<QueryHit>;
+
+    /// Returns up to `k` hits ordered by descending similarity. Zero-score
+    /// images are omitted.
+    fn top_k(&self, query: &ImageFeatures, k: usize) -> Vec<QueryHit>;
+
+    /// Total stored feature payload in bytes (Table I's space overhead).
+    fn feature_bytes(&self) -> usize;
+
+    /// Similarity configuration used for scoring.
+    fn similarity_config(&self) -> &SimilarityConfig;
+}
+
+#[cfg(test)]
+mod trait_tests {
+    use super::*;
+
+    #[test]
+    fn trait_is_object_safe() {
+        fn _takes_dyn(_i: &dyn FeatureIndex) {}
+    }
+}

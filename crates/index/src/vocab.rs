@@ -1,0 +1,438 @@
+//! A vocabulary-tree index (Nistér & Stewénius, CVPR 2006 — the paper's
+//! reference [20], whose Kentucky benchmark BEES evaluates precision on).
+//!
+//! Descriptors are quantized into *visual words* by descending a
+//! hierarchical k-medoids tree built over binary descriptors with Hamming
+//! distance (medoid update = per-bit majority vote). Images become bags of
+//! words in an inverted file; a query walks the inverted file to collect
+//! candidate images by shared-word count and then — like the MIH backend —
+//! rescores the candidates with the exact Jaccard similarity, so the
+//! backend can narrow but never fabricate matches.
+//!
+//! Vector (SIFT/PCA-SIFT) feature sets fall back to a linear scan.
+
+use crate::store::{rank_hits, ImageEntry, ImageId, QueryHit};
+use crate::FeatureIndex;
+use bees_features::descriptor::BinaryDescriptor;
+use bees_features::similarity::{jaccard_similarity, SimilarityConfig};
+use bees_features::{Descriptors, ImageFeatures};
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::collections::HashMap;
+
+/// Shape of the vocabulary tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VocabConfig {
+    /// Children per node (the paper's `k`).
+    pub branching: usize,
+    /// Tree depth (levels below the root); leaves = `branching^depth`.
+    pub depth: usize,
+    /// k-medoids iterations per node.
+    pub iterations: usize,
+    /// Training seed.
+    pub seed: u64,
+}
+
+impl Default for VocabConfig {
+    fn default() -> Self {
+        VocabConfig { branching: 8, depth: 3, iterations: 6, seed: 0x70CA_B }
+    }
+}
+
+/// One tree node: a centroid plus children (empty for leaves).
+#[derive(Debug, Clone)]
+struct Node {
+    centroid: BinaryDescriptor,
+    children: Vec<Node>,
+    /// Leaf id when this is a leaf, usize::MAX otherwise.
+    word: usize,
+}
+
+/// A trained hierarchical vocabulary over binary descriptors.
+#[derive(Debug, Clone)]
+pub struct Vocabulary {
+    roots: Vec<Node>,
+    n_words: usize,
+}
+
+impl Vocabulary {
+    /// Trains the tree from a descriptor sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sample` is empty or the config has zero branching/depth.
+    pub fn train(sample: &[BinaryDescriptor], config: VocabConfig) -> Self {
+        assert!(!sample.is_empty(), "cannot train a vocabulary on an empty sample");
+        assert!(config.branching >= 2, "branching must be at least 2");
+        assert!(config.depth >= 1, "depth must be at least 1");
+        let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
+        let refs: Vec<&BinaryDescriptor> = sample.iter().collect();
+        let mut next_word = 0usize;
+        let roots = split(&refs, config.depth, &config, &mut rng, &mut next_word);
+        Vocabulary { roots, n_words: next_word }
+    }
+
+    /// Number of leaf words.
+    pub fn len(&self) -> usize {
+        self.n_words
+    }
+
+    /// Whether the vocabulary has no words (never true after training).
+    pub fn is_empty(&self) -> bool {
+        self.n_words == 0
+    }
+
+    /// Quantizes a descriptor to its visual word by greedy descent.
+    pub fn word_of(&self, d: &BinaryDescriptor) -> usize {
+        let mut level = &self.roots;
+        loop {
+            let best = level
+                .iter()
+                .min_by_key(|n| d.hamming_distance(&n.centroid))
+                .expect("nodes are non-empty by construction");
+            if best.children.is_empty() {
+                return best.word;
+            }
+            level = &best.children;
+        }
+    }
+
+    /// Quantizes a whole feature set into a sorted, deduplicated word list.
+    pub fn words_of(&self, features: &ImageFeatures) -> Vec<usize> {
+        let Descriptors::Binary(descs) = &features.descriptors else {
+            return Vec::new();
+        };
+        let mut words: Vec<usize> = descs.iter().map(|d| self.word_of(d)).collect();
+        words.sort_unstable();
+        words.dedup();
+        words
+    }
+}
+
+/// Recursively k-medoids-partitions `points` into a subtree of `depth`
+/// levels, assigning leaf word ids from `next_word`.
+fn split(
+    points: &[&BinaryDescriptor],
+    depth: usize,
+    config: &VocabConfig,
+    rng: &mut ChaCha8Rng,
+    next_word: &mut usize,
+) -> Vec<Node> {
+    let k = config.branching.min(points.len()).max(1);
+    // Initialize centroids from distinct sample points.
+    let mut chosen: Vec<&BinaryDescriptor> = points.to_vec();
+    chosen.shuffle(rng);
+    chosen.truncate(k);
+    let mut centroids: Vec<BinaryDescriptor> = chosen.into_iter().copied().collect();
+
+    let mut assignment = vec![0usize; points.len()];
+    for _ in 0..config.iterations {
+        // Assign.
+        for (i, p) in points.iter().enumerate() {
+            assignment[i] = centroids
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, c)| p.hamming_distance(c))
+                .map(|(j, _)| j)
+                .expect("k >= 1");
+        }
+        // Update: per-bit majority vote within each cluster.
+        for (j, centroid) in centroids.iter_mut().enumerate() {
+            let members: Vec<&&BinaryDescriptor> =
+                points.iter().zip(&assignment).filter(|(_, &a)| a == j).map(|(p, _)| p).collect();
+            if members.is_empty() {
+                continue;
+            }
+            let mut counts = [0usize; 256];
+            for m in &members {
+                for (bit, count) in counts.iter_mut().enumerate() {
+                    if m.bit(bit) {
+                        *count += 1;
+                    }
+                }
+            }
+            let mut bytes = [0u8; 32];
+            for (bit, &count) in counts.iter().enumerate() {
+                if count * 2 > members.len() {
+                    bytes[bit / 8] |= 1 << (bit % 8);
+                }
+            }
+            *centroid = BinaryDescriptor::from_bytes(bytes);
+        }
+    }
+
+    // Build child nodes.
+    centroids
+        .into_iter()
+        .enumerate()
+        .map(|(j, centroid)| {
+            let members: Vec<&BinaryDescriptor> = points
+                .iter()
+                .zip(&assignment)
+                .filter(|(_, &a)| a == j)
+                .map(|(p, _)| *p)
+                .collect();
+            if depth == 1 || members.len() <= 1 {
+                let word = *next_word;
+                *next_word += 1;
+                Node { centroid, children: Vec::new(), word }
+            } else {
+                let children = split(&members, depth - 1, config, rng, next_word);
+                Node { centroid, children, word: usize::MAX }
+            }
+        })
+        .collect()
+}
+
+/// The vocabulary-tree index backend.
+///
+/// # Examples
+///
+/// ```
+/// use bees_features::descriptor::BinaryDescriptor;
+/// use bees_features::similarity::SimilarityConfig;
+/// use bees_index::vocab::{VocabConfig, VocabIndex, Vocabulary};
+///
+/// let sample: Vec<BinaryDescriptor> = (0..64u8)
+///     .map(|i| BinaryDescriptor::from_bytes([i; 32]))
+///     .collect();
+/// let vocab = Vocabulary::train(&sample, VocabConfig::default());
+/// let index = VocabIndex::new(SimilarityConfig::default(), vocab);
+/// assert!(index.vocabulary().len() > 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct VocabIndex {
+    entries: Vec<ImageEntry>,
+    id_to_pos: HashMap<ImageId, usize>,
+    /// word -> image ids containing it.
+    inverted: HashMap<usize, Vec<ImageId>>,
+    /// Cached word lists per position (parallel to `entries`).
+    words: Vec<Vec<usize>>,
+    vocabulary: Vocabulary,
+    config: SimilarityConfig,
+}
+
+impl VocabIndex {
+    /// Creates an empty index over a trained vocabulary.
+    pub fn new(config: SimilarityConfig, vocabulary: Vocabulary) -> Self {
+        VocabIndex {
+            entries: Vec::new(),
+            id_to_pos: HashMap::new(),
+            inverted: HashMap::new(),
+            words: Vec::new(),
+            vocabulary,
+            config,
+        }
+    }
+
+    /// The trained vocabulary in use.
+    pub fn vocabulary(&self) -> &Vocabulary {
+        &self.vocabulary
+    }
+
+    /// Candidate images sharing at least one visual word with the query,
+    /// with their shared-word counts. Exposed for benchmarks.
+    pub fn candidates(&self, query: &ImageFeatures) -> HashMap<ImageId, usize> {
+        let mut shared: HashMap<ImageId, usize> = HashMap::new();
+        for w in self.vocabulary.words_of(query) {
+            if let Some(ids) = self.inverted.get(&w) {
+                for &id in ids {
+                    *shared.entry(id).or_insert(0) += 1;
+                }
+            }
+        }
+        shared
+    }
+}
+
+impl FeatureIndex for VocabIndex {
+    fn insert(&mut self, id: ImageId, features: ImageFeatures) {
+        let new_words = self.vocabulary.words_of(&features);
+        if let Some(&pos) = self.id_to_pos.get(&id) {
+            // Unindex the old words first.
+            for w in &self.words[pos] {
+                if let Some(bucket) = self.inverted.get_mut(w) {
+                    bucket.retain(|&x| x != id);
+                }
+            }
+            for &w in &new_words {
+                self.inverted.entry(w).or_default().push(id);
+            }
+            self.words[pos] = new_words;
+            self.entries[pos].features = features;
+        } else {
+            for &w in &new_words {
+                self.inverted.entry(w).or_default().push(id);
+            }
+            self.id_to_pos.insert(id, self.entries.len());
+            self.words.push(new_words);
+            self.entries.push(ImageEntry { id, features });
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    fn max_similarity(&self, query: &ImageFeatures) -> Option<QueryHit> {
+        self.top_k(query, 1).into_iter().next()
+    }
+
+    fn top_k(&self, query: &ImageFeatures, k: usize) -> Vec<QueryHit> {
+        let hits: Vec<QueryHit> = if matches!(query.descriptors, Descriptors::Binary(_)) {
+            self.candidates(query)
+                .into_keys()
+                .filter_map(|id| {
+                    let pos = *self.id_to_pos.get(&id).expect("candidates are indexed");
+                    let s = jaccard_similarity(query, &self.entries[pos].features, &self.config);
+                    (s > 0.0).then_some(QueryHit { id, similarity: s })
+                })
+                .collect()
+        } else {
+            self.entries
+                .iter()
+                .filter_map(|e| {
+                    let s = jaccard_similarity(query, &e.features, &self.config);
+                    (s > 0.0).then_some(QueryHit { id: e.id, similarity: s })
+                })
+                .collect()
+        };
+        rank_hits(hits, k)
+    }
+
+    fn feature_bytes(&self) -> usize {
+        self.entries.iter().map(|e| e.features.wire_size()).sum()
+    }
+
+    fn similarity_config(&self) -> &SimilarityConfig {
+        &self.config
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bees_features::Keypoint;
+    use rand::Rng;
+
+    fn random_descriptors(rng: &mut ChaCha8Rng, n: usize) -> Vec<BinaryDescriptor> {
+        (0..n)
+            .map(|_| {
+                let mut bytes = [0u8; 32];
+                rng.fill(&mut bytes);
+                BinaryDescriptor::from_bytes(bytes)
+            })
+            .collect()
+    }
+
+    fn features(descs: Vec<BinaryDescriptor>) -> ImageFeatures {
+        ImageFeatures {
+            keypoints: descs.iter().map(|_| Keypoint::default()).collect(),
+            descriptors: Descriptors::Binary(descs),
+        }
+    }
+
+    fn trained_vocab(seed: u64) -> Vocabulary {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let sample = random_descriptors(&mut rng, 400);
+        Vocabulary::train(&sample, VocabConfig::default())
+    }
+
+    #[test]
+    fn training_produces_multiple_words() {
+        let v = trained_vocab(1);
+        assert!(v.len() > 8, "only {} words", v.len());
+        assert!(v.len() <= 8usize.pow(3));
+    }
+
+    #[test]
+    fn quantization_is_deterministic_and_stable_under_small_noise() {
+        let v = trained_vocab(2);
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let d = random_descriptors(&mut rng, 1)[0];
+        assert_eq!(v.word_of(&d), v.word_of(&d));
+        // A 1-bit flip usually lands in the same word (not guaranteed, so
+        // check a majority over several descriptors).
+        let mut same = 0;
+        let trials = 20;
+        for d in random_descriptors(&mut rng, trials) {
+            let w = v.word_of(&d);
+            let mut bytes = *d.as_bytes();
+            bytes[0] ^= 1;
+            if v.word_of(&BinaryDescriptor::from_bytes(bytes)) == w {
+                same += 1;
+            }
+        }
+        assert!(same * 2 > trials, "only {same}/{trials} stable under 1-bit noise");
+    }
+
+    #[test]
+    fn exact_duplicates_are_always_found() {
+        let v = trained_vocab(4);
+        let mut idx = VocabIndex::new(SimilarityConfig::default(), v);
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let fs: Vec<ImageFeatures> =
+            (0..6).map(|_| features(random_descriptors(&mut rng, 20))).collect();
+        for (i, f) in fs.iter().enumerate() {
+            idx.insert(ImageId(i as u64), f.clone());
+        }
+        for (i, f) in fs.iter().enumerate() {
+            let hit = idx.max_similarity(f).expect("duplicate shares all words");
+            assert_eq!(hit.id, ImageId(i as u64));
+            assert!((hit.similarity - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn reinsert_replaces_and_unindexes_words() {
+        let v = trained_vocab(6);
+        let mut idx = VocabIndex::new(SimilarityConfig::default(), v);
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let f1 = features(random_descriptors(&mut rng, 15));
+        let f2 = features(random_descriptors(&mut rng, 15));
+        idx.insert(ImageId(1), f1.clone());
+        idx.insert(ImageId(1), f2.clone());
+        assert_eq!(idx.len(), 1);
+        assert!(idx.max_similarity(&f1).is_none(), "old words must be unindexed");
+        assert!((idx.max_similarity(&f2).unwrap().similarity - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unrelated_queries_have_scattered_candidates() {
+        let v = trained_vocab(8);
+        let mut idx = VocabIndex::new(SimilarityConfig::default(), v);
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        for i in 0..20 {
+            idx.insert(ImageId(i), features(random_descriptors(&mut rng, 15)));
+        }
+        // Random queries share words by chance (the vocabulary is coarse),
+        // but the exact rescoring keeps false hits near zero similarity.
+        let probe = features(random_descriptors(&mut rng, 15));
+        if let Some(hit) = idx.max_similarity(&probe) {
+            assert!(hit.similarity < 0.2, "random probe scored {}", hit.similarity);
+        }
+    }
+
+    #[test]
+    fn words_of_empty_features_is_empty() {
+        let v = trained_vocab(10);
+        assert!(v.words_of(&ImageFeatures::empty_binary()).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sample")]
+    fn training_on_empty_sample_panics() {
+        let _ = Vocabulary::train(&[], VocabConfig::default());
+    }
+
+    #[test]
+    fn tiny_sample_trains_a_degenerate_tree() {
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        let sample = random_descriptors(&mut rng, 3);
+        let v = Vocabulary::train(&sample, VocabConfig::default());
+        assert!(v.len() >= 1);
+        // Quantization still works.
+        let _ = v.word_of(&sample[0]);
+    }
+}

@@ -1,0 +1,146 @@
+//! Property-based tests of the index backends: the MIH accelerator must
+//! agree with the exact linear scan whenever descriptor noise stays within
+//! its word-collision guarantee, and both must behave like indexes.
+
+use bees_features::descriptor::BinaryDescriptor;
+use bees_features::similarity::SimilarityConfig;
+use bees_features::{Descriptors, ImageFeatures, Keypoint};
+use bees_index::{FeatureIndex, ImageId, LinearIndex, MihIndex};
+use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+fn random_features(rng: &mut ChaCha8Rng, n: usize) -> ImageFeatures {
+    let descs: Vec<BinaryDescriptor> = (0..n)
+        .map(|_| {
+            let mut bytes = [0u8; 32];
+            rng.fill(&mut bytes);
+            BinaryDescriptor::from_bytes(bytes)
+        })
+        .collect();
+    ImageFeatures {
+        keypoints: descs.iter().map(|_| Keypoint::default()).collect(),
+        descriptors: Descriptors::Binary(descs),
+    }
+}
+
+/// Flips up to `k` bits per descriptor (k <= 3 keeps the MIH pigeonhole
+/// guarantee: some 64-bit word stays identical).
+fn perturb(f: &ImageFeatures, rng: &mut ChaCha8Rng, k: usize) -> ImageFeatures {
+    let Descriptors::Binary(descs) = &f.descriptors else { unreachable!() };
+    let out: Vec<BinaryDescriptor> = descs
+        .iter()
+        .map(|d| {
+            let mut bytes = *d.as_bytes();
+            for _ in 0..k {
+                let bit = rng.gen_range(0..256);
+                bytes[bit / 8] ^= 1 << (bit % 8);
+            }
+            BinaryDescriptor::from_bytes(bytes)
+        })
+        .collect();
+    ImageFeatures { keypoints: f.keypoints.clone(), descriptors: Descriptors::Binary(out) }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn mih_matches_linear_within_guarantee(seed in any::<u64>(), n_images in 1usize..10, flips in 0usize..=3) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let cfg = SimilarityConfig::default();
+        let mut lin = LinearIndex::new(cfg);
+        let mut mih = MihIndex::new(cfg);
+        let mut originals = Vec::new();
+        for i in 0..n_images {
+            let f = random_features(&mut rng, 12);
+            lin.insert(ImageId(i as u64), f.clone());
+            mih.insert(ImageId(i as u64), f.clone());
+            originals.push(f);
+        }
+        for f in &originals {
+            let query = perturb(f, &mut rng, flips);
+            let lh = lin.max_similarity(&query);
+            let mh = mih.max_similarity(&query);
+            match (lh, mh) {
+                (Some(l), Some(m)) => {
+                    prop_assert_eq!(l.id, m.id);
+                    prop_assert!((l.similarity - m.similarity).abs() < 1e-12);
+                }
+                (None, None) => {}
+                other => prop_assert!(false, "backends disagree: {:?}", other),
+            }
+        }
+    }
+
+    #[test]
+    fn top_k_is_sorted_and_bounded(seed in any::<u64>(), n_images in 0usize..8, k in 0usize..10) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut idx = LinearIndex::new(SimilarityConfig::default());
+        for i in 0..n_images {
+            let f = random_features(&mut rng, 8);
+            idx.insert(ImageId(i as u64), f);
+        }
+        let query = random_features(&mut rng, 8);
+        let hits = idx.top_k(&query, k);
+        prop_assert!(hits.len() <= k.min(n_images));
+        for w in hits.windows(2) {
+            prop_assert!(w[0].similarity >= w[1].similarity);
+        }
+        for h in &hits {
+            prop_assert!(h.similarity > 0.0 && h.similarity <= 1.0);
+        }
+    }
+
+    #[test]
+    fn vocab_tree_hits_are_a_subset_of_linear(seed in any::<u64>(), n_images in 1usize..8) {
+        use bees_index::vocab::{VocabConfig, VocabIndex, Vocabulary};
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let cfg = SimilarityConfig::default();
+        // Train on a pooled sample, then index random images in both
+        // backends.
+        let sample = {
+            let f = random_features(&mut rng, 200);
+            match f.descriptors {
+                Descriptors::Binary(d) => d,
+                _ => unreachable!(),
+            }
+        };
+        let vocab = Vocabulary::train(&sample, VocabConfig::default());
+        let mut lin = LinearIndex::new(cfg);
+        let mut vt = VocabIndex::new(cfg, vocab);
+        let mut originals = Vec::new();
+        for i in 0..n_images {
+            let f = random_features(&mut rng, 10);
+            lin.insert(ImageId(i as u64), f.clone());
+            vt.insert(ImageId(i as u64), f.clone());
+            originals.push(f);
+        }
+        for f in &originals {
+            // Exact re-query: the duplicate shares every visual word, so
+            // the tree must find it with the same exact score as linear.
+            let lh = lin.max_similarity(f).expect("duplicate indexed");
+            let vh = vt.max_similarity(f).expect("vocab must find exact duplicates");
+            prop_assert!((lh.similarity - vh.similarity).abs() < 1e-12);
+            prop_assert!(vh.similarity >= 1.0 - 1e-12);
+            // And on arbitrary queries the tree never outscores linear.
+            let probe = random_features(&mut rng, 10);
+            let lp = lin.max_similarity(&probe).map(|h| h.similarity).unwrap_or(0.0);
+            let vp = vt.max_similarity(&probe).map(|h| h.similarity).unwrap_or(0.0);
+            prop_assert!(vp <= lp + 1e-12, "vocab {vp} outscored linear {lp}");
+        }
+    }
+
+    #[test]
+    fn inserts_accumulate_and_replace(seed in any::<u64>(), ids in proptest::collection::vec(0u64..6, 1..15)) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut idx = MihIndex::new(SimilarityConfig::default());
+        for &id in &ids {
+            idx.insert(ImageId(id), random_features(&mut rng, 4));
+        }
+        let mut unique = ids.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        prop_assert_eq!(idx.len(), unique.len());
+    }
+}

@@ -1,0 +1,223 @@
+//! The simulated transfer channel.
+
+use crate::{BandwidthTrace, NetError, Result};
+
+/// Default stall limit: give up on a transfer after this many simulated
+/// seconds of cumulative waiting (guards against all-zero traces).
+pub const DEFAULT_STALL_LIMIT_S: f64 = 7.0 * 24.0 * 3600.0;
+
+/// A channel that moves bytes according to a [`BandwidthTrace`].
+///
+/// # Examples
+///
+/// ```
+/// use bees_net::{BandwidthTrace, Channel};
+///
+/// # fn main() -> Result<(), bees_net::NetError> {
+/// // 100 Kbps for 1 s, dead air for 1 s, repeating.
+/// let trace = BandwidthTrace::schedule(vec![(1.0, 100_000.0), (1.0, 0.0)])?;
+/// let ch = Channel::new(trace);
+/// // 25 KB = 200 Kbit takes 2 s of airtime spread over 3 s of wall clock.
+/// let d = ch.transfer_duration(0.0, 25_000)?;
+/// assert!((d - 3.0).abs() < 1e-6);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Channel {
+    trace: BandwidthTrace,
+    stall_limit_s: f64,
+}
+
+impl Channel {
+    /// Creates a channel over the given trace with the default stall limit.
+    pub fn new(trace: BandwidthTrace) -> Self {
+        Channel { trace, stall_limit_s: DEFAULT_STALL_LIMIT_S }
+    }
+
+    /// Overrides the stall limit in seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the limit is not finite and positive.
+    pub fn with_stall_limit(mut self, limit_s: f64) -> Self {
+        assert!(limit_s.is_finite() && limit_s > 0.0, "stall limit must be positive");
+        self.stall_limit_s = limit_s;
+        self
+    }
+
+    /// The underlying bandwidth trace.
+    pub fn trace(&self) -> &BandwidthTrace {
+        &self.trace
+    }
+
+    /// Computes how many seconds a transfer of `bytes` takes when it starts
+    /// at simulated time `start_s`, integrating the piecewise-constant
+    /// trace.
+    ///
+    /// A zero-byte transfer takes zero time.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::Stalled`] if the transfer cannot finish within
+    /// the stall limit (e.g. a trace stuck at 0 bps).
+    pub fn transfer_duration(&self, start_s: f64, bytes: usize) -> Result<f64> {
+        if bytes == 0 {
+            return Ok(0.0);
+        }
+        let mut bits_left = bytes as f64 * 8.0;
+        let mut t = start_s;
+        loop {
+            if t - start_s > self.stall_limit_s {
+                return Err(NetError::Stalled { bytes, waited_seconds: t - start_s });
+            }
+            let bps = self.trace.bps_at(t);
+            let mut seg_end = self.trace.segment_end(t);
+            if seg_end <= t {
+                // Floating-point boundary: `t` sits exactly on a segment
+                // edge that rounds back onto itself. Step strictly past it
+                // so the integration always makes progress.
+                seg_end = next_after(t);
+            }
+            if bps <= 0.0 {
+                // Dead air: skip to the next segment.
+                t = seg_end;
+                continue;
+            }
+            let seg_span = seg_end - t;
+            let needed = bits_left / bps;
+            if needed <= seg_span {
+                return Ok(t + needed - start_s);
+            }
+            bits_left -= bps * seg_span;
+            t = seg_end;
+        }
+    }
+
+    /// Mean goodput in bits per second over `[start_s, start_s + span_s)`,
+    /// sampled per trace segment. Useful for reporting.
+    pub fn mean_bps(&self, start_s: f64, span_s: f64) -> f64 {
+        if span_s <= 0.0 {
+            return 0.0;
+        }
+        let mut t = start_s;
+        let end = start_s + span_s;
+        let mut bit_total = 0.0;
+        while t < end {
+            let mut seg_end = self.trace.segment_end(t).min(end);
+            if seg_end <= t {
+                seg_end = next_after(t).min(end).max(t + f64::MIN_POSITIVE);
+            }
+            bit_total += self.trace.bps_at(t) * (seg_end - t);
+            t = seg_end;
+        }
+        bit_total / span_s
+    }
+}
+
+/// The smallest representable time strictly after `t` at `t`'s magnitude
+/// (a software `nextafter` adequate for positive simulation times).
+fn next_after(t: f64) -> f64 {
+    let bumped = t + t.abs() * f64::EPSILON;
+    if bumped > t {
+        bumped
+    } else {
+        t + f64::MIN_POSITIVE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_rate_transfer() {
+        let ch = Channel::new(BandwidthTrace::constant(8000.0).unwrap());
+        // 1000 bytes = 8000 bits at 8000 bps = 1 s.
+        assert!((ch.transfer_duration(3.0, 1000).unwrap() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_bytes_take_zero_time() {
+        let ch = Channel::new(BandwidthTrace::constant(1.0).unwrap());
+        assert_eq!(ch.transfer_duration(0.0, 0).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn transfer_spans_segments() {
+        // 1 s at 8 Kbps then 1 s at 16 Kbps, repeating.
+        let tr = BandwidthTrace::schedule(vec![(1.0, 8_000.0), (1.0, 16_000.0)]).unwrap();
+        let ch = Channel::new(tr);
+        // 3000 bytes = 24 Kbit: 8 in the first second, 16 in the next -> 2 s.
+        assert!((ch.transfer_duration(0.0, 3000).unwrap() - 2.0).abs() < 1e-9);
+        // Starting mid-segment: at t = 0.5, 4 Kbit to segment end, then 16.
+        let d = ch.transfer_duration(0.5, 2500).unwrap(); // 20 Kbit
+        assert!((d - (0.5 + 1.0)).abs() < 1e-9, "got {d}");
+    }
+
+    #[test]
+    fn dead_air_adds_waiting_time() {
+        let tr = BandwidthTrace::schedule(vec![(1.0, 0.0), (1.0, 8_000.0)]).unwrap();
+        let ch = Channel::new(tr);
+        let d = ch.transfer_duration(0.0, 1000).unwrap();
+        assert!((d - 2.0).abs() < 1e-9, "got {d}");
+    }
+
+    #[test]
+    fn all_zero_trace_stalls() {
+        let ch = Channel::new(BandwidthTrace::constant(0.0).unwrap()).with_stall_limit(100.0);
+        // Constant 0 has an infinite segment; ensure we bail out rather
+        // than loop forever.
+        let err = ch.transfer_duration(0.0, 10);
+        assert!(matches!(err, Err(NetError::Stalled { .. })));
+    }
+
+    #[test]
+    fn zero_schedule_trace_stalls() {
+        let tr = BandwidthTrace::schedule(vec![(1.0, 0.0)]).unwrap();
+        let ch = Channel::new(tr).with_stall_limit(50.0);
+        assert!(matches!(ch.transfer_duration(0.0, 10), Err(NetError::Stalled { .. })));
+    }
+
+    #[test]
+    fn fluctuating_transfer_completes() {
+        let ch = Channel::new(BandwidthTrace::disaster_wifi(9));
+        // 700 KB over 0-512 Kbps (mean 256 Kbps): roughly 22 s.
+        let d = ch.transfer_duration(0.0, 700_000).unwrap();
+        assert!(d > 8.0 && d < 120.0, "got {d}");
+    }
+
+    #[test]
+    fn mean_bps_of_schedule() {
+        let tr = BandwidthTrace::schedule(vec![(1.0, 100.0), (1.0, 300.0)]).unwrap();
+        let ch = Channel::new(tr);
+        assert!((ch.mean_bps(0.0, 2.0) - 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn exact_segment_boundary_start_makes_progress() {
+        // Regression: starting a transfer exactly on a schedule boundary
+        // whose floating-point cycle arithmetic rounds `segment_end(t)`
+        // back to `t` used to loop forever.
+        let tr = BandwidthTrace::schedule(vec![
+            (0.5, 187_792.108_236_747_7),
+            (0.731_542_204_884_339_4, 176_291.013_489_094_42),
+        ])
+        .unwrap();
+        let ch = Channel::new(tr);
+        // Sweep many starts including ones that land on boundaries.
+        for k in 0..2000 {
+            let start = k as f64 * 0.020_556_629_734_539_41;
+            let d = ch.transfer_duration(start, 28_742).unwrap();
+            assert!(d.is_finite() && d > 0.0);
+        }
+    }
+
+    #[test]
+    fn longer_payloads_take_longer() {
+        let ch = Channel::new(BandwidthTrace::disaster_wifi(5));
+        let small = ch.transfer_duration(0.0, 10_000).unwrap();
+        let large = ch.transfer_duration(0.0, 500_000).unwrap();
+        assert!(large > small);
+    }
+}

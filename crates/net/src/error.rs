@@ -1,0 +1,57 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors from trace construction and transfer simulation.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum NetError {
+    /// A bandwidth or time parameter was invalid (negative, NaN, ...).
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// Rejected value.
+        value: f64,
+    },
+    /// The transfer could not complete: the trace stayed at (near) zero for
+    /// longer than the stall limit.
+    Stalled {
+        /// Bytes that were requested.
+        bytes: usize,
+        /// Simulated seconds waited before giving up.
+        waited_seconds: f64,
+    },
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::InvalidParameter { name, value } => {
+                write!(f, "parameter `{name}` out of range: {value}")
+            }
+            NetError::Stalled { bytes, waited_seconds } => {
+                write!(f, "transfer of {bytes} bytes stalled after {waited_seconds} simulated seconds")
+            }
+        }
+    }
+}
+
+impl Error for NetError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = NetError::InvalidParameter { name: "bps", value: -1.0 };
+        assert!(e.to_string().contains("bps"));
+        let s = NetError::Stalled { bytes: 100, waited_seconds: 3600.0 };
+        assert!(s.to_string().contains("stalled"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<NetError>();
+    }
+}

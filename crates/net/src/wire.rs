@@ -1,0 +1,60 @@
+//! Wire-size accounting for protocol messages.
+//!
+//! The client/server protocol exchanges more than raw payloads: feature
+//! queries carry headers, the server answers with per-image verdicts, and
+//! MRC additionally downloads thumbnail feedback for candidate duplicates
+//! (the paper notes "MRC consumes a little more bandwidth overhead than
+//! SmartEye due to requiring thumbnail feedback").
+
+/// Fixed per-message protocol header (ids, lengths, checksums).
+pub const HEADER_BYTES: usize = 32;
+
+/// Server verdict for one queried image (image id, max similarity,
+/// matched-image id).
+pub const QUERY_VERDICT_BYTES: usize = 24;
+
+/// A thumbnail the MRC server sends back per duplicate candidate so the
+/// client can confirm visually (a small JPEG; the paper does not give a
+/// size, 4 KiB is typical of a ~100×75 thumbnail).
+pub const THUMBNAIL_BYTES: usize = 4096;
+
+/// Uplink size of a feature query for a payload of `feature_bytes`.
+pub fn feature_query_bytes(feature_bytes: usize) -> usize {
+    HEADER_BYTES + feature_bytes
+}
+
+/// Downlink size of a query response covering `n_images` verdicts.
+pub fn query_response_bytes(n_images: usize) -> usize {
+    HEADER_BYTES + n_images * QUERY_VERDICT_BYTES
+}
+
+/// Downlink size of MRC thumbnail feedback for `n_candidates` candidates.
+pub fn thumbnail_feedback_bytes(n_candidates: usize) -> usize {
+    if n_candidates == 0 {
+        return 0;
+    }
+    HEADER_BYTES + n_candidates * THUMBNAIL_BYTES
+}
+
+/// Uplink size of an image upload for an encoded payload of `image_bytes`.
+pub fn image_upload_bytes(image_bytes: usize) -> usize {
+    HEADER_BYTES + image_bytes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn query_sizes_scale_with_payload() {
+        assert_eq!(feature_query_bytes(1000), 1032);
+        assert_eq!(query_response_bytes(3), 32 + 72);
+        assert_eq!(image_upload_bytes(0), 32);
+    }
+
+    #[test]
+    fn empty_thumbnail_feedback_is_free() {
+        assert_eq!(thumbnail_feedback_bytes(0), 0);
+        assert!(thumbnail_feedback_bytes(2) > 2 * THUMBNAIL_BYTES);
+    }
+}

@@ -1,0 +1,253 @@
+//! The weighted similarity graph over an image batch.
+
+use serde::{Deserialize, Serialize};
+
+/// A dense, symmetric, non-negative weight matrix over `n` nodes.
+///
+/// `weight(i, i)` is fixed at 1.0: an image is perfectly similar to itself,
+/// which makes the coverage function behave (selecting an image always
+/// covers it fully).
+///
+/// # Examples
+///
+/// ```
+/// use bees_submodular::SimilarityGraph;
+///
+/// let mut g = SimilarityGraph::new(3);
+/// g.set_weight(0, 2, 0.25);
+/// assert_eq!(g.weight(2, 0), 0.25);
+/// assert_eq!(g.weight(1, 1), 1.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimilarityGraph {
+    n: usize,
+    // Upper-triangular (excluding diagonal) weights, row-major.
+    weights: Vec<f64>,
+}
+
+impl SimilarityGraph {
+    /// Creates a graph over `n` nodes with all off-diagonal weights zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "graph needs at least one node");
+        SimilarityGraph { n, weights: vec![0.0; n * (n - 1) / 2] }
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the graph has zero nodes (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    fn index(&self, i: usize, j: usize) -> usize {
+        debug_assert!(i < j);
+        // Offset of row i in the packed upper triangle.
+        i * self.n - i * (i + 1) / 2 + (j - i - 1)
+    }
+
+    /// Weight between `i` and `j` (symmetric; 1.0 on the diagonal).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of bounds.
+    pub fn weight(&self, i: usize, j: usize) -> f64 {
+        assert!(i < self.n && j < self.n, "node index out of bounds");
+        if i == j {
+            return 1.0;
+        }
+        let (a, b) = if i < j { (i, j) } else { (j, i) };
+        self.weights[self.index(a, b)]
+    }
+
+    /// Sets the symmetric weight between two distinct nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if indices are out of bounds, equal, or the weight is not a
+    /// finite value in `[0, 1]`.
+    pub fn set_weight(&mut self, i: usize, j: usize, w: f64) {
+        assert!(i < self.n && j < self.n, "node index out of bounds");
+        assert!(i != j, "diagonal weights are fixed at 1.0");
+        assert!(w.is_finite() && (0.0..=1.0).contains(&w), "weight must be in [0, 1], got {w}");
+        let (a, b) = if i < j { (i, j) } else { (j, i) };
+        let idx = self.index(a, b);
+        self.weights[idx] = w;
+    }
+
+    /// Builds a graph by evaluating `f(i, j)` for every pair `i < j`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `f` returns an invalid weight.
+    pub fn from_pairwise<F: FnMut(usize, usize) -> f64>(n: usize, mut f: F) -> Self {
+        let mut g = SimilarityGraph::new(n);
+        for i in 0..n {
+            for j in (i + 1)..n {
+                g.set_weight(i, j, f(i, j));
+            }
+        }
+        g
+    }
+
+    /// Iterates over `(i, j, w)` for all pairs `i < j` with `w > 0`.
+    pub fn edges(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
+        (0..self.n).flat_map(move |i| {
+            ((i + 1)..self.n).filter_map(move |j| {
+                let w = self.weight(i, j);
+                (w > 0.0).then_some((i, j, w))
+            })
+        })
+    }
+}
+
+/// Cuts every edge with weight `< threshold` and returns the connected
+/// components of what remains, each sorted ascending; components are
+/// ordered by their smallest member.
+///
+/// The number of components is SSMM's budget `b`.
+///
+/// # Examples
+///
+/// ```
+/// use bees_submodular::{partition_by_threshold, SimilarityGraph};
+///
+/// let mut g = SimilarityGraph::new(4);
+/// g.set_weight(0, 1, 0.9);
+/// g.set_weight(1, 2, 0.02);
+/// let parts = partition_by_threshold(&g, 0.5);
+/// assert_eq!(parts, vec![vec![0, 1], vec![2], vec![3]]);
+/// ```
+pub fn partition_by_threshold(graph: &SimilarityGraph, threshold: f64) -> Vec<Vec<usize>> {
+    let n = graph.len();
+    // Union-find over nodes.
+    let mut parent: Vec<usize> = (0..n).collect();
+    fn find(parent: &mut Vec<usize>, x: usize) -> usize {
+        let mut root = x;
+        while parent[root] != root {
+            root = parent[root];
+        }
+        // Path compression.
+        let mut cur = x;
+        while parent[cur] != root {
+            let next = parent[cur];
+            parent[cur] = root;
+            cur = next;
+        }
+        root
+    }
+    for (i, j, w) in graph.edges() {
+        if w >= threshold {
+            let ri = find(&mut parent, i);
+            let rj = find(&mut parent, j);
+            if ri != rj {
+                parent[ri.max(rj)] = ri.min(rj);
+            }
+        }
+    }
+    let mut components: Vec<Vec<usize>> = Vec::new();
+    let mut root_to_comp: Vec<Option<usize>> = vec![None; n];
+    for node in 0..n {
+        let root = find(&mut parent, node);
+        match root_to_comp[root] {
+            Some(c) => components[c].push(node),
+            None => {
+                root_to_comp[root] = Some(components.len());
+                components.push(vec![node]);
+            }
+        }
+    }
+    components
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weights_are_symmetric() {
+        let mut g = SimilarityGraph::new(5);
+        g.set_weight(1, 3, 0.7);
+        assert_eq!(g.weight(3, 1), 0.7);
+        assert_eq!(g.weight(1, 3), 0.7);
+        assert_eq!(g.weight(0, 4), 0.0);
+    }
+
+    #[test]
+    fn diagonal_is_one() {
+        let g = SimilarityGraph::new(3);
+        for i in 0..3 {
+            assert_eq!(g.weight(i, i), 1.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "diagonal")]
+    fn setting_diagonal_panics() {
+        SimilarityGraph::new(2).set_weight(1, 1, 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "weight must be in")]
+    fn invalid_weight_panics() {
+        SimilarityGraph::new(2).set_weight(0, 1, 1.5);
+    }
+
+    #[test]
+    fn from_pairwise_fills_all_pairs() {
+        let g = SimilarityGraph::from_pairwise(4, |i, j| (i + j) as f64 / 10.0);
+        assert_eq!(g.weight(0, 1), 0.1);
+        assert_eq!(g.weight(2, 3), 0.5);
+    }
+
+    #[test]
+    fn edges_skip_zeros() {
+        let mut g = SimilarityGraph::new(3);
+        g.set_weight(0, 2, 0.4);
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges, vec![(0, 2, 0.4)]);
+    }
+
+    #[test]
+    fn partition_all_isolated_when_threshold_high() {
+        let g = SimilarityGraph::from_pairwise(4, |_, _| 0.3);
+        let parts = partition_by_threshold(&g, 0.5);
+        assert_eq!(parts.len(), 4);
+    }
+
+    #[test]
+    fn partition_single_component_when_threshold_low() {
+        let g = SimilarityGraph::from_pairwise(4, |_, _| 0.3);
+        let parts = partition_by_threshold(&g, 0.1);
+        assert_eq!(parts, vec![vec![0, 1, 2, 3]]);
+    }
+
+    #[test]
+    fn partition_transitive_chains() {
+        // 0-1 and 1-2 strong, 0-2 weak: still one component via 1.
+        let mut g = SimilarityGraph::new(4);
+        g.set_weight(0, 1, 0.9);
+        g.set_weight(1, 2, 0.9);
+        let parts = partition_by_threshold(&g, 0.5);
+        assert_eq!(parts, vec![vec![0, 1, 2], vec![3]]);
+    }
+
+    #[test]
+    fn higher_threshold_never_fewer_components() {
+        let g = SimilarityGraph::from_pairwise(6, |i, j| ((i * 7 + j * 3) % 10) as f64 / 10.0);
+        let mut last = 0;
+        for t in [0.0, 0.2, 0.4, 0.6, 0.8, 1.01] {
+            let n = partition_by_threshold(&g, t).len();
+            assert!(n >= last, "threshold {t}: {n} < {last}");
+            last = n;
+        }
+        assert_eq!(last, 6);
+    }
+}

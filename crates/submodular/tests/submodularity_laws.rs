@@ -1,0 +1,103 @@
+//! Property-based verification of the mathematical claims SSMM rests on:
+//! the coverage and diversity functions (and their weighted sums) are
+//! monotone and submodular, which is what entitles the greedy algorithm to
+//! its (1 − 1/e) guarantee.
+
+use bees_submodular::{
+    partition_by_threshold, CoverageFunction, DiversityFunction, SimilarityGraph,
+    SubmodularFunction, WeightedObjective,
+};
+use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+fn arb_graph() -> impl Strategy<Value = SimilarityGraph> {
+    (2usize..10, any::<u64>()).prop_map(|(n, seed)| {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        SimilarityGraph::from_pairwise(n, |_, _| {
+            if rng.gen_bool(0.5) {
+                rng.gen_range(0.0..1.0)
+            } else {
+                0.0
+            }
+        })
+    })
+}
+
+/// Draws nested sets `A ⊆ B ⊂ V` and an element `v ∉ B`.
+fn nested_sets(n: usize, seed: u64) -> (Vec<usize>, Vec<usize>, usize) {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let v = rng.gen_range(0..n);
+    let mut b: Vec<usize> = (0..n).filter(|&x| x != v && rng.gen_bool(0.5)).collect();
+    let a: Vec<usize> = b.iter().copied().filter(|_| rng.gen_bool(0.6)).collect();
+    b.sort_unstable();
+    (a, b, v)
+}
+
+fn check_laws(f: &dyn SubmodularFunction, seed: u64) -> Result<(), TestCaseError> {
+    let n = f.ground_size();
+    let (a, b, v) = nested_sets(n, seed);
+    // Monotone: F(A) <= F(B).
+    prop_assert!(f.eval(&a) <= f.eval(&b) + 1e-9, "monotonicity violated");
+    // Submodular: gain(A, v) >= gain(B, v).
+    let gain_a = f.marginal_gain(&a, v);
+    let gain_b = f.marginal_gain(&b, v);
+    prop_assert!(
+        gain_a >= gain_b - 1e-9,
+        "diminishing returns violated: gain(A) {gain_a} < gain(B) {gain_b}"
+    );
+    // Normalized-ish: F(∅) is the floor.
+    prop_assert!(f.eval(&[]) <= f.eval(&a) + 1e-9);
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn coverage_function_is_monotone_submodular(g in arb_graph(), seed in any::<u64>()) {
+        let f = CoverageFunction::new(&g);
+        check_laws(&f, seed)?;
+    }
+
+    #[test]
+    fn diversity_function_is_monotone_submodular(g in arb_graph(), t in 0.0f64..1.0, seed in any::<u64>()) {
+        let parts = partition_by_threshold(&g, t);
+        let f = DiversityFunction::new(&parts);
+        check_laws(&f, seed)?;
+    }
+
+    #[test]
+    fn weighted_sum_is_monotone_submodular(
+        g in arb_graph(),
+        t in 0.0f64..1.0,
+        l1 in 0.0f64..3.0,
+        l2 in 0.0f64..3.0,
+        seed in any::<u64>(),
+    ) {
+        let parts = partition_by_threshold(&g, t);
+        let cov = CoverageFunction::new(&g);
+        let div = DiversityFunction::new(&parts);
+        let f = WeightedObjective::new(vec![
+            (l1, &cov as &dyn SubmodularFunction),
+            (l2, &div),
+        ]);
+        check_laws(&f, seed)?;
+    }
+
+    #[test]
+    fn coverage_of_full_set_is_ground_size(g in arb_graph()) {
+        // Every node covers itself at weight 1.
+        let f = CoverageFunction::new(&g);
+        let all: Vec<usize> = (0..g.len()).collect();
+        prop_assert!((f.eval(&all) - g.len() as f64).abs() < 1e-9);
+    }
+
+    #[test]
+    fn diversity_of_full_set_is_partition_count(g in arb_graph(), t in 0.0f64..1.0) {
+        let parts = partition_by_threshold(&g, t);
+        let f = DiversityFunction::new(&parts);
+        let all: Vec<usize> = (0..g.len()).collect();
+        prop_assert_eq!(f.eval(&all) as usize, parts.len());
+    }
+}

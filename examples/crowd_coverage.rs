@@ -1,0 +1,46 @@
+//! Crowdsourced situation-awareness scenario: a fleet of phones with
+//! limited batteries uploads a geotagged photo corpus through a shared
+//! server — how much of the map does each scheme reveal before the
+//! batteries die? (The paper's Fig. 12 experiment at laptop scale.)
+//!
+//! Run with: `cargo run --release --example crowd_coverage`
+
+use bees::core::schemes::{Bees, DirectUpload, UploadScheme};
+use bees::core::sessions::{run_coverage, CoverageConfig};
+use bees::core::BeesConfig;
+use bees::datasets::{ParisConfig, SceneConfig};
+use bees::energy::Battery;
+use bees::net::BandwidthTrace;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut config = BeesConfig::default();
+    config.trace = BandwidthTrace::constant(256_000.0)?;
+    // Small batteries: coverage, not patience, is the scarce resource.
+    config.battery = Battery::from_joules(2500.0);
+
+    let cov = CoverageConfig {
+        n_phones: 4,
+        group_size: 6,
+        interval_s: 180.0,
+        paris: ParisConfig {
+            n_locations: 60,
+            n_images: 240,
+            zipf_s: 1.0,
+            scene: SceneConfig { width: 192, height: 144, n_shapes: 16, texture_amp: 10.0 },
+            ..ParisConfig::default()
+        },
+        seed: 7,
+    };
+
+    println!("corpus: {} geotagged images over {} locations, {} phones\n", cov.paris.n_images, cov.paris.n_locations, cov.n_phones);
+
+    for scheme in [&DirectUpload::new(&config) as &dyn UploadScheme, &Bees::adaptive(&config)] {
+        let r = run_coverage(scheme, &config, &cov)?;
+        println!(
+            "{:<14} received {:>4} images covering {:>3} of {:>3} locations ({} phones exhausted)",
+            r.scheme, r.images_received, r.unique_locations, r.corpus_locations, r.phones_exhausted
+        );
+    }
+    println!("\nBEES skips redundant shots of popular spots, so the same batteries light up more of the map.");
+    Ok(())
+}

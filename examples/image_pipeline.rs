@@ -1,0 +1,44 @@
+//! A tour of the substrates: render a synthetic scene, extract ORB
+//! features from it at several bitmap-compression levels, score similarity
+//! against a second view, and encode it with the DCT codec at several
+//! qualities — the raw ingredients of Approximate Image Sharing.
+//!
+//! Run with: `cargo run --release --example image_pipeline`
+
+use bees::datasets::{Scene, SceneConfig};
+use bees::features::orb::Orb;
+use bees::features::similarity::{jaccard_similarity, SimilarityConfig};
+use bees::features::FeatureExtractor;
+use bees::image::{codec, metrics, resize};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let scene = Scene::new(99, SceneConfig::default());
+    let views = scene.render_views(1, 2);
+    let (a, b) = (&views[0], &views[1]);
+    let gray_a = a.to_gray();
+    let gray_b = b.to_gray();
+
+    let orb = Orb::default();
+    let sim_cfg = SimilarityConfig::default();
+    let fb = orb.extract(&gray_b);
+
+    println!("Approximate Feature Extraction: similarity of two views of one scene");
+    println!("{:<14}{:>12}{:>14}{:>12}", "compression", "keypoints", "extract px", "similarity");
+    for c in [0.0, 0.2, 0.4, 0.6, 0.8] {
+        let compressed = resize::compress_bitmap(&gray_a, c)?;
+        let (fa, stats) = orb.extract_with_stats(&compressed);
+        let sim = jaccard_similarity(&fa, &fb, &sim_cfg);
+        println!("{:<14.1}{:>12}{:>14}{:>12.3}", c, fa.len(), stats.pixels_processed, sim);
+    }
+
+    println!("\nApproximate Image Uploading: DCT codec quality vs size vs SSIM");
+    println!("{:<10}{:>12}{:>10}", "quality", "bytes", "SSIM");
+    for q in [90u8, 50, 15, 5] {
+        let encoded = codec::encode_rgb(a, q)?;
+        let decoded = codec::decode_rgb(&encoded)?;
+        let ssim = metrics::ssim(&gray_a, &decoded.to_gray())?;
+        println!("{:<10}{:>12}{:>10.3}", q, encoded.len(), ssim);
+    }
+    println!("\nraw size: {} bytes", a.raw_byte_size());
+    Ok(())
+}

@@ -1,0 +1,40 @@
+//! Quickstart: upload one image batch through BEES and inspect the report.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use bees::core::schemes::{Bees, UploadScheme};
+use bees::core::{BeesConfig, Client, Server};
+use bees::datasets::{disaster_batch, SceneConfig};
+use bees::energy::EnergyCategory;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Everything is configurable; the defaults mirror the paper
+    // (3150 mAh battery, 0-512 Kbps disaster WiFi, EAC/EDR/EAU schemes).
+    let config = BeesConfig::default();
+
+    // A synthetic disaster batch: 20 images of which 2 are in-batch
+    // duplicates and 25% already have similar images on the server.
+    let data = disaster_batch(42, 20, 2, 0.25, SceneConfig::default());
+
+    let mut server = Server::new(&config);
+    server.preload(&data.server_preload);
+    let mut client = Client::new(0, &config);
+
+    let scheme = Bees::adaptive(&config);
+    let report = scheme.upload_batch(&mut client, &mut server, &data.batch)?;
+
+    println!("BEES batch report");
+    println!("  batch size          : {}", report.batch_size);
+    println!("  uploaded            : {}", report.uploaded_images);
+    println!("  skipped (cross-batch): {}", report.skipped_cross_batch);
+    println!("  skipped (in-batch)  : {}", report.skipped_in_batch);
+    println!("  uplink              : {:.1} KiB", report.uplink_bytes as f64 / 1024.0);
+    println!("  downlink            : {:.1} KiB", report.downlink_bytes as f64 / 1024.0);
+    println!("  total delay         : {:.1} s", report.total_delay_s);
+    println!("  energy (extraction) : {:.2} J", report.energy.get(EnergyCategory::FeatureExtraction));
+    println!("  energy (features)   : {:.2} J", report.energy.get(EnergyCategory::FeatureUpload));
+    println!("  energy (images)     : {:.2} J", report.energy.get(EnergyCategory::ImageUpload));
+    println!("  energy (total)      : {:.2} J", report.active_energy());
+    println!("  battery remaining   : {:.2}%", client.ebat() * 100.0);
+    Ok(())
+}

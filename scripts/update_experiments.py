@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Injects run_all output into EXPERIMENTS.md.
+
+Usage:
+    cargo run --release -p bees-bench --bin run_all > /tmp/run_all.txt
+    python3 scripts/update_experiments.py /tmp/run_all.txt
+
+Each `<!-- MEASURED:<tag> -->` marker in EXPERIMENTS.md is replaced by the
+marker plus a fenced code block holding the corresponding section of the
+run_all output. Section headers in the output look like `== Fig. 7: ... ==`.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+TAG_PATTERNS = {
+    "fig3": r"== Fig\. 3",
+    "fig4": r"== Fig\. 4",
+    "fig5": r"== Fig\. 5",
+    "fig6": r"== Fig\. 6",
+    "table1": r"== Table I",
+    "fig7": r"== Fig\. 7",
+    "fig8": r"== Fig\. 8",
+    "fig9": r"== Fig\. 9",
+    "fig10": r"== Fig\. 10",
+    "fig11": r"== Fig\. 11",
+    "fig12": r"== Fig\. 12",
+}
+
+
+def split_sections(text: str) -> list[tuple[str, str]]:
+    """Returns (header, body) pairs for each `== ... ==` section."""
+    parts = re.split(r"(?m)^(== .+ ==)$", text)
+    sections = []
+    for i in range(1, len(parts) - 1, 2):
+        sections.append((parts[i], parts[i] + "\n" + parts[i + 1].strip("\n")))
+    return sections
+
+
+def main() -> int:
+    if len(sys.argv) != 2:
+        print(__doc__)
+        return 2
+    run_output = Path(sys.argv[1]).read_text()
+    experiments = Path(__file__).resolve().parent.parent / "EXPERIMENTS.md"
+    doc = experiments.read_text()
+
+    sections = split_sections(run_output)
+    for tag, pattern in TAG_PATTERNS.items():
+        matching = [body for header, body in sections if re.match(pattern, header)]
+        if not matching:
+            print(f"warning: no run_all section for {tag}")
+            continue
+        block = "\n\n".join(matching)
+        replacement = f"<!-- MEASURED:{tag} -->\n\n```text\n{block}\n```"
+        marker = re.compile(
+            rf"<!-- MEASURED:{tag} -->(?:\n\n```text\n.*?\n```)?",
+            re.DOTALL,
+        )
+        if not marker.search(doc):
+            print(f"warning: no marker for {tag} in EXPERIMENTS.md")
+            continue
+        doc = marker.sub(lambda _m: replacement, doc, count=1)
+
+    experiments.write_text(doc)
+    print(f"updated {experiments}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

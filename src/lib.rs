@@ -1,0 +1,24 @@
+#![warn(missing_docs)]
+
+//! Facade crate for the BEES reproduction workspace.
+//!
+//! Re-exports every subsystem so downstream users (and the integration tests
+//! and examples in this repository) can depend on a single crate:
+//!
+//! ```
+//! use bees::core::schemes::SchemeKind;
+//!
+//! assert_eq!(SchemeKind::Bees.to_string(), "BEES");
+//! ```
+//!
+//! See the workspace `README.md` for the architecture overview and
+//! `DESIGN.md` for the paper-to-module map.
+
+pub use bees_core as core;
+pub use bees_datasets as datasets;
+pub use bees_energy as energy;
+pub use bees_features as features;
+pub use bees_image as image;
+pub use bees_index as index;
+pub use bees_net as net;
+pub use bees_submodular as submodular;

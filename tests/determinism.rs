@@ -1,0 +1,89 @@
+//! Determinism and serialization: the whole stack is seeded, so identical
+//! inputs must produce byte-identical outputs — the property every
+//! experiment in `EXPERIMENTS.md` relies on.
+
+use bees::core::schemes::{Bees, UploadScheme};
+use bees::core::{BatchReport, BeesConfig, Client, Server};
+use bees::datasets::{disaster_batch, kentucky_like, ParisConfig, ParisLike, SceneConfig};
+use bees::features::orb::Orb;
+use bees::features::FeatureExtractor;
+use bees::net::BandwidthTrace;
+
+fn small_scene() -> SceneConfig {
+    SceneConfig { width: 128, height: 96, n_shapes: 12, texture_amp: 8.0 }
+}
+
+#[test]
+fn full_upload_run_is_deterministic() {
+    let run = || -> BatchReport {
+        let mut config = BeesConfig::default();
+        config.trace = BandwidthTrace::constant(200_000.0).unwrap();
+        let data = disaster_batch(99, 10, 2, 0.25, small_scene());
+        let scheme = Bees::adaptive(&config);
+        let mut server = Server::new(&config);
+        scheme.preload_server(&mut server, &data.server_preload);
+        let mut client = Client::new(0, &config);
+        scheme.upload_batch(&mut client, &mut server, &data.batch).unwrap()
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a, b);
+}
+
+#[test]
+fn orb_features_are_bitwise_stable() {
+    let img = kentucky_like(3, 1, small_scene())[0].images[0].to_gray();
+    let orb = Orb::default();
+    let f1 = orb.extract(&img);
+    let f2 = orb.extract(&img);
+    assert_eq!(f1, f2);
+}
+
+#[test]
+fn datasets_are_reproducible_across_instantiations() {
+    let a = ParisLike::generate(5, ParisConfig {
+        n_locations: 10,
+        n_images: 30,
+        scene: small_scene(),
+        ..ParisConfig::default()
+    });
+    let b = ParisLike::generate(5, ParisConfig {
+        n_locations: 10,
+        n_images: 30,
+        scene: small_scene(),
+        ..ParisConfig::default()
+    });
+    for i in [0usize, 15, 29] {
+        assert_eq!(a.image(i).image, b.image(i).image);
+    }
+}
+
+#[test]
+fn reports_serialize_and_roundtrip() {
+    let mut config = BeesConfig::default();
+    config.trace = BandwidthTrace::constant(200_000.0).unwrap();
+    let data = disaster_batch(7, 6, 1, 0.25, small_scene());
+    let scheme = Bees::adaptive(&config);
+    let mut server = Server::new(&config);
+    scheme.preload_server(&mut server, &data.server_preload);
+    let mut client = Client::new(0, &config);
+    let report = scheme.upload_batch(&mut client, &mut server, &data.batch).unwrap();
+
+    let json = serde_json::to_string(&report).expect("report serializes");
+    assert!(json.contains("uploaded_images"));
+    let back: BatchReport = serde_json::from_str(&json).expect("report deserializes");
+    assert_eq!(back, report);
+
+    // The configuration itself round-trips too (experiment archival).
+    let cfg_json = serde_json::to_string(&config).expect("config serializes");
+    let _cfg_back: BeesConfig = serde_json::from_str(&cfg_json).expect("config deserializes");
+}
+
+#[test]
+fn config_is_cloneable_and_debuggable() {
+    let config = BeesConfig::default();
+    let cloned = config.clone();
+    let dbg = format!("{cloned:?}");
+    assert!(dbg.contains("BeesConfig"));
+    assert!(dbg.contains("edr"));
+}

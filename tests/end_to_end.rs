@@ -1,0 +1,199 @@
+//! End-to-end integration tests: every scheme drives the full
+//! client/server stack over the simulated network on synthetic data.
+
+use bees::core::schemes::{Bees, DirectUpload, Mrc, PhotoNetLike, SmartEye, UploadScheme};
+use bees::core::{BeesConfig, Client, Server};
+use bees::datasets::{disaster_batch, DisasterBatch, SceneConfig};
+use bees::energy::EnergyCategory;
+use bees::net::BandwidthTrace;
+
+fn test_config() -> BeesConfig {
+    let mut c = BeesConfig::default();
+    c.trace = BandwidthTrace::constant(256_000.0).expect("constant trace");
+    c
+}
+
+fn small_scene() -> SceneConfig {
+    SceneConfig { width: 128, height: 96, n_shapes: 12, texture_amp: 8.0 }
+}
+
+fn workload(seed: u64) -> DisasterBatch {
+    // Comparative assertions need realistic image sizes: with tiny scenes
+    // the stored camera files shrink to the size of a feature payload and
+    // the paper's proportions no longer hold.
+    disaster_batch(seed, 12, 2, 0.25, SceneConfig::default())
+}
+
+fn all_schemes(config: &BeesConfig) -> Vec<Box<dyn UploadScheme>> {
+    vec![
+        Box::new(DirectUpload::new(config)),
+        Box::new(PhotoNetLike::new(config)),
+        Box::new(SmartEye::new(config)),
+        Box::new(Mrc::new(config)),
+        Box::new(Bees::without_adaptation(config)),
+        Box::new(Bees::adaptive(config)),
+    ]
+}
+
+#[test]
+fn every_scheme_conserves_the_batch() {
+    let config = test_config();
+    let data = workload(1);
+    for scheme in all_schemes(&config) {
+        let mut server = Server::new(&config);
+        scheme.preload_server(&mut server, &data.server_preload);
+        let mut client = Client::new(0, &config);
+        let r = scheme.upload_batch(&mut client, &mut server, &data.batch).unwrap();
+        assert_eq!(
+            r.uploaded_images + r.skipped_cross_batch + r.skipped_in_batch,
+            r.batch_size,
+            "{}: conservation violated",
+            r.scheme
+        );
+        assert_eq!(server.received_images(), r.uploaded_images, "{}", r.scheme);
+        assert!(!r.exhausted);
+        assert!(r.total_delay_s > 0.0, "{}", r.scheme);
+        assert!(r.active_energy() > 0.0, "{}", r.scheme);
+        assert!(r.uplink_bytes > 0, "{}", r.scheme);
+    }
+}
+
+#[test]
+fn battery_drain_matches_ledger() {
+    let config = test_config();
+    let data = workload(2);
+    for scheme in all_schemes(&config) {
+        let mut server = Server::new(&config);
+        scheme.preload_server(&mut server, &data.server_preload);
+        let mut client = Client::new(0, &config);
+        let before = client.battery().remaining_joules();
+        let r = scheme.upload_batch(&mut client, &mut server, &data.batch).unwrap();
+        let after = client.battery().remaining_joules();
+        assert!(
+            (before - after - r.energy.total()).abs() < 1e-6,
+            "{}: drained {} but ledger says {}",
+            r.scheme,
+            before - after,
+            r.energy.total()
+        );
+    }
+}
+
+#[test]
+fn uploaded_features_enable_future_deduplication() {
+    // Phone A uploads a batch through BEES; phone B uploading the same
+    // scenes afterwards should see almost everything as cross-batch
+    // redundant.
+    let config = test_config();
+    let data = workload(3);
+    let scheme = Bees::adaptive(&config);
+    let mut server = Server::new(&config);
+    let mut phone_a = Client::new(0, &config);
+    let ra = scheme.upload_batch(&mut phone_a, &mut server, &data.batch).unwrap();
+    assert!(ra.uploaded_images > 0);
+    let mut phone_b = Client::new(1, &config);
+    let rb = scheme.upload_batch(&mut phone_b, &mut server, &data.batch).unwrap();
+    assert!(
+        rb.uploaded_images < ra.uploaded_images,
+        "second phone should deduplicate: {} vs {}",
+        rb.uploaded_images,
+        ra.uploaded_images
+    );
+}
+
+#[test]
+fn bees_beats_direct_on_every_headline_metric() {
+    let config = test_config();
+    let data = workload(4);
+
+    let mut server_d = Server::new(&config);
+    let mut client_d = Client::new(0, &config);
+    let rd = DirectUpload::new(&config).upload_batch(&mut client_d, &mut server_d, &data.batch).unwrap();
+
+    let scheme = Bees::adaptive(&config);
+    let mut server_b = Server::new(&config);
+    scheme.preload_server(&mut server_b, &data.server_preload);
+    let mut client_b = Client::new(0, &config);
+    let rb = scheme.upload_batch(&mut client_b, &mut server_b, &data.batch).unwrap();
+
+    assert!(rb.active_energy() < rd.active_energy(), "energy");
+    assert!(rb.bandwidth_bytes() < rd.bandwidth_bytes(), "bandwidth");
+    assert!(rb.avg_delay_per_image() < rd.avg_delay_per_image(), "delay");
+}
+
+#[test]
+fn in_batch_duplicates_are_eliminated_without_server_knowledge() {
+    // A batch whose only redundancy is internal: the server index is empty,
+    // so only SSMM can catch it.
+    let config = test_config();
+    let data = disaster_batch(5, 10, 3, 0.0, small_scene());
+    let scheme = Bees::adaptive(&config);
+    let mut server = Server::new(&config);
+    let mut client = Client::new(0, &config);
+    let r = scheme.upload_batch(&mut client, &mut server, &data.batch).unwrap();
+    assert_eq!(r.skipped_cross_batch, 0, "server was empty");
+    assert!(
+        r.skipped_in_batch >= 2,
+        "staged 3 in-batch duplicates, eliminated {}",
+        r.skipped_in_batch
+    );
+    // MRC cannot catch them.
+    let mrc = Mrc::new(&config);
+    let mut server2 = Server::new(&config);
+    let mut client2 = Client::new(0, &config);
+    let rm = mrc.upload_batch(&mut client2, &mut server2, &data.batch).unwrap();
+    assert_eq!(rm.skipped_in_batch, 0);
+    assert!(rm.uploaded_images > r.uploaded_images);
+}
+
+#[test]
+fn fluctuating_trace_still_completes() {
+    let mut config = test_config();
+    config.trace = BandwidthTrace::fluctuating(9, 64_000.0, 512_000.0, 2.0).unwrap();
+    let data = workload(6);
+    let scheme = Bees::adaptive(&config);
+    let mut server = Server::new(&config);
+    let mut client = Client::new(0, &config);
+    let r = scheme.upload_batch(&mut client, &mut server, &data.batch).unwrap();
+    assert!(!r.exhausted);
+    assert!(r.total_delay_s > 0.0);
+}
+
+#[test]
+fn dead_network_surfaces_as_an_error_not_a_hang() {
+    // A trace stuck at 0 bps: every scheme must propagate the stall as an
+    // error (simulated time hits the channel's stall limit instantly in
+    // wall-clock terms) rather than panicking or spinning.
+    let mut config = test_config();
+    config.trace = BandwidthTrace::constant(0.0).unwrap();
+    let data = disaster_batch(8, 4, 0, 0.0, small_scene());
+    for scheme in all_schemes(&config) {
+        let mut server = Server::new(&config);
+        let mut client = Client::new(0, &config);
+        let result = scheme.upload_batch(&mut client, &mut server, &data.batch);
+        assert!(
+            matches!(result, Err(bees::core::CoreError::Net(_))),
+            "{:?} should stall",
+            scheme.kind()
+        );
+    }
+}
+
+#[test]
+fn energy_categories_are_scheme_appropriate() {
+    let config = test_config();
+    let data = workload(7);
+    let mut server = Server::new(&config);
+    let mut client = Client::new(0, &config);
+    let rd = DirectUpload::new(&config).upload_batch(&mut client, &mut server, &data.batch).unwrap();
+    assert_eq!(rd.energy.get(EnergyCategory::FeatureExtraction), 0.0);
+    assert_eq!(rd.energy.get(EnergyCategory::Compression), 0.0);
+
+    let scheme = Bees::adaptive(&config);
+    let mut server2 = Server::new(&config);
+    let mut client2 = Client::new(0, &config);
+    let rb = scheme.upload_batch(&mut client2, &mut server2, &data.batch).unwrap();
+    assert!(rb.energy.get(EnergyCategory::FeatureExtraction) > 0.0);
+    assert!(rb.energy.get(EnergyCategory::Compression) > 0.0);
+    assert!(rb.energy.get(EnergyCategory::FeatureUpload) > 0.0);
+}

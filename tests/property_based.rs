@@ -1,0 +1,168 @@
+//! Property-based tests (proptest) on the core invariants spanning crates.
+
+use bees::energy::{AdaptiveScheme, Battery, EnergyLedger, LinearScheme};
+use bees::features::descriptor::BinaryDescriptor;
+use bees::features::matcher::{match_binary, MatchConfig};
+use bees::features::similarity::{jaccard_similarity, SimilarityConfig};
+use bees::features::{Descriptors, ImageFeatures, Keypoint};
+use bees::image::{codec, GrayImage};
+use bees::net::{BandwidthTrace, Channel};
+use bees::submodular::{partition_by_threshold, SimilarityGraph, Ssmm, SsmmConfig};
+use proptest::prelude::*;
+
+fn arb_gray_image() -> impl Strategy<Value = GrayImage> {
+    ((8u32..64), (8u32..48), any::<u64>()).prop_map(|(w, h, seed)| {
+        GrayImage::from_fn(w, h, |x, y| {
+            let v = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add((x as u64) << 32 | y as u64)
+                .wrapping_mul(1442695040888963407);
+            (v >> 56) as u8
+        })
+    })
+}
+
+fn arb_descriptors(max: usize) -> impl Strategy<Value = Vec<BinaryDescriptor>> {
+    proptest::collection::vec(any::<[u8; 32]>(), 0..max)
+        .prop_map(|v| v.into_iter().map(BinaryDescriptor::from_bytes).collect())
+}
+
+fn features(descs: Vec<BinaryDescriptor>) -> ImageFeatures {
+    ImageFeatures {
+        keypoints: descs.iter().map(|_| Keypoint::default()).collect(),
+        descriptors: Descriptors::Binary(descs),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn codec_roundtrip_preserves_dimensions_and_bounds(img in arb_gray_image(), q in 1u8..=100) {
+        let encoded = codec::encode_gray(&img, q).unwrap();
+        let decoded = codec::decode_gray(&encoded).unwrap();
+        prop_assert_eq!(decoded.dimensions(), img.dimensions());
+        // High quality must be nearly lossless.
+        if q >= 95 {
+            let err = bees::image::metrics::mse(&img, &decoded).unwrap();
+            prop_assert!(err < 400.0, "mse {} at q {}", err, q);
+        }
+    }
+
+    #[test]
+    fn codec_decoding_never_panics_on_corruption(img in arb_gray_image(), flip in any::<(usize, u8)>()) {
+        let mut encoded = codec::encode_gray(&img, 50).unwrap();
+        if !encoded.is_empty() {
+            let idx = flip.0 % encoded.len();
+            encoded[idx] ^= flip.1 | 1;
+        }
+        // Must return Ok or Err, never panic.
+        let _ = codec::decode_gray(&encoded);
+    }
+
+    #[test]
+    fn jaccard_is_bounded_and_symmetric(a in arb_descriptors(30), b in arb_descriptors(30)) {
+        let fa = features(a);
+        let fb = features(b);
+        let cfg = SimilarityConfig::default();
+        let s1 = jaccard_similarity(&fa, &fb, &cfg);
+        let s2 = jaccard_similarity(&fb, &fa, &cfg);
+        prop_assert!((0.0..=1.0).contains(&s1));
+        prop_assert!((s1 - s2).abs() < 1e-12);
+        // Self-similarity of a non-empty set is 1.
+        if !fa.is_empty() {
+            prop_assert!((jaccard_similarity(&fa, &fa, &cfg) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn cross_checked_matches_are_one_to_one(a in arb_descriptors(25), b in arb_descriptors(25)) {
+        let cfg = MatchConfig::default();
+        let matches = match_binary(&a, &b, &cfg);
+        let mut q: Vec<usize> = matches.iter().map(|m| m.query_idx).collect();
+        let mut t: Vec<usize> = matches.iter().map(|m| m.train_idx).collect();
+        let (ql, tl) = (q.len(), t.len());
+        q.sort_unstable();
+        q.dedup();
+        t.sort_unstable();
+        t.dedup();
+        prop_assert_eq!(q.len(), ql, "duplicate query index");
+        prop_assert_eq!(t.len(), tl, "duplicate train index");
+    }
+
+    #[test]
+    fn partition_count_is_monotone_in_threshold(
+        n in 2usize..12,
+        seed in any::<u64>(),
+        t1 in 0.0f64..1.0,
+        t2 in 0.0f64..1.0,
+    ) {
+        let g = SimilarityGraph::from_pairwise(n, |i, j| {
+            let h = seed
+                .wrapping_mul(0x9E3779B97F4A7C15)
+                .wrapping_add((i * 31 + j) as u64)
+                .wrapping_mul(0xBF58476D1CE4E5B9);
+            ((h >> 11) as f64 / (1u64 << 53) as f64).min(1.0)
+        });
+        let (lo, hi) = if t1 <= t2 { (t1, t2) } else { (t2, t1) };
+        prop_assert!(partition_by_threshold(&g, lo).len() <= partition_by_threshold(&g, hi).len());
+    }
+
+    #[test]
+    fn ssmm_summary_obeys_budget_and_uniqueness(n in 1usize..14, seed in any::<u64>(), tw in 0.0f64..1.0) {
+        let g = SimilarityGraph::from_pairwise(n, |i, j| {
+            let h = seed.wrapping_add((i * 131 + j * 17) as u64).wrapping_mul(0x94D049BB133111EB);
+            ((h >> 11) as f64 / (1u64 << 53) as f64).min(1.0)
+        });
+        let s = Ssmm::new(SsmmConfig::default()).summarize(&g, tw);
+        prop_assert!(s.selected.len() <= s.budget);
+        prop_assert!(s.budget <= n);
+        let mut sel = s.selected.clone();
+        sel.sort_unstable();
+        sel.dedup();
+        prop_assert_eq!(sel.len(), s.selected.len(), "duplicate selections");
+        // Every partition with a member selected is represented at most...
+        // and the union of partitions is the ground set.
+        let covered: usize = s.partitions.iter().map(|p| p.len()).sum();
+        prop_assert_eq!(covered, n);
+    }
+
+    #[test]
+    fn transfer_duration_is_monotone_in_bytes(seed in any::<u64>(), b1 in 0usize..200_000, b2 in 0usize..200_000) {
+        let ch = Channel::new(BandwidthTrace::fluctuating(seed, 32_000.0, 512_000.0, 2.0).unwrap());
+        let (lo, hi) = if b1 <= b2 { (b1, b2) } else { (b2, b1) };
+        let d_lo = ch.transfer_duration(0.0, lo).unwrap();
+        let d_hi = ch.transfer_duration(0.0, hi).unwrap();
+        prop_assert!(d_lo <= d_hi + 1e-9);
+    }
+
+    #[test]
+    fn battery_never_goes_negative(capacity in 1.0f64..1000.0, drains in proptest::collection::vec(0.0f64..500.0, 0..20)) {
+        let mut b = Battery::from_joules(capacity);
+        for d in drains {
+            b.drain(d);
+            prop_assert!(b.remaining_joules() >= 0.0);
+            prop_assert!(b.fraction() >= 0.0 && b.fraction() <= 1.0);
+        }
+    }
+
+    #[test]
+    fn linear_schemes_respect_clamps(ebat in -1.0f64..2.0) {
+        for scheme in [LinearScheme::eac(), LinearScheme::eau(), LinearScheme::edr(0.1, 0.05)] {
+            let v = scheme.value(ebat);
+            prop_assert!(v >= scheme.min && v <= scheme.max);
+        }
+    }
+
+    #[test]
+    fn ledger_total_equals_sum_of_categories(amounts in proptest::collection::vec((0u8..6, 0.0f64..100.0), 0..30)) {
+        use bees::energy::EnergyCategory;
+        let mut ledger = EnergyLedger::new();
+        let mut expected = 0.0;
+        for (c, j) in amounts {
+            ledger.record(EnergyCategory::ALL[c as usize], j);
+            expected += j;
+        }
+        prop_assert!((ledger.total() - expected).abs() < 1e-9);
+    }
+}
