@@ -1,0 +1,95 @@
+//! Scaling benchmarks for the deterministic runtime.
+//!
+//! Three questions: (1) what does the chunked fan-out cost on work too
+//! small to parallelize, (2) how does ORB extraction scale with the worker
+//! count, and (3) how does brute-force Hamming matching scale. Thread
+//! counts are swept with `bees_runtime::set_threads` inside one process;
+//! results at every count are bit-identical by construction, so the bench
+//! also doubles as a determinism smoke test.
+
+use bees_features::matcher::{match_binary, MatchConfig};
+use bees_features::orb::{Orb, OrbConfig};
+use bees_features::FeatureExtractor;
+use bees_image::GrayImage;
+use bees_runtime::{set_threads, Runtime};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::hint::black_box;
+
+const THREAD_SWEEP: [usize; 4] = [1, 2, 4, 8];
+
+/// A 384x288 textured frame, the upper end of the paper's phone imagery.
+fn frame() -> GrayImage {
+    GrayImage::from_fn(384, 288, |x, y| {
+        let checker = if (x / 14 + y / 12) % 2 == 0 { 55i32 } else { -55 };
+        let wave = (45.0 * ((x as f32) * 0.19).sin() + 35.0 * ((y as f32) * 0.23).cos()) as i32;
+        (128 + checker + wave).clamp(0, 255) as u8
+    })
+}
+
+fn random_descriptors(n: usize, seed: u64) -> Vec<bees_features::descriptor::BinaryDescriptor> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let mut bytes = [0u8; 32];
+            rng.fill(&mut bytes);
+            bees_features::descriptor::BinaryDescriptor::from_bytes(bytes)
+        })
+        .collect()
+}
+
+/// Fixed overhead of the chunked dispatch against a plain sequential map,
+/// on work items far too cheap to be worth distributing.
+fn bench_par_map_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("par_map_overhead");
+    let n = 4096usize;
+    group.bench_function("seq_map", |b| {
+        b.iter(|| black_box((0..n).map(|i| i.wrapping_mul(2654435761)).collect::<Vec<_>>()))
+    });
+    for threads in [1usize, 4] {
+        group.bench_with_input(BenchmarkId::new("par_map", threads), &threads, |b, &t| {
+            let rt = Runtime::new(t);
+            b.iter(|| black_box(rt.par_map_range(n, |i| i.wrapping_mul(2654435761))))
+        });
+    }
+    group.finish();
+}
+
+/// ORB extraction at 1/2/4/8 workers (per-level detection, level blurs and
+/// per-candidate BRIEF all ride the runtime).
+fn bench_orb_scaling(c: &mut Criterion) {
+    let img = frame();
+    let orb = Orb::new(OrbConfig { n_features: 300, ..OrbConfig::default() });
+    let mut group = c.benchmark_group("orb_threads");
+    group.sample_size(20);
+    for threads in THREAD_SWEEP {
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &t| {
+            set_threads(t);
+            b.iter(|| black_box(orb.extract(black_box(&img))));
+            set_threads(0);
+        });
+    }
+    group.finish();
+}
+
+/// Brute-force 256-bit Hamming matching (the CBRD/SSMM inner loop) at
+/// 1/2/4/8 workers; each query row is an independent scan.
+fn bench_matching_scaling(c: &mut Criterion) {
+    let query = random_descriptors(400, 11);
+    let train = random_descriptors(400, 23);
+    let cfg = MatchConfig::default();
+    let mut group = c.benchmark_group("match_binary_threads");
+    group.sample_size(30);
+    for threads in THREAD_SWEEP {
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &t| {
+            set_threads(t);
+            b.iter(|| black_box(match_binary(black_box(&query), black_box(&train), &cfg)));
+            set_threads(0);
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_par_map_overhead, bench_orb_scaling, bench_matching_scaling);
+criterion_main!(benches);

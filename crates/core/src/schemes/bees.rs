@@ -162,7 +162,9 @@ impl UploadScheme for Bees {
                 client,
                 client.spend_cpu(EnergyCategory::FeatureExtraction, pair_j)
             );
-            let graph = SimilarityGraph::from_pairwise(survivors.len(), |a, b| {
+            // The pairwise Jaccard closure is pure, so the graph can be
+            // built row-parallel without changing a single weight.
+            let graph = SimilarityGraph::from_pairwise_par(survivors.len(), |a, b| {
                 jaccard_similarity(
                     &features[survivors[a]],
                     &features[survivors[b]],

@@ -7,6 +7,7 @@
 //! removes most one-sided false matches.
 
 use crate::descriptor::{BinaryDescriptor, Descriptors, VectorDescriptor};
+use bees_runtime::Runtime;
 use serde::{Deserialize, Serialize};
 
 /// A correspondence between descriptor `query_idx` in set A and
@@ -55,19 +56,21 @@ pub fn match_binary(
     if query.is_empty() || train.is_empty() {
         return Vec::new();
     }
+    // Each query row's scan over the train set is independent; fan the rows
+    // out over the runtime (results come back in row order, so the match
+    // list is identical to the sequential scan).
+    let rt = Runtime::current();
     let nearest = |from: &[BinaryDescriptor], to: &[BinaryDescriptor]| -> Vec<(usize, u32)> {
-        from.iter()
-            .map(|d| {
-                let mut best = (usize::MAX, u32::MAX);
-                for (j, t) in to.iter().enumerate() {
-                    let dist = d.hamming_distance(t);
-                    if dist < best.1 {
-                        best = (j, dist);
-                    }
+        rt.par_map(from, |d| {
+            let mut best = (usize::MAX, u32::MAX);
+            for (j, t) in to.iter().enumerate() {
+                let dist = d.hamming_distance(t);
+                if dist < best.1 {
+                    best = (j, dist);
                 }
-                best
-            })
-            .collect()
+            }
+            best
+        })
     };
     let forward = nearest(query, train);
     let backward = if config.cross_check { nearest(train, query) } else { Vec::new() };
@@ -94,25 +97,24 @@ pub fn match_vector(
     if query.is_empty() || train.is_empty() {
         return Vec::new();
     }
+    let rt = Runtime::current();
     let two_nearest = |from: &[VectorDescriptor],
                        to: &[VectorDescriptor]|
      -> Vec<(usize, f32, f32)> {
-        from.iter()
-            .map(|d| {
-                let mut best = (usize::MAX, f32::INFINITY);
-                let mut second = f32::INFINITY;
-                for (j, t) in to.iter().enumerate() {
-                    let dist = d.l2_squared(t);
-                    if dist < best.1 {
-                        second = best.1;
-                        best = (j, dist);
-                    } else if dist < second {
-                        second = dist;
-                    }
+        rt.par_map(from, |d| {
+            let mut best = (usize::MAX, f32::INFINITY);
+            let mut second = f32::INFINITY;
+            for (j, t) in to.iter().enumerate() {
+                let dist = d.l2_squared(t);
+                if dist < best.1 {
+                    second = best.1;
+                    best = (j, dist);
+                } else if dist < second {
+                    second = dist;
                 }
-                (best.0, best.1.sqrt(), second.sqrt())
-            })
-            .collect()
+            }
+            (best.0, best.1.sqrt(), second.sqrt())
+        })
     };
     let forward = two_nearest(query, train);
     let backward = if config.cross_check { two_nearest(train, query) } else { Vec::new() };

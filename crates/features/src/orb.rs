@@ -20,6 +20,7 @@ use crate::keypoint::Keypoint;
 use crate::orientation::intensity_centroid_angle;
 use crate::pyramid::Pyramid;
 use bees_image::{blur, GrayImage};
+use bees_runtime::Runtime;
 use serde::{Deserialize, Serialize};
 
 /// Configuration for the [`Orb`] extractor.
@@ -127,10 +128,12 @@ impl FeatureExtractor for Orb {
         stats.pixels_processed = pyramid.total_pixels();
 
         // Distribute the feature budget across levels proportionally to
-        // level area.
+        // level area. Levels are detected in parallel and flattened back in
+        // level order, matching the sequential loop exactly.
+        let rt = Runtime::current();
         let total_pixels = pyramid.total_pixels() as f64;
-        let mut candidates: Vec<Candidate> = Vec::new();
-        for (level, level_img, _scale) in pyramid.iter() {
+        let per_level: Vec<Vec<Candidate>> = rt.par_map_range(pyramid.len(), |level| {
+            let level_img = pyramid.level(level);
             let share = level_img.pixel_count() as f64 / total_pixels;
             let budget = ((self.config.n_features as f64 * share).ceil() as usize).max(8);
             let corners = fast::detect(level_img, self.config.fast_threshold);
@@ -158,40 +161,47 @@ impl FeatureExtractor for Orb {
                 .collect();
             ranked.sort_by(|a, b| b.harris.partial_cmp(&a.harris).expect("finite scores"));
             ranked.truncate(budget);
-            candidates.extend(ranked);
-        }
+            ranked
+        });
+        let mut candidates: Vec<Candidate> = per_level.into_iter().flatten().collect();
 
         // Global re-rank by Harris response and cut to the overall budget.
         candidates.sort_by(|a, b| b.harris.partial_cmp(&a.harris).expect("finite scores"));
         candidates.truncate(self.config.n_features);
 
         // Blur each level once for BRIEF sampling (only levels that have
-        // surviving candidates).
+        // surviving candidates). Distinct levels are blurred concurrently.
+        let mut needed: Vec<usize> = candidates.iter().map(|c| c.level).collect();
+        needed.sort_unstable();
+        needed.dedup();
         let mut blurred: Vec<Option<GrayImage>> = vec![None; pyramid.len()];
-        for c in &candidates {
-            if blurred[c.level].is_none() {
-                let b = blur::gaussian_blur(pyramid.level(c.level), self.config.brief_blur_sigma)
-                    .expect("blur sigma is positive");
-                blurred[c.level] = Some(b);
-            }
+        for (level, img) in needed.iter().zip(rt.par_map(&needed, |&level| {
+            blur::gaussian_blur(pyramid.level(level), self.config.brief_blur_sigma)
+                .expect("blur sigma is positive")
+        })) {
+            blurred[*level] = Some(img);
         }
 
-        let mut keypoints = Vec::with_capacity(candidates.len());
-        let mut descriptors = Vec::with_capacity(candidates.len());
-        for c in &candidates {
+        let described: Vec<(Keypoint, _)> = rt.par_map(&candidates, |c| {
             let level_img = pyramid.level(c.level);
             let angle = intensity_centroid_angle(level_img, c.lx, c.ly, PATCH_RADIUS as u32);
             let smooth = blurred[c.level].as_ref().expect("level was blurred above");
             let desc = self.pattern.describe(smooth, c.lx as f32, c.ly as f32, angle);
             let scale = pyramid.scale_of(c.level);
-            keypoints.push(Keypoint {
+            let kp = Keypoint {
                 x: c.lx as f32 * scale,
                 y: c.ly as f32 * scale,
                 response: c.harris,
                 angle,
                 octave: c.level as u8,
                 scale,
-            });
+            };
+            (kp, desc)
+        });
+        let mut keypoints = Vec::with_capacity(candidates.len());
+        let mut descriptors = Vec::with_capacity(candidates.len());
+        for (kp, desc) in described {
+            keypoints.push(kp);
             descriptors.push(desc);
         }
         stats.keypoints_described = keypoints.len();

@@ -15,6 +15,7 @@ use crate::descriptor::{Descriptors, ImageFeatures, VectorDescriptor};
 use crate::extractor::{ExtractionStats, ExtractorKind, FeatureExtractor};
 use crate::keypoint::Keypoint;
 use bees_image::{blur, GrayF32, GrayImage};
+use bees_runtime::Runtime;
 use serde::{Deserialize, Serialize};
 
 /// Configuration for the [`Sift`] extractor.
@@ -171,8 +172,12 @@ impl Sift {
     /// Detects scale-space extrema with contrast and edge rejection, and
     /// assigns each a dominant orientation.
     pub fn detect(&self, space: &ScaleSpace) -> Vec<ScaleSpacePoint> {
-        let mut points = Vec::new();
-        for (o, stack) in space.octaves.iter().enumerate() {
+        // Octaves are independent: scan them in parallel and flatten in
+        // octave order, then apply the same stable sort as the sequential
+        // path (ties keep scan order, so the result is unchanged).
+        let per_octave = Runtime::current().par_map_range(space.octaves.len(), |o| {
+            let stack = &space.octaves[o];
+            let mut points = Vec::new();
             // DoG layers.
             let dogs: Vec<GrayF32> = stack
                 .windows(2)
@@ -213,7 +218,9 @@ impl Sift {
                     }
                 }
             }
-        }
+            points
+        });
+        let mut points: Vec<ScaleSpacePoint> = per_octave.into_iter().flatten().collect();
         points.sort_by(|a, b| b.response.partial_cmp(&a.response).expect("finite responses"));
         points.truncate(self.config.n_features);
         points
@@ -340,19 +347,25 @@ impl FeatureExtractor for Sift {
         let space = self.scale_space(img);
         stats.pixels_processed = space.total_pixels();
         let points = self.detect(&space);
-        let mut keypoints = Vec::with_capacity(points.len());
-        let mut descriptors = Vec::with_capacity(points.len());
-        for p in &points {
+        // Each 128-d descriptor only reads the shared scale space; describe
+        // all surviving points in parallel, in detection order.
+        let described = Runtime::current().par_map(&points, |p| {
             let scale = space.octave_scales[p.octave];
-            keypoints.push(Keypoint {
+            let kp = Keypoint {
                 x: p.x as f32 * scale,
                 y: p.y as f32 * scale,
                 response: p.response,
                 angle: p.angle,
                 octave: p.octave as u8,
                 scale,
-            });
-            descriptors.push(self.describe(&space, p));
+            };
+            (kp, self.describe(&space, p))
+        });
+        let mut keypoints = Vec::with_capacity(points.len());
+        let mut descriptors = Vec::with_capacity(points.len());
+        for (kp, desc) in described {
+            keypoints.push(kp);
+            descriptors.push(desc);
         }
         stats.keypoints_described = keypoints.len();
         let features = ImageFeatures { keypoints, descriptors: Descriptors::Vector(descriptors) };

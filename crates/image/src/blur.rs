@@ -5,6 +5,7 @@
 //! blurs the pyramid level).
 
 use crate::{GrayF32, GrayImage, ImageError, Result};
+use bees_runtime::Runtime;
 
 /// Builds a normalized 1-D Gaussian kernel for standard deviation `sigma`.
 ///
@@ -32,30 +33,39 @@ pub fn gaussian_kernel(sigma: f64) -> Result<Vec<f32>> {
 }
 
 /// Applies a horizontal-then-vertical pass of the given odd-length kernel.
+///
+/// Each pass fans out over output rows on the global [`Runtime`]; every row
+/// keeps the exact sequential accumulation order, so the result is
+/// bit-identical at any thread count.
 fn convolve_separable(src: &GrayF32, kernel: &[f32]) -> GrayF32 {
     let radius = (kernel.len() / 2) as i64;
     let (w, h) = (src.width(), src.height());
-    let mut tmp = GrayF32::new(w, h).expect("source image is non-empty");
-    for y in 0..h {
+    let rt = Runtime::current();
+    let row = |img: &GrayF32, y: u32, horizontal: bool| -> Vec<f32> {
+        let mut out_row = Vec::with_capacity(w as usize);
         for x in 0..w {
             let mut acc = 0.0f32;
             for (i, &k) in kernel.iter().enumerate() {
-                acc += k * src.get_clamped(x as i64 + i as i64 - radius, y as i64);
+                let off = i as i64 - radius;
+                acc += k * if horizontal {
+                    img.get_clamped(x as i64 + off, y as i64)
+                } else {
+                    img.get_clamped(x as i64, y as i64 + off)
+                };
             }
-            tmp.set(x, y, acc);
+            out_row.push(acc);
         }
-    }
-    let mut out = GrayF32::new(w, h).expect("source image is non-empty");
-    for y in 0..h {
-        for x in 0..w {
-            let mut acc = 0.0f32;
-            for (i, &k) in kernel.iter().enumerate() {
-                acc += k * tmp.get_clamped(x as i64, y as i64 + i as i64 - radius);
-            }
-            out.set(x, y, acc);
+        out_row
+    };
+    let gather = |rows: Vec<Vec<f32>>| -> GrayF32 {
+        let mut data = Vec::with_capacity(w as usize * h as usize);
+        for r in rows {
+            data.extend(r);
         }
-    }
-    out
+        GrayF32::from_raw(w, h, data).expect("rows cover the full image")
+    };
+    let tmp = gather(rt.par_map_range(h as usize, |y| row(src, y as u32, true)));
+    gather(rt.par_map_range(h as usize, |y| row(&tmp, y as u32, false)))
 }
 
 /// Gaussian-blurs a floating-point image.

@@ -43,6 +43,7 @@ pub mod quant;
 pub mod zigzag;
 
 use crate::{GrayImage, ImageError, Rgb, RgbImage, Result};
+use bees_runtime::Runtime;
 use bits::{BitReader, BitWriter};
 
 /// Magic byte marking a grayscale bitstream.
@@ -188,24 +189,30 @@ impl PlaneView {
 fn encode_plane(writer: &mut BitWriter, plane: &PlaneView, table: &[u16; 64]) {
     let blocks_x = (plane.width as usize).div_ceil(8);
     let blocks_y = (plane.height as usize).div_ceil(8);
-    let mut prev_dc = 0i32;
-    let mut block = [0f32; 64];
-    let mut coeffs = [0f32; 64];
-    let mut quantized = [0i32; 64];
-    for by in 0..blocks_y {
-        for bx in 0..blocks_x {
-            // Gather the block, replicating edge samples, with level shift.
-            for y in 0..8 {
-                for x in 0..8 {
-                    block[y * 8 + x] =
-                        plane.get_clamped((bx * 8 + x) as i64, (by * 8 + y) as i64) - 128.0;
-                }
+    // Stage 1 — per-block gather + forward DCT + quantization + zigzag is
+    // independent per block, so it fans out over the runtime (blocks are
+    // ordered row-major, exactly as the sequential loop visited them).
+    let zigzags: Vec<[i32; 64]> = Runtime::current().par_map_range(blocks_x * blocks_y, |b| {
+        let (by, bx) = (b / blocks_x, b % blocks_x);
+        let mut block = [0f32; 64];
+        // Gather the block, replicating edge samples, with level shift.
+        for y in 0..8 {
+            for x in 0..8 {
+                block[y * 8 + x] =
+                    plane.get_clamped((bx * 8 + x) as i64, (by * 8 + y) as i64) - 128.0;
             }
-            dct::forward_dct_8x8(&block, &mut coeffs);
-            quant::quantize(&coeffs, table, &mut quantized);
-            let zz = zigzag::to_zigzag(&quantized);
-            entropy::encode_block(writer, &zz, &mut prev_dc);
         }
+        let mut coeffs = [0f32; 64];
+        let mut quantized = [0i32; 64];
+        dct::forward_dct_8x8(&block, &mut coeffs);
+        quant::quantize(&coeffs, table, &mut quantized);
+        zigzag::to_zigzag(&quantized)
+    });
+    // Stage 2 — entropy coding stays sequential: the differential DC chain
+    // and the bit stream itself are serial by construction.
+    let mut prev_dc = 0i32;
+    for zz in &zigzags {
+        entropy::encode_block(writer, zz, &mut prev_dc);
     }
 }
 
@@ -232,27 +239,35 @@ fn decode_plane(
         .checked_mul(height as usize)
         .ok_or(ImageError::CorruptBitstream { detail: "dimension overflow" })?;
     let mut plane = PlaneView { width, height, data: vec![0.0; pixels] };
+    // Stage 1 — entropy decoding is serial (differential DC over one bit
+    // stream); collect every block's zigzag scan first.
     let mut prev_dc = 0i32;
-    let mut coeffs = [0f32; 64];
-    let mut samples = [0f32; 64];
-    for by in 0..blocks_y {
-        for bx in 0..blocks_x {
-            let zz = entropy::decode_block(reader, &mut prev_dc)?;
-            let quantized = zigzag::from_zigzag(&zz);
-            quant::dequantize(&quantized, table, &mut coeffs);
-            dct::inverse_dct_8x8(&coeffs, &mut samples);
-            for y in 0..8 {
-                let py = by * 8 + y;
-                if py >= height as usize {
+    let mut zigzags = Vec::with_capacity(blocks);
+    for _ in 0..blocks {
+        zigzags.push(entropy::decode_block(reader, &mut prev_dc)?);
+    }
+    // Stage 2 — dequantization + inverse DCT is independent per block.
+    let samples: Vec<[f32; 64]> = Runtime::current().par_map(&zigzags, |zz| {
+        let quantized = zigzag::from_zigzag(zz);
+        let mut coeffs = [0f32; 64];
+        let mut out = [0f32; 64];
+        quant::dequantize(&quantized, table, &mut coeffs);
+        dct::inverse_dct_8x8(&coeffs, &mut out);
+        out
+    });
+    for (b, block) in samples.iter().enumerate() {
+        let (by, bx) = (b / blocks_x, b % blocks_x);
+        for y in 0..8 {
+            let py = by * 8 + y;
+            if py >= height as usize {
+                break;
+            }
+            for x in 0..8 {
+                let px = bx * 8 + x;
+                if px >= width as usize {
                     break;
                 }
-                for x in 0..8 {
-                    let px = bx * 8 + x;
-                    if px >= width as usize {
-                        break;
-                    }
-                    plane.data[py * width as usize + px] = samples[y * 8 + x] + 128.0;
-                }
+                plane.data[py * width as usize + px] = block[y * 8 + x] + 128.0;
             }
         }
     }

@@ -226,6 +226,23 @@ impl GrayF32 {
         Ok(GrayF32 { width, height, data: vec![0.0; width as usize * height as usize] })
     }
 
+    /// Wraps an existing row-major sample buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ImageError::InvalidDimensions`] for zero dimensions and
+    /// [`ImageError::BufferSizeMismatch`] if `data.len() != width * height`.
+    pub fn from_raw(width: u32, height: u32, data: Vec<f32>) -> Result<Self> {
+        if width == 0 || height == 0 {
+            return Err(ImageError::InvalidDimensions { width, height });
+        }
+        let expected = width as usize * height as usize;
+        if data.len() != expected {
+            return Err(ImageError::BufferSizeMismatch { expected, actual: data.len() });
+        }
+        Ok(GrayF32 { width, height, data })
+    }
+
     /// Width in pixels.
     #[inline]
     pub fn width(&self) -> u32 {

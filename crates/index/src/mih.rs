@@ -21,6 +21,7 @@ use crate::store::{rank_hits, ImageEntry, ImageId, QueryHit};
 use crate::FeatureIndex;
 use bees_features::similarity::{jaccard_similarity, SimilarityConfig};
 use bees_features::{Descriptors, ImageFeatures};
+use bees_runtime::Runtime;
 use std::collections::{HashMap, HashSet};
 
 /// Accelerated index: word-collision candidate generation plus exact
@@ -83,27 +84,34 @@ impl MihIndex {
     }
 
     /// Returns the candidate image ids for a query (images sharing a
-    /// descriptor word within the probe radius). Exposed for the ablation
-    /// benchmark.
-    pub fn candidates(&self, query: &ImageFeatures) -> HashSet<ImageId> {
-        let mut out = HashSet::new();
+    /// descriptor word within the probe radius), sorted ascending. Exposed
+    /// for the ablation benchmark.
+    ///
+    /// The sorted order makes downstream iteration independent of
+    /// `HashSet`'s randomized bucket order, so every consumer — including
+    /// the parallel rescoring in `top_k` — sees candidates in the same
+    /// order on every run.
+    pub fn candidates(&self, query: &ImageFeatures) -> Vec<ImageId> {
+        let mut seen = HashSet::new();
         if let Descriptors::Binary(descs) = &query.descriptors {
             for d in descs {
                 for chunk in 0..4 {
                     let word = d.word(chunk);
                     if let Some(ids) = self.tables[chunk].get(&word) {
-                        out.extend(ids.iter().copied());
+                        seen.extend(ids.iter().copied());
                     }
                     if self.probe_radius >= 1 {
                         for bit in 0..64 {
                             if let Some(ids) = self.tables[chunk].get(&(word ^ (1u64 << bit))) {
-                                out.extend(ids.iter().copied());
+                                seen.extend(ids.iter().copied());
                             }
                         }
                     }
                 }
             }
         }
+        let mut out: Vec<ImageId> = seen.into_iter().collect();
+        out.sort_unstable();
         out
     }
 
@@ -156,25 +164,28 @@ impl FeatureIndex for MihIndex {
     }
 
     fn top_k(&self, query: &ImageFeatures, k: usize) -> Vec<QueryHit> {
+        // Exact Jaccard rescoring dominates query cost; score every
+        // candidate (or entry) in parallel, keeping candidate order.
+        let rt = Runtime::current();
         let hits: Vec<QueryHit> = if matches!(query.descriptors, Descriptors::Binary(_)) {
             let cands = self.candidates(query);
-            cands
-                .into_iter()
-                .filter_map(|id| {
-                    let pos = *self.id_to_pos.get(&id).expect("candidate ids are indexed");
-                    let s = jaccard_similarity(query, &self.entries[pos].features, &self.config);
-                    (s > 0.0).then_some(QueryHit { id, similarity: s })
-                })
-                .collect()
+            rt.par_map(&cands, |&id| {
+                let pos = *self.id_to_pos.get(&id).expect("candidate ids are indexed");
+                let s = jaccard_similarity(query, &self.entries[pos].features, &self.config);
+                (s > 0.0).then_some(QueryHit { id, similarity: s })
+            })
+            .into_iter()
+            .flatten()
+            .collect()
         } else {
             // Vector features: no word structure, fall back to a full scan.
-            self.entries
-                .iter()
-                .filter_map(|e| {
-                    let s = jaccard_similarity(query, &e.features, &self.config);
-                    (s > 0.0).then_some(QueryHit { id: e.id, similarity: s })
-                })
-                .collect()
+            rt.par_map(&self.entries, |e| {
+                let s = jaccard_similarity(query, &e.features, &self.config);
+                (s > 0.0).then_some(QueryHit { id: e.id, similarity: s })
+            })
+            .into_iter()
+            .flatten()
+            .collect()
         };
         rank_hits(hits, k)
     }
@@ -218,7 +229,7 @@ mod tests {
                 .map(|d| {
                     let mut bytes = *d.as_bytes();
                     for _ in 0..k {
-                        let bit = rng.gen_range(0..256);
+                        let bit = rng.gen_range(0..256usize);
                         bytes[bit / 8] ^= 1 << (bit % 8);
                     }
                     BinaryDescriptor::from_bytes(bytes)

@@ -97,6 +97,40 @@ impl SimilarityGraph {
         g
     }
 
+    /// Builds a graph by evaluating `f(i, j)` for every pair `i < j`, with
+    /// the rows of the upper triangle computed in parallel on the global
+    /// runtime.
+    ///
+    /// Row `i` of the packed upper triangle is contiguous, so concatenating
+    /// the per-row results in row order reproduces exactly the buffer
+    /// [`SimilarityGraph::from_pairwise`] fills — the two constructors are
+    /// bit-identical for any pure `f`, at any thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `f` returns a weight that is not a finite
+    /// value in `[0, 1]`.
+    pub fn from_pairwise_par<F: Fn(usize, usize) -> f64 + Sync>(n: usize, f: F) -> Self {
+        assert!(n > 0, "graph needs at least one node");
+        let rows = bees_runtime::par_map_range(n, |i| {
+            ((i + 1)..n)
+                .map(|j| {
+                    let w = f(i, j);
+                    assert!(
+                        w.is_finite() && (0.0..=1.0).contains(&w),
+                        "weight must be in [0, 1], got {w}"
+                    );
+                    w
+                })
+                .collect::<Vec<f64>>()
+        });
+        let mut weights = Vec::with_capacity(n * (n - 1) / 2);
+        for row in rows {
+            weights.extend(row);
+        }
+        SimilarityGraph { n, weights }
+    }
+
     /// Iterates over `(i, j, w)` for all pairs `i < j` with `w > 0`.
     pub fn edges(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
         (0..self.n).flat_map(move |i| {
@@ -205,6 +239,22 @@ mod tests {
         let g = SimilarityGraph::from_pairwise(4, |i, j| (i + j) as f64 / 10.0);
         assert_eq!(g.weight(0, 1), 0.1);
         assert_eq!(g.weight(2, 3), 0.5);
+    }
+
+    #[test]
+    fn parallel_pairwise_matches_sequential() {
+        let f = |i: usize, j: usize| ((i * 13 + j * 7) % 11) as f64 / 11.0;
+        for n in [1, 2, 3, 17, 64] {
+            let seq = SimilarityGraph::from_pairwise(n, f);
+            let par = SimilarityGraph::from_pairwise_par(n, f);
+            assert_eq!(seq, par, "n={n}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "weight must be in")]
+    fn parallel_pairwise_rejects_invalid_weight() {
+        let _ = SimilarityGraph::from_pairwise_par(3, |_, _| 2.0);
     }
 
     #[test]

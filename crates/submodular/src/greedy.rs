@@ -6,6 +6,7 @@
 //! verify against brute force.
 
 use crate::functions::SubmodularFunction;
+use bees_runtime::Runtime;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
@@ -22,23 +23,35 @@ pub fn greedy_maximize(f: &dyn SubmodularFunction, budget: usize) -> Vec<usize> 
     assert!(budget <= n, "budget {budget} exceeds ground set {n}");
     let mut selected: Vec<usize> = Vec::with_capacity(budget);
     let mut remaining: Vec<bool> = vec![true; n];
+    let rt = Runtime::current();
     for _ in 0..budget {
-        let mut best: Option<(usize, f64)> = None;
-        for v in 0..n {
-            if !remaining[v] {
-                continue;
-            }
-            let gain = f.marginal_gain(&selected, v);
-            // Strictly greater keeps the smallest index on exact ties,
-            // matching the lazy variant's heap tie-break.
-            let better = match best {
-                None => true,
-                Some((_, bg)) => gain > bg,
-            };
-            if better {
-                best = Some((v, gain));
-            }
-        }
+        // Parallel argmax over the remaining elements. The fold keeps the
+        // first index on exact ties (strictly-greater wins) and the combine
+        // prefers the lower-chunk accumulator, so the pick is exactly the
+        // one a sequential 0..n scan would make, at any thread count.
+        let best: Option<(usize, f64)> = rt.par_map_reduce(
+            n,
+            |v| {
+                if remaining[v] {
+                    Some((v, f.marginal_gain(&selected, v)))
+                } else {
+                    None
+                }
+            },
+            None,
+            |acc, item| match item {
+                None => acc,
+                Some((v, gain)) => match acc {
+                    Some((_, bg)) if gain <= bg => acc,
+                    _ => Some((v, gain)),
+                },
+            },
+            |a, b| match (a, b) {
+                (Some((_, ag)), Some((bi, bg))) if bg > ag => Some((bi, bg)),
+                (None, b) => b,
+                (a, _) => a,
+            },
+        );
         match best {
             Some((v, _)) => {
                 remaining[v] = false;
@@ -97,8 +110,13 @@ pub fn lazy_greedy_maximize(f: &dyn SubmodularFunction, budget: usize) -> Vec<us
     let n = f.ground_size();
     assert!(budget <= n, "budget {budget} exceeds ground set {n}");
     let mut selected: Vec<usize> = Vec::with_capacity(budget);
-    let mut heap: BinaryHeap<LazyEntry> = (0..n)
-        .map(|v| LazyEntry { gain: f.marginal_gain(&[], v), element: v, round: 0 })
+    // Seed the heap with all first-round gains, computed in parallel (the
+    // heap's ordering does not depend on insertion order, so this is safe).
+    let gains = Runtime::current().par_map_range(n, |v| f.marginal_gain(&[], v));
+    let mut heap: BinaryHeap<LazyEntry> = gains
+        .into_iter()
+        .enumerate()
+        .map(|(v, gain)| LazyEntry { gain, element: v, round: 0 })
         .collect();
     let mut round = 0usize;
     while selected.len() < budget {

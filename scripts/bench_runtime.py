@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Runs the runtime scaling benchmark and emits BENCH_runtime.json.
+
+Usage:
+    python3 scripts/bench_runtime.py [--skip-run] [--out BENCH_runtime.json]
+
+Invokes `cargo bench -p bees-bench --bench runtime`, then harvests
+criterion's `target/criterion/**/new/estimates.json` files into a single
+summary: mean wall-clock per benchmark plus derived speedups of the
+thread-sweep groups relative to their single-thread entry. `--skip-run`
+reuses estimates from a previous bench run.
+"""
+
+import argparse
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+CRITERION = REPO / "target" / "criterion"
+SWEEP_GROUPS = ("orb_threads", "match_binary_threads")
+
+
+def run_bench() -> None:
+    cmd = ["cargo", "bench", "-p", "bees-bench", "--bench", "runtime"]
+    print("+ " + " ".join(cmd), file=sys.stderr)
+    subprocess.run(cmd, cwd=REPO, check=True)
+
+
+def harvest() -> dict:
+    """Collects mean estimates (ns) keyed by `group/bench_id`."""
+    results = {}
+    for estimates in sorted(CRITERION.glob("**/new/estimates.json")):
+        bench_dir = estimates.parent.parent
+        benchmark = json.loads((bench_dir / "new" / "benchmark.json").read_text())
+        full_id = benchmark.get("full_id", bench_dir.name)
+        mean_ns = json.loads(estimates.read_text())["mean"]["point_estimate"]
+        results[full_id] = {"mean_ns": mean_ns}
+    return results
+
+
+def add_speedups(results: dict) -> dict:
+    """Derives speedup-vs-1-thread for each thread-sweep group."""
+    speedups = {}
+    for group in SWEEP_GROUPS:
+        base = results.get(f"{group}/1", {}).get("mean_ns")
+        if not base:
+            continue
+        for full_id, entry in results.items():
+            prefix = f"{group}/"
+            if full_id.startswith(prefix):
+                threads = full_id[len(prefix):]
+                speedups.setdefault(group, {})[threads] = base / entry["mean_ns"]
+    return speedups
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--skip-run", action="store_true",
+                        help="harvest existing criterion output without benching")
+    parser.add_argument("--out", type=Path, default=REPO / "BENCH_runtime.json")
+    args = parser.parse_args()
+
+    if not args.skip_run:
+        run_bench()
+    if not CRITERION.exists():
+        print(f"error: {CRITERION} not found; run the bench first", file=sys.stderr)
+        return 1
+
+    results = {k: v for k, v in harvest().items()
+               if k.startswith(("par_map_overhead", *SWEEP_GROUPS))}
+    if not results:
+        print("error: no runtime benchmark estimates found", file=sys.stderr)
+        return 1
+    payload = {
+        "benchmark": "runtime",
+        "results": results,
+        "speedup_vs_1_thread": add_speedups(results),
+    }
+    args.out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {args.out}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

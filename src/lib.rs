@@ -21,4 +21,5 @@ pub use bees_features as features;
 pub use bees_image as image;
 pub use bees_index as index;
 pub use bees_net as net;
+pub use bees_runtime as runtime;
 pub use bees_submodular as submodular;

@@ -31,6 +31,34 @@ fn full_upload_run_is_deterministic() {
 }
 
 #[test]
+fn full_pipeline_is_identical_across_thread_counts() {
+    // The deterministic runtime promises bit-identical results at any
+    // worker count. Run the complete ORB → CBRD → SSMM → AIU pipeline at
+    // 1, 2, and 8 threads and compare the serialized reports byte for
+    // byte. `set_threads` (not `BEES_THREADS`) is used because the env
+    // default is cached once per process.
+    let run = || -> String {
+        let mut config = BeesConfig::default();
+        config.trace = BandwidthTrace::constant(200_000.0).unwrap();
+        let data = disaster_batch(42, 10, 2, 0.25, small_scene());
+        let scheme = Bees::adaptive(&config);
+        let mut server = Server::new(&config);
+        scheme.preload_server(&mut server, &data.server_preload);
+        let mut client = Client::new(0, &config);
+        let report = scheme.upload_batch(&mut client, &mut server, &data.batch).unwrap();
+        serde_json::to_string(&report).expect("report serializes")
+    };
+    bees::runtime::set_threads(1);
+    let single = run();
+    for threads in [2, 8] {
+        bees::runtime::set_threads(threads);
+        let multi = run();
+        bees::runtime::set_threads(0);
+        assert_eq!(single, multi, "report differs at {threads} threads");
+    }
+}
+
+#[test]
 fn orb_features_are_bitwise_stable() {
     let img = kentucky_like(3, 1, small_scene())[0].images[0].to_gray();
     let orb = Orb::default();
