@@ -34,7 +34,13 @@ fn bench_hamming_matching(c: &mut Criterion) {
         let a = random_descriptors(&mut rng, n);
         let b = random_descriptors(&mut rng, n);
         group.bench_with_input(BenchmarkId::from_parameter(n), &(a, b), |bench, (a, b)| {
-            bench.iter(|| black_box(match_binary(black_box(a), black_box(b), &MatchConfig::default())))
+            bench.iter(|| {
+                black_box(match_binary(
+                    black_box(a),
+                    black_box(b),
+                    &MatchConfig::default(),
+                ))
+            })
         });
     }
     group.finish();

@@ -33,15 +33,27 @@ fn bench_orb_extraction(c: &mut Criterion) {
 fn bench_sift_vs_orb(c: &mut Criterion) {
     // The paper picks ORB because it is orders cheaper than SIFT; measure
     // the actual wall-clock gap of our implementations.
-    let img = Scene::new(2, SceneConfig { width: 192, height: 144, n_shapes: 16, texture_amp: 10.0 })
-        .render(&ViewJitter::identity())
-        .to_gray();
+    let img = Scene::new(
+        2,
+        SceneConfig {
+            width: 192,
+            height: 144,
+            n_shapes: 16,
+            texture_amp: 10.0,
+        },
+    )
+    .render(&ViewJitter::identity())
+    .to_gray();
     let orb = Orb::default();
     let sift = Sift::default();
     let mut group = c.benchmark_group("extractor_comparison");
     group.sample_size(10);
-    group.bench_function("orb", |b| b.iter(|| black_box(orb.extract(black_box(&img)))));
-    group.bench_function("sift", |b| b.iter(|| black_box(sift.extract(black_box(&img)))));
+    group.bench_function("orb", |b| {
+        b.iter(|| black_box(orb.extract(black_box(&img))))
+    });
+    group.bench_function("sift", |b| {
+        b.iter(|| black_box(sift.extract(black_box(&img))))
+    });
     group.finish();
 }
 

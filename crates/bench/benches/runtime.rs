@@ -22,7 +22,11 @@ const THREAD_SWEEP: [usize; 4] = [1, 2, 4, 8];
 /// A 384x288 textured frame, the upper end of the paper's phone imagery.
 fn frame() -> GrayImage {
     GrayImage::from_fn(384, 288, |x, y| {
-        let checker = if (x / 14 + y / 12) % 2 == 0 { 55i32 } else { -55 };
+        let checker = if (x / 14 + y / 12) % 2 == 0 {
+            55i32
+        } else {
+            -55
+        };
         let wave = (45.0 * ((x as f32) * 0.19).sin() + 35.0 * ((y as f32) * 0.23).cos()) as i32;
         (128 + checker + wave).clamp(0, 255) as u8
     })
@@ -45,7 +49,13 @@ fn bench_par_map_overhead(c: &mut Criterion) {
     let mut group = c.benchmark_group("par_map_overhead");
     let n = 4096usize;
     group.bench_function("seq_map", |b| {
-        b.iter(|| black_box((0..n).map(|i| i.wrapping_mul(2654435761)).collect::<Vec<_>>()))
+        b.iter(|| {
+            black_box(
+                (0..n)
+                    .map(|i| i.wrapping_mul(2654435761))
+                    .collect::<Vec<_>>(),
+            )
+        })
     });
     for threads in [1usize, 4] {
         group.bench_with_input(BenchmarkId::new("par_map", threads), &threads, |b, &t| {
@@ -60,7 +70,10 @@ fn bench_par_map_overhead(c: &mut Criterion) {
 /// per-candidate BRIEF all ride the runtime).
 fn bench_orb_scaling(c: &mut Criterion) {
     let img = frame();
-    let orb = Orb::new(OrbConfig { n_features: 300, ..OrbConfig::default() });
+    let orb = Orb::new(OrbConfig {
+        n_features: 300,
+        ..OrbConfig::default()
+    });
     let mut group = c.benchmark_group("orb_threads");
     group.sample_size(20);
     for threads in THREAD_SWEEP {
@@ -91,5 +104,10 @@ fn bench_matching_scaling(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_par_map_overhead, bench_orb_scaling, bench_matching_scaling);
+criterion_group!(
+    benches,
+    bench_par_map_overhead,
+    bench_orb_scaling,
+    bench_matching_scaling
+);
 criterion_main!(benches);

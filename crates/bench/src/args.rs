@@ -14,7 +14,11 @@ pub struct ExpArgs {
 
 impl Default for ExpArgs {
     fn default() -> Self {
-        ExpArgs { scale: 1.0, seed: 0xBEE5, quick: false }
+        ExpArgs {
+            scale: 1.0,
+            seed: 0xBEE5,
+            quick: false,
+        }
     }
 }
 

@@ -1,0 +1,6 @@
+//! Robustness experiment: every scheme on a faulty disaster channel.
+use bees_bench::args::ExpArgs;
+
+fn main() {
+    bees_bench::experiments::fault_resilience::run(&ExpArgs::from_env()).print();
+}

@@ -6,7 +6,10 @@ use bees_bench::experiments as ex;
 
 fn main() {
     let args = ExpArgs::from_env();
-    println!("BEES reproduction: full experiment suite (scale {}, seed {})", args.scale, args.seed);
+    println!(
+        "BEES reproduction: full experiment suite (scale {}, seed {})",
+        args.scale, args.seed
+    );
     ex::calibrate::run(&args).print();
     ex::fig3_compression::run(&args).print();
     ex::fig4_distribution::run(&args).print();
@@ -22,5 +25,6 @@ fn main() {
     ex::fig12_coverage::run(&args).print();
     ex::ablation_ssmm::run(&args).print();
     ex::global_vs_local::run(&args).print();
+    ex::fault_resilience::run(&args).print();
     println!("\nAll experiments complete. See EXPERIMENTS.md for the paper-vs-measured record.");
 }

@@ -107,8 +107,14 @@ pub fn run(args: &ExpArgs) -> AblationResult {
         let mut outcomes = Vec::new();
         for (policy, summary) in [
             ("adaptive".to_string(), adaptive.clone()),
-            (format!("fixed {}", (b / 2).max(1)), ssmm.summarize_with_fixed_budget(&graph, tw, (b / 2).max(1))),
-            (format!("fixed {}", (b * 2).min(n)), ssmm.summarize_with_fixed_budget(&graph, tw, (b * 2).min(n))),
+            (
+                format!("fixed {}", (b / 2).max(1)),
+                ssmm.summarize_with_fixed_budget(&graph, tw, (b / 2).max(1)),
+            ),
+            (
+                format!("fixed {}", (b * 2).min(n)),
+                ssmm.summarize_with_fixed_budget(&graph, tw, (b * 2).min(n)),
+            ),
         ] {
             let kept = summary.selected.len();
             // Duplicates kept: images beyond the first per scene.
@@ -140,7 +146,11 @@ mod tests {
 
     #[test]
     fn adaptive_budget_tracks_batch_structure() {
-        let args = ExpArgs { scale: 1.0, seed: 91, quick: false };
+        let args = ExpArgs {
+            scale: 1.0,
+            seed: 91,
+            quick: false,
+        };
         let r = run(&args);
         assert_eq!(r.rows.len(), 3);
         for row in &r.rows {

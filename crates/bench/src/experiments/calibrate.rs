@@ -57,14 +57,7 @@ impl CalibrationResult {
     pub fn print(&self) {
         println!("\n== Calibration: similarity score distributions ==");
         let mut t = Table::new(vec![
-            "family",
-            "sim min",
-            "sim p10",
-            "sim p50",
-            "dis p50",
-            "dis p90",
-            "dis max",
-            "clean T",
+            "family", "sim min", "sim p10", "sim p50", "dis p50", "dis p90", "dis max", "clean T",
         ]);
         for d in &self.distributions {
             t.row(vec![
@@ -75,7 +68,9 @@ impl CalibrationResult {
                 f3(d.dissimilar_p50),
                 f3(d.dissimilar_p90),
                 f3(d.dissimilar_max),
-                d.clean_threshold().map(f3).unwrap_or_else(|| "overlap!".into()),
+                d.clean_threshold()
+                    .map(f3)
+                    .unwrap_or_else(|| "overlap!".into()),
             ]);
         }
         t.print();
@@ -125,12 +120,22 @@ pub fn run(args: &ExpArgs) -> CalibrationResult {
     let orb = Orb::new(config.orb);
     let orb_feats: Vec<Vec<ImageFeatures>> = groups
         .iter()
-        .map(|g| g.images.iter().map(|im| orb.extract(&im.to_gray())).collect())
+        .map(|g| {
+            g.images
+                .iter()
+                .map(|im| orb.extract(&im.to_gray()))
+                .collect()
+        })
         .collect();
     let pca = PcaSift::with_seeded_basis(config.pca_sift, config.pca_basis_seed);
     let pca_feats: Vec<Vec<ImageFeatures>> = groups
         .iter()
-        .map(|g| g.images.iter().map(|im| pca.extract(&im.to_gray())).collect())
+        .map(|g| {
+            g.images
+                .iter()
+                .map(|im| pca.extract(&im.to_gray()))
+                .collect()
+        })
         .collect();
 
     let d_orb = measure("ORB", &orb_feats, &config.similarity);
@@ -140,7 +145,10 @@ pub fn run(args: &ExpArgs) -> CalibrationResult {
     // slope filling 60% of the gap to the similar minimum.
     let t0 = (d_orb.dissimilar_max * 100.0).ceil() / 100.0 + 0.01;
     let k = ((d_orb.similar_min - t0) * 0.6).max(0.01);
-    CalibrationResult { distributions: vec![d_orb, d_pca], edr: (t0, k) }
+    CalibrationResult {
+        distributions: vec![d_orb, d_pca],
+        edr: (t0, k),
+    }
 }
 
 #[cfg(test)]
@@ -150,7 +158,11 @@ mod tests {
 
     #[test]
     fn measured_distributions_validate_config_defaults() {
-        let args = ExpArgs { scale: 0.5, seed: 0xCA11, quick: false };
+        let args = ExpArgs {
+            scale: 0.5,
+            seed: 0xCA11,
+            quick: false,
+        };
         let r = run(&args);
         let orb = &r.distributions[0];
         // The config's EDR band must sit inside the measured gap.

@@ -39,8 +39,13 @@ impl Fig11Result {
             "\n== Fig. 11: average per-image upload delay ({} images, 50% redundancy) ==",
             self.batch_size
         );
-        let mut t =
-            Table::new(vec!["bitrate", "Direct (s)", "SmartEye (s)", "MRC (s)", "BEES (s)"]);
+        let mut t = Table::new(vec![
+            "bitrate",
+            "Direct (s)",
+            "SmartEye (s)",
+            "MRC (s)",
+            "BEES (s)",
+        ]);
         for p in &self.points {
             let mut row = vec![format!("{} Kbps", p.kbps)];
             row.extend(p.avg_delay_s.iter().map(|&d| f1(d)));
@@ -84,7 +89,10 @@ pub fn run(args: &ExpArgs) -> Fig11Result {
                 .expect("constant trace cannot stall");
             avg.push(report.avg_delay_per_image());
         }
-        points.push(DelayPoint { kbps, avg_delay_s: avg });
+        points.push(DelayPoint {
+            kbps,
+            avg_delay_s: avg,
+        });
     }
     Fig11Result { batch_size, points }
 }
@@ -95,14 +103,28 @@ mod tests {
 
     #[test]
     fn delay_shapes_match_paper() {
-        let args = ExpArgs { scale: 0.12, seed: 71, quick: true };
+        let args = ExpArgs {
+            scale: 0.12,
+            seed: 71,
+            quick: true,
+        };
         let r = run(&args);
         assert_eq!(r.points.len(), 3);
         for p in &r.points {
-            let [direct, smarteye, mrc, bees] = p.avg_delay_s[..] else { panic!("4 schemes") };
-            assert!(bees < direct, "{} Kbps: BEES {bees} vs Direct {direct}", p.kbps);
+            let [direct, smarteye, mrc, bees] = p.avg_delay_s[..] else {
+                panic!("4 schemes")
+            };
+            assert!(
+                bees < direct,
+                "{} Kbps: BEES {bees} vs Direct {direct}",
+                p.kbps
+            );
             assert!(bees < mrc, "{} Kbps: BEES {bees} vs MRC {mrc}", p.kbps);
-            assert!(smarteye > mrc, "{} Kbps: SmartEye {smarteye} vs MRC {mrc}", p.kbps);
+            assert!(
+                smarteye > mrc,
+                "{} Kbps: SmartEye {smarteye} vs MRC {mrc}",
+                p.kbps
+            );
         }
         // Higher bitrate, lower Direct Upload delay.
         assert!(r.points[2].avg_delay_s[0] < r.points[0].avg_delay_s[0]);

@@ -107,7 +107,11 @@ mod tests {
 
     #[test]
     fn bees_covers_more_locations() {
-        let args = ExpArgs { scale: 0.1, seed: 81, quick: true };
+        let args = ExpArgs {
+            scale: 0.1,
+            seed: 81,
+            quick: true,
+        };
         let r = run(&args);
         // Both are battery-limited.
         assert!(r.direct.images_received < r.direct.corpus_images);

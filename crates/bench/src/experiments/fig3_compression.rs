@@ -63,8 +63,10 @@ pub fn run(args: &ExpArgs) -> Fig3Result {
     let n_groups = args.scaled(40, 4);
     let groups = kentucky_like(args.seed, n_groups, SceneConfig::default());
     let orb = Orb::new(config.orb);
-    let proportions: Vec<f64> =
-        (0..10).map(|i| i as f64 * 0.1).filter(|&c| c < 0.95).collect();
+    let proportions: Vec<f64> = (0..10)
+        .map(|i| i as f64 * 0.1)
+        .filter(|&c| c < 0.95)
+        .collect();
 
     let mut precisions = Vec::new();
     let mut energies = Vec::new();
@@ -98,7 +100,11 @@ pub fn run(args: &ExpArgs) -> Fig3Result {
             normalized_energy: e / base_e,
         })
         .collect();
-    Fig3Result { points, base_precision: precisions[0], base_energy_j: energies[0] }
+    Fig3Result {
+        points,
+        base_precision: precisions[0],
+        base_energy_j: energies[0],
+    }
 }
 
 #[cfg(test)]
@@ -107,7 +113,11 @@ mod tests {
 
     #[test]
     fn shape_matches_paper() {
-        let args = ExpArgs { scale: 0.15, seed: 11, quick: true };
+        let args = ExpArgs {
+            scale: 0.15,
+            seed: 11,
+            quick: true,
+        };
         let r = run(&args);
         assert_eq!(r.points.len(), 10);
         // C = 0 is the normalization anchor.

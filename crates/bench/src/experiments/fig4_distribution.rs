@@ -73,7 +73,12 @@ pub fn run(args: &ExpArgs) -> Fig4Result {
     let orb = Orb::new(config.orb);
     let features: Vec<Vec<_>> = groups
         .iter()
-        .map(|g| g.images.iter().map(|im| orb.extract(&im.to_gray())).collect())
+        .map(|g| {
+            g.images
+                .iter()
+                .map(|im| orb.extract(&im.to_gray()))
+                .collect()
+        })
         .collect();
 
     let mut similar = Vec::new();
@@ -133,7 +138,11 @@ mod tests {
 
     #[test]
     fn distributions_separate() {
-        let args = ExpArgs { scale: 0.2, seed: 7, quick: true };
+        let args = ExpArgs {
+            scale: 0.2,
+            seed: 7,
+            quick: true,
+        };
         let r = run(&args);
         // Rates are monotone non-increasing in the threshold.
         for w in r.points.windows(2) {
@@ -147,8 +156,16 @@ mod tests {
             .find(|p| p.threshold >= r.suggested_t0)
             .expect("t0 within sweep");
         assert!(at_t0.false_positive_rate <= 0.1);
-        assert!(at_t0.true_positive_rate >= 0.8, "TP {}", at_t0.true_positive_rate);
+        assert!(
+            at_t0.true_positive_rate >= 0.8,
+            "TP {}",
+            at_t0.true_positive_rate
+        );
         // And the default config should be near what we derive.
-        assert!((r.suggested_t0 - 0.10).abs() < 0.06, "t0 {}", r.suggested_t0);
+        assert!(
+            (r.suggested_t0 - 0.10).abs() < 0.06,
+            "t0 {}",
+            r.suggested_t0
+        );
     }
 }

@@ -70,7 +70,10 @@ impl Fig5Result {
         println!("\n== Fig. 5b: resolution compression vs bandwidth ==");
         let mut t = Table::new(vec!["proportion", "mean KiB"]);
         for p in &self.resolution {
-            t.row(vec![format!("{:.2}", p.proportion), kib(p.mean_bytes as usize)]);
+            t.row(vec![
+                format!("{:.2}", p.proportion),
+                kib(p.mean_bytes as usize),
+            ]);
         }
         t.print();
     }
@@ -107,8 +110,7 @@ pub fn run(args: &ExpArgs) -> Fig5Result {
             let encoded = codec::encode_rgb(img, q).expect("valid quality");
             bytes += encoded.len() as f64;
             let decoded = codec::decode_rgb(&encoded).expect("own bitstream decodes");
-            ssim += metrics::ssim(&img.to_gray(), &decoded.to_gray())
-                .expect("dimensions match");
+            ssim += metrics::ssim(&img.to_gray(), &decoded.to_gray()).expect("dimensions match");
         }
         quality.push(QualityPoint {
             proportion,
@@ -122,8 +124,8 @@ pub fn run(args: &ExpArgs) -> Fig5Result {
         let proportion = i as f64 * 0.1;
         let mut bytes = 0.0;
         for img in &images {
-            let shrunk = resize::compress_resolution_rgb(img, proportion)
-                .expect("valid proportion");
+            let shrunk =
+                resize::compress_resolution_rgb(img, proportion).expect("valid proportion");
             let encoded = codec::encode_rgb(&shrunk, 90).expect("valid quality");
             bytes += encoded.len() as f64;
         }
@@ -148,7 +150,11 @@ mod tests {
 
     #[test]
     fn both_axes_shrink_bytes() {
-        let args = ExpArgs { scale: 0.15, seed: 3, quick: true };
+        let args = ExpArgs {
+            scale: 0.15,
+            seed: 3,
+            quick: true,
+        };
         let r = run(&args);
         // Quality compression: bytes fall, SSIM falls, monotonically-ish.
         assert!(r.quality.first().unwrap().mean_bytes > r.quality.last().unwrap().mean_bytes);

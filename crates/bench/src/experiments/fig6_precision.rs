@@ -41,7 +41,10 @@ pub struct Fig6Result {
 impl Fig6Result {
     /// Prints the paper-style table.
     pub fn print(&self) {
-        println!("\n== Fig. 6: normalized precision ({} queries) ==", self.n_queries);
+        println!(
+            "\n== Fig. 6: normalized precision ({} queries) ==",
+            self.n_queries
+        );
         let mut t = Table::new(vec!["scheme", "precision", "normalized to SIFT"]);
         for r in &self.rows {
             t.row(vec![r.label.clone(), f3(r.precision), f3(r.normalized)]);
@@ -65,7 +68,11 @@ pub fn run(args: &ExpArgs) -> Fig6Result {
         |g| sift.extract(g),
         |g| sift.extract(g),
     );
-    rows.push(PrecisionRow { label: "SIFT".into(), precision: p_sift, normalized: 1.0 });
+    rows.push(PrecisionRow {
+        label: "SIFT".into(),
+        precision: p_sift,
+        normalized: 1.0,
+    });
 
     let pca = PcaSift::with_seeded_basis(config.pca_sift, config.pca_basis_seed);
     let p_pca = top4_precision(
@@ -99,7 +106,10 @@ pub fn run(args: &ExpArgs) -> Fig6Result {
         });
     }
 
-    Fig6Result { n_queries: n_groups, rows }
+    Fig6Result {
+        n_queries: n_groups,
+        rows,
+    }
 }
 
 #[cfg(test)]
@@ -108,20 +118,35 @@ mod tests {
 
     #[test]
     fn bees_precision_tracks_paper_shape() {
-        let args = ExpArgs { scale: 0.4, seed: 21, quick: false };
+        let args = ExpArgs {
+            scale: 0.4,
+            seed: 21,
+            quick: false,
+        };
         let r = run(&args);
         assert_eq!(r.rows.len(), 6);
         let by_label = |l: &str| {
-            r.rows.iter().find(|row| row.label == l).unwrap_or_else(|| panic!("{l} missing"))
+            r.rows
+                .iter()
+                .find(|row| row.label == l)
+                .unwrap_or_else(|| panic!("{l} missing"))
         };
         let sift = by_label("SIFT");
         assert!(sift.precision > 0.5, "SIFT precision {}", sift.precision);
         // BEES(100) runs on uncompressed bitmaps: strong precision.
         let b100 = by_label("BEES(100)");
-        assert!(b100.normalized > 0.7, "BEES(100) normalized {}", b100.normalized);
+        assert!(
+            b100.normalized > 0.7,
+            "BEES(100) normalized {}",
+            b100.normalized
+        );
         // BEES(10) compresses by ~0.36 and loses only modest precision.
         let b10 = by_label("BEES(10)");
-        assert!(b10.normalized > 0.5, "BEES(10) normalized {}", b10.normalized);
+        assert!(
+            b10.normalized > 0.5,
+            "BEES(10) normalized {}",
+            b10.normalized
+        );
         assert!(b10.precision <= b100.precision + 0.1);
     }
 }

@@ -65,7 +65,13 @@ pub fn run(args: &ExpArgs) -> Fig8Result {
     let batch_size = args.scaled(100, 8);
     let in_batch = (batch_size / 10).max(1);
     // Paper: 25% cross-batch redundancy for each upload.
-    let data = disaster_batch(args.seed, batch_size, in_batch, 0.25, SceneConfig::default());
+    let data = disaster_batch(
+        args.seed,
+        batch_size,
+        in_batch,
+        0.25,
+        SceneConfig::default(),
+    );
     let scheme = Bees::adaptive(&config);
 
     let mut points = Vec::new();
@@ -88,7 +94,11 @@ mod tests {
 
     #[test]
     fn energy_falls_as_battery_falls() {
-        let args = ExpArgs { scale: 0.12, seed: 51, quick: true };
+        let args = ExpArgs {
+            scale: 0.12,
+            seed: 51,
+            quick: true,
+        };
         let r = run(&args);
         assert_eq!(r.points.len(), 4);
         let totals: Vec<f64> = r.points.iter().map(|p| p.report.active_energy()).collect();
@@ -103,14 +113,22 @@ mod tests {
         // Feature upload is a minor share at full battery and roughly
         // constant across levels (ORB payloads do not adapt; the paper's
         // "energy overhead of uploading features is small").
-        let fu: Vec<f64> =
-            r.points.iter().map(|p| p.report.energy.get(EnergyCategory::FeatureUpload)).collect();
+        let fu: Vec<f64> = r
+            .points
+            .iter()
+            .map(|p| p.report.energy.get(EnergyCategory::FeatureUpload))
+            .collect();
         assert!(
             fu[0] < 0.5 * r.points[0].report.active_energy(),
             "feature upload {} should be a minor share at full battery",
             fu[0]
         );
-        let (lo, hi) = fu.iter().fold((f64::MAX, 0.0f64), |(l, h), &v| (l.min(v), h.max(v)));
-        assert!(hi / lo.max(1e-12) < 1.5, "feature upload should stay flat: {fu:?}");
+        let (lo, hi) = fu
+            .iter()
+            .fold((f64::MAX, 0.0f64), |(l, h), &v| (l.min(v), h.max(v)));
+        assert!(
+            hi / lo.max(1e-12) < 1.5,
+            "feature upload should stay flat: {fu:?}"
+        );
     }
 }

@@ -27,7 +27,12 @@ impl Fig9Result {
     /// Prints the discharge curves and lifetime extensions.
     pub fn print(&self) {
         println!("\n== Fig. 9: battery lifetime ==");
-        let mut t = Table::new(vec!["scheme", "lifetime (min)", "groups uploaded", "vs Direct"]);
+        let mut t = Table::new(vec![
+            "scheme",
+            "lifetime (min)",
+            "groups uploaded",
+            "vs Direct",
+        ]);
         let direct_life = self.runs[0].lifetime_s.max(1e-9);
         for r in &self.runs {
             t.row(vec![
@@ -40,7 +45,9 @@ impl Fig9Result {
         t.print();
 
         println!("\ndischarge curves (Ebat % per interval):");
-        let mut t = Table::new(vec!["t (min)", "Direct", "SmartEye", "MRC", "BEES-EA", "BEES"]);
+        let mut t = Table::new(vec![
+            "t (min)", "Direct", "SmartEye", "MRC", "BEES-EA", "BEES",
+        ]);
         let max_samples = self.runs.iter().map(|r| r.samples.len()).max().unwrap_or(0);
         for i in 0..max_samples {
             let mut row = Vec::with_capacity(6);
@@ -78,8 +85,8 @@ pub fn run(args: &ExpArgs) -> Fig9Result {
     let group_upload_s = group_size as f64 * camera_bytes * 8.0 / 256_000.0;
     let interval_s = group_upload_s / 0.7;
     let intervals_direct = 12.0;
-    let per_interval = interval_s * config.energy.idle_watts
-        + group_upload_s * config.energy.radio_tx_watts;
+    let per_interval =
+        interval_s * config.energy.idle_watts + group_upload_s * config.energy.radio_tx_watts;
     config.battery = Battery::from_joules(per_interval * intervals_direct);
 
     let lt = LifetimeConfig {
@@ -111,14 +118,28 @@ mod tests {
 
     #[test]
     fn bees_outlasts_the_field() {
-        let args = ExpArgs { scale: 0.1, seed: 61, quick: true };
+        let args = ExpArgs {
+            scale: 0.1,
+            seed: 61,
+            quick: true,
+        };
         let r = run(&args);
         assert_eq!(r.runs.len(), 5);
         let life = |i: usize| r.runs[i].lifetime_s;
         // BEES lives longest; Direct Upload shortest or tied.
         assert!(life(4) >= life(0), "BEES {} vs Direct {}", life(4), life(0));
-        assert!(life(4) >= life(3), "BEES {} vs BEES-EA {}", life(4), life(3));
-        assert!(life(3) >= life(0), "BEES-EA {} vs Direct {}", life(3), life(0));
+        assert!(
+            life(4) >= life(3),
+            "BEES {} vs BEES-EA {}",
+            life(4),
+            life(3)
+        );
+        assert!(
+            life(3) >= life(0),
+            "BEES-EA {} vs Direct {}",
+            life(3),
+            life(0)
+        );
         // Discharge curves are monotone.
         for run in &r.runs {
             for w in run.samples.windows(2) {

@@ -24,16 +24,56 @@ use bees_image::{draw, Rgb};
 /// posterized onto this palette before the comparison so the global
 /// features face realistic conditions; ORB sees the same posterized pixels.
 const SHARED_PALETTE: [Rgb; 10] = [
-    Rgb { r: 38, g: 38, b: 42 },    // asphalt
-    Rgb { r: 96, g: 92, b: 88 },    // concrete
-    Rgb { r: 150, g: 145, b: 138 }, // rubble
-    Rgb { r: 205, g: 200, b: 190 }, // dust
-    Rgb { r: 120, g: 86, b: 62 },   // timber
-    Rgb { r: 160, g: 64, b: 52 },   // brick
-    Rgb { r: 70, g: 105, b: 60 },   // vegetation
-    Rgb { r: 110, g: 140, b: 180 }, // sky
-    Rgb { r: 230, g: 228, b: 220 }, // cloud
-    Rgb { r: 20, g: 16, b: 14 },    // shadow
+    Rgb {
+        r: 38,
+        g: 38,
+        b: 42,
+    }, // asphalt
+    Rgb {
+        r: 96,
+        g: 92,
+        b: 88,
+    }, // concrete
+    Rgb {
+        r: 150,
+        g: 145,
+        b: 138,
+    }, // rubble
+    Rgb {
+        r: 205,
+        g: 200,
+        b: 190,
+    }, // dust
+    Rgb {
+        r: 120,
+        g: 86,
+        b: 62,
+    }, // timber
+    Rgb {
+        r: 160,
+        g: 64,
+        b: 52,
+    }, // brick
+    Rgb {
+        r: 70,
+        g: 105,
+        b: 60,
+    }, // vegetation
+    Rgb {
+        r: 110,
+        g: 140,
+        b: 180,
+    }, // sky
+    Rgb {
+        r: 230,
+        g: 228,
+        b: 220,
+    }, // cloud
+    Rgb {
+        r: 20,
+        g: 16,
+        b: 14,
+    }, // shadow
 ];
 
 /// Precision and separation for one feature family.
@@ -67,7 +107,11 @@ impl GlobalVsLocalResult {
         );
         let mut t = Table::new(vec!["family", "top-4 precision", "separation margin (d')"]);
         for r in &self.rows {
-            t.row(vec![r.label.clone(), f3(r.precision), f3(r.separation_margin)]);
+            t.row(vec![
+                r.label.clone(),
+                f3(r.precision),
+                f3(r.separation_margin),
+            ]);
         }
         t.print();
         println!("local (ORB) features separate similar from dissimilar pairs far more");
@@ -83,10 +127,13 @@ fn top4_precision<F: Fn(usize, usize) -> f64>(n_groups: usize, score: F) -> f64 
     let mut total = 0.0;
     for g in 0..n_groups {
         let q = g * size; // canonical view of group g
-        let mut scored: Vec<(usize, f64)> = (0..n_groups * size)
-            .map(|c| (c, score(q, c)))
-            .collect();
-        scored.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite scores").then(a.0.cmp(&b.0)));
+        let mut scored: Vec<(usize, f64)> =
+            (0..n_groups * size).map(|c| (c, score(q, c))).collect();
+        scored.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .expect("finite scores")
+                .then(a.0.cmp(&b.0))
+        });
         let own = scored.iter().take(4).filter(|(c, _)| c / size == g).count();
         total += own as f64 / 4.0;
     }
@@ -97,8 +144,8 @@ fn margin(similar: &[f64], dissimilar: &[f64]) -> f64 {
     let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
     let ms = mean(similar);
     let md = mean(dissimilar);
-    let var_d =
-        dissimilar.iter().map(|&x| (x - md) * (x - md)).sum::<f64>() / dissimilar.len().max(1) as f64;
+    let var_d = dissimilar.iter().map(|&x| (x - md) * (x - md)).sum::<f64>()
+        / dissimilar.len().max(1) as f64;
     (ms - md) / var_d.sqrt().max(1e-9)
 }
 
@@ -117,7 +164,10 @@ pub fn run(args: &ExpArgs) -> GlobalVsLocalResult {
         .flat_map(|g| g.images.iter())
         .map(|im| draw::posterize(im, &SHARED_PALETTE))
         .collect();
-    let orb_feats: Vec<_> = all_images.iter().map(|im| orb.extract(&im.to_gray())).collect();
+    let orb_feats: Vec<_> = all_images
+        .iter()
+        .map(|im| orb.extract(&im.to_gray()))
+        .collect();
     let hists: Vec<_> = all_images.iter().map(ColorHistogram::from_image).collect();
 
     let orb_score = |q: usize, c: usize| -> f64 {
@@ -166,7 +216,11 @@ mod tests {
 
     #[test]
     fn local_features_beat_global_on_both_axes() {
-        let args = ExpArgs { scale: 0.5, seed: 95, quick: false };
+        let args = ExpArgs {
+            scale: 0.5,
+            seed: 95,
+            quick: false,
+        };
         let r = run(&args);
         let orb = &r.rows[0];
         let hist = &r.rows[1];

@@ -2,6 +2,7 @@
 
 pub mod ablation_ssmm;
 pub mod calibrate;
+pub mod fault_resilience;
 pub mod fig11_delay;
 pub mod fig12_coverage;
 pub mod fig3_compression;
@@ -9,8 +10,8 @@ pub mod fig4_distribution;
 pub mod fig5_upload;
 pub mod fig6_precision;
 pub mod fig8_adaptation;
-pub mod global_vs_local;
 pub mod fig9_lifetime;
+pub mod global_vs_local;
 pub mod redundancy_sweep;
 pub mod table1_space;
 

@@ -56,8 +56,16 @@ mod tests {
 
     #[test]
     fn uncompressed_orb_precision_is_high() {
-        let groups =
-            kentucky_like(3, 4, SceneConfig { width: 128, height: 96, n_shapes: 14, texture_amp: 8.0 });
+        let groups = kentucky_like(
+            3,
+            4,
+            SceneConfig {
+                width: 128,
+                height: 96,
+                n_shapes: 14,
+                texture_amp: 8.0,
+            },
+        );
         let orb = Orb::default();
         let p = top4_precision(
             &groups,

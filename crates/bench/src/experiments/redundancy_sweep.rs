@@ -46,7 +46,13 @@ impl SweepResult {
             "\n== Fig. 7: energy overhead vs cross-batch redundancy ratio ({} images, {} in-batch similars) ==",
             self.batch_size, self.in_batch
         );
-        let mut t = Table::new(vec!["ratio", "Direct (J)", "SmartEye (J)", "MRC (J)", "BEES (J)"]);
+        let mut t = Table::new(vec![
+            "ratio",
+            "Direct (J)",
+            "SmartEye (J)",
+            "MRC (J)",
+            "BEES (J)",
+        ]);
         for p in &self.points {
             let mut row = vec![format!("{:.0}%", p.ratio * 100.0)];
             row.extend(p.reports.iter().map(|r| f1(r.active_energy())));
@@ -85,7 +91,10 @@ impl SweepResult {
         if let Some(p) = self.points.iter().find(|p| (p.ratio - 0.5).abs() < 0.01) {
             let se = p.reports[1].bandwidth_bytes() as f64;
             let bees = p.reports[3].bandwidth_bytes() as f64;
-            println!("at 50% redundancy: BEES saves {:.1}% bandwidth vs SmartEye", (1.0 - bees / se) * 100.0);
+            println!(
+                "at 50% redundancy: BEES saves {:.1}% bandwidth vs SmartEye",
+                (1.0 - bees / se) * 100.0
+            );
         }
     }
 }
@@ -131,7 +140,11 @@ pub fn run(args: &ExpArgs) -> SweepResult {
         }
         points.push(RatioPoint { ratio, reports });
     }
-    SweepResult { batch_size, in_batch, points }
+    SweepResult {
+        batch_size,
+        in_batch,
+        points,
+    }
 }
 
 #[cfg(test)]
@@ -140,17 +153,39 @@ mod tests {
 
     #[test]
     fn paper_shapes_hold() {
-        let args = ExpArgs { scale: 0.12, seed: 41, quick: true };
+        let args = ExpArgs {
+            scale: 0.12,
+            seed: 41,
+            quick: true,
+        };
         let r = run(&args);
         assert_eq!(r.points.len(), 4);
         for p in &r.points {
-            let [direct, smarteye, mrc, bees] = &p.reports[..] else { panic!("4 schemes") };
+            let [direct, smarteye, mrc, bees] = &p.reports[..] else {
+                panic!("4 schemes")
+            };
             // BEES wins energy and bandwidth everywhere.
-            assert!(bees.active_energy() < direct.active_energy(), "ratio {}", p.ratio);
-            assert!(bees.active_energy() < mrc.active_energy(), "ratio {}", p.ratio);
-            assert!(bees.bandwidth_bytes() < smarteye.bandwidth_bytes(), "ratio {}", p.ratio);
+            assert!(
+                bees.active_energy() < direct.active_energy(),
+                "ratio {}",
+                p.ratio
+            );
+            assert!(
+                bees.active_energy() < mrc.active_energy(),
+                "ratio {}",
+                p.ratio
+            );
+            assert!(
+                bees.bandwidth_bytes() < smarteye.bandwidth_bytes(),
+                "ratio {}",
+                p.ratio
+            );
             // SmartEye extraction (PCA-SIFT) costs more than MRC's ORB.
-            assert!(smarteye.active_energy() > mrc.active_energy(), "ratio {}", p.ratio);
+            assert!(
+                smarteye.active_energy() > mrc.active_energy(),
+                "ratio {}",
+                p.ratio
+            );
         }
         // At 0% cross-batch redundancy the feature-only schemes lose to
         // Direct Upload (they still pay extraction + features).

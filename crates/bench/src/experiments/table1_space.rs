@@ -122,7 +122,11 @@ mod tests {
 
     #[test]
     fn orb_is_smallest_sift_is_largest() {
-        let args = ExpArgs { scale: 0.2, seed: 5, quick: true };
+        let args = ExpArgs {
+            scale: 0.2,
+            seed: 5,
+            quick: true,
+        };
         let r = run(&args);
         for row in &r.rows {
             assert!(row.sift_bytes > row.pca_bytes, "{row:?}");

@@ -4,7 +4,7 @@ use crate::config::BeesConfig;
 use crate::error::CoreError;
 use crate::Result;
 use bees_energy::{Battery, EnergyCategory, EnergyLedger, EnergyModel};
-use bees_net::{BandwidthTrace, Channel, SimClock};
+use bees_net::{BandwidthTrace, Channel, FaultyChannel, NetError, RetryPolicy, SimClock};
 
 /// A simulated smartphone.
 ///
@@ -20,34 +20,64 @@ pub struct Client {
     battery: Battery,
     ledger: EnergyLedger,
     clock: SimClock,
-    channel: Channel,
+    channel: FaultyChannel,
+    retry: RetryPolicy,
+    fault_seed: u64,
     energy: EnergyModel,
 }
 
 impl Client {
     /// Creates a client with a full battery. Each client gets its own
-    /// bandwidth trace, derived from the configured trace and `id` so that
-    /// phones in a fleet do not see identical fluctuations.
+    /// bandwidth trace and fault-model seed, derived from the configured
+    /// ones and `id`, so that phones in a fleet do not see identical
+    /// fluctuations or fail in lockstep.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid; use
+    /// [`try_new`](Client::try_new) to handle that as a typed error.
     pub fn new(id: u64, config: &BeesConfig) -> Self {
+        Self::try_new(id, config).expect("invalid BeesConfig")
+    }
+
+    /// Fallible constructor: validates the configuration's network and
+    /// robustness knobs first.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] naming the offending knob.
+    pub fn try_new(id: u64, config: &BeesConfig) -> Result<Self> {
+        config.validate()?;
         let trace = match &config.trace {
-            BandwidthTrace::Fluctuating { seed, min_bps, max_bps, interval_s } => {
-                BandwidthTrace::Fluctuating {
-                    seed: seed.wrapping_add(id.wrapping_mul(0x5851_F42D_4C95_7F2D)),
-                    min_bps: *min_bps,
-                    max_bps: *max_bps,
-                    interval_s: *interval_s,
-                }
-            }
+            BandwidthTrace::Fluctuating {
+                seed,
+                min_bps,
+                max_bps,
+                interval_s,
+            } => BandwidthTrace::Fluctuating {
+                seed: seed.wrapping_add(id.wrapping_mul(0x5851_F42D_4C95_7F2D)),
+                min_bps: *min_bps,
+                max_bps: *max_bps,
+                interval_s: *interval_s,
+            },
             other => other.clone(),
         };
-        Client {
+        let channel = Channel::new(trace)
+            .with_stall_limit(config.stall_limit_s)
+            .map_err(|e| CoreError::InvalidConfig {
+                detail: e.to_string(),
+            })?;
+        let fault_seed = config.fault.seed ^ id.wrapping_mul(0x2545_F491_4F6C_DD1D);
+        Ok(Client {
             id,
             battery: config.battery,
             ledger: EnergyLedger::new(),
             clock: SimClock::new(),
-            channel: Channel::new(trace),
+            channel: FaultyChannel::new(channel, config.fault.reseeded(fault_seed)),
+            retry: config.retry,
+            fault_seed,
             energy: config.energy,
-        }
+        })
     }
 
     /// The client's identifier.
@@ -115,7 +145,9 @@ impl Client {
         self.clock.advance(seconds);
         let baseline_ok = self.drain_baseline(seconds);
         if drained < joules || !baseline_ok {
-            return Err(CoreError::BatteryExhausted { during: category_name(category) });
+            return Err(CoreError::BatteryExhausted {
+                during: category_name(category),
+            });
         }
         Ok(seconds)
     }
@@ -128,14 +160,19 @@ impl Client {
     /// Returns [`CoreError::BatteryExhausted`] if the battery empties, or a
     /// network error if the channel stalls.
     pub fn transmit(&mut self, category: EnergyCategory, bytes: usize) -> Result<f64> {
-        let duration = self.channel.transfer_duration(self.clock.now(), bytes)?;
+        let duration = self
+            .channel
+            .channel()
+            .transfer_duration(self.clock.now(), bytes)?;
         let joules = self.energy.radio_tx_energy(duration);
         let drained = self.battery.drain(joules);
         self.ledger.record(category, drained);
         self.clock.advance(duration);
         let baseline_ok = self.drain_baseline(duration);
         if drained < joules || !baseline_ok {
-            return Err(CoreError::BatteryExhausted { during: category_name(category) });
+            return Err(CoreError::BatteryExhausted {
+                during: category_name(category),
+            });
         }
         Ok(duration)
     }
@@ -147,7 +184,10 @@ impl Client {
     /// Returns [`CoreError::BatteryExhausted`] if the battery empties, or a
     /// network error if the channel stalls.
     pub fn receive(&mut self, bytes: usize) -> Result<f64> {
-        let duration = self.channel.transfer_duration(self.clock.now(), bytes)?;
+        let duration = self
+            .channel
+            .channel()
+            .transfer_duration(self.clock.now(), bytes)?;
         let joules = self.energy.radio_rx_energy(duration);
         let drained = self.battery.drain(joules);
         self.ledger.record(EnergyCategory::Download, drained);
@@ -157,6 +197,102 @@ impl Client {
             return Err(CoreError::BatteryExhausted { during: "download" });
         }
         Ok(duration)
+    }
+
+    /// Transmits `bytes` through the fault-injected channel with chunked
+    /// resume: attempts that are disconnected, dropped, or timed out keep
+    /// their whole delivered chunks (the torn tail chunk is retransmitted),
+    /// wait out a deterministic jittered exponential backoff, and try
+    /// again. The retry budget is energy-aware — it shrinks linearly with
+    /// `Ebat` per the configured [`RetryPolicy`] — and energy burnt on
+    /// bytes that were never confirmed is recorded against
+    /// [`EnergyCategory::Wasted`].
+    ///
+    /// With [`bees_net::FaultModel::none`] this is byte-for-byte identical
+    /// to [`transmit`](Client::transmit).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::BatteryExhausted`] if the battery empties,
+    /// [`NetError::RetriesExhausted`] (wrapped in [`CoreError::Net`]) if
+    /// the budget runs out first, or any other network error from the
+    /// underlying channel.
+    pub fn transmit_resumable(
+        &mut self,
+        category: EnergyCategory,
+        bytes: usize,
+    ) -> Result<TransmitSummary> {
+        if self.channel.faults().is_none() {
+            let duration = self.transmit(category, bytes)?;
+            return Ok(TransmitSummary {
+                attempts: 1,
+                delivered_bytes: bytes,
+                wasted_joules: 0.0,
+                backoff_s: 0.0,
+                elapsed_s: duration,
+            });
+        }
+        let start = self.clock.now();
+        let mut confirmed = 0usize;
+        let mut attempts = 0u32;
+        let mut wasted = 0.0f64;
+        let mut backoff_total = 0.0f64;
+        loop {
+            if attempts >= self.retry.budget(self.battery.fraction()) {
+                return Err(CoreError::Net(NetError::RetriesExhausted {
+                    attempts,
+                    delivered_bytes: confirmed,
+                    total_bytes: bytes,
+                }));
+            }
+            attempts += 1;
+            let now = self.clock.now();
+            let outcome =
+                self.channel
+                    .transfer(now, bytes - confirmed, self.retry.attempt_timeout_s);
+            let kept = if outcome.completed() {
+                outcome.delivered_bytes
+            } else {
+                (outcome.delivered_bytes / self.retry.chunk_bytes) * self.retry.chunk_bytes
+            };
+            let joules = self.energy.radio_tx_energy(outcome.elapsed_s);
+            let useful_j = if outcome.delivered_bytes > 0 {
+                joules * (kept as f64 / outcome.delivered_bytes as f64)
+            } else {
+                0.0
+            };
+            let waste_j = joules - useful_j;
+            let drained_useful = self.battery.drain(useful_j);
+            self.ledger.record(category, drained_useful);
+            let drained_waste = if waste_j > 0.0 {
+                let d = self.battery.drain(waste_j);
+                self.ledger.record(EnergyCategory::Wasted, d);
+                d
+            } else {
+                0.0
+            };
+            wasted += drained_waste;
+            self.clock.advance(outcome.elapsed_s);
+            let baseline_ok = self.drain_baseline(outcome.elapsed_s);
+            if drained_useful < useful_j || drained_waste < waste_j || !baseline_ok {
+                return Err(CoreError::BatteryExhausted {
+                    during: category_name(category),
+                });
+            }
+            confirmed += kept;
+            if confirmed >= bytes {
+                return Ok(TransmitSummary {
+                    attempts,
+                    delivered_bytes: confirmed,
+                    wasted_joules: wasted,
+                    backoff_s: backoff_total,
+                    elapsed_s: self.clock.now() - start,
+                });
+            }
+            let wait = self.retry.backoff_s(attempts - 1, self.fault_seed);
+            backoff_total += wait;
+            self.idle(wait)?;
+        }
     }
 
     /// Idles for `seconds` of wall-clock time (screen on), draining the
@@ -177,6 +313,22 @@ impl Client {
     }
 }
 
+/// What one [`Client::transmit_resumable`] call cost and achieved.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TransmitSummary {
+    /// Transfer attempts made (1 = no retries needed).
+    pub attempts: u32,
+    /// Bytes confirmed delivered (equals the payload on success).
+    pub delivered_bytes: usize,
+    /// Radio joules burnt on bytes that were never confirmed.
+    pub wasted_joules: f64,
+    /// Total simulated seconds spent backing off between attempts.
+    pub backoff_s: f64,
+    /// Total simulated seconds from first attempt to completion,
+    /// including backoff waits.
+    pub elapsed_s: f64,
+}
+
 fn category_name(category: EnergyCategory) -> &'static str {
     match category {
         EnergyCategory::FeatureExtraction => "feature extraction",
@@ -184,6 +336,7 @@ fn category_name(category: EnergyCategory) -> &'static str {
         EnergyCategory::ImageUpload => "image upload",
         EnergyCategory::Download => "download",
         EnergyCategory::Compression => "compression",
+        EnergyCategory::Wasted => "wasted retry",
         EnergyCategory::Idle => "idle",
     }
 }
@@ -266,5 +419,125 @@ mod tests {
         c.idle(1.0).unwrap();
         c.reset_ledger();
         assert_eq!(c.ledger().total(), 0.0);
+    }
+
+    #[test]
+    fn resumable_equals_plain_transmit_without_faults() {
+        // The fast path must be *exactly* the legacy path: same duration,
+        // same ledger, same battery, same clock — bit for bit.
+        let cfg = config();
+        let mut plain = Client::new(7, &cfg);
+        let mut resumable = Client::new(7, &cfg);
+        let d = plain
+            .transmit(EnergyCategory::ImageUpload, 100_000)
+            .unwrap();
+        let s = resumable
+            .transmit_resumable(EnergyCategory::ImageUpload, 100_000)
+            .unwrap();
+        assert_eq!(s.attempts, 1);
+        assert_eq!(s.delivered_bytes, 100_000);
+        assert_eq!(s.wasted_joules, 0.0);
+        assert_eq!(s.elapsed_s, d);
+        assert_eq!(plain.now(), resumable.now());
+        assert_eq!(
+            plain.battery().remaining_joules(),
+            resumable.battery().remaining_joules()
+        );
+        assert_eq!(plain.ledger(), resumable.ledger());
+    }
+
+    #[test]
+    fn resumable_retries_through_faults() {
+        let mut cfg = config();
+        cfg.battery = bees_energy::Battery::from_joules(1e9);
+        cfg.fault = bees_net::FaultModel::new(0xF00D, 0.5, 0.0, 30.0, 10.0).unwrap();
+        cfg.retry.max_attempts = 200;
+        let mut c = Client::new(0, &cfg);
+        // Several transfers so at least one hits a dropped attempt.
+        let mut total_attempts = 0;
+        let mut total_wasted = 0.0;
+        for _ in 0..8 {
+            let s = c
+                .transmit_resumable(EnergyCategory::ImageUpload, 200_000)
+                .unwrap();
+            assert_eq!(s.delivered_bytes, 200_000);
+            total_attempts += s.attempts;
+            total_wasted += s.wasted_joules;
+        }
+        assert!(total_attempts > 8, "p=0.5 drops must force retries");
+        assert!(total_wasted > 0.0);
+        assert!(c.ledger().get(EnergyCategory::Wasted) > 0.0);
+        assert!(
+            (c.ledger().get(EnergyCategory::Wasted) - total_wasted).abs() < 1e-9,
+            "summary waste must match the ledger"
+        );
+    }
+
+    #[test]
+    fn retry_exhaustion_is_a_typed_error() {
+        let mut cfg = config();
+        cfg.battery = bees_energy::Battery::from_joules(1e9);
+        // Every attempt drops, and the chunk is larger than any partial
+        // delivery, so no progress is ever banked.
+        cfg.fault = bees_net::FaultModel::new(1, 1.0, 0.0, 30.0, 10.0).unwrap();
+        cfg.retry.max_attempts = 3;
+        cfg.retry.chunk_bytes = 1 << 30;
+        let mut c = Client::new(0, &cfg);
+        let err = c.transmit_resumable(EnergyCategory::ImageUpload, 50_000);
+        match err {
+            Err(CoreError::Net(NetError::RetriesExhausted {
+                attempts,
+                delivered_bytes,
+                total_bytes,
+            })) => {
+                assert_eq!(attempts, 3);
+                assert_eq!(delivered_bytes, 0);
+                assert_eq!(total_bytes, 50_000);
+            }
+            other => panic!("expected RetriesExhausted, got {other:?}"),
+        }
+        // The failed attempts still burnt real energy.
+        assert!(c.ledger().get(EnergyCategory::Wasted) > 0.0);
+        assert_eq!(c.ledger().get(EnergyCategory::ImageUpload), 0.0);
+    }
+
+    #[test]
+    fn resumable_banks_whole_chunks_across_attempts() {
+        let mut cfg = config();
+        cfg.battery = bees_energy::Battery::from_joules(1e9);
+        // Constant 256 Kbps with a 1 s timeout: each attempt delivers
+        // exactly 32 000 bytes, of which 16 384 (one chunk) is banked.
+        cfg.fault = bees_net::FaultModel::new(2, 0.0, 1e-12, 1e9, 1.0).unwrap();
+        cfg.retry.attempt_timeout_s = Some(1.0);
+        let mut c = Client::new(0, &cfg);
+        let s = c
+            .transmit_resumable(EnergyCategory::ImageUpload, 60_000)
+            .unwrap();
+        // Attempts 1 and 2 each time out after delivering 32 000 bytes and
+        // bank one 16 384-byte chunk apiece; the remaining 27 232 bytes
+        // (0.85 s) complete within the third attempt's timeout.
+        assert_eq!(s.attempts, 3);
+        assert_eq!(s.delivered_bytes, 60_000);
+        assert!(s.wasted_joules > 0.0);
+        assert!(s.backoff_s > 0.0);
+    }
+
+    #[test]
+    fn invalid_config_is_a_typed_error() {
+        let mut cfg = config();
+        cfg.stall_limit_s = -1.0;
+        assert!(matches!(
+            Client::try_new(0, &cfg),
+            Err(CoreError::InvalidConfig { .. })
+        ));
+        let mut cfg2 = config();
+        cfg2.retry.max_attempts = 0;
+        assert!(matches!(
+            Client::try_new(0, &cfg2),
+            Err(CoreError::InvalidConfig { .. })
+        ));
+        let mut cfg3 = config();
+        cfg3.fault.drop_probability = 2.0;
+        assert!(Client::try_new(0, &cfg3).is_err());
     }
 }

@@ -1,10 +1,11 @@
 //! System-wide configuration.
 
+use crate::error::CoreError;
 use bees_energy::{Battery, EnergyModel, LinearScheme};
 use bees_features::orb::OrbConfig;
 use bees_features::pca::PcaSiftConfig;
 use bees_features::similarity::SimilarityConfig;
-use bees_net::BandwidthTrace;
+use bees_net::{BandwidthTrace, FaultModel, RetryPolicy, DEFAULT_STALL_LIMIT_S};
 use bees_submodular::SsmmConfig;
 use serde::{Deserialize, Serialize};
 
@@ -66,8 +67,24 @@ pub struct BeesConfig {
     pub energy: EnergyModel,
     /// Uplink/downlink bandwidth trace.
     pub trace: BandwidthTrace,
+    /// Fault injection layered on the trace (disconnections, drops);
+    /// defaults to [`FaultModel::none`], i.e. the perfectly reliable
+    /// channel. Each client reseeds the model with its id so a fleet does
+    /// not fail in lockstep.
+    #[serde(default)]
+    pub fault: FaultModel,
+    /// Retry/backoff/chunking policy for the resumable transfer path.
+    #[serde(default)]
+    pub retry: RetryPolicy,
+    /// Channel stall limit in seconds (must be finite and positive).
+    #[serde(default = "default_stall_limit")]
+    pub stall_limit_s: f64,
     /// Server index backend.
     pub index_backend: IndexBackend,
+}
+
+fn default_stall_limit() -> f64 {
+    DEFAULT_STALL_LIMIT_S
 }
 
 impl Default for BeesConfig {
@@ -94,6 +111,9 @@ impl Default for BeesConfig {
             battery: Battery::default(),
             energy: EnergyModel::default(),
             trace: BandwidthTrace::disaster_wifi(0xB335),
+            fault: FaultModel::none(),
+            retry: RetryPolicy::default(),
+            stall_limit_s: DEFAULT_STALL_LIMIT_S,
             index_backend: IndexBackend::Linear,
         }
     }
@@ -111,6 +131,36 @@ impl BeesConfig {
     /// The codec quality BEES uploads at (from `quality_proportion`).
     pub fn upload_quality(&self) -> u8 {
         Self::quality_for_proportion(self.quality_proportion)
+    }
+
+    /// Validates the network-robustness knobs (fault model, retry policy,
+    /// stall limit). Called by [`crate::Client::try_new`] so an invalid
+    /// configuration surfaces as a typed error instead of a panic deep in
+    /// the simulation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] naming the offending knob.
+    pub fn validate(&self) -> crate::Result<()> {
+        self.fault
+            .validate()
+            .map_err(|e| CoreError::InvalidConfig {
+                detail: format!("fault model: {e}"),
+            })?;
+        self.retry
+            .validate()
+            .map_err(|e| CoreError::InvalidConfig {
+                detail: format!("retry policy: {e}"),
+            })?;
+        if !self.stall_limit_s.is_finite() || self.stall_limit_s <= 0.0 {
+            return Err(CoreError::InvalidConfig {
+                detail: format!(
+                    "stall_limit_s must be finite and positive, got {}",
+                    self.stall_limit_s
+                ),
+            });
+        }
+        Ok(())
     }
 }
 
@@ -131,5 +181,51 @@ mod tests {
         assert_eq!(BeesConfig::quality_for_proportion(0.0), 100);
         assert_eq!(BeesConfig::quality_for_proportion(1.0), 1);
         assert_eq!(BeesConfig::quality_for_proportion(0.5), 50);
+    }
+
+    #[test]
+    fn default_config_validates() {
+        BeesConfig::default()
+            .validate()
+            .expect("default config is valid");
+    }
+
+    #[test]
+    fn validate_names_the_offending_knob() {
+        let detail = |c: &BeesConfig| match c.validate() {
+            Err(CoreError::InvalidConfig { detail }) => detail,
+            other => panic!("expected InvalidConfig, got {other:?}"),
+        };
+
+        let mut c = BeesConfig::default();
+        c.stall_limit_s = 0.0;
+        assert!(detail(&c).contains("stall_limit_s"));
+
+        let mut c = BeesConfig::default();
+        c.fault.drop_probability = 1.5;
+        assert!(detail(&c).contains("fault model"));
+
+        let mut c = BeesConfig::default();
+        c.retry.backoff_factor = 0.0;
+        assert!(detail(&c).contains("retry policy"));
+    }
+
+    #[test]
+    fn robustness_knobs_deserialize_with_defaults() {
+        // A config JSON from before the robustness knobs existed must still
+        // deserialize, landing on the no-fault defaults.
+        let json = serde_json::to_string(&BeesConfig::default()).unwrap();
+        let stripped = {
+            let mut v: serde_json::Value = serde_json::from_str(&json).unwrap();
+            let obj = v.as_object_mut().unwrap();
+            obj.remove("fault");
+            obj.remove("retry");
+            obj.remove("stall_limit_s");
+            serde_json::to_string(obj).unwrap()
+        };
+        let back: BeesConfig = serde_json::from_str(&stripped).unwrap();
+        assert!(back.fault.is_none());
+        assert_eq!(back.retry.max_attempts, RetryPolicy::default().max_attempts);
+        assert_eq!(back.stall_limit_s, DEFAULT_STALL_LIMIT_S);
     }
 }

@@ -62,10 +62,15 @@ mod tests {
 
     #[test]
     fn display_and_source_chain() {
-        let e = CoreError::from(bees_net::NetError::Stalled { bytes: 1, waited_seconds: 2.0 });
+        let e = CoreError::from(bees_net::NetError::Stalled {
+            bytes: 1,
+            waited_seconds: 2.0,
+        });
         assert!(e.to_string().contains("network"));
         assert!(e.source().is_some());
-        let b = CoreError::BatteryExhausted { during: "image upload" };
+        let b = CoreError::BatteryExhausted {
+            during: "image upload",
+        };
         assert!(b.to_string().contains("image upload"));
         assert!(b.source().is_none());
     }

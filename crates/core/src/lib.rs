@@ -45,7 +45,7 @@ pub mod schemes;
 mod server;
 pub mod sessions;
 
-pub use client::Client;
+pub use client::{Client, TransmitSummary};
 pub use config::{BeesConfig, IndexBackend};
 pub use error::CoreError;
 pub use report::BatchReport;

@@ -32,12 +32,33 @@ pub struct BatchReport {
     /// Whether the battery died before the batch finished (the report then
     /// covers only the completed prefix).
     pub exhausted: bool,
+    /// Images uploaded in degraded (thumbnail-quality) form after the
+    /// full-quality upload exhausted its retries — BEES' graceful
+    /// degradation ladder.
+    #[serde(default)]
+    pub degraded_images: usize,
+    /// Images given up on entirely after retries (deferred to a later
+    /// batch; no payload reached the server).
+    #[serde(default)]
+    pub deferred_images: usize,
+    /// Transfer attempts made across the batch (1 per payload when the
+    /// channel is fault-free; retries raise it).
+    #[serde(default)]
+    pub transfer_attempts: u64,
+    /// Whether the cross-batch feature query itself exhausted its retries,
+    /// forcing the scheme to treat every image as non-redundant.
+    #[serde(default)]
+    pub feature_query_deferred: bool,
 }
 
 impl BatchReport {
     /// Creates an empty report for a scheme/batch.
     pub fn new(scheme: impl Into<String>, batch_size: usize) -> Self {
-        BatchReport { scheme: scheme.into(), batch_size, ..BatchReport::default() }
+        BatchReport {
+            scheme: scheme.into(),
+            batch_size,
+            ..BatchReport::default()
+        }
     }
 
     /// Total bandwidth overhead (uplink + downlink), the Fig. 10 metric.
@@ -57,6 +78,12 @@ impl BatchReport {
     /// Active energy (everything but idle), the Fig. 7 metric.
     pub fn active_energy(&self) -> f64 {
         self.energy.total_active()
+    }
+
+    /// Radio energy burnt on transfer attempts whose bytes were never
+    /// confirmed — the robustness experiment's cost-of-faults metric.
+    pub fn wasted_energy(&self) -> f64 {
+        self.energy.get(bees_energy::EnergyCategory::Wasted)
     }
 }
 
@@ -82,5 +109,30 @@ mod tests {
     fn empty_batch_has_zero_average_delay() {
         let r = BatchReport::new("Direct Upload", 0);
         assert_eq!(r.avg_delay_per_image(), 0.0);
+    }
+
+    #[test]
+    fn wasted_energy_reads_the_wasted_bucket() {
+        let mut r = BatchReport::new("BEES", 4);
+        assert_eq!(r.wasted_energy(), 0.0);
+        r.energy.record(EnergyCategory::Wasted, 2.5);
+        r.energy.record(EnergyCategory::ImageUpload, 1.0);
+        assert!((r.wasted_energy() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn robustness_fields_default_when_absent() {
+        // The robustness counters are additive: a report JSON without them
+        // still deserializes, with all of them zeroed.
+        let legacy = r#"{"scheme":"BEES","batch_size":1,"uploaded_images":1,
+            "skipped_cross_batch":0,"skipped_in_batch":0,"uplink_bytes":10,
+            "downlink_bytes":0,"image_bytes":10,"feature_bytes":0,
+            "total_delay_s":1.0,"energy":{"entries":[[0.0,0],[0.0,0],[0.0,0],
+            [0.0,0],[0.0,0],[0.0,0],[0.0,0]]},"exhausted":false}"#;
+        let r: BatchReport = serde_json::from_str(legacy).expect("legacy report deserializes");
+        assert_eq!(r.degraded_images, 0);
+        assert_eq!(r.deferred_images, 0);
+        assert_eq!(r.transfer_attempts, 0);
+        assert!(!r.feature_query_deferred);
     }
 }

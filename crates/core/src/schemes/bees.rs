@@ -20,7 +20,7 @@
 //! highest threshold, no resolution compression) — quality compression,
 //! ORB, and both redundancy eliminations still apply.
 
-use crate::schemes::{try_power, SchemeKind, UploadScheme};
+use crate::schemes::{transmit_or_defer, try_power, Delivery, SchemeKind, UploadScheme};
 use crate::{BatchReport, BeesConfig, Client, Result, Server};
 use bees_energy::{AdaptiveScheme, EnergyCategory, LinearScheme};
 use bees_features::orb::Orb;
@@ -29,6 +29,14 @@ use bees_features::{FeatureExtractor, ImageFeatures};
 use bees_image::{codec, resize, RgbImage};
 use bees_net::wire;
 use bees_submodular::{SimilarityGraph, Ssmm};
+
+/// Resolution-compression proportion of the degraded (thumbnail) upload
+/// tried after the full-quality upload exhausts its retries: 75 % of the
+/// pixel information is discarded.
+const THUMBNAIL_RESOLUTION_PROPORTION: f64 = 0.75;
+/// Codec quality of the degraded upload — a recognizable but very small
+/// rendition, so *some* situational awareness still reaches the server.
+const THUMBNAIL_QUALITY: u8 = 20;
 
 /// The BEES scheme (or BEES-EA when adaptation is disabled).
 pub struct Bees {
@@ -111,7 +119,11 @@ impl UploadScheme for Bees {
             let c = self.eac.value(ebat);
             let gray = img.to_gray();
             let resize_j = model.resize_energy(gray.pixel_count());
-            try_power!(report, client, client.spend_cpu(EnergyCategory::Compression, resize_j));
+            try_power!(
+                report,
+                client,
+                client.spend_cpu(EnergyCategory::Compression, resize_j)
+            );
             let compressed = resize::compress_bitmap(&gray, c)?;
             let (f, stats) = self.extractor.extract_with_stats(&compressed);
             let extract_j = model.extraction_energy(self.extractor.kind(), &stats);
@@ -124,27 +136,42 @@ impl UploadScheme for Bees {
         }
 
         // ---- Stage 2: Cross-Batch Redundancy Detection -------------------
+        // A deferred feature query degrades gracefully: every image is
+        // treated as non-redundant (the in-batch stage still runs locally).
         let feature_payload: usize = features.iter().map(|f| f.wire_size()).sum();
         let query_bytes = wire::feature_query_bytes(feature_payload);
-        try_power!(report, client, client.transmit(EnergyCategory::FeatureUpload, query_bytes));
-        report.uplink_bytes += query_bytes;
-        report.feature_bytes += feature_payload;
-
-        let verdict_bytes = wire::query_response_bytes(batch.len());
-        try_power!(report, client, client.receive(verdict_bytes));
-        report.downlink_bytes += verdict_bytes;
-
-        let t = self.edr.value(self.effective_ebat(client));
         let mut survivors: Vec<usize> = Vec::with_capacity(batch.len());
-        for (i, f) in features.iter().enumerate() {
-            let redundant = server
-                .query_max_similarity(f)
-                .map(|hit| hit.similarity > t)
-                .unwrap_or(false);
-            if redundant {
-                report.skipped_cross_batch += 1;
-            } else {
-                survivors.push(i);
+        match try_power!(
+            report,
+            client,
+            transmit_or_defer(client, EnergyCategory::FeatureUpload, query_bytes)
+        ) {
+            Delivery::Delivered(summary) => {
+                report.transfer_attempts += summary.attempts as u64;
+                report.uplink_bytes += query_bytes;
+                report.feature_bytes += feature_payload;
+
+                let verdict_bytes = wire::query_response_bytes(batch.len());
+                try_power!(report, client, client.receive(verdict_bytes));
+                report.downlink_bytes += verdict_bytes;
+
+                let t = self.edr.value(self.effective_ebat(client));
+                for (i, f) in features.iter().enumerate() {
+                    let redundant = server
+                        .query_max_similarity(f)
+                        .map(|hit| hit.similarity > t)
+                        .unwrap_or(false);
+                    if redundant {
+                        report.skipped_cross_batch += 1;
+                    } else {
+                        survivors.push(i);
+                    }
+                }
+            }
+            Delivery::Deferred { attempts } => {
+                report.transfer_attempts += attempts as u64;
+                report.feature_query_deferred = true;
+                survivors.extend(0..batch.len());
             }
         }
 
@@ -174,27 +201,91 @@ impl UploadScheme for Bees {
             let tw = self.tw.value(self.effective_ebat(client));
             let summary = self.ssmm.summarize(&graph, tw);
             report.skipped_in_batch = survivors.len() - summary.selected.len();
-            summary.selected.iter().map(|&local| survivors[local]).collect()
+            summary
+                .selected
+                .iter()
+                .map(|&local| survivors[local])
+                .collect()
         } else {
             survivors
         };
 
         // ---- Stage 4: Approximate Image Uploading ------------------------
+        // Degradation ladder per image: full-quality upload → (on retry
+        // exhaustion) thumbnail-quality upload → (again exhausted) defer.
         for &i in &selected {
             let ebat = self.effective_ebat(client);
             let cr = self.eau.value(ebat);
             let resize_j = model.resize_energy(batch[i].pixel_count());
-            try_power!(report, client, client.spend_cpu(EnergyCategory::Compression, resize_j));
+            try_power!(
+                report,
+                client,
+                client.spend_cpu(EnergyCategory::Compression, resize_j)
+            );
             let shrunk = resize::compress_resolution_rgb(&batch[i], cr)?;
             let encode_j = model.encode_energy(shrunk.pixel_count());
-            try_power!(report, client, client.spend_cpu(EnergyCategory::Compression, encode_j));
+            try_power!(
+                report,
+                client,
+                client.spend_cpu(EnergyCategory::Compression, encode_j)
+            );
             let payload = codec::encode_rgb(&shrunk, self.upload_quality)?;
             let bytes = wire::image_upload_bytes(payload.len());
-            try_power!(report, client, client.transmit(EnergyCategory::ImageUpload, bytes));
-            report.uplink_bytes += bytes;
-            report.image_bytes += payload.len();
-            report.uploaded_images += 1;
-            server.ingest_image(features[i].clone(), payload.len(), geotags.map(|g| g[i]));
+            match try_power!(
+                report,
+                client,
+                transmit_or_defer(client, EnergyCategory::ImageUpload, bytes)
+            ) {
+                Delivery::Delivered(summary) => {
+                    report.transfer_attempts += summary.attempts as u64;
+                    report.uplink_bytes += bytes;
+                    report.image_bytes += payload.len();
+                    report.uploaded_images += 1;
+                    server.ingest_image(features[i].clone(), payload.len(), geotags.map(|g| g[i]));
+                }
+                Delivery::Deferred { attempts } => {
+                    report.transfer_attempts += attempts as u64;
+                    let resize_j = model.resize_energy(batch[i].pixel_count());
+                    try_power!(
+                        report,
+                        client,
+                        client.spend_cpu(EnergyCategory::Compression, resize_j)
+                    );
+                    let thumb = resize::compress_resolution_rgb(
+                        &batch[i],
+                        THUMBNAIL_RESOLUTION_PROPORTION,
+                    )?;
+                    let encode_j = model.encode_energy(thumb.pixel_count());
+                    try_power!(
+                        report,
+                        client,
+                        client.spend_cpu(EnergyCategory::Compression, encode_j)
+                    );
+                    let thumb_payload = codec::encode_rgb(&thumb, THUMBNAIL_QUALITY)?;
+                    let thumb_bytes = wire::image_upload_bytes(thumb_payload.len());
+                    match try_power!(
+                        report,
+                        client,
+                        transmit_or_defer(client, EnergyCategory::ImageUpload, thumb_bytes)
+                    ) {
+                        Delivery::Delivered(summary) => {
+                            report.transfer_attempts += summary.attempts as u64;
+                            report.uplink_bytes += thumb_bytes;
+                            report.image_bytes += thumb_payload.len();
+                            report.degraded_images += 1;
+                            server.ingest_image(
+                                features[i].clone(),
+                                thumb_payload.len(),
+                                geotags.map(|g| g[i]),
+                            );
+                        }
+                        Delivery::Deferred { attempts } => {
+                            report.transfer_attempts += attempts as u64;
+                            report.deferred_images += 1;
+                        }
+                    }
+                }
+            }
         }
 
         report.total_delay_s = client.now() - start;
@@ -217,7 +308,12 @@ mod tests {
     }
 
     fn small() -> SceneConfig {
-        SceneConfig { width: 96, height: 72, n_shapes: 10, texture_amp: 8.0 }
+        SceneConfig {
+            width: 96,
+            height: 72,
+            n_shapes: 10,
+            texture_amp: 8.0,
+        }
     }
 
     #[test]
@@ -229,8 +325,14 @@ mod tests {
         // 10 images: 2 in-batch extras, 25% cross-batch (2-3 images).
         let data = disaster_batch(31, 10, 2, 0.25, small());
         scheme.preload_server(&mut server, &data.server_preload);
-        let r = scheme.upload_batch(&mut client, &mut server, &data.batch).unwrap();
-        assert!(r.skipped_cross_batch >= 1, "cross-batch: {}", r.skipped_cross_batch);
+        let r = scheme
+            .upload_batch(&mut client, &mut server, &data.batch)
+            .unwrap();
+        assert!(
+            r.skipped_cross_batch >= 1,
+            "cross-batch: {}",
+            r.skipped_cross_batch
+        );
         assert!(r.skipped_in_batch >= 1, "in-batch: {}", r.skipped_in_batch);
         assert_eq!(
             r.uploaded_images + r.skipped_cross_batch + r.skipped_in_batch,
@@ -319,9 +421,14 @@ mod tests {
             let mut server = Server::new(&cfg);
             let mut client = Client::new(0, &cfg);
             client.battery_mut().set_fraction(0.15);
-            let scheme =
-                if adaptive { Bees::adaptive(&cfg) } else { Bees::without_adaptation(&cfg) };
-            scheme.upload_batch(&mut client, &mut server, &data.batch).unwrap()
+            let scheme = if adaptive {
+                Bees::adaptive(&cfg)
+            } else {
+                Bees::without_adaptation(&cfg)
+            };
+            scheme
+                .upload_batch(&mut client, &mut server, &data.batch)
+                .unwrap()
         };
         let r_adaptive = run(true);
         let r_ea = run(false);
@@ -334,18 +441,69 @@ mod tests {
     }
 
     #[test]
+    fn faults_degrade_instead_of_aborting() {
+        // A hostile channel (85 % of attempts cut) with a tight retry
+        // budget: the batch must still complete without panicking or
+        // erroring, every image accounted for as uploaded, degraded,
+        // deferred, or skipped, and the failed attempts' energy recorded.
+        let mut cfg = config();
+        cfg.battery = bees_energy::Battery::from_joules(1e9);
+        cfg.fault = bees_net::FaultModel::new(0xDE6, 0.85, 0.0, 30.0, 10.0).unwrap();
+        cfg.retry.max_attempts = 2;
+        let data = disaster_batch(44, 6, 1, 0.25, small());
+        let scheme = Bees::adaptive(&cfg);
+        let mut server = Server::new(&cfg);
+        scheme.preload_server(&mut server, &data.server_preload);
+        let mut client = Client::new(0, &cfg);
+        let r = scheme
+            .upload_batch(&mut client, &mut server, &data.batch)
+            .unwrap();
+        assert!(!r.exhausted);
+        assert_eq!(
+            r.uploaded_images
+                + r.degraded_images
+                + r.deferred_images
+                + r.skipped_cross_batch
+                + r.skipped_in_batch,
+            r.batch_size,
+            "every image must be accounted for: {r:?}"
+        );
+        assert!(
+            r.degraded_images + r.deferred_images > 0,
+            "an 85% drop rate with budget 2 must force degradation: {r:?}"
+        );
+        assert!(
+            r.wasted_energy() > 0.0,
+            "cut attempts must burn recorded energy"
+        );
+        assert!(r.transfer_attempts >= (r.uploaded_images + r.degraded_images) as u64);
+        // The same run twice is byte-identical (fault injection is seeded).
+        let mut server2 = Server::new(&cfg);
+        scheme.preload_server(&mut server2, &data.server_preload);
+        let mut client2 = Client::new(0, &cfg);
+        let r2 = scheme
+            .upload_batch(&mut client2, &mut server2, &data.batch)
+            .unwrap();
+        assert_eq!(r, r2);
+    }
+
+    #[test]
     fn uploaded_images_reach_the_server_index() {
         let cfg = config();
         let scheme = Bees::adaptive(&cfg);
         let mut server = Server::new(&cfg);
         let mut client = Client::new(0, &cfg);
         let data = disaster_batch(36, 4, 0, 0.0, small());
-        let r = scheme.upload_batch(&mut client, &mut server, &data.batch).unwrap();
+        let r = scheme
+            .upload_batch(&mut client, &mut server, &data.batch)
+            .unwrap();
         assert_eq!(server.received_images(), r.uploaded_images);
         assert_eq!(server.indexed_images(), r.uploaded_images);
         // A second identical batch should now be (mostly) cross-redundant.
         let mut client2 = Client::new(1, &cfg);
-        let r2 = scheme.upload_batch(&mut client2, &mut server, &data.batch).unwrap();
+        let r2 = scheme
+            .upload_batch(&mut client2, &mut server, &data.batch)
+            .unwrap();
         assert!(
             r2.skipped_cross_batch >= r.uploaded_images / 2,
             "second pass skipped only {}",

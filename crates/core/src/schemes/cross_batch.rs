@@ -6,7 +6,7 @@
 //! unique images verbatim. They differ only in the extractor (PCA-SIFT vs
 //! ORB) and in MRC's thumbnail feedback downlink.
 
-use crate::schemes::{try_power, SchemeKind};
+use crate::schemes::{transmit_or_defer, try_power, Delivery, SchemeKind};
 use crate::{BatchReport, Client, Result, Server};
 use bees_energy::EnergyCategory;
 use bees_features::FeatureExtractor;
@@ -46,32 +46,53 @@ pub(crate) fn run_cross_batch_scheme(
     for img in batch {
         let gray = img.to_gray();
         let (f, stats) = extractor.extract_with_stats(&gray);
-        let joules = client.energy_model().extraction_energy(extractor.kind(), &stats);
-        try_power!(report, client, client.spend_cpu(EnergyCategory::FeatureExtraction, joules));
+        let joules = client
+            .energy_model()
+            .extraction_energy(extractor.kind(), &stats);
+        try_power!(
+            report,
+            client,
+            client.spend_cpu(EnergyCategory::FeatureExtraction, joules)
+        );
         features.push(f);
     }
 
-    // 2. Upload the feature payload for the whole batch.
+    // 2. Upload the feature payload for the whole batch. If the query
+    //    itself exhausts its retries, degrade gracefully: treat every image
+    //    as non-redundant rather than aborting the batch.
     let feature_payload: usize = features.iter().map(|f| f.wire_size()).sum();
     let query_bytes = wire::feature_query_bytes(feature_payload);
-    try_power!(report, client, client.transmit(EnergyCategory::FeatureUpload, query_bytes));
-    report.uplink_bytes += query_bytes;
-    report.feature_bytes += feature_payload;
+    let redundant: Vec<bool> = match try_power!(
+        report,
+        client,
+        transmit_or_defer(client, EnergyCategory::FeatureUpload, query_bytes)
+    ) {
+        Delivery::Delivered(summary) => {
+            report.transfer_attempts += summary.attempts as u64;
+            report.uplink_bytes += query_bytes;
+            report.feature_bytes += feature_payload;
 
-    // 3. Server answers one verdict per image.
-    let verdict_bytes = wire::query_response_bytes(batch.len());
-    try_power!(report, client, client.receive(verdict_bytes));
-    report.downlink_bytes += verdict_bytes;
+            // 3. Server answers one verdict per image.
+            let verdict_bytes = wire::query_response_bytes(batch.len());
+            try_power!(report, client, client.receive(verdict_bytes));
+            report.downlink_bytes += verdict_bytes;
 
-    let redundant: Vec<bool> = features
-        .iter()
-        .map(|f| {
-            server
-                .query_max_similarity(f)
-                .map(|hit| hit.similarity > opts.threshold)
-                .unwrap_or(false)
-        })
-        .collect();
+            features
+                .iter()
+                .map(|f| {
+                    server
+                        .query_max_similarity(f)
+                        .map(|hit| hit.similarity > opts.threshold)
+                        .unwrap_or(false)
+                })
+                .collect()
+        }
+        Delivery::Deferred { attempts } => {
+            report.transfer_attempts += attempts as u64;
+            report.feature_query_deferred = true;
+            vec![false; batch.len()]
+        }
+    };
     let n_redundant = redundant.iter().filter(|&&r| r).count();
     report.skipped_cross_batch = n_redundant;
 
@@ -92,11 +113,23 @@ pub(crate) fn run_cross_batch_scheme(
         // The stored photo file (encoded at capture time; no CPU charged).
         let payload = bees_image::codec::encoded_rgb_size(img, opts.camera_quality)?;
         let bytes = wire::image_upload_bytes(payload);
-        try_power!(report, client, client.transmit(EnergyCategory::ImageUpload, bytes));
-        report.uplink_bytes += bytes;
-        report.image_bytes += payload;
-        report.uploaded_images += 1;
-        server.ingest_image(features[i].clone(), payload, geotags.map(|t| t[i]));
+        match try_power!(
+            report,
+            client,
+            transmit_or_defer(client, EnergyCategory::ImageUpload, bytes)
+        ) {
+            Delivery::Delivered(summary) => {
+                report.transfer_attempts += summary.attempts as u64;
+                report.uplink_bytes += bytes;
+                report.image_bytes += payload;
+                report.uploaded_images += 1;
+                server.ingest_image(features[i].clone(), payload, geotags.map(|t| t[i]));
+            }
+            Delivery::Deferred { attempts } => {
+                report.transfer_attempts += attempts as u64;
+                report.deferred_images += 1;
+            }
+        }
     }
 
     report.total_delay_s = client.now() - start;

@@ -1,6 +1,6 @@
 //! Direct Upload: the baseline that sends every image verbatim.
 
-use crate::schemes::{try_power, SchemeKind, UploadScheme};
+use crate::schemes::{transmit_or_defer, try_power, Delivery, SchemeKind, UploadScheme};
 use crate::{BatchReport, Client, Result, Server};
 use bees_energy::EnergyCategory;
 use bees_features::ImageFeatures;
@@ -38,7 +38,9 @@ pub struct DirectUpload {
 impl DirectUpload {
     /// Creates the scheme with the configured stored-photo quality.
     pub fn new(config: &crate::BeesConfig) -> Self {
-        DirectUpload { camera_quality: config.camera_quality }
+        DirectUpload {
+            camera_quality: config.camera_quality,
+        }
     }
 }
 
@@ -65,17 +67,30 @@ impl UploadScheme for DirectUpload {
             // no CPU is charged here.
             let payload = bees_image::codec::encoded_rgb_size(img, self.camera_quality)?;
             let bytes = wire::image_upload_bytes(payload);
-            try_power!(report, client, client.transmit(EnergyCategory::ImageUpload, bytes));
-            report.uplink_bytes += bytes;
-            report.image_bytes += payload;
-            report.uploaded_images += 1;
-            // Direct Upload carries no features; the server stores an empty
-            // feature set (it performs no deduplication for this scheme).
-            server.ingest_image(
-                ImageFeatures::empty_binary(),
-                payload,
-                geotags.map(|t| t[i]),
-            );
+            match try_power!(
+                report,
+                client,
+                transmit_or_defer(client, EnergyCategory::ImageUpload, bytes)
+            ) {
+                Delivery::Delivered(summary) => {
+                    report.transfer_attempts += summary.attempts as u64;
+                    report.uplink_bytes += bytes;
+                    report.image_bytes += payload;
+                    report.uploaded_images += 1;
+                    // Direct Upload carries no features; the server stores an
+                    // empty feature set (it performs no deduplication for
+                    // this scheme).
+                    server.ingest_image(
+                        ImageFeatures::empty_binary(),
+                        payload,
+                        geotags.map(|t| t[i]),
+                    );
+                }
+                Delivery::Deferred { attempts } => {
+                    report.transfer_attempts += attempts as u64;
+                    report.deferred_images += 1;
+                }
+            }
             report.total_delay_s = client.now() - start;
         }
         report.total_delay_s = client.now() - start;
@@ -102,8 +117,16 @@ mod tests {
     fn images(n: usize) -> Vec<RgbImage> {
         (0..n)
             .map(|i| {
-                Scene::new(i as u64, SceneConfig { width: 96, height: 72, n_shapes: 8, texture_amp: 8.0 })
-                    .render(&ViewJitter::identity())
+                Scene::new(
+                    i as u64,
+                    SceneConfig {
+                        width: 96,
+                        height: 72,
+                        n_shapes: 8,
+                        texture_amp: 8.0,
+                    },
+                )
+                .render(&ViewJitter::identity())
             })
             .collect()
     }
@@ -112,7 +135,9 @@ mod tests {
     fn uploads_everything() {
         let (cfg, mut server, mut client) = setup();
         let batch = images(3);
-        let r = DirectUpload::new(&cfg).upload_batch(&mut client, &mut server, &batch).unwrap();
+        let r = DirectUpload::new(&cfg)
+            .upload_batch(&mut client, &mut server, &batch)
+            .unwrap();
         assert_eq!(r.uploaded_images, 3);
         assert_eq!(r.skipped_cross_batch, 0);
         assert_eq!(r.skipped_in_batch, 0);
@@ -129,7 +154,9 @@ mod tests {
     fn all_energy_is_image_upload() {
         let (cfg, mut server, mut client) = setup();
         let batch = images(2);
-        let r = DirectUpload::new(&cfg).upload_batch(&mut client, &mut server, &batch).unwrap();
+        let r = DirectUpload::new(&cfg)
+            .upload_batch(&mut client, &mut server, &batch)
+            .unwrap();
         assert!(r.energy.get(EnergyCategory::ImageUpload) > 0.0);
         assert_eq!(r.energy.get(EnergyCategory::FeatureExtraction), 0.0);
         assert_eq!(r.energy.get(EnergyCategory::FeatureUpload), 0.0);
@@ -140,7 +167,9 @@ mod tests {
         let (cfg, mut server, mut client) = setup();
         client.battery_mut().set_fraction(0.0);
         let batch = images(2);
-        let r = DirectUpload::new(&cfg).upload_batch(&mut client, &mut server, &batch).unwrap();
+        let r = DirectUpload::new(&cfg)
+            .upload_batch(&mut client, &mut server, &batch)
+            .unwrap();
         assert!(r.exhausted);
         assert_eq!(r.uploaded_images, 0);
     }

@@ -25,7 +25,8 @@ pub use mrc::Mrc;
 pub use photonet::PhotoNetLike;
 pub use smarteye::SmartEye;
 
-use crate::{BatchReport, Client, Result, Server};
+use crate::{BatchReport, Client, Result, Server, TransmitSummary};
+use bees_energy::EnergyCategory;
 use bees_image::RgbImage;
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -126,6 +127,37 @@ macro_rules! try_power {
     };
 }
 pub(crate) use try_power;
+
+/// Outcome of a fault-tolerant payload transmit inside a scheme body.
+pub(crate) enum Delivery {
+    /// Every byte was confirmed; the summary carries attempt/waste stats.
+    Delivered(TransmitSummary),
+    /// The retry budget ran out; the payload was given up on (the batch
+    /// continues — graceful degradation instead of an aborted run).
+    Deferred {
+        /// Attempts made before giving up.
+        attempts: u32,
+    },
+}
+
+/// Transmits through [`Client::transmit_resumable`], converting retry
+/// exhaustion into [`Delivery::Deferred`] so schemes can degrade or skip
+/// the payload instead of aborting the whole batch. Battery exhaustion and
+/// genuine channel errors still propagate (the former is caught by
+/// `try_power!`).
+pub(crate) fn transmit_or_defer(
+    client: &mut Client,
+    category: EnergyCategory,
+    bytes: usize,
+) -> Result<Delivery> {
+    match client.transmit_resumable(category, bytes) {
+        Ok(summary) => Ok(Delivery::Delivered(summary)),
+        Err(crate::CoreError::Net(bees_net::NetError::RetriesExhausted { attempts, .. })) => {
+            Ok(Delivery::Deferred { attempts })
+        }
+        Err(other) => Err(other),
+    }
+}
 
 #[cfg(test)]
 mod tests {

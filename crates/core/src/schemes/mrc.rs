@@ -67,7 +67,12 @@ mod tests {
     }
 
     fn small() -> SceneConfig {
-        SceneConfig { width: 96, height: 72, n_shapes: 10, texture_amp: 8.0 }
+        SceneConfig {
+            width: 96,
+            height: 72,
+            n_shapes: 10,
+            texture_amp: 8.0,
+        }
     }
 
     #[test]
@@ -78,7 +83,9 @@ mod tests {
         let mut client = Client::new(0, &cfg);
         let data = disaster_batch(21, 8, 0, 0.5, small());
         scheme.preload_server(&mut server, &data.server_preload);
-        let r = scheme.upload_batch(&mut client, &mut server, &data.batch).unwrap();
+        let r = scheme
+            .upload_batch(&mut client, &mut server, &data.batch)
+            .unwrap();
         assert!(
             r.skipped_cross_batch >= 3,
             "staged 4 redundant images, detected {}",
@@ -96,13 +103,17 @@ mod tests {
         let mut server_m = Server::new(&cfg);
         let mut client_m = Client::new(0, &cfg);
         mrc.preload_server(&mut server_m, &data.server_preload);
-        let rm = mrc.upload_batch(&mut client_m, &mut server_m, &data.batch).unwrap();
+        let rm = mrc
+            .upload_batch(&mut client_m, &mut server_m, &data.batch)
+            .unwrap();
 
         let se = SmartEye::new(&cfg);
         let mut server_s = Server::new(&cfg);
         let mut client_s = Client::new(0, &cfg);
         se.preload_server(&mut server_s, &data.server_preload);
-        let rs = se.upload_batch(&mut client_s, &mut server_s, &data.batch).unwrap();
+        let rs = se
+            .upload_batch(&mut client_s, &mut server_s, &data.batch)
+            .unwrap();
 
         if rm.skipped_cross_batch > 0 {
             assert!(
@@ -123,12 +134,16 @@ mod tests {
         let mrc = Mrc::new(&cfg);
         let mut server = Server::new(&cfg);
         let mut client = Client::new(0, &cfg);
-        let rm = mrc.upload_batch(&mut client, &mut server, &data.batch).unwrap();
+        let rm = mrc
+            .upload_batch(&mut client, &mut server, &data.batch)
+            .unwrap();
 
         let se = SmartEye::new(&cfg);
         let mut server2 = Server::new(&cfg);
         let mut client2 = Client::new(0, &cfg);
-        let rs = se.upload_batch(&mut client2, &mut server2, &data.batch).unwrap();
+        let rs = se
+            .upload_batch(&mut client2, &mut server2, &data.batch)
+            .unwrap();
 
         assert!(
             rm.energy.get(EnergyCategory::FeatureExtraction)

@@ -13,7 +13,7 @@
 //! are cheap but markedly less accurate than local ones (see the
 //! `global_vs_local` experiment), which is why BEES pays for ORB.
 
-use crate::schemes::{try_power, SchemeKind, UploadScheme};
+use crate::schemes::{transmit_or_defer, try_power, Delivery, SchemeKind, UploadScheme};
 use crate::{BatchReport, BeesConfig, Client, Result, Server};
 use bees_energy::EnergyCategory;
 use bees_features::global::ColorHistogram;
@@ -61,33 +61,52 @@ impl UploadScheme for PhotoNetLike {
         let mut histograms = Vec::with_capacity(batch.len());
         for img in batch {
             let joules = model.histogram_energy(img.pixel_count());
-            try_power!(report, client, client.spend_cpu(EnergyCategory::FeatureExtraction, joules));
+            try_power!(
+                report,
+                client,
+                client.spend_cpu(EnergyCategory::FeatureExtraction, joules)
+            );
             histograms.push(ColorHistogram::from_image(img));
         }
 
-        // 2. Upload the histograms (256 B each) and receive verdicts.
+        // 2. Upload the histograms (256 B each) and receive verdicts. A
+        //    deferred query degrades to "nothing is redundant".
         let feature_payload = histograms.len() * ColorHistogram::WIRE_SIZE;
         let query_bytes = wire::feature_query_bytes(feature_payload);
-        try_power!(report, client, client.transmit(EnergyCategory::FeatureUpload, query_bytes));
-        report.uplink_bytes += query_bytes;
-        report.feature_bytes += feature_payload;
-        let verdict_bytes = wire::query_response_bytes(batch.len());
-        try_power!(report, client, client.receive(verdict_bytes));
-        report.downlink_bytes += verdict_bytes;
+        let redundant: Vec<bool> = match try_power!(
+            report,
+            client,
+            transmit_or_defer(client, EnergyCategory::FeatureUpload, query_bytes)
+        ) {
+            Delivery::Delivered(summary) => {
+                report.transfer_attempts += summary.attempts as u64;
+                report.uplink_bytes += query_bytes;
+                report.feature_bytes += feature_payload;
+                let verdict_bytes = wire::query_response_bytes(batch.len());
+                try_power!(report, client, client.receive(verdict_bytes));
+                report.downlink_bytes += verdict_bytes;
 
-        // 3. Dedup by histogram intersection. Verdicts are computed for the
-        //    whole batch against the server's *current* store before any
-        //    upload (as in the other cross-batch schemes): in-batch
-        //    duplicates are invisible to this scheme.
-        let redundant: Vec<bool> = histograms
-            .iter()
-            .map(|h| {
-                server
-                    .query_max_histogram(h)
-                    .map(|(_, sim)| sim > self.threshold)
-                    .unwrap_or(false)
-            })
-            .collect();
+                // 3. Dedup by histogram intersection. Verdicts are computed
+                //    for the whole batch against the server's *current*
+                //    store before any upload (as in the other cross-batch
+                //    schemes): in-batch duplicates are invisible to this
+                //    scheme.
+                histograms
+                    .iter()
+                    .map(|h| {
+                        server
+                            .query_max_histogram(h)
+                            .map(|(_, sim)| sim > self.threshold)
+                            .unwrap_or(false)
+                    })
+                    .collect()
+            }
+            Delivery::Deferred { attempts } => {
+                report.transfer_attempts += attempts as u64;
+                report.feature_query_deferred = true;
+                vec![false; batch.len()]
+            }
+        };
         report.skipped_cross_batch = redundant.iter().filter(|&&r| r).count();
         for (i, img) in batch.iter().enumerate() {
             if redundant[i] {
@@ -95,15 +114,27 @@ impl UploadScheme for PhotoNetLike {
             }
             let payload = bees_image::codec::encoded_rgb_size(img, self.camera_quality)?;
             let bytes = wire::image_upload_bytes(payload);
-            try_power!(report, client, client.transmit(EnergyCategory::ImageUpload, bytes));
-            report.uplink_bytes += bytes;
-            report.image_bytes += payload;
-            report.uploaded_images += 1;
-            server.ingest_image_with_histogram(
-                histograms[i].clone(),
-                payload,
-                geotags.map(|t| t[i]),
-            );
+            match try_power!(
+                report,
+                client,
+                transmit_or_defer(client, EnergyCategory::ImageUpload, bytes)
+            ) {
+                Delivery::Delivered(summary) => {
+                    report.transfer_attempts += summary.attempts as u64;
+                    report.uplink_bytes += bytes;
+                    report.image_bytes += payload;
+                    report.uploaded_images += 1;
+                    server.ingest_image_with_histogram(
+                        histograms[i].clone(),
+                        payload,
+                        geotags.map(|t| t[i]),
+                    );
+                }
+                Delivery::Deferred { attempts } => {
+                    report.transfer_attempts += attempts as u64;
+                    report.deferred_images += 1;
+                }
+            }
         }
 
         report.total_delay_s = client.now() - start;
@@ -136,12 +167,19 @@ mod tests {
         let run = |scheme: &dyn UploadScheme| {
             let mut server = Server::new(&cfg);
             let mut client = Client::new(0, &cfg);
-            scheme.upload_batch(&mut client, &mut server, &data.batch).unwrap()
+            scheme
+                .upload_batch(&mut client, &mut server, &data.batch)
+                .unwrap()
         };
         let pn = run(&PhotoNetLike::new(&cfg));
         let mrc = run(&Mrc::new(&cfg));
         let e = |r: &BatchReport| r.energy.get(EnergyCategory::FeatureExtraction);
-        assert!(e(&pn) < e(&mrc) / 5.0, "photonet {} vs mrc {}", e(&pn), e(&mrc));
+        assert!(
+            e(&pn) < e(&mrc) / 5.0,
+            "photonet {} vs mrc {}",
+            e(&pn),
+            e(&mrc)
+        );
         // And its feature payload is far smaller too.
         assert!(pn.feature_bytes < mrc.feature_bytes / 5);
     }
@@ -154,7 +192,9 @@ mod tests {
         let mut server = Server::new(&cfg);
         scheme.preload_server(&mut server, &data.server_preload);
         let mut client = Client::new(0, &cfg);
-        let r = scheme.upload_batch(&mut client, &mut server, &data.batch).unwrap();
+        let r = scheme
+            .upload_batch(&mut client, &mut server, &data.batch)
+            .unwrap();
         assert_eq!(r.uploaded_images + r.skipped_cross_batch, 6);
         // Histogram dedup should catch at least some of the staged similar
         // views (they differ only by small jitter/brightness shifts).
@@ -169,7 +209,9 @@ mod tests {
         let mut server = Server::new(&cfg);
         let mut client = Client::new(0, &cfg);
         client.battery_mut().set_fraction(0.0);
-        let r = scheme.upload_batch(&mut client, &mut server, &data.batch).unwrap();
+        let r = scheme
+            .upload_batch(&mut client, &mut server, &data.batch)
+            .unwrap();
         assert!(r.exhausted);
     }
 }

@@ -77,10 +77,17 @@ mod tests {
         let scheme = SmartEye::new(&cfg);
         let mut server = Server::new(&cfg);
         let mut client = Client::new(0, &cfg);
-        let small = SceneConfig { width: 96, height: 72, n_shapes: 10, texture_amp: 8.0 };
+        let small = SceneConfig {
+            width: 96,
+            height: 72,
+            n_shapes: 10,
+            texture_amp: 8.0,
+        };
         let data = disaster_batch(11, 6, 0, 0.5, small);
         scheme.preload_server(&mut server, &data.server_preload);
-        let r = scheme.upload_batch(&mut client, &mut server, &data.batch).unwrap();
+        let r = scheme
+            .upload_batch(&mut client, &mut server, &data.batch)
+            .unwrap();
         assert_eq!(r.batch_size, 6);
         assert_eq!(r.uploaded_images + r.skipped_cross_batch, 6);
         // Feature extraction energy must be nonzero and no in-batch
@@ -95,9 +102,16 @@ mod tests {
         let scheme = SmartEye::new(&cfg);
         let mut server = Server::new(&cfg);
         let mut client = Client::new(0, &cfg);
-        let small = SceneConfig { width: 96, height: 72, n_shapes: 10, texture_amp: 8.0 };
+        let small = SceneConfig {
+            width: 96,
+            height: 72,
+            n_shapes: 10,
+            texture_amp: 8.0,
+        };
         let data = disaster_batch(13, 3, 0, 0.0, small);
-        let r = scheme.upload_batch(&mut client, &mut server, &data.batch).unwrap();
+        let r = scheme
+            .upload_batch(&mut client, &mut server, &data.batch)
+            .unwrap();
         // With zero redundancy, SmartEye pays extraction + features on top
         // of the same image uploads: strictly worse than Direct Upload.
         let extraction = r.energy.get(EnergyCategory::FeatureExtraction);

@@ -196,8 +196,16 @@ mod tests {
     }
 
     fn small_scene(seed: u64) -> RgbImage {
-        Scene::new(seed, SceneConfig { width: 96, height: 72, n_shapes: 10, texture_amp: 8.0 })
-            .render(&ViewJitter::identity())
+        Scene::new(
+            seed,
+            SceneConfig {
+                width: 96,
+                height: 72,
+                n_shapes: 10,
+                texture_amp: 8.0,
+            },
+        )
+        .render(&ViewJitter::identity())
     }
 
     #[test]
@@ -214,7 +222,15 @@ mod tests {
     fn query_finds_preloaded_similars() {
         let cfg = config();
         let mut s = Server::new(&cfg);
-        let scene = Scene::new(5, SceneConfig { width: 96, height: 72, n_shapes: 10, texture_amp: 8.0 });
+        let scene = Scene::new(
+            5,
+            SceneConfig {
+                width: 96,
+                height: 72,
+                n_shapes: 10,
+                texture_amp: 8.0,
+            },
+        );
         s.preload(&[scene.render(&ViewJitter::identity())]);
         let orb = Orb::new(cfg.orb);
         let other_view = scene.render(&ViewJitter {
@@ -242,7 +258,10 @@ mod tests {
 
     #[test]
     fn mih_backend_works_too() {
-        let cfg = BeesConfig { index_backend: IndexBackend::Mih, ..config() };
+        let cfg = BeesConfig {
+            index_backend: IndexBackend::Mih,
+            ..config()
+        };
         let mut s = Server::new(&cfg);
         s.preload(&[small_scene(3)]);
         assert_eq!(s.indexed_images(), 1);

@@ -73,8 +73,9 @@ pub fn run_coverage(
     assert!(per_phone > 0, "corpus too small for the fleet");
 
     let mut server = Server::new(config);
-    let mut clients: Vec<Client> =
-        (0..cov.n_phones).map(|i| Client::new(i as u64, config)).collect();
+    let mut clients: Vec<Client> = (0..cov.n_phones)
+        .map(|i| Client::new(i as u64, config))
+        .collect();
     // Next corpus index each phone will upload.
     let mut cursor: Vec<usize> = (0..cov.n_phones).map(|i| i * per_phone).collect();
     let limit: Vec<usize> = (0..cov.n_phones).map(|i| (i + 1) * per_phone).collect();
@@ -148,7 +149,12 @@ mod tests {
             paris: ParisConfig {
                 n_locations: 8,
                 n_images: 24,
-                scene: SceneConfig { width: 96, height: 72, n_shapes: 8, texture_amp: 8.0 },
+                scene: SceneConfig {
+                    width: 96,
+                    height: 72,
+                    n_shapes: 8,
+                    texture_amp: 8.0,
+                },
                 ..ParisConfig::default()
             },
             seed: 3,

@@ -77,7 +77,10 @@ pub fn run_lifetime(
 ) -> Result<LifetimeResult> {
     let mut server = Server::new(config);
     let mut client = Client::new(0, config);
-    let mut samples = vec![LifetimeSample { time_s: 0.0, ebat: 1.0 }];
+    let mut samples = vec![LifetimeSample {
+        time_s: 0.0,
+        ebat: 1.0,
+    }];
     let mut groups_uploaded = 0usize;
 
     for g in 0..lt.n_groups {
@@ -105,7 +108,10 @@ pub fn run_lifetime(
         if elapsed < lt.interval_s && client.idle(lt.interval_s - elapsed).is_err() {
             break;
         }
-        samples.push(LifetimeSample { time_s: client.now(), ebat: client.ebat() });
+        samples.push(LifetimeSample {
+            time_s: client.now(),
+            ebat: client.ebat(),
+        });
         if client.battery().is_empty() {
             break;
         }
@@ -132,7 +138,12 @@ mod tests {
             n_groups: 12,
             interval_s: 300.0,
             cross_ratio: 0.3,
-            scene: SceneConfig { width: 96, height: 72, n_shapes: 8, texture_amp: 8.0 },
+            scene: SceneConfig {
+                width: 96,
+                height: 72,
+                n_shapes: 8,
+                texture_amp: 8.0,
+            },
             seed: 5,
         }
     }
@@ -175,7 +186,10 @@ mod tests {
     fn workload_can_outlast_battery() {
         let mut cfg = config_with_small_battery();
         cfg.battery = Battery::from_joules(1e9); // effectively infinite
-        let lt = LifetimeConfig { n_groups: 2, ..tiny_lifetime() };
+        let lt = LifetimeConfig {
+            n_groups: 2,
+            ..tiny_lifetime()
+        };
         let res = run_lifetime(&DirectUpload::new(&cfg), &cfg, &lt).unwrap();
         assert_eq!(res.groups_uploaded, 2);
         assert!(res.samples.last().unwrap().ebat > 0.99);

@@ -18,7 +18,12 @@ fn config(backend: IndexBackend) -> BeesConfig {
 }
 
 fn small() -> SceneConfig {
-    SceneConfig { width: 128, height: 96, n_shapes: 12, texture_amp: 8.0 }
+    SceneConfig {
+        width: 128,
+        height: 96,
+        n_shapes: 12,
+        texture_amp: 8.0,
+    }
 }
 
 fn run(scheme_for: impl Fn(&BeesConfig) -> Box<dyn UploadScheme>, seed: u64) -> [BatchReport; 2] {
@@ -30,7 +35,11 @@ fn run(scheme_for: impl Fn(&BeesConfig) -> Box<dyn UploadScheme>, seed: u64) -> 
         let mut server = Server::new(&cfg);
         scheme.preload_server(&mut server, &data.server_preload);
         let mut client = Client::new(0, &cfg);
-        out.push(scheme.upload_batch(&mut client, &mut server, &data.batch).unwrap());
+        out.push(
+            scheme
+                .upload_batch(&mut client, &mut server, &data.batch)
+                .unwrap(),
+        );
     }
     out.try_into().expect("two backends")
 }
@@ -57,7 +66,10 @@ fn mih_recall_is_high_on_this_workload() {
     // With radius-1 multi-probe, MIH should catch the large majority of
     // the staged redundancy the linear scan catches.
     let [linear, mih] = run(|cfg| Box::new(Mrc::new(cfg)), 19);
-    assert!(linear.skipped_cross_batch > 0, "workload must contain redundancy");
+    assert!(
+        linear.skipped_cross_batch > 0,
+        "workload must contain redundancy"
+    );
     assert!(
         mih.skipped_cross_batch * 2 >= linear.skipped_cross_batch,
         "MIH recall collapsed: {} vs {}",

@@ -39,12 +39,22 @@ fn empty_batch_is_a_noop() {
 #[test]
 fn single_image_batch_uploads_exactly_one() {
     let cfg = config();
-    let img = Scene::new(1, SceneConfig { width: 128, height: 96, n_shapes: 12, texture_amp: 8.0 })
-        .render(&ViewJitter::identity());
+    let img = Scene::new(
+        1,
+        SceneConfig {
+            width: 128,
+            height: 96,
+            n_shapes: 12,
+            texture_amp: 8.0,
+        },
+    )
+    .render(&ViewJitter::identity());
     for scheme in schemes(&cfg) {
         let mut server = Server::new(&cfg);
         let mut client = Client::new(0, &cfg);
-        let r = scheme.upload_batch(&mut client, &mut server, &[img.clone()]).unwrap();
+        let r = scheme
+            .upload_batch(&mut client, &mut server, &[img.clone()])
+            .unwrap();
         assert_eq!(r.uploaded_images, 1, "{}", r.scheme);
         assert_eq!(r.skipped_in_batch, 0, "{}", r.scheme);
     }
@@ -62,7 +72,9 @@ fn featureless_images_are_uploaded_not_deduplicated() {
     let mut client = Client::new(0, &cfg);
     // Even preloading an identical flat image doesn't create similarity.
     scheme.preload_server(&mut server, &[flat]);
-    let r = scheme.upload_batch(&mut client, &mut server, &batch).unwrap();
+    let r = scheme
+        .upload_batch(&mut client, &mut server, &batch)
+        .unwrap();
     assert_eq!(r.skipped_cross_batch, 0);
     assert_eq!(r.uploaded_images + r.skipped_in_batch, 2);
 }
@@ -70,13 +82,23 @@ fn featureless_images_are_uploaded_not_deduplicated() {
 #[test]
 fn batch_of_identical_images_collapses_to_one_for_bees() {
     let cfg = config();
-    let img = Scene::new(9, SceneConfig { width: 128, height: 96, n_shapes: 12, texture_amp: 8.0 })
-        .render(&ViewJitter::identity());
+    let img = Scene::new(
+        9,
+        SceneConfig {
+            width: 128,
+            height: 96,
+            n_shapes: 12,
+            texture_amp: 8.0,
+        },
+    )
+    .render(&ViewJitter::identity());
     let batch = vec![img.clone(), img.clone(), img.clone(), img];
     let scheme = Bees::adaptive(&cfg);
     let mut server = Server::new(&cfg);
     let mut client = Client::new(0, &cfg);
-    let r = scheme.upload_batch(&mut client, &mut server, &batch).unwrap();
+    let r = scheme
+        .upload_batch(&mut client, &mut server, &batch)
+        .unwrap();
     assert_eq!(r.uploaded_images, 1, "identical images must collapse");
     assert_eq!(r.skipped_in_batch, 3);
 }

@@ -25,7 +25,9 @@ fn photonet_extraction_is_cheapest_but_bees_dedups_in_batch() {
         let mut server = Server::new(&cfg);
         scheme.preload_server(&mut server, &data.server_preload);
         let mut client = Client::new(0, &cfg);
-        scheme.upload_batch(&mut client, &mut server, &data.batch).unwrap()
+        scheme
+            .upload_batch(&mut client, &mut server, &data.batch)
+            .unwrap()
     };
     let pn = run(&PhotoNetLike::new(&cfg));
     let bees = run(&Bees::adaptive(&cfg));
@@ -39,7 +41,11 @@ fn photonet_extraction_is_cheapest_but_bees_dedups_in_batch() {
     // ...but it misses every in-batch duplicate while BEES' SSMM catches
     // them, so BEES uploads fewer images.
     assert_eq!(pn.skipped_in_batch, 0);
-    assert!(bees.skipped_in_batch >= 3, "SSMM caught only {}", bees.skipped_in_batch);
+    assert!(
+        bees.skipped_in_batch >= 3,
+        "SSMM caught only {}",
+        bees.skipped_in_batch
+    );
     assert!(bees.uploaded_images < pn.uploaded_images);
     // Net effect: BEES still wins total energy despite paying for ORB.
     assert!(
@@ -62,7 +68,9 @@ fn photonet_histogram_dedup_misfires_where_orb_does_not() {
     let mut server = Server::new(&cfg);
     pn.preload_server(&mut server, &data.server_preload);
     let mut client = Client::new(0, &cfg);
-    let r = pn.upload_batch(&mut client, &mut server, &data.batch).unwrap();
+    let r = pn
+        .upload_batch(&mut client, &mut server, &data.batch)
+        .unwrap();
     // Everything it skipped must have been genuinely staged as redundant
     // (no false-positive drops of the unique tail images).
     assert!(

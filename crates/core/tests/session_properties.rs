@@ -20,7 +20,12 @@ fn lt() -> LifetimeConfig {
         n_groups: 30,
         interval_s: 60.0,
         cross_ratio: 0.3,
-        scene: SceneConfig { width: 96, height: 72, n_shapes: 8, texture_amp: 8.0 },
+        scene: SceneConfig {
+            width: 96,
+            height: 72,
+            n_shapes: 8,
+            texture_amp: 8.0,
+        },
         seed: 11,
     }
 }
@@ -46,7 +51,10 @@ fn bigger_battery_never_shortens_the_session() {
 #[test]
 fn lifetime_discharge_is_reported_consistently() {
     let cfg = config(500.0);
-    for scheme in [&DirectUpload::new(&cfg) as &dyn UploadScheme, &Bees::adaptive(&cfg)] {
+    for scheme in [
+        &DirectUpload::new(&cfg) as &dyn UploadScheme,
+        &Bees::adaptive(&cfg),
+    ] {
         let res = run_lifetime(scheme, &cfg, &lt()).unwrap();
         // Samples start full and never rise.
         assert!((res.samples[0].ebat - 1.0).abs() < 1e-9);

@@ -74,7 +74,10 @@ pub fn disaster_batch(
     config: SceneConfig,
 ) -> DisasterBatch {
     assert!(n > 0, "batch must contain at least one image");
-    assert!((0.0..=1.0).contains(&cross_ratio), "cross_ratio must be in [0, 1]");
+    assert!(
+        (0.0..=1.0).contains(&cross_ratio),
+        "cross_ratio must be in [0, 1]"
+    );
     let n_cross = (cross_ratio * n as f64).round() as usize;
     assert!(
         n_cross + 2 * n_in_batch_extra <= n,
@@ -117,7 +120,12 @@ pub fn disaster_batch(
         batch.push(extra);
     }
 
-    DisasterBatch { batch, server_preload, cross_batch_redundant, in_batch_groups }
+    DisasterBatch {
+        batch,
+        server_preload,
+        cross_batch_redundant,
+        in_batch_groups,
+    }
 }
 
 #[cfg(test)]
@@ -128,7 +136,12 @@ mod tests {
     use bees_features::FeatureExtractor;
 
     fn small() -> SceneConfig {
-        SceneConfig { width: 96, height: 72, n_shapes: 10, texture_amp: 8.0 }
+        SceneConfig {
+            width: 96,
+            height: 72,
+            n_shapes: 10,
+            texture_amp: 8.0,
+        }
     }
 
     #[test]

@@ -42,7 +42,10 @@ pub fn kentucky_like(seed: u64, n_groups: usize, config: SceneConfig) -> Vec<Ken
             let scene_seed = seed.wrapping_mul(1_000_003).wrapping_add(i as u64);
             let scene = Scene::new(scene_seed, config);
             let images = scene.render_views(scene_seed ^ 0xDEAD_BEEF, KentuckyGroup::GROUP_SIZE);
-            KentuckyGroup { scene_id: scene_seed, images }
+            KentuckyGroup {
+                scene_id: scene_seed,
+                images,
+            }
         })
         .collect()
 }
@@ -52,7 +55,12 @@ mod tests {
     use super::*;
 
     fn small() -> SceneConfig {
-        SceneConfig { width: 96, height: 72, n_shapes: 10, texture_amp: 8.0 }
+        SceneConfig {
+            width: 96,
+            height: 72,
+            n_shapes: 10,
+            texture_amp: 8.0,
+        }
     }
 
     #[test]

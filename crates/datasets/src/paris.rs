@@ -104,8 +104,9 @@ impl ParisLike {
             .map(|_| (rng.gen_range(lon0..lon1), rng.gen_range(lat0..lat1)))
             .collect();
         // Zipf weights over locations (location 0 is the densest).
-        let weights: Vec<f64> =
-            (0..config.n_locations).map(|r| 1.0 / ((r + 1) as f64).powf(config.zipf_s)).collect();
+        let weights: Vec<f64> = (0..config.n_locations)
+            .map(|r| 1.0 / ((r + 1) as f64).powf(config.zipf_s))
+            .collect();
         let total: f64 = weights.iter().sum();
         // Cumulative distribution for weighted sampling.
         let mut cdf = Vec::with_capacity(weights.len());
@@ -120,7 +121,12 @@ impl ParisLike {
                 cdf.partition_point(|&c| c < u).min(config.n_locations - 1)
             })
             .collect();
-        ParisLike { seed, config, locations, assignment }
+        ParisLike {
+            seed,
+            config,
+            locations,
+            assignment,
+        }
     }
 
     /// Number of images in the corpus.
@@ -174,14 +180,22 @@ impl ParisLike {
     pub fn image(&self, i: usize) -> GeoImage {
         let location_id = self.assignment[i];
         let (lon, lat) = self.locations[location_id];
-        let scene_seed = self.seed.wrapping_mul(86_028_121).wrapping_add(location_id as u64);
+        let scene_seed = self
+            .seed
+            .wrapping_mul(86_028_121)
+            .wrapping_add(location_id as u64);
         let scene = Scene::new(scene_seed, self.config.scene);
-        let mut rng =
-            ChaCha8Rng::seed_from_u64(self.seed.wrapping_mul(31).wrapping_add(i as u64));
+        let mut rng = ChaCha8Rng::seed_from_u64(self.seed.wrapping_mul(31).wrapping_add(i as u64));
         // First image rendered for a location is not necessarily canonical;
         // each photo is an independent jittered view.
         let image = scene.render(&ViewJitter::sample(&mut rng));
-        GeoImage { index: i, lon, lat, location_id, image }
+        GeoImage {
+            index: i,
+            lon,
+            lat,
+            location_id,
+            image,
+        }
     }
 }
 
@@ -193,7 +207,12 @@ mod tests {
         ParisConfig {
             n_locations: 20,
             n_images: 100,
-            scene: SceneConfig { width: 96, height: 72, n_shapes: 8, texture_amp: 8.0 },
+            scene: SceneConfig {
+                width: 96,
+                height: 72,
+                n_shapes: 8,
+                texture_amp: 8.0,
+            },
             ..ParisConfig::default()
         }
     }
@@ -240,7 +259,10 @@ mod tests {
         for i in 0..p.len() {
             by_loc.entry(p.location_of(i)).or_default().push(i);
         }
-        let pair = by_loc.values().find(|v| v.len() >= 2).expect("zipf guarantees collisions");
+        let pair = by_loc
+            .values()
+            .find(|v| v.len() >= 2)
+            .expect("zipf guarantees collisions");
         let a = p.image(pair[0]);
         let b = p.image(pair[1]);
         assert_eq!((a.lon, a.lat), (b.lon, b.lat));

@@ -23,18 +23,51 @@ pub struct SceneConfig {
 
 impl Default for SceneConfig {
     fn default() -> Self {
-        SceneConfig { width: 384, height: 288, n_shapes: 30, texture_amp: 12.0 }
+        SceneConfig {
+            width: 384,
+            height: 288,
+            n_shapes: 30,
+            texture_amp: 12.0,
+        }
     }
 }
 
 /// One shape in a scene, in scene coordinates.
 #[derive(Debug, Clone, Copy, PartialEq)]
 enum Shape {
-    Rect { x: f32, y: f32, w: f32, h: f32, color: Rgb },
-    Disk { x: f32, y: f32, r: f32, color: Rgb },
-    Triangle { pts: [(f32, f32); 3], color: Rgb },
-    Checker { x: f32, y: f32, w: f32, h: f32, cell: u32, a: Rgb, b: Rgb },
-    Line { x0: f32, y0: f32, x1: f32, y1: f32, color: Rgb },
+    Rect {
+        x: f32,
+        y: f32,
+        w: f32,
+        h: f32,
+        color: Rgb,
+    },
+    Disk {
+        x: f32,
+        y: f32,
+        r: f32,
+        color: Rgb,
+    },
+    Triangle {
+        pts: [(f32, f32); 3],
+        color: Rgb,
+    },
+    Checker {
+        x: f32,
+        y: f32,
+        w: f32,
+        h: f32,
+        cell: u32,
+        a: Rgb,
+        b: Rgb,
+    },
+    Line {
+        x0: f32,
+        y0: f32,
+        x1: f32,
+        y1: f32,
+        color: Rgb,
+    },
 }
 
 /// How one *view* of a scene differs from the canonical view: the synthetic
@@ -58,7 +91,14 @@ pub struct ViewJitter {
 impl ViewJitter {
     /// The canonical (unjittered) view.
     pub fn identity() -> Self {
-        ViewJitter { dx: 0.0, dy: 0.0, scale: 1.0, brightness: 0, noise_seed: 0, noise_amp: 0 }
+        ViewJitter {
+            dx: 0.0,
+            dy: 0.0,
+            scale: 1.0,
+            brightness: 0,
+            noise_seed: 0,
+            noise_amp: 0,
+        }
     }
 
     /// A small random jitter — enough to make descriptors differ, small
@@ -106,7 +146,8 @@ pub struct Scene {
 impl Scene {
     /// Generates the scene for `seed`.
     pub fn new(seed: u64, config: SceneConfig) -> Self {
-        let mut rng = ChaCha8Rng::seed_from_u64(seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1));
+        let mut rng =
+            ChaCha8Rng::seed_from_u64(seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1));
         let (w, h) = (config.width as f32, config.height as f32);
         let color = |rng: &mut ChaCha8Rng| Rgb::new(rng.gen(), rng.gen(), rng.gen());
         let background = (color(&mut rng), color(&mut rng));
@@ -130,7 +171,10 @@ impl Scene {
                     let cx = rng.gen_range(0.0..w);
                     let cy = rng.gen_range(0.0..h);
                     let pt = |rng: &mut ChaCha8Rng| {
-                        (cx + rng.gen_range(-40.0..40.0), cy + rng.gen_range(-40.0..40.0))
+                        (
+                            cx + rng.gen_range(-40.0..40.0),
+                            cy + rng.gen_range(-40.0..40.0),
+                        )
                     };
                     Shape::Triangle {
                         pts: [pt(&mut rng), pt(&mut rng), pt(&mut rng)],
@@ -168,7 +212,12 @@ impl Scene {
             )
         };
         let texture = [wave(&mut rng), wave(&mut rng), wave(&mut rng)];
-        Scene { config, background, shapes, texture }
+        Scene {
+            config,
+            background,
+            shapes,
+            texture,
+        }
     }
 
     /// The scene's configuration.
@@ -187,7 +236,13 @@ impl Scene {
         let ty = |y: f32| -> f32 { (y - cy) * view.scale + cy + view.dy };
         for shape in &self.shapes {
             match *shape {
-                Shape::Rect { x, y, w: sw, h: sh, color } => {
+                Shape::Rect {
+                    x,
+                    y,
+                    w: sw,
+                    h: sh,
+                    color,
+                } => {
                     draw::fill_rect(
                         &mut img,
                         tx(x) as i64,
@@ -215,7 +270,15 @@ impl Scene {
                         color,
                     );
                 }
-                Shape::Checker { x, y, w: sw, h: sh, cell, a, b } => {
+                Shape::Checker {
+                    x,
+                    y,
+                    w: sw,
+                    h: sh,
+                    cell,
+                    a,
+                    b,
+                } => {
                     draw::draw_checker(
                         &mut img,
                         tx(x) as i64,
@@ -227,7 +290,13 @@ impl Scene {
                         b,
                     );
                 }
-                Shape::Line { x0, y0, x1, y1, color } => {
+                Shape::Line {
+                    x0,
+                    y0,
+                    x1,
+                    y1,
+                    color,
+                } => {
                     draw::draw_line(
                         &mut img,
                         tx(x0) as i64,
@@ -375,7 +444,12 @@ mod tests {
 
     #[test]
     fn small_scene_config_renders() {
-        let cfg = SceneConfig { width: 64, height: 48, n_shapes: 6, texture_amp: 8.0 };
+        let cfg = SceneConfig {
+            width: 64,
+            height: 48,
+            n_shapes: 6,
+            texture_amp: 8.0,
+        };
         let img = Scene::new(3, cfg).render(&ViewJitter::identity());
         assert_eq!(img.dimensions(), (64, 48));
     }

@@ -60,7 +60,12 @@ impl LinearScheme {
             "scheme parameters must be finite"
         );
         assert!(min <= max, "min must not exceed max");
-        LinearScheme { intercept, slope, min, max }
+        LinearScheme {
+            intercept,
+            slope,
+            min,
+            max,
+        }
     }
 
     /// A constant scheme (ignores `ebat`) — what BEES-EA effectively runs.

@@ -36,7 +36,10 @@ impl Battery {
             capacity_j.is_finite() && capacity_j > 0.0,
             "battery capacity must be positive, got {capacity_j}"
         );
-        Battery { capacity_j, remaining_j: capacity_j }
+        Battery {
+            capacity_j,
+            remaining_j: capacity_j,
+        }
     }
 
     /// Creates a full battery from a milliamp-hour rating and voltage
@@ -82,7 +85,10 @@ impl Battery {
     ///
     /// Panics if `joules` is negative or not finite.
     pub fn drain(&mut self, joules: f64) -> f64 {
-        assert!(joules.is_finite() && joules >= 0.0, "drain amount must be non-negative");
+        assert!(
+            joules.is_finite() && joules >= 0.0,
+            "drain amount must be non-negative"
+        );
         let drained = joules.min(self.remaining_j);
         self.remaining_j -= drained;
         drained
@@ -95,7 +101,10 @@ impl Battery {
     ///
     /// Panics unless `0.0 <= fraction <= 1.0`.
     pub fn set_fraction(&mut self, fraction: f64) {
-        assert!((0.0..=1.0).contains(&fraction), "fraction must be in [0, 1], got {fraction}");
+        assert!(
+            (0.0..=1.0).contains(&fraction),
+            "fraction must be in [0, 1], got {fraction}"
+        );
         self.remaining_j = self.capacity_j * fraction;
     }
 

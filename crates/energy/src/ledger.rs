@@ -2,7 +2,7 @@
 //!
 //! The paper's Fig. 8 breaks BEES' consumption into feature extraction,
 //! feature upload, and image upload; the ledger keeps those buckets (plus
-//! compression and idle) for every scheme.
+//! compression, wasted retry energy, and idle) for every scheme.
 
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -20,18 +20,22 @@ pub enum EnergyCategory {
     Download,
     /// Bitmap/resolution resizing and DCT encoding.
     Compression,
+    /// Radio energy spent on transfer attempts whose bytes were never
+    /// confirmed: mid-flight cuts, blackouts, timeouts, torn chunks.
+    Wasted,
     /// Baseline screen/system drain.
     Idle,
 }
 
 impl EnergyCategory {
     /// All categories, in reporting order.
-    pub const ALL: [EnergyCategory; 6] = [
+    pub const ALL: [EnergyCategory; 7] = [
         EnergyCategory::FeatureExtraction,
         EnergyCategory::FeatureUpload,
         EnergyCategory::ImageUpload,
         EnergyCategory::Download,
         EnergyCategory::Compression,
+        EnergyCategory::Wasted,
         EnergyCategory::Idle,
     ];
 }
@@ -44,6 +48,7 @@ impl fmt::Display for EnergyCategory {
             EnergyCategory::ImageUpload => "image-upload",
             EnergyCategory::Download => "download",
             EnergyCategory::Compression => "compression",
+            EnergyCategory::Wasted => "wasted",
             EnergyCategory::Idle => "idle",
         };
         f.write_str(name)
@@ -65,11 +70,14 @@ impl fmt::Display for EnergyCategory {
 /// ```
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct EnergyLedger {
-    entries: [(f64, u64); 6], // (joules, event count) indexed by category
+    entries: [(f64, u64); 7], // (joules, event count) indexed by category
 }
 
 fn index_of(cat: EnergyCategory) -> usize {
-    EnergyCategory::ALL.iter().position(|&c| c == cat).expect("category is in ALL")
+    EnergyCategory::ALL
+        .iter()
+        .position(|&c| c == cat)
+        .expect("category is in ALL")
 }
 
 impl EnergyLedger {
@@ -84,7 +92,10 @@ impl EnergyLedger {
     ///
     /// Panics if `joules` is negative or not finite.
     pub fn record(&mut self, cat: EnergyCategory, joules: f64) {
-        assert!(joules.is_finite() && joules >= 0.0, "recorded energy must be non-negative");
+        assert!(
+            joules.is_finite() && joules >= 0.0,
+            "recorded energy must be non-negative"
+        );
         let e = &mut self.entries[index_of(cat)];
         e.0 += joules;
         e.1 += 1;
@@ -140,6 +151,19 @@ mod tests {
         assert_eq!(l.get(EnergyCategory::Download), 0.0);
         assert_eq!(l.count(EnergyCategory::FeatureExtraction), 2);
         assert_eq!(l.total(), 3.5);
+    }
+
+    #[test]
+    fn wasted_counts_as_active_work() {
+        // Energy burnt on failed attempts is real battery drain, not idle:
+        // it must show up in the Fig. 7-style active comparison.
+        let mut l = EnergyLedger::new();
+        l.record(EnergyCategory::Wasted, 3.0);
+        l.record(EnergyCategory::Idle, 2.0);
+        assert_eq!(l.get(EnergyCategory::Wasted), 3.0);
+        assert_eq!(l.total(), 5.0);
+        assert_eq!(l.total_active(), 3.0);
+        assert_eq!(EnergyCategory::Wasted.to_string(), "wasted");
     }
 
     #[test]

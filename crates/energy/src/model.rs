@@ -81,12 +81,12 @@ impl EnergyModel {
         let (per_pixel, per_keypoint) = match kind {
             ExtractorKind::Orb => (self.orb_joules_per_pixel, self.orb_joules_per_keypoint),
             ExtractorKind::Sift => (self.sift_joules_per_pixel, self.sift_joules_per_keypoint),
-            ExtractorKind::PcaSift => {
-                (self.pca_sift_joules_per_pixel, self.pca_sift_joules_per_keypoint)
-            }
+            ExtractorKind::PcaSift => (
+                self.pca_sift_joules_per_pixel,
+                self.pca_sift_joules_per_keypoint,
+            ),
         };
-        stats.pixels_processed as f64 * per_pixel
-            + stats.keypoints_described as f64 * per_keypoint
+        stats.pixels_processed as f64 * per_pixel + stats.keypoints_described as f64 * per_keypoint
     }
 
     /// Energy to compute a color histogram over `pixels` pixels.
@@ -186,7 +186,9 @@ mod tests {
     fn matching_energy_scales_with_pairs() {
         let m = EnergyModel::default();
         assert_eq!(m.matching_energy(0, 100), 0.0);
-        assert!((m.matching_energy(500, 500) - 250_000.0 * m.matching_joules_per_pair).abs() < 1e-12);
+        assert!(
+            (m.matching_energy(500, 500) - 250_000.0 * m.matching_joules_per_pair).abs() < 1e-12
+        );
     }
 
     #[test]

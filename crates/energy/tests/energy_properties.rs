@@ -1,7 +1,9 @@
 //! Property-based tests of the energy substrate: battery conservation,
 //! adaptive-scheme monotonicity, and cost-model linearity.
 
-use bees_energy::{AdaptiveScheme, Battery, EnergyCategory, EnergyLedger, EnergyModel, LinearScheme};
+use bees_energy::{
+    AdaptiveScheme, Battery, EnergyCategory, EnergyLedger, EnergyModel, LinearScheme,
+};
 use bees_features::{ExtractionStats, ExtractorKind};
 use proptest::prelude::*;
 
@@ -55,8 +57,8 @@ proptest! {
 
     #[test]
     fn ledger_merge_is_additive(
-        a in proptest::collection::vec((0u8..6, 0.0f64..50.0), 0..20),
-        b in proptest::collection::vec((0u8..6, 0.0f64..50.0), 0..20),
+        a in proptest::collection::vec((0u8..7, 0.0f64..50.0), 0..20),
+        b in proptest::collection::vec((0u8..7, 0.0f64..50.0), 0..20),
     ) {
         let fill = |entries: &[(u8, f64)]| {
             let mut l = EnergyLedger::new();

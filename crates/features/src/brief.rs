@@ -150,9 +150,17 @@ mod tests {
         let d1 = p.describe(&img, 30.0, 28.0, base_angle);
         // rotated(x', y') = img(y', 63 - x'), so img (ix, iy) lands at
         // (63 - iy, ix) and direction vectors rotate by +90 degrees.
-        let d2 = p.describe(&rotated, 63.0 - 28.0, 30.0, base_angle + std::f32::consts::FRAC_PI_2);
+        let d2 = p.describe(
+            &rotated,
+            63.0 - 28.0,
+            30.0,
+            base_angle + std::f32::consts::FRAC_PI_2,
+        );
         let dist = d1.hamming_distance(&d2);
-        assert!(dist < 80, "steered distance {dist} should beat chance (128)");
+        assert!(
+            dist < 80,
+            "steered distance {dist} should beat chance (128)"
+        );
     }
 
     #[test]

@@ -74,8 +74,7 @@ impl BinaryDescriptor {
         let mut dist = 0u32;
         for i in 0..4 {
             let a = u64::from_le_bytes(self.bits[i * 8..(i + 1) * 8].try_into().expect("8 bytes"));
-            let b =
-                u64::from_le_bytes(other.bits[i * 8..(i + 1) * 8].try_into().expect("8 bytes"));
+            let b = u64::from_le_bytes(other.bits[i * 8..(i + 1) * 8].try_into().expect("8 bytes"));
             dist += (a ^ b).count_ones();
         }
         dist
@@ -90,7 +89,11 @@ impl BinaryDescriptor {
     #[inline]
     pub fn word(&self, chunk: usize) -> u64 {
         assert!(chunk < 4, "chunk index {chunk} out of range");
-        u64::from_le_bytes(self.bits[chunk * 8..(chunk + 1) * 8].try_into().expect("8 bytes"))
+        u64::from_le_bytes(
+            self.bits[chunk * 8..(chunk + 1) * 8]
+                .try_into()
+                .expect("8 bytes"),
+        )
     }
 }
 
@@ -127,7 +130,11 @@ impl VectorDescriptor {
     ///
     /// Panics if the dimensionalities differ.
     pub fn l2_squared(&self, other: &VectorDescriptor) -> f32 {
-        assert_eq!(self.values.len(), other.values.len(), "descriptor dimensions differ");
+        assert_eq!(
+            self.values.len(),
+            other.values.len(),
+            "descriptor dimensions differ"
+        );
         self.values
             .iter()
             .zip(&other.values)
@@ -205,12 +212,18 @@ pub struct ImageFeatures {
 impl ImageFeatures {
     /// Creates an empty binary feature set.
     pub fn empty_binary() -> Self {
-        ImageFeatures { keypoints: Vec::new(), descriptors: Descriptors::Binary(Vec::new()) }
+        ImageFeatures {
+            keypoints: Vec::new(),
+            descriptors: Descriptors::Binary(Vec::new()),
+        }
     }
 
     /// Creates an empty vector feature set.
     pub fn empty_vector() -> Self {
-        ImageFeatures { keypoints: Vec::new(), descriptors: Descriptors::Vector(Vec::new()) }
+        ImageFeatures {
+            keypoints: Vec::new(),
+            descriptors: Descriptors::Vector(Vec::new()),
+        }
     }
 
     /// Number of features.
@@ -276,8 +289,14 @@ mod tests {
             *b = i as u8;
         }
         let d = BinaryDescriptor::from_bytes(bytes);
-        assert_eq!(d.word(0), u64::from_le_bytes(bytes[0..8].try_into().unwrap()));
-        assert_eq!(d.word(3), u64::from_le_bytes(bytes[24..32].try_into().unwrap()));
+        assert_eq!(
+            d.word(0),
+            u64::from_le_bytes(bytes[0..8].try_into().unwrap())
+        );
+        assert_eq!(
+            d.word(3),
+            u64::from_le_bytes(bytes[24..32].try_into().unwrap())
+        );
     }
 
     #[test]

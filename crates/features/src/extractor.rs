@@ -87,7 +87,11 @@ mod tests {
             keypoints_described: 2,
             descriptor_bytes: 64,
         };
-        let b = ExtractionStats { pixels_processed: 5, keypoints_described: 1, descriptor_bytes: 32 };
+        let b = ExtractionStats {
+            pixels_processed: 5,
+            keypoints_described: 1,
+            descriptor_bytes: 32,
+        };
         a.merge(&b);
         assert_eq!(a.pixels_processed, 15);
         assert_eq!(a.keypoints_described, 3);

@@ -214,9 +214,7 @@ mod tests {
 
     #[test]
     fn higher_threshold_finds_fewer_corners() {
-        let img = GrayImage::from_fn(64, 64, |x, y| {
-            (((x / 7) * 37 + (y / 7) * 61) % 200) as u8
-        });
+        let img = GrayImage::from_fn(64, 64, |x, y| (((x / 7) * 37 + (y / 7) * 61) % 200) as u8);
         let low = detect(&img, 10).len();
         let high = detect(&img, 60).len();
         assert!(high <= low, "high {high} vs low {low}");

@@ -47,13 +47,19 @@ impl ColorHistogram {
             counts[(r * BINS_PER_CHANNEL + g) * BINS_PER_CHANNEL + b] += 1;
         }
         let total = img.pixel_count().max(1) as f32;
-        ColorHistogram { cells: counts.into_iter().map(|c| c as f32 / total).collect() }
+        ColorHistogram {
+            cells: counts.into_iter().map(|c| c as f32 / total).collect(),
+        }
     }
 
     /// Histogram intersection similarity in `[0, 1]`:
     /// `Σ min(h1_i, h2_i)` — 1 for identical distributions.
     pub fn intersection(&self, other: &ColorHistogram) -> f64 {
-        self.cells.iter().zip(&other.cells).map(|(a, b)| a.min(*b) as f64).sum()
+        self.cells
+            .iter()
+            .zip(&other.cells)
+            .map(|(a, b)| a.min(*b) as f64)
+            .sum()
     }
 
     /// Chi-squared distance (0 for identical distributions; larger is more

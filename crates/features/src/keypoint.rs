@@ -35,7 +35,14 @@ impl Keypoint {
     /// Creates a keypoint at `(x, y)` on the base level with zero response
     /// and orientation.
     pub fn new(x: f32, y: f32) -> Self {
-        Keypoint { x, y, response: 0.0, angle: 0.0, octave: 0, scale: 1.0 }
+        Keypoint {
+            x,
+            y,
+            response: 0.0,
+            angle: 0.0,
+            octave: 0,
+            scale: 1.0,
+        }
     }
 
     /// Euclidean distance to another keypoint in original-image pixels.

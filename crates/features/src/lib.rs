@@ -45,8 +45,8 @@ pub mod fast;
 pub mod global;
 pub mod harris;
 pub mod keypoint;
-pub mod math;
 pub mod matcher;
+pub mod math;
 pub mod orb;
 pub mod orientation;
 pub mod pca;

@@ -38,7 +38,12 @@ pub struct MatchConfig {
 
 impl Default for MatchConfig {
     fn default() -> Self {
-        MatchConfig { max_hamming: 64, max_l2: 0.9, lowe_ratio: 0.9, cross_check: true }
+        MatchConfig {
+            max_hamming: 64,
+            max_l2: 0.9,
+            lowe_ratio: 0.9,
+            cross_check: true,
+        }
     }
 }
 
@@ -73,7 +78,11 @@ pub fn match_binary(
         })
     };
     let forward = nearest(query, train);
-    let backward = if config.cross_check { nearest(train, query) } else { Vec::new() };
+    let backward = if config.cross_check {
+        nearest(train, query)
+    } else {
+        Vec::new()
+    };
     let mut matches = Vec::new();
     for (qi, &(ti, dist)) in forward.iter().enumerate() {
         if ti == usize::MAX || dist > config.max_hamming {
@@ -82,7 +91,11 @@ pub fn match_binary(
         if config.cross_check && backward[ti].0 != qi {
             continue;
         }
-        matches.push(FeatureMatch { query_idx: qi, train_idx: ti, distance: dist as f32 });
+        matches.push(FeatureMatch {
+            query_idx: qi,
+            train_idx: ti,
+            distance: dist as f32,
+        });
     }
     matches
 }
@@ -98,26 +111,29 @@ pub fn match_vector(
         return Vec::new();
     }
     let rt = Runtime::current();
-    let two_nearest = |from: &[VectorDescriptor],
-                       to: &[VectorDescriptor]|
-     -> Vec<(usize, f32, f32)> {
-        rt.par_map(from, |d| {
-            let mut best = (usize::MAX, f32::INFINITY);
-            let mut second = f32::INFINITY;
-            for (j, t) in to.iter().enumerate() {
-                let dist = d.l2_squared(t);
-                if dist < best.1 {
-                    second = best.1;
-                    best = (j, dist);
-                } else if dist < second {
-                    second = dist;
+    let two_nearest =
+        |from: &[VectorDescriptor], to: &[VectorDescriptor]| -> Vec<(usize, f32, f32)> {
+            rt.par_map(from, |d| {
+                let mut best = (usize::MAX, f32::INFINITY);
+                let mut second = f32::INFINITY;
+                for (j, t) in to.iter().enumerate() {
+                    let dist = d.l2_squared(t);
+                    if dist < best.1 {
+                        second = best.1;
+                        best = (j, dist);
+                    } else if dist < second {
+                        second = dist;
+                    }
                 }
-            }
-            (best.0, best.1.sqrt(), second.sqrt())
-        })
-    };
+                (best.0, best.1.sqrt(), second.sqrt())
+            })
+        };
     let forward = two_nearest(query, train);
-    let backward = if config.cross_check { two_nearest(train, query) } else { Vec::new() };
+    let backward = if config.cross_check {
+        two_nearest(train, query)
+    } else {
+        Vec::new()
+    };
     let mut matches = Vec::new();
     for (qi, &(ti, dist, second)) in forward.iter().enumerate() {
         if ti == usize::MAX || dist > config.max_l2 {
@@ -130,7 +146,11 @@ pub fn match_vector(
         if config.cross_check && backward[ti].0 != qi {
             continue;
         }
-        matches.push(FeatureMatch { query_idx: qi, train_idx: ti, distance: dist });
+        matches.push(FeatureMatch {
+            query_idx: qi,
+            train_idx: ti,
+            distance: dist,
+        });
     }
     matches
 }
@@ -139,7 +159,11 @@ pub fn match_vector(
 ///
 /// Returns an empty match list when the kinds differ (an ORB client can
 /// never match against a SIFT index; the system never mixes them).
-pub fn match_descriptors(a: &Descriptors, b: &Descriptors, config: &MatchConfig) -> Vec<FeatureMatch> {
+pub fn match_descriptors(
+    a: &Descriptors,
+    b: &Descriptors,
+    config: &MatchConfig,
+) -> Vec<FeatureMatch> {
     match (a, b) {
         (Descriptors::Binary(x), Descriptors::Binary(y)) => match_binary(x, y, config),
         (Descriptors::Vector(x), Descriptors::Vector(y)) => match_vector(x, y, config),
@@ -161,8 +185,9 @@ mod tests {
 
     #[test]
     fn identical_sets_match_fully() {
-        let set: Vec<BinaryDescriptor> =
-            (0..8).map(|i| desc_with_bits(&[i * 30, i * 30 + 1, 200 - i])).collect();
+        let set: Vec<BinaryDescriptor> = (0..8)
+            .map(|i| desc_with_bits(&[i * 30, i * 30 + 1, 200 - i]))
+            .collect();
         let m = match_binary(&set, &set, &MatchConfig::default());
         assert_eq!(m.len(), set.len());
         for mm in &m {
@@ -183,8 +208,14 @@ mod tests {
     fn cross_check_removes_asymmetric_matches() {
         // Both b0 and b1 are nearest to a0, but a0's nearest is b0 only.
         let a = vec![desc_with_bits(&[0, 1, 2])];
-        let b = vec![desc_with_bits(&[0, 1, 2, 3]), desc_with_bits(&[0, 1, 2, 3, 4, 5])];
-        let cfg = MatchConfig { cross_check: true, ..MatchConfig::default() };
+        let b = vec![
+            desc_with_bits(&[0, 1, 2, 3]),
+            desc_with_bits(&[0, 1, 2, 3, 4, 5]),
+        ];
+        let cfg = MatchConfig {
+            cross_check: true,
+            ..MatchConfig::default()
+        };
         let m = match_binary(&b, &a, &cfg);
         // Only b0 <-> a0 survives; b1's nearest in a is a0 but a0's nearest
         // in b is b0.
@@ -208,7 +239,11 @@ mod tests {
             VectorDescriptor::from_values(vec![0.95, 0.05]),
             VectorDescriptor::from_values(vec![0.94, 0.06]),
         ];
-        let cfg = MatchConfig { lowe_ratio: 0.8, max_l2: 2.0, ..MatchConfig::default() };
+        let cfg = MatchConfig {
+            lowe_ratio: 0.8,
+            max_l2: 2.0,
+            ..MatchConfig::default()
+        };
         assert!(match_vector(&q, &t_ambiguous, &cfg).is_empty());
         // One clear winner passes.
         let t_clear = vec![

@@ -21,7 +21,11 @@ impl Matrix {
     /// Panics if either dimension is zero.
     pub fn zeros(rows: usize, cols: usize) -> Self {
         assert!(rows > 0 && cols > 0, "matrix dimensions must be non-zero");
-        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Creates the identity matrix of size `n`.
@@ -50,7 +54,10 @@ impl Matrix {
     /// Panics if out of bounds.
     #[inline]
     pub fn get(&self, r: usize, c: usize) -> f64 {
-        assert!(r < self.rows && c < self.cols, "index ({r}, {c}) out of bounds");
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r}, {c}) out of bounds"
+        );
         self.data[r * self.cols + c]
     }
 
@@ -61,7 +68,10 @@ impl Matrix {
     /// Panics if out of bounds.
     #[inline]
     pub fn set(&mut self, r: usize, c: usize, v: f64) {
-        assert!(r < self.rows && c < self.cols, "index ({r}, {c}) out of bounds");
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r}, {c}) out of bounds"
+        );
         self.data[r * self.cols + c] = v;
     }
 
@@ -120,7 +130,10 @@ pub struct EigenDecomposition {
 ///
 /// Panics if the matrix is not square/symmetric (tolerance `1e-8`).
 pub fn jacobi_eigen(a: &Matrix) -> EigenDecomposition {
-    assert!(a.is_symmetric(1e-8), "jacobi_eigen requires a symmetric matrix");
+    assert!(
+        a.is_symmetric(1e-8),
+        "jacobi_eigen requires a symmetric matrix"
+    );
     let n = a.rows();
     let mut m = a.clone();
     let mut v = Matrix::identity(n);
@@ -244,7 +257,10 @@ pub fn covariance(data: &[Vec<f64>]) -> (Matrix, Vec<f64>) {
 ///
 /// Panics if the matrix is not square/symmetric or `k > n`.
 pub fn power_iteration_topk(a: &Matrix, k: usize, iterations: usize) -> EigenDecomposition {
-    assert!(a.is_symmetric(1e-8), "power iteration requires a symmetric matrix");
+    assert!(
+        a.is_symmetric(1e-8),
+        "power iteration requires a symmetric matrix"
+    );
     let n = a.rows();
     assert!(k <= n, "cannot extract more eigenpairs than the dimension");
     let mut deflated = a.clone();
@@ -347,7 +363,10 @@ mod tests {
             let v: Vec<f64> = eig.vectors.row(idx).to_vec();
             let mv = m.mul_vec(&v);
             for k in 0..n {
-                assert!((mv[k] - lambda * v[k]).abs() < 1e-7, "eigenpair {idx} component {k}");
+                assert!(
+                    (mv[k] - lambda * v[k]).abs() < 1e-7,
+                    "eigenpair {idx} component {k}"
+                );
             }
         }
     }
@@ -365,8 +384,13 @@ mod tests {
         let eig = jacobi_eigen(&m);
         for i in 0..3 {
             for j in 0..3 {
-                let dot: f64 =
-                    eig.vectors.row(i).iter().zip(eig.vectors.row(j)).map(|(a, b)| a * b).sum();
+                let dot: f64 = eig
+                    .vectors
+                    .row(i)
+                    .iter()
+                    .zip(eig.vectors.row(j))
+                    .map(|(a, b)| a * b)
+                    .sum();
                 let expected = if i == j { 1.0 } else { 0.0 };
                 assert!((dot - expected).abs() < 1e-8, "({i}, {j}) dot {dot}");
             }

@@ -85,7 +85,10 @@ pub struct Orb {
 impl Orb {
     /// Creates an extractor with the given configuration.
     pub fn new(config: OrbConfig) -> Self {
-        Orb { pattern: BriefPattern::new(config.pattern_seed), config }
+        Orb {
+            pattern: BriefPattern::new(config.pattern_seed),
+            config,
+        }
     }
 
     /// The configuration in use.
@@ -123,8 +126,12 @@ impl FeatureExtractor for Orb {
             stats.pixels_processed = img.pixel_count();
             return (ImageFeatures::empty_binary(), stats);
         }
-        let pyramid =
-            Pyramid::build(img, self.config.scale_factor, self.config.n_levels, Self::MIN_SIDE);
+        let pyramid = Pyramid::build(
+            img,
+            self.config.scale_factor,
+            self.config.n_levels,
+            Self::MIN_SIDE,
+        );
         stats.pixels_processed = pyramid.total_pixels();
 
         // Distribute the feature budget across levels proportionally to
@@ -156,7 +163,12 @@ impl FeatureExtractor for Orb {
                     if harris <= 0.0 {
                         return None;
                     }
-                    Some(Candidate { level, lx: c.x, ly: c.y, harris })
+                    Some(Candidate {
+                        level,
+                        lx: c.x,
+                        ly: c.y,
+                        harris,
+                    })
                 })
                 .collect();
             ranked.sort_by(|a, b| b.harris.partial_cmp(&a.harris).expect("finite scores"));
@@ -186,7 +198,9 @@ impl FeatureExtractor for Orb {
             let level_img = pyramid.level(c.level);
             let angle = intensity_centroid_angle(level_img, c.lx, c.ly, PATCH_RADIUS as u32);
             let smooth = blurred[c.level].as_ref().expect("level was blurred above");
-            let desc = self.pattern.describe(smooth, c.lx as f32, c.ly as f32, angle);
+            let desc = self
+                .pattern
+                .describe(smooth, c.lx as f32, c.ly as f32, angle);
             let scale = pyramid.scale_of(c.level);
             let kp = Keypoint {
                 x: c.lx as f32 * scale,
@@ -205,7 +219,10 @@ impl FeatureExtractor for Orb {
             descriptors.push(desc);
         }
         stats.keypoints_described = keypoints.len();
-        let features = ImageFeatures { keypoints, descriptors: Descriptors::Binary(descriptors) };
+        let features = ImageFeatures {
+            keypoints,
+            descriptors: Descriptors::Binary(descriptors),
+        };
         stats.descriptor_bytes = features.descriptors.byte_size();
         (features, stats)
     }
@@ -218,7 +235,11 @@ mod tests {
 
     fn scene() -> GrayImage {
         GrayImage::from_fn(160, 120, |x, y| {
-            let checker = if (x / 13 + y / 11) % 2 == 0 { 60i32 } else { -60 };
+            let checker = if (x / 13 + y / 11) % 2 == 0 {
+                60i32
+            } else {
+                -60
+            };
             let wave = (40.0 * ((x as f32) * 0.21).sin() + 30.0 * ((y as f32) * 0.17).cos()) as i32;
             (128 + checker + wave).clamp(0, 255) as u8
         })
@@ -235,7 +256,10 @@ mod tests {
 
     #[test]
     fn respects_feature_budget() {
-        let orb = Orb::new(OrbConfig { n_features: 30, ..OrbConfig::default() });
+        let orb = Orb::new(OrbConfig {
+            n_features: 30,
+            ..OrbConfig::default()
+        });
         let f = orb.extract(&scene());
         assert!(f.len() <= 30);
     }

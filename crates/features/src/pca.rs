@@ -42,7 +42,10 @@ pub struct PcaSiftConfig {
 
 impl Default for PcaSiftConfig {
     fn default() -> Self {
-        PcaSiftConfig { sift: SiftConfig::default(), out_dim: 36 }
+        PcaSiftConfig {
+            sift: SiftConfig::default(),
+            out_dim: 36,
+        }
     }
 }
 
@@ -61,21 +64,33 @@ impl PcaBasis {
     ///
     /// Panics if `samples` is empty or `out_dim > RAW_DIM`.
     pub fn train(samples: &[Vec<f64>], out_dim: usize) -> Self {
-        assert!(!samples.is_empty(), "cannot train PCA on an empty sample set");
-        assert!(out_dim <= RAW_DIM, "cannot keep more components than the raw dimension");
+        assert!(
+            !samples.is_empty(),
+            "cannot train PCA on an empty sample set"
+        );
+        assert!(
+            out_dim <= RAW_DIM,
+            "cannot keep more components than the raw dimension"
+        );
         let (cov, means) = math::covariance(samples);
         let eig = math::power_iteration_topk(&cov, out_dim, 60);
         let rows = (0..out_dim)
             .map(|i| eig.vectors.row(i).iter().map(|&v| v as f32).collect())
             .collect();
-        PcaBasis { rows, means: means.into_iter().map(|m| m as f32).collect() }
+        PcaBasis {
+            rows,
+            means: means.into_iter().map(|m| m as f32).collect(),
+        }
     }
 
     /// Builds a deterministic random orthonormal basis (Gram–Schmidt over
     /// seeded Gaussian vectors). A Johnson–Lindenstrauss-style projection:
     /// distances are approximately preserved without a training pass.
     pub fn seeded(seed: u64, out_dim: usize) -> Self {
-        assert!(out_dim <= RAW_DIM, "cannot keep more components than the raw dimension");
+        assert!(
+            out_dim <= RAW_DIM,
+            "cannot keep more components than the raw dimension"
+        );
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
         let mut rows: Vec<Vec<f32>> = Vec::with_capacity(out_dim);
         while rows.len() < out_dim {
@@ -102,7 +117,10 @@ impl PcaBasis {
                 rows.push(v);
             }
         }
-        PcaBasis { rows, means: vec![0.0; RAW_DIM] }
+        PcaBasis {
+            rows,
+            means: vec![0.0; RAW_DIM],
+        }
     }
 
     /// Output dimensionality.
@@ -172,8 +190,16 @@ impl PcaSift {
     ///
     /// Panics if the basis dimensionality differs from `config.out_dim`.
     pub fn with_basis(config: PcaSiftConfig, basis: PcaBasis) -> Self {
-        assert_eq!(basis.out_dim(), config.out_dim, "basis does not match configured out_dim");
-        PcaSift { sift: Sift::new(config.sift), config, basis }
+        assert_eq!(
+            basis.out_dim(),
+            config.out_dim,
+            "basis does not match configured out_dim"
+        );
+        PcaSift {
+            sift: Sift::new(config.sift),
+            config,
+            basis,
+        }
     }
 
     /// Creates an extractor with a deterministic seeded orthonormal basis.
@@ -273,7 +299,10 @@ impl FeatureExtractor for PcaSift {
             descriptors.push(d);
         }
         stats.keypoints_described = keypoints.len();
-        let features = ImageFeatures { keypoints, descriptors: Descriptors::Vector(descriptors) };
+        let features = ImageFeatures {
+            keypoints,
+            descriptors: Descriptors::Vector(descriptors),
+        };
         stats.descriptor_bytes = features.descriptors.byte_size();
         (features, stats)
     }

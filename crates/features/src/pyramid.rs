@@ -38,7 +38,10 @@ impl Pyramid {
                 resize::resize_bilinear(img, w, h).expect("pyramid level dimensions are non-zero");
             levels.push(level);
         }
-        Pyramid { levels, scale_factor }
+        Pyramid {
+            levels,
+            scale_factor,
+        }
     }
 
     /// Number of levels actually built.
@@ -67,7 +70,10 @@ impl Pyramid {
 
     /// Iterates over `(level_index, image, scale)` triples.
     pub fn iter(&self) -> impl Iterator<Item = (usize, &GrayImage, f32)> {
-        self.levels.iter().enumerate().map(move |(i, img)| (i, img, self.scale_of(i)))
+        self.levels
+            .iter()
+            .enumerate()
+            .map(move |(i, img)| (i, img, self.scale_of(i)))
     }
 
     /// Total number of pixels across all levels — the work-size input to the

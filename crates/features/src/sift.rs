@@ -66,7 +66,11 @@ pub struct ScaleSpace {
 impl ScaleSpace {
     /// Total pixels across all blurred images (work-size for energy).
     pub fn total_pixels(&self) -> usize {
-        self.octaves.iter().flat_map(|o| o.iter()).map(|g| g.pixels().len()).sum()
+        self.octaves
+            .iter()
+            .flat_map(|o| o.iter())
+            .map(|g| g.pixels().len())
+            .sum()
     }
 }
 
@@ -166,7 +170,10 @@ impl Sift {
             base = next_base;
             octave_scale *= 2.0;
         }
-        ScaleSpace { octaves, octave_scales }
+        ScaleSpace {
+            octaves,
+            octave_scales,
+        }
     }
 
     /// Detects scale-space extrema with contrast and edge rejection, and
@@ -221,7 +228,11 @@ impl Sift {
             points
         });
         let mut points: Vec<ScaleSpacePoint> = per_octave.into_iter().flatten().collect();
-        points.sort_by(|a, b| b.response.partial_cmp(&a.response).expect("finite responses"));
+        points.sort_by(|a, b| {
+            b.response
+                .partial_cmp(&a.response)
+                .expect("finite responses")
+        });
         points.truncate(self.config.n_features);
         points
     }
@@ -292,7 +303,8 @@ fn is_edge_like(dog: &GrayF32, x: u32, y: u32, r: f32) -> bool {
     let center = dog.get_clamped(xi, yi);
     let dxx = dog.get_clamped(xi + 1, yi) + dog.get_clamped(xi - 1, yi) - 2.0 * center;
     let dyy = dog.get_clamped(xi, yi + 1) + dog.get_clamped(xi, yi - 1) - 2.0 * center;
-    let dxy = (dog.get_clamped(xi + 1, yi + 1) - dog.get_clamped(xi - 1, yi + 1)
+    let dxy = (dog.get_clamped(xi + 1, yi + 1)
+        - dog.get_clamped(xi - 1, yi + 1)
         - dog.get_clamped(xi + 1, yi - 1)
         + dog.get_clamped(xi - 1, yi - 1))
         / 4.0;
@@ -368,7 +380,10 @@ impl FeatureExtractor for Sift {
             descriptors.push(desc);
         }
         stats.keypoints_described = keypoints.len();
-        let features = ImageFeatures { keypoints, descriptors: Descriptors::Vector(descriptors) };
+        let features = ImageFeatures {
+            keypoints,
+            descriptors: Descriptors::Vector(descriptors),
+        };
         stats.descriptor_bytes = features.descriptors.byte_size();
         (features, stats)
     }
@@ -382,9 +397,11 @@ mod tests {
         // Blob-like structures are ideal DoG responders.
         GrayImage::from_fn(128, 128, |x, y| {
             let mut v = 30.0f32;
-            for &(cx, cy, r, a) in
-                &[(30.0, 30.0, 6.0, 200.0), (80.0, 40.0, 9.0, 180.0), (50.0, 90.0, 12.0, 220.0)]
-            {
+            for &(cx, cy, r, a) in &[
+                (30.0, 30.0, 6.0, 200.0),
+                (80.0, 40.0, 9.0, 180.0),
+                (50.0, 90.0, 12.0, 220.0),
+            ] {
                 let d2 = ((x as f32 - cx).powi(2) + (y as f32 - cy).powi(2)) / (r * r as f32);
                 v += a * (-d2).exp();
             }

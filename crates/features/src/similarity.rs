@@ -88,14 +88,18 @@ mod tests {
     fn disjoint_sets_have_similarity_zero() {
         let a = features_from(vec![desc(&(0..120).collect::<Vec<_>>())]);
         let b = features_from(vec![desc(&(130..250).collect::<Vec<_>>())]);
-        assert_eq!(jaccard_similarity(&a, &b, &SimilarityConfig::default()), 0.0);
+        assert_eq!(
+            jaccard_similarity(&a, &b, &SimilarityConfig::default()),
+            0.0
+        );
     }
 
     #[test]
     fn partial_overlap_gives_expected_jaccard() {
         // 4 descriptors in each set; 2 identical pairs -> J = 2 / (4+4-2).
-        let shared: Vec<BinaryDescriptor> =
-            (0..2).map(|i| desc(&[i * 17, i * 17 + 3, 200 + i])).collect();
+        let shared: Vec<BinaryDescriptor> = (0..2)
+            .map(|i| desc(&[i * 17, i * 17 + 3, 200 + i]))
+            .collect();
         let mut a_desc = shared.clone();
         a_desc.push(desc(&(0..90).collect::<Vec<_>>()));
         a_desc.push(desc(&(90..180).collect::<Vec<_>>()));
@@ -112,14 +116,24 @@ mod tests {
     fn empty_set_similarity_is_zero() {
         let a = ImageFeatures::empty_binary();
         let b = features_from(vec![desc(&[1, 2, 3])]);
-        assert_eq!(jaccard_similarity(&a, &b, &SimilarityConfig::default()), 0.0);
-        assert_eq!(jaccard_similarity(&b, &a, &SimilarityConfig::default()), 0.0);
+        assert_eq!(
+            jaccard_similarity(&a, &b, &SimilarityConfig::default()),
+            0.0
+        );
+        assert_eq!(
+            jaccard_similarity(&b, &a, &SimilarityConfig::default()),
+            0.0
+        );
     }
 
     #[test]
     fn similarity_is_symmetric() {
         let a = features_from((0..6).map(|i| desc(&[i * 40, i * 40 + 2])).collect());
-        let b = features_from((3..9).map(|i| desc(&[(i * 40) % 256, (i * 40 + 2) % 256])).collect());
+        let b = features_from(
+            (3..9)
+                .map(|i| desc(&[(i * 40) % 256, (i * 40 + 2) % 256]))
+                .collect(),
+        );
         let cfg = SimilarityConfig::default();
         let s1 = jaccard_similarity(&a, &b, &cfg);
         let s2 = jaccard_similarity(&b, &a, &cfg);

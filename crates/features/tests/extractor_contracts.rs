@@ -21,7 +21,11 @@ fn textured(w: u32, h: u32) -> GrayImage {
         let v = 128.0
             + 55.0 * ((x as f32) * 0.23).sin()
             + 45.0 * ((y as f32) * 0.19).cos()
-            + if ((x / 14) + (y / 14)) % 2 == 0 { 30.0 } else { -30.0 };
+            + if ((x / 14) + (y / 14)) % 2 == 0 {
+                30.0
+            } else {
+                -30.0
+            };
         v.clamp(0.0, 255.0) as u8
     })
 }
@@ -49,8 +53,16 @@ fn keypoints_and_descriptors_stay_aligned() {
         );
         for kp in &f.keypoints {
             assert!(kp.x.is_finite() && kp.y.is_finite(), "{:?}", e.kind());
-            assert!(kp.x >= 0.0 && kp.x <= img.width() as f32 + 1.0, "{:?}", e.kind());
-            assert!(kp.y >= 0.0 && kp.y <= img.height() as f32 + 1.0, "{:?}", e.kind());
+            assert!(
+                kp.x >= 0.0 && kp.x <= img.width() as f32 + 1.0,
+                "{:?}",
+                e.kind()
+            );
+            assert!(
+                kp.y >= 0.0 && kp.y <= img.height() as f32 + 1.0,
+                "{:?}",
+                e.kind()
+            );
             assert!(kp.scale >= 1.0, "{:?}", e.kind());
             assert!(kp.angle.is_finite(), "{:?}", e.kind());
         }
@@ -68,7 +80,12 @@ fn stats_account_for_the_work_done() {
             e.kind()
         );
         assert_eq!(stats.keypoints_described, f.len(), "{:?}", e.kind());
-        assert_eq!(stats.descriptor_bytes, f.descriptors.byte_size(), "{:?}", e.kind());
+        assert_eq!(
+            stats.descriptor_bytes,
+            f.descriptors.byte_size(),
+            "{:?}",
+            e.kind()
+        );
     }
 }
 
@@ -91,7 +108,12 @@ fn flat_images_produce_no_features_anywhere() {
     let img = GrayImage::from_fn(96, 96, |_, _| 140);
     for e in extractors() {
         let f = e.extract(&img);
-        assert!(f.is_empty(), "{:?} hallucinated {} features on a flat image", e.kind(), f.len());
+        assert!(
+            f.is_empty(),
+            "{:?} hallucinated {} features on a flat image",
+            e.kind(),
+            f.len()
+        );
     }
 }
 
@@ -111,13 +133,17 @@ fn tiny_images_never_panic() {
 #[test]
 fn feature_budget_is_respected_under_pressure() {
     // A very busy image cannot exceed the configured budget.
-    let img = GrayImage::from_fn(200, 150, |x, y| {
-        if (x / 3 + y / 3) % 2 == 0 {
-            250
-        } else {
-            10
-        }
-    });
+    let img = GrayImage::from_fn(
+        200,
+        150,
+        |x, y| {
+            if (x / 3 + y / 3) % 2 == 0 {
+                250
+            } else {
+                10
+            }
+        },
+    );
     let orb = Orb::default();
     let f = orb.extract(&img);
     assert!(f.len() <= orb.config().n_features);

@@ -15,7 +15,11 @@ fn textured(seed: u64) -> GrayImage {
             + 55.0 * ((x as f32) * (0.21 + s * 0.01)).sin()
             + 45.0 * ((y as f32) * (0.17 + s * 0.013)).cos()
             + 30.0 * (((x + y) as f32) * 0.11 + s).sin()
-            + if ((x / 16) + (y / 16)) % 2 == 0 { 25.0 } else { -25.0 };
+            + if ((x / 16) + (y / 16)) % 2 == 0 {
+                25.0
+            } else {
+                -25.0
+            };
         v.clamp(0.0, 255.0) as u8
     })
 }
@@ -26,7 +30,11 @@ fn quarter_turn_rotation_preserves_similarity() {
     let cfg = SimilarityConfig::default();
     let img = textured(1);
     let f_orig = orb.extract(&img);
-    assert!(f_orig.len() > 30, "base image too feature-poor: {}", f_orig.len());
+    assert!(
+        f_orig.len() > 30,
+        "base image too feature-poor: {}",
+        f_orig.len()
+    );
 
     let stranger = orb.extract(&textured(9));
     let baseline = jaccard_similarity(&f_orig, &stranger, &cfg);

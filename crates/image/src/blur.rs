@@ -17,7 +17,10 @@ use bees_runtime::Runtime;
 /// positive.
 pub fn gaussian_kernel(sigma: f64) -> Result<Vec<f32>> {
     if !sigma.is_finite() || sigma <= 0.0 {
-        return Err(ImageError::InvalidParameter { name: "sigma", value: sigma });
+        return Err(ImageError::InvalidParameter {
+            name: "sigma",
+            value: sigma,
+        });
     }
     let radius = (3.0 * sigma).ceil() as i64;
     let mut kernel = Vec::with_capacity((2 * radius + 1) as usize);
@@ -146,7 +149,10 @@ mod tests {
         let out = gaussian_blur(&img, 1.5).unwrap();
         let var = |im: &GrayImage| {
             let m = im.mean();
-            im.pixels().iter().map(|&p| (p as f64 - m).powi(2)).sum::<f64>()
+            im.pixels()
+                .iter()
+                .map(|&p| (p as f64 - m).powi(2))
+                .sum::<f64>()
                 / im.pixel_count() as f64
         };
         assert!(var(&out) < var(&img) / 4.0);

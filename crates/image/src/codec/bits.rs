@@ -96,7 +96,9 @@ impl<'a> BitReader<'a> {
         for _ in 0..count {
             let byte_idx = self.pos / 8;
             if byte_idx >= self.bytes.len() {
-                return Err(ImageError::CorruptBitstream { detail: "unexpected end of input" });
+                return Err(ImageError::CorruptBitstream {
+                    detail: "unexpected end of input",
+                });
             }
             let bit = (self.bytes[byte_idx] >> (7 - (self.pos % 8))) & 1;
             value = (value << 1) | bit as u64;
@@ -132,8 +134,14 @@ mod tests {
     #[test]
     fn roundtrip_various_widths() {
         let mut w = BitWriter::new();
-        let values: Vec<(u64, u8)> =
-            vec![(1, 1), (0, 1), (0b1011, 4), (0xABCD, 16), (u64::MAX >> 3, 61), (7, 3)];
+        let values: Vec<(u64, u8)> = vec![
+            (1, 1),
+            (0, 1),
+            (0b1011, 4),
+            (0xABCD, 16),
+            (u64::MAX >> 3, 61),
+            (7, 3),
+        ];
         for &(v, n) in &values {
             w.write_bits(v, n);
         }

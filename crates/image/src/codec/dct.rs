@@ -127,7 +127,10 @@ mod tests {
         forward_dct_8x8(&block, &mut coeffs);
         let e_in: f32 = block.iter().map(|v| v * v).sum();
         let e_out: f32 = coeffs.iter().map(|v| v * v).sum();
-        assert!((e_in - e_out).abs() / e_in < 1e-4, "Parseval: {e_in} vs {e_out}");
+        assert!(
+            (e_in - e_out).abs() / e_in < 1e-4,
+            "Parseval: {e_in} vs {e_out}"
+        );
     }
 
     #[test]

@@ -28,7 +28,9 @@ pub fn read_ue(reader: &mut BitReader<'_>) -> Result<u64> {
     while !reader.read_bit()? {
         zeros += 1;
         if zeros > 62 {
-            return Err(ImageError::CorruptBitstream { detail: "exp-golomb prefix too long" });
+            return Err(ImageError::CorruptBitstream {
+                detail: "exp-golomb prefix too long",
+            });
         }
     }
     let rest = reader.read_bits(zeros)?;
@@ -37,7 +39,11 @@ pub fn read_ue(reader: &mut BitReader<'_>) -> Result<u64> {
 
 /// Writes a signed exp-Golomb code (zigzag mapping of the integers).
 pub fn write_se(writer: &mut BitWriter, v: i64) {
-    let u = if v > 0 { (v as u64) * 2 - 1 } else { (-v as u64) * 2 };
+    let u = if v > 0 {
+        (v as u64) * 2 - 1
+    } else {
+        (-v as u64) * 2
+    };
     write_ue(writer, u);
 }
 
@@ -48,7 +54,11 @@ pub fn write_se(writer: &mut BitWriter, v: i64) {
 /// Returns [`ImageError::CorruptBitstream`] on truncated input.
 pub fn read_se(reader: &mut BitReader<'_>) -> Result<i64> {
     let u = read_ue(reader)?;
-    Ok(if u % 2 == 1 { ((u + 1) / 2) as i64 } else { -((u / 2) as i64) })
+    Ok(if u % 2 == 1 {
+        ((u + 1) / 2) as i64
+    } else {
+        -((u / 2) as i64)
+    })
 }
 
 /// Encodes one zigzag-ordered quantized block. `prev_dc` carries the DC
@@ -86,7 +96,9 @@ pub fn decode_block(reader: &mut BitReader<'_>, prev_dc: &mut i32) -> Result<[i3
     let delta = read_se(reader)?;
     let dc = (*prev_dc as i64) + delta;
     if dc.abs() > i32::MAX as i64 / 2 {
-        return Err(ImageError::CorruptBitstream { detail: "dc coefficient out of range" });
+        return Err(ImageError::CorruptBitstream {
+            detail: "dc coefficient out of range",
+        });
     }
     zz[0] = dc as i32;
     *prev_dc = zz[0];
@@ -97,14 +109,22 @@ pub fn decode_block(reader: &mut BitReader<'_>, prev_dc: &mut i32) -> Result<[i3
             detail: "ac run overflow",
         })?;
         if pos >= 64 {
-            return Err(ImageError::CorruptBitstream { detail: "ac run past end of block" });
+            return Err(ImageError::CorruptBitstream {
+                detail: "ac run past end of block",
+            });
         }
         let negative = reader.read_bit()?;
         let mag = read_ue(reader)? + 1;
         if mag > i32::MAX as u64 {
-            return Err(ImageError::CorruptBitstream { detail: "ac magnitude out of range" });
+            return Err(ImageError::CorruptBitstream {
+                detail: "ac magnitude out of range",
+            });
         }
-        zz[pos] = if negative { -(mag as i64) as i32 } else { mag as i32 };
+        zz[pos] = if negative {
+            -(mag as i64) as i32
+        } else {
+            mag as i32
+        };
         pos += 1;
     }
     Ok(zz)

@@ -43,7 +43,11 @@ pub fn encode_gray_lossless(img: &GrayImage) -> Vec<u8> {
         for x in 0..img.width() {
             let left = if x > 0 { img.get(x - 1, y) as i32 } else { 0 };
             let up = if y > 0 { img.get(x, y - 1) as i32 } else { 0 };
-            let up_left = if x > 0 && y > 0 { img.get(x - 1, y - 1) as i32 } else { 0 };
+            let up_left = if x > 0 && y > 0 {
+                img.get(x - 1, y - 1) as i32
+            } else {
+                0
+            };
             let predicted = paeth(left, up, up_left);
             write_se(&mut writer, (img.get(x, y) as i32 - predicted) as i64);
         }
@@ -60,15 +64,21 @@ pub fn encode_gray_lossless(img: &GrayImage) -> Vec<u8> {
 /// input.
 pub fn decode_gray_lossless(bytes: &[u8]) -> Result<GrayImage> {
     if bytes.len() < 9 {
-        return Err(ImageError::CorruptBitstream { detail: "lossless header truncated" });
+        return Err(ImageError::CorruptBitstream {
+            detail: "lossless header truncated",
+        });
     }
     if bytes[0] != MAGIC_LOSSLESS {
-        return Err(ImageError::CorruptBitstream { detail: "not a lossless bitstream" });
+        return Err(ImageError::CorruptBitstream {
+            detail: "not a lossless bitstream",
+        });
     }
     let width = u32::from_le_bytes(bytes[1..5].try_into().expect("4 bytes"));
     let height = u32::from_le_bytes(bytes[5..9].try_into().expect("4 bytes"));
     if width == 0 || height == 0 {
-        return Err(ImageError::CorruptBitstream { detail: "zero dimensions in header" });
+        return Err(ImageError::CorruptBitstream {
+            detail: "zero dimensions in header",
+        });
     }
     let mut img = GrayImage::new(width, height)?;
     let mut reader = BitReader::new(&bytes[9..]);
@@ -76,12 +86,18 @@ pub fn decode_gray_lossless(bytes: &[u8]) -> Result<GrayImage> {
         for x in 0..width {
             let left = if x > 0 { img.get(x - 1, y) as i32 } else { 0 };
             let up = if y > 0 { img.get(x, y - 1) as i32 } else { 0 };
-            let up_left = if x > 0 && y > 0 { img.get(x - 1, y - 1) as i32 } else { 0 };
+            let up_left = if x > 0 && y > 0 {
+                img.get(x - 1, y - 1) as i32
+            } else {
+                0
+            };
             let predicted = paeth(left, up, up_left);
             let residual = read_se(&mut reader)?;
             let value = predicted as i64 + residual;
             if !(0..=255).contains(&value) {
-                return Err(ImageError::CorruptBitstream { detail: "pixel out of range" });
+                return Err(ImageError::CorruptBitstream {
+                    detail: "pixel out of range",
+                });
             }
             img.set(x, y, value as u8);
         }
@@ -146,7 +162,10 @@ mod tests {
         let img = GrayImage::from_fn(33, 17, |x, y| {
             ((x as u64 * 2654435761 + y as u64 * 40503) >> 7) as u8
         });
-        assert_eq!(decode_gray_lossless(&encode_gray_lossless(&img)).unwrap(), img);
+        assert_eq!(
+            decode_gray_lossless(&encode_gray_lossless(&img)).unwrap(),
+            img
+        );
     }
 
     #[test]

@@ -42,7 +42,7 @@ pub mod lossless;
 pub mod quant;
 pub mod zigzag;
 
-use crate::{GrayImage, ImageError, Rgb, RgbImage, Result};
+use crate::{GrayImage, ImageError, Result, Rgb, RgbImage};
 use bees_runtime::Runtime;
 use bits::{BitReader, BitWriter};
 
@@ -75,7 +75,9 @@ pub fn encode_gray(img: &GrayImage, quality: u8) -> Result<Vec<u8>> {
 pub fn decode_gray(bytes: &[u8]) -> Result<GrayImage> {
     let (magic, width, height, quality, payload) = read_header(bytes)?;
     if magic != MAGIC_GRAY {
-        return Err(ImageError::CorruptBitstream { detail: "not a grayscale bitstream" });
+        return Err(ImageError::CorruptBitstream {
+            detail: "not a grayscale bitstream",
+        });
     }
     let table = quant::luminance_table(quality)?;
     let mut reader = BitReader::new(payload);
@@ -111,7 +113,9 @@ pub fn encode_rgb(img: &RgbImage, quality: u8) -> Result<Vec<u8>> {
 pub fn decode_rgb(bytes: &[u8]) -> Result<RgbImage> {
     let (magic, width, height, quality, payload) = read_header(bytes)?;
     if magic != MAGIC_COLOR {
-        return Err(ImageError::CorruptBitstream { detail: "not a color bitstream" });
+        return Err(ImageError::CorruptBitstream {
+            detail: "not a color bitstream",
+        });
     }
     let lum = quant::luminance_table(quality)?;
     let chrom = quant::chrominance_table(quality)?;
@@ -143,17 +147,23 @@ fn write_header(out: &mut Vec<u8>, magic: u8, width: u32, height: u32, quality: 
 
 fn read_header(bytes: &[u8]) -> Result<(u8, u32, u32, u8, &[u8])> {
     if bytes.len() < 10 {
-        return Err(ImageError::CorruptBitstream { detail: "header truncated" });
+        return Err(ImageError::CorruptBitstream {
+            detail: "header truncated",
+        });
     }
     let magic = bytes[0];
     let width = u32::from_le_bytes(bytes[1..5].try_into().expect("slice is 4 bytes"));
     let height = u32::from_le_bytes(bytes[5..9].try_into().expect("slice is 4 bytes"));
     let quality = bytes[9];
     if width == 0 || height == 0 {
-        return Err(ImageError::CorruptBitstream { detail: "zero dimensions in header" });
+        return Err(ImageError::CorruptBitstream {
+            detail: "zero dimensions in header",
+        });
     }
     if !(1..=100).contains(&quality) {
-        return Err(ImageError::CorruptBitstream { detail: "quality byte out of range" });
+        return Err(ImageError::CorruptBitstream {
+            detail: "quality byte out of range",
+        });
     }
     Ok((magic, width, height, quality, &bytes[10..]))
 }
@@ -175,7 +185,11 @@ impl PlaneView {
     }
 
     fn into_gray(self) -> GrayImage {
-        let data = self.data.iter().map(|&v| v.round().clamp(0.0, 255.0) as u8).collect();
+        let data = self
+            .data
+            .iter()
+            .map(|&v| v.round().clamp(0.0, 255.0) as u8)
+            .collect();
         GrayImage::from_raw(self.width, self.height, data).expect("plane dimensions are valid")
     }
 
@@ -229,16 +243,25 @@ fn decode_plane(
     // block count by the payload before allocating anything.
     let blocks = blocks_x
         .checked_mul(blocks_y)
-        .ok_or(ImageError::CorruptBitstream { detail: "dimension overflow" })?;
+        .ok_or(ImageError::CorruptBitstream {
+            detail: "dimension overflow",
+        })?;
     if blocks > reader.bits_remaining() / 2 + 1 {
         return Err(ImageError::CorruptBitstream {
             detail: "dimensions exceed payload capacity",
         });
     }
-    let pixels = (width as usize)
-        .checked_mul(height as usize)
-        .ok_or(ImageError::CorruptBitstream { detail: "dimension overflow" })?;
-    let mut plane = PlaneView { width, height, data: vec![0.0; pixels] };
+    let pixels =
+        (width as usize)
+            .checked_mul(height as usize)
+            .ok_or(ImageError::CorruptBitstream {
+                detail: "dimension overflow",
+            })?;
+    let mut plane = PlaneView {
+        width,
+        height,
+        data: vec![0.0; pixels],
+    };
     // Stage 1 — entropy decoding is serial (differential DC over one bit
     // stream); collect every block's zigzag scan first.
     let mut prev_dc = 0i32;
@@ -276,11 +299,23 @@ fn decode_plane(
 
 fn split_ycbcr(img: &RgbImage) -> (PlaneView, PlaneView, PlaneView) {
     let (w, h) = img.dimensions();
-    let mut y_plane = PlaneView { width: w, height: h, data: vec![0.0; (w * h) as usize] };
+    let mut y_plane = PlaneView {
+        width: w,
+        height: h,
+        data: vec![0.0; (w * h) as usize],
+    };
     let cw = w.div_ceil(2).max(1);
     let ch = h.div_ceil(2).max(1);
-    let mut cb_plane = PlaneView { width: cw, height: ch, data: vec![0.0; (cw * ch) as usize] };
-    let mut cr_plane = PlaneView { width: cw, height: ch, data: vec![0.0; (cw * ch) as usize] };
+    let mut cb_plane = PlaneView {
+        width: cw,
+        height: ch,
+        data: vec![0.0; (cw * ch) as usize],
+    };
+    let mut cr_plane = PlaneView {
+        width: cw,
+        height: ch,
+        data: vec![0.0; (cw * ch) as usize],
+    };
     for yy in 0..h {
         for xx in 0..w {
             let (y, _, _) = img.get(xx, yy).to_ycbcr();
@@ -360,8 +395,14 @@ mod tests {
             let bytes = encode_gray(&img, q).unwrap();
             let back = decode_gray(&bytes).unwrap();
             let s = metrics::ssim(&img, &back).unwrap();
-            assert!(bytes.len() <= last_size, "size should not grow as quality drops (q={q})");
-            assert!(s <= last_ssim + 0.02, "ssim should not improve as quality drops (q={q})");
+            assert!(
+                bytes.len() <= last_size,
+                "size should not grow as quality drops (q={q})"
+            );
+            assert!(
+                s <= last_ssim + 0.02,
+                "ssim should not improve as quality drops (q={q})"
+            );
             last_size = bytes.len();
             last_ssim = s;
         }
@@ -416,12 +457,16 @@ mod tests {
     #[test]
     fn encoded_color_is_smaller_than_raw_at_moderate_quality() {
         let img = RgbImage::from_fn(128, 128, |x, y| {
-            let v = (128.0 + 50.0 * ((x as f64) * 0.1).sin() + 30.0 * ((y as f64) * 0.13).cos())
-                as u8;
+            let v =
+                (128.0 + 50.0 * ((x as f64) * 0.1).sin() + 30.0 * ((y as f64) * 0.13).cos()) as u8;
             Rgb::new(v, v / 2 + 30, 255 - v)
         });
         let size = encoded_rgb_size(&img, 75).unwrap();
-        assert!(size < img.raw_byte_size() / 4, "{size} vs raw {}", img.raw_byte_size());
+        assert!(
+            size < img.raw_byte_size() / 4,
+            "{size} vs raw {}",
+            img.raw_byte_size()
+        );
     }
 
     #[test]

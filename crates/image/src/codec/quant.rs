@@ -32,10 +32,17 @@ const BASE_CHROMINANCE: [u16; 64] = [
 
 fn scaled(base: &[u16; 64], quality: u8) -> Result<[u16; 64]> {
     if !(1..=100).contains(&quality) {
-        return Err(ImageError::InvalidParameter { name: "quality", value: quality as f64 });
+        return Err(ImageError::InvalidParameter {
+            name: "quality",
+            value: quality as f64,
+        });
     }
     // libjpeg scaling: q<50 -> 5000/q, q>=50 -> 200 - 2q.
-    let scale: u32 = if quality < 50 { 5000 / quality as u32 } else { 200 - 2 * quality as u32 };
+    let scale: u32 = if quality < 50 {
+        5000 / quality as u32
+    } else {
+        200 - 2 * quality as u32
+    };
     let mut out = [0u16; 64];
     for (o, &b) in out.iter_mut().zip(base.iter()) {
         let v = (b as u32 * scale + 50) / 100;

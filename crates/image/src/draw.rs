@@ -104,7 +104,11 @@ pub fn fill_vertical_gradient(img: &mut RgbImage, top: Rgb, bottom: Rgb) {
     for y in 0..img.height() {
         let t = y as f32 / (h - 1) as f32;
         let lerp = |a: u8, b: u8| (a as f32 + t * (b as f32 - a as f32)).round() as u8;
-        let c = Rgb::new(lerp(top.r, bottom.r), lerp(top.g, bottom.g), lerp(top.b, bottom.b));
+        let c = Rgb::new(
+            lerp(top.r, bottom.r),
+            lerp(top.g, bottom.g),
+            lerp(top.b, bottom.b),
+        );
         for x in 0..img.width() {
             img.set(x, y, c);
         }
@@ -143,7 +147,10 @@ pub fn draw_checker(
 ///
 /// Panics if `palette` is empty.
 pub fn posterize(img: &RgbImage, palette: &[Rgb]) -> RgbImage {
-    assert!(!palette.is_empty(), "palette must contain at least one color");
+    assert!(
+        !palette.is_empty(),
+        "palette must contain at least one color"
+    );
     RgbImage::from_fn(img.width(), img.height(), |x, y| {
         let p = img.get(x, y);
         *palette
@@ -243,7 +250,16 @@ mod tests {
     #[test]
     fn checker_alternates_cells() {
         let mut img = blank(8, 8);
-        draw_checker(&mut img, 0, 0, 8, 8, 2, Rgb::new(255, 255, 255), Rgb::new(0, 0, 0));
+        draw_checker(
+            &mut img,
+            0,
+            0,
+            8,
+            8,
+            2,
+            Rgb::new(255, 255, 255),
+            Rgb::new(0, 0, 0),
+        );
         assert_eq!(img.get(0, 0).r, 255);
         assert_eq!(img.get(2, 0).r, 0);
         assert_eq!(img.get(2, 2).r, 255);
@@ -252,7 +268,11 @@ mod tests {
     #[test]
     fn posterize_maps_to_palette_members() {
         let img = RgbImage::from_fn(8, 8, |x, y| Rgb::new((x * 30) as u8, (y * 30) as u8, 99));
-        let palette = [Rgb::new(0, 0, 0), Rgb::new(255, 255, 255), Rgb::new(200, 30, 30)];
+        let palette = [
+            Rgb::new(0, 0, 0),
+            Rgb::new(255, 255, 255),
+            Rgb::new(200, 30, 30),
+        ];
         let out = posterize(&img, &palette);
         for p in out.pixels() {
             assert!(palette.contains(p), "{p:?} not in palette");

@@ -48,7 +48,10 @@ impl fmt::Display for ImageError {
                 write!(f, "invalid image dimensions {width}x{height}")
             }
             ImageError::BufferSizeMismatch { expected, actual } => {
-                write!(f, "pixel buffer length {actual} does not match expected {expected}")
+                write!(
+                    f,
+                    "pixel buffer length {actual} does not match expected {expected}"
+                )
             }
             ImageError::InvalidParameter { name, value } => {
                 write!(f, "parameter `{name}` out of range: {value}")
@@ -74,11 +77,25 @@ mod tests {
     #[test]
     fn display_is_nonempty_and_lowercase() {
         let errors = [
-            ImageError::InvalidDimensions { width: 0, height: 3 },
-            ImageError::BufferSizeMismatch { expected: 12, actual: 9 },
-            ImageError::InvalidParameter { name: "quality", value: 1.4 },
-            ImageError::DimensionMismatch { first: (1, 2), second: (3, 4) },
-            ImageError::CorruptBitstream { detail: "truncated header" },
+            ImageError::InvalidDimensions {
+                width: 0,
+                height: 3,
+            },
+            ImageError::BufferSizeMismatch {
+                expected: 12,
+                actual: 9,
+            },
+            ImageError::InvalidParameter {
+                name: "quality",
+                value: 1.4,
+            },
+            ImageError::DimensionMismatch {
+                first: (1, 2),
+                second: (3, 4),
+            },
+            ImageError::CorruptBitstream {
+                detail: "truncated header",
+            },
         ];
         for e in errors {
             let s = e.to_string();

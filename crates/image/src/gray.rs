@@ -33,7 +33,11 @@ impl GrayImage {
         if width == 0 || height == 0 {
             return Err(ImageError::InvalidDimensions { width, height });
         }
-        Ok(GrayImage { width, height, data: vec![0; width as usize * height as usize] })
+        Ok(GrayImage {
+            width,
+            height,
+            data: vec![0; width as usize * height as usize],
+        })
     }
 
     /// Wraps an existing row-major pixel buffer.
@@ -48,9 +52,16 @@ impl GrayImage {
         }
         let expected = width as usize * height as usize;
         if data.len() != expected {
-            return Err(ImageError::BufferSizeMismatch { expected, actual: data.len() });
+            return Err(ImageError::BufferSizeMismatch {
+                expected,
+                actual: data.len(),
+            });
         }
-        Ok(GrayImage { width, height, data })
+        Ok(GrayImage {
+            width,
+            height,
+            data,
+        })
     }
 
     /// Builds an image by evaluating `f(x, y)` for every pixel.
@@ -67,7 +78,11 @@ impl GrayImage {
                 data.push(f(x, y));
             }
         }
-        GrayImage { width, height, data }
+        GrayImage {
+            width,
+            height,
+            data,
+        }
     }
 
     /// Width in pixels.
@@ -171,7 +186,10 @@ impl GrayImage {
     /// empty (origin outside the image or zero size).
     pub fn crop(&self, x0: u32, y0: u32, w: u32, h: u32) -> Result<GrayImage> {
         if x0 >= self.width || y0 >= self.height || w == 0 || h == 0 {
-            return Err(ImageError::InvalidDimensions { width: w, height: h });
+            return Err(ImageError::InvalidDimensions {
+                width: w,
+                height: h,
+            });
         }
         let w = w.min(self.width - x0);
         let h = h.min(self.height - y0);
@@ -223,7 +241,11 @@ impl GrayF32 {
         if width == 0 || height == 0 {
             return Err(ImageError::InvalidDimensions { width, height });
         }
-        Ok(GrayF32 { width, height, data: vec![0.0; width as usize * height as usize] })
+        Ok(GrayF32 {
+            width,
+            height,
+            data: vec![0.0; width as usize * height as usize],
+        })
     }
 
     /// Wraps an existing row-major sample buffer.
@@ -238,9 +260,16 @@ impl GrayF32 {
         }
         let expected = width as usize * height as usize;
         if data.len() != expected {
-            return Err(ImageError::BufferSizeMismatch { expected, actual: data.len() });
+            return Err(ImageError::BufferSizeMismatch {
+                expected,
+                actual: data.len(),
+            });
         }
-        Ok(GrayF32 { width, height, data })
+        Ok(GrayF32 {
+            width,
+            height,
+            data,
+        })
     }
 
     /// Width in pixels.
@@ -292,7 +321,11 @@ impl GrayF32 {
         GrayImage {
             width: self.width,
             height: self.height,
-            data: self.data.iter().map(|&p| p.round().clamp(0.0, 255.0) as u8).collect(),
+            data: self
+                .data
+                .iter()
+                .map(|&p| p.round().clamp(0.0, 255.0) as u8)
+                .collect(),
         }
     }
 }

@@ -51,7 +51,11 @@ impl IntegralImage {
                 table[y * w1 + x] = table[(y - 1) * w1 + x] + row_sum;
             }
         }
-        IntegralImage { width, height, table }
+        IntegralImage {
+            width,
+            height,
+            table,
+        }
     }
 
     /// Width of the underlying image.
@@ -102,7 +106,10 @@ impl IntegralImage {
 /// Infallible today; returns `Result` for interface stability with the rest
 /// of the crate.
 pub fn integral_pair(src: &GrayImage) -> Result<(IntegralImage, IntegralImage)> {
-    Ok((IntegralImage::from_image(src), IntegralImage::from_image_squared(src)))
+    Ok((
+        IntegralImage::from_image(src),
+        IntegralImage::from_image_squared(src),
+    ))
 }
 
 #[cfg(test)]
@@ -123,9 +130,18 @@ mod tests {
     fn rect_sum_matches_brute_force() {
         let img = GrayImage::from_fn(13, 9, |x, y| ((x * 31 + y * 17) % 251) as u8);
         let ii = IntegralImage::from_image(&img);
-        for (x, y, w, h) in [(0, 0, 13, 9), (2, 3, 4, 4), (12, 8, 1, 1), (5, 0, 20, 2), (0, 7, 3, 9)]
-        {
-            assert_eq!(ii.rect_sum(x, y, w, h), brute_sum(&img, x, y, w, h), "{x},{y},{w},{h}");
+        for (x, y, w, h) in [
+            (0, 0, 13, 9),
+            (2, 3, 4, 4),
+            (12, 8, 1, 1),
+            (5, 0, 20, 2),
+            (0, 7, 3, 9),
+        ] {
+            assert_eq!(
+                ii.rect_sum(x, y, w, h),
+                brute_sum(&img, x, y, w, h),
+                "{x},{y},{w},{h}"
+            );
         }
     }
 
@@ -147,7 +163,12 @@ mod tests {
         let var = ii2.rect_sum(0, 0, 6, 6) as f64 / n - mean * mean;
         // Direct computation.
         let m = img.pixels().iter().map(|&p| p as f64).sum::<f64>() / n;
-        let v = img.pixels().iter().map(|&p| (p as f64 - m).powi(2)).sum::<f64>() / n;
+        let v = img
+            .pixels()
+            .iter()
+            .map(|&p| (p as f64 - m).powi(2))
+            .sum::<f64>()
+            / n;
         assert!((mean - m).abs() < 1e-9);
         assert!((var - v).abs() < 1e-6);
     }

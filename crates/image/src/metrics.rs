@@ -100,8 +100,8 @@ pub fn ssim(a: &GrayImage, b: &GrayImage) -> Result<f64> {
         let va = (mu_aa.pixels()[i] as f64 - ma * ma).max(0.0);
         let vb = (mu_bb.pixels()[i] as f64 - mb * mb).max(0.0);
         let cov = mu_ab.pixels()[i] as f64 - ma * mb;
-        let s = ((2.0 * ma * mb + C1) * (2.0 * cov + C2))
-            / ((ma * ma + mb * mb + C1) * (va + vb + C2));
+        let s =
+            ((2.0 * ma * mb + C1) * (2.0 * cov + C2)) / ((ma * ma + mb * mb + C1) * (va + vb + C2));
         total += s;
     }
     Ok(total / n as f64)
@@ -119,7 +119,10 @@ fn map2<F: Fn(f32, f32) -> f32>(a: &GrayF32, b: &GrayF32, f: F) -> GrayF32 {
 
 fn check_dims(a: &GrayImage, b: &GrayImage) -> Result<()> {
     if a.dimensions() != b.dimensions() {
-        return Err(ImageError::DimensionMismatch { first: a.dimensions(), second: b.dimensions() });
+        return Err(ImageError::DimensionMismatch {
+            first: a.dimensions(),
+            second: b.dimensions(),
+        });
     }
     Ok(())
 }
@@ -149,9 +152,11 @@ mod tests {
     #[test]
     fn psnr_decreases_with_noise() {
         let a = test_image();
-        let noisy1 = GrayImage::from_fn(48, 48, |x, y| a.get(x, y).wrapping_add(((x + y) % 3) as u8));
-        let noisy2 =
-            GrayImage::from_fn(48, 48, |x, y| a.get(x, y).wrapping_add(((x + y) % 23) as u8));
+        let noisy1 =
+            GrayImage::from_fn(48, 48, |x, y| a.get(x, y).wrapping_add(((x + y) % 3) as u8));
+        let noisy2 = GrayImage::from_fn(48, 48, |x, y| {
+            a.get(x, y).wrapping_add(((x + y) % 23) as u8)
+        });
         assert!(psnr(&a, &noisy1).unwrap() > psnr(&a, &noisy2).unwrap());
     }
 
@@ -181,7 +186,10 @@ mod tests {
         });
         let s_mild = ssim(&a, &mild).unwrap();
         let s_harsh = ssim(&a, &harsh).unwrap();
-        assert!(s_mild > s_harsh, "mild {s_mild} should beat harsh {s_harsh}");
+        assert!(
+            s_mild > s_harsh,
+            "mild {s_mild} should beat harsh {s_harsh}"
+        );
         assert!(s_mild > 0.8);
     }
 

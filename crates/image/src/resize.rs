@@ -7,7 +7,7 @@
 //! `1000×500` bitmap to `600×300`. The same definition is reused for
 //! **resolution compression** in Approximate Image Uploading (§III-C).
 
-use crate::{GrayImage, ImageError, Rgb, RgbImage, Result};
+use crate::{GrayImage, ImageError, Result, Rgb, RgbImage};
 
 /// Resizes a grayscale image with bilinear interpolation.
 ///
@@ -124,7 +124,10 @@ pub fn resize_bilinear_rgb(src: &RgbImage, width: u32, height: u32) -> Result<Rg
 /// [`ImageError::InvalidDimensions`] when the result would be empty.
 pub fn downsample_box(src: &GrayImage, factor: u32) -> Result<GrayImage> {
     if factor == 0 {
-        return Err(ImageError::InvalidParameter { name: "factor", value: 0.0 });
+        return Err(ImageError::InvalidParameter {
+            name: "factor",
+            value: 0.0,
+        });
     }
     let width = src.width() / factor;
     let height = src.height() / factor;
@@ -156,7 +159,10 @@ pub fn downsample_box(src: &GrayImage, factor: u32) -> Result<GrayImage> {
 /// Returns [`ImageError::InvalidParameter`] unless `0.0 <= c < 1.0`.
 pub fn compressed_dimensions(width: u32, height: u32, c: f64) -> Result<(u32, u32)> {
     if !(0.0..1.0).contains(&c) {
-        return Err(ImageError::InvalidParameter { name: "compression_proportion", value: c });
+        return Err(ImageError::InvalidParameter {
+            name: "compression_proportion",
+            value: c,
+        });
     }
     let w = ((width as f64 * (1.0 - c)).round() as u32).max(1);
     let h = ((height as f64 * (1.0 - c)).round() as u32).max(1);
@@ -248,7 +254,10 @@ mod tests {
         let big = resize_bilinear(&img, 9, 9).unwrap();
         assert_eq!(big.dimensions(), (9, 9));
         // All values stay within the source min/max range.
-        let (mn, mx) = img.pixels().iter().fold((255u8, 0u8), |(a, b), &p| (a.min(p), b.max(p)));
+        let (mn, mx) = img
+            .pixels()
+            .iter()
+            .fold((255u8, 0u8), |(a, b), &p| (a.min(p), b.max(p)));
         assert!(big.pixels().iter().all(|&p| p >= mn && p <= mx));
     }
 

@@ -100,7 +100,11 @@ impl RgbImage {
         if width == 0 || height == 0 {
             return Err(ImageError::InvalidDimensions { width, height });
         }
-        Ok(RgbImage { width, height, data: vec![Rgb::default(); width as usize * height as usize] })
+        Ok(RgbImage {
+            width,
+            height,
+            data: vec![Rgb::default(); width as usize * height as usize],
+        })
     }
 
     /// Builds an image by evaluating `f(x, y)` for every pixel.
@@ -116,7 +120,11 @@ impl RgbImage {
                 data.push(f(x, y));
             }
         }
-        RgbImage { width, height, data }
+        RgbImage {
+            width,
+            height,
+            data,
+        }
     }
 
     /// Width in pixels.
@@ -205,7 +213,12 @@ mod tests {
 
     #[test]
     fn ycbcr_roundtrip_is_close() {
-        for &(r, g, b) in &[(0u8, 0u8, 0u8), (255, 255, 255), (200, 30, 90), (12, 250, 128)] {
+        for &(r, g, b) in &[
+            (0u8, 0u8, 0u8),
+            (255, 255, 255),
+            (200, 30, 90),
+            (12, 250, 128),
+        ] {
             let p = Rgb::new(r, g, b);
             let (y, cb, cr) = p.to_ycbcr();
             let q = Rgb::from_ycbcr(y, cb, cr);

@@ -32,7 +32,10 @@ pub struct LinearIndex {
 impl LinearIndex {
     /// Creates an empty index with the given similarity configuration.
     pub fn new(config: SimilarityConfig) -> Self {
-        LinearIndex { entries: Vec::new(), config }
+        LinearIndex {
+            entries: Vec::new(),
+            config,
+        }
     }
 
     /// Iterates over stored entries.
@@ -76,7 +79,10 @@ impl FeatureIndex for LinearIndex {
             .iter()
             .filter_map(|e| {
                 let s = jaccard_similarity(query, &e.features, &self.config);
-                (s > 0.0).then_some(QueryHit { id: e.id, similarity: s })
+                (s > 0.0).then_some(QueryHit {
+                    id: e.id,
+                    similarity: s,
+                })
             })
             .collect();
         rank_hits(hits, k)

@@ -181,7 +181,10 @@ impl FeatureIndex for MihIndex {
             // Vector features: no word structure, fall back to a full scan.
             rt.par_map(&self.entries, |e| {
                 let s = jaccard_similarity(query, &e.features, &self.config);
-                (s > 0.0).then_some(QueryHit { id: e.id, similarity: s })
+                (s > 0.0).then_some(QueryHit {
+                    id: e.id,
+                    similarity: s,
+                })
             })
             .into_iter()
             .flatten()
@@ -235,7 +238,10 @@ mod tests {
                     BinaryDescriptor::from_bytes(bytes)
                 })
                 .collect();
-            ImageFeatures { keypoints: f.keypoints.clone(), descriptors: Descriptors::Binary(out) }
+            ImageFeatures {
+                keypoints: f.keypoints.clone(),
+                descriptors: Descriptors::Binary(out),
+            }
         } else {
             f.clone()
         }
@@ -248,7 +254,10 @@ mod tests {
         let f = random_features(&mut rng, 20);
         idx.insert(ImageId(1), f.clone());
         for _ in 0..10 {
-            idx.insert(ImageId(rng.gen_range(2..100)), random_features(&mut rng, 20));
+            idx.insert(
+                ImageId(rng.gen_range(2..100)),
+                random_features(&mut rng, 20),
+            );
         }
         let hit = idx.max_similarity(&f).unwrap();
         assert_eq!(hit.id, ImageId(1));
@@ -262,8 +271,7 @@ mod tests {
         let cfg = SimilarityConfig::default();
         let mut mih = MihIndex::new(cfg);
         let mut lin = LinearIndex::new(cfg);
-        let originals: Vec<ImageFeatures> =
-            (0..8).map(|_| random_features(&mut rng, 15)).collect();
+        let originals: Vec<ImageFeatures> = (0..8).map(|_| random_features(&mut rng, 15)).collect();
         for (i, f) in originals.iter().enumerate() {
             mih.insert(ImageId(i as u64), f.clone());
             lin.insert(ImageId(i as u64), f.clone());

@@ -57,9 +57,18 @@ mod tests {
     #[test]
     fn rank_hits_orders_and_truncates() {
         let hits = vec![
-            QueryHit { id: ImageId(3), similarity: 0.5 },
-            QueryHit { id: ImageId(1), similarity: 0.9 },
-            QueryHit { id: ImageId(2), similarity: 0.5 },
+            QueryHit {
+                id: ImageId(3),
+                similarity: 0.5,
+            },
+            QueryHit {
+                id: ImageId(1),
+                similarity: 0.9,
+            },
+            QueryHit {
+                id: ImageId(2),
+                similarity: 0.5,
+            },
         ];
         let ranked = rank_hits(hits, 2);
         assert_eq!(ranked.len(), 2);

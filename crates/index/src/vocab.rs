@@ -36,7 +36,12 @@ pub struct VocabConfig {
 
 impl Default for VocabConfig {
     fn default() -> Self {
-        VocabConfig { branching: 8, depth: 3, iterations: 6, seed: 0x70CA_B }
+        VocabConfig {
+            branching: 8,
+            depth: 3,
+            iterations: 6,
+            seed: 0x70CA_B,
+        }
     }
 }
 
@@ -63,14 +68,20 @@ impl Vocabulary {
     ///
     /// Panics if `sample` is empty or the config has zero branching/depth.
     pub fn train(sample: &[BinaryDescriptor], config: VocabConfig) -> Self {
-        assert!(!sample.is_empty(), "cannot train a vocabulary on an empty sample");
+        assert!(
+            !sample.is_empty(),
+            "cannot train a vocabulary on an empty sample"
+        );
         assert!(config.branching >= 2, "branching must be at least 2");
         assert!(config.depth >= 1, "depth must be at least 1");
         let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
         let refs: Vec<&BinaryDescriptor> = sample.iter().collect();
         let mut next_word = 0usize;
         let roots = split(&refs, config.depth, &config, &mut rng, &mut next_word);
-        Vocabulary { roots, n_words: next_word }
+        Vocabulary {
+            roots,
+            n_words: next_word,
+        }
     }
 
     /// Number of leaf words.
@@ -139,8 +150,12 @@ fn split(
         }
         // Update: per-bit majority vote within each cluster.
         for (j, centroid) in centroids.iter_mut().enumerate() {
-            let members: Vec<&&BinaryDescriptor> =
-                points.iter().zip(&assignment).filter(|(_, &a)| a == j).map(|(p, _)| p).collect();
+            let members: Vec<&&BinaryDescriptor> = points
+                .iter()
+                .zip(&assignment)
+                .filter(|(_, &a)| a == j)
+                .map(|(p, _)| p)
+                .collect();
             if members.is_empty() {
                 continue;
             }
@@ -176,10 +191,18 @@ fn split(
             if depth == 1 || members.len() <= 1 {
                 let word = *next_word;
                 *next_word += 1;
-                Node { centroid, children: Vec::new(), word }
+                Node {
+                    centroid,
+                    children: Vec::new(),
+                    word,
+                }
             } else {
                 let children = split(&members, depth - 1, config, rng, next_word);
-                Node { centroid, children, word: usize::MAX }
+                Node {
+                    centroid,
+                    children,
+                    word: usize::MAX,
+                }
             }
         })
         .collect()
@@ -294,7 +317,10 @@ impl FeatureIndex for VocabIndex {
                 .iter()
                 .filter_map(|e| {
                     let s = jaccard_similarity(query, &e.features, &self.config);
-                    (s > 0.0).then_some(QueryHit { id: e.id, similarity: s })
+                    (s > 0.0).then_some(QueryHit {
+                        id: e.id,
+                        similarity: s,
+                    })
                 })
                 .collect()
         };
@@ -364,7 +390,10 @@ mod tests {
                 same += 1;
             }
         }
-        assert!(same * 2 > trials, "only {same}/{trials} stable under 1-bit noise");
+        assert!(
+            same * 2 > trials,
+            "only {same}/{trials} stable under 1-bit noise"
+        );
     }
 
     #[test]
@@ -372,8 +401,9 @@ mod tests {
         let v = trained_vocab(4);
         let mut idx = VocabIndex::new(SimilarityConfig::default(), v);
         let mut rng = ChaCha8Rng::seed_from_u64(5);
-        let fs: Vec<ImageFeatures> =
-            (0..6).map(|_| features(random_descriptors(&mut rng, 20))).collect();
+        let fs: Vec<ImageFeatures> = (0..6)
+            .map(|_| features(random_descriptors(&mut rng, 20)))
+            .collect();
         for (i, f) in fs.iter().enumerate() {
             idx.insert(ImageId(i as u64), f.clone());
         }
@@ -394,7 +424,10 @@ mod tests {
         idx.insert(ImageId(1), f1.clone());
         idx.insert(ImageId(1), f2.clone());
         assert_eq!(idx.len(), 1);
-        assert!(idx.max_similarity(&f1).is_none(), "old words must be unindexed");
+        assert!(
+            idx.max_similarity(&f1).is_none(),
+            "old words must be unindexed"
+        );
         assert!((idx.max_similarity(&f2).unwrap().similarity - 1.0).abs() < 1e-12);
     }
 
@@ -410,7 +443,11 @@ mod tests {
         // but the exact rescoring keeps false hits near zero similarity.
         let probe = features(random_descriptors(&mut rng, 15));
         if let Some(hit) = idx.max_similarity(&probe) {
-            assert!(hit.similarity < 0.2, "random probe scored {}", hit.similarity);
+            assert!(
+                hit.similarity < 0.2,
+                "random probe scored {}",
+                hit.similarity
+            );
         }
     }
 

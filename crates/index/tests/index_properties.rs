@@ -27,7 +27,9 @@ fn random_features(rng: &mut ChaCha8Rng, n: usize) -> ImageFeatures {
 /// Flips up to `k` bits per descriptor (k <= 3 keeps the MIH pigeonhole
 /// guarantee: some 64-bit word stays identical).
 fn perturb(f: &ImageFeatures, rng: &mut ChaCha8Rng, k: usize) -> ImageFeatures {
-    let Descriptors::Binary(descs) = &f.descriptors else { unreachable!() };
+    let Descriptors::Binary(descs) = &f.descriptors else {
+        unreachable!()
+    };
     let out: Vec<BinaryDescriptor> = descs
         .iter()
         .map(|d| {
@@ -39,7 +41,10 @@ fn perturb(f: &ImageFeatures, rng: &mut ChaCha8Rng, k: usize) -> ImageFeatures {
             BinaryDescriptor::from_bytes(bytes)
         })
         .collect();
-    ImageFeatures { keypoints: f.keypoints.clone(), descriptors: Descriptors::Binary(out) }
+    ImageFeatures {
+        keypoints: f.keypoints.clone(),
+        descriptors: Descriptors::Binary(out),
+    }
 }
 
 proptest! {

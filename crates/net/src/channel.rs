@@ -32,23 +32,37 @@ pub struct Channel {
 impl Channel {
     /// Creates a channel over the given trace with the default stall limit.
     pub fn new(trace: BandwidthTrace) -> Self {
-        Channel { trace, stall_limit_s: DEFAULT_STALL_LIMIT_S }
+        Channel {
+            trace,
+            stall_limit_s: DEFAULT_STALL_LIMIT_S,
+        }
     }
 
     /// Overrides the stall limit in seconds.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the limit is not finite and positive.
-    pub fn with_stall_limit(mut self, limit_s: f64) -> Self {
-        assert!(limit_s.is_finite() && limit_s > 0.0, "stall limit must be positive");
+    /// Returns [`NetError::InvalidParameter`] if the limit is not finite
+    /// and positive.
+    pub fn with_stall_limit(mut self, limit_s: f64) -> Result<Self> {
+        if !limit_s.is_finite() || limit_s <= 0.0 {
+            return Err(NetError::InvalidParameter {
+                name: "stall_limit_s",
+                value: limit_s,
+            });
+        }
         self.stall_limit_s = limit_s;
-        self
+        Ok(self)
     }
 
     /// The underlying bandwidth trace.
     pub fn trace(&self) -> &BandwidthTrace {
         &self.trace
+    }
+
+    /// The stall limit in seconds.
+    pub fn stall_limit_s(&self) -> f64 {
+        self.stall_limit_s
     }
 
     /// Computes how many seconds a transfer of `bytes` takes when it starts
@@ -69,7 +83,10 @@ impl Channel {
         let mut t = start_s;
         loop {
             if t - start_s > self.stall_limit_s {
-                return Err(NetError::Stalled { bytes, waited_seconds: t - start_s });
+                return Err(NetError::Stalled {
+                    bytes,
+                    waited_seconds: t - start_s,
+                });
             }
             let bps = self.trace.bps_at(t);
             let mut seg_end = self.trace.segment_end(t);
@@ -94,6 +111,80 @@ impl Channel {
         }
     }
 
+    /// Integrates the trace from `start_s` until either `bytes` have been
+    /// delivered or `deadline_s` (absolute simulated time) is reached,
+    /// whichever comes first. The channel's stall limit always applies as
+    /// a backstop, so the call terminates even with an infinite deadline
+    /// over an all-zero trace.
+    ///
+    /// Unlike [`transfer_duration`](Channel::transfer_duration) this never
+    /// errors: an interrupted transfer is an answer, not a failure — the
+    /// fault layer and retry logic decide what to do with the partial
+    /// progress.
+    pub fn transfer_progress(
+        &self,
+        start_s: f64,
+        bytes: usize,
+        deadline_s: f64,
+    ) -> TransferProgress {
+        if bytes == 0 {
+            return TransferProgress {
+                delivered_bytes: 0,
+                end_s: start_s,
+                active_airtime_s: 0.0,
+                completed: true,
+            };
+        }
+        let hard_end = deadline_s.min(start_s + self.stall_limit_s);
+        if hard_end <= start_s {
+            return TransferProgress {
+                delivered_bytes: 0,
+                end_s: start_s,
+                active_airtime_s: 0.0,
+                completed: false,
+            };
+        }
+        let total_bits = bytes as f64 * 8.0;
+        let mut bits_done = 0.0;
+        let mut airtime = 0.0;
+        let mut t = start_s;
+        while t < hard_end {
+            let bps = self.trace.bps_at(t);
+            let mut seg_end = self.trace.segment_end(t).min(hard_end);
+            if seg_end <= t {
+                seg_end = next_after(t).min(hard_end);
+                if seg_end <= t {
+                    // `hard_end` is within one representable step of `t`:
+                    // no measurable span remains.
+                    break;
+                }
+            }
+            if bps <= 0.0 {
+                t = seg_end;
+                continue;
+            }
+            let seg_span = seg_end - t;
+            let needed = (total_bits - bits_done) / bps;
+            if needed <= seg_span {
+                return TransferProgress {
+                    delivered_bytes: bytes,
+                    end_s: t + needed,
+                    active_airtime_s: airtime + needed,
+                    completed: true,
+                };
+            }
+            bits_done += bps * seg_span;
+            airtime += seg_span;
+            t = seg_end;
+        }
+        TransferProgress {
+            delivered_bytes: ((bits_done / 8.0).floor() as usize).min(bytes),
+            end_s: hard_end,
+            active_airtime_s: airtime,
+            completed: false,
+        }
+    }
+
     /// Mean goodput in bits per second over `[start_s, start_s + span_s)`,
     /// sampled per trace segment. Useful for reporting.
     pub fn mean_bps(&self, start_s: f64, span_s: f64) -> f64 {
@@ -102,17 +193,48 @@ impl Channel {
         }
         let mut t = start_s;
         let end = start_s + span_s;
+        // Far from the origin `start_s + span_s` rounds to a representable
+        // value whose distance from `start_s` can differ from `span_s` by
+        // up to an ULP — averaging over the *effective* width keeps the
+        // mean inside the trace's range. A span below the local resolution
+        // degenerates to a point sample.
+        let width = end - start_s;
+        if width <= 0.0 {
+            return self.trace.bps_at(start_s);
+        }
         let mut bit_total = 0.0;
         while t < end {
             let mut seg_end = self.trace.segment_end(t).min(end);
             if seg_end <= t {
-                seg_end = next_after(t).min(end).max(t + f64::MIN_POSITIVE);
+                seg_end = next_after(t).min(end);
+                if seg_end <= t {
+                    // `end` is within one representable step of `t`: the
+                    // remaining sliver has zero measurable width. Account
+                    // for it at the current rate and stop, rather than
+                    // looping on a boundary that cannot advance.
+                    bit_total += self.trace.bps_at(t) * (end - t);
+                    break;
+                }
             }
             bit_total += self.trace.bps_at(t) * (seg_end - t);
             t = seg_end;
         }
-        bit_total / span_s
+        bit_total / width
     }
+}
+
+/// Partial-progress result of [`Channel::transfer_progress`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TransferProgress {
+    /// Whole bytes delivered by the time the integration stopped.
+    pub delivered_bytes: usize,
+    /// Absolute simulated time at which the integration stopped.
+    pub end_s: f64,
+    /// Seconds during which the trace was actually carrying bits
+    /// (excludes dead air).
+    pub active_airtime_s: f64,
+    /// Whether every requested byte was delivered before the deadline.
+    pub completed: bool,
 }
 
 /// The smallest representable time strictly after `t` at `t`'s magnitude
@@ -165,7 +287,9 @@ mod tests {
 
     #[test]
     fn all_zero_trace_stalls() {
-        let ch = Channel::new(BandwidthTrace::constant(0.0).unwrap()).with_stall_limit(100.0);
+        let ch = Channel::new(BandwidthTrace::constant(0.0).unwrap())
+            .with_stall_limit(100.0)
+            .unwrap();
         // Constant 0 has an infinite segment; ensure we bail out rather
         // than loop forever.
         let err = ch.transfer_duration(0.0, 10);
@@ -175,8 +299,11 @@ mod tests {
     #[test]
     fn zero_schedule_trace_stalls() {
         let tr = BandwidthTrace::schedule(vec![(1.0, 0.0)]).unwrap();
-        let ch = Channel::new(tr).with_stall_limit(50.0);
-        assert!(matches!(ch.transfer_duration(0.0, 10), Err(NetError::Stalled { .. })));
+        let ch = Channel::new(tr).with_stall_limit(50.0).unwrap();
+        assert!(matches!(
+            ch.transfer_duration(0.0, 10),
+            Err(NetError::Stalled { .. })
+        ));
     }
 
     #[test]
@@ -219,5 +346,120 @@ mod tests {
         let small = ch.transfer_duration(0.0, 10_000).unwrap();
         let large = ch.transfer_duration(0.0, 500_000).unwrap();
         assert!(large > small);
+    }
+
+    #[test]
+    fn invalid_stall_limit_is_an_error_not_a_panic() {
+        let mk = || Channel::new(BandwidthTrace::constant(1000.0).unwrap());
+        assert!(matches!(
+            mk().with_stall_limit(0.0),
+            Err(NetError::InvalidParameter {
+                name: "stall_limit_s",
+                ..
+            })
+        ));
+        assert!(mk().with_stall_limit(-5.0).is_err());
+        assert!(mk().with_stall_limit(f64::NAN).is_err());
+        assert!(mk().with_stall_limit(f64::INFINITY).is_err());
+        let ch = mk().with_stall_limit(42.0).unwrap();
+        assert_eq!(ch.stall_limit_s(), 42.0);
+    }
+
+    #[test]
+    fn progress_matches_duration_when_unbounded() {
+        let ch = Channel::new(BandwidthTrace::disaster_wifi(11));
+        for (start, bytes) in [(0.0, 40_000usize), (13.7, 250_000), (91.2, 1_000)] {
+            let d = ch.transfer_duration(start, bytes).unwrap();
+            let p = ch.transfer_progress(start, bytes, f64::INFINITY);
+            assert!(p.completed);
+            assert_eq!(p.delivered_bytes, bytes);
+            assert!(
+                (p.end_s - start - d).abs() < 1e-9,
+                "{} vs {d}",
+                p.end_s - start
+            );
+            assert!(p.active_airtime_s <= d + 1e-9);
+        }
+    }
+
+    #[test]
+    fn progress_respects_deadline() {
+        let ch = Channel::new(BandwidthTrace::constant(8_000.0).unwrap());
+        // 10 KB needs 10 s; a deadline at 4 s delivers 4 KB.
+        let p = ch.transfer_progress(0.0, 10_000, 4.0);
+        assert!(!p.completed);
+        assert_eq!(p.delivered_bytes, 4_000);
+        assert_eq!(p.end_s, 4.0);
+        assert!((p.active_airtime_s - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn progress_with_past_deadline_delivers_nothing() {
+        let ch = Channel::new(BandwidthTrace::constant(8_000.0).unwrap());
+        let p = ch.transfer_progress(10.0, 1_000, 10.0);
+        assert!(!p.completed);
+        assert_eq!(p.delivered_bytes, 0);
+        assert_eq!(p.end_s, 10.0);
+        // Zero bytes complete instantly even with a dead deadline.
+        assert!(ch.transfer_progress(10.0, 0, 5.0).completed);
+    }
+
+    #[test]
+    fn progress_counts_airtime_not_dead_air() {
+        // 1 s of dead air, then 1 s at 8 Kbps.
+        let tr = BandwidthTrace::schedule(vec![(1.0, 0.0), (1.0, 8_000.0)]).unwrap();
+        let ch = Channel::new(tr);
+        let p = ch.transfer_progress(0.0, 1_000, f64::INFINITY);
+        assert!(p.completed);
+        assert!((p.end_s - 2.0).abs() < 1e-9);
+        assert!(
+            (p.active_airtime_s - 1.0).abs() < 1e-9,
+            "airtime {}",
+            p.active_airtime_s
+        );
+    }
+
+    #[test]
+    fn progress_stall_limit_backstops_infinite_deadline() {
+        let ch = Channel::new(BandwidthTrace::constant(0.0).unwrap())
+            .with_stall_limit(30.0)
+            .unwrap();
+        let p = ch.transfer_progress(5.0, 1_000, f64::INFINITY);
+        assert!(!p.completed);
+        assert_eq!(p.delivered_bytes, 0);
+        assert_eq!(p.end_s, 35.0);
+        assert_eq!(p.active_airtime_s, 0.0);
+    }
+
+    #[test]
+    fn mean_bps_terminates_at_large_offsets() {
+        // Regression: far from the origin, floating-point cycle arithmetic
+        // can round `segment_end(t)` onto `t` while the window end sits
+        // within one representable step — the old stepping could then spin
+        // without advancing. Sweep windows at increasingly extreme offsets
+        // with tight spans and check the loop both terminates and stays
+        // within the trace's range.
+        let traces = [
+            BandwidthTrace::disaster_wifi(17),
+            BandwidthTrace::schedule(vec![
+                (0.3, 120_000.0),
+                (0.777_777_777_777, 40_000.0),
+                (1.123_456_789, 0.0),
+            ])
+            .unwrap(),
+        ];
+        for trace in traces {
+            let ch = Channel::new(trace);
+            for exp in 6..=15 {
+                let start = 10f64.powi(exp);
+                for span in [1e-9, 1e-3, 0.5, 3.7] {
+                    let m = ch.mean_bps(start, span);
+                    assert!(
+                        m.is_finite() && (0.0..=512_000.0).contains(&m),
+                        "mean {m} at 1e{exp}"
+                    );
+                }
+            }
+        }
     }
 }

@@ -40,7 +40,10 @@ impl SimClock {
     /// Panics if `dt` is negative or not finite (simulated time never runs
     /// backwards).
     pub fn advance(&mut self, dt: f64) {
-        assert!(dt.is_finite() && dt >= 0.0, "clock can only advance forward, got {dt}");
+        assert!(
+            dt.is_finite() && dt >= 0.0,
+            "clock can only advance forward, got {dt}"
+        );
         self.now_s += dt;
     }
 
@@ -51,7 +54,11 @@ impl SimClock {
     ///
     /// Panics if `t < now()`.
     pub fn advance_to(&mut self, t: f64) {
-        assert!(t >= self.now_s, "cannot rewind the clock from {} to {t}", self.now_s);
+        assert!(
+            t >= self.now_s,
+            "cannot rewind the clock from {} to {t}",
+            self.now_s
+        );
         self.now_s = t;
     }
 }

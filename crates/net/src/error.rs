@@ -20,6 +20,15 @@ pub enum NetError {
         /// Simulated seconds waited before giving up.
         waited_seconds: f64,
     },
+    /// A resumable transfer gave up after exhausting its retry budget.
+    RetriesExhausted {
+        /// Attempts made before giving up.
+        attempts: u32,
+        /// Bytes confirmed delivered across all attempts.
+        delivered_bytes: usize,
+        /// Bytes that were requested in total.
+        total_bytes: usize,
+    },
 }
 
 impl fmt::Display for NetError {
@@ -28,8 +37,25 @@ impl fmt::Display for NetError {
             NetError::InvalidParameter { name, value } => {
                 write!(f, "parameter `{name}` out of range: {value}")
             }
-            NetError::Stalled { bytes, waited_seconds } => {
-                write!(f, "transfer of {bytes} bytes stalled after {waited_seconds} simulated seconds")
+            NetError::Stalled {
+                bytes,
+                waited_seconds,
+            } => {
+                write!(
+                    f,
+                    "transfer of {bytes} bytes stalled after {waited_seconds} simulated seconds"
+                )
+            }
+            NetError::RetriesExhausted {
+                attempts,
+                delivered_bytes,
+                total_bytes,
+            } => {
+                write!(
+                    f,
+                    "retries exhausted after {attempts} attempts: \
+                     {delivered_bytes} of {total_bytes} bytes delivered"
+                )
             }
         }
     }
@@ -43,10 +69,23 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        let e = NetError::InvalidParameter { name: "bps", value: -1.0 };
+        let e = NetError::InvalidParameter {
+            name: "bps",
+            value: -1.0,
+        };
         assert!(e.to_string().contains("bps"));
-        let s = NetError::Stalled { bytes: 100, waited_seconds: 3600.0 };
+        let s = NetError::Stalled {
+            bytes: 100,
+            waited_seconds: 3600.0,
+        };
         assert!(s.to_string().contains("stalled"));
+        let r = NetError::RetriesExhausted {
+            attempts: 4,
+            delivered_bytes: 10,
+            total_bytes: 100,
+        };
+        assert!(r.to_string().contains("4 attempts"));
+        assert!(r.to_string().contains("10 of 100"));
     }
 
     #[test]

@@ -12,7 +12,13 @@
 //! * [`Channel`] — computes how long a payload of N bytes takes to transfer
 //!   starting at a given instant by integrating the trace; transfer
 //!   durations feed both the delay metrics (Fig. 11) and the radio energy
-//!   model.
+//!   model,
+//! * [`FaultModel`] / [`FaultyChannel`] — deterministic fault injection
+//!   (blackout windows, mid-flight drops, timeouts) layered on any trace,
+//!   reporting partial progress per attempt,
+//! * [`RetryPolicy`] — energy-aware retry budgets with deterministic
+//!   exponential backoff and seeded jitter, consumed by the resumable
+//!   transfer path in `bees-core`.
 //!
 //! # Examples
 //!
@@ -30,12 +36,16 @@
 mod channel;
 mod clock;
 mod error;
+mod fault;
+mod retry;
 mod trace;
 pub mod wire;
 
-pub use channel::Channel;
+pub use channel::{Channel, TransferProgress, DEFAULT_STALL_LIMIT_S};
 pub use clock::SimClock;
 pub use error::NetError;
+pub use fault::{FaultKind, FaultModel, FaultyChannel, TransferOutcome};
+pub use retry::RetryPolicy;
 pub use trace::BandwidthTrace;
 
 /// Shorthand result type for network operations.

@@ -1,0 +1,257 @@
+//! Energy-aware retry policy with deterministic backoff.
+//!
+//! The paper's adaptation philosophy — spend less as the battery drains —
+//! is applied to retries too (EAAS-style): the retry budget for a transfer
+//! shrinks linearly with `Ebat`, so a nearly-dead phone gives up quickly
+//! instead of burning its last joules on a hopeless link. Backoff is
+//! exponential with *seeded* jitter, so sweeps remain reproducible.
+
+use crate::trace::{hash64, unit};
+use crate::{NetError, Result};
+use serde::{Deserialize, Serialize};
+
+/// Salt mixed into the per-attempt jitter hash.
+const JITTER_SALT: u64 = 0x1177_E200_0000_0003;
+
+/// Governs chunked resumable transfers: how many attempts, how long each
+/// may run, how long to wait between them, and the resume granularity.
+///
+/// # Examples
+///
+/// ```
+/// use bees_net::RetryPolicy;
+///
+/// let policy = RetryPolicy::default();
+/// // Full battery gets the whole budget, an empty one a single attempt.
+/// assert_eq!(policy.budget(1.0), policy.max_attempts);
+/// assert_eq!(policy.budget(0.0), 1);
+/// // Backoff grows but is capped and deterministic per (seed, attempt).
+/// assert_eq!(policy.backoff_s(3, 7), policy.backoff_s(3, 7));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RetryPolicy {
+    /// Attempt ceiling at full battery; the effective budget scales down
+    /// linearly with `Ebat` (see [`budget`](RetryPolicy::budget)).
+    pub max_attempts: u32,
+    /// Backoff before the second attempt, in seconds.
+    pub base_backoff_s: f64,
+    /// Multiplier applied to the backoff after each failed attempt.
+    pub backoff_factor: f64,
+    /// Ceiling on a single backoff wait, in seconds.
+    pub max_backoff_s: f64,
+    /// Jitter amplitude as a fraction of the backoff (`0.25` means
+    /// ±12.5 %); sampled deterministically from the seed and attempt.
+    pub jitter: f64,
+    /// Wall-clock bound on a single attempt, in simulated seconds; `None`
+    /// leaves only the channel's stall limit.
+    pub attempt_timeout_s: Option<f64>,
+    /// Resume granularity: bytes delivered past the last whole chunk are
+    /// retransmitted on the next attempt (torn-chunk discard).
+    pub chunk_bytes: usize,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 6,
+            base_backoff_s: 0.5,
+            backoff_factor: 2.0,
+            max_backoff_s: 30.0,
+            jitter: 0.25,
+            attempt_timeout_s: Some(90.0),
+            chunk_bytes: 16 * 1024,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Checks every field.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::InvalidParameter`] naming the offending field.
+    pub fn validate(&self) -> Result<()> {
+        if self.max_attempts == 0 {
+            return Err(NetError::InvalidParameter {
+                name: "max_attempts",
+                value: 0.0,
+            });
+        }
+        if !self.base_backoff_s.is_finite() || self.base_backoff_s < 0.0 {
+            return Err(NetError::InvalidParameter {
+                name: "base_backoff_s",
+                value: self.base_backoff_s,
+            });
+        }
+        if !self.backoff_factor.is_finite() || self.backoff_factor < 1.0 {
+            return Err(NetError::InvalidParameter {
+                name: "backoff_factor",
+                value: self.backoff_factor,
+            });
+        }
+        if !self.max_backoff_s.is_finite() || self.max_backoff_s < 0.0 {
+            return Err(NetError::InvalidParameter {
+                name: "max_backoff_s",
+                value: self.max_backoff_s,
+            });
+        }
+        if !self.jitter.is_finite() || !(0.0..=1.0).contains(&self.jitter) {
+            return Err(NetError::InvalidParameter {
+                name: "jitter",
+                value: self.jitter,
+            });
+        }
+        if let Some(t) = self.attempt_timeout_s {
+            if !t.is_finite() || t <= 0.0 {
+                return Err(NetError::InvalidParameter {
+                    name: "attempt_timeout_s",
+                    value: t,
+                });
+            }
+        }
+        if self.chunk_bytes == 0 {
+            return Err(NetError::InvalidParameter {
+                name: "chunk_bytes",
+                value: 0.0,
+            });
+        }
+        Ok(())
+    }
+
+    /// The attempt budget at battery fraction `ebat` (clamped to
+    /// `[0, 1]`): `1 + round((max_attempts - 1) · Ebat)`. Always at least
+    /// one attempt, the full `max_attempts` only on a full battery.
+    pub fn budget(&self, ebat: f64) -> u32 {
+        let ebat = if ebat.is_finite() {
+            ebat.clamp(0.0, 1.0)
+        } else {
+            0.0
+        };
+        1 + ((self.max_attempts - 1) as f64 * ebat).round() as u32
+    }
+
+    /// The backoff before retry number `attempt` (0 = the wait after the
+    /// first failure), with deterministic jitter drawn from `seed`:
+    /// `min(base · factor^attempt, max) · (1 + jitter · (u − ½))` where
+    /// `u` is uniform in `[0, 1)`.
+    pub fn backoff_s(&self, attempt: u32, seed: u64) -> f64 {
+        let exp = attempt.min(62) as i32;
+        let raw = (self.base_backoff_s * self.backoff_factor.powi(exp)).min(self.max_backoff_s);
+        let h = hash64(
+            seed ^ (attempt as u64)
+                .wrapping_mul(0xBF58_476D_1CE4_E5B9)
+                .wrapping_add(JITTER_SALT),
+        );
+        raw * (1.0 + self.jitter * (unit(h) - 0.5))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn budget_scales_with_battery() {
+        let p = RetryPolicy::default();
+        assert_eq!(p.budget(1.0), 6);
+        assert_eq!(p.budget(0.0), 1);
+        assert_eq!(p.budget(-3.0), 1);
+        assert_eq!(p.budget(7.0), 6);
+        assert_eq!(p.budget(f64::NAN), 1);
+        let mut prev = 0;
+        for k in 0..=10 {
+            let b = p.budget(k as f64 / 10.0);
+            assert!(b >= prev, "budget must be monotone in Ebat");
+            assert!((1..=6).contains(&b));
+            prev = b;
+        }
+    }
+
+    #[test]
+    fn backoff_grows_and_caps() {
+        let p = RetryPolicy {
+            jitter: 0.0,
+            ..RetryPolicy::default()
+        };
+        assert!((p.backoff_s(0, 1) - 0.5).abs() < 1e-12);
+        assert!((p.backoff_s(1, 1) - 1.0).abs() < 1e-12);
+        assert!((p.backoff_s(2, 1) - 2.0).abs() < 1e-12);
+        // 0.5 * 2^10 = 512 > cap of 30.
+        assert!((p.backoff_s(10, 1) - 30.0).abs() < 1e-12);
+        // Huge attempt numbers must not overflow powi.
+        assert!(p.backoff_s(u32::MAX, 1).is_finite());
+    }
+
+    #[test]
+    fn jitter_is_bounded_and_deterministic() {
+        let p = RetryPolicy::default();
+        for attempt in 0..20 {
+            let a = p.backoff_s(attempt, 99);
+            let b = p.backoff_s(attempt, 99);
+            assert_eq!(a, b);
+            let nominal = (0.5 * 2f64.powi(attempt as i32)).min(30.0);
+            assert!(a >= nominal * (1.0 - 0.125) - 1e-12, "{a} vs {nominal}");
+            assert!(a <= nominal * (1.0 + 0.125) + 1e-12, "{a} vs {nominal}");
+        }
+        // Different seeds give different jitter somewhere.
+        let differs = (0..20).any(|k| p.backoff_s(k, 1) != p.backoff_s(k, 2));
+        assert!(differs);
+    }
+
+    #[test]
+    fn validation_rejects_bad_fields() {
+        let ok = RetryPolicy::default();
+        assert!(ok.validate().is_ok());
+        assert!(RetryPolicy {
+            max_attempts: 0,
+            ..ok
+        }
+        .validate()
+        .is_err());
+        assert!(RetryPolicy {
+            base_backoff_s: -1.0,
+            ..ok
+        }
+        .validate()
+        .is_err());
+        assert!(RetryPolicy {
+            backoff_factor: 0.5,
+            ..ok
+        }
+        .validate()
+        .is_err());
+        assert!(RetryPolicy {
+            max_backoff_s: f64::NAN,
+            ..ok
+        }
+        .validate()
+        .is_err());
+        assert!(RetryPolicy { jitter: 1.5, ..ok }.validate().is_err());
+        assert!(RetryPolicy {
+            attempt_timeout_s: Some(0.0),
+            ..ok
+        }
+        .validate()
+        .is_err());
+        assert!(RetryPolicy {
+            chunk_bytes: 0,
+            ..ok
+        }
+        .validate()
+        .is_err());
+        assert!(RetryPolicy {
+            attempt_timeout_s: None,
+            ..ok
+        }
+        .validate()
+        .is_ok());
+    }
+
+    #[test]
+    fn policy_serializes_roundtrip() {
+        let p = RetryPolicy::default();
+        let json = serde_json::to_string(&p).unwrap();
+        let back: RetryPolicy = serde_json::from_str(&json).unwrap();
+        assert_eq!(p, back);
+    }
+}

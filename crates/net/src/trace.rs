@@ -47,7 +47,10 @@ impl BandwidthTrace {
     /// finite.
     pub fn constant(bps: f64) -> Result<Self> {
         if !bps.is_finite() || bps < 0.0 {
-            return Err(NetError::InvalidParameter { name: "bps", value: bps });
+            return Err(NetError::InvalidParameter {
+                name: "bps",
+                value: bps,
+            });
         }
         Ok(BandwidthTrace::Constant { bps })
     }
@@ -61,21 +64,34 @@ impl BandwidthTrace {
     /// bounds, or a non-positive interval.
     pub fn fluctuating(seed: u64, min_bps: f64, max_bps: f64, interval_s: f64) -> Result<Self> {
         if !min_bps.is_finite() || min_bps < 0.0 {
-            return Err(NetError::InvalidParameter { name: "min_bps", value: min_bps });
+            return Err(NetError::InvalidParameter {
+                name: "min_bps",
+                value: min_bps,
+            });
         }
         if !max_bps.is_finite() || max_bps < min_bps {
-            return Err(NetError::InvalidParameter { name: "max_bps", value: max_bps });
+            return Err(NetError::InvalidParameter {
+                name: "max_bps",
+                value: max_bps,
+            });
         }
         if !interval_s.is_finite() || interval_s <= 0.0 {
-            return Err(NetError::InvalidParameter { name: "interval_s", value: interval_s });
+            return Err(NetError::InvalidParameter {
+                name: "interval_s",
+                value: interval_s,
+            });
         }
-        Ok(BandwidthTrace::Fluctuating { seed, min_bps, max_bps, interval_s })
+        Ok(BandwidthTrace::Fluctuating {
+            seed,
+            min_bps,
+            max_bps,
+            interval_s,
+        })
     }
 
     /// The paper's WiFi emulation: 0–512 Kbps, new rate every 2 s.
     pub fn disaster_wifi(seed: u64) -> Self {
-        BandwidthTrace::fluctuating(seed, 0.0, 512_000.0, 2.0)
-            .expect("constants are valid")
+        BandwidthTrace::fluctuating(seed, 0.0, 512_000.0, 2.0).expect("constants are valid")
     }
 
     /// An explicit repeating schedule.
@@ -86,14 +102,23 @@ impl BandwidthTrace {
     /// duration/rate is invalid.
     pub fn schedule(segments: Vec<(f64, f64)>) -> Result<Self> {
         if segments.is_empty() {
-            return Err(NetError::InvalidParameter { name: "segments", value: 0.0 });
+            return Err(NetError::InvalidParameter {
+                name: "segments",
+                value: 0.0,
+            });
         }
         for &(d, bps) in &segments {
             if !d.is_finite() || d <= 0.0 {
-                return Err(NetError::InvalidParameter { name: "segment duration", value: d });
+                return Err(NetError::InvalidParameter {
+                    name: "segment duration",
+                    value: d,
+                });
             }
             if !bps.is_finite() || bps < 0.0 {
-                return Err(NetError::InvalidParameter { name: "segment bps", value: bps });
+                return Err(NetError::InvalidParameter {
+                    name: "segment bps",
+                    value: bps,
+                });
             }
         }
         Ok(BandwidthTrace::Schedule { segments })
@@ -103,11 +128,15 @@ impl BandwidthTrace {
     pub fn bps_at(&self, t: f64) -> f64 {
         match self {
             BandwidthTrace::Constant { bps } => *bps,
-            BandwidthTrace::Fluctuating { seed, min_bps, max_bps, interval_s } => {
+            BandwidthTrace::Fluctuating {
+                seed,
+                min_bps,
+                max_bps,
+                interval_s,
+            } => {
                 let interval = (t / interval_s).floor() as i64 as u64;
                 let h = hash64(seed.wrapping_add(interval.wrapping_mul(0x9E37_79B9_7F4A_7C15)));
-                let unit = (h >> 11) as f64 / (1u64 << 53) as f64; // [0, 1)
-                min_bps + unit * (max_bps - min_bps)
+                min_bps + unit(h) * (max_bps - min_bps)
             }
             BandwidthTrace::Schedule { segments } => locate_segment(segments, t).2,
         }
@@ -148,12 +177,19 @@ fn locate_segment(segments: &[(f64, f64)], t: f64) -> (f64, f64, f64) {
     (start, start + d0, bps0)
 }
 
-/// SplitMix64 finalizer: a high-quality deterministic 64-bit hash.
-fn hash64(mut x: u64) -> u64 {
+/// SplitMix64 finalizer: a high-quality deterministic 64-bit hash. Shared
+/// with the fault model so every stochastic decision in the crate draws
+/// from the same well-mixed family.
+pub(crate) fn hash64(mut x: u64) -> u64 {
     x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
     x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     x ^ (x >> 31)
+}
+
+/// Maps a hash to a uniform `f64` in `[0, 1)` using the top 53 bits.
+pub(crate) fn unit(h: u64) -> f64 {
+    (h >> 11) as f64 / (1u64 << 53) as f64
 }
 
 #[cfg(test)]
@@ -184,7 +220,10 @@ mod tests {
     fn fluctuating_trace_varies() {
         let t = BandwidthTrace::disaster_wifi(7);
         let values: Vec<f64> = (0..20).map(|i| t.bps_at(i as f64 * 2.0)).collect();
-        let distinct = values.iter().filter(|&&v| (v - values[0]).abs() > 1.0).count();
+        let distinct = values
+            .iter()
+            .filter(|&&v| (v - values[0]).abs() > 1.0)
+            .count();
         assert!(distinct > 5, "trace should fluctuate: {values:?}");
     }
 
@@ -220,7 +259,9 @@ mod tests {
     fn different_seeds_give_different_traces() {
         let a = BandwidthTrace::disaster_wifi(1);
         let b = BandwidthTrace::disaster_wifi(2);
-        let same = (0..50).filter(|&i| a.bps_at(i as f64 * 2.0) == b.bps_at(i as f64 * 2.0)).count();
+        let same = (0..50)
+            .filter(|&i| a.bps_at(i as f64 * 2.0) == b.bps_at(i as f64 * 2.0))
+            .count();
         assert!(same < 5);
     }
 }

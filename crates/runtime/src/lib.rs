@@ -63,7 +63,9 @@ fn default_threads() -> usize {
             .and_then(|v| v.trim().parse::<usize>().ok())
             .filter(|&n| n > 0)
             .unwrap_or_else(|| {
-                std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
             })
     })
 }
@@ -128,7 +130,9 @@ impl Runtime {
     /// Creates a handle using the global thread-count setting (see
     /// [`set_threads`] and the `BEES_THREADS` environment variable).
     pub fn current() -> Self {
-        Runtime { threads: current_threads().max(1) }
+        Runtime {
+            threads: current_threads().max(1),
+        }
     }
 
     /// The configured thread count.
@@ -174,7 +178,10 @@ impl Runtime {
                             break;
                         }
                         let out = run_chunk(c);
-                        results.lock().expect("no panic while holding lock").push((c, out));
+                        results
+                            .lock()
+                            .expect("no panic while holding lock")
+                            .push((c, out));
                     }
                 });
             }
@@ -311,14 +318,19 @@ mod tests {
     fn par_map_preserves_item_order() {
         let items: Vec<i64> = (0..500).map(|i| i - 250).collect();
         let rt = Runtime::new(4);
-        assert_eq!(rt.par_map(&items, |&x| x * x), items.iter().map(|&x| x * x).collect::<Vec<_>>());
+        assert_eq!(
+            rt.par_map(&items, |&x| x * x),
+            items.iter().map(|&x| x * x).collect::<Vec<_>>()
+        );
     }
 
     #[test]
     fn float_reduction_is_identical_across_thread_counts() {
         // Sums of f64 are not associative in ulps; the fixed chunk tree must
         // make the result independent of the worker count anyway.
-        let values: Vec<f64> = (0..10_000).map(|i| ((i * 37) % 101) as f64 * 0.1 + 0.01).collect();
+        let values: Vec<f64> = (0..10_000)
+            .map(|i| ((i * 37) % 101) as f64 * 0.1 + 0.01)
+            .collect();
         let sum_at = |threads: usize| {
             Runtime::new(threads).par_map_reduce(
                 values.len(),
@@ -330,7 +342,11 @@ mod tests {
         };
         let baseline = sum_at(1);
         for threads in [2, 3, 4, 8, 16] {
-            assert_eq!(baseline.to_bits(), sum_at(threads).to_bits(), "threads={threads}");
+            assert_eq!(
+                baseline.to_bits(),
+                sum_at(threads).to_bits(),
+                "threads={threads}"
+            );
         }
     }
 
@@ -341,10 +357,13 @@ mod tests {
             assert!(i == 0 || in_worker() || rt.threads() == 1 || true);
             // The nested call must not deadlock or oversubscribe; it simply
             // runs inline inside the worker.
-            rt.par_map_range(16, move |j| i * 16 + j).iter().sum::<usize>()
+            rt.par_map_range(16, move |j| i * 16 + j)
+                .iter()
+                .sum::<usize>()
         });
-        let expected: Vec<usize> =
-            (0..8).map(|i| (0..16).map(|j| i * 16 + j).sum::<usize>()).collect();
+        let expected: Vec<usize> = (0..8)
+            .map(|i| (0..16).map(|j| i * 16 + j).sum::<usize>())
+            .collect();
         assert_eq!(out, expected);
     }
 

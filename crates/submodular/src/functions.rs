@@ -87,12 +87,22 @@ impl DiversityFunction {
         for (pi, part) in partition.iter().enumerate() {
             for &v in part {
                 assert!(v < n, "partition member {v} out of range");
-                assert_eq!(membership[v], usize::MAX, "node {v} appears in two subgraphs");
+                assert_eq!(
+                    membership[v],
+                    usize::MAX,
+                    "node {v} appears in two subgraphs"
+                );
                 membership[v] = pi;
             }
         }
-        assert!(membership.iter().all(|&m| m != usize::MAX), "partition must cover all nodes");
-        DiversityFunction { membership, n_parts: partition.len() }
+        assert!(
+            membership.iter().all(|&m| m != usize::MAX),
+            "partition must cover all nodes"
+        );
+        DiversityFunction {
+            membership,
+            n_parts: partition.len(),
+        }
     }
 
     /// Number of subgraphs in the partition.
@@ -137,7 +147,10 @@ impl<'a> WeightedObjective<'a> {
         assert!(!terms.is_empty(), "objective needs at least one term");
         let n = terms[0].1.ground_size();
         for (lambda, f) in &terms {
-            assert!(lambda.is_finite() && *lambda >= 0.0, "weights must be non-negative");
+            assert!(
+                lambda.is_finite() && *lambda >= 0.0,
+                "weights must be non-negative"
+            );
             assert_eq!(f.ground_size(), n, "terms must share a ground set");
         }
         WeightedObjective { terms }

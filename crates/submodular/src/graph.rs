@@ -33,7 +33,10 @@ impl SimilarityGraph {
     /// Panics if `n == 0`.
     pub fn new(n: usize) -> Self {
         assert!(n > 0, "graph needs at least one node");
-        SimilarityGraph { n, weights: vec![0.0; n * (n - 1) / 2] }
+        SimilarityGraph {
+            n,
+            weights: vec![0.0; n * (n - 1) / 2],
+        }
     }
 
     /// Number of nodes.
@@ -76,7 +79,10 @@ impl SimilarityGraph {
     pub fn set_weight(&mut self, i: usize, j: usize, w: f64) {
         assert!(i < self.n && j < self.n, "node index out of bounds");
         assert!(i != j, "diagonal weights are fixed at 1.0");
-        assert!(w.is_finite() && (0.0..=1.0).contains(&w), "weight must be in [0, 1], got {w}");
+        assert!(
+            w.is_finite() && (0.0..=1.0).contains(&w),
+            "weight must be in [0, 1], got {w}"
+        );
         let (a, b) = if i < j { (i, j) } else { (j, i) };
         let idx = self.index(a, b);
         self.weights[idx] = w;

@@ -116,7 +116,11 @@ pub fn lazy_greedy_maximize(f: &dyn SubmodularFunction, budget: usize) -> Vec<us
     let mut heap: BinaryHeap<LazyEntry> = gains
         .into_iter()
         .enumerate()
-        .map(|(v, gain)| LazyEntry { gain, element: v, round: 0 })
+        .map(|(v, gain)| LazyEntry {
+            gain,
+            element: v,
+            round: 0,
+        })
         .collect();
     let mut round = 0usize;
     while selected.len() < budget {
@@ -126,7 +130,11 @@ pub fn lazy_greedy_maximize(f: &dyn SubmodularFunction, budget: usize) -> Vec<us
             round += 1;
         } else {
             let gain = f.marginal_gain(&selected, top.element);
-            heap.push(LazyEntry { gain, element: top.element, round });
+            heap.push(LazyEntry {
+                gain,
+                element: top.element,
+                round,
+            });
         }
     }
     selected
@@ -251,5 +259,4 @@ mod tests {
         let best: f64 = (0..8).map(|v| f.eval(&[v])).fold(f64::MIN, f64::max);
         assert!((f.eval(&sel) - best).abs() < 1e-12);
     }
-
 }

@@ -1,6 +1,8 @@
 //! The assembled SSMM: Algorithm 1 of the paper.
 
-use crate::functions::{CoverageFunction, DiversityFunction, SubmodularFunction, WeightedObjective};
+use crate::functions::{
+    CoverageFunction, DiversityFunction, SubmodularFunction, WeightedObjective,
+};
 use crate::graph::{partition_by_threshold, SimilarityGraph};
 use crate::greedy::lazy_greedy_maximize;
 use serde::{Deserialize, Serialize};
@@ -18,7 +20,10 @@ impl Default for SsmmConfig {
     fn default() -> Self {
         // Diversity is scaled up so that representing a new subgraph beats
         // marginally improving coverage inside an already-covered one.
-        SsmmConfig { lambda_coverage: 1.0, lambda_diversity: 2.0 }
+        SsmmConfig {
+            lambda_coverage: 1.0,
+            lambda_diversity: 2.0,
+        }
     }
 }
 
@@ -102,12 +107,20 @@ impl Ssmm {
         let coverage = CoverageFunction::new(graph);
         let diversity = DiversityFunction::new(&partitions);
         let objective = WeightedObjective::new(vec![
-            (self.config.lambda_coverage, &coverage as &dyn SubmodularFunction),
+            (
+                self.config.lambda_coverage,
+                &coverage as &dyn SubmodularFunction,
+            ),
             (self.config.lambda_diversity, &diversity),
         ]);
         let selected = lazy_greedy_maximize(&objective, budget);
         let value = objective.eval(&selected);
-        SsmmSummary { selected, budget, partitions, objective: value }
+        SsmmSummary {
+            selected,
+            budget,
+            partitions,
+            objective: value,
+        }
     }
 }
 
@@ -153,13 +166,8 @@ mod tests {
 
     #[test]
     fn higher_tw_keeps_more_images() {
-        let g = SimilarityGraph::from_pairwise(10, |i, j| {
-            if (i / 2) == (j / 2) {
-                0.4
-            } else {
-                0.0
-            }
-        });
+        let g =
+            SimilarityGraph::from_pairwise(10, |i, j| if (i / 2) == (j / 2) { 0.4 } else { 0.0 });
         let low = Ssmm::default().summarize(&g, 0.2);
         let high = Ssmm::default().summarize(&g, 0.6);
         assert!(high.budget >= low.budget);

@@ -26,15 +26,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             n_locations: 60,
             n_images: 240,
             zipf_s: 1.0,
-            scene: SceneConfig { width: 192, height: 144, n_shapes: 16, texture_amp: 10.0 },
+            scene: SceneConfig {
+                width: 192,
+                height: 144,
+                n_shapes: 16,
+                texture_amp: 10.0,
+            },
             ..ParisConfig::default()
         },
         seed: 7,
     };
 
-    println!("corpus: {} geotagged images over {} locations, {} phones\n", cov.paris.n_images, cov.paris.n_locations, cov.n_phones);
+    println!(
+        "corpus: {} geotagged images over {} locations, {} phones\n",
+        cov.paris.n_images, cov.paris.n_locations, cov.n_phones
+    );
 
-    for scheme in [&DirectUpload::new(&config) as &dyn UploadScheme, &Bees::adaptive(&config)] {
+    for scheme in [
+        &DirectUpload::new(&config) as &dyn UploadScheme,
+        &Bees::adaptive(&config),
+    ] {
         let r = run_coverage(scheme, &config, &cov)?;
         println!(
             "{:<14} received {:>4} images covering {:>3} of {:>3} locations ({} phones exhausted)",

@@ -23,12 +23,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let fb = orb.extract(&gray_b);
 
     println!("Approximate Feature Extraction: similarity of two views of one scene");
-    println!("{:<14}{:>12}{:>14}{:>12}", "compression", "keypoints", "extract px", "similarity");
+    println!(
+        "{:<14}{:>12}{:>14}{:>12}",
+        "compression", "keypoints", "extract px", "similarity"
+    );
     for c in [0.0, 0.2, 0.4, 0.6, 0.8] {
         let compressed = resize::compress_bitmap(&gray_a, c)?;
         let (fa, stats) = orb.extract_with_stats(&compressed);
         let sim = jaccard_similarity(&fa, &fb, &sim_cfg);
-        println!("{:<14.1}{:>12}{:>14}{:>12.3}", c, fa.len(), stats.pixels_processed, sim);
+        println!(
+            "{:<14.1}{:>12}{:>14}{:>12.3}",
+            c,
+            fa.len(),
+            stats.pixels_processed,
+            sim
+        );
     }
 
     println!("\nApproximate Image Uploading: DCT codec quality vs size vs SSIM");

@@ -28,12 +28,27 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("  uploaded            : {}", report.uploaded_images);
     println!("  skipped (cross-batch): {}", report.skipped_cross_batch);
     println!("  skipped (in-batch)  : {}", report.skipped_in_batch);
-    println!("  uplink              : {:.1} KiB", report.uplink_bytes as f64 / 1024.0);
-    println!("  downlink            : {:.1} KiB", report.downlink_bytes as f64 / 1024.0);
+    println!(
+        "  uplink              : {:.1} KiB",
+        report.uplink_bytes as f64 / 1024.0
+    );
+    println!(
+        "  downlink            : {:.1} KiB",
+        report.downlink_bytes as f64 / 1024.0
+    );
     println!("  total delay         : {:.1} s", report.total_delay_s);
-    println!("  energy (extraction) : {:.2} J", report.energy.get(EnergyCategory::FeatureExtraction));
-    println!("  energy (features)   : {:.2} J", report.energy.get(EnergyCategory::FeatureUpload));
-    println!("  energy (images)     : {:.2} J", report.energy.get(EnergyCategory::ImageUpload));
+    println!(
+        "  energy (extraction) : {:.2} J",
+        report.energy.get(EnergyCategory::FeatureExtraction)
+    );
+    println!(
+        "  energy (features)   : {:.2} J",
+        report.energy.get(EnergyCategory::FeatureUpload)
+    );
+    println!(
+        "  energy (images)     : {:.2} J",
+        report.energy.get(EnergyCategory::ImageUpload)
+    );
     println!("  energy (total)      : {:.2} J", report.active_energy());
     println!("  battery remaining   : {:.2}%", client.ebat() * 100.0);
     Ok(())

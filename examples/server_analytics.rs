@@ -19,7 +19,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ParisConfig {
             n_locations: 24,
             n_images: 72,
-            scene: SceneConfig { width: 192, height: 144, n_shapes: 16, texture_amp: 10.0 },
+            scene: SceneConfig {
+                width: 192,
+                height: 144,
+                n_shapes: 16,
+                texture_amp: 10.0,
+            },
             ..ParisConfig::default()
         },
     );

@@ -69,7 +69,10 @@ fn edr_threshold_still_separates_at_every_battery_level() {
     for ebat in [0.0, 0.3, 0.7, 1.0] {
         let t = edr.value(ebat);
         assert!(similar > t, "Ebat {ebat}: similar {similar} <= T {t}");
-        assert!(dissimilar < t, "Ebat {ebat}: dissimilar {dissimilar} >= T {t}");
+        assert!(
+            dissimilar < t,
+            "Ebat {ebat}: dissimilar {dissimilar} >= T {t}"
+        );
     }
 }
 
@@ -79,7 +82,12 @@ fn ssmm_budget_shrinks_with_battery() {
     // summaries (more elimination), the EDR story applied in-batch.
     let orb = Orb::default();
     let cfg = SimilarityConfig::default();
-    let scene_cfg = SceneConfig { width: 128, height: 96, n_shapes: 12, texture_amp: 8.0 };
+    let scene_cfg = SceneConfig {
+        width: 128,
+        height: 96,
+        n_shapes: 12,
+        texture_amp: 8.0,
+    };
     // Six images: three pairs of views.
     let mut features = Vec::new();
     for s in 0..3u64 {
@@ -111,8 +119,14 @@ fn aiu_trades_ssim_for_bytes_monotonically() {
         let encoded = codec::encode_rgb(&img, q).unwrap();
         let decoded = codec::decode_rgb(&encoded).unwrap();
         let ssim = metrics::ssim(&gray, &decoded.to_gray()).unwrap();
-        assert!(encoded.len() <= last_bytes, "bytes must shrink at proportion {proportion}");
-        assert!(ssim > min_ssim, "ssim {ssim} too low at proportion {proportion}");
+        assert!(
+            encoded.len() <= last_bytes,
+            "bytes must shrink at proportion {proportion}"
+        );
+        assert!(
+            ssim > min_ssim,
+            "ssim {ssim} too low at proportion {proportion}"
+        );
         last_bytes = encoded.len();
     }
 }
@@ -154,5 +168,9 @@ fn server_side_extraction_matches_client_side() {
     let orb = Orb::new(config.orb);
     let query = orb.extract(&other_view.to_gray());
     let hit = server.query_max_similarity(&query).expect("indexed image");
-    assert!(hit.similarity > config.edr.value(1.0), "similarity {}", hit.similarity);
+    assert!(
+        hit.similarity > config.edr.value(1.0),
+        "similarity {}",
+        hit.similarity
+    );
 }

@@ -10,7 +10,12 @@ use bees::features::FeatureExtractor;
 use bees::net::BandwidthTrace;
 
 fn small_scene() -> SceneConfig {
-    SceneConfig { width: 128, height: 96, n_shapes: 12, texture_amp: 8.0 }
+    SceneConfig {
+        width: 128,
+        height: 96,
+        n_shapes: 12,
+        texture_amp: 8.0,
+    }
 }
 
 #[test]
@@ -23,7 +28,9 @@ fn full_upload_run_is_deterministic() {
         let mut server = Server::new(&config);
         scheme.preload_server(&mut server, &data.server_preload);
         let mut client = Client::new(0, &config);
-        scheme.upload_batch(&mut client, &mut server, &data.batch).unwrap()
+        scheme
+            .upload_batch(&mut client, &mut server, &data.batch)
+            .unwrap()
     };
     let a = run();
     let b = run();
@@ -45,7 +52,9 @@ fn full_pipeline_is_identical_across_thread_counts() {
         let mut server = Server::new(&config);
         scheme.preload_server(&mut server, &data.server_preload);
         let mut client = Client::new(0, &config);
-        let report = scheme.upload_batch(&mut client, &mut server, &data.batch).unwrap();
+        let report = scheme
+            .upload_batch(&mut client, &mut server, &data.batch)
+            .unwrap();
         serde_json::to_string(&report).expect("report serializes")
     };
     bees::runtime::set_threads(1);
@@ -55,6 +64,38 @@ fn full_pipeline_is_identical_across_thread_counts() {
         let multi = run();
         bees::runtime::set_threads(0);
         assert_eq!(single, multi, "report differs at {threads} threads");
+    }
+}
+
+#[test]
+fn fault_injected_pipeline_is_identical_across_thread_counts() {
+    // Same thread-sweep contract, but with an aggressive fault model on a
+    // fluctuating trace: blackouts, drops, retries, backoff, and the
+    // degradation ladder must all be derived from seeds alone, never from
+    // timing or worker interleaving.
+    let run = || -> String {
+        let mut config = BeesConfig::default();
+        config.trace = BandwidthTrace::disaster_wifi(0xFA11);
+        config.fault = bees::net::FaultModel::new(0xFA11, 0.35, 0.4, 12.0, 5.0)
+            .expect("fault parameters are valid");
+        config.battery = bees::energy::Battery::from_joules(1e7);
+        let data = disaster_batch(42, 10, 2, 0.25, small_scene());
+        let scheme = Bees::adaptive(&config);
+        let mut server = Server::new(&config);
+        scheme.preload_server(&mut server, &data.server_preload);
+        let mut client = Client::new(0, &config);
+        let report = scheme
+            .upload_batch(&mut client, &mut server, &data.batch)
+            .unwrap();
+        serde_json::to_string(&report).expect("report serializes")
+    };
+    bees::runtime::set_threads(1);
+    let single = run();
+    for threads in [2, 8] {
+        bees::runtime::set_threads(threads);
+        let multi = run();
+        bees::runtime::set_threads(0);
+        assert_eq!(single, multi, "faulty report differs at {threads} threads");
     }
 }
 
@@ -69,18 +110,24 @@ fn orb_features_are_bitwise_stable() {
 
 #[test]
 fn datasets_are_reproducible_across_instantiations() {
-    let a = ParisLike::generate(5, ParisConfig {
-        n_locations: 10,
-        n_images: 30,
-        scene: small_scene(),
-        ..ParisConfig::default()
-    });
-    let b = ParisLike::generate(5, ParisConfig {
-        n_locations: 10,
-        n_images: 30,
-        scene: small_scene(),
-        ..ParisConfig::default()
-    });
+    let a = ParisLike::generate(
+        5,
+        ParisConfig {
+            n_locations: 10,
+            n_images: 30,
+            scene: small_scene(),
+            ..ParisConfig::default()
+        },
+    );
+    let b = ParisLike::generate(
+        5,
+        ParisConfig {
+            n_locations: 10,
+            n_images: 30,
+            scene: small_scene(),
+            ..ParisConfig::default()
+        },
+    );
     for i in [0usize, 15, 29] {
         assert_eq!(a.image(i).image, b.image(i).image);
     }
@@ -95,7 +142,9 @@ fn reports_serialize_and_roundtrip() {
     let mut server = Server::new(&config);
     scheme.preload_server(&mut server, &data.server_preload);
     let mut client = Client::new(0, &config);
-    let report = scheme.upload_batch(&mut client, &mut server, &data.batch).unwrap();
+    let report = scheme
+        .upload_batch(&mut client, &mut server, &data.batch)
+        .unwrap();
 
     let json = serde_json::to_string(&report).expect("report serializes");
     assert!(json.contains("uploaded_images"));

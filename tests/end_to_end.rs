@@ -14,7 +14,12 @@ fn test_config() -> BeesConfig {
 }
 
 fn small_scene() -> SceneConfig {
-    SceneConfig { width: 128, height: 96, n_shapes: 12, texture_amp: 8.0 }
+    SceneConfig {
+        width: 128,
+        height: 96,
+        n_shapes: 12,
+        texture_amp: 8.0,
+    }
 }
 
 fn workload(seed: u64) -> DisasterBatch {
@@ -43,7 +48,9 @@ fn every_scheme_conserves_the_batch() {
         let mut server = Server::new(&config);
         scheme.preload_server(&mut server, &data.server_preload);
         let mut client = Client::new(0, &config);
-        let r = scheme.upload_batch(&mut client, &mut server, &data.batch).unwrap();
+        let r = scheme
+            .upload_batch(&mut client, &mut server, &data.batch)
+            .unwrap();
         assert_eq!(
             r.uploaded_images + r.skipped_cross_batch + r.skipped_in_batch,
             r.batch_size,
@@ -67,7 +74,9 @@ fn battery_drain_matches_ledger() {
         scheme.preload_server(&mut server, &data.server_preload);
         let mut client = Client::new(0, &config);
         let before = client.battery().remaining_joules();
-        let r = scheme.upload_batch(&mut client, &mut server, &data.batch).unwrap();
+        let r = scheme
+            .upload_batch(&mut client, &mut server, &data.batch)
+            .unwrap();
         let after = client.battery().remaining_joules();
         assert!(
             (before - after - r.energy.total()).abs() < 1e-6,
@@ -89,10 +98,14 @@ fn uploaded_features_enable_future_deduplication() {
     let scheme = Bees::adaptive(&config);
     let mut server = Server::new(&config);
     let mut phone_a = Client::new(0, &config);
-    let ra = scheme.upload_batch(&mut phone_a, &mut server, &data.batch).unwrap();
+    let ra = scheme
+        .upload_batch(&mut phone_a, &mut server, &data.batch)
+        .unwrap();
     assert!(ra.uploaded_images > 0);
     let mut phone_b = Client::new(1, &config);
-    let rb = scheme.upload_batch(&mut phone_b, &mut server, &data.batch).unwrap();
+    let rb = scheme
+        .upload_batch(&mut phone_b, &mut server, &data.batch)
+        .unwrap();
     assert!(
         rb.uploaded_images < ra.uploaded_images,
         "second phone should deduplicate: {} vs {}",
@@ -108,13 +121,17 @@ fn bees_beats_direct_on_every_headline_metric() {
 
     let mut server_d = Server::new(&config);
     let mut client_d = Client::new(0, &config);
-    let rd = DirectUpload::new(&config).upload_batch(&mut client_d, &mut server_d, &data.batch).unwrap();
+    let rd = DirectUpload::new(&config)
+        .upload_batch(&mut client_d, &mut server_d, &data.batch)
+        .unwrap();
 
     let scheme = Bees::adaptive(&config);
     let mut server_b = Server::new(&config);
     scheme.preload_server(&mut server_b, &data.server_preload);
     let mut client_b = Client::new(0, &config);
-    let rb = scheme.upload_batch(&mut client_b, &mut server_b, &data.batch).unwrap();
+    let rb = scheme
+        .upload_batch(&mut client_b, &mut server_b, &data.batch)
+        .unwrap();
 
     assert!(rb.active_energy() < rd.active_energy(), "energy");
     assert!(rb.bandwidth_bytes() < rd.bandwidth_bytes(), "bandwidth");
@@ -130,7 +147,9 @@ fn in_batch_duplicates_are_eliminated_without_server_knowledge() {
     let scheme = Bees::adaptive(&config);
     let mut server = Server::new(&config);
     let mut client = Client::new(0, &config);
-    let r = scheme.upload_batch(&mut client, &mut server, &data.batch).unwrap();
+    let r = scheme
+        .upload_batch(&mut client, &mut server, &data.batch)
+        .unwrap();
     assert_eq!(r.skipped_cross_batch, 0, "server was empty");
     assert!(
         r.skipped_in_batch >= 2,
@@ -141,7 +160,9 @@ fn in_batch_duplicates_are_eliminated_without_server_knowledge() {
     let mrc = Mrc::new(&config);
     let mut server2 = Server::new(&config);
     let mut client2 = Client::new(0, &config);
-    let rm = mrc.upload_batch(&mut client2, &mut server2, &data.batch).unwrap();
+    let rm = mrc
+        .upload_batch(&mut client2, &mut server2, &data.batch)
+        .unwrap();
     assert_eq!(rm.skipped_in_batch, 0);
     assert!(rm.uploaded_images > r.uploaded_images);
 }
@@ -154,7 +175,9 @@ fn fluctuating_trace_still_completes() {
     let scheme = Bees::adaptive(&config);
     let mut server = Server::new(&config);
     let mut client = Client::new(0, &config);
-    let r = scheme.upload_batch(&mut client, &mut server, &data.batch).unwrap();
+    let r = scheme
+        .upload_batch(&mut client, &mut server, &data.batch)
+        .unwrap();
     assert!(!r.exhausted);
     assert!(r.total_delay_s > 0.0);
 }
@@ -185,14 +208,18 @@ fn energy_categories_are_scheme_appropriate() {
     let data = workload(7);
     let mut server = Server::new(&config);
     let mut client = Client::new(0, &config);
-    let rd = DirectUpload::new(&config).upload_batch(&mut client, &mut server, &data.batch).unwrap();
+    let rd = DirectUpload::new(&config)
+        .upload_batch(&mut client, &mut server, &data.batch)
+        .unwrap();
     assert_eq!(rd.energy.get(EnergyCategory::FeatureExtraction), 0.0);
     assert_eq!(rd.energy.get(EnergyCategory::Compression), 0.0);
 
     let scheme = Bees::adaptive(&config);
     let mut server2 = Server::new(&config);
     let mut client2 = Client::new(0, &config);
-    let rb = scheme.upload_batch(&mut client2, &mut server2, &data.batch).unwrap();
+    let rb = scheme
+        .upload_batch(&mut client2, &mut server2, &data.batch)
+        .unwrap();
     assert!(rb.energy.get(EnergyCategory::FeatureExtraction) > 0.0);
     assert!(rb.energy.get(EnergyCategory::Compression) > 0.0);
     assert!(rb.energy.get(EnergyCategory::FeatureUpload) > 0.0);

@@ -137,6 +137,80 @@ proptest! {
     }
 
     #[test]
+    fn resumable_transfer_completes_or_errors_with_monotone_ledger(
+        seed in any::<u64>(),
+        drop_p in 0.0f64..0.9,
+        payloads in proptest::collection::vec(1usize..100_000, 1..6),
+    ) {
+        use bees::core::{BeesConfig, Client, CoreError};
+        use bees::energy::EnergyCategory;
+        use bees::net::{FaultModel, NetError};
+
+        let mut config = BeesConfig::default();
+        config.trace = BandwidthTrace::constant(256_000.0).unwrap();
+        config.fault = FaultModel::new(seed, drop_p, 0.2, 20.0, 6.0).unwrap();
+        config.battery = Battery::from_joules(1e9);
+        let mut client = Client::new(0, &config);
+        let mut last_total = 0.0f64;
+        let mut last_battery = client.battery().remaining_joules();
+        for bytes in payloads {
+            match client.transmit_resumable(EnergyCategory::ImageUpload, bytes) {
+                // Either every byte is confirmed...
+                Ok(summary) => prop_assert_eq!(summary.delivered_bytes, bytes),
+                // ...or the typed retry-exhaustion error reports a strict
+                // partial delivery.
+                Err(CoreError::Net(NetError::RetriesExhausted {
+                    delivered_bytes, total_bytes, ..
+                })) => {
+                    prop_assert!(delivered_bytes < total_bytes);
+                    prop_assert_eq!(total_bytes, bytes);
+                }
+                Err(other) => prop_assert!(false, "unexpected error: {other}"),
+            }
+            // Energy only accrues and the battery only drains, success or not.
+            let total = client.ledger().total();
+            let battery = client.battery().remaining_joules();
+            prop_assert!(total >= last_total - 1e-9, "ledger went backwards");
+            prop_assert!(battery <= last_battery + 1e-9, "battery recharged itself");
+            last_total = total;
+            last_battery = battery;
+        }
+    }
+
+    #[test]
+    fn faulty_channel_progress_is_monotone_across_retries(
+        seed in any::<u64>(),
+        drop_p in 0.0f64..1.0,
+        bytes in 1usize..200_000,
+    ) {
+        use bees::net::{FaultModel, FaultyChannel};
+
+        let trace = BandwidthTrace::fluctuating(seed ^ 0xABCD, 32_000.0, 512_000.0, 2.0).unwrap();
+        let ch = Channel::new(trace).with_stall_limit(60.0).unwrap();
+        let faults = FaultModel::new(seed, drop_p, 0.3, 15.0, 5.0).unwrap();
+        let mut fc = FaultyChannel::new(ch, faults);
+        let mut now = 0.0f64;
+        let mut remaining = bytes;
+        for _ in 0..32 {
+            let out = fc.transfer(now, remaining, Some(10.0));
+            prop_assert!(out.delivered_bytes <= remaining, "over-delivered");
+            prop_assert!(out.elapsed_s >= 0.0);
+            prop_assert!(
+                out.active_airtime_s <= out.elapsed_s + 1e-9,
+                "airtime {} exceeds elapsed {}",
+                out.active_airtime_s,
+                out.elapsed_s
+            );
+            remaining -= out.delivered_bytes;
+            now += out.elapsed_s + 1.0;
+            if out.completed() {
+                prop_assert_eq!(remaining, 0, "completed with bytes left over");
+                break;
+            }
+        }
+    }
+
+    #[test]
     fn battery_never_goes_negative(capacity in 1.0f64..1000.0, drains in proptest::collection::vec(0.0f64..500.0, 0..20)) {
         let mut b = Battery::from_joules(capacity);
         for d in drains {
@@ -155,7 +229,7 @@ proptest! {
     }
 
     #[test]
-    fn ledger_total_equals_sum_of_categories(amounts in proptest::collection::vec((0u8..6, 0.0f64..100.0), 0..30)) {
+    fn ledger_total_equals_sum_of_categories(amounts in proptest::collection::vec((0u8..7, 0.0f64..100.0), 0..30)) {
         use bees::energy::EnergyCategory;
         let mut ledger = EnergyLedger::new();
         let mut expected = 0.0;
