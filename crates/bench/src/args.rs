@@ -1,7 +1,11 @@
 //! Minimal CLI argument handling shared by the experiment binaries.
 
+use std::path::PathBuf;
+
+use bees_core::schemes::SchemeKind;
+
 /// Common experiment options.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ExpArgs {
     /// Workload scale factor; 1.0 is the binary's default size (already
     /// scaled down from the paper for wall-clock sanity).
@@ -10,6 +14,12 @@ pub struct ExpArgs {
     pub seed: u64,
     /// Quick mode: a much smaller run for smoke-testing.
     pub quick: bool,
+    /// When set, experiments that support tracing write a JSONL telemetry
+    /// trace (spans on the client's virtual clock) to this path.
+    pub trace_out: Option<PathBuf>,
+    /// Optional scheme subset (`--schemes bees,mrc`); `None` means the
+    /// experiment's default roster.
+    pub schemes: Option<Vec<SchemeKind>>,
 }
 
 impl Default for ExpArgs {
@@ -18,13 +28,16 @@ impl Default for ExpArgs {
             scale: 1.0,
             seed: 0xBEE5,
             quick: false,
+            trace_out: None,
+            schemes: None,
         }
     }
 }
 
 impl ExpArgs {
-    /// Parses `--scale <f>`, `--seed <n>`, and `--quick` from an iterator
-    /// of arguments (unknown arguments are ignored with a warning).
+    /// Parses `--scale <f>`, `--seed <n>`, `--quick`, `--trace-out <path>`,
+    /// and `--schemes <a,b,...>` from an iterator of arguments (unknown
+    /// arguments are ignored with a warning).
     pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Self {
         let mut out = ExpArgs::default();
         let mut it = args.into_iter();
@@ -41,6 +54,25 @@ impl ExpArgs {
                     }
                 }
                 "--quick" => out.quick = true,
+                "--trace-out" => {
+                    if let Some(v) = it.next() {
+                        out.trace_out = Some(PathBuf::from(v));
+                    }
+                }
+                "--schemes" => {
+                    if let Some(v) = it.next() {
+                        let mut kinds = Vec::new();
+                        for part in v.split(',').filter(|p| !p.trim().is_empty()) {
+                            match part.parse::<SchemeKind>() {
+                                Ok(kind) => kinds.push(kind),
+                                Err(e) => eprintln!("warning: {e}"),
+                            }
+                        }
+                        if !kinds.is_empty() {
+                            out.schemes = Some(kinds);
+                        }
+                    }
+                }
                 other => eprintln!("warning: ignoring unknown argument `{other}`"),
             }
         }
@@ -59,6 +91,14 @@ impl ExpArgs {
     pub fn scaled(&self, base: usize, min: usize) -> usize {
         ((base as f64 * self.scale).round() as usize).max(min)
     }
+
+    /// The schemes to run: the `--schemes` subset if given, otherwise the
+    /// full roster.
+    pub fn scheme_roster(&self) -> Vec<SchemeKind> {
+        self.schemes
+            .clone()
+            .unwrap_or_else(|| SchemeKind::ALL.to_vec())
+    }
 }
 
 #[cfg(test)]
@@ -74,13 +114,29 @@ mod tests {
         let a = parse(&[]);
         assert_eq!(a.scale, 1.0);
         assert!(!a.quick);
+        assert!(a.trace_out.is_none());
+        assert!(a.schemes.is_none());
     }
 
     #[test]
     fn parses_all_flags() {
-        let a = parse(&["--scale", "0.5", "--seed", "99"]);
+        let a = parse(&[
+            "--scale",
+            "0.5",
+            "--seed",
+            "99",
+            "--trace-out",
+            "trace.jsonl",
+            "--schemes",
+            "bees,mrc",
+        ]);
         assert_eq!(a.scale, 0.5);
         assert_eq!(a.seed, 99);
+        assert_eq!(
+            a.trace_out.as_deref(),
+            Some(std::path::Path::new("trace.jsonl"))
+        );
+        assert_eq!(a.schemes, Some(vec![SchemeKind::Bees, SchemeKind::Mrc]));
     }
 
     #[test]
@@ -96,5 +152,23 @@ mod tests {
         assert_eq!(a.scaled(100, 4), 4);
         let b = parse(&["--scale", "0.5"]);
         assert_eq!(b.scaled(100, 4), 50);
+    }
+
+    #[test]
+    fn scheme_roster_defaults_to_all() {
+        let a = parse(&[]);
+        assert_eq!(a.scheme_roster(), SchemeKind::ALL.to_vec());
+        let b = parse(&["--schemes", "direct,bees-ea"]);
+        assert_eq!(
+            b.scheme_roster(),
+            vec![SchemeKind::DirectUpload, SchemeKind::BeesEa]
+        );
+    }
+
+    #[test]
+    fn bad_scheme_names_are_skipped() {
+        let a = parse(&["--schemes", "bees,smarteyes"]);
+        // The valid kind survives; the typo is warned about and dropped.
+        assert_eq!(a.schemes, Some(vec![SchemeKind::Bees]));
     }
 }

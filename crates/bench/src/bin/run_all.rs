@@ -26,5 +26,6 @@ fn main() {
     ex::ablation_ssmm::run(&args).print();
     ex::global_vs_local::run(&args).print();
     ex::fault_resilience::run(&args).print();
+    ex::telemetry_report::run(&args).print();
     println!("\nAll experiments complete. See EXPERIMENTS.md for the paper-vs-measured record.");
 }

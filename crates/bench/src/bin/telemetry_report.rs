@@ -1,0 +1,7 @@
+//! Per-stage telemetry breakdown of every scheme; `--trace-out <path>`
+//! additionally writes the raw JSONL span trace.
+use bees_bench::args::ExpArgs;
+
+fn main() {
+    bees_bench::experiments::telemetry_report::run(&ExpArgs::from_env()).print();
+}

@@ -150,6 +150,7 @@ mod tests {
             scale: 1.0,
             seed: 91,
             quick: false,
+            ..ExpArgs::default()
         };
         let r = run(&args);
         assert_eq!(r.rows.len(), 3);

@@ -162,6 +162,7 @@ mod tests {
             scale: 0.5,
             seed: 0xCA11,
             quick: false,
+            ..ExpArgs::default()
         };
         let r = run(&args);
         let orb = &r.distributions[0];

@@ -12,7 +12,7 @@
 
 use crate::args::ExpArgs;
 use crate::table::{f1, Table};
-use bees_core::schemes::{Bees, DirectUpload, Mrc, PhotoNetLike, SmartEye, UploadScheme};
+use bees_core::schemes::{make_scheme, BatchCtx, UploadScheme};
 use bees_core::{BatchReport, BeesConfig, Client, Server};
 use bees_datasets::{disaster_batch, SceneConfig};
 use bees_energy::Battery;
@@ -79,21 +79,19 @@ pub fn run(args: &ExpArgs) -> FaultResilienceResult {
         SceneConfig::default(),
     );
 
-    let schemes: Vec<Box<dyn UploadScheme>> = vec![
-        Box::new(DirectUpload::new(&config)),
-        Box::new(PhotoNetLike::new(&config)),
-        Box::new(SmartEye::new(&config)),
-        Box::new(Mrc::new(&config)),
-        Box::new(Bees::without_adaptation(&config)),
-        Box::new(Bees::adaptive(&config)),
-    ];
+    // `SchemeKind::ALL` order unless narrowed with `--schemes`.
+    let schemes: Vec<Box<dyn UploadScheme>> = args
+        .scheme_roster()
+        .iter()
+        .map(|&k| make_scheme(k, &config))
+        .collect();
     let mut reports = Vec::with_capacity(schemes.len());
     for scheme in &schemes {
         let mut server = Server::new(&config);
-        let mut client = Client::new(0, &config);
+        let mut client = Client::try_new(0, &config).expect("fault/battery knobs are valid");
         scheme.preload_server(&mut server, &data.server_preload);
         let report = scheme
-            .upload_batch(&mut client, &mut server, &data.batch)
+            .upload(&mut BatchCtx::new(&mut client, &mut server, &data.batch))
             .expect("faulty transfers defer instead of erroring");
         reports.push(report);
     }
@@ -110,6 +108,7 @@ mod tests {
             scale: 0.3,
             seed: 77,
             quick: true,
+            ..ExpArgs::default()
         };
         let r = run(&args);
         assert_eq!(r.reports.len(), 6);

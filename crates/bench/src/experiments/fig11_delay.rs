@@ -8,7 +8,7 @@
 
 use crate::args::ExpArgs;
 use crate::table::{f1, Table};
-use bees_core::schemes::{Bees, DirectUpload, Mrc, SmartEye, UploadScheme};
+use bees_core::schemes::{make_scheme, BatchCtx, SchemeKind, UploadScheme};
 use bees_core::{BeesConfig, Client, Server};
 use bees_datasets::{disaster_batch, SceneConfig};
 use bees_net::BandwidthTrace;
@@ -73,19 +73,22 @@ pub fn run(args: &ExpArgs) -> Fig11Result {
         let mut config = BeesConfig::default();
         config.trace =
             BandwidthTrace::constant(kbps as f64 * 1000.0).expect("constant trace is valid");
-        let schemes: Vec<Box<dyn UploadScheme>> = vec![
-            Box::new(DirectUpload::new(&config)),
-            Box::new(SmartEye::new(&config)),
-            Box::new(Mrc::new(&config)),
-            Box::new(Bees::adaptive(&config)),
-        ];
+        let schemes: Vec<Box<dyn UploadScheme>> = [
+            SchemeKind::DirectUpload,
+            SchemeKind::SmartEye,
+            SchemeKind::Mrc,
+            SchemeKind::Bees,
+        ]
+        .iter()
+        .map(|&k| make_scheme(k, &config))
+        .collect();
         let mut avg = Vec::new();
         for scheme in &schemes {
             let mut server = Server::new(&config);
-            let mut client = Client::new(0, &config);
+            let mut client = Client::try_new(0, &config).expect("default config is valid");
             scheme.preload_server(&mut server, &data.server_preload);
             let report = scheme
-                .upload_batch(&mut client, &mut server, &data.batch)
+                .upload(&mut BatchCtx::new(&mut client, &mut server, &data.batch))
                 .expect("constant trace cannot stall");
             avg.push(report.avg_delay_per_image());
         }
@@ -107,6 +110,7 @@ mod tests {
             scale: 0.12,
             seed: 71,
             quick: true,
+            ..ExpArgs::default()
         };
         let r = run(&args);
         assert_eq!(r.points.len(), 3);

@@ -111,6 +111,7 @@ mod tests {
             scale: 0.1,
             seed: 81,
             quick: true,
+            ..ExpArgs::default()
         };
         let r = run(&args);
         // Both are battery-limited.

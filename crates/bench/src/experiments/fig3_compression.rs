@@ -117,6 +117,7 @@ mod tests {
             scale: 0.15,
             seed: 11,
             quick: true,
+            ..ExpArgs::default()
         };
         let r = run(&args);
         assert_eq!(r.points.len(), 10);

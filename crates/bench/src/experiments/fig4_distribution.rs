@@ -142,6 +142,7 @@ mod tests {
             scale: 0.2,
             seed: 7,
             quick: true,
+            ..ExpArgs::default()
         };
         let r = run(&args);
         // Rates are monotone non-increasing in the threshold.

@@ -154,6 +154,7 @@ mod tests {
             scale: 0.15,
             seed: 3,
             quick: true,
+            ..ExpArgs::default()
         };
         let r = run(&args);
         // Quality compression: bytes fall, SSIM falls, monotonically-ish.

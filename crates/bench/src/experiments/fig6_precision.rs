@@ -122,6 +122,7 @@ mod tests {
             scale: 0.4,
             seed: 21,
             quick: false,
+            ..ExpArgs::default()
         };
         let r = run(&args);
         assert_eq!(r.rows.len(), 6);

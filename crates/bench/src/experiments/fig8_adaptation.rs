@@ -9,7 +9,7 @@
 
 use crate::args::ExpArgs;
 use crate::table::{f1, Table};
-use bees_core::schemes::{Bees, UploadScheme};
+use bees_core::schemes::{BatchCtx, Bees, UploadScheme};
 use bees_core::{BatchReport, BeesConfig, Client, Server};
 use bees_datasets::{disaster_batch, SceneConfig};
 use bees_energy::EnergyCategory;
@@ -77,11 +77,11 @@ pub fn run(args: &ExpArgs) -> Fig8Result {
     let mut points = Vec::new();
     for ebat_pct in [100u32, 70, 40, 10] {
         let mut server = Server::new(&config);
-        let mut client = Client::new(0, &config);
+        let mut client = Client::try_new(0, &config).expect("default config is valid");
         scheme.preload_server(&mut server, &data.server_preload);
         client.battery_mut().set_fraction(ebat_pct as f64 / 100.0);
         let report = scheme
-            .upload_batch(&mut client, &mut server, &data.batch)
+            .upload(&mut BatchCtx::new(&mut client, &mut server, &data.batch))
             .expect("constant trace cannot stall");
         points.push(AdaptationPoint { ebat_pct, report });
     }
@@ -98,6 +98,7 @@ mod tests {
             scale: 0.12,
             seed: 51,
             quick: true,
+            ..ExpArgs::default()
         };
         let r = run(&args);
         assert_eq!(r.points.len(), 4);

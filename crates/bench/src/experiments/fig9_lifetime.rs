@@ -9,11 +9,12 @@
 use crate::args::ExpArgs;
 use crate::table::{pct, Table};
 use bees_core::schemes::{Bees, DirectUpload, Mrc, SmartEye, UploadScheme};
-use bees_core::sessions::{run_lifetime, LifetimeConfig, LifetimeResult};
+use bees_core::sessions::{run_lifetime_traced, LifetimeConfig, LifetimeResult};
 use bees_core::BeesConfig;
 use bees_datasets::SceneConfig;
 use bees_energy::Battery;
 use bees_net::BandwidthTrace;
+use bees_telemetry::{JsonlSink, Telemetry};
 
 /// Full experiment result.
 #[derive(Debug, Clone)]
@@ -105,10 +106,27 @@ pub fn run(args: &ExpArgs) -> Fig9Result {
         Box::new(Bees::without_adaptation(&config)),
         Box::new(Bees::adaptive(&config)),
     ];
+    // With `--trace-out`, every scheme's lifetime reports into one JSONL
+    // trace; without it the disabled handle keeps the run allocation-free
+    // and its output byte-identical to the untraced path.
+    let telemetry = match &args.trace_out {
+        Some(path) => {
+            let file = std::fs::File::create(path)
+                .unwrap_or_else(|e| panic!("cannot create {}: {e}", path.display()));
+            Telemetry::with_sinks(vec![std::sync::Arc::new(JsonlSink::new(
+                std::io::BufWriter::new(file),
+            ))])
+        }
+        None => Telemetry::disabled(),
+    };
     let runs = schemes
         .iter()
-        .map(|s| run_lifetime(s.as_ref(), &config, &lt).expect("constant trace cannot stall"))
+        .map(|s| {
+            run_lifetime_traced(s.as_ref(), &config, &lt, telemetry.clone())
+                .expect("constant trace cannot stall")
+        })
         .collect();
+    telemetry.flush().expect("trace file write failed");
     Fig9Result { runs }
 }
 
@@ -122,6 +140,7 @@ mod tests {
             scale: 0.1,
             seed: 61,
             quick: true,
+            ..ExpArgs::default()
         };
         let r = run(&args);
         assert_eq!(r.runs.len(), 5);

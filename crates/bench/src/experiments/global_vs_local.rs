@@ -220,6 +220,7 @@ mod tests {
             scale: 0.5,
             seed: 95,
             quick: false,
+            ..ExpArgs::default()
         };
         let r = run(&args);
         let orb = &r.rows[0];

@@ -14,6 +14,7 @@ pub mod fig9_lifetime;
 pub mod global_vs_local;
 pub mod redundancy_sweep;
 pub mod table1_space;
+pub mod telemetry_report;
 
 mod precision;
 

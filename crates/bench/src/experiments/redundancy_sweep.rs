@@ -14,7 +14,7 @@
 
 use crate::args::ExpArgs;
 use crate::table::{f1, kib, Table};
-use bees_core::schemes::{Bees, DirectUpload, Mrc, SmartEye, UploadScheme};
+use bees_core::schemes::{make_scheme, BatchCtx, SchemeKind, UploadScheme};
 use bees_core::{BatchReport, BeesConfig, Client, Server};
 use bees_datasets::{disaster_batch, SceneConfig};
 use bees_net::BandwidthTrace;
@@ -112,12 +112,15 @@ pub fn run(args: &ExpArgs) -> SweepResult {
     let in_batch = (batch_size / 10).max(1);
     let scene = SceneConfig::default();
 
-    let schemes: Vec<Box<dyn UploadScheme>> = vec![
-        Box::new(DirectUpload::new(&config)),
-        Box::new(SmartEye::new(&config)),
-        Box::new(Mrc::new(&config)),
-        Box::new(Bees::adaptive(&config)),
-    ];
+    let schemes: Vec<Box<dyn UploadScheme>> = [
+        SchemeKind::DirectUpload,
+        SchemeKind::SmartEye,
+        SchemeKind::Mrc,
+        SchemeKind::Bees,
+    ]
+    .iter()
+    .map(|&k| make_scheme(k, &config))
+    .collect();
 
     let mut points = Vec::new();
     for (k, &ratio) in [0.0, 0.25, 0.5, 0.75].iter().enumerate() {
@@ -131,10 +134,10 @@ pub fn run(args: &ExpArgs) -> SweepResult {
         let mut reports = Vec::new();
         for scheme in &schemes {
             let mut server = Server::new(&config);
-            let mut client = Client::new(0, &config);
+            let mut client = Client::try_new(0, &config).expect("default config is valid");
             scheme.preload_server(&mut server, &data.server_preload);
             let report = scheme
-                .upload_batch(&mut client, &mut server, &data.batch)
+                .upload(&mut BatchCtx::new(&mut client, &mut server, &data.batch))
                 .expect("constant trace cannot stall");
             reports.push(report);
         }
@@ -157,6 +160,7 @@ mod tests {
             scale: 0.12,
             seed: 41,
             quick: true,
+            ..ExpArgs::default()
         };
         let r = run(&args);
         assert_eq!(r.points.len(), 4);

@@ -126,6 +126,7 @@ mod tests {
             scale: 0.2,
             seed: 5,
             quick: true,
+            ..ExpArgs::default()
         };
         let r = run(&args);
         for row in &r.rows {

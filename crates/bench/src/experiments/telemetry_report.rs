@@ -1,0 +1,222 @@
+//! Telemetry report: every scheme on the same batch with tracing enabled,
+//! rendered as a per-stage time/bytes/energy table.
+//!
+//! Not a paper figure — this is the observability companion to Figs. 7–11:
+//! where those report scheme-level totals, this breaks each scheme down by
+//! pipeline stage (`afe.orb`, `ard.query`, `ard.ssmm`, `aiu.encode`,
+//! `net.*`, `srv.*`) using the [`bees_telemetry`] span stream. With
+//! `--trace-out <path>` the raw JSONL trace (run manifest first, then one
+//! span per line, all on the client's virtual clock) is written for offline
+//! analysis, e.g. `scripts/trace_summary.py`.
+
+use crate::args::ExpArgs;
+use crate::table::{f1, Table};
+use bees_core::schemes::{make_scheme, BatchCtx, SchemeKind};
+use bees_core::{BatchReport, BeesConfig, Client, Server};
+use bees_datasets::{disaster_batch, SceneConfig};
+use bees_net::BandwidthTrace;
+use bees_telemetry::{Aggregator, JsonlSink, RunManifest, StageStats, Telemetry, TraceSink};
+use std::fs::File;
+use std::io::BufWriter;
+use std::sync::Arc;
+
+/// One scheme's run: the batch report plus its per-stage statistics.
+#[derive(Debug, Clone)]
+pub struct SchemeTrace {
+    /// Which scheme ran.
+    pub kind: SchemeKind,
+    /// The batch report.
+    pub report: BatchReport,
+    /// Per-stage statistics, sorted by stage name.
+    pub stages: Vec<(&'static str, StageStats)>,
+}
+
+/// Full experiment result.
+#[derive(Debug, Clone)]
+pub struct TelemetryReportResult {
+    /// Batch size used.
+    pub batch_size: usize,
+    /// One trace per scheme, in roster order.
+    pub schemes: Vec<SchemeTrace>,
+}
+
+impl TelemetryReportResult {
+    /// Prints one per-stage table per scheme.
+    pub fn print(&self) {
+        println!(
+            "\n== Telemetry report: per-stage breakdown ({} images, 25% redundancy) ==",
+            self.batch_size
+        );
+        for s in &self.schemes {
+            println!("\n-- {} --", s.kind.as_str());
+            let mut t = Table::new(vec![
+                "stage",
+                "spans",
+                "mean (s)",
+                "total (s)",
+                "max (s)",
+                "bytes",
+                "joules",
+            ]);
+            for (name, st) in &s.stages {
+                t.row(vec![
+                    (*name).to_string(),
+                    st.count.to_string(),
+                    f1(st.mean_s()),
+                    f1(st.total_s),
+                    f1(st.max_s),
+                    st.bytes.to_string(),
+                    f1(st.joules),
+                ]);
+            }
+            t.print();
+        }
+    }
+}
+
+/// Runs every roster scheme over the same batch with telemetry installed.
+pub fn run(args: &ExpArgs) -> TelemetryReportResult {
+    let mut config = BeesConfig::default();
+    config.trace = BandwidthTrace::constant(256_000.0).expect("constant trace is valid");
+    let batch_size = args.scaled(60, 8);
+    let in_batch = (batch_size / 10).max(1);
+    let data = disaster_batch(
+        args.seed,
+        batch_size,
+        in_batch,
+        0.25,
+        SceneConfig::default(),
+    );
+
+    // One JSONL sink shared by every scheme when `--trace-out` is given;
+    // the run manifest goes first, then spans in close order.
+    let jsonl: Option<Arc<JsonlSink<BufWriter<File>>>> = args.trace_out.as_ref().map(|path| {
+        let file =
+            File::create(path).unwrap_or_else(|e| panic!("cannot create {}: {e}", path.display()));
+        Arc::new(JsonlSink::new(BufWriter::new(file)))
+    });
+    if let Some(sink) = &jsonl {
+        let manifest = RunManifest::new(&format!("{config:?}"), args.seed)
+            .with_crate("bees-core", env!("CARGO_PKG_VERSION"))
+            .with_crate("bees-bench", env!("CARGO_PKG_VERSION"));
+        sink.on_manifest(&manifest);
+    }
+
+    let mut schemes = Vec::new();
+    for kind in args.scheme_roster() {
+        let scheme = make_scheme(kind, &config);
+        let agg = Arc::new(Aggregator::new());
+        let mut sinks: Vec<Arc<dyn TraceSink>> = vec![agg.clone()];
+        if let Some(sink) = &jsonl {
+            sinks.push(sink.clone());
+        }
+        let mut server = Server::new(&config);
+        let mut client = Client::try_new(0, &config).expect("default config is valid");
+        scheme.preload_server(&mut server, &data.server_preload);
+        let mut ctx = BatchCtx::new(&mut client, &mut server, &data.batch)
+            .with_telemetry(Telemetry::with_sinks(sinks));
+        let report = scheme
+            .upload(&mut ctx)
+            .expect("constant trace cannot stall");
+        schemes.push(SchemeTrace {
+            kind,
+            report,
+            stages: agg.snapshot(),
+        });
+    }
+    if let Some(sink) = &jsonl {
+        TraceSink::flush(sink.as_ref()).expect("trace file write failed");
+    }
+    TelemetryReportResult {
+        batch_size,
+        schemes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bees_telemetry::names;
+
+    fn quick_args() -> ExpArgs {
+        ExpArgs {
+            scale: 0.15,
+            seed: 31,
+            quick: true,
+            ..ExpArgs::default()
+        }
+    }
+
+    #[test]
+    fn covers_all_stages_and_telescopes_energy() {
+        let r = run(&quick_args());
+        assert_eq!(r.schemes.len(), SchemeKind::ALL.len());
+        let bees = r
+            .schemes
+            .iter()
+            .find(|s| s.kind == SchemeKind::Bees)
+            .expect("BEES in default roster");
+        let stage = |name: &str| {
+            bees.stages
+                .iter()
+                .find(|(n, _)| *n == name)
+                .map(|(_, st)| st.clone())
+                .unwrap_or_else(|| panic!("stage {name} missing"))
+        };
+        for name in [
+            names::AFE_ORB,
+            names::ARD_QUERY,
+            names::ARD_SSMM,
+            names::AIU_ENCODE,
+            names::NET_TRANSMIT,
+            names::SRV_QUERY,
+            names::SRV_INGEST,
+        ] {
+            assert!(stage(name).count > 0, "{name} never fired");
+        }
+        // The four stage spans partition the pipeline: their joules sum to
+        // the ledger total the report carries.
+        let staged: f64 = [
+            names::AFE_ORB,
+            names::ARD_QUERY,
+            names::ARD_SSMM,
+            names::AIU_ENCODE,
+        ]
+        .iter()
+        .map(|n| stage(n).joules)
+        .sum();
+        let total = bees.report.energy.total();
+        assert!(
+            (staged - total).abs() < 1e-6,
+            "stage joules {staged} vs ledger {total}"
+        );
+    }
+
+    #[test]
+    fn aggregation_is_deterministic() {
+        let a = run(&quick_args());
+        let b = run(&quick_args());
+        for (x, y) in a.schemes.iter().zip(&b.schemes) {
+            assert_eq!(x.kind, y.kind);
+            assert_eq!(x.stages, y.stages);
+        }
+    }
+
+    #[test]
+    fn trace_out_writes_manifest_then_spans() {
+        let path = std::env::temp_dir().join("bees_telemetry_report_test.jsonl");
+        let args = ExpArgs {
+            trace_out: Some(path.clone()),
+            schemes: Some(vec![SchemeKind::Bees]),
+            ..quick_args()
+        };
+        let r = run(&args);
+        assert_eq!(r.schemes.len(), 1);
+        let text = std::fs::read_to_string(&path).expect("trace file written");
+        let _ = std::fs::remove_file(&path);
+        let first = text.lines().next().expect("non-empty trace");
+        assert!(first.starts_with("{\"manifest\":"), "got {first}");
+        assert!(text.lines().skip(1).all(|l| l.starts_with("{\"span\":")));
+        assert!(text.contains("\"span\":\"afe.orb\""));
+    }
+}

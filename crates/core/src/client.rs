@@ -4,7 +4,10 @@ use crate::config::BeesConfig;
 use crate::error::CoreError;
 use crate::Result;
 use bees_energy::{Battery, EnergyCategory, EnergyLedger, EnergyModel};
-use bees_net::{BandwidthTrace, Channel, FaultyChannel, NetError, RetryPolicy, SimClock};
+use bees_net::{
+    BandwidthTrace, Channel, FaultKind, FaultyChannel, NetError, RetryPolicy, SimClock,
+};
+use bees_telemetry::{names, Telemetry};
 
 /// A simulated smartphone.
 ///
@@ -24,6 +27,7 @@ pub struct Client {
     retry: RetryPolicy,
     fault_seed: u64,
     energy: EnergyModel,
+    telemetry: Telemetry,
 }
 
 impl Client {
@@ -36,12 +40,18 @@ impl Client {
     ///
     /// Panics if the configuration is invalid; use
     /// [`try_new`](Client::try_new) to handle that as a typed error.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `Client::try_new`, which returns the \
+                                          configuration error instead of panicking"
+    )]
     pub fn new(id: u64, config: &BeesConfig) -> Self {
         Self::try_new(id, config).expect("invalid BeesConfig")
     }
 
     /// Fallible constructor: validates the configuration's network and
-    /// robustness knobs first.
+    /// robustness knobs first. Telemetry starts disabled; install a handle
+    /// with [`set_telemetry`](Client::set_telemetry) to trace transfers.
     ///
     /// # Errors
     ///
@@ -77,12 +87,25 @@ impl Client {
             retry: config.retry,
             fault_seed,
             energy: config.energy,
+            telemetry: Telemetry::disabled(),
         })
     }
 
     /// The client's identifier.
     pub fn id(&self) -> u64 {
         self.id
+    }
+
+    /// The telemetry handle `net.*` spans are emitted through (disabled by
+    /// default, so untraced runs pay nothing).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    /// Installs a telemetry handle; subsequent transfers emit `net.*`
+    /// spans against this client's virtual clock.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
     }
 
     /// Remaining battery fraction — the `Ebat` every EAAS scheme reads.
@@ -160,10 +183,8 @@ impl Client {
     /// Returns [`CoreError::BatteryExhausted`] if the battery empties, or a
     /// network error if the channel stalls.
     pub fn transmit(&mut self, category: EnergyCategory, bytes: usize) -> Result<f64> {
-        let duration = self
-            .channel
-            .channel()
-            .transfer_duration(self.clock.now(), bytes)?;
+        let start = self.clock.now();
+        let duration = self.channel.channel().transfer_duration(start, bytes)?;
         let joules = self.energy.radio_tx_energy(duration);
         let drained = self.battery.drain(joules);
         self.ledger.record(category, drained);
@@ -174,6 +195,12 @@ impl Client {
                 during: category_name(category),
             });
         }
+        self.telemetry
+            .span(names::NET_TRANSMIT, start)
+            .attr_str("category", category_name(category))
+            .attr_u64("bytes", bytes as u64)
+            .attr_f64("joules", drained)
+            .close(self.clock.now());
         Ok(duration)
     }
 
@@ -184,10 +211,8 @@ impl Client {
     /// Returns [`CoreError::BatteryExhausted`] if the battery empties, or a
     /// network error if the channel stalls.
     pub fn receive(&mut self, bytes: usize) -> Result<f64> {
-        let duration = self
-            .channel
-            .channel()
-            .transfer_duration(self.clock.now(), bytes)?;
+        let start = self.clock.now();
+        let duration = self.channel.channel().transfer_duration(start, bytes)?;
         let joules = self.energy.radio_rx_energy(duration);
         let drained = self.battery.drain(joules);
         self.ledger.record(EnergyCategory::Download, drained);
@@ -196,6 +221,11 @@ impl Client {
         if drained < joules || !baseline_ok {
             return Err(CoreError::BatteryExhausted { during: "download" });
         }
+        self.telemetry
+            .span(names::NET_RECEIVE, start)
+            .attr_u64("bytes", bytes as u64)
+            .attr_f64("joules", drained)
+            .close(self.clock.now());
         Ok(duration)
     }
 
@@ -274,6 +304,18 @@ impl Client {
             wasted += drained_waste;
             self.clock.advance(outcome.elapsed_s);
             let baseline_ok = self.drain_baseline(outcome.elapsed_s);
+            if let Some(fault) = outcome.fault {
+                // Record the interrupted attempt even if the battery died
+                // paying for it — the trace should show what was tried.
+                self.telemetry
+                    .span(names::NET_RETRY, now)
+                    .attr_str("category", category_name(category))
+                    .attr_str("fault", fault_name(fault))
+                    .attr_u64("attempt", u64::from(attempts))
+                    .attr_u64("kept_bytes", kept as u64)
+                    .attr_f64("wasted_joules", drained_waste)
+                    .close(self.clock.now());
+            }
             if drained_useful < useful_j || drained_waste < waste_j || !baseline_ok {
                 return Err(CoreError::BatteryExhausted {
                     during: category_name(category),
@@ -281,6 +323,13 @@ impl Client {
             }
             confirmed += kept;
             if confirmed >= bytes {
+                self.telemetry
+                    .span(names::NET_TRANSMIT, start)
+                    .attr_str("category", category_name(category))
+                    .attr_u64("bytes", bytes as u64)
+                    .attr_u64("attempts", u64::from(attempts))
+                    .attr_f64("wasted_joules", wasted)
+                    .close(self.clock.now());
                 return Ok(TransmitSummary {
                     attempts,
                     delivered_bytes: confirmed,
@@ -341,6 +390,15 @@ fn category_name(category: EnergyCategory) -> &'static str {
     }
 }
 
+/// Stable, allocation-free trace label for a fault kind.
+fn fault_name(fault: FaultKind) -> &'static str {
+    match fault {
+        FaultKind::Disconnected => "disconnected",
+        FaultKind::Dropped => "dropped",
+        FaultKind::TimedOut => "timed_out",
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -353,7 +411,7 @@ mod tests {
 
     #[test]
     fn spend_cpu_drains_and_advances() {
-        let mut c = Client::new(1, &config());
+        let mut c = Client::try_new(1, &config()).unwrap();
         let t = c.spend_cpu(EnergyCategory::FeatureExtraction, 4.0).unwrap();
         assert!((t - 2.0).abs() < 1e-9); // 4 J at 2 W
         assert!((c.now() - 2.0).abs() < 1e-9);
@@ -363,7 +421,7 @@ mod tests {
 
     #[test]
     fn transmit_uses_channel_and_radio_power() {
-        let mut c = Client::new(1, &config());
+        let mut c = Client::try_new(1, &config()).unwrap();
         // 32 KB at 256 Kbps = 1 s at 0.8 W.
         let d = c.transmit(EnergyCategory::ImageUpload, 32_000).unwrap();
         assert!((d - 1.0).abs() < 1e-9);
@@ -375,7 +433,7 @@ mod tests {
         // The battery pays idle_watts for every wall-clock second, whether
         // the phone is transferring, computing, or waiting: slow uploads
         // cost screen time too (the effect Fig. 9/12 depend on).
-        let mut c = Client::new(1, &config());
+        let mut c = Client::try_new(1, &config()).unwrap();
         let d = c.transmit(EnergyCategory::ImageUpload, 32_000).unwrap(); // 1 s
         assert!((c.ledger().get(EnergyCategory::Idle) - d * 1.0).abs() < 1e-9);
         c.spend_cpu(EnergyCategory::FeatureExtraction, 4.0).unwrap(); // 2 s CPU
@@ -388,7 +446,7 @@ mod tests {
 
     #[test]
     fn exhaustion_is_reported() {
-        let mut c = Client::new(1, &config());
+        let mut c = Client::try_new(1, &config()).unwrap();
         c.battery_mut().set_fraction(0.0);
         let err = c.spend_cpu(EnergyCategory::Compression, 1.0);
         assert!(matches!(err, Err(CoreError::BatteryExhausted { .. })));
@@ -396,7 +454,7 @@ mod tests {
 
     #[test]
     fn idle_records_idle_category() {
-        let mut c = Client::new(1, &config());
+        let mut c = Client::try_new(1, &config()).unwrap();
         c.idle(10.0).unwrap();
         assert!((c.ledger().get(EnergyCategory::Idle) - 10.0).abs() < 1e-9);
         assert!((c.now() - 10.0).abs() < 1e-9);
@@ -406,8 +464,8 @@ mod tests {
     fn fleet_clients_get_distinct_traces() {
         let mut cfg = BeesConfig::default(); // fluctuating trace
         cfg.battery = bees_energy::Battery::from_joules(1e9);
-        let mut a = Client::new(1, &cfg);
-        let mut b = Client::new(2, &cfg);
+        let mut a = Client::try_new(1, &cfg).unwrap();
+        let mut b = Client::try_new(2, &cfg).unwrap();
         let da = a.transmit(EnergyCategory::ImageUpload, 200_000).unwrap();
         let db = b.transmit(EnergyCategory::ImageUpload, 200_000).unwrap();
         assert_ne!(da, db);
@@ -415,10 +473,65 @@ mod tests {
 
     #[test]
     fn reset_ledger_clears_counters() {
-        let mut c = Client::new(3, &config());
+        let mut c = Client::try_new(3, &config()).unwrap();
         c.idle(1.0).unwrap();
         c.reset_ledger();
         assert_eq!(c.ledger().total(), 0.0);
+    }
+
+    #[test]
+    fn deprecated_constructor_still_builds() {
+        #[allow(deprecated)]
+        let c = Client::new(9, &config());
+        assert_eq!(c.id(), 9);
+    }
+
+    #[test]
+    fn telemetry_starts_disabled_and_traces_when_installed() {
+        use bees_telemetry::{JsonlSink, SharedBuf};
+        use std::sync::Arc;
+        let mut c = Client::try_new(1, &config()).unwrap();
+        assert!(!c.telemetry().is_enabled());
+        let buf = SharedBuf::new();
+        c.set_telemetry(Telemetry::with_sinks(vec![Arc::new(JsonlSink::new(
+            buf.clone(),
+        ))]));
+        c.transmit(EnergyCategory::ImageUpload, 32_000).unwrap();
+        c.receive(1_000).unwrap();
+        c.telemetry().flush().unwrap();
+        let out = buf.contents_string();
+        assert!(out.contains("\"span\":\"net.transmit\""));
+        assert!(out.contains("\"span\":\"net.receive\""));
+        assert!(out.contains("\"category\":\"image upload\""));
+        // Spans run on the virtual clock: the first transmit starts at 0.
+        assert!(out.contains("\"start_s\":0"));
+    }
+
+    #[test]
+    fn faulted_retries_emit_retry_spans() {
+        use bees_telemetry::{JsonlSink, SharedBuf};
+        use std::sync::Arc;
+        let mut cfg = config();
+        cfg.battery = bees_energy::Battery::from_joules(1e9);
+        cfg.fault = bees_net::FaultModel::new(0xF00D, 0.5, 0.0, 30.0, 10.0).unwrap();
+        cfg.retry.max_attempts = 200;
+        let mut c = Client::try_new(0, &cfg).unwrap();
+        let buf = SharedBuf::new();
+        c.set_telemetry(Telemetry::with_sinks(vec![Arc::new(JsonlSink::new(
+            buf.clone(),
+        ))]));
+        for _ in 0..8 {
+            c.transmit_resumable(EnergyCategory::ImageUpload, 200_000)
+                .unwrap();
+        }
+        let out = buf.contents_string();
+        assert!(
+            out.contains("\"span\":\"net.retry\""),
+            "p=0.5 drops must produce retry spans"
+        );
+        assert!(out.contains("\"fault\":"));
+        assert!(out.contains("\"span\":\"net.transmit\""));
+        assert!(out.contains("\"attempts\":"));
     }
 
     #[test]
@@ -426,8 +539,8 @@ mod tests {
         // The fast path must be *exactly* the legacy path: same duration,
         // same ledger, same battery, same clock — bit for bit.
         let cfg = config();
-        let mut plain = Client::new(7, &cfg);
-        let mut resumable = Client::new(7, &cfg);
+        let mut plain = Client::try_new(7, &cfg).unwrap();
+        let mut resumable = Client::try_new(7, &cfg).unwrap();
         let d = plain
             .transmit(EnergyCategory::ImageUpload, 100_000)
             .unwrap();
@@ -452,7 +565,7 @@ mod tests {
         cfg.battery = bees_energy::Battery::from_joules(1e9);
         cfg.fault = bees_net::FaultModel::new(0xF00D, 0.5, 0.0, 30.0, 10.0).unwrap();
         cfg.retry.max_attempts = 200;
-        let mut c = Client::new(0, &cfg);
+        let mut c = Client::try_new(0, &cfg).unwrap();
         // Several transfers so at least one hits a dropped attempt.
         let mut total_attempts = 0;
         let mut total_wasted = 0.0;
@@ -482,7 +595,7 @@ mod tests {
         cfg.fault = bees_net::FaultModel::new(1, 1.0, 0.0, 30.0, 10.0).unwrap();
         cfg.retry.max_attempts = 3;
         cfg.retry.chunk_bytes = 1 << 30;
-        let mut c = Client::new(0, &cfg);
+        let mut c = Client::try_new(0, &cfg).unwrap();
         let err = c.transmit_resumable(EnergyCategory::ImageUpload, 50_000);
         match err {
             Err(CoreError::Net(NetError::RetriesExhausted {
@@ -509,7 +622,7 @@ mod tests {
         // exactly 32 000 bytes, of which 16 384 (one chunk) is banked.
         cfg.fault = bees_net::FaultModel::new(2, 0.0, 1e-12, 1e9, 1.0).unwrap();
         cfg.retry.attempt_timeout_s = Some(1.0);
-        let mut c = Client::new(0, &cfg);
+        let mut c = Client::try_new(0, &cfg).unwrap();
         let s = c
             .transmit_resumable(EnergyCategory::ImageUpload, 60_000)
             .unwrap();

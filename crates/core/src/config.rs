@@ -133,10 +133,19 @@ impl BeesConfig {
         Self::quality_for_proportion(self.quality_proportion)
     }
 
+    /// Starts a [`BeesConfigBuilder`] from the paper defaults. The builder
+    /// validates at [`build()`](BeesConfigBuilder::build), so invalid
+    /// fault/retry/stall/quality knobs are caught where they are set
+    /// rather than deep inside a simulation.
+    pub fn builder() -> BeesConfigBuilder {
+        BeesConfigBuilder::default()
+    }
+
     /// Validates the network-robustness knobs (fault model, retry policy,
-    /// stall limit). Called by [`crate::Client::try_new`] so an invalid
-    /// configuration surfaces as a typed error instead of a panic deep in
-    /// the simulation.
+    /// stall limit) and the compression/threshold knobs. Called by
+    /// [`crate::Client::try_new`] and [`BeesConfigBuilder::build`] so an
+    /// invalid configuration surfaces as a typed error instead of a panic
+    /// deep in the simulation.
     ///
     /// # Errors
     ///
@@ -160,7 +169,126 @@ impl BeesConfig {
                 ),
             });
         }
+        if self.camera_quality == 0 || self.camera_quality > 100 {
+            return Err(CoreError::InvalidConfig {
+                detail: format!(
+                    "camera_quality must be in 1..=100, got {}",
+                    self.camera_quality
+                ),
+            });
+        }
+        if !self.quality_proportion.is_finite() || !(0.0..1.0).contains(&self.quality_proportion) {
+            return Err(CoreError::InvalidConfig {
+                detail: format!(
+                    "quality_proportion must be in [0, 1), got {}",
+                    self.quality_proportion
+                ),
+            });
+        }
+        for (name, value) in [
+            ("fixed_threshold", self.fixed_threshold),
+            ("fixed_threshold_pca", self.fixed_threshold_pca),
+            ("histogram_threshold", self.histogram_threshold),
+        ] {
+            if !value.is_finite() || !(0.0..=1.0).contains(&value) {
+                return Err(CoreError::InvalidConfig {
+                    detail: format!("{name} must be in [0, 1], got {value}"),
+                });
+            }
+        }
         Ok(())
+    }
+}
+
+/// Builds a validated [`BeesConfig`].
+///
+/// Every setter takes the same type as the corresponding public field;
+/// [`build()`](BeesConfigBuilder::build) runs [`BeesConfig::validate`], so
+/// a config obtained through the builder is usable by construction:
+///
+/// ```
+/// use bees_core::BeesConfig;
+/// use bees_net::BandwidthTrace;
+///
+/// let config = BeesConfig::builder()
+///     .trace(BandwidthTrace::constant(256_000.0).unwrap())
+///     .quality_proportion(0.85)
+///     .build()
+///     .expect("knobs are in range");
+/// assert_eq!(config.upload_quality(), 15);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct BeesConfigBuilder {
+    config: BeesConfig,
+}
+
+macro_rules! builder_setters {
+    ($( $(#[$doc:meta])* $name:ident: $ty:ty ),* $(,)?) => {
+        $(
+            $(#[$doc])*
+            #[must_use]
+            pub fn $name(mut self, value: $ty) -> Self {
+                self.config.$name = value;
+                self
+            }
+        )*
+    };
+}
+
+impl BeesConfigBuilder {
+    builder_setters! {
+        /// Sets the ORB extractor settings.
+        orb: OrbConfig,
+        /// Sets the PCA-SIFT settings.
+        pca_sift: PcaSiftConfig,
+        /// Sets the PCA projection-basis seed.
+        pca_basis_seed: u64,
+        /// Sets the similarity-scoring thresholds.
+        similarity: SimilarityConfig,
+        /// Sets the SSMM objective weights.
+        ssmm: SsmmConfig,
+        /// Sets the EAC adaptation scheme.
+        eac: LinearScheme,
+        /// Sets the EDR adaptation scheme.
+        edr: LinearScheme,
+        /// Sets the SSMM partition-threshold scheme.
+        tw: LinearScheme,
+        /// Sets the EAU adaptation scheme.
+        eau: LinearScheme,
+        /// Sets the on-phone camera JPEG quality (1..=100).
+        camera_quality: u8,
+        /// Sets the fixed quality-compression proportion (in `[0, 1)`).
+        quality_proportion: f64,
+        /// Sets MRC's fixed ORB similarity threshold.
+        fixed_threshold: f64,
+        /// Sets SmartEye's fixed PCA-SIFT similarity threshold.
+        fixed_threshold_pca: f64,
+        /// Sets the PhotoNet-like histogram-intersection threshold.
+        histogram_threshold: f64,
+        /// Sets the starting battery.
+        battery: Battery,
+        /// Sets the energy cost model.
+        energy: EnergyModel,
+        /// Sets the bandwidth trace.
+        trace: BandwidthTrace,
+        /// Sets the fault-injection model.
+        fault: FaultModel,
+        /// Sets the retry/backoff/chunking policy.
+        retry: RetryPolicy,
+        /// Sets the channel stall limit in seconds.
+        stall_limit_s: f64,
+        /// Sets the server index backend.
+        index_backend: IndexBackend,
+    }
+
+    /// Validates and returns the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] naming the offending knob.
+    pub fn build(self) -> crate::Result<BeesConfig> {
+        self.config.validate()?;
+        Ok(self.config)
     }
 }
 
@@ -208,6 +336,37 @@ mod tests {
         let mut c = BeesConfig::default();
         c.retry.backoff_factor = 0.0;
         assert!(detail(&c).contains("retry policy"));
+    }
+
+    #[test]
+    fn builder_round_trips_the_defaults() {
+        let built = BeesConfig::builder().build().expect("defaults are valid");
+        let json_built = serde_json::to_string(&built).unwrap();
+        let json_default = serde_json::to_string(&BeesConfig::default()).unwrap();
+        assert_eq!(json_built, json_default);
+    }
+
+    #[test]
+    fn builder_applies_setters_and_validates() {
+        let config = BeesConfig::builder()
+            .camera_quality(80)
+            .quality_proportion(0.5)
+            .stall_limit_s(120.0)
+            .index_backend(IndexBackend::Mih)
+            .build()
+            .expect("knobs are in range");
+        assert_eq!(config.camera_quality, 80);
+        assert_eq!(config.upload_quality(), 50);
+        assert_eq!(config.index_backend, IndexBackend::Mih);
+
+        let err = BeesConfig::builder().camera_quality(0).build();
+        assert!(matches!(err, Err(CoreError::InvalidConfig { .. })));
+        let err = BeesConfig::builder().quality_proportion(1.0).build();
+        assert!(matches!(err, Err(CoreError::InvalidConfig { .. })));
+        let err = BeesConfig::builder().fixed_threshold(f64::NAN).build();
+        assert!(matches!(err, Err(CoreError::InvalidConfig { .. })));
+        let err = BeesConfig::builder().stall_limit_s(-1.0).build();
+        assert!(matches!(err, Err(CoreError::InvalidConfig { .. })));
     }
 
     #[test]

@@ -19,6 +19,14 @@ pub enum CoreError {
         /// Human-readable description of the problem.
         detail: String,
     },
+    /// A geotag slice does not line up with its batch (caught by
+    /// [`crate::schemes::BatchCtx::with_geotags`] before any scheme runs).
+    GeotagMismatch {
+        /// Images in the batch.
+        images: usize,
+        /// Geotags supplied.
+        geotags: usize,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -30,6 +38,10 @@ impl fmt::Display for CoreError {
                 write!(f, "battery exhausted during {during}")
             }
             CoreError::InvalidConfig { detail } => write!(f, "invalid configuration: {detail}"),
+            CoreError::GeotagMismatch { images, geotags } => write!(
+                f,
+                "geotag count {geotags} does not match batch size {images}"
+            ),
         }
     }
 }
@@ -73,6 +85,17 @@ mod tests {
         };
         assert!(b.to_string().contains("image upload"));
         assert!(b.source().is_none());
+    }
+
+    #[test]
+    fn geotag_mismatch_names_both_counts() {
+        let e = CoreError::GeotagMismatch {
+            images: 4,
+            geotags: 3,
+        };
+        assert!(e.to_string().contains('4'));
+        assert!(e.to_string().contains('3'));
+        assert!(e.source().is_none());
     }
 
     #[test]

@@ -22,16 +22,17 @@
 //!
 //! ```no_run
 //! use bees_core::{BeesConfig, Client, Server};
-//! use bees_core::schemes::{Bees, UploadScheme};
+//! use bees_core::schemes::{BatchCtx, Bees, UploadScheme};
 //! use bees_datasets::{disaster_batch, SceneConfig};
 //!
 //! # fn main() -> Result<(), bees_core::CoreError> {
 //! let config = BeesConfig::default();
 //! let mut server = Server::new(&config);
-//! let mut client = Client::new(1, &config);
+//! let mut client = Client::try_new(1, &config)?;
 //! let data = disaster_batch(7, 10, 1, 0.25, SceneConfig::default());
 //! server.preload(&data.server_preload);
-//! let report = Bees::adaptive(&config).upload_batch(&mut client, &mut server, &data.batch)?;
+//! let mut ctx = BatchCtx::new(&mut client, &mut server, &data.batch);
+//! let report = Bees::adaptive(&config).upload(&mut ctx)?;
 //! println!("uploaded {} of {}", report.uploaded_images, report.batch_size);
 //! # Ok(())
 //! # }

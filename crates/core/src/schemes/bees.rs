@@ -20,15 +20,16 @@
 //! highest threshold, no resolution compression) — quality compression,
 //! ORB, and both redundancy eliminations still apply.
 
-use crate::schemes::{transmit_or_defer, try_power, Delivery, SchemeKind, UploadScheme};
-use crate::{BatchReport, BeesConfig, Client, Result, Server};
+use crate::schemes::{transmit_or_defer, try_power, BatchCtx, Delivery, SchemeKind, UploadScheme};
+use crate::{BatchReport, BeesConfig, Client, Result};
 use bees_energy::{AdaptiveScheme, EnergyCategory, LinearScheme};
 use bees_features::orb::Orb;
 use bees_features::similarity::jaccard_similarity;
 use bees_features::{FeatureExtractor, ImageFeatures};
-use bees_image::{codec, resize, RgbImage};
+use bees_image::{codec, resize};
 use bees_net::wire;
 use bees_submodular::{SimilarityGraph, Ssmm};
+use bees_telemetry::names;
 
 /// Resolution-compression proportion of the degraded (thumbnail) upload
 /// tried after the full-quality upload exhausts its retries: 75 % of the
@@ -97,22 +98,19 @@ impl UploadScheme for Bees {
         }
     }
 
-    fn upload_batch_tagged(
-        &self,
-        client: &mut Client,
-        server: &mut Server,
-        batch: &[RgbImage],
-        geotags: Option<&[(f64, f64)]>,
-    ) -> Result<BatchReport> {
-        if let Some(tags) = geotags {
-            assert_eq!(tags.len(), batch.len(), "one geotag per image");
-        }
+    fn upload(&self, ctx: &mut BatchCtx<'_>) -> Result<BatchReport> {
+        let tel = ctx.telemetry.clone();
+        let batch = ctx.batch;
+        let geotags = ctx.geotags();
+        let client = &mut *ctx.client;
+        let server = &mut *ctx.server;
         let mut report = BatchReport::new(self.kind().to_string(), batch.len());
         client.reset_ledger();
         let start = client.now();
         let model = *client.energy_model();
 
         // ---- Stage 1: Approximate Feature Extraction --------------------
+        let joules_before_afe = client.ledger().total();
         let mut features: Vec<ImageFeatures> = Vec::with_capacity(batch.len());
         for img in batch {
             let ebat = self.effective_ebat(client);
@@ -134,10 +132,18 @@ impl UploadScheme for Bees {
             );
             features.push(f);
         }
+        tel.span(names::AFE_ORB, start)
+            .attr_str("scheme", self.kind().as_str())
+            .attr_str("extractor", "ORB")
+            .attr_u64("images", batch.len() as u64)
+            .attr_f64("joules", client.ledger().total() - joules_before_afe)
+            .close(client.now());
 
         // ---- Stage 2: Cross-Batch Redundancy Detection -------------------
         // A deferred feature query degrades gracefully: every image is
         // treated as non-redundant (the in-batch stage still runs locally).
+        let t_query = client.now();
+        let joules_before_query = client.ledger().total();
         let feature_payload: usize = features.iter().map(|f| f.wire_size()).sum();
         let query_bytes = wire::feature_query_bytes(feature_payload);
         let mut survivors: Vec<usize> = Vec::with_capacity(batch.len());
@@ -174,8 +180,18 @@ impl UploadScheme for Bees {
                 survivors.extend(0..batch.len());
             }
         }
+        tel.span(names::ARD_QUERY, t_query)
+            .attr_str("scheme", self.kind().as_str())
+            .attr_u64("bytes", query_bytes as u64)
+            .attr_u64("redundant", report.skipped_cross_batch as u64)
+            .attr_bool("deferred", report.feature_query_deferred)
+            .attr_f64("joules", client.ledger().total() - joules_before_query)
+            .close(client.now());
 
         // ---- Stage 3: In-Batch Redundancy Detection (SSMM) ---------------
+        let t_ssmm = client.now();
+        let joules_before_ssmm = client.ledger().total();
+        let n_survivors = survivors.len();
         let selected: Vec<usize> = if survivors.len() > 1 {
             // Pairwise matching cost on the phone.
             let mut pair_j = 0.0;
@@ -209,10 +225,18 @@ impl UploadScheme for Bees {
         } else {
             survivors
         };
+        tel.span(names::ARD_SSMM, t_ssmm)
+            .attr_str("scheme", self.kind().as_str())
+            .attr_u64("survivors", n_survivors as u64)
+            .attr_u64("selected", selected.len() as u64)
+            .attr_f64("joules", client.ledger().total() - joules_before_ssmm)
+            .close(client.now());
 
         // ---- Stage 4: Approximate Image Uploading ------------------------
         // Degradation ladder per image: full-quality upload → (on retry
         // exhaustion) thumbnail-quality upload → (again exhausted) defer.
+        let t_aiu = client.now();
+        let joules_before_aiu = client.ledger().total();
         for &i in &selected {
             let ebat = self.effective_ebat(client);
             let cr = self.eau.value(ebat);
@@ -287,6 +311,14 @@ impl UploadScheme for Bees {
                 }
             }
         }
+        tel.span(names::AIU_ENCODE, t_aiu)
+            .attr_str("scheme", self.kind().as_str())
+            .attr_u64("selected", selected.len() as u64)
+            .attr_u64("uploaded", report.uploaded_images as u64)
+            .attr_u64("degraded", report.degraded_images as u64)
+            .attr_u64("bytes", report.image_bytes as u64)
+            .attr_f64("joules", client.ledger().total() - joules_before_aiu)
+            .close(client.now());
 
         report.total_delay_s = client.now() - start;
         report.energy = client.ledger().clone();
@@ -298,6 +330,7 @@ impl UploadScheme for Bees {
 mod tests {
     use super::*;
     use crate::schemes::DirectUpload;
+    use crate::Server;
     use bees_datasets::{disaster_batch, SceneConfig};
     use bees_net::BandwidthTrace;
 
@@ -321,12 +354,12 @@ mod tests {
         let cfg = config();
         let scheme = Bees::adaptive(&cfg);
         let mut server = Server::new(&cfg);
-        let mut client = Client::new(0, &cfg);
+        let mut client = Client::try_new(0, &cfg).unwrap();
         // 10 images: 2 in-batch extras, 25% cross-batch (2-3 images).
         let data = disaster_batch(31, 10, 2, 0.25, small());
         scheme.preload_server(&mut server, &data.server_preload);
         let r = scheme
-            .upload_batch(&mut client, &mut server, &data.batch)
+            .upload(&mut BatchCtx::new(&mut client, &mut server, &data.batch))
             .unwrap();
         assert!(
             r.skipped_cross_batch >= 1,
@@ -348,15 +381,15 @@ mod tests {
         let data = disaster_batch(32, 5, 0, 0.0, SceneConfig::default());
 
         let mut server1 = Server::new(&cfg);
-        let mut client1 = Client::new(0, &cfg);
+        let mut client1 = Client::try_new(0, &cfg).unwrap();
         let rb = Bees::adaptive(&cfg)
-            .upload_batch(&mut client1, &mut server1, &data.batch)
+            .upload(&mut BatchCtx::new(&mut client1, &mut server1, &data.batch))
             .unwrap();
 
         let mut server2 = Server::new(&cfg);
-        let mut client2 = Client::new(0, &cfg);
+        let mut client2 = Client::try_new(0, &cfg).unwrap();
         let rd = DirectUpload::new(&cfg)
-            .upload_batch(&mut client2, &mut server2, &data.batch)
+            .upload(&mut BatchCtx::new(&mut client2, &mut server2, &data.batch))
             .unwrap();
 
         assert!(
@@ -374,16 +407,16 @@ mod tests {
         let data = disaster_batch(33, 3, 0, 0.0, small());
 
         let mut server1 = Server::new(&cfg);
-        let mut client1 = Client::new(0, &cfg);
+        let mut client1 = Client::try_new(0, &cfg).unwrap();
         let r_full = Bees::adaptive(&cfg)
-            .upload_batch(&mut client1, &mut server1, &data.batch)
+            .upload(&mut BatchCtx::new(&mut client1, &mut server1, &data.batch))
             .unwrap();
 
         let mut server2 = Server::new(&cfg);
-        let mut client2 = Client::new(0, &cfg);
+        let mut client2 = Client::try_new(0, &cfg).unwrap();
         client2.battery_mut().set_fraction(0.1);
         let r_low = Bees::adaptive(&cfg)
-            .upload_batch(&mut client2, &mut server2, &data.batch)
+            .upload(&mut BatchCtx::new(&mut client2, &mut server2, &data.batch))
             .unwrap();
 
         assert!(
@@ -401,10 +434,10 @@ mod tests {
 
         let run = |fraction: f64| {
             let mut server = Server::new(&cfg);
-            let mut client = Client::new(0, &cfg);
+            let mut client = Client::try_new(0, &cfg).unwrap();
             client.battery_mut().set_fraction(fraction);
             Bees::without_adaptation(&cfg)
-                .upload_batch(&mut client, &mut server, &data.batch)
+                .upload(&mut BatchCtx::new(&mut client, &mut server, &data.batch))
                 .unwrap()
         };
         let full = run(1.0);
@@ -419,7 +452,7 @@ mod tests {
         let data = disaster_batch(35, 4, 0, 0.0, small());
         let run = |adaptive: bool| {
             let mut server = Server::new(&cfg);
-            let mut client = Client::new(0, &cfg);
+            let mut client = Client::try_new(0, &cfg).unwrap();
             client.battery_mut().set_fraction(0.15);
             let scheme = if adaptive {
                 Bees::adaptive(&cfg)
@@ -427,7 +460,7 @@ mod tests {
                 Bees::without_adaptation(&cfg)
             };
             scheme
-                .upload_batch(&mut client, &mut server, &data.batch)
+                .upload(&mut BatchCtx::new(&mut client, &mut server, &data.batch))
                 .unwrap()
         };
         let r_adaptive = run(true);
@@ -454,9 +487,9 @@ mod tests {
         let scheme = Bees::adaptive(&cfg);
         let mut server = Server::new(&cfg);
         scheme.preload_server(&mut server, &data.server_preload);
-        let mut client = Client::new(0, &cfg);
+        let mut client = Client::try_new(0, &cfg).unwrap();
         let r = scheme
-            .upload_batch(&mut client, &mut server, &data.batch)
+            .upload(&mut BatchCtx::new(&mut client, &mut server, &data.batch))
             .unwrap();
         assert!(!r.exhausted);
         assert_eq!(
@@ -480,9 +513,9 @@ mod tests {
         // The same run twice is byte-identical (fault injection is seeded).
         let mut server2 = Server::new(&cfg);
         scheme.preload_server(&mut server2, &data.server_preload);
-        let mut client2 = Client::new(0, &cfg);
+        let mut client2 = Client::try_new(0, &cfg).unwrap();
         let r2 = scheme
-            .upload_batch(&mut client2, &mut server2, &data.batch)
+            .upload(&mut BatchCtx::new(&mut client2, &mut server2, &data.batch))
             .unwrap();
         assert_eq!(r, r2);
     }
@@ -492,22 +525,65 @@ mod tests {
         let cfg = config();
         let scheme = Bees::adaptive(&cfg);
         let mut server = Server::new(&cfg);
-        let mut client = Client::new(0, &cfg);
+        let mut client = Client::try_new(0, &cfg).unwrap();
         let data = disaster_batch(36, 4, 0, 0.0, small());
         let r = scheme
-            .upload_batch(&mut client, &mut server, &data.batch)
+            .upload(&mut BatchCtx::new(&mut client, &mut server, &data.batch))
             .unwrap();
         assert_eq!(server.received_images(), r.uploaded_images);
         assert_eq!(server.indexed_images(), r.uploaded_images);
         // A second identical batch should now be (mostly) cross-redundant.
-        let mut client2 = Client::new(1, &cfg);
+        let mut client2 = Client::try_new(1, &cfg).unwrap();
         let r2 = scheme
-            .upload_batch(&mut client2, &mut server, &data.batch)
+            .upload(&mut BatchCtx::new(&mut client2, &mut server, &data.batch))
             .unwrap();
         assert!(
             r2.skipped_cross_batch >= r.uploaded_images / 2,
             "second pass skipped only {}",
             r2.skipped_cross_batch
+        );
+    }
+
+    #[test]
+    fn stage_spans_cover_the_whole_pipeline() {
+        use bees_telemetry::{Aggregator, Telemetry};
+        use std::sync::Arc;
+        let cfg = config();
+        let scheme = Bees::adaptive(&cfg);
+        let mut server = Server::new(&cfg);
+        let mut client = Client::try_new(0, &cfg).unwrap();
+        let data = disaster_batch(37, 4, 1, 0.25, small());
+        scheme.preload_server(&mut server, &data.server_preload);
+        let agg = Arc::new(Aggregator::new());
+        let mut ctx = BatchCtx::new(&mut client, &mut server, &data.batch)
+            .with_telemetry(Telemetry::with_sinks(vec![agg.clone()]));
+        let r = scheme.upload(&mut ctx).unwrap();
+        let stages: Vec<&str> = agg.snapshot().iter().map(|(name, _)| *name).collect();
+        for expected in [
+            names::AFE_ORB,
+            names::ARD_QUERY,
+            names::ARD_SSMM,
+            names::AIU_ENCODE,
+            names::NET_TRANSMIT,
+            names::SRV_QUERY,
+        ] {
+            assert!(stages.contains(&expected), "missing {expected}: {stages:?}");
+        }
+        // Stage joules sum to (almost) the ledger's active total: the four
+        // stage spans partition the pipeline.
+        let stage_joules: f64 = agg
+            .snapshot()
+            .iter()
+            .filter(|(name, _)| {
+                matches!(*name, "afe.orb" | "ard.query" | "ard.ssmm" | "aiu.encode")
+            })
+            .map(|(_, s)| s.joules)
+            .sum();
+        assert!(
+            (stage_joules - r.energy.total()).abs() < 1e-6,
+            "stages {} vs ledger {}",
+            stage_joules,
+            r.energy.total()
         );
     }
 }

@@ -6,12 +6,12 @@
 //! unique images verbatim. They differ only in the extractor (PCA-SIFT vs
 //! ORB) and in MRC's thumbnail feedback downlink.
 
-use crate::schemes::{transmit_or_defer, try_power, Delivery, SchemeKind};
-use crate::{BatchReport, Client, Result, Server};
+use crate::schemes::{transmit_or_defer, try_power, BatchCtx, Delivery, SchemeKind};
+use crate::{BatchReport, Result};
 use bees_energy::EnergyCategory;
-use bees_features::FeatureExtractor;
-use bees_image::RgbImage;
+use bees_features::{ExtractorKind, FeatureExtractor};
 use bees_net::wire;
+use bees_telemetry::names;
 
 /// Knobs distinguishing SmartEye from MRC.
 pub(crate) struct CrossBatchOptions {
@@ -25,23 +25,33 @@ pub(crate) struct CrossBatchOptions {
     pub camera_quality: u8,
 }
 
+/// The extractor's stable trace label (no allocation — span attributes on
+/// the hot path must stay free when telemetry is disabled).
+pub(crate) fn extractor_name(kind: ExtractorKind) -> &'static str {
+    match kind {
+        ExtractorKind::Orb => "ORB",
+        ExtractorKind::Sift => "SIFT",
+        ExtractorKind::PcaSift => "PCA-SIFT",
+    }
+}
+
 pub(crate) fn run_cross_batch_scheme(
     extractor: &dyn FeatureExtractor,
     opts: &CrossBatchOptions,
-    client: &mut Client,
-    server: &mut Server,
-    batch: &[RgbImage],
-    geotags: Option<&[(f64, f64)]>,
+    ctx: &mut BatchCtx<'_>,
 ) -> Result<BatchReport> {
-    if let Some(tags) = geotags {
-        assert_eq!(tags.len(), batch.len(), "one geotag per image");
-    }
+    let tel = ctx.telemetry.clone();
+    let batch = ctx.batch;
+    let geotags = ctx.geotags();
+    let client = &mut *ctx.client;
+    let server = &mut *ctx.server;
     let mut report = BatchReport::new(opts.scheme.to_string(), batch.len());
     client.reset_ledger();
     let start = client.now();
 
     // 1. Image Feature Extraction (on the full-resolution bitmaps — these
     //    schemes have no approximate stage).
+    let joules_before_afe = client.ledger().total();
     let mut features = Vec::with_capacity(batch.len());
     for img in batch {
         let gray = img.to_gray();
@@ -56,10 +66,18 @@ pub(crate) fn run_cross_batch_scheme(
         );
         features.push(f);
     }
+    tel.span(names::AFE_ORB, start)
+        .attr_str("scheme", opts.scheme.as_str())
+        .attr_str("extractor", extractor_name(extractor.kind()))
+        .attr_u64("images", batch.len() as u64)
+        .attr_f64("joules", client.ledger().total() - joules_before_afe)
+        .close(client.now());
 
     // 2. Upload the feature payload for the whole batch. If the query
     //    itself exhausts its retries, degrade gracefully: treat every image
     //    as non-redundant rather than aborting the batch.
+    let t_query = client.now();
+    let joules_before_query = client.ledger().total();
     let feature_payload: usize = features.iter().map(|f| f.wire_size()).sum();
     let query_bytes = wire::feature_query_bytes(feature_payload);
     let redundant: Vec<bool> = match try_power!(
@@ -103,6 +121,13 @@ pub(crate) fn run_cross_batch_scheme(
         try_power!(report, client, client.receive(thumb_bytes));
         report.downlink_bytes += thumb_bytes;
     }
+    tel.span(names::ARD_QUERY, t_query)
+        .attr_str("scheme", opts.scheme.as_str())
+        .attr_u64("bytes", query_bytes as u64)
+        .attr_u64("redundant", n_redundant as u64)
+        .attr_bool("deferred", report.feature_query_deferred)
+        .attr_f64("joules", client.ledger().total() - joules_before_query)
+        .close(client.now());
 
     // 5. Upload the unique images verbatim; the server indexes the features
     //    it already received.

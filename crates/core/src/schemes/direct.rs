@@ -1,10 +1,9 @@
 //! Direct Upload: the baseline that sends every image verbatim.
 
-use crate::schemes::{transmit_or_defer, try_power, Delivery, SchemeKind, UploadScheme};
-use crate::{BatchReport, Client, Result, Server};
+use crate::schemes::{transmit_or_defer, try_power, BatchCtx, Delivery, SchemeKind, UploadScheme};
+use crate::{BatchReport, Result};
 use bees_energy::EnergyCategory;
 use bees_features::ImageFeatures;
-use bees_image::RgbImage;
 use bees_net::wire;
 
 /// Uploads every stored photo file verbatim, with no redundancy detection.
@@ -16,16 +15,17 @@ use bees_net::wire;
 /// # Examples
 ///
 /// ```no_run
-/// use bees_core::schemes::{DirectUpload, UploadScheme};
+/// use bees_core::schemes::{BatchCtx, DirectUpload, UploadScheme};
 /// use bees_core::{BeesConfig, Client, Server};
 /// use bees_datasets::{Scene, SceneConfig, ViewJitter};
 ///
 /// # fn main() -> Result<(), bees_core::CoreError> {
 /// let config = BeesConfig::default();
 /// let mut server = Server::new(&config);
-/// let mut client = Client::new(0, &config);
+/// let mut client = Client::try_new(0, &config)?;
 /// let img = Scene::new(1, SceneConfig::default()).render(&ViewJitter::identity());
-/// let report = DirectUpload::new(&config).upload_batch(&mut client, &mut server, &[img])?;
+/// let report =
+///     DirectUpload::new(&config).upload(&mut BatchCtx::new(&mut client, &mut server, &[img]))?;
 /// assert_eq!(report.uploaded_images, 1);
 /// # Ok(())
 /// # }
@@ -49,16 +49,11 @@ impl UploadScheme for DirectUpload {
         SchemeKind::DirectUpload
     }
 
-    fn upload_batch_tagged(
-        &self,
-        client: &mut Client,
-        server: &mut Server,
-        batch: &[RgbImage],
-        geotags: Option<&[(f64, f64)]>,
-    ) -> Result<BatchReport> {
-        if let Some(tags) = geotags {
-            assert_eq!(tags.len(), batch.len(), "one geotag per image");
-        }
+    fn upload(&self, ctx: &mut BatchCtx<'_>) -> Result<BatchReport> {
+        let batch = ctx.batch;
+        let geotags = ctx.geotags();
+        let client = &mut *ctx.client;
+        let server = &mut *ctx.server;
         let mut report = BatchReport::new(self.kind().to_string(), batch.len());
         client.reset_ledger();
         let start = client.now();
@@ -102,15 +97,16 @@ impl UploadScheme for DirectUpload {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::BeesConfig;
+    use crate::{BeesConfig, Client, Server};
     use bees_datasets::{Scene, SceneConfig, ViewJitter};
+    use bees_image::RgbImage;
     use bees_net::BandwidthTrace;
 
     fn setup() -> (BeesConfig, Server, Client) {
         let mut cfg = BeesConfig::default();
         cfg.trace = BandwidthTrace::constant(256_000.0).unwrap();
         let server = Server::new(&cfg);
-        let client = Client::new(0, &cfg);
+        let client = Client::try_new(0, &cfg).unwrap();
         (cfg, server, client)
     }
 
@@ -136,7 +132,7 @@ mod tests {
         let (cfg, mut server, mut client) = setup();
         let batch = images(3);
         let r = DirectUpload::new(&cfg)
-            .upload_batch(&mut client, &mut server, &batch)
+            .upload(&mut BatchCtx::new(&mut client, &mut server, &batch))
             .unwrap();
         assert_eq!(r.uploaded_images, 3);
         assert_eq!(r.skipped_cross_batch, 0);
@@ -155,7 +151,7 @@ mod tests {
         let (cfg, mut server, mut client) = setup();
         let batch = images(2);
         let r = DirectUpload::new(&cfg)
-            .upload_batch(&mut client, &mut server, &batch)
+            .upload(&mut BatchCtx::new(&mut client, &mut server, &batch))
             .unwrap();
         assert!(r.energy.get(EnergyCategory::ImageUpload) > 0.0);
         assert_eq!(r.energy.get(EnergyCategory::FeatureExtraction), 0.0);
@@ -168,7 +164,7 @@ mod tests {
         client.battery_mut().set_fraction(0.0);
         let batch = images(2);
         let r = DirectUpload::new(&cfg)
-            .upload_batch(&mut client, &mut server, &batch)
+            .upload(&mut BatchCtx::new(&mut client, &mut server, &batch))
             .unwrap();
         assert!(r.exhausted);
         assert_eq!(r.uploaded_images, 0);
@@ -179,9 +175,25 @@ mod tests {
         let (cfg, mut server, mut client) = setup();
         let batch = images(2);
         let tags = vec![(2.32, 48.86), (2.33, 48.87)];
-        DirectUpload::new(&cfg)
-            .upload_batch_tagged(&mut client, &mut server, &batch, Some(&tags))
+        let mut ctx = BatchCtx::new(&mut client, &mut server, &batch)
+            .with_geotags(&tags)
             .unwrap();
+        DirectUpload::new(&cfg).upload(&mut ctx).unwrap();
         assert_eq!(server.unique_locations(), 2);
+    }
+
+    #[test]
+    fn mismatched_geotags_are_rejected_up_front() {
+        let (_cfg, mut server, mut client) = setup();
+        let batch = images(2);
+        let tags = vec![(2.32, 48.86)];
+        let err = BatchCtx::new(&mut client, &mut server, &batch).with_geotags(&tags);
+        assert!(matches!(
+            err.map(|_| ()),
+            Err(crate::CoreError::GeotagMismatch {
+                images: 2,
+                geotags: 1
+            })
+        ));
     }
 }

@@ -25,11 +25,13 @@ pub use mrc::Mrc;
 pub use photonet::PhotoNetLike;
 pub use smarteye::SmartEye;
 
-use crate::{BatchReport, Client, Result, Server, TransmitSummary};
+use crate::{BatchReport, BeesConfig, Client, CoreError, Result, Server, TransmitSummary};
 use bees_energy::EnergyCategory;
 use bees_image::RgbImage;
+use bees_telemetry::Telemetry;
 use serde::{Deserialize, Serialize};
 use std::fmt;
+use std::str::FromStr;
 
 /// Identifies a scheme in reports and experiment output.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -48,17 +50,171 @@ pub enum SchemeKind {
     Bees,
 }
 
-impl fmt::Display for SchemeKind {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let name = match self {
+impl SchemeKind {
+    /// Every scheme, in the canonical evaluation order (the row order of
+    /// the experiment tables).
+    pub const ALL: [SchemeKind; 6] = [
+        SchemeKind::DirectUpload,
+        SchemeKind::PhotoNetLike,
+        SchemeKind::SmartEye,
+        SchemeKind::Mrc,
+        SchemeKind::BeesEa,
+        SchemeKind::Bees,
+    ];
+
+    /// The paper's name for the scheme — the stable spelling used in
+    /// reports, traces, and CLI arguments. Round-trips through
+    /// [`FromStr`]: `kind.as_str().parse() == Ok(kind)`.
+    pub fn as_str(&self) -> &'static str {
+        match self {
             SchemeKind::DirectUpload => "Direct Upload",
             SchemeKind::SmartEye => "SmartEye",
             SchemeKind::PhotoNetLike => "PhotoNet-like",
             SchemeKind::Mrc => "MRC",
             SchemeKind::BeesEa => "BEES-EA",
             SchemeKind::Bees => "BEES",
-        };
-        f.write_str(name)
+        }
+    }
+}
+
+impl fmt::Display for SchemeKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// The input did not name a scheme.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseSchemeKindError {
+    input: String,
+}
+
+impl fmt::Display for ParseSchemeKindError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown scheme `{}` (expected one of: Direct Upload, PhotoNet-like, \
+             SmartEye, MRC, BEES-EA, BEES)",
+            self.input
+        )
+    }
+}
+
+impl std::error::Error for ParseSchemeKindError {}
+
+impl FromStr for SchemeKind {
+    type Err = ParseSchemeKindError;
+
+    /// Parses a scheme name, tolerating the spelling drift that has shown
+    /// up in bench arguments and reports: case, and `-`/`_`/space
+    /// separators, are ignored, so `"BEES-EA"`, `"bees_ea"`, and `"BeesEa"`
+    /// all parse to [`SchemeKind::BeesEa`].
+    fn from_str(s: &str) -> std::result::Result<Self, Self::Err> {
+        let normalized: String = s
+            .chars()
+            .filter(|c| !matches!(c, '-' | '_' | ' '))
+            .map(|c| c.to_ascii_lowercase())
+            .collect();
+        match normalized.as_str() {
+            "directupload" | "direct" => Ok(SchemeKind::DirectUpload),
+            "smarteye" => Ok(SchemeKind::SmartEye),
+            "photonetlike" | "photonet" => Ok(SchemeKind::PhotoNetLike),
+            "mrc" => Ok(SchemeKind::Mrc),
+            "beesea" => Ok(SchemeKind::BeesEa),
+            "bees" => Ok(SchemeKind::Bees),
+            _ => Err(ParseSchemeKindError {
+                input: s.to_owned(),
+            }),
+        }
+    }
+}
+
+/// Constructs the scheme a [`SchemeKind`] names, boxed for the
+/// `Vec<Box<dyn UploadScheme>>` experiment drivers.
+pub fn make_scheme(kind: SchemeKind, config: &BeesConfig) -> Box<dyn UploadScheme> {
+    match kind {
+        SchemeKind::DirectUpload => Box::new(DirectUpload::new(config)),
+        SchemeKind::SmartEye => Box::new(SmartEye::new(config)),
+        SchemeKind::PhotoNetLike => Box::new(PhotoNetLike::new(config)),
+        SchemeKind::Mrc => Box::new(Mrc::new(config)),
+        SchemeKind::BeesEa => Box::new(Bees::without_adaptation(config)),
+        SchemeKind::Bees => Box::new(Bees::adaptive(config)),
+    }
+}
+
+/// Everything one batch upload needs, in one place.
+///
+/// Replaces the old positional `(client, server, batch, geotags)`
+/// signature: the geotag/batch length invariant is validated by
+/// [`with_geotags`](BatchCtx::with_geotags) before any scheme runs, and
+/// the [`Telemetry`] handle rides along instead of being smuggled through
+/// globals. `client`, `server`, and `batch` are public fields — scheme
+/// bodies reborrow them directly.
+pub struct BatchCtx<'a> {
+    /// The uploading phone.
+    pub client: &'a mut Client,
+    /// The shared receiving server.
+    pub server: &'a mut Server,
+    /// The images to upload.
+    pub batch: &'a [RgbImage],
+    geotags: Option<&'a [(f64, f64)]>,
+    /// Telemetry handle stage spans are emitted through. Defaults to the
+    /// client's handle; override with
+    /// [`with_telemetry`](BatchCtx::with_telemetry).
+    pub telemetry: Telemetry,
+}
+
+impl<'a> BatchCtx<'a> {
+    /// A context with no geotags, inheriting the client's telemetry
+    /// handle.
+    pub fn new(client: &'a mut Client, server: &'a mut Server, batch: &'a [RgbImage]) -> Self {
+        let telemetry = client.telemetry().clone();
+        BatchCtx {
+            client,
+            server,
+            batch,
+            geotags: None,
+            telemetry,
+        }
+    }
+
+    /// Attaches one geotag per batch image (the coverage experiment's
+    /// input), enforcing the length invariant the old positional API
+    /// documented but could not check until deep inside a scheme.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::GeotagMismatch`] if the lengths differ.
+    pub fn with_geotags(mut self, geotags: &'a [(f64, f64)]) -> Result<Self> {
+        if geotags.len() != self.batch.len() {
+            return Err(CoreError::GeotagMismatch {
+                images: self.batch.len(),
+                geotags: geotags.len(),
+            });
+        }
+        self.geotags = Some(geotags);
+        Ok(self)
+    }
+
+    /// Installs a telemetry handle on the context (stage spans), the client
+    /// (`net.*` spans), and the server (`srv.*` events), so the whole batch
+    /// reports into one stream.
+    #[must_use]
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.client.set_telemetry(telemetry.clone());
+        self.server.set_telemetry(telemetry.clone());
+        self.telemetry = telemetry;
+        self
+    }
+
+    /// The geotags, if attached (guaranteed to be `batch.len()` long).
+    pub fn geotags(&self) -> Option<&'a [(f64, f64)]> {
+        self.geotags
+    }
+
+    /// The geotag of batch image `i`, if geotags are attached.
+    pub fn geotag(&self, i: usize) -> Option<(f64, f64)> {
+        self.geotags.map(|tags| tags[i])
     }
 }
 
@@ -70,9 +226,9 @@ pub trait UploadScheme {
     /// Which scheme this is.
     fn kind(&self) -> SchemeKind;
 
-    /// Uploads a batch, optionally tagging each image with a geotag (used
-    /// by the coverage experiment). `geotags`, when given, must be the same
-    /// length as `batch`.
+    /// Uploads the batch described by `ctx` (build one with
+    /// [`BatchCtx::new`]; attach geotags or telemetry with its builder
+    /// methods).
     ///
     /// If the client battery dies mid-batch the report of the completed
     /// prefix is returned with [`BatchReport::exhausted`] set.
@@ -80,26 +236,43 @@ pub trait UploadScheme {
     /// # Errors
     ///
     /// Returns a network error if the channel stalls beyond its limit.
+    fn upload(&self, ctx: &mut BatchCtx<'_>) -> Result<BatchReport>;
+
+    /// Uploads a batch, optionally tagging each image with a geotag.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::GeotagMismatch`] if `geotags` is given with a
+    /// different length than `batch`, or a network error if the channel
+    /// stalls beyond its limit.
+    #[deprecated(since = "0.1.0", note = "build a `BatchCtx` and call `upload`")]
     fn upload_batch_tagged(
         &self,
         client: &mut Client,
         server: &mut Server,
         batch: &[RgbImage],
         geotags: Option<&[(f64, f64)]>,
-    ) -> Result<BatchReport>;
+    ) -> Result<BatchReport> {
+        let mut ctx = BatchCtx::new(client, server, batch);
+        if let Some(tags) = geotags {
+            ctx = ctx.with_geotags(tags)?;
+        }
+        self.upload(&mut ctx)
+    }
 
     /// Uploads a batch without geotags.
     ///
     /// # Errors
     ///
     /// Returns a network error if the channel stalls beyond its limit.
+    #[deprecated(since = "0.1.0", note = "build a `BatchCtx` and call `upload`")]
     fn upload_batch(
         &self,
         client: &mut Client,
         server: &mut Server,
         batch: &[RgbImage],
     ) -> Result<BatchReport> {
-        self.upload_batch_tagged(client, server, batch, None)
+        self.upload(&mut BatchCtx::new(client, server, batch))
     }
 
     /// Pre-loads server-side images using this scheme's *own* feature kind,
@@ -176,5 +349,66 @@ mod tests {
     #[test]
     fn trait_is_object_safe() {
         fn _takes_dyn(_s: &dyn UploadScheme) {}
+    }
+
+    #[test]
+    fn kind_round_trips_through_from_str() {
+        for kind in SchemeKind::ALL {
+            assert_eq!(kind.as_str().parse::<SchemeKind>(), Ok(kind));
+        }
+    }
+
+    #[test]
+    fn from_str_tolerates_spelling_drift() {
+        assert_eq!("BEES-EA".parse(), Ok(SchemeKind::BeesEa));
+        assert_eq!("bees_ea".parse(), Ok(SchemeKind::BeesEa));
+        assert_eq!("BeesEa".parse(), Ok(SchemeKind::BeesEa));
+        assert_eq!("photonet".parse(), Ok(SchemeKind::PhotoNetLike));
+        assert_eq!("PhotoNet-like".parse(), Ok(SchemeKind::PhotoNetLike));
+        assert_eq!("direct".parse(), Ok(SchemeKind::DirectUpload));
+        let err = "smarteyes".parse::<SchemeKind>().unwrap_err();
+        assert!(err.to_string().contains("smarteyes"));
+    }
+
+    #[test]
+    fn factory_builds_every_kind() {
+        let cfg = BeesConfig::default();
+        for kind in SchemeKind::ALL {
+            assert_eq!(make_scheme(kind, &cfg).kind(), kind);
+        }
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_positional_shims_still_work() {
+        use bees_datasets::{Scene, SceneConfig, ViewJitter};
+        let mut cfg = BeesConfig::default();
+        cfg.trace = bees_net::BandwidthTrace::constant(256_000.0).unwrap();
+        let mut server = Server::new(&cfg);
+        let mut client = Client::try_new(0, &cfg).unwrap();
+        let img = Scene::new(
+            1,
+            SceneConfig {
+                width: 96,
+                height: 72,
+                n_shapes: 8,
+                texture_amp: 8.0,
+            },
+        )
+        .render(&ViewJitter::identity());
+        let batch = [img];
+        let scheme = DirectUpload::new(&cfg);
+        let r = scheme
+            .upload_batch(&mut client, &mut server, &batch)
+            .unwrap();
+        assert_eq!(r.uploaded_images, 1);
+        let tags = [(2.32, 48.86)];
+        let r = scheme
+            .upload_batch_tagged(&mut client, &mut server, &batch, Some(&tags))
+            .unwrap();
+        assert_eq!(r.uploaded_images, 1);
+        // The shim surfaces the invariant the old API silently assumed.
+        let bad = scheme.upload_batch_tagged(&mut client, &mut server, &batch, Some(&[]));
+        assert!(matches!(bad, Err(CoreError::GeotagMismatch { .. })));
     }
 }

@@ -7,10 +7,9 @@
 //! little more bandwidth overhead than SmartEye".
 
 use crate::schemes::cross_batch::{run_cross_batch_scheme, CrossBatchOptions};
-use crate::schemes::{SchemeKind, UploadScheme};
-use crate::{BatchReport, BeesConfig, Client, Result, Server};
+use crate::schemes::{BatchCtx, SchemeKind, UploadScheme};
+use crate::{BatchReport, BeesConfig, Result};
 use bees_features::orb::Orb;
-use bees_image::RgbImage;
 
 /// The MRC scheme.
 #[derive(Debug)]
@@ -36,20 +35,14 @@ impl UploadScheme for Mrc {
         SchemeKind::Mrc
     }
 
-    fn upload_batch_tagged(
-        &self,
-        client: &mut Client,
-        server: &mut Server,
-        batch: &[RgbImage],
-        geotags: Option<&[(f64, f64)]>,
-    ) -> Result<BatchReport> {
+    fn upload(&self, ctx: &mut BatchCtx<'_>) -> Result<BatchReport> {
         let opts = CrossBatchOptions {
             scheme: self.kind(),
             threshold: self.threshold,
             thumbnail_feedback: true,
             camera_quality: self.camera_quality,
         };
-        run_cross_batch_scheme(&self.extractor, &opts, client, server, batch, geotags)
+        run_cross_batch_scheme(&self.extractor, &opts, ctx)
     }
 }
 
@@ -57,6 +50,7 @@ impl UploadScheme for Mrc {
 mod tests {
     use super::*;
     use crate::schemes::SmartEye;
+    use crate::{Client, Server};
     use bees_datasets::{disaster_batch, SceneConfig};
     use bees_net::BandwidthTrace;
 
@@ -80,11 +74,11 @@ mod tests {
         let cfg = config();
         let scheme = Mrc::new(&cfg);
         let mut server = Server::new(&cfg);
-        let mut client = Client::new(0, &cfg);
+        let mut client = Client::try_new(0, &cfg).unwrap();
         let data = disaster_batch(21, 8, 0, 0.5, small());
         scheme.preload_server(&mut server, &data.server_preload);
         let r = scheme
-            .upload_batch(&mut client, &mut server, &data.batch)
+            .upload(&mut BatchCtx::new(&mut client, &mut server, &data.batch))
             .unwrap();
         assert!(
             r.skipped_cross_batch >= 3,
@@ -101,18 +95,26 @@ mod tests {
 
         let mrc = Mrc::new(&cfg);
         let mut server_m = Server::new(&cfg);
-        let mut client_m = Client::new(0, &cfg);
+        let mut client_m = Client::try_new(0, &cfg).unwrap();
         mrc.preload_server(&mut server_m, &data.server_preload);
         let rm = mrc
-            .upload_batch(&mut client_m, &mut server_m, &data.batch)
+            .upload(&mut BatchCtx::new(
+                &mut client_m,
+                &mut server_m,
+                &data.batch,
+            ))
             .unwrap();
 
         let se = SmartEye::new(&cfg);
         let mut server_s = Server::new(&cfg);
-        let mut client_s = Client::new(0, &cfg);
+        let mut client_s = Client::try_new(0, &cfg).unwrap();
         se.preload_server(&mut server_s, &data.server_preload);
         let rs = se
-            .upload_batch(&mut client_s, &mut server_s, &data.batch)
+            .upload(&mut BatchCtx::new(
+                &mut client_s,
+                &mut server_s,
+                &data.batch,
+            ))
             .unwrap();
 
         if rm.skipped_cross_batch > 0 {
@@ -133,16 +135,16 @@ mod tests {
 
         let mrc = Mrc::new(&cfg);
         let mut server = Server::new(&cfg);
-        let mut client = Client::new(0, &cfg);
+        let mut client = Client::try_new(0, &cfg).unwrap();
         let rm = mrc
-            .upload_batch(&mut client, &mut server, &data.batch)
+            .upload(&mut BatchCtx::new(&mut client, &mut server, &data.batch))
             .unwrap();
 
         let se = SmartEye::new(&cfg);
         let mut server2 = Server::new(&cfg);
-        let mut client2 = Client::new(0, &cfg);
+        let mut client2 = Client::try_new(0, &cfg).unwrap();
         let rs = se
-            .upload_batch(&mut client2, &mut server2, &data.batch)
+            .upload(&mut BatchCtx::new(&mut client2, &mut server2, &data.batch))
             .unwrap();
 
         assert!(

@@ -13,12 +13,13 @@
 //! are cheap but markedly less accurate than local ones (see the
 //! `global_vs_local` experiment), which is why BEES pays for ORB.
 
-use crate::schemes::{transmit_or_defer, try_power, Delivery, SchemeKind, UploadScheme};
-use crate::{BatchReport, BeesConfig, Client, Result, Server};
+use crate::schemes::{transmit_or_defer, try_power, BatchCtx, Delivery, SchemeKind, UploadScheme};
+use crate::{BatchReport, BeesConfig, Result, Server};
 use bees_energy::EnergyCategory;
 use bees_features::global::ColorHistogram;
 use bees_image::RgbImage;
 use bees_net::wire;
+use bees_telemetry::names;
 
 /// The PhotoNet-like scheme.
 #[derive(Debug, Clone, Copy)]
@@ -42,22 +43,19 @@ impl UploadScheme for PhotoNetLike {
         SchemeKind::PhotoNetLike
     }
 
-    fn upload_batch_tagged(
-        &self,
-        client: &mut Client,
-        server: &mut Server,
-        batch: &[RgbImage],
-        geotags: Option<&[(f64, f64)]>,
-    ) -> Result<BatchReport> {
-        if let Some(tags) = geotags {
-            assert_eq!(tags.len(), batch.len(), "one geotag per image");
-        }
+    fn upload(&self, ctx: &mut BatchCtx<'_>) -> Result<BatchReport> {
+        let tel = ctx.telemetry.clone();
+        let batch = ctx.batch;
+        let geotags = ctx.geotags();
+        let client = &mut *ctx.client;
+        let server = &mut *ctx.server;
         let mut report = BatchReport::new(self.kind().to_string(), batch.len());
         client.reset_ledger();
         let start = client.now();
         let model = *client.energy_model();
 
         // 1. Global feature extraction: one pass over the pixels.
+        let joules_before_afe = client.ledger().total();
         let mut histograms = Vec::with_capacity(batch.len());
         for img in batch {
             let joules = model.histogram_energy(img.pixel_count());
@@ -68,9 +66,17 @@ impl UploadScheme for PhotoNetLike {
             );
             histograms.push(ColorHistogram::from_image(img));
         }
+        tel.span(names::AFE_ORB, start)
+            .attr_str("scheme", self.kind().as_str())
+            .attr_str("extractor", "histogram")
+            .attr_u64("images", batch.len() as u64)
+            .attr_f64("joules", client.ledger().total() - joules_before_afe)
+            .close(client.now());
 
         // 2. Upload the histograms (256 B each) and receive verdicts. A
         //    deferred query degrades to "nothing is redundant".
+        let t_query = client.now();
+        let joules_before_query = client.ledger().total();
         let feature_payload = histograms.len() * ColorHistogram::WIRE_SIZE;
         let query_bytes = wire::feature_query_bytes(feature_payload);
         let redundant: Vec<bool> = match try_power!(
@@ -108,6 +114,13 @@ impl UploadScheme for PhotoNetLike {
             }
         };
         report.skipped_cross_batch = redundant.iter().filter(|&&r| r).count();
+        tel.span(names::ARD_QUERY, t_query)
+            .attr_str("scheme", self.kind().as_str())
+            .attr_u64("bytes", query_bytes as u64)
+            .attr_u64("redundant", report.skipped_cross_batch as u64)
+            .attr_bool("deferred", report.feature_query_deferred)
+            .attr_f64("joules", client.ledger().total() - joules_before_query)
+            .close(client.now());
         for (i, img) in batch.iter().enumerate() {
             if redundant[i] {
                 continue;
@@ -151,6 +164,7 @@ impl UploadScheme for PhotoNetLike {
 mod tests {
     use super::*;
     use crate::schemes::Mrc;
+    use crate::Client;
     use bees_datasets::{disaster_batch, SceneConfig};
     use bees_net::BandwidthTrace;
 
@@ -166,9 +180,9 @@ mod tests {
         let data = disaster_batch(61, 4, 0, 0.0, SceneConfig::default());
         let run = |scheme: &dyn UploadScheme| {
             let mut server = Server::new(&cfg);
-            let mut client = Client::new(0, &cfg);
+            let mut client = Client::try_new(0, &cfg).unwrap();
             scheme
-                .upload_batch(&mut client, &mut server, &data.batch)
+                .upload(&mut BatchCtx::new(&mut client, &mut server, &data.batch))
                 .unwrap()
         };
         let pn = run(&PhotoNetLike::new(&cfg));
@@ -191,9 +205,9 @@ mod tests {
         let scheme = PhotoNetLike::new(&cfg);
         let mut server = Server::new(&cfg);
         scheme.preload_server(&mut server, &data.server_preload);
-        let mut client = Client::new(0, &cfg);
+        let mut client = Client::try_new(0, &cfg).unwrap();
         let r = scheme
-            .upload_batch(&mut client, &mut server, &data.batch)
+            .upload(&mut BatchCtx::new(&mut client, &mut server, &data.batch))
             .unwrap();
         assert_eq!(r.uploaded_images + r.skipped_cross_batch, 6);
         // Histogram dedup should catch at least some of the staged similar
@@ -207,10 +221,10 @@ mod tests {
         let data = disaster_batch(63, 4, 0, 0.0, SceneConfig::default());
         let scheme = PhotoNetLike::new(&cfg);
         let mut server = Server::new(&cfg);
-        let mut client = Client::new(0, &cfg);
+        let mut client = Client::try_new(0, &cfg).unwrap();
         client.battery_mut().set_fraction(0.0);
         let r = scheme
-            .upload_batch(&mut client, &mut server, &data.batch)
+            .upload(&mut BatchCtx::new(&mut client, &mut server, &data.batch))
             .unwrap();
         assert!(r.exhausted);
     }

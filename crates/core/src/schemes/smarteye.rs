@@ -6,8 +6,8 @@
 //! MRC".
 
 use crate::schemes::cross_batch::{run_cross_batch_scheme, CrossBatchOptions};
-use crate::schemes::{SchemeKind, UploadScheme};
-use crate::{BatchReport, BeesConfig, Client, Result, Server};
+use crate::schemes::{BatchCtx, SchemeKind, UploadScheme};
+use crate::{BatchReport, BeesConfig, Result, Server};
 use bees_features::pca::PcaSift;
 use bees_image::RgbImage;
 
@@ -35,20 +35,14 @@ impl UploadScheme for SmartEye {
         SchemeKind::SmartEye
     }
 
-    fn upload_batch_tagged(
-        &self,
-        client: &mut Client,
-        server: &mut Server,
-        batch: &[RgbImage],
-        geotags: Option<&[(f64, f64)]>,
-    ) -> Result<BatchReport> {
+    fn upload(&self, ctx: &mut BatchCtx<'_>) -> Result<BatchReport> {
         let opts = CrossBatchOptions {
             scheme: self.kind(),
             threshold: self.threshold,
             thumbnail_feedback: false,
             camera_quality: self.camera_quality,
         };
-        run_cross_batch_scheme(&self.extractor, &opts, client, server, batch, geotags)
+        run_cross_batch_scheme(&self.extractor, &opts, ctx)
     }
 
     fn preload_server(&self, server: &mut Server, images: &[RgbImage]) {
@@ -61,6 +55,7 @@ impl UploadScheme for SmartEye {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::Client;
     use bees_datasets::{disaster_batch, SceneConfig};
     use bees_energy::EnergyCategory;
     use bees_net::BandwidthTrace;
@@ -76,7 +71,7 @@ mod tests {
         let cfg = config();
         let scheme = SmartEye::new(&cfg);
         let mut server = Server::new(&cfg);
-        let mut client = Client::new(0, &cfg);
+        let mut client = Client::try_new(0, &cfg).unwrap();
         let small = SceneConfig {
             width: 96,
             height: 72,
@@ -86,7 +81,7 @@ mod tests {
         let data = disaster_batch(11, 6, 0, 0.5, small);
         scheme.preload_server(&mut server, &data.server_preload);
         let r = scheme
-            .upload_batch(&mut client, &mut server, &data.batch)
+            .upload(&mut BatchCtx::new(&mut client, &mut server, &data.batch))
             .unwrap();
         assert_eq!(r.batch_size, 6);
         assert_eq!(r.uploaded_images + r.skipped_cross_batch, 6);
@@ -101,7 +96,7 @@ mod tests {
         let cfg = config();
         let scheme = SmartEye::new(&cfg);
         let mut server = Server::new(&cfg);
-        let mut client = Client::new(0, &cfg);
+        let mut client = Client::try_new(0, &cfg).unwrap();
         let small = SceneConfig {
             width: 96,
             height: 72,
@@ -110,7 +105,7 @@ mod tests {
         };
         let data = disaster_batch(13, 3, 0, 0.0, small);
         let r = scheme
-            .upload_batch(&mut client, &mut server, &data.batch)
+            .upload(&mut BatchCtx::new(&mut client, &mut server, &data.batch))
             .unwrap();
         // With zero redundancy, SmartEye pays extraction + features on top
         // of the same image uploads: strictly worse than Direct Upload.

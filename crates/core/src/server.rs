@@ -6,6 +6,7 @@ use bees_features::orb::Orb;
 use bees_features::{FeatureExtractor, ImageFeatures};
 use bees_image::RgbImage;
 use bees_index::{FeatureIndex, ImageId, LinearIndex, MihIndex, QueryHit};
+use bees_telemetry::{names, Telemetry};
 
 /// The server side of the system.
 ///
@@ -23,6 +24,7 @@ pub struct Server {
     geotags: Vec<(ImageId, (f64, f64))>,
     /// Global-feature store for PhotoNet-like schemes (histogram dedup).
     histograms: Vec<(ImageId, ColorHistogram)>,
+    telemetry: Telemetry,
 }
 
 impl Server {
@@ -40,7 +42,21 @@ impl Server {
             received_image_bytes: 0,
             geotags: Vec::new(),
             histograms: Vec::new(),
+            telemetry: Telemetry::disabled(),
         }
+    }
+
+    /// The telemetry handle `srv.*` events are emitted through (disabled by
+    /// default).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    /// Installs a telemetry handle. The server has no clock of its own, so
+    /// its events carry `t = 0.0`; per the paper, server time is excluded
+    /// from the delay metric anyway.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
     }
 
     fn fresh_id(&mut self) -> ImageId {
@@ -73,7 +89,13 @@ impl Server {
     /// Answers a CBRD query: the highest similarity any indexed image has
     /// to the queried features.
     pub fn query_max_similarity(&self, features: &ImageFeatures) -> Option<QueryHit> {
-        self.index.max_similarity(features)
+        let hit = self.index.max_similarity(features);
+        self.telemetry
+            .event(names::SRV_QUERY, 0.0)
+            .attr_u64("indexed", self.index.len() as u64)
+            .attr_bool("hit", hit.is_some())
+            .close(0.0);
+        hit
     }
 
     /// Top-k query (precision experiments).
@@ -97,6 +119,11 @@ impl Server {
         if let Some(g) = geotag {
             self.geotags.push((id, g));
         }
+        self.telemetry
+            .event(names::SRV_INGEST, 0.0)
+            .attr_u64("image", id.0)
+            .attr_u64("bytes", payload_bytes as u64)
+            .close(0.0);
         id
     }
 
@@ -172,6 +199,11 @@ impl Server {
         if let Some(g) = geotag {
             self.geotags.push((id, g));
         }
+        self.telemetry
+            .event(names::SRV_INGEST, 0.0)
+            .attr_u64("image", id.0)
+            .attr_u64("bytes", payload_bytes as u64)
+            .close(0.0);
         id
     }
 }

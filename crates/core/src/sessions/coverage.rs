@@ -7,7 +7,7 @@
 //! energy on redundant photos, BEES covers far more ground with the same
 //! batteries.
 
-use crate::schemes::UploadScheme;
+use crate::schemes::{BatchCtx, UploadScheme};
 use crate::{BeesConfig, Client, Result, Server};
 use bees_datasets::{ParisConfig, ParisLike};
 use bees_image::RgbImage;
@@ -74,8 +74,8 @@ pub fn run_coverage(
 
     let mut server = Server::new(config);
     let mut clients: Vec<Client> = (0..cov.n_phones)
-        .map(|i| Client::new(i as u64, config))
-        .collect();
+        .map(|i| Client::try_new(i as u64, config))
+        .collect::<Result<_>>()?;
     // Next corpus index each phone will upload.
     let mut cursor: Vec<usize> = (0..cov.n_phones).map(|i| i * per_phone).collect();
     let limit: Vec<usize> = (0..cov.n_phones).map(|i| (i + 1) * per_phone).collect();
@@ -99,8 +99,9 @@ pub fn run_coverage(
                 batch.push(geo.image);
             }
             cursor[p] = end;
-            let report =
-                scheme.upload_batch_tagged(&mut clients[p], &mut server, &batch, Some(&tags))?;
+            let mut ctx =
+                BatchCtx::new(&mut clients[p], &mut server, &batch).with_geotags(&tags)?;
+            let report = scheme.upload(&mut ctx)?;
             if report.exhausted {
                 alive[p] = false;
                 phones_exhausted += 1;

@@ -6,9 +6,10 @@
 //! slope flattens as `Ebat` drops because the adaptive schemes shed load —
 //! while every other scheme discharges linearly.
 
-use crate::schemes::UploadScheme;
+use crate::schemes::{BatchCtx, UploadScheme};
 use crate::{BeesConfig, Client, Result, Server};
 use bees_datasets::{disaster_batch, SceneConfig};
+use bees_telemetry::Telemetry;
 use serde::{Deserialize, Serialize};
 
 /// Parameters of a lifetime run.
@@ -75,8 +76,28 @@ pub fn run_lifetime(
     config: &BeesConfig,
     lt: &LifetimeConfig,
 ) -> Result<LifetimeResult> {
+    run_lifetime_traced(scheme, config, lt, Telemetry::disabled())
+}
+
+/// Runs the lifetime session with a telemetry handle installed on the
+/// client and server, so every stage span and `net.*`/`srv.*` record of
+/// the whole discharge curve lands in one trace. With a disabled handle
+/// this is exactly [`run_lifetime`].
+///
+/// # Errors
+///
+/// Returns a network error if the channel stalls beyond its limit;
+/// battery exhaustion is the expected terminal state, not an error.
+pub fn run_lifetime_traced(
+    scheme: &dyn UploadScheme,
+    config: &BeesConfig,
+    lt: &LifetimeConfig,
+    telemetry: Telemetry,
+) -> Result<LifetimeResult> {
     let mut server = Server::new(config);
-    let mut client = Client::new(0, config);
+    let mut client = Client::try_new(0, config)?;
+    client.set_telemetry(telemetry.clone());
+    server.set_telemetry(telemetry);
     let mut samples = vec![LifetimeSample {
         time_s: 0.0,
         ebat: 1.0,
@@ -97,7 +118,7 @@ pub fn run_lifetime(
             lt.scene,
         );
         scheme.preload_server(&mut server, &data.server_preload);
-        let report = scheme.upload_batch(&mut client, &mut server, &data.batch)?;
+        let report = scheme.upload(&mut BatchCtx::new(&mut client, &mut server, &data.batch))?;
         if report.exhausted {
             break;
         }

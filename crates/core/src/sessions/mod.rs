@@ -5,4 +5,6 @@ mod coverage;
 mod lifetime;
 
 pub use coverage::{run_coverage, CoverageConfig, CoverageResult};
-pub use lifetime::{run_lifetime, LifetimeConfig, LifetimeResult, LifetimeSample};
+pub use lifetime::{
+    run_lifetime, run_lifetime_traced, LifetimeConfig, LifetimeResult, LifetimeSample,
+};

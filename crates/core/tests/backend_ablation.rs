@@ -5,7 +5,7 @@
 //! noise exceeds its probe radius. The system stays correct either way
 //! (dedup is an optimization); these tests pin down that containment.
 
-use bees_core::schemes::{Bees, Mrc, UploadScheme};
+use bees_core::schemes::{BatchCtx, Bees, Mrc, UploadScheme};
 use bees_core::{BatchReport, BeesConfig, Client, IndexBackend, Server};
 use bees_datasets::{disaster_batch, SceneConfig};
 use bees_net::BandwidthTrace;
@@ -34,10 +34,10 @@ fn run(scheme_for: impl Fn(&BeesConfig) -> Box<dyn UploadScheme>, seed: u64) -> 
         let scheme = scheme_for(&cfg);
         let mut server = Server::new(&cfg);
         scheme.preload_server(&mut server, &data.server_preload);
-        let mut client = Client::new(0, &cfg);
+        let mut client = Client::try_new(0, &cfg).unwrap();
         out.push(
             scheme
-                .upload_batch(&mut client, &mut server, &data.batch)
+                .upload(&mut BatchCtx::new(&mut client, &mut server, &data.batch))
                 .unwrap(),
         );
     }

@@ -1,7 +1,7 @@
 //! Edge-case integration tests: degenerate batches must flow through every
 //! scheme without panicking or corrupting the accounting.
 
-use bees_core::schemes::{Bees, DirectUpload, Mrc, SmartEye, UploadScheme};
+use bees_core::schemes::{BatchCtx, Bees, DirectUpload, Mrc, SmartEye, UploadScheme};
 use bees_core::{BeesConfig, Client, Server};
 use bees_datasets::{Scene, SceneConfig, ViewJitter};
 use bees_image::RgbImage;
@@ -27,8 +27,10 @@ fn empty_batch_is_a_noop() {
     let cfg = config();
     for scheme in schemes(&cfg) {
         let mut server = Server::new(&cfg);
-        let mut client = Client::new(0, &cfg);
-        let r = scheme.upload_batch(&mut client, &mut server, &[]).unwrap();
+        let mut client = Client::try_new(0, &cfg).unwrap();
+        let r = scheme
+            .upload(&mut BatchCtx::new(&mut client, &mut server, &[]))
+            .unwrap();
         assert_eq!(r.batch_size, 0, "{}", r.scheme);
         assert_eq!(r.uploaded_images, 0);
         assert_eq!(r.avg_delay_per_image(), 0.0);
@@ -51,9 +53,10 @@ fn single_image_batch_uploads_exactly_one() {
     .render(&ViewJitter::identity());
     for scheme in schemes(&cfg) {
         let mut server = Server::new(&cfg);
-        let mut client = Client::new(0, &cfg);
+        let mut client = Client::try_new(0, &cfg).unwrap();
+        let batch = [img.clone()];
         let r = scheme
-            .upload_batch(&mut client, &mut server, &[img.clone()])
+            .upload(&mut BatchCtx::new(&mut client, &mut server, &batch))
             .unwrap();
         assert_eq!(r.uploaded_images, 1, "{}", r.scheme);
         assert_eq!(r.skipped_in_batch, 0, "{}", r.scheme);
@@ -69,11 +72,11 @@ fn featureless_images_are_uploaded_not_deduplicated() {
     let batch = vec![flat.clone(), flat.clone()];
     let scheme = Bees::adaptive(&cfg);
     let mut server = Server::new(&cfg);
-    let mut client = Client::new(0, &cfg);
+    let mut client = Client::try_new(0, &cfg).unwrap();
     // Even preloading an identical flat image doesn't create similarity.
     scheme.preload_server(&mut server, &[flat]);
     let r = scheme
-        .upload_batch(&mut client, &mut server, &batch)
+        .upload(&mut BatchCtx::new(&mut client, &mut server, &batch))
         .unwrap();
     assert_eq!(r.skipped_cross_batch, 0);
     assert_eq!(r.uploaded_images + r.skipped_in_batch, 2);
@@ -95,9 +98,9 @@ fn batch_of_identical_images_collapses_to_one_for_bees() {
     let batch = vec![img.clone(), img.clone(), img.clone(), img];
     let scheme = Bees::adaptive(&cfg);
     let mut server = Server::new(&cfg);
-    let mut client = Client::new(0, &cfg);
+    let mut client = Client::try_new(0, &cfg).unwrap();
     let r = scheme
-        .upload_batch(&mut client, &mut server, &batch)
+        .upload(&mut BatchCtx::new(&mut client, &mut server, &batch))
         .unwrap();
     assert_eq!(r.uploaded_images, 1, "identical images must collapse");
     assert_eq!(r.skipped_in_batch, 3);

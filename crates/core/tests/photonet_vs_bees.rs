@@ -2,7 +2,7 @@
 //! against BEES — cheap extraction, weaker dedup, the trade-off the paper
 //! resolves in favor of local features.
 
-use bees_core::schemes::{Bees, PhotoNetLike, UploadScheme};
+use bees_core::schemes::{BatchCtx, Bees, PhotoNetLike, UploadScheme};
 use bees_core::{BeesConfig, Client, Server};
 use bees_datasets::{disaster_batch, SceneConfig};
 use bees_energy::EnergyCategory;
@@ -24,9 +24,9 @@ fn photonet_extraction_is_cheapest_but_bees_dedups_in_batch() {
     let run = |scheme: &dyn UploadScheme| {
         let mut server = Server::new(&cfg);
         scheme.preload_server(&mut server, &data.server_preload);
-        let mut client = Client::new(0, &cfg);
+        let mut client = Client::try_new(0, &cfg).unwrap();
         scheme
-            .upload_batch(&mut client, &mut server, &data.batch)
+            .upload(&mut BatchCtx::new(&mut client, &mut server, &data.batch))
             .unwrap()
     };
     let pn = run(&PhotoNetLike::new(&cfg));
@@ -67,9 +67,9 @@ fn photonet_histogram_dedup_misfires_where_orb_does_not() {
     let pn = PhotoNetLike::new(&cfg);
     let mut server = Server::new(&cfg);
     pn.preload_server(&mut server, &data.server_preload);
-    let mut client = Client::new(0, &cfg);
+    let mut client = Client::try_new(0, &cfg).unwrap();
     let r = pn
-        .upload_batch(&mut client, &mut server, &data.batch)
+        .upload(&mut BatchCtx::new(&mut client, &mut server, &data.batch))
         .unwrap();
     // Everything it skipped must have been genuinely staged as redundant
     // (no false-positive drops of the unique tail images).

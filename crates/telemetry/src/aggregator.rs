@@ -1,0 +1,157 @@
+//! In-memory per-stage aggregation.
+
+use crate::sink::TraceSink;
+use crate::span::{AttrValue, SpanRecord};
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+/// Upper edges (simulated seconds, inclusive) of the duration histogram
+/// buckets; the final bucket is unbounded. Log-spaced because stage
+/// durations span microseconds (a query verdict) to minutes (a lifetime
+/// batch on a starved channel).
+pub const DURATION_BUCKET_EDGES: [f64; 8] = [1e-3, 1e-2, 1e-1, 1.0, 10.0, 100.0, 1e3, 1e4];
+
+/// Accumulated statistics for one span name.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct StageStats {
+    /// Spans closed under this name.
+    pub count: u64,
+    /// Sum of span durations in simulated seconds.
+    pub total_s: f64,
+    /// Longest single span.
+    pub max_s: f64,
+    /// Sum of `bytes` attributes.
+    pub bytes: u64,
+    /// Sum of `joules` attributes.
+    pub joules: f64,
+    /// Duration histogram: `hist[i]` counts spans with duration ≤
+    /// [`DURATION_BUCKET_EDGES`]`[i]`; the last slot counts the rest.
+    pub hist: [u64; DURATION_BUCKET_EDGES.len() + 1],
+}
+
+impl StageStats {
+    /// Mean span duration (0 when no spans were recorded).
+    pub fn mean_s(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total_s / self.count as f64
+        }
+    }
+
+    fn absorb(&mut self, span: &SpanRecord) {
+        let d = span.duration_s();
+        self.count += 1;
+        self.total_s += d;
+        self.max_s = self.max_s.max(d);
+        if let Some(AttrValue::U64(b)) = span.attr("bytes") {
+            self.bytes += b;
+        }
+        if let Some(AttrValue::F64(j)) = span.attr("joules") {
+            self.joules += j;
+        }
+        self.hist[bucket_index(d)] += 1;
+    }
+}
+
+fn bucket_index(duration_s: f64) -> usize {
+    DURATION_BUCKET_EDGES
+        .iter()
+        .position(|&edge| duration_s <= edge)
+        .unwrap_or(DURATION_BUCKET_EDGES.len())
+}
+
+/// A [`TraceSink`] that folds spans into per-stage counters and
+/// histograms, keyed by span name in lexicographic order (a `BTreeMap`,
+/// so snapshots are deterministically ordered).
+#[derive(Default)]
+pub struct Aggregator {
+    stages: Mutex<BTreeMap<&'static str, StageStats>>,
+}
+
+impl Aggregator {
+    /// An empty aggregator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The per-stage statistics so far, sorted by stage name.
+    pub fn snapshot(&self) -> Vec<(&'static str, StageStats)> {
+        self.stages
+            .lock()
+            .expect("aggregator poisoned")
+            .iter()
+            .map(|(name, stats)| (*name, stats.clone()))
+            .collect()
+    }
+}
+
+impl TraceSink for Aggregator {
+    fn on_span(&self, span: &SpanRecord) {
+        self.stages
+            .lock()
+            .expect("aggregator poisoned")
+            .entry(span.name)
+            .or_default()
+            .absorb(span);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(name: &'static str, start: f64, end: f64, bytes: Option<u64>) -> SpanRecord {
+        let mut attrs = Vec::new();
+        if let Some(b) = bytes {
+            attrs.push(("bytes", AttrValue::U64(b)));
+        }
+        attrs.push(("joules", AttrValue::F64(0.5)));
+        SpanRecord {
+            name,
+            start_s: start,
+            end_s: end,
+            attrs,
+        }
+    }
+
+    #[test]
+    fn folds_counts_bytes_and_joules() {
+        let agg = Aggregator::new();
+        agg.on_span(&span("net.transmit", 0.0, 1.0, Some(100)));
+        agg.on_span(&span("net.transmit", 1.0, 4.0, Some(50)));
+        agg.on_span(&span("afe.orb", 0.0, 0.25, None));
+        let snap = agg.snapshot();
+        assert_eq!(snap.len(), 2);
+        // BTreeMap order: afe.orb before net.transmit.
+        assert_eq!(snap[0].0, "afe.orb");
+        let net = &snap[1].1;
+        assert_eq!(net.count, 2);
+        assert_eq!(net.bytes, 150);
+        assert!((net.total_s - 4.0).abs() < 1e-12);
+        assert!((net.max_s - 3.0).abs() < 1e-12);
+        assert!((net.mean_s() - 2.0).abs() < 1e-12);
+        assert!((net.joules - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_buckets_are_log_spaced() {
+        assert_eq!(bucket_index(0.0), 0);
+        assert_eq!(bucket_index(1e-3), 0);
+        assert_eq!(bucket_index(0.002), 1);
+        assert_eq!(bucket_index(0.5), 3);
+        assert_eq!(bucket_index(5.0), 4);
+        assert_eq!(bucket_index(1e9), DURATION_BUCKET_EDGES.len());
+        let agg = Aggregator::new();
+        agg.on_span(&span("s", 0.0, 0.5, None));
+        agg.on_span(&span("s", 0.0, 5.0, None));
+        let snap = agg.snapshot();
+        assert_eq!(snap[0].1.hist[3], 1);
+        assert_eq!(snap[0].1.hist[4], 1);
+    }
+
+    #[test]
+    fn empty_mean_is_zero() {
+        assert_eq!(StageStats::default().mean_s(), 0.0);
+    }
+}

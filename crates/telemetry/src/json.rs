@@ -1,0 +1,82 @@
+//! Minimal deterministic JSON encoding.
+//!
+//! Hand-rolled on purpose: trace bytes must be identical across platforms,
+//! thread counts, and dependency upgrades, so the encoder is pinned here
+//! rather than delegated to a serialization crate. Numbers use Rust's
+//! `Display` for `f64` (shortest round-trip form, no exponent notation for
+//! the magnitudes simulated time produces), strings escape the JSON
+//! control set, and object keys are emitted in insertion order.
+
+/// Appends `s` as a JSON string literal (with surrounding quotes).
+pub(crate) fn push_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Appends `v` as a JSON number. Non-finite values (which would be invalid
+/// JSON) are encoded as `null`; simulated time and energy are always
+/// finite, so this only triggers on caller bugs.
+pub(crate) fn push_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        out.push_str(&v.to_string());
+    } else {
+        out.push_str("null");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn enc_str(s: &str) -> String {
+        let mut out = String::new();
+        push_str(&mut out, s);
+        out
+    }
+
+    fn enc_f64(v: f64) -> String {
+        let mut out = String::new();
+        push_f64(&mut out, v);
+        out
+    }
+
+    #[test]
+    fn escapes_the_control_set() {
+        assert_eq!(enc_str("plain"), "\"plain\"");
+        assert_eq!(enc_str("a\"b\\c"), "\"a\\\"b\\\\c\"");
+        assert_eq!(enc_str("x\n\r\ty"), "\"x\\n\\r\\ty\"");
+        assert_eq!(enc_str("\u{1}"), "\"\\u0001\"");
+        assert_eq!(enc_str("über"), "\"über\"");
+    }
+
+    #[test]
+    fn floats_round_trip_shortest() {
+        assert_eq!(enc_f64(0.0), "0");
+        assert_eq!(enc_f64(1.5), "1.5");
+        assert_eq!(enc_f64(0.1), "0.1");
+        assert_eq!(enc_f64(-2.25), "-2.25");
+        // 1/3 prints its shortest round-trip form.
+        let third: f64 = enc_f64(1.0 / 3.0).parse().unwrap();
+        assert_eq!(third, 1.0 / 3.0);
+    }
+
+    #[test]
+    fn non_finite_becomes_null() {
+        assert_eq!(enc_f64(f64::NAN), "null");
+        assert_eq!(enc_f64(f64::INFINITY), "null");
+        assert_eq!(enc_f64(f64::NEG_INFINITY), "null");
+    }
+}

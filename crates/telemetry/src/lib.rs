@@ -1,0 +1,259 @@
+//! Deterministic structured tracing for the BEES pipeline.
+//!
+//! The paper's evaluation (§IV) is an accounting exercise: where every
+//! joule, byte, and second of a batch went. This crate is the spine that
+//! accounting flows through. A [`Telemetry`] handle is threaded through the
+//! client, server, and schemes; pipeline stages open *spans* against the
+//! client's **virtual** clock and close them with typed attributes; spans
+//! drain to pluggable [`TraceSink`]s — a JSONL writer ([`JsonlSink`]), an
+//! in-memory per-stage aggregator ([`Aggregator`]), or anything
+//! user-supplied.
+//!
+//! # Determinism rules
+//!
+//! Traces must be byte-identical across `BEES_THREADS=1/2/8` and across
+//! reruns, so the crate enforces three rules:
+//!
+//! 1. **No wall clock.** Span timestamps are caller-supplied simulated
+//!    seconds (`client.now()`). The crate never reads host time.
+//! 2. **No host state.** The [`RunManifest`] hashes the configuration with
+//!    FNV-1a and records the seed and crate versions — never thread counts,
+//!    hostnames, or paths.
+//! 3. **Stable encoding.** JSON is hand-rolled with insertion-ordered
+//!    attribute maps and `f64` `Display` formatting (shortest round-trip,
+//!    no exponent notation), so the same spans always serialize to the
+//!    same bytes.
+//!
+//! # Zero cost when disabled
+//!
+//! A disabled handle ([`Telemetry::disabled`], also `Default`) makes every
+//! span a `None`: no allocation, no attribute conversion, no sink calls.
+//! `crates/telemetry/tests/no_alloc.rs` pins this with a counting global
+//! allocator.
+//!
+//! # Example
+//!
+//! ```
+//! use bees_telemetry::{names, Aggregator, JsonlSink, SharedBuf, Telemetry};
+//! use std::sync::Arc;
+//!
+//! let buf = SharedBuf::new();
+//! let agg = Arc::new(Aggregator::new());
+//! let tel = Telemetry::with_sinks(vec![Arc::new(JsonlSink::new(buf.clone())), agg.clone()]);
+//!
+//! // A scheme body: open at the stage start time, close at the stage end.
+//! tel.span(names::AFE_ORB, 0.0)
+//!     .attr_u64("images", 8)
+//!     .attr_f64("joules", 3.5)
+//!     .close(2.25);
+//!
+//! let stats = agg.snapshot();
+//! assert_eq!(stats[0].0, "afe.orb");
+//! assert_eq!(stats[0].1.count, 1);
+//! assert!(buf.contents_string().contains("\"span\":\"afe.orb\""));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod aggregator;
+mod json;
+mod manifest;
+mod sink;
+mod span;
+
+pub use aggregator::{Aggregator, StageStats, DURATION_BUCKET_EDGES};
+pub use manifest::{fnv1a_64, RunManifest};
+pub use sink::{JsonlSink, SharedBuf, TraceSink};
+pub use span::{AttrValue, Span, SpanRecord};
+
+use std::fmt;
+use std::sync::Arc;
+
+/// The canonical span names of the BEES pipeline, in pipeline order.
+///
+/// Schemes reuse these so traces from different schemes aggregate into the
+/// same per-stage rows; scheme identity travels in the `scheme` attribute.
+pub mod names {
+    /// Approximate feature extraction (ORB, PCA-SIFT, or histograms — the
+    /// `extractor` attribute says which).
+    pub const AFE_ORB: &str = "afe.orb";
+    /// Cross-batch redundancy detection: feature upload + server verdict.
+    pub const ARD_QUERY: &str = "ard.query";
+    /// In-batch redundancy detection: SSMM submodular selection.
+    pub const ARD_SSMM: &str = "ard.ssmm";
+    /// Approximate image upload: JPEG encode (+ EAAS degradation).
+    pub const AIU_ENCODE: &str = "aiu.encode";
+    /// One confirmed client→server payload transfer.
+    pub const NET_TRANSMIT: &str = "net.transmit";
+    /// One server→client payload transfer.
+    pub const NET_RECEIVE: &str = "net.receive";
+    /// One attempt inside the fault-injected resumable-transfer loop.
+    pub const NET_RETRY: &str = "net.retry";
+    /// A server-side similarity query (zero-duration event).
+    pub const SRV_QUERY: &str = "srv.query";
+    /// A server-side image ingest (zero-duration event).
+    pub const SRV_INGEST: &str = "srv.ingest";
+}
+
+pub(crate) struct Inner {
+    sinks: Vec<Arc<dyn TraceSink>>,
+}
+
+impl Inner {
+    pub(crate) fn emit(&self, record: &SpanRecord) {
+        for sink in &self.sinks {
+            sink.on_span(record);
+        }
+    }
+}
+
+/// A cheaply clonable telemetry handle.
+///
+/// Disabled by default; [`Telemetry::with_sinks`] turns it on. Clones share
+/// the same sinks, so the client, server, and scheme all report into one
+/// stream.
+#[derive(Clone, Default)]
+pub struct Telemetry {
+    inner: Option<Arc<Inner>>,
+}
+
+impl Telemetry {
+    /// A handle that records nothing and allocates nothing.
+    pub fn disabled() -> Self {
+        Telemetry { inner: None }
+    }
+
+    /// A handle draining to `sinks`. An empty sink list still counts as
+    /// enabled (spans are built, then dropped) — pass at least one sink.
+    pub fn with_sinks(sinks: Vec<Arc<dyn TraceSink>>) -> Self {
+        Telemetry {
+            inner: Some(Arc::new(Inner { sinks })),
+        }
+    }
+
+    /// Whether spans are being recorded.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Opens a span at simulated time `start_s`. Attach attributes with the
+    /// builder methods, then [`Span::close`] it at the stage's end time.
+    /// On a disabled handle this is free.
+    pub fn span(&self, name: &'static str, start_s: f64) -> Span {
+        Span::new(self.inner.clone(), name, start_s)
+    }
+
+    /// Emits a zero-duration span at simulated time `t_s` (server-side
+    /// happenings have no client clock of their own).
+    pub fn event(&self, name: &'static str, t_s: f64) -> Span {
+        self.span(name, t_s)
+    }
+
+    /// Stamps the run manifest into every sink (a JSONL sink writes it as
+    /// the first line of the trace).
+    pub fn emit_manifest(&self, manifest: &RunManifest) {
+        if let Some(inner) = &self.inner {
+            for sink in &inner.sinks {
+                sink.on_manifest(manifest);
+            }
+        }
+    }
+
+    /// Flushes every sink.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first I/O error a sink reports.
+    pub fn flush(&self) -> std::io::Result<()> {
+        if let Some(inner) = &self.inner {
+            for sink in &inner.sinks {
+                sink.flush()?;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for Telemetry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Telemetry")
+            .field("enabled", &self.is_enabled())
+            .field("sinks", &self.inner.as_ref().map_or(0, |i| i.sinks.len()))
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_handle_records_nothing() {
+        let tel = Telemetry::disabled();
+        assert!(!tel.is_enabled());
+        let span = tel.span(names::AFE_ORB, 1.0).attr_u64("images", 4);
+        assert!(!span.is_recording());
+        span.close(2.0); // no-op, no panic
+        tel.emit_manifest(&RunManifest::new("cfg", 7));
+        tel.flush().unwrap();
+    }
+
+    #[test]
+    fn default_is_disabled() {
+        assert!(!Telemetry::default().is_enabled());
+    }
+
+    #[test]
+    fn spans_reach_every_sink() {
+        let buf = SharedBuf::new();
+        let agg = Arc::new(Aggregator::new());
+        let tel = Telemetry::with_sinks(vec![Arc::new(JsonlSink::new(buf.clone())), agg.clone()]);
+        assert!(tel.is_enabled());
+        tel.span(names::NET_TRANSMIT, 0.5)
+            .attr_u64("bytes", 32_000)
+            .attr_f64("joules", 0.8)
+            .close(1.5);
+        let text = buf.contents_string();
+        assert_eq!(
+            text,
+            "{\"span\":\"net.transmit\",\"start_s\":0.5,\"end_s\":1.5,\
+             \"attrs\":{\"bytes\":32000,\"joules\":0.8}}\n"
+        );
+        let stats = agg.snapshot();
+        assert_eq!(stats.len(), 1);
+        assert_eq!(stats[0].1.bytes, 32_000);
+        assert!((stats[0].1.total_s - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clones_share_sinks() {
+        let buf = SharedBuf::new();
+        let tel = Telemetry::with_sinks(vec![Arc::new(JsonlSink::new(buf.clone()))]);
+        let clone = tel.clone();
+        clone.span(names::SRV_QUERY, 0.0).close(0.0);
+        tel.span(names::SRV_INGEST, 0.0).close(0.0);
+        let text = buf.contents_string();
+        assert_eq!(text.lines().count(), 2);
+    }
+
+    #[test]
+    fn manifest_is_stamped_first() {
+        let buf = SharedBuf::new();
+        let tel = Telemetry::with_sinks(vec![Arc::new(JsonlSink::new(buf.clone()))]);
+        tel.emit_manifest(&RunManifest::new("config", 0xBEE5).with_crate("bees-core", "0.1.0"));
+        tel.span(names::AFE_ORB, 0.0).close(1.0);
+        let text = buf.contents_string();
+        let first = text.lines().next().unwrap();
+        assert!(first.starts_with("{\"manifest\":"), "{first}");
+        assert!(first.contains("\"seed\":48869"), "{first}");
+        assert!(first.contains("\"bees-core\":\"0.1.0\""), "{first}");
+    }
+
+    #[test]
+    fn debug_does_not_expose_sinks() {
+        let tel = Telemetry::with_sinks(vec![Arc::new(Aggregator::new())]);
+        let s = format!("{tel:?}");
+        assert!(s.contains("enabled: true"), "{s}");
+    }
+}

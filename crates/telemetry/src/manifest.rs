@@ -1,0 +1,109 @@
+//! Run manifests: the provenance stamp of a trace.
+
+use crate::json;
+
+/// Identifies the run a trace came from: a hash of the serialized
+/// configuration, the workload seed, and the crate versions in play.
+///
+/// Deliberately excludes anything host- or schedule-dependent (thread
+/// count, hostname, wall time, paths), so the same configuration and seed
+/// produce the same manifest bytes everywhere — traces stay byte-identical
+/// across `BEES_THREADS` settings.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunManifest {
+    /// Manifest format version.
+    pub schema: u32,
+    /// FNV-1a 64-bit hash of the caller's canonical config serialization.
+    pub config_hash: u64,
+    /// The workload seed.
+    pub seed: u64,
+    /// `(crate name, version)` pairs, in the order registered.
+    pub crates: Vec<(String, String)>,
+}
+
+impl RunManifest {
+    /// Builds a manifest from the canonical string form of the run's
+    /// configuration (e.g. its JSON serialization) and the workload seed.
+    pub fn new(config_repr: &str, seed: u64) -> Self {
+        RunManifest {
+            schema: 1,
+            config_hash: fnv1a_64(config_repr.as_bytes()),
+            seed,
+            crates: Vec::new(),
+        }
+    }
+
+    /// Registers a crate version (builder-style).
+    #[must_use]
+    pub fn with_crate(mut self, name: &str, version: &str) -> Self {
+        self.crates.push((name.to_owned(), version.to_owned()));
+        self
+    }
+
+    /// Encodes the manifest as one JSONL line (no trailing newline):
+    /// `{"manifest":{"schema":1,"config_hash":"…",…}}`. The hash is hex
+    /// (JSON numbers cannot carry 64 bits losslessly).
+    pub fn to_json_line(&self) -> String {
+        let mut out = String::with_capacity(96);
+        out.push_str("{\"manifest\":{\"schema\":");
+        out.push_str(&self.schema.to_string());
+        out.push_str(",\"config_hash\":");
+        json::push_str(&mut out, &format!("{:016x}", self.config_hash));
+        out.push_str(",\"seed\":");
+        out.push_str(&self.seed.to_string());
+        out.push_str(",\"crates\":{");
+        for (i, (name, version)) in self.crates.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            json::push_str(&mut out, name);
+            out.push(':');
+            json::push_str(&mut out, version);
+        }
+        out.push_str("}}}");
+        out
+    }
+}
+
+/// FNV-1a 64-bit: tiny, dependency-free, and stable across platforms —
+/// exactly what a provenance hash needs (it is not cryptographic).
+pub fn fnv1a_64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_matches_reference_vectors() {
+        // Standard FNV-1a 64 test vectors.
+        assert_eq!(fnv1a_64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a_64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a_64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn manifest_json_is_stable() {
+        let m = RunManifest::new("", 7).with_crate("bees-core", "0.1.0");
+        assert_eq!(
+            m.to_json_line(),
+            "{\"manifest\":{\"schema\":1,\"config_hash\":\"cbf29ce484222325\",\
+             \"seed\":7,\"crates\":{\"bees-core\":\"0.1.0\"}}}"
+        );
+    }
+
+    #[test]
+    fn same_config_same_hash() {
+        let a = RunManifest::new("{\"x\":1}", 1);
+        let b = RunManifest::new("{\"x\":1}", 2);
+        let c = RunManifest::new("{\"x\":2}", 1);
+        assert_eq!(a.config_hash, b.config_hash);
+        assert_ne!(a.config_hash, c.config_hash);
+    }
+}

@@ -1,0 +1,186 @@
+//! Sink contract and the built-in JSONL writer.
+
+use crate::manifest::RunManifest;
+use crate::span::SpanRecord;
+use std::io::{self, Write};
+use std::sync::{Arc, Mutex};
+
+/// Receives finished spans and manifests.
+///
+/// Sinks take `&self` (handles are shared across the pipeline), so
+/// implementations use interior mutability. Delivery order is the order
+/// spans were closed — which, because spans close against the simulated
+/// clock on the single orchestration thread, is deterministic regardless
+/// of `BEES_THREADS`.
+pub trait TraceSink: Send + Sync {
+    /// Called once per run, before any spans, with the run manifest.
+    fn on_manifest(&self, _manifest: &RunManifest) {}
+
+    /// Called for every closed span.
+    fn on_span(&self, span: &SpanRecord);
+
+    /// Flushes buffered output.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying writer's I/O error.
+    fn flush(&self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+/// Writes one JSON object per line: the manifest first (when emitted),
+/// then every span in close order.
+///
+/// Writing is best-effort — an I/O error mid-trace is remembered and
+/// surfaced by [`flush`](TraceSink::flush) rather than panicking the
+/// simulation.
+pub struct JsonlSink<W: Write + Send> {
+    out: Mutex<JsonlState<W>>,
+}
+
+struct JsonlState<W> {
+    writer: W,
+    error: Option<io::Error>,
+}
+
+impl<W: Write + Send> JsonlSink<W> {
+    /// Wraps a writer (a `File`, a [`SharedBuf`], a `Vec<u8>`…).
+    pub fn new(writer: W) -> Self {
+        JsonlSink {
+            out: Mutex::new(JsonlState {
+                writer,
+                error: None,
+            }),
+        }
+    }
+
+    fn write_line(&self, line: &str) {
+        let mut state = self.out.lock().expect("trace writer poisoned");
+        if state.error.is_some() {
+            return;
+        }
+        if let Err(e) = state
+            .writer
+            .write_all(line.as_bytes())
+            .and_then(|()| state.writer.write_all(b"\n"))
+        {
+            state.error = Some(e);
+        }
+    }
+}
+
+impl<W: Write + Send> TraceSink for JsonlSink<W> {
+    fn on_manifest(&self, manifest: &RunManifest) {
+        self.write_line(&manifest.to_json_line());
+    }
+
+    fn on_span(&self, span: &SpanRecord) {
+        self.write_line(&span.to_json_line());
+    }
+
+    fn flush(&self) -> io::Result<()> {
+        let mut state = self.out.lock().expect("trace writer poisoned");
+        if let Some(e) = state.error.take() {
+            return Err(e);
+        }
+        state.writer.flush()
+    }
+}
+
+/// A clonable in-memory byte buffer, for tests and for reading a trace
+/// back after the run without touching the filesystem.
+#[derive(Clone, Default)]
+pub struct SharedBuf {
+    bytes: Arc<Mutex<Vec<u8>>>,
+}
+
+impl SharedBuf {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A copy of everything written so far.
+    pub fn contents(&self) -> Vec<u8> {
+        self.bytes.lock().expect("shared buffer poisoned").clone()
+    }
+
+    /// The contents as UTF-8 (traces are always UTF-8).
+    pub fn contents_string(&self) -> String {
+        String::from_utf8(self.contents()).expect("trace output is UTF-8")
+    }
+}
+
+impl Write for SharedBuf {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.bytes
+            .lock()
+            .expect("shared buffer poisoned")
+            .extend_from_slice(buf);
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::AttrValue;
+
+    fn span(name: &'static str) -> SpanRecord {
+        SpanRecord {
+            name,
+            start_s: 0.0,
+            end_s: 1.0,
+            attrs: vec![("bytes", AttrValue::U64(10))],
+        }
+    }
+
+    #[test]
+    fn jsonl_writes_one_line_per_span() {
+        let buf = SharedBuf::new();
+        let sink = JsonlSink::new(buf.clone());
+        sink.on_manifest(&RunManifest::new("c", 1));
+        sink.on_span(&span("a"));
+        sink.on_span(&span("b"));
+        sink.flush().unwrap();
+        let text = buf.contents_string();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("{\"manifest\":"));
+        assert!(lines[1].contains("\"span\":\"a\""));
+        assert!(lines[2].contains("\"span\":\"b\""));
+    }
+
+    #[test]
+    fn write_errors_surface_on_flush() {
+        struct Failing;
+        impl Write for Failing {
+            fn write(&mut self, _buf: &[u8]) -> io::Result<usize> {
+                Err(io::Error::new(io::ErrorKind::Other, "disk gone"))
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+        let sink = JsonlSink::new(Failing);
+        sink.on_span(&span("a"));
+        sink.on_span(&span("b")); // skipped once poisoned, no panic
+        let err = TraceSink::flush(&sink).unwrap_err();
+        assert_eq!(err.to_string(), "disk gone");
+        // After reporting, the sink is clean again.
+        assert!(TraceSink::flush(&sink).is_ok());
+    }
+
+    #[test]
+    fn shared_buf_clones_observe_writes() {
+        let buf = SharedBuf::new();
+        let mut writer = buf.clone();
+        writer.write_all(b"hello").unwrap();
+        assert_eq!(buf.contents(), b"hello");
+    }
+}

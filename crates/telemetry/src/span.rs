@@ -1,0 +1,194 @@
+//! Spans: named intervals of simulated time with typed attributes.
+
+use crate::json;
+use crate::Inner;
+use std::sync::Arc;
+
+/// A typed attribute value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AttrValue {
+    /// An unsigned count (bytes, images, attempts).
+    U64(u64),
+    /// A measurement (seconds, joules, Ebat, similarity).
+    F64(f64),
+    /// A flag (hit, degraded).
+    Bool(bool),
+    /// A label (scheme, category, fault kind).
+    Str(String),
+}
+
+/// A finished span as delivered to sinks: a name, a `[start_s, end_s]`
+/// interval of *simulated* seconds, and insertion-ordered attributes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanRecord {
+    /// The span name — one of [`crate::names`] for pipeline stages.
+    pub name: &'static str,
+    /// Simulated time the span opened.
+    pub start_s: f64,
+    /// Simulated time the span closed (`== start_s` for events).
+    pub end_s: f64,
+    /// Attributes in insertion order. Keys are static so the hot path
+    /// never hashes or allocates for them.
+    pub attrs: Vec<(&'static str, AttrValue)>,
+}
+
+impl SpanRecord {
+    /// The span's duration in simulated seconds.
+    pub fn duration_s(&self) -> f64 {
+        self.end_s - self.start_s
+    }
+
+    /// The first attribute with this key, if any.
+    pub fn attr(&self, key: &str) -> Option<&AttrValue> {
+        self.attrs.iter().find(|(k, _)| *k == key).map(|(_, v)| v)
+    }
+
+    /// Encodes the span as one JSONL line (no trailing newline):
+    /// `{"span":NAME,"start_s":T0,"end_s":T1,"attrs":{...}}`.
+    pub fn to_json_line(&self) -> String {
+        let mut out = String::with_capacity(64 + self.attrs.len() * 16);
+        out.push_str("{\"span\":");
+        json::push_str(&mut out, self.name);
+        out.push_str(",\"start_s\":");
+        json::push_f64(&mut out, self.start_s);
+        out.push_str(",\"end_s\":");
+        json::push_f64(&mut out, self.end_s);
+        out.push_str(",\"attrs\":{");
+        for (i, (key, value)) in self.attrs.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            json::push_str(&mut out, key);
+            out.push(':');
+            match value {
+                AttrValue::U64(v) => out.push_str(&v.to_string()),
+                AttrValue::F64(v) => json::push_f64(&mut out, *v),
+                AttrValue::Bool(v) => out.push_str(if *v { "true" } else { "false" }),
+                AttrValue::Str(v) => json::push_str(&mut out, v),
+            }
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+/// An open span. Attach attributes with the builder methods and finish it
+/// with [`close`](Span::close); dropping it unclosed discards it silently.
+///
+/// On a disabled [`crate::Telemetry`] handle every method is a no-op and
+/// the span holds no heap memory at all.
+#[must_use = "a span records nothing until close() is called"]
+pub struct Span {
+    active: Option<(Arc<Inner>, SpanRecord)>,
+}
+
+impl Span {
+    pub(crate) fn new(inner: Option<Arc<Inner>>, name: &'static str, start_s: f64) -> Self {
+        Span {
+            active: inner.map(|inner| {
+                (
+                    inner,
+                    SpanRecord {
+                        name,
+                        start_s,
+                        end_s: start_s,
+                        attrs: Vec::new(),
+                    },
+                )
+            }),
+        }
+    }
+
+    /// Whether this span will be delivered to sinks when closed.
+    pub fn is_recording(&self) -> bool {
+        self.active.is_some()
+    }
+
+    /// Attaches an unsigned count.
+    pub fn attr_u64(mut self, key: &'static str, value: u64) -> Self {
+        if let Some((_, record)) = &mut self.active {
+            record.attrs.push((key, AttrValue::U64(value)));
+        }
+        self
+    }
+
+    /// Attaches a measurement.
+    pub fn attr_f64(mut self, key: &'static str, value: f64) -> Self {
+        if let Some((_, record)) = &mut self.active {
+            record.attrs.push((key, AttrValue::F64(value)));
+        }
+        self
+    }
+
+    /// Attaches a flag.
+    pub fn attr_bool(mut self, key: &'static str, value: bool) -> Self {
+        if let Some((_, record)) = &mut self.active {
+            record.attrs.push((key, AttrValue::Bool(value)));
+        }
+        self
+    }
+
+    /// Attaches a label. The string is only copied when recording.
+    pub fn attr_str(mut self, key: &'static str, value: &str) -> Self {
+        if let Some((_, record)) = &mut self.active {
+            record.attrs.push((key, AttrValue::Str(value.to_owned())));
+        }
+        self
+    }
+
+    /// Closes the span at simulated time `end_s` and delivers it to every
+    /// sink. No-op on a non-recording span.
+    pub fn close(self, end_s: f64) {
+        if let Some((inner, mut record)) = self.active {
+            record.end_s = end_s;
+            inner.emit(&record);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record() -> SpanRecord {
+        SpanRecord {
+            name: "afe.orb",
+            start_s: 0.25,
+            end_s: 1.5,
+            attrs: vec![
+                ("images", AttrValue::U64(8)),
+                ("extractor", AttrValue::Str("orb".into())),
+                ("hit", AttrValue::Bool(false)),
+                ("joules", AttrValue::F64(0.125)),
+            ],
+        }
+    }
+
+    #[test]
+    fn json_line_is_insertion_ordered() {
+        assert_eq!(
+            record().to_json_line(),
+            "{\"span\":\"afe.orb\",\"start_s\":0.25,\"end_s\":1.5,\"attrs\":{\
+             \"images\":8,\"extractor\":\"orb\",\"hit\":false,\"joules\":0.125}}"
+        );
+    }
+
+    #[test]
+    fn duration_and_lookup() {
+        let r = record();
+        assert!((r.duration_s() - 1.25).abs() < 1e-12);
+        assert_eq!(r.attr("images"), Some(&AttrValue::U64(8)));
+        assert_eq!(r.attr("missing"), None);
+    }
+
+    #[test]
+    fn disabled_span_is_inert() {
+        let span = Span::new(None, "x", 0.0)
+            .attr_u64("a", 1)
+            .attr_f64("b", 2.0)
+            .attr_bool("c", true)
+            .attr_str("d", "e");
+        assert!(!span.is_recording());
+        span.close(9.0);
+    }
+}

@@ -4,7 +4,9 @@
 //!
 //! Run with: `cargo run --release --example disaster_relief`
 
-use bees::core::schemes::{Bees, DirectUpload, Mrc, PhotoNetLike, SmartEye, UploadScheme};
+use bees::core::schemes::{
+    BatchCtx, Bees, DirectUpload, Mrc, PhotoNetLike, SmartEye, UploadScheme,
+};
 use bees::core::{BeesConfig, Client, Server};
 use bees::datasets::{disaster_batch, SceneConfig};
 use bees::net::BandwidthTrace;
@@ -42,8 +44,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         // Fresh server/client per scheme so each sees identical conditions.
         let mut server = Server::new(&config);
         scheme.preload_server(&mut server, &data.server_preload);
-        let mut client = Client::new(0, &config);
-        let r = scheme.upload_batch(&mut client, &mut server, &data.batch)?;
+        let mut client = Client::try_new(0, &config)?;
+        let r = scheme.upload(&mut BatchCtx::new(&mut client, &mut server, &data.batch))?;
         println!(
             "{:<14}{:>9}{:>9}{:>9}{:>12.1}{:>12.1}{:>10.1}",
             r.scheme,

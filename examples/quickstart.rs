@@ -2,7 +2,7 @@
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use bees::core::schemes::{Bees, UploadScheme};
+use bees::core::schemes::{BatchCtx, Bees, UploadScheme};
 use bees::core::{BeesConfig, Client, Server};
 use bees::datasets::{disaster_batch, SceneConfig};
 use bees::energy::EnergyCategory;
@@ -18,10 +18,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let mut server = Server::new(&config);
     server.preload(&data.server_preload);
-    let mut client = Client::new(0, &config);
+    let mut client = Client::try_new(0, &config)?;
 
     let scheme = Bees::adaptive(&config);
-    let report = scheme.upload_batch(&mut client, &mut server, &data.batch)?;
+    let report = scheme.upload(&mut BatchCtx::new(&mut client, &mut server, &data.batch))?;
 
     println!("BEES batch report");
     println!("  batch size          : {}", report.batch_size);

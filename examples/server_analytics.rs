@@ -4,7 +4,7 @@
 //!
 //! Run with: `cargo run --release --example server_analytics`
 
-use bees::core::schemes::{Bees, UploadScheme};
+use bees::core::schemes::{BatchCtx, Bees, UploadScheme};
 use bees::core::{BeesConfig, Client, Server};
 use bees::datasets::{ParisConfig, ParisLike, SceneConfig};
 use bees::net::BandwidthTrace;
@@ -38,7 +38,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "phone", "uploaded", "indexed", "feat KiB", "payload KiB", "locations"
     );
     for phone in 0..3u64 {
-        let mut client = Client::new(phone, &config);
+        let mut client = Client::try_new(phone, &config)?;
         let lo = phone as usize * per_phone;
         let mut batch = Vec::with_capacity(per_phone);
         let mut tags = Vec::with_capacity(per_phone);
@@ -47,7 +47,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             tags.push((g.lon, g.lat));
             batch.push(g.image);
         }
-        let report = scheme.upload_batch_tagged(&mut client, &mut server, &batch, Some(&tags))?;
+        let mut ctx = BatchCtx::new(&mut client, &mut server, &batch).with_geotags(&tags)?;
+        let report = scheme.upload(&mut ctx)?;
         println!(
             "{:<8}{:>10}{:>12}{:>14.1}{:>16.1}{:>12}",
             phone,

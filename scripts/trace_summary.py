@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Render a bees-telemetry JSONL trace as a per-stage summary table.
+
+Usage:
+    python3 scripts/trace_summary.py trace.jsonl
+    cargo run --release --bin telemetry_report -- --trace-out /dev/stdout \
+        | python3 scripts/trace_summary.py -
+
+Input format (one JSON object per line):
+    {"manifest":{"schema":1,"config_hash":"…","seed":…,"crates":{…}}}
+    {"span":"afe.orb","start_s":0,"end_s":1.5,"attrs":{"joules":2.1,…}}
+
+The table mirrors the one the `telemetry_report` binary prints: span
+count, mean/total/max duration on the simulated clock, and the summed
+`bytes`/`joules` attributes, per stage name. Stdlib only.
+"""
+
+import json
+import sys
+from collections import defaultdict
+
+
+def summarize(lines):
+    manifest = None
+    stages = defaultdict(lambda: {"count": 0, "total_s": 0.0, "max_s": 0.0,
+                                  "bytes": 0, "joules": 0.0})
+    for lineno, line in enumerate(lines, 1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            obj = json.loads(line)
+        except json.JSONDecodeError as e:
+            print(f"warning: line {lineno}: {e}", file=sys.stderr)
+            continue
+        if "manifest" in obj:
+            manifest = obj["manifest"]
+            continue
+        name = obj.get("span")
+        if name is None:
+            print(f"warning: line {lineno}: neither manifest nor span",
+                  file=sys.stderr)
+            continue
+        st = stages[name]
+        duration = float(obj.get("end_s", 0.0)) - float(obj.get("start_s", 0.0))
+        st["count"] += 1
+        st["total_s"] += duration
+        st["max_s"] = max(st["max_s"], duration)
+        attrs = obj.get("attrs", {})
+        if isinstance(attrs.get("bytes"), int):
+            st["bytes"] += attrs["bytes"]
+        if isinstance(attrs.get("joules"), (int, float)):
+            st["joules"] += attrs["joules"]
+    return manifest, stages
+
+
+def print_table(manifest, stages):
+    if manifest is not None:
+        crates = ", ".join(f"{k} {v}" for k, v in
+                           manifest.get("crates", {}).items())
+        print(f"run manifest: schema {manifest.get('schema')}, "
+              f"config {manifest.get('config_hash')}, "
+              f"seed {manifest.get('seed')}"
+              + (f" ({crates})" if crates else ""))
+    header = ["stage", "spans", "mean (s)", "total (s)", "max (s)",
+              "bytes", "joules"]
+    rows = [header]
+    for name in sorted(stages):
+        st = stages[name]
+        mean = st["total_s"] / st["count"] if st["count"] else 0.0
+        rows.append([name, str(st["count"]), f"{mean:.3f}",
+                     f"{st['total_s']:.3f}", f"{st['max_s']:.3f}",
+                     str(st["bytes"]), f"{st['joules']:.1f}"])
+    widths = [max(len(r[i]) for r in rows) for i in range(len(header))]
+    for i, row in enumerate(rows):
+        print("  ".join(cell.ljust(w) if j == 0 else cell.rjust(w)
+                        for j, (cell, w) in enumerate(zip(row, widths))))
+        if i == 0:
+            print("  ".join("-" * w for w in widths))
+
+
+def main():
+    if len(sys.argv) != 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    path = sys.argv[1]
+    if path == "-":
+        manifest, stages = summarize(sys.stdin)
+    else:
+        with open(path, encoding="utf-8") as f:
+            manifest, stages = summarize(f)
+    if not stages:
+        print("no spans found", file=sys.stderr)
+        return 1
+    print_table(manifest, stages)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

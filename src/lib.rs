@@ -23,3 +23,4 @@ pub use bees_index as index;
 pub use bees_net as net;
 pub use bees_runtime as runtime;
 pub use bees_submodular as submodular;
+pub use bees_telemetry as telemetry;

@@ -2,7 +2,7 @@
 //! inputs must produce byte-identical outputs — the property every
 //! experiment in `EXPERIMENTS.md` relies on.
 
-use bees::core::schemes::{Bees, UploadScheme};
+use bees::core::schemes::{BatchCtx, Bees, UploadScheme};
 use bees::core::{BatchReport, BeesConfig, Client, Server};
 use bees::datasets::{disaster_batch, kentucky_like, ParisConfig, ParisLike, SceneConfig};
 use bees::features::orb::Orb;
@@ -27,9 +27,9 @@ fn full_upload_run_is_deterministic() {
         let scheme = Bees::adaptive(&config);
         let mut server = Server::new(&config);
         scheme.preload_server(&mut server, &data.server_preload);
-        let mut client = Client::new(0, &config);
+        let mut client = Client::try_new(0, &config).unwrap();
         scheme
-            .upload_batch(&mut client, &mut server, &data.batch)
+            .upload(&mut BatchCtx::new(&mut client, &mut server, &data.batch))
             .unwrap()
     };
     let a = run();
@@ -51,9 +51,9 @@ fn full_pipeline_is_identical_across_thread_counts() {
         let scheme = Bees::adaptive(&config);
         let mut server = Server::new(&config);
         scheme.preload_server(&mut server, &data.server_preload);
-        let mut client = Client::new(0, &config);
+        let mut client = Client::try_new(0, &config).unwrap();
         let report = scheme
-            .upload_batch(&mut client, &mut server, &data.batch)
+            .upload(&mut BatchCtx::new(&mut client, &mut server, &data.batch))
             .unwrap();
         serde_json::to_string(&report).expect("report serializes")
     };
@@ -83,9 +83,9 @@ fn fault_injected_pipeline_is_identical_across_thread_counts() {
         let scheme = Bees::adaptive(&config);
         let mut server = Server::new(&config);
         scheme.preload_server(&mut server, &data.server_preload);
-        let mut client = Client::new(0, &config);
+        let mut client = Client::try_new(0, &config).unwrap();
         let report = scheme
-            .upload_batch(&mut client, &mut server, &data.batch)
+            .upload(&mut BatchCtx::new(&mut client, &mut server, &data.batch))
             .unwrap();
         serde_json::to_string(&report).expect("report serializes")
     };
@@ -96,6 +96,44 @@ fn fault_injected_pipeline_is_identical_across_thread_counts() {
         let multi = run();
         bees::runtime::set_threads(0);
         assert_eq!(single, multi, "faulty report differs at {threads} threads");
+    }
+}
+
+#[test]
+fn telemetry_trace_is_byte_identical_across_thread_counts() {
+    // The tentpole contract of the telemetry subsystem: spans are opened
+    // and closed against the client's virtual clock on the orchestration
+    // thread, so the JSONL trace — manifest, span order, every attribute —
+    // is byte-identical no matter how many workers the runtime uses.
+    use bees::telemetry::{JsonlSink, RunManifest, SharedBuf, Telemetry};
+    use std::sync::Arc;
+
+    let run = || -> String {
+        let mut config = BeesConfig::default();
+        config.trace = BandwidthTrace::constant(200_000.0).unwrap();
+        let data = disaster_batch(42, 10, 2, 0.25, small_scene());
+        let scheme = Bees::adaptive(&config);
+        let mut server = Server::new(&config);
+        scheme.preload_server(&mut server, &data.server_preload);
+        let mut client = Client::try_new(0, &config).unwrap();
+        let buf = SharedBuf::new();
+        let telemetry = Telemetry::with_sinks(vec![Arc::new(JsonlSink::new(buf.clone()))]);
+        telemetry.emit_manifest(&RunManifest::new(&format!("{config:?}"), 42));
+        let mut ctx =
+            BatchCtx::new(&mut client, &mut server, &data.batch).with_telemetry(telemetry);
+        scheme.upload(&mut ctx).unwrap();
+        buf.contents_string()
+    };
+    bees::runtime::set_threads(1);
+    let single = run();
+    assert!(single.lines().next().unwrap().starts_with("{\"manifest\":"));
+    assert!(single.contains("\"span\":\"afe.orb\""));
+    assert!(single.contains("\"span\":\"net.transmit\""));
+    for threads in [2, 8] {
+        bees::runtime::set_threads(threads);
+        let multi = run();
+        bees::runtime::set_threads(0);
+        assert_eq!(single, multi, "trace differs at {threads} threads");
     }
 }
 
@@ -141,9 +179,9 @@ fn reports_serialize_and_roundtrip() {
     let scheme = Bees::adaptive(&config);
     let mut server = Server::new(&config);
     scheme.preload_server(&mut server, &data.server_preload);
-    let mut client = Client::new(0, &config);
+    let mut client = Client::try_new(0, &config).unwrap();
     let report = scheme
-        .upload_batch(&mut client, &mut server, &data.batch)
+        .upload(&mut BatchCtx::new(&mut client, &mut server, &data.batch))
         .unwrap();
 
     let json = serde_json::to_string(&report).expect("report serializes");

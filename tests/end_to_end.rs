@@ -1,7 +1,9 @@
 //! End-to-end integration tests: every scheme drives the full
 //! client/server stack over the simulated network on synthetic data.
 
-use bees::core::schemes::{Bees, DirectUpload, Mrc, PhotoNetLike, SmartEye, UploadScheme};
+use bees::core::schemes::{
+    BatchCtx, Bees, DirectUpload, Mrc, PhotoNetLike, SmartEye, UploadScheme,
+};
 use bees::core::{BeesConfig, Client, Server};
 use bees::datasets::{disaster_batch, DisasterBatch, SceneConfig};
 use bees::energy::EnergyCategory;
@@ -47,9 +49,9 @@ fn every_scheme_conserves_the_batch() {
     for scheme in all_schemes(&config) {
         let mut server = Server::new(&config);
         scheme.preload_server(&mut server, &data.server_preload);
-        let mut client = Client::new(0, &config);
+        let mut client = Client::try_new(0, &config).unwrap();
         let r = scheme
-            .upload_batch(&mut client, &mut server, &data.batch)
+            .upload(&mut BatchCtx::new(&mut client, &mut server, &data.batch))
             .unwrap();
         assert_eq!(
             r.uploaded_images + r.skipped_cross_batch + r.skipped_in_batch,
@@ -72,10 +74,10 @@ fn battery_drain_matches_ledger() {
     for scheme in all_schemes(&config) {
         let mut server = Server::new(&config);
         scheme.preload_server(&mut server, &data.server_preload);
-        let mut client = Client::new(0, &config);
+        let mut client = Client::try_new(0, &config).unwrap();
         let before = client.battery().remaining_joules();
         let r = scheme
-            .upload_batch(&mut client, &mut server, &data.batch)
+            .upload(&mut BatchCtx::new(&mut client, &mut server, &data.batch))
             .unwrap();
         let after = client.battery().remaining_joules();
         assert!(
@@ -97,14 +99,14 @@ fn uploaded_features_enable_future_deduplication() {
     let data = workload(3);
     let scheme = Bees::adaptive(&config);
     let mut server = Server::new(&config);
-    let mut phone_a = Client::new(0, &config);
+    let mut phone_a = Client::try_new(0, &config).unwrap();
     let ra = scheme
-        .upload_batch(&mut phone_a, &mut server, &data.batch)
+        .upload(&mut BatchCtx::new(&mut phone_a, &mut server, &data.batch))
         .unwrap();
     assert!(ra.uploaded_images > 0);
-    let mut phone_b = Client::new(1, &config);
+    let mut phone_b = Client::try_new(1, &config).unwrap();
     let rb = scheme
-        .upload_batch(&mut phone_b, &mut server, &data.batch)
+        .upload(&mut BatchCtx::new(&mut phone_b, &mut server, &data.batch))
         .unwrap();
     assert!(
         rb.uploaded_images < ra.uploaded_images,
@@ -120,17 +122,25 @@ fn bees_beats_direct_on_every_headline_metric() {
     let data = workload(4);
 
     let mut server_d = Server::new(&config);
-    let mut client_d = Client::new(0, &config);
+    let mut client_d = Client::try_new(0, &config).unwrap();
     let rd = DirectUpload::new(&config)
-        .upload_batch(&mut client_d, &mut server_d, &data.batch)
+        .upload(&mut BatchCtx::new(
+            &mut client_d,
+            &mut server_d,
+            &data.batch,
+        ))
         .unwrap();
 
     let scheme = Bees::adaptive(&config);
     let mut server_b = Server::new(&config);
     scheme.preload_server(&mut server_b, &data.server_preload);
-    let mut client_b = Client::new(0, &config);
+    let mut client_b = Client::try_new(0, &config).unwrap();
     let rb = scheme
-        .upload_batch(&mut client_b, &mut server_b, &data.batch)
+        .upload(&mut BatchCtx::new(
+            &mut client_b,
+            &mut server_b,
+            &data.batch,
+        ))
         .unwrap();
 
     assert!(rb.active_energy() < rd.active_energy(), "energy");
@@ -146,9 +156,9 @@ fn in_batch_duplicates_are_eliminated_without_server_knowledge() {
     let data = disaster_batch(5, 10, 3, 0.0, small_scene());
     let scheme = Bees::adaptive(&config);
     let mut server = Server::new(&config);
-    let mut client = Client::new(0, &config);
+    let mut client = Client::try_new(0, &config).unwrap();
     let r = scheme
-        .upload_batch(&mut client, &mut server, &data.batch)
+        .upload(&mut BatchCtx::new(&mut client, &mut server, &data.batch))
         .unwrap();
     assert_eq!(r.skipped_cross_batch, 0, "server was empty");
     assert!(
@@ -159,9 +169,9 @@ fn in_batch_duplicates_are_eliminated_without_server_knowledge() {
     // MRC cannot catch them.
     let mrc = Mrc::new(&config);
     let mut server2 = Server::new(&config);
-    let mut client2 = Client::new(0, &config);
+    let mut client2 = Client::try_new(0, &config).unwrap();
     let rm = mrc
-        .upload_batch(&mut client2, &mut server2, &data.batch)
+        .upload(&mut BatchCtx::new(&mut client2, &mut server2, &data.batch))
         .unwrap();
     assert_eq!(rm.skipped_in_batch, 0);
     assert!(rm.uploaded_images > r.uploaded_images);
@@ -174,9 +184,9 @@ fn fluctuating_trace_still_completes() {
     let data = workload(6);
     let scheme = Bees::adaptive(&config);
     let mut server = Server::new(&config);
-    let mut client = Client::new(0, &config);
+    let mut client = Client::try_new(0, &config).unwrap();
     let r = scheme
-        .upload_batch(&mut client, &mut server, &data.batch)
+        .upload(&mut BatchCtx::new(&mut client, &mut server, &data.batch))
         .unwrap();
     assert!(!r.exhausted);
     assert!(r.total_delay_s > 0.0);
@@ -192,8 +202,8 @@ fn dead_network_surfaces_as_an_error_not_a_hang() {
     let data = disaster_batch(8, 4, 0, 0.0, small_scene());
     for scheme in all_schemes(&config) {
         let mut server = Server::new(&config);
-        let mut client = Client::new(0, &config);
-        let result = scheme.upload_batch(&mut client, &mut server, &data.batch);
+        let mut client = Client::try_new(0, &config).unwrap();
+        let result = scheme.upload(&mut BatchCtx::new(&mut client, &mut server, &data.batch));
         assert!(
             matches!(result, Err(bees::core::CoreError::Net(_))),
             "{:?} should stall",
@@ -207,18 +217,18 @@ fn energy_categories_are_scheme_appropriate() {
     let config = test_config();
     let data = workload(7);
     let mut server = Server::new(&config);
-    let mut client = Client::new(0, &config);
+    let mut client = Client::try_new(0, &config).unwrap();
     let rd = DirectUpload::new(&config)
-        .upload_batch(&mut client, &mut server, &data.batch)
+        .upload(&mut BatchCtx::new(&mut client, &mut server, &data.batch))
         .unwrap();
     assert_eq!(rd.energy.get(EnergyCategory::FeatureExtraction), 0.0);
     assert_eq!(rd.energy.get(EnergyCategory::Compression), 0.0);
 
     let scheme = Bees::adaptive(&config);
     let mut server2 = Server::new(&config);
-    let mut client2 = Client::new(0, &config);
+    let mut client2 = Client::try_new(0, &config).unwrap();
     let rb = scheme
-        .upload_batch(&mut client2, &mut server2, &data.batch)
+        .upload(&mut BatchCtx::new(&mut client2, &mut server2, &data.batch))
         .unwrap();
     assert!(rb.energy.get(EnergyCategory::FeatureExtraction) > 0.0);
     assert!(rb.energy.get(EnergyCategory::Compression) > 0.0);

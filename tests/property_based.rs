@@ -150,7 +150,7 @@ proptest! {
         config.trace = BandwidthTrace::constant(256_000.0).unwrap();
         config.fault = FaultModel::new(seed, drop_p, 0.2, 20.0, 6.0).unwrap();
         config.battery = Battery::from_joules(1e9);
-        let mut client = Client::new(0, &config);
+        let mut client = Client::try_new(0, &config).unwrap();
         let mut last_total = 0.0f64;
         let mut last_battery = client.battery().remaining_joules();
         for bytes in payloads {
