@@ -20,6 +20,9 @@ pub struct ExpArgs {
     /// Optional scheme subset (`--schemes bees,mrc`); `None` means the
     /// experiment's default roster.
     pub schemes: Option<Vec<SchemeKind>>,
+    /// When set, experiments that produce machine-readable results (e.g.
+    /// `fleet_scaling`) also write them as JSON lines to this path.
+    pub json_out: Option<PathBuf>,
 }
 
 impl Default for ExpArgs {
@@ -30,14 +33,15 @@ impl Default for ExpArgs {
             quick: false,
             trace_out: None,
             schemes: None,
+            json_out: None,
         }
     }
 }
 
 impl ExpArgs {
     /// Parses `--scale <f>`, `--seed <n>`, `--quick`, `--trace-out <path>`,
-    /// and `--schemes <a,b,...>` from an iterator of arguments (unknown
-    /// arguments are ignored with a warning).
+    /// `--json-out <path>`, and `--schemes <a,b,...>` from an iterator of
+    /// arguments (unknown arguments are ignored with a warning).
     pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Self {
         let mut out = ExpArgs::default();
         let mut it = args.into_iter();
@@ -57,6 +61,11 @@ impl ExpArgs {
                 "--trace-out" => {
                     if let Some(v) = it.next() {
                         out.trace_out = Some(PathBuf::from(v));
+                    }
+                }
+                "--json-out" => {
+                    if let Some(v) = it.next() {
+                        out.json_out = Some(PathBuf::from(v));
                     }
                 }
                 "--schemes" => {
@@ -116,6 +125,16 @@ mod tests {
         assert!(!a.quick);
         assert!(a.trace_out.is_none());
         assert!(a.schemes.is_none());
+        assert!(a.json_out.is_none());
+    }
+
+    #[test]
+    fn parses_json_out() {
+        let a = parse(&["--json-out", "fleet.jsonl"]);
+        assert_eq!(
+            a.json_out.as_deref(),
+            Some(std::path::Path::new("fleet.jsonl"))
+        );
     }
 
     #[test]

@@ -1,0 +1,7 @@
+//! Fleet-scale server sweep: devices x index shards, BEES scheme over the
+//! deterministic multi-device fleet session.
+use bees_bench::args::ExpArgs;
+
+fn main() {
+    bees_bench::experiments::fleet_scaling::run(&ExpArgs::from_env()).print();
+}

@@ -27,5 +27,6 @@ fn main() {
     ex::global_vs_local::run(&args).print();
     ex::fault_resilience::run(&args).print();
     ex::telemetry_report::run(&args).print();
+    ex::fleet_scaling::run(&args).print();
     println!("\nAll experiments complete. See EXPERIMENTS.md for the paper-vs-measured record.");
 }

@@ -59,8 +59,10 @@ impl FaultResilienceResult {
 
 /// Runs all six schemes on the same batch over the same faulty channel.
 pub fn run(args: &ExpArgs) -> FaultResilienceResult {
-    let mut config = BeesConfig::default();
-    config.trace = BandwidthTrace::disaster_wifi(args.seed ^ 0xFA11);
+    let mut config = BeesConfig {
+        trace: BandwidthTrace::disaster_wifi(args.seed ^ 0xFA11),
+        ..BeesConfig::default()
+    };
     // Harsher than the `disaster` preset: a quick-scale batch finishes in
     // seconds of simulated time, so the storm needs short dark windows and
     // a high per-attempt drop rate for faults to show up in the table.
@@ -87,7 +89,7 @@ pub fn run(args: &ExpArgs) -> FaultResilienceResult {
         .collect();
     let mut reports = Vec::with_capacity(schemes.len());
     for scheme in &schemes {
-        let mut server = Server::new(&config);
+        let mut server = Server::try_new(&config).expect("config is valid");
         let mut client = Client::try_new(0, &config).expect("fault/battery knobs are valid");
         scheme.preload_server(&mut server, &data.server_preload);
         let report = scheme

@@ -70,9 +70,11 @@ pub fn run(args: &ExpArgs) -> Fig11Result {
 
     let mut points = Vec::new();
     for kbps in [128u32, 256, 512] {
-        let mut config = BeesConfig::default();
-        config.trace =
-            BandwidthTrace::constant(kbps as f64 * 1000.0).expect("constant trace is valid");
+        let config = BeesConfig {
+            trace: BandwidthTrace::constant(kbps as f64 * 1000.0)
+                .expect("constant trace is valid"),
+            ..BeesConfig::default()
+        };
         let schemes: Vec<Box<dyn UploadScheme>> = [
             SchemeKind::DirectUpload,
             SchemeKind::SmartEye,
@@ -84,7 +86,7 @@ pub fn run(args: &ExpArgs) -> Fig11Result {
         .collect();
         let mut avg = Vec::new();
         for scheme in &schemes {
-            let mut server = Server::new(&config);
+            let mut server = Server::try_new(&config).expect("config is valid");
             let mut client = Client::try_new(0, &config).expect("default config is valid");
             scheme.preload_server(&mut server, &data.server_preload);
             let report = scheme

@@ -55,8 +55,10 @@ impl Fig12Result {
 
 /// Runs the fleet session for both schemes.
 pub fn run(args: &ExpArgs) -> Fig12Result {
-    let mut config = BeesConfig::default();
-    config.trace = BandwidthTrace::constant(256_000.0).expect("constant trace is valid");
+    let mut config = BeesConfig {
+        trace: BandwidthTrace::constant(256_000.0).expect("constant trace is valid"),
+        ..BeesConfig::default()
+    };
 
     let n_phones = args.scaled(10, 2);
     let n_images = args.scaled(1200, 60);

@@ -60,8 +60,10 @@ impl Fig8Result {
 
 /// Runs BEES on the same batch at four staged battery levels.
 pub fn run(args: &ExpArgs) -> Fig8Result {
-    let mut config = BeesConfig::default();
-    config.trace = BandwidthTrace::constant(256_000.0).expect("constant trace is valid");
+    let config = BeesConfig {
+        trace: BandwidthTrace::constant(256_000.0).expect("constant trace is valid"),
+        ..BeesConfig::default()
+    };
     let batch_size = args.scaled(100, 8);
     let in_batch = (batch_size / 10).max(1);
     // Paper: 25% cross-batch redundancy for each upload.
@@ -76,7 +78,7 @@ pub fn run(args: &ExpArgs) -> Fig8Result {
 
     let mut points = Vec::new();
     for ebat_pct in [100u32, 70, 40, 10] {
-        let mut server = Server::new(&config);
+        let mut server = Server::try_new(&config).expect("config is valid");
         let mut client = Client::try_new(0, &config).expect("default config is valid");
         scheme.preload_server(&mut server, &data.server_preload);
         client.battery_mut().set_fraction(ebat_pct as f64 / 100.0);

@@ -72,8 +72,10 @@ impl Fig9Result {
 
 /// Runs all five schemes through the lifetime session.
 pub fn run(args: &ExpArgs) -> Fig9Result {
-    let mut config = BeesConfig::default();
-    config.trace = BandwidthTrace::constant(256_000.0).expect("constant trace is valid");
+    let mut config = BeesConfig {
+        trace: BandwidthTrace::constant(256_000.0).expect("constant trace is valid"),
+        ..BeesConfig::default()
+    };
     let group_size = args.scaled(40, 4);
     // Size the interval so a Direct Upload group fills ~70% of it (the
     // paper's geometry: 40 x ~22 s uploads inside a 20-minute slot), and

@@ -1,0 +1,172 @@
+//! Fleet-scale server: devices × shards sweep over the deterministic
+//! multi-device fleet session.
+//!
+//! For each fleet size the sweep runs the same workload against 1, 2, and
+//! 4 index shards and reports ingest/query throughput plus the
+//! redundancy-elimination ratio. The acceptance property is printed (and
+//! asserted in the tests): the *report* — uploads, verdicts, ratio — is
+//! byte-identical across shard counts; only the wall clock moves.
+
+use crate::args::ExpArgs;
+use crate::table::{pct, Table};
+use bees_core::schemes::Bees;
+use bees_core::sessions::{run_fleet, FleetConfig, FleetReport};
+use bees_core::{BeesConfig, IndexBackend};
+use bees_datasets::SceneConfig;
+use bees_net::BandwidthTrace;
+use std::time::Instant;
+
+/// One cell of the devices × shards sweep.
+#[derive(Debug, Clone)]
+pub struct FleetCell {
+    /// Fleet size.
+    pub devices: usize,
+    /// Server index shards.
+    pub shards: usize,
+    /// The deterministic fleet report (identical across `shards`).
+    pub report: FleetReport,
+    /// Wall-clock seconds for the whole run (display only — never part of
+    /// the deterministic report).
+    pub wall_s: f64,
+    /// Server queries answered per wall-clock second.
+    pub queries_per_s: f64,
+}
+
+/// Full sweep result.
+#[derive(Debug, Clone)]
+pub struct FleetScalingResult {
+    /// All cells, devices-major then shards-minor.
+    pub cells: Vec<FleetCell>,
+}
+
+impl FleetScalingResult {
+    /// Whether, for every fleet size, all shard counts produced
+    /// byte-identical reports — the sweep's correctness property.
+    pub fn reports_agree_across_shards(&self) -> bool {
+        self.cells.iter().all(|c| {
+            let base = self
+                .cells
+                .iter()
+                .find(|b| b.devices == c.devices)
+                .expect("cell exists");
+            base.report.to_json() == c.report.to_json()
+        })
+    }
+
+    /// Prints the sweep table.
+    pub fn print(&self) {
+        println!("\n== Fleet scaling: devices x index shards ==");
+        let mut t = Table::new(vec![
+            "devices",
+            "shards",
+            "captured",
+            "uploaded",
+            "elimination",
+            "queries",
+            "wall s",
+            "queries/s",
+        ]);
+        for c in &self.cells {
+            t.row(vec![
+                c.devices.to_string(),
+                c.shards.to_string(),
+                c.report.images_captured.to_string(),
+                c.report.images_uploaded.to_string(),
+                pct(c.report.redundancy_elimination),
+                c.report.server_queries.to_string(),
+                format!("{:.2}", c.wall_s),
+                format!("{:.0}", c.queries_per_s),
+            ]);
+        }
+        t.print();
+        println!(
+            "reports byte-identical across shard counts: {}",
+            self.reports_agree_across_shards()
+        );
+    }
+}
+
+fn fleet_for(args: &ExpArgs, devices: usize) -> FleetConfig {
+    FleetConfig {
+        n_devices: devices,
+        rounds: args.scaled(3, 2),
+        group_size: args.scaled(6, 3),
+        shared_per_group: args.scaled(3, 2),
+        interval_s: 30.0,
+        scene: SceneConfig {
+            width: 96,
+            height: 72,
+            n_shapes: 8,
+            texture_amp: 8.0,
+        },
+        seed: args.seed,
+    }
+}
+
+/// Runs the devices × shards sweep (BEES scheme, MIH backend).
+pub fn run(args: &ExpArgs) -> FleetScalingResult {
+    let device_sweep = [args.scaled(4, 2), args.scaled(8, 3)];
+    let mut cells = Vec::new();
+    for &devices in &device_sweep {
+        let fleet = fleet_for(args, devices);
+        for shards in [1usize, 2, 4] {
+            let config = BeesConfig {
+                trace: BandwidthTrace::constant(256_000.0).expect("constant trace is valid"),
+                index_backend: IndexBackend::Mih,
+                server_shards: shards,
+                ..BeesConfig::default()
+            };
+            let start = Instant::now();
+            let report = run_fleet(&Bees::adaptive(&config), &config, &fleet)
+                .expect("constant trace cannot stall");
+            let wall_s = start.elapsed().as_secs_f64();
+            cells.push(FleetCell {
+                devices,
+                shards,
+                queries_per_s: report.server_queries as f64 / wall_s.max(1e-9),
+                report,
+                wall_s,
+            });
+        }
+    }
+    let result = FleetScalingResult { cells };
+    if let Some(path) = &args.json_out {
+        let mut lines = String::new();
+        for c in &result.cells {
+            lines.push_str(&format!(
+                "{{\"devices\":{},\"shards\":{},\"report\":{}}}\n",
+                c.devices,
+                c.shards,
+                c.report.to_json()
+            ));
+        }
+        if let Err(e) = std::fs::write(path, lines) {
+            eprintln!("warning: could not write {}: {e}", path.display());
+        }
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_is_shard_invariant() {
+        let args = ExpArgs {
+            scale: 0.1,
+            seed: 7,
+            quick: true,
+            ..ExpArgs::default()
+        };
+        let r = run(&args);
+        // 2 fleet sizes x 3 shard counts.
+        assert_eq!(r.cells.len(), 6);
+        assert!(r.reports_agree_across_shards());
+        // The shared scene pool guarantees redundancy to eliminate.
+        for c in &r.cells {
+            assert!(c.report.redundancy_elimination > 0.0, "cell {c:?}");
+            assert!(c.report.server_queries > 0);
+        }
+    }
+}

@@ -11,6 +11,7 @@ pub mod fig5_upload;
 pub mod fig6_precision;
 pub mod fig8_adaptation;
 pub mod fig9_lifetime;
+pub mod fleet_scaling;
 pub mod global_vs_local;
 pub mod redundancy_sweep;
 pub mod table1_space;

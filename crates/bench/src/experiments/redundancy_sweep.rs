@@ -103,10 +103,12 @@ impl SweepResult {
 /// paper: "when examining the energy overheads ... we record the bandwidth
 /// overhead of each scheme").
 pub fn run(args: &ExpArgs) -> SweepResult {
-    let mut config = BeesConfig::default();
     // A steady median bitrate keeps the sweep comparable across ratios; the
     // delay experiment (Fig. 11) varies the bitrate explicitly.
-    config.trace = BandwidthTrace::constant(256_000.0).expect("constant trace is valid");
+    let config = BeesConfig {
+        trace: BandwidthTrace::constant(256_000.0).expect("constant trace is valid"),
+        ..BeesConfig::default()
+    };
 
     let batch_size = args.scaled(100, 8);
     let in_batch = (batch_size / 10).max(1);
@@ -133,7 +135,7 @@ pub fn run(args: &ExpArgs) -> SweepResult {
         );
         let mut reports = Vec::new();
         for scheme in &schemes {
-            let mut server = Server::new(&config);
+            let mut server = Server::try_new(&config).expect("config is valid");
             let mut client = Client::try_new(0, &config).expect("default config is valid");
             scheme.preload_server(&mut server, &data.server_preload);
             let report = scheme

@@ -76,8 +76,10 @@ impl TelemetryReportResult {
 
 /// Runs every roster scheme over the same batch with telemetry installed.
 pub fn run(args: &ExpArgs) -> TelemetryReportResult {
-    let mut config = BeesConfig::default();
-    config.trace = BandwidthTrace::constant(256_000.0).expect("constant trace is valid");
+    let config = BeesConfig {
+        trace: BandwidthTrace::constant(256_000.0).expect("constant trace is valid"),
+        ..BeesConfig::default()
+    };
     let batch_size = args.scaled(60, 8);
     let in_batch = (batch_size / 10).max(1);
     let data = disaster_batch(
@@ -110,7 +112,7 @@ pub fn run(args: &ExpArgs) -> TelemetryReportResult {
         if let Some(sink) = &jsonl {
             sinks.push(sink.clone());
         }
-        let mut server = Server::new(&config);
+        let mut server = Server::try_new(&config).expect("config is valid");
         let mut client = Client::try_new(0, &config).expect("default config is valid");
         scheme.preload_server(&mut server, &data.server_preload);
         let mut ctx = BatchCtx::new(&mut client, &mut server, &data.batch)

@@ -31,27 +31,13 @@ pub struct Client {
 }
 
 impl Client {
-    /// Creates a client with a full battery. Each client gets its own
-    /// bandwidth trace and fault-model seed, derived from the configured
-    /// ones and `id`, so that phones in a fleet do not see identical
-    /// fluctuations or fail in lockstep.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the configuration is invalid; use
-    /// [`try_new`](Client::try_new) to handle that as a typed error.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `Client::try_new`, which returns the \
-                                          configuration error instead of panicking"
-    )]
-    pub fn new(id: u64, config: &BeesConfig) -> Self {
-        Self::try_new(id, config).expect("invalid BeesConfig")
-    }
-
-    /// Fallible constructor: validates the configuration's network and
-    /// robustness knobs first. Telemetry starts disabled; install a handle
-    /// with [`set_telemetry`](Client::set_telemetry) to trace transfers.
+    /// Creates a client with a full battery, validating the
+    /// configuration's network and robustness knobs first. Each client gets
+    /// its own bandwidth trace and fault-model seed, derived from the
+    /// configured ones and `id`, so that phones in a fleet do not see
+    /// identical fluctuations or fail in lockstep. Telemetry starts
+    /// disabled; install a handle with
+    /// [`set_telemetry`](Client::set_telemetry) to trace transfers.
     ///
     /// # Errors
     ///
@@ -477,13 +463,6 @@ mod tests {
         c.idle(1.0).unwrap();
         c.reset_ledger();
         assert_eq!(c.ledger().total(), 0.0);
-    }
-
-    #[test]
-    fn deprecated_constructor_still_builds() {
-        #[allow(deprecated)]
-        let c = Client::new(9, &config());
-        assert_eq!(c.id(), 9);
     }
 
     #[test]

@@ -81,10 +81,29 @@ pub struct BeesConfig {
     pub stall_limit_s: f64,
     /// Server index backend.
     pub index_backend: IndexBackend,
+    /// Number of index shards the server partitions images over (must be
+    /// at least 1). With `n > 1` the chosen backend is wrapped in a
+    /// `ShardedIndex`: ingest and queries fan out over the shards in
+    /// parallel while results stay byte-identical to a single shard.
+    #[serde(default = "default_server_shards")]
+    pub server_shards: usize,
+    /// Multi-probe radius of the MIH backend (0 or 1; MIH splits each
+    /// 256-bit descriptor into 4 substrings and radius 1 also probes every
+    /// single-bit neighbor of each substring).
+    #[serde(default = "default_mih_probe_radius")]
+    pub mih_probe_radius: u8,
 }
 
 fn default_stall_limit() -> f64 {
     DEFAULT_STALL_LIMIT_S
+}
+
+fn default_server_shards() -> usize {
+    1
+}
+
+fn default_mih_probe_radius() -> u8 {
+    1
 }
 
 impl Default for BeesConfig {
@@ -115,6 +134,8 @@ impl Default for BeesConfig {
             retry: RetryPolicy::default(),
             stall_limit_s: DEFAULT_STALL_LIMIT_S,
             index_backend: IndexBackend::Linear,
+            server_shards: 1,
+            mih_probe_radius: 1,
         }
     }
 }
@@ -195,6 +216,20 @@ impl BeesConfig {
                     detail: format!("{name} must be in [0, 1], got {value}"),
                 });
             }
+        }
+        if self.server_shards == 0 {
+            return Err(CoreError::InvalidConfig {
+                detail: "server_shards must be at least 1".to_string(),
+            });
+        }
+        if self.mih_probe_radius > 1 {
+            return Err(CoreError::InvalidConfig {
+                detail: format!(
+                    "mih_probe_radius must be 0 or 1 (MIH probes the 4 \
+                     64-bit substrings of each descriptor), got {}",
+                    self.mih_probe_radius
+                ),
+            });
         }
         Ok(())
     }
@@ -279,6 +314,10 @@ impl BeesConfigBuilder {
         stall_limit_s: f64,
         /// Sets the server index backend.
         index_backend: IndexBackend,
+        /// Sets how many shards the server partitions its index over.
+        server_shards: usize,
+        /// Sets the MIH multi-probe radius (0 or 1).
+        mih_probe_radius: u8,
     }
 
     /// Validates and returns the configuration.
@@ -336,6 +375,31 @@ mod tests {
         let mut c = BeesConfig::default();
         c.retry.backoff_factor = 0.0;
         assert!(detail(&c).contains("retry policy"));
+
+        let c = BeesConfig {
+            server_shards: 0,
+            ..BeesConfig::default()
+        };
+        assert!(detail(&c).contains("server_shards"));
+
+        let c = BeesConfig {
+            mih_probe_radius: 2,
+            ..BeesConfig::default()
+        };
+        assert!(detail(&c).contains("mih_probe_radius"));
+    }
+
+    #[test]
+    fn builder_sets_fleet_knobs() {
+        let config = BeesConfig::builder()
+            .server_shards(4)
+            .mih_probe_radius(0)
+            .build()
+            .expect("knobs are in range");
+        assert_eq!(config.server_shards, 4);
+        assert_eq!(config.mih_probe_radius, 0);
+        let err = BeesConfig::builder().server_shards(0).build();
+        assert!(matches!(err, Err(CoreError::InvalidConfig { .. })));
     }
 
     #[test]
@@ -380,11 +444,15 @@ mod tests {
             obj.remove("fault");
             obj.remove("retry");
             obj.remove("stall_limit_s");
+            obj.remove("server_shards");
+            obj.remove("mih_probe_radius");
             serde_json::to_string(obj).unwrap()
         };
         let back: BeesConfig = serde_json::from_str(&stripped).unwrap();
         assert!(back.fault.is_none());
         assert_eq!(back.retry.max_attempts, RetryPolicy::default().max_attempts);
         assert_eq!(back.stall_limit_s, DEFAULT_STALL_LIMIT_S);
+        assert_eq!(back.server_shards, 1);
+        assert_eq!(back.mih_probe_radius, 1);
     }
 }

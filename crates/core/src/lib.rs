@@ -27,7 +27,7 @@
 //!
 //! # fn main() -> Result<(), bees_core::CoreError> {
 //! let config = BeesConfig::default();
-//! let mut server = Server::new(&config);
+//! let mut server = Server::try_new(&config)?;
 //! let mut client = Client::try_new(1, &config)?;
 //! let data = disaster_batch(7, 10, 1, 0.25, SceneConfig::default());
 //! server.preload(&data.server_preload);

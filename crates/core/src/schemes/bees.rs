@@ -353,7 +353,7 @@ mod tests {
     fn eliminates_both_redundancy_kinds() {
         let cfg = config();
         let scheme = Bees::adaptive(&cfg);
-        let mut server = Server::new(&cfg);
+        let mut server = Server::try_new(&cfg).unwrap();
         let mut client = Client::try_new(0, &cfg).unwrap();
         // 10 images: 2 in-batch extras, 25% cross-batch (2-3 images).
         let data = disaster_batch(31, 10, 2, 0.25, small());
@@ -380,13 +380,13 @@ mod tests {
         // no larger than feature payloads and the comparison is meaningless.
         let data = disaster_batch(32, 5, 0, 0.0, SceneConfig::default());
 
-        let mut server1 = Server::new(&cfg);
+        let mut server1 = Server::try_new(&cfg).unwrap();
         let mut client1 = Client::try_new(0, &cfg).unwrap();
         let rb = Bees::adaptive(&cfg)
             .upload(&mut BatchCtx::new(&mut client1, &mut server1, &data.batch))
             .unwrap();
 
-        let mut server2 = Server::new(&cfg);
+        let mut server2 = Server::try_new(&cfg).unwrap();
         let mut client2 = Client::try_new(0, &cfg).unwrap();
         let rd = DirectUpload::new(&cfg)
             .upload(&mut BatchCtx::new(&mut client2, &mut server2, &data.batch))
@@ -406,13 +406,13 @@ mod tests {
         let cfg = config();
         let data = disaster_batch(33, 3, 0, 0.0, small());
 
-        let mut server1 = Server::new(&cfg);
+        let mut server1 = Server::try_new(&cfg).unwrap();
         let mut client1 = Client::try_new(0, &cfg).unwrap();
         let r_full = Bees::adaptive(&cfg)
             .upload(&mut BatchCtx::new(&mut client1, &mut server1, &data.batch))
             .unwrap();
 
-        let mut server2 = Server::new(&cfg);
+        let mut server2 = Server::try_new(&cfg).unwrap();
         let mut client2 = Client::try_new(0, &cfg).unwrap();
         client2.battery_mut().set_fraction(0.1);
         let r_low = Bees::adaptive(&cfg)
@@ -433,7 +433,7 @@ mod tests {
         let data = disaster_batch(34, 3, 0, 0.0, small());
 
         let run = |fraction: f64| {
-            let mut server = Server::new(&cfg);
+            let mut server = Server::try_new(&cfg).unwrap();
             let mut client = Client::try_new(0, &cfg).unwrap();
             client.battery_mut().set_fraction(fraction);
             Bees::without_adaptation(&cfg)
@@ -451,7 +451,7 @@ mod tests {
         let cfg = config();
         let data = disaster_batch(35, 4, 0, 0.0, small());
         let run = |adaptive: bool| {
-            let mut server = Server::new(&cfg);
+            let mut server = Server::try_new(&cfg).unwrap();
             let mut client = Client::try_new(0, &cfg).unwrap();
             client.battery_mut().set_fraction(0.15);
             let scheme = if adaptive {
@@ -485,7 +485,7 @@ mod tests {
         cfg.retry.max_attempts = 2;
         let data = disaster_batch(44, 6, 1, 0.25, small());
         let scheme = Bees::adaptive(&cfg);
-        let mut server = Server::new(&cfg);
+        let mut server = Server::try_new(&cfg).unwrap();
         scheme.preload_server(&mut server, &data.server_preload);
         let mut client = Client::try_new(0, &cfg).unwrap();
         let r = scheme
@@ -511,7 +511,7 @@ mod tests {
         );
         assert!(r.transfer_attempts >= (r.uploaded_images + r.degraded_images) as u64);
         // The same run twice is byte-identical (fault injection is seeded).
-        let mut server2 = Server::new(&cfg);
+        let mut server2 = Server::try_new(&cfg).unwrap();
         scheme.preload_server(&mut server2, &data.server_preload);
         let mut client2 = Client::try_new(0, &cfg).unwrap();
         let r2 = scheme
@@ -524,7 +524,7 @@ mod tests {
     fn uploaded_images_reach_the_server_index() {
         let cfg = config();
         let scheme = Bees::adaptive(&cfg);
-        let mut server = Server::new(&cfg);
+        let mut server = Server::try_new(&cfg).unwrap();
         let mut client = Client::try_new(0, &cfg).unwrap();
         let data = disaster_batch(36, 4, 0, 0.0, small());
         let r = scheme
@@ -550,7 +550,7 @@ mod tests {
         use std::sync::Arc;
         let cfg = config();
         let scheme = Bees::adaptive(&cfg);
-        let mut server = Server::new(&cfg);
+        let mut server = Server::try_new(&cfg).unwrap();
         let mut client = Client::try_new(0, &cfg).unwrap();
         let data = disaster_batch(37, 4, 1, 0.25, small());
         scheme.preload_server(&mut server, &data.server_preload);

@@ -21,7 +21,7 @@ use bees_net::wire;
 ///
 /// # fn main() -> Result<(), bees_core::CoreError> {
 /// let config = BeesConfig::default();
-/// let mut server = Server::new(&config);
+/// let mut server = Server::try_new(&config)?;
 /// let mut client = Client::try_new(0, &config)?;
 /// let img = Scene::new(1, SceneConfig::default()).render(&ViewJitter::identity());
 /// let report =
@@ -105,7 +105,7 @@ mod tests {
     fn setup() -> (BeesConfig, Server, Client) {
         let mut cfg = BeesConfig::default();
         cfg.trace = BandwidthTrace::constant(256_000.0).unwrap();
-        let server = Server::new(&cfg);
+        let server = Server::try_new(&cfg).unwrap();
         let client = Client::try_new(0, &cfg).unwrap();
         (cfg, server, client)
     }

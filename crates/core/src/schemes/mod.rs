@@ -238,43 +238,6 @@ pub trait UploadScheme {
     /// Returns a network error if the channel stalls beyond its limit.
     fn upload(&self, ctx: &mut BatchCtx<'_>) -> Result<BatchReport>;
 
-    /// Uploads a batch, optionally tagging each image with a geotag.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`CoreError::GeotagMismatch`] if `geotags` is given with a
-    /// different length than `batch`, or a network error if the channel
-    /// stalls beyond its limit.
-    #[deprecated(since = "0.1.0", note = "build a `BatchCtx` and call `upload`")]
-    fn upload_batch_tagged(
-        &self,
-        client: &mut Client,
-        server: &mut Server,
-        batch: &[RgbImage],
-        geotags: Option<&[(f64, f64)]>,
-    ) -> Result<BatchReport> {
-        let mut ctx = BatchCtx::new(client, server, batch);
-        if let Some(tags) = geotags {
-            ctx = ctx.with_geotags(tags)?;
-        }
-        self.upload(&mut ctx)
-    }
-
-    /// Uploads a batch without geotags.
-    ///
-    /// # Errors
-    ///
-    /// Returns a network error if the channel stalls beyond its limit.
-    #[deprecated(since = "0.1.0", note = "build a `BatchCtx` and call `upload`")]
-    fn upload_batch(
-        &self,
-        client: &mut Client,
-        server: &mut Server,
-        batch: &[RgbImage],
-    ) -> Result<BatchReport> {
-        self.upload(&mut BatchCtx::new(client, server, batch))
-    }
-
     /// Pre-loads server-side images using this scheme's *own* feature kind,
     /// so staged cross-batch redundancy is detectable by the scheme. The
     /// default extracts ORB features (what the BEES/MRC servers store).
@@ -379,12 +342,11 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_positional_shims_still_work() {
+    fn geotag_length_mismatch_is_a_typed_error() {
         use bees_datasets::{Scene, SceneConfig, ViewJitter};
         let mut cfg = BeesConfig::default();
         cfg.trace = bees_net::BandwidthTrace::constant(256_000.0).unwrap();
-        let mut server = Server::new(&cfg);
+        let mut server = Server::try_new(&cfg).unwrap();
         let mut client = Client::try_new(0, &cfg).unwrap();
         let img = Scene::new(
             1,
@@ -397,18 +359,7 @@ mod tests {
         )
         .render(&ViewJitter::identity());
         let batch = [img];
-        let scheme = DirectUpload::new(&cfg);
-        let r = scheme
-            .upload_batch(&mut client, &mut server, &batch)
-            .unwrap();
-        assert_eq!(r.uploaded_images, 1);
-        let tags = [(2.32, 48.86)];
-        let r = scheme
-            .upload_batch_tagged(&mut client, &mut server, &batch, Some(&tags))
-            .unwrap();
-        assert_eq!(r.uploaded_images, 1);
-        // The shim surfaces the invariant the old API silently assumed.
-        let bad = scheme.upload_batch_tagged(&mut client, &mut server, &batch, Some(&[]));
+        let bad = BatchCtx::new(&mut client, &mut server, &batch).with_geotags(&[]);
         assert!(matches!(bad, Err(CoreError::GeotagMismatch { .. })));
     }
 }

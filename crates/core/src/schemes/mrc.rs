@@ -73,7 +73,7 @@ mod tests {
     fn eliminates_staged_redundancy() {
         let cfg = config();
         let scheme = Mrc::new(&cfg);
-        let mut server = Server::new(&cfg);
+        let mut server = Server::try_new(&cfg).unwrap();
         let mut client = Client::try_new(0, &cfg).unwrap();
         let data = disaster_batch(21, 8, 0, 0.5, small());
         scheme.preload_server(&mut server, &data.server_preload);
@@ -94,7 +94,7 @@ mod tests {
         let data = disaster_batch(22, 6, 0, 0.5, small());
 
         let mrc = Mrc::new(&cfg);
-        let mut server_m = Server::new(&cfg);
+        let mut server_m = Server::try_new(&cfg).unwrap();
         let mut client_m = Client::try_new(0, &cfg).unwrap();
         mrc.preload_server(&mut server_m, &data.server_preload);
         let rm = mrc
@@ -106,7 +106,7 @@ mod tests {
             .unwrap();
 
         let se = SmartEye::new(&cfg);
-        let mut server_s = Server::new(&cfg);
+        let mut server_s = Server::try_new(&cfg).unwrap();
         let mut client_s = Client::try_new(0, &cfg).unwrap();
         se.preload_server(&mut server_s, &data.server_preload);
         let rs = se
@@ -134,14 +134,14 @@ mod tests {
         let data = disaster_batch(23, 3, 0, 0.0, small());
 
         let mrc = Mrc::new(&cfg);
-        let mut server = Server::new(&cfg);
+        let mut server = Server::try_new(&cfg).unwrap();
         let mut client = Client::try_new(0, &cfg).unwrap();
         let rm = mrc
             .upload(&mut BatchCtx::new(&mut client, &mut server, &data.batch))
             .unwrap();
 
         let se = SmartEye::new(&cfg);
-        let mut server2 = Server::new(&cfg);
+        let mut server2 = Server::try_new(&cfg).unwrap();
         let mut client2 = Client::try_new(0, &cfg).unwrap();
         let rs = se
             .upload(&mut BatchCtx::new(&mut client2, &mut server2, &data.batch))

@@ -179,7 +179,7 @@ mod tests {
         let cfg = config();
         let data = disaster_batch(61, 4, 0, 0.0, SceneConfig::default());
         let run = |scheme: &dyn UploadScheme| {
-            let mut server = Server::new(&cfg);
+            let mut server = Server::try_new(&cfg).unwrap();
             let mut client = Client::try_new(0, &cfg).unwrap();
             scheme
                 .upload(&mut BatchCtx::new(&mut client, &mut server, &data.batch))
@@ -203,7 +203,7 @@ mod tests {
         let cfg = config();
         let data = disaster_batch(62, 6, 0, 0.5, SceneConfig::default());
         let scheme = PhotoNetLike::new(&cfg);
-        let mut server = Server::new(&cfg);
+        let mut server = Server::try_new(&cfg).unwrap();
         scheme.preload_server(&mut server, &data.server_preload);
         let mut client = Client::try_new(0, &cfg).unwrap();
         let r = scheme
@@ -220,7 +220,7 @@ mod tests {
         let cfg = config();
         let data = disaster_batch(63, 4, 0, 0.0, SceneConfig::default());
         let scheme = PhotoNetLike::new(&cfg);
-        let mut server = Server::new(&cfg);
+        let mut server = Server::try_new(&cfg).unwrap();
         let mut client = Client::try_new(0, &cfg).unwrap();
         client.battery_mut().set_fraction(0.0);
         let r = scheme

@@ -70,7 +70,7 @@ mod tests {
     fn detects_cross_batch_redundancy_with_pca_features() {
         let cfg = config();
         let scheme = SmartEye::new(&cfg);
-        let mut server = Server::new(&cfg);
+        let mut server = Server::try_new(&cfg).unwrap();
         let mut client = Client::try_new(0, &cfg).unwrap();
         let small = SceneConfig {
             width: 96,
@@ -95,7 +95,7 @@ mod tests {
     fn costs_more_extraction_energy_than_direct() {
         let cfg = config();
         let scheme = SmartEye::new(&cfg);
-        let mut server = Server::new(&cfg);
+        let mut server = Server::try_new(&cfg).unwrap();
         let mut client = Client::try_new(0, &cfg).unwrap();
         let small = SceneConfig {
             width: 96,

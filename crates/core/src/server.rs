@@ -1,12 +1,21 @@
-//! The cloud server: feature index plus received-image bookkeeping.
+//! The cloud server: sharded feature index plus received-image bookkeeping.
+//!
+//! The index is partitioned over [`BeesConfig::server_shards`] shards (see
+//! `DESIGN.md` §9): uploads buffer into a *pending epoch* and are committed
+//! to all shards in one parallel batch the moment the next query arrives.
+//! Every scheme issues all of a batch's redundancy queries before any of
+//! its ingests, so epoch boundaries always fall between batches and the
+//! results are identical to immediate insertion — while ingest cost scales
+//! with the shard count.
 
 use crate::config::{BeesConfig, IndexBackend};
 use bees_features::global::ColorHistogram;
 use bees_features::orb::Orb;
 use bees_features::{FeatureExtractor, ImageFeatures};
 use bees_image::RgbImage;
-use bees_index::{FeatureIndex, ImageId, LinearIndex, MihIndex, QueryHit};
+use bees_index::{FeatureIndex, ImageId, LinearIndex, MihIndex, Query, QueryHit, ShardedIndex};
 use bees_telemetry::{names, Telemetry};
+use std::collections::BTreeMap;
 
 /// The server side of the system.
 ///
@@ -16,34 +25,68 @@ use bees_telemetry::{names, Telemetry};
 /// is excluded from the delay metric.
 pub struct Server {
     index: Box<dyn FeatureIndex>,
+    n_shards: usize,
+    /// Features ingested since the last query; committed to all shards in
+    /// one parallel `insert_batch` when the next query arrives.
+    pending: Vec<(ImageId, ImageFeatures)>,
     orb: Orb,
     next_id: u64,
     received_images: usize,
     received_image_bytes: usize,
-    /// Optional geotag per stored image (coverage experiment).
-    geotags: Vec<(ImageId, (f64, f64))>,
-    /// Global-feature store for PhotoNet-like schemes (histogram dedup).
-    histograms: Vec<(ImageId, ColorHistogram)>,
+    queries_served: usize,
+    /// Optional geotag per stored image (coverage experiment), keyed by id.
+    geotags: BTreeMap<ImageId, (f64, f64)>,
+    /// Global-feature store for PhotoNet-like schemes (histogram dedup),
+    /// keyed by id.
+    histograms: BTreeMap<ImageId, ColorHistogram>,
     telemetry: Telemetry,
 }
 
+fn build_index(config: &BeesConfig) -> Box<dyn FeatureIndex> {
+    let similarity = config.similarity;
+    let radius = config.mih_probe_radius;
+    match (config.index_backend, config.server_shards) {
+        (IndexBackend::Linear, 1) => Box::new(LinearIndex::new(similarity)),
+        (IndexBackend::Linear, n) => Box::new(ShardedIndex::with_shards(n, || {
+            LinearIndex::new(similarity)
+        })),
+        (IndexBackend::Mih, 1) => Box::new(MihIndex::new(similarity).with_probe_radius(radius)),
+        (IndexBackend::Mih, n) => Box::new(ShardedIndex::with_shards(n, || {
+            MihIndex::new(similarity).with_probe_radius(radius)
+        })),
+    }
+}
+
 impl Server {
-    /// Creates an empty server configured like the client.
-    pub fn new(config: &BeesConfig) -> Self {
-        let index: Box<dyn FeatureIndex> = match config.index_backend {
-            IndexBackend::Linear => Box::new(LinearIndex::new(config.similarity)),
-            IndexBackend::Mih => Box::new(MihIndex::new(config.similarity)),
-        };
-        Server {
-            index,
+    /// Creates an empty server configured like the clients.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`](crate::CoreError::InvalidConfig)
+    /// when the configuration fails [`BeesConfig::validate`] — in
+    /// particular `server_shards == 0` or an out-of-range
+    /// `mih_probe_radius`.
+    pub fn try_new(config: &BeesConfig) -> crate::Result<Server> {
+        config.validate()?;
+        Ok(Server {
+            index: build_index(config),
+            n_shards: config.server_shards,
+            pending: Vec::new(),
             orb: Orb::new(config.orb),
             next_id: 0,
             received_images: 0,
             received_image_bytes: 0,
-            geotags: Vec::new(),
-            histograms: Vec::new(),
+            queries_served: 0,
+            geotags: BTreeMap::new(),
+            histograms: BTreeMap::new(),
             telemetry: Telemetry::disabled(),
-        }
+        })
+    }
+
+    /// Creates a server from the default configuration, which is valid by
+    /// construction. Use [`Server::try_new`] for any custom configuration.
+    pub fn new() -> Self {
+        Server::try_new(&BeesConfig::default()).expect("default config is valid")
     }
 
     /// The telemetry handle `srv.*` events are emitted through (disabled by
@@ -59,10 +102,40 @@ impl Server {
         self.telemetry = telemetry;
     }
 
+    /// Number of index shards this server partitions images over.
+    pub fn n_shards(&self) -> usize {
+        self.n_shards
+    }
+
+    /// Number of index queries answered so far (similarity, top-k, and
+    /// histogram queries).
+    pub fn queries_served(&self) -> usize {
+        self.queries_served
+    }
+
     fn fresh_id(&mut self) -> ImageId {
         let id = ImageId(self.next_id);
         self.next_id += 1;
         id
+    }
+
+    /// Commits the pending epoch: one parallel `insert_batch` over all
+    /// shards. Called from every feature-query path, so queries never see a
+    /// partially ingested epoch.
+    fn commit_epoch(&mut self) {
+        if self.pending.is_empty() {
+            return;
+        }
+        let batch = std::mem::take(&mut self.pending);
+        let images = batch.len();
+        self.index.insert_batch(batch);
+        if self.n_shards > 1 {
+            self.telemetry
+                .event(names::SRV_SHARD_COMMIT, 0.0)
+                .attr_u64("images", images as u64)
+                .attr_u64("shards", self.n_shards as u64)
+                .close(0.0);
+        }
     }
 
     /// Pre-loads images into the index (extracting ORB features
@@ -71,8 +144,9 @@ impl Server {
         for img in images {
             let features = self.orb.extract(&img.to_gray());
             let id = self.fresh_id();
-            self.index.insert(id, features);
+            self.pending.push((id, features));
         }
+        self.commit_epoch();
     }
 
     /// Pre-loads images using an explicit extractor. Schemes whose clients
@@ -82,30 +156,43 @@ impl Server {
         for img in images {
             let features = extractor.extract(&img.to_gray());
             let id = self.fresh_id();
-            self.index.insert(id, features);
+            self.pending.push((id, features));
         }
+        self.commit_epoch();
     }
 
     /// Answers a CBRD query: the highest similarity any indexed image has
-    /// to the queried features.
-    pub fn query_max_similarity(&self, features: &ImageFeatures) -> Option<QueryHit> {
-        let hit = self.index.max_similarity(features);
+    /// to the queried features. Commits the pending epoch first.
+    pub fn query_max_similarity(&mut self, features: &ImageFeatures) -> Option<QueryHit> {
+        self.commit_epoch();
+        let hit = self.index.query(&Query::new(features)).into_iter().next();
+        self.queries_served += 1;
         self.telemetry
             .event(names::SRV_QUERY, 0.0)
             .attr_u64("indexed", self.index.len() as u64)
             .attr_bool("hit", hit.is_some())
             .close(0.0);
+        if self.n_shards > 1 {
+            self.telemetry
+                .event(names::SRV_SHARD_QUERY, 0.0)
+                .attr_u64("shards", self.n_shards as u64)
+                .close(0.0);
+        }
         hit
     }
 
-    /// Top-k query (precision experiments).
-    pub fn query_top_k(&self, features: &ImageFeatures, k: usize) -> Vec<QueryHit> {
-        self.index.top_k(features, k)
+    /// Top-k query (precision experiments). Commits the pending epoch
+    /// first.
+    pub fn query_top_k(&mut self, features: &ImageFeatures, k: usize) -> Vec<QueryHit> {
+        self.commit_epoch();
+        self.queries_served += 1;
+        self.index.query(&Query::top_k(features, k))
     }
 
-    /// Ingests an uploaded image: records the payload size and indexes the
+    /// Ingests an uploaded image: records the payload size and stages the
     /// supplied features (the ones the client already uploaded for CBRD)
-    /// so later batches can deduplicate against it. Returns the new id.
+    /// for the next epoch commit, so later batches can deduplicate against
+    /// it. Returns the new id.
     pub fn ingest_image(
         &mut self,
         features: ImageFeatures,
@@ -113,11 +200,11 @@ impl Server {
         geotag: Option<(f64, f64)>,
     ) -> ImageId {
         let id = self.fresh_id();
-        self.index.insert(id, features);
+        self.pending.push((id, features));
         self.received_images += 1;
         self.received_image_bytes += payload_bytes;
         if let Some(g) = geotag {
-            self.geotags.push((id, g));
+            self.geotags.insert(id, g);
         }
         self.telemetry
             .event(names::SRV_INGEST, 0.0)
@@ -127,9 +214,10 @@ impl Server {
         id
     }
 
-    /// Number of images stored in the index (preloads + uploads).
+    /// Number of images stored (preloads + uploads), including the pending
+    /// epoch.
     pub fn indexed_images(&self) -> usize {
-        self.index.len()
+        self.index.len() + self.pending.len()
     }
 
     /// Number of images actually uploaded (excludes preloads).
@@ -142,8 +230,8 @@ impl Server {
         self.received_image_bytes
     }
 
-    /// Geotags of received images (coverage experiment).
-    pub fn geotags(&self) -> &[(ImageId, (f64, f64))] {
+    /// Geotags of received images, keyed by id (coverage experiment).
+    pub fn geotags(&self) -> &BTreeMap<ImageId, (f64, f64)> {
         &self.geotags
     }
 
@@ -152,17 +240,23 @@ impl Server {
     pub fn unique_locations(&self) -> usize {
         let mut coords: Vec<(u64, u64)> = self
             .geotags
-            .iter()
-            .map(|&(_, (lon, lat))| (lon.to_bits(), lat.to_bits()))
+            .values()
+            .map(|&(lon, lat)| (lon.to_bits(), lat.to_bits()))
             .collect();
         coords.sort_unstable();
         coords.dedup();
         coords.len()
     }
 
-    /// Stored feature bytes (Table I space overhead).
+    /// Stored feature bytes (Table I space overhead), including the pending
+    /// epoch.
     pub fn feature_bytes(&self) -> usize {
         self.index.feature_bytes()
+            + self
+                .pending
+                .iter()
+                .map(|(_, f)| f.wire_size())
+                .sum::<usize>()
     }
 
     /// Pre-loads global features (color histograms) for the PhotoNet-like
@@ -171,13 +265,15 @@ impl Server {
         for img in images {
             let h = ColorHistogram::from_image(img);
             let id = self.fresh_id();
-            self.histograms.push((id, h));
+            self.histograms.insert(id, h);
         }
     }
 
     /// Maximum histogram-intersection similarity of `query` against every
-    /// stored histogram, or `None` when none are stored.
-    pub fn query_max_histogram(&self, query: &ColorHistogram) -> Option<(ImageId, f64)> {
+    /// stored histogram, or `None` when none are stored. Ties go to the
+    /// highest id (iteration is in ascending-id order).
+    pub fn query_max_histogram(&mut self, query: &ColorHistogram) -> Option<(ImageId, f64)> {
+        self.queries_served += 1;
         self.histograms
             .iter()
             .map(|(id, h)| (*id, query.intersection(h)))
@@ -193,11 +289,11 @@ impl Server {
         geotag: Option<(f64, f64)>,
     ) -> ImageId {
         let id = self.fresh_id();
-        self.histograms.push((id, histogram));
+        self.histograms.insert(id, histogram);
         self.received_images += 1;
         self.received_image_bytes += payload_bytes;
         if let Some(g) = geotag {
-            self.geotags.push((id, g));
+            self.geotags.insert(id, g);
         }
         self.telemetry
             .event(names::SRV_INGEST, 0.0)
@@ -208,10 +304,18 @@ impl Server {
     }
 }
 
+impl Default for Server {
+    fn default() -> Self {
+        Server::new()
+    }
+}
+
 impl std::fmt::Debug for Server {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Server")
-            .field("indexed_images", &self.index.len())
+            .field("indexed_images", &self.indexed_images())
+            .field("n_shards", &self.n_shards)
+            .field("pending", &self.pending.len())
             .field("received_images", &self.received_images)
             .field("received_image_bytes", &self.received_image_bytes)
             .finish()
@@ -221,6 +325,7 @@ impl std::fmt::Debug for Server {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::CoreError;
     use bees_datasets::{Scene, SceneConfig, ViewJitter};
 
     fn config() -> BeesConfig {
@@ -242,7 +347,7 @@ mod tests {
 
     #[test]
     fn preload_populates_index() {
-        let mut s = Server::new(&config());
+        let mut s = Server::try_new(&config()).unwrap();
         assert_eq!(s.indexed_images(), 0);
         s.preload(&[small_scene(1), small_scene(2)]);
         assert_eq!(s.indexed_images(), 2);
@@ -253,7 +358,7 @@ mod tests {
     #[test]
     fn query_finds_preloaded_similars() {
         let cfg = config();
-        let mut s = Server::new(&cfg);
+        let mut s = Server::try_new(&cfg).unwrap();
         let scene = Scene::new(
             5,
             SceneConfig {
@@ -273,11 +378,12 @@ mod tests {
         let f = orb.extract(&other_view.to_gray());
         let hit = s.query_max_similarity(&f).expect("similar image indexed");
         assert!(hit.similarity > 0.1, "similarity {}", hit.similarity);
+        assert_eq!(s.queries_served(), 1);
     }
 
     #[test]
     fn ingest_tracks_bytes_and_geotags() {
-        let mut s = Server::new(&config());
+        let mut s = Server::try_new(&config()).unwrap();
         let id1 = s.ingest_image(ImageFeatures::empty_binary(), 1000, Some((2.32, 48.86)));
         let id2 = s.ingest_image(ImageFeatures::empty_binary(), 500, Some((2.32, 48.86)));
         let id3 = s.ingest_image(ImageFeatures::empty_binary(), 200, Some((2.33, 48.87)));
@@ -286,6 +392,7 @@ mod tests {
         assert_eq!(s.received_images(), 3);
         assert_eq!(s.received_image_bytes(), 1700);
         assert_eq!(s.unique_locations(), 2);
+        assert_eq!(s.geotags().len(), 3);
     }
 
     #[test]
@@ -294,8 +401,85 @@ mod tests {
             index_backend: IndexBackend::Mih,
             ..config()
         };
-        let mut s = Server::new(&cfg);
+        let mut s = Server::try_new(&cfg).unwrap();
         s.preload(&[small_scene(3)]);
         assert_eq!(s.indexed_images(), 1);
+    }
+
+    #[test]
+    fn try_new_rejects_invalid_config() {
+        let cfg = BeesConfig {
+            server_shards: 0,
+            ..config()
+        };
+        assert!(matches!(
+            Server::try_new(&cfg),
+            Err(CoreError::InvalidConfig { .. })
+        ));
+        let cfg = BeesConfig {
+            mih_probe_radius: 3,
+            ..config()
+        };
+        assert!(matches!(
+            Server::try_new(&cfg),
+            Err(CoreError::InvalidConfig { .. })
+        ));
+    }
+
+    #[test]
+    fn default_server_uses_default_config() {
+        let s = Server::new();
+        assert_eq!(s.n_shards(), 1);
+        assert_eq!(s.indexed_images(), 0);
+    }
+
+    #[test]
+    fn pending_epoch_commits_on_query() {
+        let cfg = BeesConfig {
+            server_shards: 4,
+            ..config()
+        };
+        let mut s = Server::try_new(&cfg).unwrap();
+        let orb = Orb::new(cfg.orb);
+        let f = orb.extract(&small_scene(7).to_gray());
+        s.ingest_image(f.clone(), 100, None);
+        // Pending images count as indexed before the commit...
+        assert_eq!(s.indexed_images(), 1);
+        assert!(s.feature_bytes() > 0);
+        // ...and the query sees them (flushing the epoch first).
+        let hit = s.query_max_similarity(&f).expect("just-ingested image");
+        assert!((hit.similarity - 1.0).abs() < 1e-9);
+        assert_eq!(s.indexed_images(), 1);
+    }
+
+    /// The sharded server must answer every query exactly like the
+    /// unsharded one over the same uploads.
+    #[test]
+    fn sharded_server_matches_unsharded() {
+        let orb = Orb::new(config().orb);
+        let scenes: Vec<RgbImage> = (0..8).map(small_scene).collect();
+        let features: Vec<ImageFeatures> =
+            scenes.iter().map(|s| orb.extract(&s.to_gray())).collect();
+
+        let mut answers: Vec<Vec<Option<(ImageId, f64)>>> = Vec::new();
+        for shards in [1usize, 2, 4] {
+            let cfg = BeesConfig {
+                index_backend: IndexBackend::Mih,
+                server_shards: shards,
+                ..config()
+            };
+            let mut s = Server::try_new(&cfg).unwrap();
+            assert_eq!(s.n_shards(), shards);
+            for f in &features {
+                s.ingest_image(f.clone(), 10, None);
+            }
+            let hits: Vec<Option<(ImageId, f64)>> = features
+                .iter()
+                .map(|f| s.query_max_similarity(f).map(|h| (h.id, h.similarity)))
+                .collect();
+            answers.push(hits);
+        }
+        assert_eq!(answers[0], answers[1]);
+        assert_eq!(answers[0], answers[2]);
     }
 }

@@ -72,7 +72,7 @@ pub fn run_coverage(
     let per_phone = corpus.len() / cov.n_phones;
     assert!(per_phone > 0, "corpus too small for the fleet");
 
-    let mut server = Server::new(config);
+    let mut server = Server::try_new(config)?;
     let mut clients: Vec<Client> = (0..cov.n_phones)
         .map(|i| Client::try_new(i as u64, config))
         .collect::<Result<_>>()?;

@@ -1,0 +1,467 @@
+//! Deterministic multi-device fleet simulation.
+//!
+//! `run_fleet` drives N devices against one shared (optionally sharded)
+//! server on a single virtual clock. Devices are advanced by a
+//! deterministic event queue ordered by upload time with device-id
+//! tie-breaking, so the interleaving — and therefore every server verdict
+//! and every byte of the report — is a pure function of the seeds. The
+//! fleet determinism tests pin this down across `BEES_THREADS` 1/2/8 and
+//! server shard counts 1/2/4.
+//!
+//! Each round shares a pool of scenes across the fleet: different devices
+//! upload *different views of the same scenes*, so Cross-Batch Redundancy
+//! Detection has real cross-device redundancy to eliminate. The rest of
+//! each group is device-unique.
+
+use crate::schemes::{BatchCtx, UploadScheme};
+use crate::{BeesConfig, Client, Result, Server};
+use bees_datasets::{Scene, SceneConfig, ViewJitter};
+use bees_image::RgbImage;
+use std::cmp::{Ordering, Reverse};
+use std::collections::BinaryHeap;
+
+/// Parameters of a fleet run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FleetConfig {
+    /// Number of simulated devices.
+    pub n_devices: usize,
+    /// Upload rounds each device attempts.
+    pub rounds: usize,
+    /// Images per uploaded group.
+    pub group_size: usize,
+    /// How many of each group's images are views of the round's *shared*
+    /// scene pool (cross-device redundancy); the rest are device-unique.
+    pub shared_per_group: usize,
+    /// Interval between a device's group uploads in seconds.
+    pub interval_s: f64,
+    /// Scene generator settings.
+    pub scene: SceneConfig,
+    /// Master seed; every device/round/image seed derives from it.
+    pub seed: u64,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        FleetConfig {
+            n_devices: 4,
+            rounds: 3,
+            group_size: 6,
+            shared_per_group: 3,
+            interval_s: 60.0,
+            scene: SceneConfig::default(),
+            seed: 0xF1EE7,
+        }
+    }
+}
+
+/// Per-device outcome of a fleet run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceSummary {
+    /// Device id (also the client id the seeds derive from).
+    pub device: u64,
+    /// Rounds the device completed (or died during).
+    pub rounds: usize,
+    /// Images this device actually transmitted.
+    pub uploaded_images: usize,
+    /// Bytes this device sent.
+    pub uplink_bytes: usize,
+    /// Remaining battery fraction when the run ended.
+    pub final_ebat: f64,
+    /// Whether the battery died mid-run.
+    pub exhausted: bool,
+}
+
+/// Aggregate outcome of a fleet run.
+///
+/// Deliberately excludes the server shard count and the thread count:
+/// neither may influence any value here, and the determinism tests compare
+/// [`to_json`](FleetReport::to_json) output byte for byte across both.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetReport {
+    /// Scheme name.
+    pub scheme: String,
+    /// Number of devices simulated.
+    pub n_devices: usize,
+    /// Total upload rounds completed across the fleet.
+    pub rounds_completed: usize,
+    /// Images captured (batched for upload) across the fleet.
+    pub images_captured: usize,
+    /// Images the server actually received.
+    pub images_uploaded: usize,
+    /// Images eliminated by cross-batch redundancy detection.
+    pub skipped_cross_batch: usize,
+    /// Images eliminated by in-batch redundancy detection (SSMM).
+    pub skipped_in_batch: usize,
+    /// Total bytes sent devices → server.
+    pub uplink_bytes: usize,
+    /// Fraction of captured images the fleet did *not* have to upload.
+    pub redundancy_elimination: f64,
+    /// Index queries the server answered.
+    pub server_queries: usize,
+    /// Devices whose battery died mid-run.
+    pub devices_exhausted: usize,
+    /// Per-device outcomes, in device-id order.
+    pub devices: Vec<DeviceSummary>,
+}
+
+impl FleetReport {
+    /// Serializes the report to a canonical single-line JSON string.
+    ///
+    /// Hand-rolled (fixed key order, shortest-roundtrip float formatting)
+    /// so two identical runs produce byte-identical output — this is what
+    /// the determinism tests compare.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(256 + 128 * self.devices.len());
+        out.push_str("{\"scheme\":\"");
+        for c in self.scheme.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                _ => out.push(c),
+            }
+        }
+        out.push('"');
+        push_field(&mut out, "n_devices", self.n_devices);
+        push_field(&mut out, "rounds_completed", self.rounds_completed);
+        push_field(&mut out, "images_captured", self.images_captured);
+        push_field(&mut out, "images_uploaded", self.images_uploaded);
+        push_field(&mut out, "skipped_cross_batch", self.skipped_cross_batch);
+        push_field(&mut out, "skipped_in_batch", self.skipped_in_batch);
+        push_field(&mut out, "uplink_bytes", self.uplink_bytes);
+        out.push_str(&format!(
+            ",\"redundancy_elimination\":{}",
+            self.redundancy_elimination
+        ));
+        push_field(&mut out, "server_queries", self.server_queries);
+        push_field(&mut out, "devices_exhausted", self.devices_exhausted);
+        out.push_str(",\"devices\":[");
+        for (i, d) in self.devices.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"device\":{},\"rounds\":{},\"uploaded_images\":{},\
+                 \"uplink_bytes\":{},\"final_ebat\":{},\"exhausted\":{}}}",
+                d.device, d.rounds, d.uploaded_images, d.uplink_bytes, d.final_ebat, d.exhausted
+            ));
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+fn push_field(out: &mut String, key: &str, value: usize) {
+    out.push_str(&format!(",\"{key}\":{value}"));
+}
+
+/// One pending upload: device `device` starts its `round`-th group at
+/// virtual time `time`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Event {
+    time: f64,
+    device: usize,
+    round: usize,
+}
+
+impl Eq for Event {}
+
+impl Ord for Event {
+    /// Ascending virtual time, ties broken by device id — the total order
+    /// that makes the fleet interleaving deterministic.
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.time
+            .total_cmp(&other.time)
+            .then(self.device.cmp(&other.device))
+    }
+}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// SplitMix64 — derives per-device/round/image seeds from the master seed.
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// A small deterministic camera jitter derived from `seed`, so each device
+/// sees its own view of a shared scene.
+fn jitter_for(seed: u64) -> ViewJitter {
+    let a = mix(seed);
+    ViewJitter {
+        dx: ((a & 0xFF) as f32 / 255.0 - 0.5) * 6.0,
+        dy: (((a >> 8) & 0xFF) as f32 / 255.0 - 0.5) * 6.0,
+        brightness: (((a >> 16) & 0x1F) as i32) - 16,
+        noise_seed: mix(a),
+        ..ViewJitter::identity()
+    }
+}
+
+/// The group device `device` uploads in round `round`: views of the
+/// round-shared scenes first, then device-unique scenes.
+fn make_batch(fleet: &FleetConfig, device: usize, round: usize) -> Vec<RgbImage> {
+    let shared = fleet.shared_per_group.min(fleet.group_size);
+    let mut batch = Vec::with_capacity(fleet.group_size);
+    for j in 0..shared {
+        // Scene seed depends on (fleet, round, j) only — every device
+        // renders the *same* scene through its own jitter.
+        let scene_seed = mix(fleet.seed ^ mix((round as u64) << 16 | j as u64));
+        let scene = Scene::new(scene_seed, fleet.scene);
+        let view_seed = mix(scene_seed ^ mix(device as u64 + 1));
+        batch.push(scene.render(&jitter_for(view_seed)));
+    }
+    for j in shared..fleet.group_size {
+        let scene_seed =
+            mix(fleet.seed ^ mix((device as u64) << 32 | (round as u64) << 16 | j as u64) ^ 0xD1CE);
+        let scene = Scene::new(scene_seed, fleet.scene);
+        batch.push(scene.render(&ViewJitter::identity()));
+    }
+    batch
+}
+
+/// Runs the fleet session: N devices share one server and upload groups in
+/// event-queue order (time, then device id) until every device has done
+/// its rounds or died.
+///
+/// # Errors
+///
+/// Returns a network error if a channel stalls beyond its limit, or an
+/// invalid-config error from server/client construction.
+///
+/// # Panics
+///
+/// Panics if `n_devices`, `rounds`, or `group_size` is zero.
+pub fn run_fleet(
+    scheme: &dyn UploadScheme,
+    config: &BeesConfig,
+    fleet: &FleetConfig,
+) -> Result<FleetReport> {
+    assert!(fleet.n_devices > 0, "fleet needs at least one device");
+    assert!(fleet.rounds > 0, "fleet needs at least one round");
+    assert!(fleet.group_size > 0, "fleet groups must be non-empty");
+
+    let mut server = Server::try_new(config)?;
+    let mut clients: Vec<Client> = (0..fleet.n_devices)
+        .map(|d| Client::try_new(d as u64, config))
+        .collect::<Result<_>>()?;
+
+    let mut devices: Vec<DeviceSummary> = (0..fleet.n_devices)
+        .map(|d| DeviceSummary {
+            device: d as u64,
+            rounds: 0,
+            uploaded_images: 0,
+            uplink_bytes: 0,
+            final_ebat: 1.0,
+            exhausted: false,
+        })
+        .collect();
+
+    let mut queue: BinaryHeap<Reverse<Event>> = (0..fleet.n_devices)
+        .map(|device| {
+            Reverse(Event {
+                time: 0.0,
+                device,
+                round: 0,
+            })
+        })
+        .collect();
+
+    let mut images_captured = 0usize;
+    let mut skipped_cross_batch = 0usize;
+    let mut skipped_in_batch = 0usize;
+    let mut rounds_completed = 0usize;
+
+    while let Some(Reverse(ev)) = queue.pop() {
+        let d = ev.device;
+        let batch = make_batch(fleet, d, ev.round);
+        images_captured += batch.len();
+        let start = clients[d].now();
+        let report = scheme.upload(&mut BatchCtx::new(&mut clients[d], &mut server, &batch))?;
+        rounds_completed += 1;
+        devices[d].rounds += 1;
+        devices[d].uploaded_images += report.uploaded_images;
+        devices[d].uplink_bytes += report.uplink_bytes;
+        skipped_cross_batch += report.skipped_cross_batch;
+        skipped_in_batch += report.skipped_in_batch;
+        if report.exhausted {
+            devices[d].exhausted = true;
+            continue;
+        }
+        if ev.round + 1 < fleet.rounds {
+            let elapsed = clients[d].now() - start;
+            if elapsed < fleet.interval_s && clients[d].idle(fleet.interval_s - elapsed).is_err() {
+                devices[d].exhausted = true;
+                continue;
+            }
+            queue.push(Reverse(Event {
+                time: clients[d].now(),
+                device: d,
+                round: ev.round + 1,
+            }));
+        }
+    }
+
+    for (d, client) in clients.iter().enumerate() {
+        devices[d].final_ebat = client.ebat();
+    }
+
+    let images_uploaded = server.received_images();
+    let redundancy_elimination = if images_captured > 0 {
+        (images_captured - images_uploaded) as f64 / images_captured as f64
+    } else {
+        0.0
+    };
+    Ok(FleetReport {
+        scheme: scheme.kind().to_string(),
+        n_devices: fleet.n_devices,
+        rounds_completed,
+        images_captured,
+        images_uploaded,
+        skipped_cross_batch,
+        skipped_in_batch,
+        uplink_bytes: devices.iter().map(|d| d.uplink_bytes).sum(),
+        redundancy_elimination,
+        server_queries: server.queries_served(),
+        devices_exhausted: devices.iter().filter(|d| d.exhausted).count(),
+        devices,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schemes::Bees;
+    use crate::IndexBackend;
+    use bees_energy::Battery;
+    use bees_net::BandwidthTrace;
+
+    fn tiny_fleet() -> FleetConfig {
+        FleetConfig {
+            n_devices: 3,
+            rounds: 2,
+            group_size: 4,
+            shared_per_group: 2,
+            interval_s: 30.0,
+            scene: SceneConfig {
+                width: 96,
+                height: 72,
+                n_shapes: 8,
+                texture_amp: 8.0,
+            },
+            seed: 11,
+        }
+    }
+
+    fn config() -> BeesConfig {
+        let mut c = BeesConfig::default();
+        c.trace = BandwidthTrace::constant(256_000.0).unwrap();
+        c
+    }
+
+    #[test]
+    fn events_pop_by_time_then_device() {
+        let mut heap: BinaryHeap<Reverse<Event>> = BinaryHeap::new();
+        for (time, device) in [(5.0, 0), (0.0, 2), (0.0, 1), (3.0, 0)] {
+            heap.push(Reverse(Event {
+                time,
+                device,
+                round: 0,
+            }));
+        }
+        let order: Vec<(f64, usize)> = std::iter::from_fn(|| heap.pop())
+            .map(|Reverse(e)| (e.time, e.device))
+            .collect();
+        assert_eq!(order, vec![(0.0, 1), (0.0, 2), (3.0, 0), (5.0, 0)]);
+    }
+
+    #[test]
+    fn fleet_report_is_reproducible() {
+        let cfg = config();
+        let a = run_fleet(&Bees::adaptive(&cfg), &cfg, &tiny_fleet()).unwrap();
+        let b = run_fleet(&Bees::adaptive(&cfg), &cfg, &tiny_fleet()).unwrap();
+        assert_eq!(a.to_json(), b.to_json());
+        assert_eq!(a.n_devices, 3);
+        assert_eq!(a.rounds_completed, 6);
+        assert_eq!(a.images_captured, 24);
+        assert!(a.server_queries > 0);
+        // Shared scenes give the fleet real redundancy to eliminate.
+        assert!(
+            a.images_uploaded < a.images_captured,
+            "uploaded {} of {}",
+            a.images_uploaded,
+            a.images_captured
+        );
+        assert!(a.redundancy_elimination > 0.0);
+    }
+
+    #[test]
+    fn shard_count_does_not_change_the_report() {
+        let fleet = tiny_fleet();
+        let mut reports = Vec::new();
+        for shards in [1usize, 2, 4] {
+            let cfg = BeesConfig {
+                index_backend: IndexBackend::Mih,
+                server_shards: shards,
+                ..config()
+            };
+            let r = run_fleet(&Bees::adaptive(&cfg), &cfg, &fleet).unwrap();
+            reports.push(r.to_json());
+        }
+        assert_eq!(reports[0], reports[1]);
+        assert_eq!(reports[0], reports[2]);
+    }
+
+    #[test]
+    fn dying_devices_are_counted() {
+        // ~20 J is enough to start uploading but not to finish two rounds.
+        let mut cfg = config();
+        cfg.battery = Battery::from_joules(20.0);
+        let r = run_fleet(&Bees::adaptive(&cfg), &cfg, &tiny_fleet()).unwrap();
+        assert!(r.devices_exhausted > 0);
+        let died: usize = r.devices.iter().filter(|d| d.exhausted).count();
+        assert_eq!(died, r.devices_exhausted);
+        for d in r.devices.iter().filter(|d| d.exhausted) {
+            assert!(d.final_ebat < 1.0);
+        }
+    }
+
+    #[test]
+    fn report_json_shape_is_stable() {
+        let report = FleetReport {
+            scheme: "bees".to_string(),
+            n_devices: 1,
+            rounds_completed: 1,
+            images_captured: 2,
+            images_uploaded: 1,
+            skipped_cross_batch: 1,
+            skipped_in_batch: 0,
+            uplink_bytes: 42,
+            redundancy_elimination: 0.5,
+            server_queries: 2,
+            devices_exhausted: 0,
+            devices: vec![DeviceSummary {
+                device: 0,
+                rounds: 1,
+                uploaded_images: 1,
+                uplink_bytes: 42,
+                final_ebat: 1.0,
+                exhausted: false,
+            }],
+        };
+        assert_eq!(
+            report.to_json(),
+            "{\"scheme\":\"bees\",\"n_devices\":1,\"rounds_completed\":1,\
+             \"images_captured\":2,\"images_uploaded\":1,\
+             \"skipped_cross_batch\":1,\"skipped_in_batch\":0,\
+             \"uplink_bytes\":42,\"redundancy_elimination\":0.5,\
+             \"server_queries\":2,\"devices_exhausted\":0,\
+             \"devices\":[{\"device\":0,\"rounds\":1,\"uploaded_images\":1,\
+             \"uplink_bytes\":42,\"final_ebat\":1,\"exhausted\":false}]}"
+        );
+    }
+}

@@ -94,7 +94,7 @@ pub fn run_lifetime_traced(
     lt: &LifetimeConfig,
     telemetry: Telemetry,
 ) -> Result<LifetimeResult> {
-    let mut server = Server::new(config);
+    let mut server = Server::try_new(config)?;
     let mut client = Client::try_new(0, config)?;
     client.set_telemetry(telemetry.clone());
     server.set_telemetry(telemetry);

@@ -1,10 +1,12 @@
-//! Long-running experiment drivers: battery lifetime (Fig. 9) and
-//! multi-phone coverage (Fig. 12).
+//! Long-running experiment drivers: battery lifetime (Fig. 9), multi-phone
+//! coverage (Fig. 12), and the deterministic multi-device fleet.
 
 mod coverage;
+mod fleet;
 mod lifetime;
 
 pub use coverage::{run_coverage, CoverageConfig, CoverageResult};
+pub use fleet::{run_fleet, DeviceSummary, FleetConfig, FleetReport};
 pub use lifetime::{
     run_lifetime, run_lifetime_traced, LifetimeConfig, LifetimeResult, LifetimeSample,
 };

@@ -32,7 +32,7 @@ fn run(scheme_for: impl Fn(&BeesConfig) -> Box<dyn UploadScheme>, seed: u64) -> 
     for backend in [IndexBackend::Linear, IndexBackend::Mih] {
         let cfg = config(backend);
         let scheme = scheme_for(&cfg);
-        let mut server = Server::new(&cfg);
+        let mut server = Server::try_new(&cfg).unwrap();
         scheme.preload_server(&mut server, &data.server_preload);
         let mut client = Client::try_new(0, &cfg).unwrap();
         out.push(

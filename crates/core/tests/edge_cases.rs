@@ -26,7 +26,7 @@ fn schemes(cfg: &BeesConfig) -> Vec<Box<dyn UploadScheme>> {
 fn empty_batch_is_a_noop() {
     let cfg = config();
     for scheme in schemes(&cfg) {
-        let mut server = Server::new(&cfg);
+        let mut server = Server::try_new(&cfg).unwrap();
         let mut client = Client::try_new(0, &cfg).unwrap();
         let r = scheme
             .upload(&mut BatchCtx::new(&mut client, &mut server, &[]))
@@ -52,7 +52,7 @@ fn single_image_batch_uploads_exactly_one() {
     )
     .render(&ViewJitter::identity());
     for scheme in schemes(&cfg) {
-        let mut server = Server::new(&cfg);
+        let mut server = Server::try_new(&cfg).unwrap();
         let mut client = Client::try_new(0, &cfg).unwrap();
         let batch = [img.clone()];
         let r = scheme
@@ -71,7 +71,7 @@ fn featureless_images_are_uploaded_not_deduplicated() {
     let flat = RgbImage::new(128, 96).unwrap();
     let batch = vec![flat.clone(), flat.clone()];
     let scheme = Bees::adaptive(&cfg);
-    let mut server = Server::new(&cfg);
+    let mut server = Server::try_new(&cfg).unwrap();
     let mut client = Client::try_new(0, &cfg).unwrap();
     // Even preloading an identical flat image doesn't create similarity.
     scheme.preload_server(&mut server, &[flat]);
@@ -97,7 +97,7 @@ fn batch_of_identical_images_collapses_to_one_for_bees() {
     .render(&ViewJitter::identity());
     let batch = vec![img.clone(), img.clone(), img.clone(), img];
     let scheme = Bees::adaptive(&cfg);
-    let mut server = Server::new(&cfg);
+    let mut server = Server::try_new(&cfg).unwrap();
     let mut client = Client::try_new(0, &cfg).unwrap();
     let r = scheme
         .upload(&mut BatchCtx::new(&mut client, &mut server, &batch))

@@ -22,7 +22,7 @@ fn photonet_extraction_is_cheapest_but_bees_dedups_in_batch() {
     let data = disaster_batch(71, 12, 4, 0.0, SceneConfig::default());
 
     let run = |scheme: &dyn UploadScheme| {
-        let mut server = Server::new(&cfg);
+        let mut server = Server::try_new(&cfg).unwrap();
         scheme.preload_server(&mut server, &data.server_preload);
         let mut client = Client::try_new(0, &cfg).unwrap();
         scheme
@@ -65,7 +65,7 @@ fn photonet_histogram_dedup_misfires_where_orb_does_not() {
     let cfg = config();
     let data = disaster_batch(72, 8, 0, 0.5, SceneConfig::default());
     let pn = PhotoNetLike::new(&cfg);
-    let mut server = Server::new(&cfg);
+    let mut server = Server::try_new(&cfg).unwrap();
     pn.preload_server(&mut server, &data.server_preload);
     let mut client = Client::try_new(0, &cfg).unwrap();
     let r = pn

@@ -20,10 +20,13 @@ pub const PATCH_RADIUS: i32 = 15;
 /// must use the same pattern or descriptors would be incomparable.
 pub const DEFAULT_PATTERN_SEED: u64 = 0x0BEE5_u64;
 
+/// One BRIEF comparison: two sampling points relative to the keypoint.
+pub type PointPair = ((f32, f32), (f32, f32));
+
 /// A fixed set of 256 sampling point pairs.
 #[derive(Debug, Clone)]
 pub struct BriefPattern {
-    pairs: Vec<((f32, f32), (f32, f32))>,
+    pairs: Vec<PointPair>,
 }
 
 impl BriefPattern {
@@ -53,7 +56,7 @@ impl BriefPattern {
     }
 
     /// The point pairs of the pattern.
-    pub fn pairs(&self) -> &[((f32, f32), (f32, f32))] {
+    pub fn pairs(&self) -> &[PointPair] {
         &self.pairs
     }
 

@@ -101,7 +101,7 @@ fn segment_test(img: &GrayImage, x: u32, y: u32, threshold: u8) -> Option<f32> {
         }
         if max_run >= ARC_LENGTH {
             let score = best_excess as f32;
-            if best_score.map_or(true, |s| score > s) {
+            if best_score.is_none_or(|s| score > s) {
                 best_score = Some(score);
             }
         }

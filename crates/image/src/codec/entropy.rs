@@ -55,7 +55,7 @@ pub fn write_se(writer: &mut BitWriter, v: i64) {
 pub fn read_se(reader: &mut BitReader<'_>) -> Result<i64> {
     let u = read_ue(reader)?;
     Ok(if u % 2 == 1 {
-        ((u + 1) / 2) as i64
+        u.div_ceil(2) as i64
     } else {
         -((u / 2) as i64)
     })

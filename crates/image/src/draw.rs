@@ -117,6 +117,7 @@ pub fn fill_vertical_gradient(img: &mut RgbImage, top: Rgb, bottom: Rgb) {
 
 /// Overlays a checkerboard texture inside a rectangle; `cell` is the square
 /// size in pixels. Checker corners are strong FAST/Harris responses.
+#[allow(clippy::too_many_arguments)]
 pub fn draw_checker(
     img: &mut RgbImage,
     x0: i64,

@@ -135,7 +135,7 @@ pub fn downsample_box(src: &GrayImage, factor: u32) -> Result<GrayImage> {
         return Err(ImageError::InvalidDimensions { width, height });
     }
     let mut out = GrayImage::new(width, height)?;
-    let area = (factor * factor) as u32;
+    let area = factor * factor;
     for y in 0..height {
         for x in 0..width {
             let mut sum = 0u32;

@@ -19,38 +19,110 @@
 //!   paper's reference [20]): hierarchical k-medoids quantization into
 //!   visual words plus an inverted file, again with exact rescoring.
 //!
+//! Any backend can additionally be wrapped in a [`ShardedIndex`], which
+//! partitions images over N inner indexes by `ImageId` and fans queries out
+//! to every shard in parallel (merging in a deterministic total order), for
+//! fleet-scale ingest.
+//!
 //! # Examples
 //!
 //! ```
-//! use bees_index::{ImageId, LinearIndex, FeatureIndex};
+//! use bees_index::{ImageId, LinearIndex, FeatureIndex, Query};
 //! use bees_features::ImageFeatures;
 //! use bees_features::similarity::SimilarityConfig;
 //!
 //! let mut index = LinearIndex::new(SimilarityConfig::default());
 //! index.insert(ImageId(1), ImageFeatures::empty_binary());
 //! assert_eq!(index.len(), 1);
+//! let probe = ImageFeatures::empty_binary();
+//! assert!(index.query(&Query::new(&probe)).is_empty());
 //! ```
 
 mod linear;
 mod mih;
+mod sharded;
 mod store;
 pub mod vocab;
 
 pub use linear::LinearIndex;
 pub use mih::MihIndex;
+pub use sharded::ShardedIndex;
 pub use store::{ImageEntry, ImageId, QueryHit};
 
 use bees_features::similarity::SimilarityConfig;
 use bees_features::ImageFeatures;
 
+/// A similarity query: the probe features plus result and work budgets.
+///
+/// `k` caps how many hits come back; `max_candidates` caps how many
+/// candidate images an *accelerated* backend will generate before exact
+/// rescoring (`0` = unlimited). Exact backends ignore the candidate budget
+/// — they score everything — so the budget trades recall for bounded work
+/// only where a candidate stage exists.
+///
+/// Note: a non-zero `max_candidates` makes an accelerated backend's recall
+/// depend on how images are partitioned, so sharded servers keep the
+/// budget unlimited on the redundancy-detection path (see `DESIGN.md` §9).
+#[derive(Debug, Clone, Copy)]
+pub struct Query<'a> {
+    /// Features to match against the stored images.
+    pub features: &'a ImageFeatures,
+    /// Maximum number of hits returned (result budget).
+    pub k: usize,
+    /// Candidate budget for accelerated backends; `0` means unlimited.
+    pub max_candidates: usize,
+}
+
+impl<'a> Query<'a> {
+    /// A max-similarity probe: best single hit, unlimited candidates.
+    pub fn new(features: &'a ImageFeatures) -> Self {
+        Query {
+            features,
+            k: 1,
+            max_candidates: 0,
+        }
+    }
+
+    /// A top-`k` probe with unlimited candidates.
+    pub fn top_k(features: &'a ImageFeatures, k: usize) -> Self {
+        Query {
+            features,
+            k,
+            max_candidates: 0,
+        }
+    }
+
+    /// Caps the candidate stage of accelerated backends at `budget` images
+    /// (`0` = unlimited).
+    #[must_use]
+    pub fn with_max_candidates(mut self, budget: usize) -> Self {
+        self.max_candidates = budget;
+        self
+    }
+}
+
 /// A queryable image-feature index.
 ///
-/// Implemented by [`LinearIndex`] (exact) and [`MihIndex`] (accelerated).
+/// Implemented by [`LinearIndex`] (exact), [`MihIndex`] (accelerated),
+/// [`vocab::VocabIndex`] (vocabulary tree), and [`ShardedIndex`]
+/// (partitioned composition of any of them). Backends implement [`query`]
+/// once; `max_similarity` and `top_k` are derived conveniences.
+///
+/// [`query`]: FeatureIndex::query
 pub trait FeatureIndex {
     /// Inserts an image's features under `id`.
     ///
     /// Re-inserting an existing id replaces the stored features.
     fn insert(&mut self, id: ImageId, features: ImageFeatures);
+
+    /// Inserts a batch of images. Sharded backends override this to build
+    /// all shards concurrently; the result must equal (and for every
+    /// in-tree backend does equal) inserting the items one by one in order.
+    fn insert_batch(&mut self, items: Vec<(ImageId, ImageFeatures)>) {
+        for (id, features) in items {
+            self.insert(id, features);
+        }
+    }
 
     /// Number of indexed images.
     fn len(&self) -> usize;
@@ -60,13 +132,24 @@ pub trait FeatureIndex {
         self.len() == 0
     }
 
+    /// Runs a query, returning up to `query.k` hits ordered by descending
+    /// similarity with ascending-`ImageId` tie-breaking. Zero-score images
+    /// are omitted. The ordering is a total order, so the result is unique
+    /// — backends parallelizing internally must return exactly this list.
+    fn query(&self, query: &Query<'_>) -> Vec<QueryHit>;
+
     /// Finds the stored image with the highest Jaccard similarity to
-    /// `query`, or `None` when the index is empty or every score is zero.
-    fn max_similarity(&self, query: &ImageFeatures) -> Option<QueryHit>;
+    /// `features`, or `None` when the index is empty or every score is
+    /// zero.
+    fn max_similarity(&self, features: &ImageFeatures) -> Option<QueryHit> {
+        self.query(&Query::new(features)).into_iter().next()
+    }
 
     /// Returns up to `k` hits ordered by descending similarity. Zero-score
     /// images are omitted.
-    fn top_k(&self, query: &ImageFeatures, k: usize) -> Vec<QueryHit>;
+    fn top_k(&self, features: &ImageFeatures, k: usize) -> Vec<QueryHit> {
+        self.query(&Query::top_k(features, k))
+    }
 
     /// Total stored feature payload in bytes (Table I's space overhead).
     fn feature_bytes(&self) -> usize;
@@ -82,5 +165,15 @@ mod trait_tests {
     #[test]
     fn trait_is_object_safe() {
         fn _takes_dyn(_i: &dyn FeatureIndex) {}
+    }
+
+    #[test]
+    fn query_builder_sets_budgets() {
+        let f = ImageFeatures::empty_binary();
+        let q = Query::top_k(&f, 7).with_max_candidates(100);
+        assert_eq!(q.k, 7);
+        assert_eq!(q.max_candidates, 100);
+        assert_eq!(Query::new(&f).k, 1);
+        assert_eq!(Query::new(&f).max_candidates, 0);
     }
 }

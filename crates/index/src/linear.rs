@@ -1,7 +1,7 @@
 //! Exact linear-scan index.
 
 use crate::store::{rank_hits, ImageEntry, ImageId, QueryHit};
-use crate::FeatureIndex;
+use crate::{FeatureIndex, Query};
 use bees_features::similarity::{jaccard_similarity, SimilarityConfig};
 use bees_features::ImageFeatures;
 
@@ -69,23 +69,21 @@ impl FeatureIndex for LinearIndex {
         self.entries.len()
     }
 
-    fn max_similarity(&self, query: &ImageFeatures) -> Option<QueryHit> {
-        self.top_k(query, 1).into_iter().next()
-    }
-
-    fn top_k(&self, query: &ImageFeatures, k: usize) -> Vec<QueryHit> {
+    fn query(&self, query: &Query<'_>) -> Vec<QueryHit> {
+        // Exact backend: the candidate budget does not apply — every stored
+        // image is scored.
         let hits = self
             .entries
             .iter()
             .filter_map(|e| {
-                let s = jaccard_similarity(query, &e.features, &self.config);
+                let s = jaccard_similarity(query.features, &e.features, &self.config);
                 (s > 0.0).then_some(QueryHit {
                     id: e.id,
                     similarity: s,
                 })
             })
             .collect();
-        rank_hits(hits, k)
+        rank_hits(hits, query.k)
     }
 
     fn feature_bytes(&self) -> usize {

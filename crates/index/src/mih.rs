@@ -18,11 +18,12 @@
 //! feature sets, which have no binary words to hash.
 
 use crate::store::{rank_hits, ImageEntry, ImageId, QueryHit};
-use crate::FeatureIndex;
+use crate::{FeatureIndex, Query};
 use bees_features::similarity::{jaccard_similarity, SimilarityConfig};
 use bees_features::{Descriptors, ImageFeatures};
 use bees_runtime::Runtime;
-use std::collections::{HashMap, HashSet};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
 
 /// Accelerated index: word-collision candidate generation plus exact
 /// rescoring.
@@ -86,32 +87,64 @@ impl MihIndex {
     /// Returns the candidate image ids for a query (images sharing a
     /// descriptor word within the probe radius), sorted ascending. Exposed
     /// for the ablation benchmark.
-    ///
-    /// The sorted order makes downstream iteration independent of
-    /// `HashSet`'s randomized bucket order, so every consumer — including
-    /// the parallel rescoring in `top_k` — sees candidates in the same
-    /// order on every run.
     pub fn candidates(&self, query: &ImageFeatures) -> Vec<ImageId> {
-        let mut seen = HashSet::new();
-        if let Descriptors::Binary(descs) = &query.descriptors {
-            for d in descs {
-                for chunk in 0..4 {
-                    let word = d.word(chunk);
-                    if let Some(ids) = self.tables[chunk].get(&word) {
-                        seen.extend(ids.iter().copied());
-                    }
-                    if self.probe_radius >= 1 {
-                        for bit in 0..64 {
-                            if let Some(ids) = self.tables[chunk].get(&(word ^ (1u64 << bit))) {
-                                seen.extend(ids.iter().copied());
-                            }
+        self.candidates_budgeted(query, 0)
+    }
+
+    /// [`candidates`](Self::candidates) with a budget: stops after `budget`
+    /// distinct ids when `budget > 0`. Because every posting list is kept
+    /// sorted and the lists are k-way merged smallest-id-first, a budgeted
+    /// scan returns exactly the `budget` smallest candidate ids — a
+    /// deterministic prefix, not an arbitrary subset.
+    ///
+    /// The merge replaces the old collect-into-`HashSet`-then-sort path,
+    /// whose full re-sort on every query dominated lookup cost once posting
+    /// lists grew; it also made early termination impossible (the budget
+    /// would have applied before dedup/sort, yielding an order-dependent
+    /// subset).
+    pub fn candidates_budgeted(&self, query: &ImageFeatures, budget: usize) -> Vec<ImageId> {
+        let Descriptors::Binary(descs) = &query.descriptors else {
+            return Vec::new();
+        };
+        // Gather every probed posting list (each sorted ascending).
+        let mut lists: Vec<&[ImageId]> = Vec::new();
+        for d in descs {
+            for chunk in 0..4 {
+                let word = d.word(chunk);
+                if let Some(ids) = self.tables[chunk].get(&word) {
+                    lists.push(ids);
+                }
+                if self.probe_radius >= 1 {
+                    for bit in 0..64 {
+                        if let Some(ids) = self.tables[chunk].get(&(word ^ (1u64 << bit))) {
+                            lists.push(ids);
                         }
                     }
                 }
             }
         }
-        let mut out: Vec<ImageId> = seen.into_iter().collect();
-        out.sort_unstable();
+        // K-way merge with on-the-fly dedup: heap of (next id, list index).
+        let mut heap: BinaryHeap<Reverse<(ImageId, usize)>> = lists
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| !l.is_empty())
+            .map(|(li, l)| Reverse((l[0], li)))
+            .collect();
+        let mut cursors = vec![1usize; lists.len()];
+        let mut out: Vec<ImageId> = Vec::new();
+        while let Some(Reverse((id, li))) = heap.pop() {
+            if out.last() != Some(&id) {
+                if budget > 0 && out.len() == budget {
+                    break;
+                }
+                out.push(id);
+            }
+            let cur = cursors[li];
+            if let Some(&next) = lists[li].get(cur) {
+                cursors[li] = cur + 1;
+                heap.push(Reverse((next, li)));
+            }
+        }
         out
     }
 
@@ -120,8 +153,12 @@ impl MihIndex {
             for d in descs {
                 for chunk in 0..4 {
                     let bucket = self.tables[chunk].entry(d.word(chunk)).or_default();
-                    if bucket.last() != Some(&id) {
-                        bucket.push(id);
+                    // Sorted insertion keeps every posting list ascending,
+                    // which the budgeted k-way merge in `candidates` relies
+                    // on (ids usually arrive in order, making this a cheap
+                    // append in practice).
+                    if let Err(pos) = bucket.binary_search(&id) {
+                        bucket.insert(pos, id);
                     }
                 }
             }
@@ -159,28 +196,26 @@ impl FeatureIndex for MihIndex {
         self.entries.len()
     }
 
-    fn max_similarity(&self, query: &ImageFeatures) -> Option<QueryHit> {
-        self.top_k(query, 1).into_iter().next()
-    }
-
-    fn top_k(&self, query: &ImageFeatures, k: usize) -> Vec<QueryHit> {
+    fn query(&self, query: &Query<'_>) -> Vec<QueryHit> {
         // Exact Jaccard rescoring dominates query cost; score every
         // candidate (or entry) in parallel, keeping candidate order.
         let rt = Runtime::current();
-        let hits: Vec<QueryHit> = if matches!(query.descriptors, Descriptors::Binary(_)) {
-            let cands = self.candidates(query);
+        let hits: Vec<QueryHit> = if matches!(query.features.descriptors, Descriptors::Binary(_)) {
+            let cands = self.candidates_budgeted(query.features, query.max_candidates);
             rt.par_map(&cands, |&id| {
                 let pos = *self.id_to_pos.get(&id).expect("candidate ids are indexed");
-                let s = jaccard_similarity(query, &self.entries[pos].features, &self.config);
+                let s =
+                    jaccard_similarity(query.features, &self.entries[pos].features, &self.config);
                 (s > 0.0).then_some(QueryHit { id, similarity: s })
             })
             .into_iter()
             .flatten()
             .collect()
         } else {
-            // Vector features: no word structure, fall back to a full scan.
+            // Vector features: no word structure, fall back to a full scan
+            // (exact, so the candidate budget does not apply).
             rt.par_map(&self.entries, |e| {
-                let s = jaccard_similarity(query, &e.features, &self.config);
+                let s = jaccard_similarity(query.features, &e.features, &self.config);
                 (s > 0.0).then_some(QueryHit {
                     id: e.id,
                     similarity: s,
@@ -190,7 +225,7 @@ impl FeatureIndex for MihIndex {
             .flatten()
             .collect()
         };
-        rank_hits(hits, k)
+        rank_hits(hits, query.k)
     }
 
     fn feature_bytes(&self) -> usize {
@@ -311,6 +346,61 @@ mod tests {
         // The old features must no longer match.
         assert!(idx.max_similarity(&f1).is_none());
         assert!((idx.max_similarity(&f2).unwrap().similarity - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn posting_lists_stay_sorted_under_out_of_order_inserts() {
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        let mut idx = MihIndex::new(SimilarityConfig::default());
+        let shared = random_features(&mut rng, 5);
+        // Insert the same feature set under descending ids: the candidate
+        // merge must still return ascending ids.
+        for id in [90u64, 40, 75, 3, 62] {
+            idx.insert(ImageId(id), shared.clone());
+        }
+        let cands = idx.candidates(&shared);
+        assert_eq!(
+            cands,
+            vec![
+                ImageId(3),
+                ImageId(40),
+                ImageId(62),
+                ImageId(75),
+                ImageId(90)
+            ]
+        );
+    }
+
+    #[test]
+    fn candidate_budget_keeps_the_smallest_ids() {
+        let mut rng = ChaCha8Rng::seed_from_u64(13);
+        let mut idx = MihIndex::new(SimilarityConfig::default());
+        let shared = random_features(&mut rng, 5);
+        for id in 0..10u64 {
+            idx.insert(ImageId(id), shared.clone());
+        }
+        let all = idx.candidates(&shared);
+        assert_eq!(all.len(), 10);
+        let capped = idx.candidates_budgeted(&shared, 4);
+        assert_eq!(capped, all[..4].to_vec());
+        // Budget 0 means unlimited.
+        assert_eq!(idx.candidates_budgeted(&shared, 0), all);
+    }
+
+    #[test]
+    fn query_respects_k_and_budget() {
+        let mut rng = ChaCha8Rng::seed_from_u64(17);
+        let mut idx = MihIndex::new(SimilarityConfig::default());
+        let shared = random_features(&mut rng, 5);
+        for id in 0..6u64 {
+            idx.insert(ImageId(id), shared.clone());
+        }
+        let hits = idx.query(&Query::top_k(&shared, 3));
+        assert_eq!(hits.len(), 3);
+        // Perfect-score ties break toward the smallest id.
+        assert_eq!(hits[0].id, ImageId(0));
+        let budgeted = idx.query(&Query::top_k(&shared, 10).with_max_candidates(2));
+        assert_eq!(budgeted.len(), 2);
     }
 
     #[test]

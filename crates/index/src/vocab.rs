@@ -12,7 +12,7 @@
 //! Vector (SIFT/PCA-SIFT) feature sets fall back to a linear scan.
 
 use crate::store::{rank_hits, ImageEntry, ImageId, QueryHit};
-use crate::FeatureIndex;
+use crate::{FeatureIndex, Query};
 use bees_features::descriptor::BinaryDescriptor;
 use bees_features::similarity::{jaccard_similarity, SimilarityConfig};
 use bees_features::{Descriptors, ImageFeatures};
@@ -40,7 +40,7 @@ impl Default for VocabConfig {
             branching: 8,
             depth: 3,
             iterations: 6,
-            seed: 0x70CA_B,
+            seed: 0x0007_0CAB,
         }
     }
 }
@@ -298,17 +298,24 @@ impl FeatureIndex for VocabIndex {
         self.entries.len()
     }
 
-    fn max_similarity(&self, query: &ImageFeatures) -> Option<QueryHit> {
-        self.top_k(query, 1).into_iter().next()
-    }
-
-    fn top_k(&self, query: &ImageFeatures, k: usize) -> Vec<QueryHit> {
-        let hits: Vec<QueryHit> = if matches!(query.descriptors, Descriptors::Binary(_)) {
-            self.candidates(query)
-                .into_keys()
+    fn query(&self, query: &Query<'_>) -> Vec<QueryHit> {
+        let hits: Vec<QueryHit> = if matches!(query.features.descriptors, Descriptors::Binary(_)) {
+            // Sort candidate ids so a non-zero budget keeps a deterministic
+            // prefix rather than whatever `HashMap` order yields.
+            let mut cands: Vec<ImageId> = self.candidates(query.features).into_keys().collect();
+            cands.sort_unstable();
+            if query.max_candidates > 0 {
+                cands.truncate(query.max_candidates);
+            }
+            cands
+                .into_iter()
                 .filter_map(|id| {
                     let pos = *self.id_to_pos.get(&id).expect("candidates are indexed");
-                    let s = jaccard_similarity(query, &self.entries[pos].features, &self.config);
+                    let s = jaccard_similarity(
+                        query.features,
+                        &self.entries[pos].features,
+                        &self.config,
+                    );
                     (s > 0.0).then_some(QueryHit { id, similarity: s })
                 })
                 .collect()
@@ -316,7 +323,7 @@ impl FeatureIndex for VocabIndex {
             self.entries
                 .iter()
                 .filter_map(|e| {
-                    let s = jaccard_similarity(query, &e.features, &self.config);
+                    let s = jaccard_similarity(query.features, &e.features, &self.config);
                     (s > 0.0).then_some(QueryHit {
                         id: e.id,
                         similarity: s,
@@ -324,7 +331,7 @@ impl FeatureIndex for VocabIndex {
                 })
                 .collect()
         };
-        rank_hits(hits, k)
+        rank_hits(hits, query.k)
     }
 
     fn feature_bytes(&self) -> usize {

@@ -265,6 +265,50 @@ impl Runtime {
         });
         chunks.into_iter().fold(identity, combine)
     }
+
+    /// Runs `f` on every element of `items` in place, passing the element's
+    /// index. Each worker owns a disjoint contiguous sub-slice, so no
+    /// synchronization is needed beyond the final join; as with the other
+    /// primitives the result is independent of the thread count because each
+    /// closure sees exactly one `(index, element)` pair.
+    ///
+    /// Used by the sharded index to build / query all shards concurrently.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use bees_runtime::Runtime;
+    ///
+    /// let mut v = vec![10u64, 20, 30];
+    /// Runtime::new(2).par_for_each_mut(&mut v, |i, x| *x += i as u64);
+    /// assert_eq!(v, vec![10, 21, 32]);
+    /// ```
+    pub fn par_for_each_mut<T, F>(&self, items: &mut [T], f: F)
+    where
+        T: Send,
+        F: Fn(usize, &mut T) + Sync,
+    {
+        let n = items.len();
+        let workers = self.threads.min(n);
+        if workers <= 1 || in_worker() {
+            for (i, item) in items.iter_mut().enumerate() {
+                f(i, item);
+            }
+            return;
+        }
+        let per_worker = n.div_ceil(workers);
+        std::thread::scope(|scope| {
+            for (w, slab) in items.chunks_mut(per_worker).enumerate() {
+                let f = &f;
+                scope.spawn(move || {
+                    IN_POOL.with(|p| p.set(true));
+                    for (i, item) in slab.iter_mut().enumerate() {
+                        f(w * per_worker + i, item);
+                    }
+                });
+            }
+        });
+    }
 }
 
 /// [`Runtime::par_map_range`] on the current global runtime.
@@ -284,6 +328,15 @@ where
     F: Fn(&T) -> R + Sync,
 {
     Runtime::current().par_map(items, f)
+}
+
+/// [`Runtime::par_for_each_mut`] on the current global runtime.
+pub fn par_for_each_mut<T, F>(items: &mut [T], f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut T) + Sync,
+{
+    Runtime::current().par_for_each_mut(items, f)
 }
 
 /// [`Runtime::par_map_reduce`] on the current global runtime.
@@ -388,6 +441,31 @@ mod tests {
         assert_eq!(Runtime::current().threads(), 3);
         set_threads(0);
         assert!(current_threads() >= 1);
+    }
+
+    #[test]
+    fn for_each_mut_matches_sequential_at_any_thread_count() {
+        for threads in [1, 2, 3, 8, 17] {
+            let rt = Runtime::new(threads);
+            for n in [0usize, 1, 2, 7, 64, 1000] {
+                let mut par: Vec<u64> = (0..n as u64).collect();
+                rt.par_for_each_mut(&mut par, |i, x| *x = x.wrapping_mul(31) ^ i as u64);
+                let seq: Vec<u64> = (0..n as u64).map(|x| x.wrapping_mul(31) ^ x).collect();
+                assert_eq!(par, seq, "threads={threads} n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn for_each_mut_nested_inside_par_map_runs_inline() {
+        let rt = Runtime::new(4);
+        let out = rt.par_map_range(6, |i| {
+            let mut inner = vec![i; 8];
+            rt.par_for_each_mut(&mut inner, |j, x| *x += j);
+            inner.iter().sum::<usize>()
+        });
+        let expected: Vec<usize> = (0..6).map(|i| 8 * i + 28).collect();
+        assert_eq!(out, expected);
     }
 
     #[test]

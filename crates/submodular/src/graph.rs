@@ -169,7 +169,7 @@ pub fn partition_by_threshold(graph: &SimilarityGraph, threshold: f64) -> Vec<Ve
     let n = graph.len();
     // Union-find over nodes.
     let mut parent: Vec<usize> = (0..n).collect();
-    fn find(parent: &mut Vec<usize>, x: usize) -> usize {
+    fn find(parent: &mut [usize], x: usize) -> usize {
         let mut root = x;
         while parent[root] != root {
             root = parent[root];

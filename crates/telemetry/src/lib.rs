@@ -94,6 +94,12 @@ pub mod names {
     pub const SRV_QUERY: &str = "srv.query";
     /// A server-side image ingest (zero-duration event).
     pub const SRV_INGEST: &str = "srv.ingest";
+    /// A sharded-index epoch commit: pending ingests distributed to shards
+    /// (zero-duration event, emitted only when the server runs > 1 shard).
+    pub const SRV_SHARD_COMMIT: &str = "srv.shard.commit";
+    /// A fan-out query across index shards (zero-duration event, emitted
+    /// only when the server runs > 1 shard).
+    pub const SRV_SHARD_QUERY: &str = "srv.shard.query";
 }
 
 pub(crate) struct Inner {

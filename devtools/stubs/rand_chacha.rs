@@ -1,0 +1,102 @@
+//! Offline stand-in for `rand_chacha`.
+//!
+//! A real ChaCha (8-round) keystream generator implementing the stub
+//! `rand` traits. Not bit-compatible with upstream `rand_chacha` word
+//! ordering — the workspace only ever compares streams against themselves
+//! (same seed, two runs), never against upstream golden values — but it is
+//! a genuine cryptographic-quality PRNG, so statistical assumptions in
+//! tests (no 256-bit collisions, Bernoulli rates, uniform ranges) hold.
+
+use rand::{RngCore, SeedableRng};
+
+/// ChaCha with 8 rounds, keyed from a 32-byte seed.
+#[derive(Clone, Debug)]
+pub struct ChaCha8Rng {
+    state: [u32; 16],
+    buf: [u32; 16],
+    pos: usize,
+}
+
+#[inline]
+fn quarter(x: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    x[a] = x[a].wrapping_add(x[b]);
+    x[d] = (x[d] ^ x[a]).rotate_left(16);
+    x[c] = x[c].wrapping_add(x[d]);
+    x[b] = (x[b] ^ x[c]).rotate_left(12);
+    x[a] = x[a].wrapping_add(x[b]);
+    x[d] = (x[d] ^ x[a]).rotate_left(8);
+    x[c] = x[c].wrapping_add(x[d]);
+    x[b] = (x[b] ^ x[c]).rotate_left(7);
+}
+
+impl ChaCha8Rng {
+    fn refill(&mut self) {
+        let mut x = self.state;
+        for _ in 0..4 {
+            // One double round: four column then four diagonal quarters.
+            quarter(&mut x, 0, 4, 8, 12);
+            quarter(&mut x, 1, 5, 9, 13);
+            quarter(&mut x, 2, 6, 10, 14);
+            quarter(&mut x, 3, 7, 11, 15);
+            quarter(&mut x, 0, 5, 10, 15);
+            quarter(&mut x, 1, 6, 11, 12);
+            quarter(&mut x, 2, 7, 8, 13);
+            quarter(&mut x, 3, 4, 9, 14);
+        }
+        for (out, (&mixed, &init)) in self.buf.iter_mut().zip(x.iter().zip(&self.state)) {
+            *out = mixed.wrapping_add(init);
+        }
+        // 64-bit block counter lives in words 12..14.
+        self.state[12] = self.state[12].wrapping_add(1);
+        if self.state[12] == 0 {
+            self.state[13] = self.state[13].wrapping_add(1);
+        }
+        self.pos = 0;
+    }
+}
+
+impl SeedableRng for ChaCha8Rng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut state = [0u32; 16];
+        // "expand 32-byte k" sigma constants.
+        state[0] = 0x6170_7865;
+        state[1] = 0x3320_646e;
+        state[2] = 0x7962_2d32;
+        state[3] = 0x6b20_6574;
+        for (word, chunk) in state[4..12].iter_mut().zip(seed.chunks_exact(4)) {
+            *word = u32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+        }
+        // Words 12..16 (counter + nonce) start at zero.
+        ChaCha8Rng {
+            state,
+            buf: [0; 16],
+            pos: 16,
+        }
+    }
+}
+
+impl RngCore for ChaCha8Rng {
+    fn next_u32(&mut self) -> u32 {
+        if self.pos >= 16 {
+            self.refill();
+        }
+        let word = self.buf[self.pos];
+        self.pos += 1;
+        word
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let lo = self.next_u32() as u64;
+        let hi = self.next_u32() as u64;
+        (hi << 32) | lo
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(4) {
+            let word = self.next_u32().to_le_bytes();
+            chunk.copy_from_slice(&word[..chunk.len()]);
+        }
+    }
+}

@@ -1,0 +1,32 @@
+//! Offline stand-in for `serde`.
+//!
+//! Provides just enough surface for the workspace to type-check without
+//! crates.io: the two marker traits with blanket impls (so every `T:
+//! Serialize` / `T: Deserialize` bound is satisfied) and re-exports of the
+//! no-op derives from the `serde_derive` stub. Anything that actually
+//! serializes goes through `serde_json`, whose stub aborts at runtime —
+//! offline tests must not rely on serialization.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`; blanket-implemented for all types.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`; blanket-implemented for all types.
+pub trait Deserialize<'de>: Sized {}
+impl<'de, T> Deserialize<'de> for T {}
+
+/// Mirror of `serde::de`.
+pub mod de {
+    pub use crate::Deserialize;
+
+    /// Marker stand-in for `serde::de::DeserializeOwned`.
+    pub trait DeserializeOwned {}
+    impl<T> DeserializeOwned for T {}
+}
+
+/// Mirror of `serde::ser`.
+pub mod ser {
+    pub use crate::Serialize;
+}

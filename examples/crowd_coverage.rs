@@ -13,10 +13,12 @@ use bees::energy::Battery;
 use bees::net::BandwidthTrace;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let mut config = BeesConfig::default();
-    config.trace = BandwidthTrace::constant(256_000.0)?;
-    // Small batteries: coverage, not patience, is the scarce resource.
-    config.battery = Battery::from_joules(2500.0);
+    let config = BeesConfig {
+        trace: BandwidthTrace::constant(256_000.0)?,
+        // Small batteries: coverage, not patience, is the scarce resource.
+        battery: Battery::from_joules(2500.0),
+        ..BeesConfig::default()
+    };
 
     let cov = CoverageConfig {
         n_phones: 4,

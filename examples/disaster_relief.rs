@@ -12,11 +12,13 @@ use bees::datasets::{disaster_batch, SceneConfig};
 use bees::net::BandwidthTrace;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let mut config = BeesConfig::default();
     // A steady 256 Kbps link makes the schemes directly comparable; swap in
     // BandwidthTrace::disaster_wifi(seed) for the fluctuating 0-512 Kbps
     // emulation.
-    config.trace = BandwidthTrace::constant(256_000.0)?;
+    let config = BeesConfig {
+        trace: BandwidthTrace::constant(256_000.0)?,
+        ..BeesConfig::default()
+    };
 
     // 30 images, 3 of them in-batch duplicates, half cross-batch redundant.
     let data = disaster_batch(2024, 30, 3, 0.5, SceneConfig::default());
@@ -42,7 +44,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     for scheme in &schemes {
         // Fresh server/client per scheme so each sees identical conditions.
-        let mut server = Server::new(&config);
+        let mut server = Server::try_new(&config).expect("config is valid");
         scheme.preload_server(&mut server, &data.server_preload);
         let mut client = Client::try_new(0, &config)?;
         let r = scheme.upload(&mut BatchCtx::new(&mut client, &mut server, &data.batch))?;

@@ -16,7 +16,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // duplicates and 25% already have similar images on the server.
     let data = disaster_batch(42, 20, 2, 0.25, SceneConfig::default());
 
-    let mut server = Server::new(&config);
+    let mut server = Server::try_new(&config).expect("config is valid");
     server.preload(&data.server_preload);
     let mut client = Client::try_new(0, &config)?;
 

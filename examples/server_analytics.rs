@@ -10,8 +10,10 @@ use bees::datasets::{ParisConfig, ParisLike, SceneConfig};
 use bees::net::BandwidthTrace;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let mut config = BeesConfig::default();
-    config.trace = BandwidthTrace::constant(256_000.0)?;
+    let config = BeesConfig {
+        trace: BandwidthTrace::constant(256_000.0)?,
+        ..BeesConfig::default()
+    };
 
     // A small geotagged corpus split over three phones.
     let corpus = ParisLike::generate(
@@ -30,7 +32,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     let per_phone = corpus.len() / 3;
 
-    let mut server = Server::new(&config);
+    let mut server = Server::try_new(&config).expect("config is valid");
     let scheme = Bees::adaptive(&config);
 
     println!(

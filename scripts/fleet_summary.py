@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Render a fleet_scaling JSONL result as a devices x shards summary table.
+
+Usage:
+    python3 scripts/fleet_summary.py fleet.jsonl
+    cargo run --release --bin fleet_scaling -- --json-out /dev/stdout \
+        | python3 scripts/fleet_summary.py -
+
+Input format (one JSON object per line, written by `--json-out`):
+    {"devices":4,"shards":2,"report":{"scheme":"bees-ea", ...}}
+
+Prints one row per sweep cell (captured/uploaded images, redundancy
+elimination, server queries, per-device exhaustion) and verifies the
+sweep's determinism contract: for each fleet size, every shard count must
+report identical numbers. Stdlib only.
+"""
+
+import json
+import sys
+from collections import defaultdict
+
+
+def summarize(lines):
+    cells = []
+    for lineno, line in enumerate(lines, 1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            obj = json.loads(line)
+        except json.JSONDecodeError as e:
+            print(f"warning: line {lineno}: {e}", file=sys.stderr)
+            continue
+        report = obj.get("report")
+        if not isinstance(report, dict):
+            print(f"warning: line {lineno}: no report object", file=sys.stderr)
+            continue
+        cells.append({"devices": obj.get("devices"),
+                      "shards": obj.get("shards"),
+                      "report": report})
+    return cells
+
+
+def check_shard_invariance(cells):
+    """Reports must be identical across shard counts for each fleet size."""
+    by_devices = defaultdict(list)
+    for c in cells:
+        by_devices[c["devices"]].append(c)
+    ok = True
+    for devices, group in sorted(by_devices.items()):
+        canon = {json.dumps(c["report"], sort_keys=True) for c in group}
+        if len(canon) != 1:
+            shards = sorted(c["shards"] for c in group)
+            print(f"DETERMINISM VIOLATION: devices={devices} reports differ "
+                  f"across shards {shards}", file=sys.stderr)
+            ok = False
+    return ok
+
+
+def print_table(cells):
+    header = ["devices", "shards", "scheme", "captured", "uploaded",
+              "elim %", "queries", "exhausted"]
+    rows = [header]
+    for c in cells:
+        r = c["report"]
+        elim = 100.0 * float(r.get("redundancy_elimination", 0.0))
+        rows.append([str(c["devices"]), str(c["shards"]),
+                     str(r.get("scheme", "?")),
+                     str(r.get("images_captured", 0)),
+                     str(r.get("images_uploaded", 0)),
+                     f"{elim:.1f}",
+                     str(r.get("server_queries", 0)),
+                     str(r.get("devices_exhausted", 0))])
+    widths = [max(len(r[i]) for r in rows) for i in range(len(header))]
+    for i, row in enumerate(rows):
+        print("  ".join(cell.ljust(w) if j <= 2 else cell.rjust(w)
+                        for j, (cell, w) in enumerate(zip(row, widths))))
+        if i == 0:
+            print("  ".join("-" * w for w in widths))
+
+
+def main():
+    if len(sys.argv) != 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    path = sys.argv[1]
+    if path == "-":
+        cells = summarize(sys.stdin)
+    else:
+        with open(path, encoding="utf-8") as f:
+            cells = summarize(f)
+    if not cells:
+        print("no fleet cells found", file=sys.stderr)
+        return 1
+    print_table(cells)
+    if not check_shard_invariance(cells):
+        return 1
+    print("reports byte-identical across shard counts: true")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,211 @@
+#!/usr/bin/env bash
+# Offline compile + lint + test harness for containers without crates.io.
+#
+# `cargo` cannot resolve the registry in the sealed CI container, so this
+# script drives `clippy-driver` (a rustc wrapper with clippy lints) over
+# every workspace crate in dependency order, linking against the stub
+# crates in devtools/stubs/ (rand / rand_chacha / serde / serde_json).
+# Stubs are API look-alikes: deterministic PRNG, no-op serde derives,
+# aborting serde_json — see devtools/stubs/*.rs headers. proptest and
+# criterion have no stubs, so property-test files and criterion benches
+# are compile-checked only by real CI, not here.
+#
+# Usage:
+#   scripts/offline_check.sh check   # clippy -D warnings on all lib/bin targets
+#   scripts/offline_check.sh test    # also build + run unit/integration tests
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+MODE="${1:-check}"
+EDITION=2021
+# env!("CARGO_PKG_VERSION") call sites need this in rustc's environment.
+CARGO_PKG_VERSION=$(grep -m1 '^version' Cargo.toml | sed 's/.*"\(.*\)".*/\1/')
+export CARGO_PKG_VERSION
+OUT=target/offline
+STUBS=$OUT/stubs
+LIBS=$OUT/libs
+BINS=$OUT/bins
+TESTS=$OUT/tests
+rm -rf "$OUT"
+mkdir -p "$STUBS" "$LIBS" "$BINS" "$TESTS"
+
+# Mirrors profile.test/profile.bench: optimized but with debug assertions.
+# dead_code is allowed because the no-op serde derive stub drops references
+# to `#[serde(default = "...")]` helper functions; real CI still denies it.
+CODEGEN=(-C opt-level=2 -C debug-assertions=on -A dead_code)
+
+say() { printf '\033[1m== %s\033[0m\n' "$*"; }
+
+# ---------------------------------------------------------------- stubs --
+say "stubs"
+rustc --edition $EDITION --crate-type proc-macro --crate-name serde_derive \
+    --cap-lints allow devtools/stubs/serde_derive.rs --out-dir "$STUBS"
+rustc --edition $EDITION --crate-type lib --crate-name serde --cap-lints allow \
+    --extern serde_derive="$STUBS/libserde_derive.so" \
+    devtools/stubs/serde.rs --out-dir "$STUBS" "${CODEGEN[@]}"
+rustc --edition $EDITION --crate-type lib --crate-name serde_json --cap-lints allow \
+    --extern serde="$STUBS/libserde.rlib" -L "$STUBS" \
+    devtools/stubs/serde_json.rs --out-dir "$STUBS" "${CODEGEN[@]}"
+rustc --edition $EDITION --crate-type lib --crate-name rand --cap-lints allow \
+    devtools/stubs/rand.rs --out-dir "$STUBS" "${CODEGEN[@]}"
+rustc --edition $EDITION --crate-type lib --crate-name rand_chacha --cap-lints allow \
+    --extern rand="$STUBS/librand.rlib" \
+    devtools/stubs/rand_chacha.rs --out-dir "$STUBS" "${CODEGEN[@]}"
+
+# Direct dependencies per crate (dev-deps appended for test builds).
+deps_of() {
+    case "$1" in
+        bees_runtime | bees_telemetry) echo "" ;;
+        bees_image) echo "bees_runtime rand rand_chacha serde" ;;
+        bees_features) echo "bees_image bees_runtime rand rand_chacha serde" ;;
+        bees_energy) echo "bees_features serde" ;;
+        bees_net) echo "rand rand_chacha serde" ;;
+        bees_submodular) echo "bees_runtime serde" ;;
+        bees_index) echo "bees_features bees_runtime rand rand_chacha serde" ;;
+        bees_datasets) echo "bees_image rand rand_chacha serde" ;;
+        bees_core) echo "bees_image bees_features bees_index bees_energy bees_net \
+                         bees_submodular bees_datasets bees_telemetry rand rand_chacha serde" ;;
+        bees_bench) echo "bees_image bees_features bees_runtime bees_index bees_energy \
+                          bees_net bees_submodular bees_datasets bees_core bees_telemetry \
+                          rand rand_chacha" ;;
+        bees) echo "bees_runtime bees_telemetry bees_image bees_features bees_index \
+                    bees_energy bees_net bees_submodular bees_datasets bees_core" ;;
+        *)
+            echo "unknown crate $1" >&2
+            exit 1
+            ;;
+    esac
+}
+
+dev_deps_of() {
+    case "$1" in
+        bees_index) echo "bees_image rand rand_chacha" ;;
+        bees_submodular) echo "rand rand_chacha" ;;
+        bees_datasets) echo "bees_features" ;;
+        bees_net) echo "serde_json" ;;
+        bees_core) echo "serde_json" ;;
+        bees) echo "rand rand_chacha serde serde_json" ;;
+        *) echo "" ;;
+    esac
+}
+
+extern_flags() { # space-separated crate names -> --extern flags
+    local flags=()
+    for dep in $*; do
+        case "$dep" in
+            rand | rand_chacha | serde | serde_json)
+                flags+=(--extern "$dep=$STUBS/lib$dep.rlib")
+                ;;
+            *) flags+=(--extern "$dep=$LIBS/lib$dep.rlib") ;;
+        esac
+    done
+    echo "${flags[@]:-}"
+}
+
+CRATES="bees_runtime bees_telemetry bees_image bees_features bees_energy bees_net \
+        bees_submodular bees_index bees_datasets bees_core bees_bench bees"
+
+src_of() {
+    case "$1" in
+        bees) echo "src/lib.rs" ;;
+        *) echo "crates/${1#bees_}/src/lib.rs" ;;
+    esac
+}
+
+# ----------------------------------------------------------------- libs --
+for crate in $CRATES; do
+    say "lib $crate"
+    # shellcheck disable=SC2046
+    clippy-driver --edition $EDITION --crate-type lib --crate-name "$crate" \
+        $(extern_flags $(deps_of "$crate")) -L "$STUBS" -L "$LIBS" \
+        -D warnings "${CODEGEN[@]}" "$(src_of "$crate")" --out-dir "$LIBS"
+done
+
+# ----------------------------------------------------------------- bins --
+say "bench bins"
+BIN_EXTERNS=$(extern_flags bees_bench $(deps_of bees_bench))
+for bin in crates/bench/src/bin/*.rs; do
+    # shellcheck disable=SC2086
+    clippy-driver --edition $EDITION --crate-type bin \
+        --crate-name "bin_$(basename "$bin" .rs)" \
+        $BIN_EXTERNS -L "$STUBS" -L "$LIBS" \
+        -D warnings "${CODEGEN[@]}" "$bin" --out-dir "$BINS"
+done
+
+say "examples"
+for ex in examples/*.rs; do
+    # shellcheck disable=SC2086,SC2046
+    clippy-driver --edition $EDITION --crate-type bin \
+        --crate-name "ex_$(basename "$ex" .rs)" \
+        $(extern_flags bees) -L "$STUBS" -L "$LIBS" \
+        -D warnings "${CODEGEN[@]}" "$ex" --out-dir "$BINS"
+done
+
+if [ "$MODE" != test ]; then
+    say "offline check passed (mode=check)"
+    exit 0
+fi
+
+# ---------------------------------------------------------------- tests --
+# Unit tests (lib targets with #[cfg(test)]). proptest-based suites live in
+# tests/ directories and are excluded. Tests that require real serde_json
+# are skipped by name; everything else runs.
+skip_args() {
+    case "$1" in
+        # These serialize through serde_json, which the stub aborts on.
+        bees_core) echo "--skip builder_round_trips_the_defaults \
+                         --skip robustness_knobs_deserialize_with_defaults \
+                         --skip robustness_fields_default_when_absent" ;;
+        bees_net) echo "--skip policy_serializes_roundtrip" ;;
+        *) echo "" ;;
+    esac
+}
+
+for crate in $CRATES; do
+    say "unit tests $crate"
+    # shellcheck disable=SC2046
+    rustc --edition $EDITION --test --crate-name "${crate}_unit" \
+        $(extern_flags $(deps_of "$crate") $(dev_deps_of "$crate")) \
+        -L "$STUBS" -L "$LIBS" "${CODEGEN[@]}" "$(src_of "$crate")" \
+        -o "$TESTS/${crate}_unit"
+    # shellcheck disable=SC2046
+    "$TESTS/${crate}_unit" -q $(skip_args "$crate")
+done
+
+# Integration tests that don't need proptest. Each entry:
+#   path [-- harness-args]
+run_integration() {
+    local name=$1 path=$2
+    shift 2
+    say "integration $name"
+    # shellcheck disable=SC2046
+    rustc --edition $EDITION --test --crate-name "$name" \
+        $(extern_flags bees $(dev_deps_of bees)) \
+        -L "$STUBS" -L "$LIBS" "${CODEGEN[@]}" "$path" -o "$TESTS/$name"
+    "$TESTS/$name" -q "$@"
+}
+
+run_integration it_end_to_end tests/end_to_end.rs
+run_integration it_approximate tests/approximate_pipeline.rs
+# JSON round-trip tests need real serde_json; the deterministic-report
+# tests (including the fleet sweep) run here.
+run_integration it_determinism tests/determinism.rs \
+    --skip full_pipeline_is_identical_across_thread_counts \
+    --skip fault_injected_pipeline_is_identical_across_thread_counts \
+    --skip reports_serialize_and_roundtrip
+
+say "index integration tests"
+# shellcheck disable=SC2046
+for t in crates/index/tests/*.rs; do
+    name="idx_$(basename "$t" .rs)"
+    if grep -q "use proptest" "$t"; then
+        say "skip $name (proptest)"
+        continue
+    fi
+    rustc --edition $EDITION --test --crate-name "$name" \
+        $(extern_flags bees_index $(deps_of bees_index) $(dev_deps_of bees_index)) \
+        -L "$STUBS" -L "$LIBS" "${CODEGEN[@]}" "$t" -o "$TESTS/$name"
+    "$TESTS/$name" -q
+done
+
+say "offline check passed (mode=test)"

@@ -156,7 +156,7 @@ fn server_side_extraction_matches_client_side() {
     // similar view.
     use bees::core::{BeesConfig, Server};
     let config = BeesConfig::default();
-    let mut server = Server::new(&config);
+    let mut server = Server::try_new(&config).unwrap();
     let scene = Scene::new(50, SceneConfig::default());
     server.preload(&[scene.render(&ViewJitter::identity())]);
     let other_view = scene.render(&ViewJitter {

@@ -25,7 +25,7 @@ fn full_upload_run_is_deterministic() {
         config.trace = BandwidthTrace::constant(200_000.0).unwrap();
         let data = disaster_batch(99, 10, 2, 0.25, small_scene());
         let scheme = Bees::adaptive(&config);
-        let mut server = Server::new(&config);
+        let mut server = Server::try_new(&config).unwrap();
         scheme.preload_server(&mut server, &data.server_preload);
         let mut client = Client::try_new(0, &config).unwrap();
         scheme
@@ -49,7 +49,7 @@ fn full_pipeline_is_identical_across_thread_counts() {
         config.trace = BandwidthTrace::constant(200_000.0).unwrap();
         let data = disaster_batch(42, 10, 2, 0.25, small_scene());
         let scheme = Bees::adaptive(&config);
-        let mut server = Server::new(&config);
+        let mut server = Server::try_new(&config).unwrap();
         scheme.preload_server(&mut server, &data.server_preload);
         let mut client = Client::try_new(0, &config).unwrap();
         let report = scheme
@@ -81,7 +81,7 @@ fn fault_injected_pipeline_is_identical_across_thread_counts() {
         config.battery = bees::energy::Battery::from_joules(1e7);
         let data = disaster_batch(42, 10, 2, 0.25, small_scene());
         let scheme = Bees::adaptive(&config);
-        let mut server = Server::new(&config);
+        let mut server = Server::try_new(&config).unwrap();
         scheme.preload_server(&mut server, &data.server_preload);
         let mut client = Client::try_new(0, &config).unwrap();
         let report = scheme
@@ -113,7 +113,7 @@ fn telemetry_trace_is_byte_identical_across_thread_counts() {
         config.trace = BandwidthTrace::constant(200_000.0).unwrap();
         let data = disaster_batch(42, 10, 2, 0.25, small_scene());
         let scheme = Bees::adaptive(&config);
-        let mut server = Server::new(&config);
+        let mut server = Server::try_new(&config).unwrap();
         scheme.preload_server(&mut server, &data.server_preload);
         let mut client = Client::try_new(0, &config).unwrap();
         let buf = SharedBuf::new();
@@ -177,7 +177,7 @@ fn reports_serialize_and_roundtrip() {
     config.trace = BandwidthTrace::constant(200_000.0).unwrap();
     let data = disaster_batch(7, 6, 1, 0.25, small_scene());
     let scheme = Bees::adaptive(&config);
-    let mut server = Server::new(&config);
+    let mut server = Server::try_new(&config).unwrap();
     scheme.preload_server(&mut server, &data.server_preload);
     let mut client = Client::try_new(0, &config).unwrap();
     let report = scheme
@@ -201,4 +201,49 @@ fn config_is_cloneable_and_debuggable() {
     let dbg = format!("{cloned:?}");
     assert!(dbg.contains("BeesConfig"));
     assert!(dbg.contains("edr"));
+}
+
+#[test]
+fn fleet_report_is_identical_across_threads_and_shards() {
+    // The fleet session's acceptance property: the hand-rolled JSON report
+    // is byte-identical across worker counts (1/2/8) *and* server shard
+    // counts (1/2/4). Uses `FleetReport::to_json` (not serde_json) so the
+    // comparison covers the exact bytes the report promises.
+    use bees::core::sessions::{run_fleet, FleetConfig};
+    use bees::core::IndexBackend;
+
+    let fleet = FleetConfig {
+        n_devices: 3,
+        rounds: 2,
+        group_size: 4,
+        shared_per_group: 2,
+        interval_s: 30.0,
+        scene: small_scene(),
+        seed: 0xF1EE7,
+    };
+    let run = |shards: usize| -> String {
+        let config = BeesConfig {
+            trace: BandwidthTrace::constant(200_000.0).unwrap(),
+            index_backend: IndexBackend::Mih,
+            server_shards: shards,
+            ..BeesConfig::default()
+        };
+        run_fleet(&Bees::adaptive(&config), &config, &fleet)
+            .unwrap()
+            .to_json()
+    };
+
+    bees::runtime::set_threads(1);
+    let baseline = run(1);
+    for threads in [1usize, 2, 8] {
+        for shards in [1usize, 2, 4] {
+            bees::runtime::set_threads(threads);
+            let report = run(shards);
+            bees::runtime::set_threads(0);
+            assert_eq!(
+                baseline, report,
+                "fleet report differs at {threads} threads, {shards} shards"
+            );
+        }
+    }
 }

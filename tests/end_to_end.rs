@@ -47,7 +47,7 @@ fn every_scheme_conserves_the_batch() {
     let config = test_config();
     let data = workload(1);
     for scheme in all_schemes(&config) {
-        let mut server = Server::new(&config);
+        let mut server = Server::try_new(&config).unwrap();
         scheme.preload_server(&mut server, &data.server_preload);
         let mut client = Client::try_new(0, &config).unwrap();
         let r = scheme
@@ -72,7 +72,7 @@ fn battery_drain_matches_ledger() {
     let config = test_config();
     let data = workload(2);
     for scheme in all_schemes(&config) {
-        let mut server = Server::new(&config);
+        let mut server = Server::try_new(&config).unwrap();
         scheme.preload_server(&mut server, &data.server_preload);
         let mut client = Client::try_new(0, &config).unwrap();
         let before = client.battery().remaining_joules();
@@ -98,7 +98,7 @@ fn uploaded_features_enable_future_deduplication() {
     let config = test_config();
     let data = workload(3);
     let scheme = Bees::adaptive(&config);
-    let mut server = Server::new(&config);
+    let mut server = Server::try_new(&config).unwrap();
     let mut phone_a = Client::try_new(0, &config).unwrap();
     let ra = scheme
         .upload(&mut BatchCtx::new(&mut phone_a, &mut server, &data.batch))
@@ -121,7 +121,7 @@ fn bees_beats_direct_on_every_headline_metric() {
     let config = test_config();
     let data = workload(4);
 
-    let mut server_d = Server::new(&config);
+    let mut server_d = Server::try_new(&config).unwrap();
     let mut client_d = Client::try_new(0, &config).unwrap();
     let rd = DirectUpload::new(&config)
         .upload(&mut BatchCtx::new(
@@ -132,7 +132,7 @@ fn bees_beats_direct_on_every_headline_metric() {
         .unwrap();
 
     let scheme = Bees::adaptive(&config);
-    let mut server_b = Server::new(&config);
+    let mut server_b = Server::try_new(&config).unwrap();
     scheme.preload_server(&mut server_b, &data.server_preload);
     let mut client_b = Client::try_new(0, &config).unwrap();
     let rb = scheme
@@ -155,7 +155,7 @@ fn in_batch_duplicates_are_eliminated_without_server_knowledge() {
     let config = test_config();
     let data = disaster_batch(5, 10, 3, 0.0, small_scene());
     let scheme = Bees::adaptive(&config);
-    let mut server = Server::new(&config);
+    let mut server = Server::try_new(&config).unwrap();
     let mut client = Client::try_new(0, &config).unwrap();
     let r = scheme
         .upload(&mut BatchCtx::new(&mut client, &mut server, &data.batch))
@@ -168,7 +168,7 @@ fn in_batch_duplicates_are_eliminated_without_server_knowledge() {
     );
     // MRC cannot catch them.
     let mrc = Mrc::new(&config);
-    let mut server2 = Server::new(&config);
+    let mut server2 = Server::try_new(&config).unwrap();
     let mut client2 = Client::try_new(0, &config).unwrap();
     let rm = mrc
         .upload(&mut BatchCtx::new(&mut client2, &mut server2, &data.batch))
@@ -183,7 +183,7 @@ fn fluctuating_trace_still_completes() {
     config.trace = BandwidthTrace::fluctuating(9, 64_000.0, 512_000.0, 2.0).unwrap();
     let data = workload(6);
     let scheme = Bees::adaptive(&config);
-    let mut server = Server::new(&config);
+    let mut server = Server::try_new(&config).unwrap();
     let mut client = Client::try_new(0, &config).unwrap();
     let r = scheme
         .upload(&mut BatchCtx::new(&mut client, &mut server, &data.batch))
@@ -201,7 +201,7 @@ fn dead_network_surfaces_as_an_error_not_a_hang() {
     config.trace = BandwidthTrace::constant(0.0).unwrap();
     let data = disaster_batch(8, 4, 0, 0.0, small_scene());
     for scheme in all_schemes(&config) {
-        let mut server = Server::new(&config);
+        let mut server = Server::try_new(&config).unwrap();
         let mut client = Client::try_new(0, &config).unwrap();
         let result = scheme.upload(&mut BatchCtx::new(&mut client, &mut server, &data.batch));
         assert!(
@@ -216,7 +216,7 @@ fn dead_network_surfaces_as_an_error_not_a_hang() {
 fn energy_categories_are_scheme_appropriate() {
     let config = test_config();
     let data = workload(7);
-    let mut server = Server::new(&config);
+    let mut server = Server::try_new(&config).unwrap();
     let mut client = Client::try_new(0, &config).unwrap();
     let rd = DirectUpload::new(&config)
         .upload(&mut BatchCtx::new(&mut client, &mut server, &data.batch))
@@ -225,7 +225,7 @@ fn energy_categories_are_scheme_appropriate() {
     assert_eq!(rd.energy.get(EnergyCategory::Compression), 0.0);
 
     let scheme = Bees::adaptive(&config);
-    let mut server2 = Server::new(&config);
+    let mut server2 = Server::try_new(&config).unwrap();
     let mut client2 = Client::try_new(0, &config).unwrap();
     let rb = scheme
         .upload(&mut BatchCtx::new(&mut client2, &mut server2, &data.batch))
