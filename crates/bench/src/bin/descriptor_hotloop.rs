@@ -1,0 +1,7 @@
+//! AoS vs SoA descriptor hot-loop sweep; `--json-out` emits the
+//! perf-trajectory metrics compared by `scripts/perf_check.py`.
+use bees_bench::args::ExpArgs;
+
+fn main() {
+    bees_bench::experiments::descriptor_hotloop::run(&ExpArgs::from_env()).print();
+}

@@ -1,0 +1,7 @@
+//! Index backend query-throughput sweep (warmed scratch); `--json-out`
+//! emits the perf-trajectory metrics compared by `scripts/perf_check.py`.
+use bees_bench::args::ExpArgs;
+
+fn main() {
+    bees_bench::experiments::query_throughput::run(&ExpArgs::from_env()).print();
+}

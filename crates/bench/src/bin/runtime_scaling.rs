@@ -1,0 +1,7 @@
+//! Matcher throughput across `bees_runtime` thread counts; `--json-out`
+//! emits the perf-trajectory metrics compared by `scripts/perf_check.py`.
+use bees_bench::args::ExpArgs;
+
+fn main() {
+    bees_bench::experiments::runtime_scaling::run(&ExpArgs::from_env()).print();
+}

@@ -1,0 +1,270 @@
+//! AoS vs SoA descriptor hot-loop throughput sweep.
+//!
+//! The one loop every redundancy decision bottoms out in: XOR + popcount a
+//! 256-bit query descriptor against a stored set. This bench sweeps the
+//! stored-set size and measures three implementations of the per-query
+//! nearest-neighbor scan:
+//!
+//! * **aos** — the pre-SoA reference: walk `Vec<BinaryDescriptor>` objects
+//!   calling `hamming_distance` per pair;
+//! * **soa_batched** — [`DescriptorBlock::distances_into`]: one linear
+//!   sweep over the flat word array filling a distance row, then a min
+//!   scan;
+//! * **soa_pruned** — [`DescriptorBlock::nearest_within`]: the flat sweep
+//!   with partial-distance pruning, as the matcher actually runs it.
+//!
+//! All three must find identical nearest neighbors (asserted via a running
+//! checksum); only throughput may differ. Throughput is reported in
+//! million descriptor pairs per second, where the pair count is the full
+//! `n_queries × n` panel — so pruning shows up as *effective* throughput.
+//! The acceptance bar (ISSUE 6): `soa_batched ≥ 2× aos` at `n ≥ 10_000`,
+//! recorded in `BENCH_baseline.json`.
+
+use crate::args::ExpArgs;
+use crate::perf::{write_json_lines, Metric};
+use crate::table::Table;
+use bees_features::{BinaryDescriptor, DescriptorBlock};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// One stored-set size's measurements.
+#[derive(Debug, Clone)]
+pub struct HotloopCell {
+    /// Stored descriptors scanned per query.
+    pub n: usize,
+    /// Query descriptors per repetition.
+    pub n_queries: usize,
+    /// Timed repetitions of the full query panel.
+    pub reps: usize,
+    /// AoS reference throughput (million pairs per second).
+    pub aos_mpairs_per_s: f64,
+    /// SoA batched-row throughput.
+    pub soa_batched_mpairs_per_s: f64,
+    /// SoA pruned-scan effective throughput.
+    pub soa_pruned_mpairs_per_s: f64,
+}
+
+impl HotloopCell {
+    /// SoA batched speedup over the AoS reference.
+    pub fn speedup_batched(&self) -> f64 {
+        self.soa_batched_mpairs_per_s / self.aos_mpairs_per_s
+    }
+
+    /// SoA pruned speedup over the AoS reference.
+    pub fn speedup_pruned(&self) -> f64 {
+        self.soa_pruned_mpairs_per_s / self.aos_mpairs_per_s
+    }
+}
+
+/// Full sweep result.
+#[derive(Debug, Clone)]
+pub struct HotloopResult {
+    /// One cell per stored-set size, ascending.
+    pub cells: Vec<HotloopCell>,
+}
+
+impl HotloopResult {
+    /// The perf-trajectory metric lines for `--json-out`.
+    pub fn metrics(&self) -> Vec<Metric> {
+        let mut out = Vec::new();
+        for c in &self.cells {
+            let case = format!("n{}", c.n);
+            for (name, value) in [
+                ("aos_mpairs_per_s", c.aos_mpairs_per_s),
+                ("soa_batched_mpairs_per_s", c.soa_batched_mpairs_per_s),
+                ("soa_pruned_mpairs_per_s", c.soa_pruned_mpairs_per_s),
+                ("speedup_batched", c.speedup_batched()),
+                ("speedup_pruned", c.speedup_pruned()),
+            ] {
+                out.push(Metric::new("descriptor_hotloop", &case, name, value));
+            }
+        }
+        out
+    }
+
+    /// Prints the sweep table.
+    pub fn print(&self) {
+        println!("\n== Descriptor hot loop: AoS vs SoA (Mpairs/s) ==");
+        let mut t = Table::new(vec![
+            "n",
+            "queries",
+            "aos",
+            "soa",
+            "pruned",
+            "soa/aos",
+            "pruned/aos",
+        ]);
+        for c in &self.cells {
+            t.row(vec![
+                c.n.to_string(),
+                c.n_queries.to_string(),
+                format!("{:.0}", c.aos_mpairs_per_s),
+                format!("{:.0}", c.soa_batched_mpairs_per_s),
+                format!("{:.0}", c.soa_pruned_mpairs_per_s),
+                format!("{:.2}x", c.speedup_batched()),
+                format!("{:.2}x", c.speedup_pruned()),
+            ]);
+        }
+        t.print();
+    }
+}
+
+fn random_descs(rng: &mut ChaCha8Rng, n: usize) -> Vec<BinaryDescriptor> {
+    (0..n)
+        .map(|_| {
+            let mut bytes = [0u8; 32];
+            rng.fill(&mut bytes);
+            BinaryDescriptor::from_bytes(bytes)
+        })
+        .collect()
+}
+
+/// Mixes one nearest-neighbor result into a running checksum.
+fn mix(check: u64, best: (usize, u32)) -> u64 {
+    check
+        .wrapping_mul(0x100000001B3)
+        .wrapping_add(best.0 as u64)
+        .wrapping_mul(0x100000001B3)
+        .wrapping_add(best.1 as u64)
+}
+
+fn measure(n: usize, n_queries: usize, reps: usize, seed: u64) -> HotloopCell {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let descs = random_descs(&mut rng, n);
+    let queries = random_descs(&mut rng, n_queries);
+    let block = DescriptorBlock::from_descriptors(&descs);
+    let query_words: Vec<[u64; 4]> = queries
+        .iter()
+        .map(|q| [q.word(0), q.word(1), q.word(2), q.word(3)])
+        .collect();
+    let pairs = (n * n_queries * reps) as f64 / 1e6;
+
+    // AoS reference: per-object hamming_distance scan (1 warmup rep).
+    let mut check_aos = 0u64;
+    let mut elapsed_aos = 0.0;
+    for rep in 0..=reps {
+        let t = Instant::now();
+        let mut check = 0u64;
+        for q in &queries {
+            let mut best = (usize::MAX, u32::MAX);
+            for (j, d) in descs.iter().enumerate() {
+                let dist = q.hamming_distance(d);
+                if dist < best.1 {
+                    best = (j, dist);
+                }
+            }
+            check = mix(check, best);
+        }
+        if rep > 0 {
+            elapsed_aos += t.elapsed().as_secs_f64();
+        }
+        check_aos = black_box(check);
+    }
+
+    // SoA batched row + min scan.
+    let mut check_soa = 0u64;
+    let mut elapsed_soa = 0.0;
+    let mut row = Vec::new();
+    for rep in 0..=reps {
+        let t = Instant::now();
+        let mut check = 0u64;
+        for qw in &query_words {
+            block.distances_into(*qw, &mut row);
+            let mut best = (usize::MAX, u32::MAX);
+            for (j, &d) in row.iter().enumerate() {
+                if d < best.1 {
+                    best = (j, d);
+                }
+            }
+            check = mix(check, best);
+        }
+        if rep > 0 {
+            elapsed_soa += t.elapsed().as_secs_f64();
+        }
+        check_soa = black_box(check);
+    }
+
+    // SoA pruned nearest (cap 256 accepts everything, like the reference).
+    let mut check_pruned = 0u64;
+    let mut elapsed_pruned = 0.0;
+    for rep in 0..=reps {
+        let t = Instant::now();
+        let mut check = 0u64;
+        for qw in &query_words {
+            let best = block
+                .nearest_within(*qw, BinaryDescriptor::BITS as u32)
+                .unwrap_or((usize::MAX, u32::MAX));
+            check = mix(check, best);
+        }
+        if rep > 0 {
+            elapsed_pruned += t.elapsed().as_secs_f64();
+        }
+        check_pruned = black_box(check);
+    }
+
+    assert_eq!(
+        check_aos, check_soa,
+        "SoA batched nearest diverged from AoS"
+    );
+    assert_eq!(check_aos, check_pruned, "pruned nearest diverged from AoS");
+
+    HotloopCell {
+        n,
+        n_queries,
+        reps,
+        aos_mpairs_per_s: pairs / elapsed_aos.max(1e-12),
+        soa_batched_mpairs_per_s: pairs / elapsed_soa.max(1e-12),
+        soa_pruned_mpairs_per_s: pairs / elapsed_pruned.max(1e-12),
+    }
+}
+
+/// Runs the stored-set-size sweep.
+pub fn run(args: &ExpArgs) -> HotloopResult {
+    // The acceptance criterion lives at n = 10k; the small sizes show where
+    // SoA batching starts paying.
+    let sweep = [args.scaled(1_000, 200), args.scaled(10_000, 1_000)];
+    let n_queries = args.scaled(64, 16);
+    let cells = sweep
+        .iter()
+        .enumerate()
+        .map(|(i, &n)| {
+            // Keep each timed section around the same pair count so small
+            // sizes don't measure timer noise.
+            let reps = (20_000_000 / (n * n_queries)).clamp(1, 50);
+            measure(n, n_queries, reps, args.seed.wrapping_add(i as u64))
+        })
+        .collect();
+    let result = HotloopResult { cells };
+    if let Some(path) = &args.json_out {
+        write_json_lines(path, &result.metrics());
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_runs_and_paths_agree() {
+        // The checksum asserts inside `measure` are the real test: all
+        // three scan implementations must find identical nearest
+        // neighbors. Tiny sizes keep this fast under the offline harness.
+        let args = ExpArgs {
+            scale: 0.01,
+            quick: true,
+            seed: 42,
+            ..ExpArgs::default()
+        };
+        let r = run(&args);
+        assert_eq!(r.cells.len(), 2);
+        for c in &r.cells {
+            assert!(c.aos_mpairs_per_s > 0.0, "cell {c:?}");
+            assert!(c.soa_batched_mpairs_per_s > 0.0, "cell {c:?}");
+            assert!(c.soa_pruned_mpairs_per_s > 0.0, "cell {c:?}");
+        }
+        assert_eq!(r.metrics().len(), 10);
+    }
+}

@@ -71,8 +71,7 @@ pub fn run(args: &ExpArgs) -> Fig11Result {
     let mut points = Vec::new();
     for kbps in [128u32, 256, 512] {
         let config = BeesConfig {
-            trace: BandwidthTrace::constant(kbps as f64 * 1000.0)
-                .expect("constant trace is valid"),
+            trace: BandwidthTrace::constant(kbps as f64 * 1000.0).expect("constant trace is valid"),
             ..BeesConfig::default()
         };
         let schemes: Vec<Box<dyn UploadScheme>> = [

@@ -2,6 +2,7 @@
 
 pub mod ablation_ssmm;
 pub mod calibrate;
+pub mod descriptor_hotloop;
 pub mod fault_resilience;
 pub mod fig11_delay;
 pub mod fig12_coverage;
@@ -13,7 +14,9 @@ pub mod fig8_adaptation;
 pub mod fig9_lifetime;
 pub mod fleet_scaling;
 pub mod global_vs_local;
+pub mod query_throughput;
 pub mod redundancy_sweep;
+pub mod runtime_scaling;
 pub mod table1_space;
 pub mod telemetry_report;
 

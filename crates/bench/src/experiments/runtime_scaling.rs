@@ -1,0 +1,164 @@
+//! Deterministic-runtime scaling: matcher throughput across thread counts.
+//!
+//! Runs the block matcher's row fan-out (the exact shape
+//! `match_binary_blocks` uses) under `bees_runtime` thread counts 1/2/4/8
+//! and reports throughput plus speedup over the single-thread run. The
+//! correctness half of the story — results byte-identical at every thread
+//! count — is asserted on every run, not just in the tests: the fixed
+//! chunking of the deterministic runtime means thread count may only move
+//! the wall clock.
+
+use crate::args::ExpArgs;
+use crate::perf::{write_json_lines, Metric};
+use crate::table::Table;
+use bees_features::matcher::{match_binary_blocks, MatchConfig};
+use bees_features::{BinaryDescriptor, DescriptorBlock};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// One thread count's measurement.
+#[derive(Debug, Clone)]
+pub struct RuntimeCell {
+    /// `bees_runtime` thread count.
+    pub threads: usize,
+    /// Query rows matched per second.
+    pub rows_per_s: f64,
+    /// Speedup over the 1-thread cell.
+    pub speedup: f64,
+}
+
+/// Full thread sweep.
+#[derive(Debug, Clone)]
+pub struct RuntimeScalingResult {
+    /// One cell per thread count, ascending.
+    pub cells: Vec<RuntimeCell>,
+    /// Whether every thread count produced byte-identical match lists.
+    pub deterministic: bool,
+}
+
+impl RuntimeScalingResult {
+    /// The perf-trajectory metric lines for `--json-out`.
+    pub fn metrics(&self) -> Vec<Metric> {
+        let mut out = Vec::new();
+        for c in &self.cells {
+            let case = format!("threads{}", c.threads);
+            out.push(Metric::new(
+                "runtime_scaling",
+                &case,
+                "rows_per_s",
+                c.rows_per_s,
+            ));
+            out.push(Metric::new("runtime_scaling", &case, "speedup", c.speedup));
+        }
+        out
+    }
+
+    /// Prints the sweep table.
+    pub fn print(&self) {
+        println!("\n== Runtime scaling: matcher rows/s by thread count ==");
+        let mut t = Table::new(vec!["threads", "rows/s", "speedup"]);
+        for c in &self.cells {
+            t.row(vec![
+                c.threads.to_string(),
+                format!("{:.0}", c.rows_per_s),
+                format!("{:.2}x", c.speedup),
+            ]);
+        }
+        t.print();
+        println!("match lists byte-identical across thread counts: {}", {
+            self.deterministic
+        });
+    }
+}
+
+fn random_block(rng: &mut ChaCha8Rng, n: usize) -> DescriptorBlock {
+    let descs: Vec<BinaryDescriptor> = (0..n)
+        .map(|_| {
+            let mut bytes = [0u8; 32];
+            rng.fill(&mut bytes);
+            BinaryDescriptor::from_bytes(bytes)
+        })
+        .collect();
+    DescriptorBlock::from_descriptors(&descs)
+}
+
+/// Runs the thread sweep. Restores the ambient thread count before
+/// returning (panic-safe enough for a bench binary).
+pub fn run(args: &ExpArgs) -> RuntimeScalingResult {
+    let n_query = args.scaled(256, 32);
+    let n_train = args.scaled(2_000, 200);
+    let reps = if args.quick { 1 } else { 3 };
+    let mut rng = ChaCha8Rng::seed_from_u64(args.seed);
+    let query = random_block(&mut rng, n_query);
+    let train = random_block(&mut rng, n_train);
+    let config = MatchConfig::default();
+
+    let mut cells: Vec<RuntimeCell> = Vec::new();
+    let mut reference: Option<Vec<bees_features::matcher::FeatureMatch>> = None;
+    let mut deterministic = true;
+    for threads in [1usize, 2, 4, 8] {
+        bees_runtime::set_threads(threads);
+        // Warmup + correctness capture.
+        let matches = match_binary_blocks(&query, &train, &config);
+        match &reference {
+            None => reference = Some(matches),
+            Some(r) => deterministic &= *r == matches,
+        }
+        let t = Instant::now();
+        for _ in 0..reps {
+            black_box(match_binary_blocks(&query, &train, &config));
+        }
+        let elapsed = t.elapsed().as_secs_f64();
+        let rows_per_s = (n_query * reps) as f64 / elapsed.max(1e-12);
+        let speedup = cells
+            .first()
+            .map(|c: &RuntimeCell| rows_per_s / c.rows_per_s)
+            .unwrap_or(1.0);
+        cells.push(RuntimeCell {
+            threads,
+            rows_per_s,
+            speedup,
+        });
+    }
+    bees_runtime::set_threads(0);
+    assert!(
+        deterministic,
+        "thread count changed the match list — determinism violated"
+    );
+
+    let result = RuntimeScalingResult {
+        cells,
+        deterministic,
+    };
+    if let Some(path) = &args.json_out {
+        write_json_lines(path, &result.metrics());
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thread_sweep_is_deterministic() {
+        let args = ExpArgs {
+            scale: 0.05,
+            quick: true,
+            seed: 5,
+            ..ExpArgs::default()
+        };
+        // `run` itself asserts byte-identical match lists per thread count.
+        let r = run(&args);
+        assert!(r.deterministic);
+        assert_eq!(r.cells.len(), 4);
+        assert_eq!(r.cells[0].threads, 1);
+        assert!((r.cells[0].speedup - 1.0).abs() < 1e-9);
+        for c in &r.cells {
+            assert!(c.rows_per_s > 0.0, "cell {c:?}");
+        }
+        assert_eq!(r.metrics().len(), 8);
+    }
+}

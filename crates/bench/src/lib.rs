@@ -16,4 +16,5 @@
 
 pub mod args;
 pub mod experiments;
+pub mod perf;
 pub mod table;

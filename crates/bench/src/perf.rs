@@ -1,0 +1,98 @@
+//! The perf-trajectory metric schema shared by the throughput benches.
+//!
+//! `descriptor_hotloop`, `query_throughput`, and `runtime_scaling` all emit
+//! flat JSON lines of the form
+//!
+//! ```json
+//! {"bench":"descriptor_hotloop","case":"n10000","metric":"soa_batched_mpairs_per_s","value":512.3}
+//! ```
+//!
+//! via `--json-out`. Every metric is throughput-shaped (**higher is
+//! better**) so `scripts/perf_check.py` can compare a fresh run against the
+//! checked-in `BENCH_baseline.json` with a single tolerance rule. See
+//! `DESIGN.md` §10 for how to read and update the baseline.
+
+use std::path::Path;
+
+/// One measured value: `(bench, case, metric) -> value`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Metric {
+    /// Bench binary name (`descriptor_hotloop`, ...).
+    pub bench: String,
+    /// Workload case within the bench (`n10000`, `mih_sharded4`, ...).
+    pub case: String,
+    /// Metric name; by convention ends in a unit suffix and is always
+    /// higher-is-better (`*_per_s`, `speedup_*`).
+    pub metric: String,
+    /// The measured value.
+    pub value: f64,
+}
+
+impl Metric {
+    /// Builds a metric line.
+    pub fn new(
+        bench: impl Into<String>,
+        case: impl Into<String>,
+        metric: impl Into<String>,
+        value: f64,
+    ) -> Self {
+        Metric {
+            bench: bench.into(),
+            case: case.into(),
+            metric: metric.into(),
+            value,
+        }
+    }
+
+    /// One JSON object (no trailing newline). Hand-rolled like the fleet
+    /// report's writer — the bench crate carries no serde dependency.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"bench\":\"{}\",\"case\":\"{}\",\"metric\":\"{}\",\"value\":{:.6}}}",
+            self.bench, self.case, self.metric, self.value
+        )
+    }
+}
+
+/// Renders metrics as JSON lines.
+pub fn to_json_lines(metrics: &[Metric]) -> String {
+    let mut out = String::new();
+    for m in metrics {
+        out.push_str(&m.to_json());
+        out.push('\n');
+    }
+    out
+}
+
+/// Writes metrics as JSON lines to `path`, warning (not failing) on IO
+/// errors to match the experiment binaries' `--json-out` behavior.
+pub fn write_json_lines(path: &Path, metrics: &[Metric]) {
+    if let Err(e) = std::fs::write(path, to_json_lines(metrics)) {
+        eprintln!("warning: could not write {}: {e}", path.display());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_shape_is_flat_and_stable() {
+        let m = Metric::new("descriptor_hotloop", "n1000", "aos_mpairs_per_s", 123.5);
+        assert_eq!(
+            m.to_json(),
+            "{\"bench\":\"descriptor_hotloop\",\"case\":\"n1000\",\
+             \"metric\":\"aos_mpairs_per_s\",\"value\":123.500000}"
+        );
+    }
+
+    #[test]
+    fn json_lines_end_with_newline() {
+        let lines = to_json_lines(&[
+            Metric::new("a", "b", "c", 1.0),
+            Metric::new("d", "e", "f", 2.0),
+        ]);
+        assert_eq!(lines.lines().count(), 2);
+        assert!(lines.ends_with('\n'));
+    }
+}

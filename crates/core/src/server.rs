@@ -13,7 +13,9 @@ use bees_features::global::ColorHistogram;
 use bees_features::orb::Orb;
 use bees_features::{FeatureExtractor, ImageFeatures};
 use bees_image::RgbImage;
-use bees_index::{FeatureIndex, ImageId, LinearIndex, MihIndex, Query, QueryHit, ShardedIndex};
+use bees_index::{
+    FeatureIndex, ImageId, LinearIndex, MihIndex, Query, QueryHit, QueryScratch, ShardedIndex,
+};
 use bees_telemetry::{names, Telemetry};
 use std::collections::BTreeMap;
 
@@ -25,6 +27,10 @@ use std::collections::BTreeMap;
 /// is excluded from the delay metric.
 pub struct Server {
     index: Box<dyn FeatureIndex>,
+    /// Recycled per-query buffers (merge heaps, candidate lists, per-shard
+    /// children) threaded through every feature query; contents never
+    /// influence results.
+    scratch: QueryScratch,
     n_shards: usize,
     /// Features ingested since the last query; committed to all shards in
     /// one parallel `insert_batch` when the next query arrives.
@@ -70,6 +76,7 @@ impl Server {
         config.validate()?;
         Ok(Server {
             index: build_index(config),
+            scratch: QueryScratch::new(),
             n_shards: config.server_shards,
             pending: Vec::new(),
             orb: Orb::new(config.orb),
@@ -165,7 +172,11 @@ impl Server {
     /// to the queried features. Commits the pending epoch first.
     pub fn query_max_similarity(&mut self, features: &ImageFeatures) -> Option<QueryHit> {
         self.commit_epoch();
-        let hit = self.index.query(&Query::new(features)).into_iter().next();
+        let hit = self
+            .index
+            .query_with_scratch(&Query::new(features), &mut self.scratch)
+            .into_iter()
+            .next();
         self.queries_served += 1;
         self.telemetry
             .event(names::SRV_QUERY, 0.0)
@@ -186,7 +197,8 @@ impl Server {
     pub fn query_top_k(&mut self, features: &ImageFeatures, k: usize) -> Vec<QueryHit> {
         self.commit_epoch();
         self.queries_served += 1;
-        self.index.query(&Query::top_k(features, k))
+        self.index
+            .query_with_scratch(&Query::top_k(features, k), &mut self.scratch)
     }
 
     /// Ingests an uploaded image: records the payload size and stages the

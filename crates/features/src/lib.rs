@@ -21,6 +21,8 @@
 //! * [`pca`] — PCA-SIFT: gradient patches projected to 36 dimensions with a
 //!   from-scratch Jacobi eigensolver ([`math`]),
 //! * [`matcher`] — brute-force Hamming / L2 matching with cross-checking,
+//! * [`block`] — flat SoA descriptor storage ([`DescriptorBlock`]) feeding
+//!   the batched popcount hot loops,
 //! * [`similarity`] — the paper's Jaccard set similarity (Eq. 2).
 //!
 //! # Examples
@@ -38,6 +40,7 @@
 //! assert!(!features.is_empty());
 //! ```
 
+pub mod block;
 pub mod brief;
 pub mod descriptor;
 pub mod extractor;
@@ -54,6 +57,7 @@ pub mod pyramid;
 pub mod sift;
 pub mod similarity;
 
+pub use block::DescriptorBlock;
 pub use descriptor::{BinaryDescriptor, Descriptors, ImageFeatures, VectorDescriptor};
 pub use extractor::{ExtractionStats, ExtractorKind, FeatureExtractor};
 pub use keypoint::Keypoint;

@@ -6,6 +6,7 @@
 //! plus an absolute distance cut. Cross-checking (mutual nearest neighbors)
 //! removes most one-sided false matches.
 
+use crate::block::DescriptorBlock;
 use crate::descriptor::{BinaryDescriptor, Descriptors, VectorDescriptor};
 use bees_runtime::Runtime;
 use serde::{Deserialize, Serialize};
@@ -53,6 +54,12 @@ impl Default for MatchConfig {
 /// (ties broken toward the lower train index, so the result is
 /// deterministic). The Lowe ratio test is skipped for binary sets — with
 /// 256-bit descriptors the absolute threshold plus cross-check is standard.
+///
+/// Internally converts both sets to [`DescriptorBlock`] SoA storage
+/// (`O(n + m)`, negligible next to the `O(n·m)` scan) and runs the pruned
+/// batch kernels of [`match_binary_blocks`]. Callers that keep descriptors
+/// around — the feature index, the SSMM stage — should convert once and
+/// call [`match_binary_blocks`] directly instead.
 pub fn match_binary(
     query: &[BinaryDescriptor],
     train: &[BinaryDescriptor],
@@ -61,9 +68,69 @@ pub fn match_binary(
     if query.is_empty() || train.is_empty() {
         return Vec::new();
     }
-    // Each query row's scan over the train set is independent; fan the rows
-    // out over the runtime (results come back in row order, so the match
-    // list is identical to the sequential scan).
+    match_binary_blocks(
+        &DescriptorBlock::from_descriptors(query),
+        &DescriptorBlock::from_descriptors(train),
+        config,
+    )
+}
+
+/// [`match_binary`] over pre-built SoA blocks — the descriptor hot loop.
+///
+/// Each query row's scan over the train block is independent; rows fan out
+/// over the runtime (results come back in row order, so the match list is
+/// identical to the sequential scan at any thread count). Per row the scan
+/// runs [`DescriptorBlock::nearest_within`] with the bound
+/// `min(best_so_far, max_hamming)`: candidates whose partial distance over
+/// the first two words already exceeds the bound are skipped without
+/// popcounting the rest (partial-distance pruning).
+///
+/// Pruning cannot change the emitted matches. A forward row whose true
+/// nearest neighbor is farther than `max_hamming` is filtered either way;
+/// and every backward row consulted by cross-checking belongs to a train
+/// descriptor with a forward partner within `max_hamming`, so its true
+/// nearest lies within the bound and the pruned scan is exact there. The
+/// property suite pins this against [`match_binary_exhaustive`].
+pub fn match_binary_blocks(
+    query: &DescriptorBlock,
+    train: &DescriptorBlock,
+    config: &MatchConfig,
+) -> Vec<FeatureMatch> {
+    if query.is_empty() || train.is_empty() {
+        return Vec::new();
+    }
+    let rt = Runtime::current();
+    let cap = config.max_hamming.min(BinaryDescriptor::BITS as u32);
+    let nearest = |from: &DescriptorBlock, to: &DescriptorBlock| -> Vec<(usize, u32)> {
+        rt.par_map_range(from.len(), |i| {
+            to.nearest_within(from.descriptor_words(i), cap)
+                .unwrap_or((usize::MAX, u32::MAX))
+        })
+    };
+    let forward = nearest(query, train);
+    let backward = if config.cross_check {
+        nearest(train, query)
+    } else {
+        Vec::new()
+    };
+    collect_binary_matches(&forward, &backward, config)
+}
+
+/// Unpruned AoS reference implementation of [`match_binary`].
+///
+/// Scans `Vec<BinaryDescriptor>` objects per pair exactly as the matcher
+/// did before the SoA restructuring. Kept (not deprecated) as the ground
+/// truth for the parity tests and as the baseline side of the
+/// `descriptor_hotloop` bench; production paths should use
+/// [`match_binary`] / [`match_binary_blocks`].
+pub fn match_binary_exhaustive(
+    query: &[BinaryDescriptor],
+    train: &[BinaryDescriptor],
+    config: &MatchConfig,
+) -> Vec<FeatureMatch> {
+    if query.is_empty() || train.is_empty() {
+        return Vec::new();
+    }
     let rt = Runtime::current();
     let nearest = |from: &[BinaryDescriptor], to: &[BinaryDescriptor]| -> Vec<(usize, u32)> {
         rt.par_map(from, |d| {
@@ -83,6 +150,16 @@ pub fn match_binary(
     } else {
         Vec::new()
     };
+    collect_binary_matches(&forward, &backward, config)
+}
+
+/// Emits the final match list from per-row nearest-neighbor results
+/// (shared by the SoA and reference paths so filtering can never drift).
+fn collect_binary_matches(
+    forward: &[(usize, u32)],
+    backward: &[(usize, u32)],
+    config: &MatchConfig,
+) -> Vec<FeatureMatch> {
     let mut matches = Vec::new();
     for (qi, &(ti, dist)) in forward.iter().enumerate() {
         if ti == usize::MAX || dist > config.max_hamming {

@@ -11,8 +11,9 @@
 //! where the intersection is the number of matched descriptor pairs and the
 //! union is `|S1| + |S2| − |S1 ∩ S2|`.
 
+use crate::block::DescriptorBlock;
 use crate::descriptor::ImageFeatures;
-use crate::matcher::{match_descriptors, MatchConfig};
+use crate::matcher::{match_binary_blocks, match_descriptors, MatchConfig};
 use serde::{Deserialize, Serialize};
 
 /// A similarity score in `[0, 1]` between two images' feature sets.
@@ -49,6 +50,30 @@ pub fn jaccard_similarity(
     }
     let matches = match_descriptors(&a.descriptors, &b.descriptors, &config.matching);
     let intersection = matches.len();
+    let union = a.len() + b.len() - intersection;
+    if union == 0 {
+        return 0.0;
+    }
+    intersection as f64 / union as f64
+}
+
+/// [`jaccard_similarity`] over pre-built SoA blocks (binary descriptors).
+///
+/// Callers that score one feature set against many — the SSMM pairwise
+/// graph, MIH candidate rescoring — convert each set to a
+/// [`DescriptorBlock`] once and reuse it across every pairing, so the
+/// `O(n·m)` Hamming panel runs over contiguous words without re-packing.
+/// Produces bit-identical scores to [`jaccard_similarity`] on the same
+/// binary sets: both routes bottom out in the same pruned block matcher.
+pub fn jaccard_similarity_blocks(
+    a: &DescriptorBlock,
+    b: &DescriptorBlock,
+    config: &SimilarityConfig,
+) -> Similarity {
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    let intersection = match_binary_blocks(a, b, &config.matching).len();
     let union = a.len() + b.len() - intersection;
     if union == 0 {
         return 0.0;

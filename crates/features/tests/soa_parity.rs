@@ -1,0 +1,180 @@
+//! Seeded parity suite: the SoA descriptor paths must be byte-identical to
+//! the AoS reference.
+//!
+//! Property-style tests over seeded random inputs (plain `ChaCha8Rng`
+//! loops, not proptest, so the offline stub harness can run them) pinning:
+//!
+//! * `match_binary` (SoA + pruning) == `match_binary_exhaustive` (the
+//!   unpruned AoS reference) for every config shape, at thread counts
+//!   1/2/8;
+//! * `jaccard_similarity_blocks` == `jaccard_similarity` to the last f64
+//!   bit;
+//! * `DescriptorBlock` round-trips descriptors exactly.
+//!
+//! Thread counts are set via `bees_runtime::set_threads`. The global
+//! setting races across test threads by design: every assertion here is a
+//! thread-count-invariance claim, so whichever count is live, results must
+//! not move.
+
+use bees_features::matcher::{
+    match_binary, match_binary_blocks, match_binary_exhaustive, MatchConfig,
+};
+use bees_features::similarity::{jaccard_similarity, jaccard_similarity_blocks, SimilarityConfig};
+use bees_features::{BinaryDescriptor, DescriptorBlock, Descriptors, ImageFeatures, Keypoint};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+fn random_descs(rng: &mut ChaCha8Rng, n: usize) -> Vec<BinaryDescriptor> {
+    (0..n)
+        .map(|_| {
+            let mut bytes = [0u8; 32];
+            rng.fill(&mut bytes);
+            BinaryDescriptor::from_bytes(bytes)
+        })
+        .collect()
+}
+
+/// A set correlated with `base`: some exact copies, some noisy
+/// re-observations, some fresh randoms — so matches actually fall inside
+/// realistic `max_hamming` thresholds instead of hovering near 128.
+fn correlated_descs(
+    rng: &mut ChaCha8Rng,
+    base: &[BinaryDescriptor],
+    n: usize,
+) -> Vec<BinaryDescriptor> {
+    (0..n)
+        .map(|i| {
+            if base.is_empty() || i % 3 == 2 {
+                random_descs(rng, 1).remove(0)
+            } else {
+                let mut bytes = *base[rng.gen_range(0..base.len())].as_bytes();
+                let flips = if i % 3 == 0 { 0 } else { rng.gen_range(1..12) };
+                for _ in 0..flips {
+                    let bit = rng.gen_range(0..256usize);
+                    bytes[bit / 8] ^= 1 << (bit % 8);
+                }
+                BinaryDescriptor::from_bytes(bytes)
+            }
+        })
+        .collect()
+}
+
+fn features_from(descs: Vec<BinaryDescriptor>) -> ImageFeatures {
+    ImageFeatures {
+        keypoints: descs.iter().map(|_| Keypoint::default()).collect(),
+        descriptors: Descriptors::Binary(descs),
+    }
+}
+
+fn configs() -> Vec<MatchConfig> {
+    let base = MatchConfig::default();
+    vec![
+        base,
+        MatchConfig {
+            cross_check: false,
+            ..base
+        },
+        MatchConfig {
+            max_hamming: 0,
+            ..base
+        },
+        MatchConfig {
+            max_hamming: 30,
+            ..base
+        },
+        MatchConfig {
+            max_hamming: 256,
+            ..base
+        },
+    ]
+}
+
+#[test]
+fn matcher_soa_and_pruning_match_the_aos_reference() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0xBEE5_50A0);
+    for case in 0..20 {
+        let nq = rng.gen_range(0..40);
+        let nt = rng.gen_range(0..40);
+        let query = random_descs(&mut rng, nq);
+        let train = correlated_descs(&mut rng, &query, nt);
+        let qblock = DescriptorBlock::from_descriptors(&query);
+        let tblock = DescriptorBlock::from_descriptors(&train);
+        for (ci, config) in configs().iter().enumerate() {
+            let reference = match_binary_exhaustive(&query, &train, config);
+            for threads in [1usize, 2, 8] {
+                bees_runtime::set_threads(threads);
+                assert_eq!(
+                    match_binary(&query, &train, config),
+                    reference,
+                    "case {case} config {ci} threads {threads}"
+                );
+                assert_eq!(
+                    match_binary_blocks(&qblock, &tblock, config),
+                    reference,
+                    "blocks: case {case} config {ci} threads {threads}"
+                );
+            }
+            bees_runtime::set_threads(0);
+        }
+    }
+}
+
+#[test]
+fn jaccard_blocks_bitwise_equals_the_aos_path() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0xBEE5_50A1);
+    let cfg = SimilarityConfig::default();
+    for case in 0..20 {
+        let na = rng.gen_range(0..30);
+        let a = random_descs(&mut rng, na);
+        let nb = rng.gen_range(0..30);
+        let b = correlated_descs(&mut rng, &a, nb);
+        let (ab, bb) = (
+            DescriptorBlock::from_descriptors(&a),
+            DescriptorBlock::from_descriptors(&b),
+        );
+        let (af, bf) = (features_from(a), features_from(b));
+        let reference = jaccard_similarity(&af, &bf, &cfg);
+        let soa = jaccard_similarity_blocks(&ab, &bb, &cfg);
+        assert_eq!(
+            reference.to_bits(),
+            soa.to_bits(),
+            "case {case}: {reference} vs {soa}"
+        );
+    }
+}
+
+#[test]
+fn empty_sets_agree_on_every_path() {
+    let cfg = MatchConfig::default();
+    let some = random_descs(&mut ChaCha8Rng::seed_from_u64(3), 5);
+    let empty: Vec<BinaryDescriptor> = Vec::new();
+    for (q, t) in [(&empty, &some), (&some, &empty), (&empty, &empty)] {
+        assert_eq!(
+            match_binary(q, t, &cfg),
+            match_binary_exhaustive(q, t, &cfg)
+        );
+        assert!(match_binary(q, t, &cfg).is_empty());
+    }
+    let scfg = SimilarityConfig::default();
+    let eb = DescriptorBlock::new();
+    let sb = DescriptorBlock::from_descriptors(&some);
+    assert_eq!(jaccard_similarity_blocks(&eb, &sb, &scfg), 0.0);
+    assert_eq!(jaccard_similarity_blocks(&sb, &eb, &scfg), 0.0);
+}
+
+#[test]
+fn blocks_round_trip_descriptors_exactly() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0xBEE5_50A2);
+    let descs = random_descs(&mut rng, 33);
+    let block = DescriptorBlock::from_descriptors(&descs);
+    assert_eq!(block.len(), descs.len());
+    for (i, d) in descs.iter().enumerate() {
+        assert_eq!(&block.descriptor(i), d, "descriptor {i}");
+    }
+    // The From impl and Descriptors::to_block agree with from_descriptors.
+    assert_eq!(DescriptorBlock::from(descs.as_slice()), block);
+    assert_eq!(
+        Descriptors::Binary(descs).to_block().expect("binary set"),
+        block
+    );
+}

@@ -40,12 +40,14 @@
 
 mod linear;
 mod mih;
+mod scratch;
 mod sharded;
 mod store;
 pub mod vocab;
 
 pub use linear::LinearIndex;
 pub use mih::MihIndex;
+pub use scratch::QueryScratch;
 pub use sharded::ShardedIndex;
 pub use store::{ImageEntry, ImageId, QueryHit};
 
@@ -137,6 +139,20 @@ pub trait FeatureIndex {
     /// are omitted. The ordering is a total order, so the result is unique
     /// — backends parallelizing internally must return exactly this list.
     fn query(&self, query: &Query<'_>) -> Vec<QueryHit>;
+
+    /// [`query`](FeatureIndex::query) with caller-owned scratch buffers.
+    ///
+    /// Backends with per-query transient state ([`MihIndex`]'s merge heap
+    /// and candidate list, [`ShardedIndex`]'s per-shard fan-out) override
+    /// this to recycle `scratch` instead of allocating, and route their
+    /// plain `query` through it with a throwaway scratch. Results are
+    /// byte-identical to `query` — scratch contents never influence
+    /// scoring. The default simply ignores `scratch`, so exact backends
+    /// stay correct without an override.
+    fn query_with_scratch(&self, query: &Query<'_>, scratch: &mut QueryScratch) -> Vec<QueryHit> {
+        let _ = scratch;
+        self.query(query)
+    }
 
     /// Finds the stored image with the highest Jaccard similarity to
     /// `features`, or `None` when the index is empty or every score is

@@ -2,8 +2,8 @@
 
 use crate::store::{rank_hits, ImageEntry, ImageId, QueryHit};
 use crate::{FeatureIndex, Query};
-use bees_features::similarity::{jaccard_similarity, SimilarityConfig};
-use bees_features::ImageFeatures;
+use bees_features::similarity::{jaccard_similarity, jaccard_similarity_blocks, SimilarityConfig};
+use bees_features::{DescriptorBlock, ImageFeatures};
 
 /// Exact index: every query is scored against every stored image.
 ///
@@ -26,6 +26,9 @@ use bees_features::ImageFeatures;
 #[derive(Debug, Clone, Default)]
 pub struct LinearIndex {
     entries: Vec<ImageEntry>,
+    /// SoA word blocks parallel to `entries` (`None` for vector feature
+    /// sets), built once at insert so the scan streams contiguous words.
+    blocks: Vec<Option<DescriptorBlock>>,
     config: SimilarityConfig,
 }
 
@@ -34,6 +37,7 @@ impl LinearIndex {
     pub fn new(config: SimilarityConfig) -> Self {
         LinearIndex {
             entries: Vec::new(),
+            blocks: Vec::new(),
             config,
         }
     }
@@ -45,23 +49,31 @@ impl LinearIndex {
 
     /// Removes the entry for `id`, returning whether it existed.
     pub fn remove(&mut self, id: ImageId) -> bool {
-        let before = self.entries.len();
-        self.entries.retain(|e| e.id != id);
-        before != self.entries.len()
+        if let Some(pos) = self.entries.iter().position(|e| e.id == id) {
+            self.entries.remove(pos);
+            self.blocks.remove(pos);
+            true
+        } else {
+            false
+        }
     }
 
     /// Removes all entries.
     pub fn clear(&mut self) {
         self.entries.clear();
+        self.blocks.clear();
     }
 }
 
 impl FeatureIndex for LinearIndex {
     fn insert(&mut self, id: ImageId, features: ImageFeatures) {
-        if let Some(existing) = self.entries.iter_mut().find(|e| e.id == id) {
-            existing.features = features;
+        let block = features.descriptors.to_block();
+        if let Some(pos) = self.entries.iter().position(|e| e.id == id) {
+            self.entries[pos].features = features;
+            self.blocks[pos] = block;
         } else {
             self.entries.push(ImageEntry { id, features });
+            self.blocks.push(block);
         }
     }
 
@@ -71,12 +83,20 @@ impl FeatureIndex for LinearIndex {
 
     fn query(&self, query: &Query<'_>) -> Vec<QueryHit> {
         // Exact backend: the candidate budget does not apply — every stored
-        // image is scored.
+        // image is scored. Binary queries build their SoA block once and
+        // score against the cached per-entry blocks; mixed or vector pairs
+        // fall back to the general path (scores are bit-identical either
+        // way — both routes bottom out in the same matcher).
+        let qblock = query.features.descriptors.to_block();
         let hits = self
             .entries
             .iter()
-            .filter_map(|e| {
-                let s = jaccard_similarity(query.features, &e.features, &self.config);
+            .zip(&self.blocks)
+            .filter_map(|(e, b)| {
+                let s = match (&qblock, b) {
+                    (Some(qb), Some(tb)) => jaccard_similarity_blocks(qb, tb, &self.config),
+                    _ => jaccard_similarity(query.features, &e.features, &self.config),
+                };
                 (s > 0.0).then_some(QueryHit {
                     id: e.id,
                     similarity: s,

@@ -17,10 +17,11 @@
 //! The backend falls back to a linear scan for vector (SIFT/PCA-SIFT)
 //! feature sets, which have no binary words to hash.
 
+use crate::scratch::QueryScratch;
 use crate::store::{rank_hits, ImageEntry, ImageId, QueryHit};
 use crate::{FeatureIndex, Query};
-use bees_features::similarity::{jaccard_similarity, SimilarityConfig};
-use bees_features::{Descriptors, ImageFeatures};
+use bees_features::similarity::{jaccard_similarity, jaccard_similarity_blocks, SimilarityConfig};
+use bees_features::{DescriptorBlock, Descriptors, ImageFeatures};
 use bees_runtime::Runtime;
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
@@ -42,6 +43,10 @@ use std::collections::{BinaryHeap, HashMap};
 #[derive(Debug, Clone)]
 pub struct MihIndex {
     entries: Vec<ImageEntry>,
+    /// SoA word blocks parallel to `entries` (`None` for vector feature
+    /// sets), built once at insert so rescoring streams contiguous words
+    /// instead of re-deriving them per candidate pair.
+    blocks: Vec<Option<DescriptorBlock>>,
     id_to_pos: HashMap<ImageId, usize>,
     /// One hash table per 64-bit word position: word value -> image ids.
     tables: [HashMap<u64, Vec<ImageId>>; 4],
@@ -65,6 +70,7 @@ impl MihIndex {
     pub fn new(config: SimilarityConfig) -> Self {
         MihIndex {
             entries: Vec::new(),
+            blocks: Vec::new(),
             id_to_pos: HashMap::new(),
             tables: Default::default(),
             probe_radius: 1,
@@ -103,11 +109,32 @@ impl MihIndex {
     /// would have applied before dedup/sort, yielding an order-dependent
     /// subset).
     pub fn candidates_budgeted(&self, query: &ImageFeatures, budget: usize) -> Vec<ImageId> {
+        let mut scratch = QueryScratch::new();
+        self.candidates_into(query, budget, &mut scratch);
+        std::mem::take(&mut scratch.cand_ids)
+    }
+
+    /// [`candidates_budgeted`](Self::candidates_budgeted) into caller-owned
+    /// scratch: the result lands in `scratch.candidates()` and the merge
+    /// heap, cursor table, and output list all recycle the scratch's
+    /// buffers. The one transient that cannot live in the scratch is the
+    /// table of borrowed posting-list slices (its lifetime is tied to
+    /// `&self`); it is allocated per call at the scratch's high-water-mark
+    /// capacity, so a warmed scratch performs exactly one bounded
+    /// allocation here regardless of index size — pinned by
+    /// `tests/alloc_counts.rs`.
+    pub fn candidates_into(
+        &self,
+        query: &ImageFeatures,
+        budget: usize,
+        scratch: &mut QueryScratch,
+    ) {
+        scratch.cand_ids.clear();
         let Descriptors::Binary(descs) = &query.descriptors else {
-            return Vec::new();
+            return;
         };
         // Gather every probed posting list (each sorted ascending).
-        let mut lists: Vec<&[ImageId]> = Vec::new();
+        let mut lists: Vec<&[ImageId]> = Vec::with_capacity(scratch.lists_hint);
         for d in descs {
             for chunk in 0..4 {
                 let word = d.word(chunk);
@@ -123,15 +150,20 @@ impl MihIndex {
                 }
             }
         }
-        // K-way merge with on-the-fly dedup: heap of (next id, list index).
-        let mut heap: BinaryHeap<Reverse<(ImageId, usize)>> = lists
-            .iter()
-            .enumerate()
-            .filter(|(_, l)| !l.is_empty())
-            .map(|(li, l)| Reverse((l[0], li)))
-            .collect();
-        let mut cursors = vec![1usize; lists.len()];
-        let mut out: Vec<ImageId> = Vec::new();
+        scratch.lists_hint = scratch.lists_hint.max(lists.len());
+        // K-way merge with on-the-fly dedup: heap of (next id, list index),
+        // rebuilt inside the scratch's recycled heap storage.
+        let mut heap_store = std::mem::take(&mut scratch.merge_heap);
+        heap_store.clear();
+        let mut heap: BinaryHeap<Reverse<(ImageId, usize)>> = BinaryHeap::from(heap_store);
+        for (li, l) in lists.iter().enumerate() {
+            if !l.is_empty() {
+                heap.push(Reverse((l[0], li)));
+            }
+        }
+        scratch.cursors.clear();
+        scratch.cursors.resize(lists.len(), 1);
+        let out = &mut scratch.cand_ids;
         while let Some(Reverse((id, li))) = heap.pop() {
             if out.last() != Some(&id) {
                 if budget > 0 && out.len() == budget {
@@ -139,13 +171,13 @@ impl MihIndex {
                 }
                 out.push(id);
             }
-            let cur = cursors[li];
+            let cur = scratch.cursors[li];
             if let Some(&next) = lists[li].get(cur) {
-                cursors[li] = cur + 1;
+                scratch.cursors[li] = cur + 1;
                 heap.push(Reverse((next, li)));
             }
         }
-        out
+        scratch.merge_heap = heap.into_vec();
     }
 
     fn index_words(&mut self, id: ImageId, features: &ImageFeatures) {
@@ -180,15 +212,18 @@ impl MihIndex {
 
 impl FeatureIndex for MihIndex {
     fn insert(&mut self, id: ImageId, features: ImageFeatures) {
+        let block = features.descriptors.to_block();
         if let Some(&pos) = self.id_to_pos.get(&id) {
             let old = self.entries[pos].features.clone();
             self.unindex_words(id, &old);
             self.index_words(id, &features);
             self.entries[pos].features = features;
+            self.blocks[pos] = block;
         } else {
             self.index_words(id, &features);
             self.id_to_pos.insert(id, self.entries.len());
             self.entries.push(ImageEntry { id, features });
+            self.blocks.push(block);
         }
     }
 
@@ -197,15 +232,27 @@ impl FeatureIndex for MihIndex {
     }
 
     fn query(&self, query: &Query<'_>) -> Vec<QueryHit> {
+        self.query_with_scratch(query, &mut QueryScratch::new())
+    }
+
+    fn query_with_scratch(&self, query: &Query<'_>, scratch: &mut QueryScratch) -> Vec<QueryHit> {
         // Exact Jaccard rescoring dominates query cost; score every
         // candidate (or entry) in parallel, keeping candidate order.
         let rt = Runtime::current();
-        let hits: Vec<QueryHit> = if matches!(query.features.descriptors, Descriptors::Binary(_)) {
-            let cands = self.candidates_budgeted(query.features, query.max_candidates);
-            rt.par_map(&cands, |&id| {
+        let hits: Vec<QueryHit> = if let Some(qblock) = query.features.descriptors.to_block() {
+            self.candidates_into(query.features, query.max_candidates, scratch);
+            rt.par_map(&scratch.cand_ids, |&id| {
                 let pos = *self.id_to_pos.get(&id).expect("candidate ids are indexed");
-                let s =
-                    jaccard_similarity(query.features, &self.entries[pos].features, &self.config);
+                // Candidates only arise from word tables, which index
+                // binary sets exclusively — so a cached block exists.
+                let s = match &self.blocks[pos] {
+                    Some(tblock) => jaccard_similarity_blocks(&qblock, tblock, &self.config),
+                    None => jaccard_similarity(
+                        query.features,
+                        &self.entries[pos].features,
+                        &self.config,
+                    ),
+                };
                 (s > 0.0).then_some(QueryHit { id, similarity: s })
             })
             .into_iter()

@@ -15,6 +15,7 @@
 //! per shard and therefore scales with the shard count; the server's
 //! redundancy-detection path keeps the budget unlimited.)
 
+use crate::scratch::QueryScratch;
 use crate::store::{rank_hits, QueryHit};
 use crate::{FeatureIndex, ImageId, Query};
 use bees_features::similarity::SimilarityConfig;
@@ -114,6 +115,28 @@ impl<I: FeatureIndex + Send + Sync> FeatureIndex for ShardedIndex<I> {
         // under the same total order reproduces the unsharded result.
         let per_shard = Runtime::current().par_map(&self.shards, |shard| shard.query(query));
         rank_hits(per_shard.into_iter().flatten().collect(), query.k)
+    }
+
+    /// Fans out with one child scratch per shard, so each inner index
+    /// recycles its own buffers across queries. Shard order is fixed, so a
+    /// given shard always receives the same child scratch — and results
+    /// stay byte-identical to [`query`](FeatureIndex::query) because
+    /// scratch contents never influence scoring.
+    fn query_with_scratch(&self, query: &Query<'_>, scratch: &mut QueryScratch) -> Vec<QueryHit> {
+        scratch.ensure_shards(self.shards.len());
+        let mut work: Vec<(&I, &mut QueryScratch, Vec<QueryHit>)> = self
+            .shards
+            .iter()
+            .zip(scratch.shards.iter_mut())
+            .map(|(shard, child)| (shard, child, Vec::new()))
+            .collect();
+        Runtime::current().par_for_each_mut(&mut work, |_, (shard, child, out)| {
+            *out = shard.query_with_scratch(query, child);
+        });
+        rank_hits(
+            work.into_iter().flat_map(|(_, _, hits)| hits).collect(),
+            query.k,
+        )
     }
 
     fn feature_bytes(&self) -> usize {

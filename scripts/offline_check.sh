@@ -194,6 +194,20 @@ run_integration it_determinism tests/determinism.rs \
     --skip fault_injected_pipeline_is_identical_across_thread_counts \
     --skip reports_serialize_and_roundtrip
 
+say "features integration tests"
+# shellcheck disable=SC2046
+for t in crates/features/tests/*.rs; do
+    name="feat_$(basename "$t" .rs)"
+    if grep -q "use proptest" "$t"; then
+        say "skip $name (proptest)"
+        continue
+    fi
+    rustc --edition $EDITION --test --crate-name "$name" \
+        $(extern_flags bees_features $(deps_of bees_features) $(dev_deps_of bees_features)) \
+        -L "$STUBS" -L "$LIBS" "${CODEGEN[@]}" "$t" -o "$TESTS/$name"
+    "$TESTS/$name" -q
+done
+
 say "index integration tests"
 # shellcheck disable=SC2046
 for t in crates/index/tests/*.rs; do

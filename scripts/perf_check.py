@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""Compare a bench metrics file against the checked-in baseline.
+
+Both files are JSON Lines as emitted by ``--json-out`` on the bench
+binaries (``crates/bench/src/perf.rs``): one object per line with keys
+``bench`` / ``case`` / ``metric`` / ``value``. Every metric is
+higher-is-better (throughputs and speedups), so a regression is
+``current < baseline * (1 - tolerance)``.
+
+The tolerance band is deliberately generous (default 0.35): these are
+wall-clock numbers from shared CI runners, and the same kernel can vary
+tens of percent between binaries depending on how LLVM lays out the
+surrounding code. The band catches order-of-magnitude cliffs (a lost
+SIMD path, an accidental O(n^2)), not noise.
+
+Usage:
+  scripts/perf_check.py --baseline BENCH_baseline.json --current out.json
+  scripts/perf_check.py ... --tolerance 0.5   # widen the band
+  scripts/perf_check.py ... --no-fail         # report only, exit 0 (CI smoke)
+
+Exit status: 0 if no metric regressed (or --no-fail), 1 otherwise.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_metrics(path):
+    """Parse a JSON-lines metrics file into {(bench, case, metric): value}."""
+    metrics = {}
+    with open(path, encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                row = json.loads(line)
+                key = (row["bench"], row["case"], row["metric"])
+                metrics[key] = float(row["value"])
+            except (json.JSONDecodeError, KeyError, TypeError, ValueError) as err:
+                raise SystemExit(f"{path}:{lineno}: bad metric line: {err}")
+    if not metrics:
+        raise SystemExit(f"{path}: no metrics found")
+    return metrics
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", required=True, help="checked-in baseline (JSON lines)")
+    parser.add_argument("--current", required=True, help="freshly measured metrics (JSON lines)")
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.35,
+        help="allowed fractional drop below baseline before failing (default 0.35)",
+    )
+    parser.add_argument(
+        "--no-fail",
+        action="store_true",
+        help="report regressions but always exit 0 (for CI smoke runs)",
+    )
+    args = parser.parse_args()
+    if not 0.0 <= args.tolerance < 1.0:
+        parser.error("--tolerance must be in [0, 1)")
+
+    baseline = load_metrics(args.baseline)
+    current = load_metrics(args.current)
+
+    regressions = []
+    improvements = 0
+    compared = 0
+    for key in sorted(baseline):
+        if key not in current:
+            print(f"MISSING  {'/'.join(key)} (in baseline, not measured)")
+            continue
+        compared += 1
+        base, cur = baseline[key], current[key]
+        floor = base * (1.0 - args.tolerance)
+        ratio = cur / base if base else float("inf")
+        tag = "ok"
+        if cur < floor:
+            tag = "REGRESS"
+            regressions.append(key)
+        elif cur > base:
+            improvements += 1
+        print(f"{tag:<8} {'/'.join(key)}: {cur:.3f} vs baseline {base:.3f} ({ratio:.2f}x)")
+
+    for key in sorted(set(current) - set(baseline)):
+        print(f"NEW      {'/'.join(key)}: {current[key]:.3f} (not in baseline)")
+
+    print(
+        f"\n{compared} metrics compared, {improvements} above baseline, "
+        f"{len(regressions)} regressed (tolerance {args.tolerance:.0%})"
+    )
+    if regressions and not args.no_fail:
+        print("FAIL: regressions beyond the tolerance band", file=sys.stderr)
+        return 1
+    if regressions:
+        print("regressions ignored (--no-fail)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

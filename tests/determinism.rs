@@ -247,3 +247,46 @@ fn fleet_report_is_identical_across_threads_and_shards() {
         }
     }
 }
+
+/// The SSMM pairwise similarity graph must not move a single bit when the
+/// descriptor layout (AoS vs SoA blocks) or the thread count changes —
+/// the invariance the BEES scheme's in-batch stage relies on after the
+/// SoA restructuring.
+#[test]
+fn ssmm_similarity_graph_is_layout_and_thread_invariant() {
+    use bees::features::similarity::{
+        jaccard_similarity, jaccard_similarity_blocks, SimilarityConfig,
+    };
+    use bees::features::DescriptorBlock;
+    use bees::submodular::SimilarityGraph;
+
+    let orb = Orb::new(BeesConfig::default().orb);
+    let data = disaster_batch(0xD15A, 6, 1, 0.25, small_scene());
+    let features: Vec<_> = data
+        .batch
+        .iter()
+        .map(|img| orb.extract(&img.to_gray()))
+        .collect();
+    let blocks: Vec<DescriptorBlock> = features
+        .iter()
+        .map(|f| f.descriptors.to_block().expect("ORB features are binary"))
+        .collect();
+    let cfg = SimilarityConfig::default();
+
+    bees::runtime::set_threads(1);
+    let reference = SimilarityGraph::from_pairwise_par(features.len(), |a, b| {
+        jaccard_similarity(&features[a], &features[b], &cfg)
+    });
+    for threads in [1usize, 2, 8] {
+        bees::runtime::set_threads(threads);
+        let aos = SimilarityGraph::from_pairwise_par(features.len(), |a, b| {
+            jaccard_similarity(&features[a], &features[b], &cfg)
+        });
+        let soa = SimilarityGraph::from_pairwise_par(features.len(), |a, b| {
+            jaccard_similarity_blocks(&blocks[a], &blocks[b], &cfg)
+        });
+        bees::runtime::set_threads(0);
+        assert_eq!(reference, aos, "AoS graph moved at {threads} threads");
+        assert_eq!(reference, soa, "SoA graph moved at {threads} threads");
+    }
+}
