@@ -1,4 +1,6 @@
-//! Robustness experiment: every scheme on a faulty disaster channel.
+//! Robustness experiment: every scheme on a faulty disaster channel, with
+//! a salvage-on/off A/B at equal seeds; `--json-out` emits the
+//! wasted/salvaged-joules trajectory compared by `scripts/perf_check.py`.
 use bees_bench::args::ExpArgs;
 
 fn main() {

@@ -1,16 +1,24 @@
 //! Robustness experiment: every scheme on a faulty disaster channel.
 //!
-//! Layers a seeded storm [`FaultModel`] (blackout windows + per-attempt
-//! drops) on the fluctuating 0–512 Kbps WiFi trace and runs all six schemes
-//! through the resumable transfer stack. The table shows how each scheme
-//! spends the faulty channel: images delivered at full quality, delivered
-//! degraded (BEES' thumbnail fallback), deferred outright, plus the retry
-//! count and the radio energy wasted on attempts whose bytes were cut.
+//! Layers a seeded storm [`FaultModel`] (blackout windows, per-attempt
+//! drops, and CRC-caught chunk corruption) on the fluctuating 0–512 Kbps
+//! WiFi trace and runs all six schemes through the resumable transfer
+//! stack. The table shows how each scheme spends the faulty channel:
+//! images delivered at full quality, salvaged as partial scan prefixes
+//! (BEES' progressive encoding), delivered degraded (thumbnail fallback),
+//! deferred outright, plus the retry count and the radio energy wasted on
+//! attempts whose bytes were cut.
+//!
+//! Every scheme is also re-run with `salvage_partials` off at the same
+//! seeds — the pre-salvage ladder — so the table's last column shows how
+//! many joules salvage reclaims from the wasted bucket. `--json-out`
+//! emits the wasted/salvaged trajectory for `scripts/perf_check.py`.
 //!
 //! Not a paper figure — the paper assumes the disaster WiFi stays up — but
 //! the scenario it motivates (§I) is exactly the one where it does not.
 
 use crate::args::ExpArgs;
+use crate::perf::{write_json_lines, Metric};
 use crate::table::{f1, Table};
 use bees_core::schemes::{make_scheme, BatchCtx, UploadScheme};
 use bees_core::{BatchReport, BeesConfig, Client, Server};
@@ -21,56 +29,139 @@ use bees_net::{BandwidthTrace, FaultModel};
 /// One report per scheme, in the run order of the table.
 #[derive(Debug, Clone)]
 pub struct FaultResilienceResult {
-    /// Direct, PhotoNet-like, SmartEye, MRC, BEES-EA, BEES.
+    /// Direct, PhotoNet-like, SmartEye, MRC, BEES-EA, BEES — with the
+    /// salvage rung enabled (the default ladder).
     pub reports: Vec<BatchReport>,
+    /// The same schemes at the same seeds with `salvage_partials` off:
+    /// the pre-salvage ladder whose wasted bucket the salvage rung is
+    /// measured against. Identical to `reports` for schemes that never
+    /// salvage.
+    pub presalvage: Vec<BatchReport>,
 }
 
 impl FaultResilienceResult {
     /// Prints the per-scheme fault-handling breakdown.
     pub fn print(&self) {
-        println!("\n== Fault resilience: disaster channel with blackouts and drops ==");
+        println!(
+            "\n== Fault resilience: disaster channel with blackouts, drops, and corruption =="
+        );
         let mut t = Table::new(vec![
             "scheme",
             "uploaded",
+            "salvaged",
+            "ssim",
             "degraded",
             "deferred",
             "skipped",
             "attempts",
+            "corrupt",
             "wasted (J)",
-            "active (J)",
+            "reclaimed (J)",
             "delay (s)",
         ]);
-        for r in &self.reports {
+        for (r, pre) in self.reports.iter().zip(&self.presalvage) {
             t.row(vec![
                 r.scheme.clone(),
                 r.uploaded_images.to_string(),
+                r.salvaged_images.to_string(),
+                if r.salvaged_images > 0 {
+                    format!("{:.2}", r.mean_salvage_ssim())
+                } else {
+                    "-".to_string()
+                },
                 r.degraded_images.to_string(),
                 r.deferred_images.to_string(),
                 (r.skipped_cross_batch + r.skipped_in_batch).to_string(),
                 r.transfer_attempts.to_string(),
+                r.corrupt_chunks_detected.to_string(),
                 f1(r.wasted_energy()),
-                f1(r.active_energy()),
+                f1(pre.wasted_energy() - r.wasted_energy()),
                 f1(r.total_delay_s),
             ]);
         }
         t.print();
     }
+
+    /// The perf-trajectory lines `--json-out` writes: per scheme, the
+    /// wasted joules (lower is better) plus — where the scheme salvages —
+    /// the salvage yield (higher is better).
+    pub fn metrics(&self) -> Vec<Metric> {
+        let mut out = Vec::new();
+        for (r, pre) in self.reports.iter().zip(&self.presalvage) {
+            let case = slug(&r.scheme);
+            out.push(Metric::lower(
+                "fault_resilience",
+                &case,
+                "wasted_joules",
+                r.wasted_energy(),
+            ));
+            if r.salvaged_images > 0 {
+                out.push(Metric::new(
+                    "fault_resilience",
+                    &case,
+                    "salvaged_images",
+                    r.salvaged_images as f64,
+                ));
+                out.push(Metric::new(
+                    "fault_resilience",
+                    &case,
+                    "salvage_ssim_mean",
+                    r.mean_salvage_ssim(),
+                ));
+                out.push(Metric::new(
+                    "fault_resilience",
+                    &case,
+                    "salvage_reclaimed_joules",
+                    pre.wasted_energy() - r.wasted_energy(),
+                ));
+            }
+        }
+        out
+    }
 }
 
-/// Runs all six schemes on the same batch over the same faulty channel.
-pub fn run(args: &ExpArgs) -> FaultResilienceResult {
+/// Lowercase, alphanumeric-only case slug ("PhotoNet-like" -> "photonet_like").
+fn slug(name: &str) -> String {
+    name.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() {
+                c.to_ascii_lowercase()
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+fn storm_config(args: &ExpArgs) -> BeesConfig {
     let mut config = BeesConfig {
         trace: BandwidthTrace::disaster_wifi(args.seed ^ 0xFA11),
         ..BeesConfig::default()
     };
     // Harsher than the `disaster` preset: a quick-scale batch finishes in
     // seconds of simulated time, so the storm needs short dark windows and
-    // a high per-attempt drop rate for faults to show up in the table.
-    config.fault = FaultModel::new(args.seed.wrapping_add(0xFA11), 0.35, 0.5, 8.0, 3.0)
+    // a high per-attempt drop rate for faults to show up in the table. The
+    // corruption layer bit-flips ~12% of transport chunks; every one must
+    // be caught by the CRC framing and re-requested.
+    config.fault = FaultModel::new(args.seed.wrapping_add(0xFA11), 0.6, 0.5, 8.0, 3.0)
+        .and_then(|f| f.with_corruption(0.12))
         .expect("constants are valid");
+    // A tight retry budget plus the high drop rate makes some transfers
+    // exhaust their attempts mid-payload — the case the salvage rung
+    // exists for. 1 KiB transport chunks keep banked prefixes
+    // scan-granular relative to the few-KiB progressive payloads, so cut
+    // transfers have whole scans to salvage.
+    config.retry.max_attempts = 3;
+    config.retry.chunk_bytes = 1024;
     // A large battery keeps the focus on channel faults rather than on
     // battery exhaustion (fig9_lifetime covers that axis).
     config.battery = Battery::from_joules(500_000.0);
+    config
+}
+
+/// Runs all six schemes on the same batch over the same faulty channel,
+/// once with the salvage rung and once with the pre-salvage ladder.
+pub fn run(args: &ExpArgs) -> FaultResilienceResult {
     let batch_size = args.scaled(24, 6);
     let in_batch = (batch_size / 8).max(1);
     let data = disaster_batch(
@@ -81,23 +172,38 @@ pub fn run(args: &ExpArgs) -> FaultResilienceResult {
         SceneConfig::default(),
     );
 
-    // `SchemeKind::ALL` order unless narrowed with `--schemes`.
-    let schemes: Vec<Box<dyn UploadScheme>> = args
-        .scheme_roster()
-        .iter()
-        .map(|&k| make_scheme(k, &config))
-        .collect();
-    let mut reports = Vec::with_capacity(schemes.len());
-    for scheme in &schemes {
-        let mut server = Server::try_new(&config).expect("config is valid");
-        let mut client = Client::try_new(0, &config).expect("fault/battery knobs are valid");
-        scheme.preload_server(&mut server, &data.server_preload);
-        let report = scheme
-            .upload(&mut BatchCtx::new(&mut client, &mut server, &data.batch))
-            .expect("faulty transfers defer instead of erroring");
-        reports.push(report);
+    let mut passes = Vec::with_capacity(2);
+    for salvage in [true, false] {
+        let mut config = storm_config(args);
+        config.salvage_partials = salvage;
+        // `SchemeKind::ALL` order unless narrowed with `--schemes`.
+        let schemes: Vec<Box<dyn UploadScheme>> = args
+            .scheme_roster()
+            .iter()
+            .map(|&k| make_scheme(k, &config))
+            .collect();
+        let mut reports = Vec::with_capacity(schemes.len());
+        for scheme in &schemes {
+            let mut server = Server::try_new(&config).expect("config is valid");
+            let mut client = Client::try_new(0, &config).expect("fault/battery knobs are valid");
+            scheme.preload_server(&mut server, &data.server_preload);
+            let report = scheme
+                .upload(&mut BatchCtx::new(&mut client, &mut server, &data.batch))
+                .expect("faulty transfers defer instead of erroring");
+            reports.push(report);
+        }
+        passes.push(reports);
     }
-    FaultResilienceResult { reports }
+    let presalvage = passes.pop().expect("two passes ran");
+    let reports = passes.pop().expect("two passes ran");
+    let result = FaultResilienceResult {
+        reports,
+        presalvage,
+    };
+    if let Some(path) = &args.json_out {
+        write_json_lines(path, &result.metrics());
+    }
+    result
 }
 
 #[cfg(test)]
@@ -114,18 +220,22 @@ mod tests {
         };
         let r = run(&args);
         assert_eq!(r.reports.len(), 6);
+        assert_eq!(r.presalvage.len(), 6);
 
-        // Byte-identical on a re-run: every fault, retry, and backoff is
-        // derived from seeds, never from wall-clock or shared RNG state.
+        // Byte-identical on a re-run: every fault, retry, backoff, and
+        // corruption coin is derived from seeds, never from wall-clock or
+        // shared RNG state.
         let r2 = run(&args);
         assert_eq!(r.reports, r2.reports);
+        assert_eq!(r.presalvage, r2.presalvage);
 
-        for rep in &r.reports {
+        for rep in r.reports.iter().chain(&r.presalvage) {
             // The battery is sized so faults, not exhaustion, shape the run.
             assert!(!rep.exhausted, "{}: unexpectedly exhausted", rep.scheme);
-            // Conservation: every batch image is delivered (full or
-            // degraded), deferred, or deduplicated away.
+            // Conservation: every batch image is delivered (full,
+            // salvaged, or degraded), deferred, or deduplicated away.
             let accounted = rep.uploaded_images
+                + rep.salvaged_images
                 + rep.degraded_images
                 + rep.deferred_images
                 + rep.skipped_cross_batch
@@ -144,10 +254,51 @@ mod tests {
             );
         }
         // The storm model is aggressive enough that at least one scheme
-        // pays a visible retry cost.
+        // pays a visible retry cost, and the corruption layer is caught by
+        // the CRC framing somewhere in the run.
         assert!(
             r.reports.iter().any(|rep| rep.wasted_energy() > 0.0),
             "no wasted energy anywhere despite the storm fault model"
         );
+        assert!(
+            r.reports.iter().any(|rep| rep.corrupt_chunks_detected > 0),
+            "no corrupt chunks detected despite the corruption fault mode"
+        );
+    }
+
+    #[test]
+    fn bees_salvage_reclaims_wasted_joules_at_equal_seeds() {
+        let args = ExpArgs {
+            scale: 0.3,
+            seed: 77,
+            quick: true,
+            ..ExpArgs::default()
+        };
+        let r = run(&args);
+        let bees = r
+            .reports
+            .iter()
+            .zip(&r.presalvage)
+            .find(|(rep, _)| rep.scheme == "BEES")
+            .expect("BEES is in the default roster");
+        let (on, off) = bees;
+        assert!(on.salvaged_images > 0, "no salvage under the storm: {on:?}");
+        assert!(
+            on.mean_salvage_ssim() > 0.5,
+            "salvaged partials too poor: {}",
+            on.mean_salvage_ssim()
+        );
+        assert_eq!(off.salvaged_images, 0, "pre-salvage ladder salvaged");
+        assert!(
+            on.wasted_energy() < off.wasted_energy(),
+            "salvage must strictly shrink waste: {} vs {}",
+            on.wasted_energy(),
+            off.wasted_energy()
+        );
+        // Salvage relabels radio joules, it never refunds the battery.
+        assert!(on.salvaged_energy() > 0.0);
+        let json = crate::perf::to_json_lines(&r.metrics());
+        assert!(json.contains("\"dir\":\"lower\""));
+        assert!(json.contains("salvage_ssim_mean"));
     }
 }

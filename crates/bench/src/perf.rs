@@ -7,10 +7,13 @@
 //! {"bench":"descriptor_hotloop","case":"n10000","metric":"soa_batched_mpairs_per_s","value":512.3}
 //! ```
 //!
-//! via `--json-out`. Every metric is throughput-shaped (**higher is
-//! better**) so `scripts/perf_check.py` can compare a fresh run against the
-//! checked-in `BENCH_baseline.json` with a single tolerance rule. See
-//! `DESIGN.md` §10 for how to read and update the baseline.
+//! via `--json-out`. Throughput-shaped metrics (**higher is better**,
+//! `*_per_s`, `speedup_*`) omit the direction key; cost-shaped metrics
+//! (**lower is better**, e.g. the robustness experiment's wasted joules)
+//! carry an explicit `"dir":"lower"` so `scripts/perf_check.py` can flip
+//! its tolerance band per line when comparing a fresh run against the
+//! checked-in `BENCH_baseline.json`. See `DESIGN.md` §10 for how to read
+//! and update the baseline.
 
 use std::path::Path;
 
@@ -21,15 +24,19 @@ pub struct Metric {
     pub bench: String,
     /// Workload case within the bench (`n10000`, `mih_sharded4`, ...).
     pub case: String,
-    /// Metric name; by convention ends in a unit suffix and is always
-    /// higher-is-better (`*_per_s`, `speedup_*`).
+    /// Metric name; by convention ends in a unit suffix
+    /// (`*_per_s`, `*_joules`, ...).
     pub metric: String,
     /// The measured value.
     pub value: f64,
+    /// Whether a *smaller* value is the improvement (energy, latency).
+    /// Defaults to `false`: throughputs and speedups grow when they get
+    /// better.
+    pub lower_is_better: bool,
 }
 
 impl Metric {
-    /// Builds a metric line.
+    /// Builds a higher-is-better metric line (throughputs, speedups).
     pub fn new(
         bench: impl Into<String>,
         case: impl Into<String>,
@@ -41,14 +48,36 @@ impl Metric {
             case: case.into(),
             metric: metric.into(),
             value,
+            lower_is_better: false,
+        }
+    }
+
+    /// Builds a lower-is-better metric line (costs: joules, seconds of
+    /// delay). `perf_check.py` inverts its tolerance band for these.
+    pub fn lower(
+        bench: impl Into<String>,
+        case: impl Into<String>,
+        metric: impl Into<String>,
+        value: f64,
+    ) -> Self {
+        Metric {
+            lower_is_better: true,
+            ..Metric::new(bench, case, metric, value)
         }
     }
 
     /// One JSON object (no trailing newline). Hand-rolled like the fleet
-    /// report's writer — the bench crate carries no serde dependency.
+    /// report's writer — the bench crate carries no serde dependency. The
+    /// `dir` key only appears on lower-is-better lines, so existing
+    /// higher-is-better baselines stay byte-identical.
     pub fn to_json(&self) -> String {
+        let dir = if self.lower_is_better {
+            ",\"dir\":\"lower\""
+        } else {
+            ""
+        };
         format!(
-            "{{\"bench\":\"{}\",\"case\":\"{}\",\"metric\":\"{}\",\"value\":{:.6}}}",
+            "{{\"bench\":\"{}\",\"case\":\"{}\",\"metric\":\"{}\",\"value\":{:.6}{dir}}}",
             self.bench, self.case, self.metric, self.value
         )
     }
@@ -83,6 +112,16 @@ mod tests {
             m.to_json(),
             "{\"bench\":\"descriptor_hotloop\",\"case\":\"n1000\",\
              \"metric\":\"aos_mpairs_per_s\",\"value\":123.500000}"
+        );
+    }
+
+    #[test]
+    fn lower_is_better_lines_carry_the_direction_key() {
+        let m = Metric::lower("fault_resilience", "bees", "wasted_joules", 2.25);
+        assert_eq!(
+            m.to_json(),
+            "{\"bench\":\"fault_resilience\",\"case\":\"bees\",\
+             \"metric\":\"wasted_joules\",\"value\":2.250000,\"dir\":\"lower\"}"
         );
     }
 

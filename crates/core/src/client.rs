@@ -238,23 +238,98 @@ impl Client {
         category: EnergyCategory,
         bytes: usize,
     ) -> Result<TransmitSummary> {
+        match self.resumable_loop(category, bytes, false)? {
+            ResumableOutcome::Complete(summary) => Ok(summary),
+            ResumableOutcome::Salvaged(_) => unreachable!("salvage is disabled on this path"),
+        }
+    }
+
+    /// Like [`transmit_resumable`](Client::transmit_resumable), but when the
+    /// retry budget runs out with confirmed chunks banked, the transfer is
+    /// *salvaged* instead of failed: the banked prefix's radio energy moves
+    /// to [`EnergyCategory::Salvaged`] and the call returns
+    /// [`ResumableOutcome::Salvaged`] describing what survived. The caller
+    /// decides whether the prefix actually decodes (and may demote the
+    /// energy back to waste via [`demote_salvage`](Client::demote_salvage)
+    /// if it does not).
+    ///
+    /// # Errors
+    ///
+    /// Same as `transmit_resumable`, except [`NetError::RetriesExhausted`]
+    /// only surfaces when *nothing* was banked.
+    pub fn transmit_salvageable(
+        &mut self,
+        category: EnergyCategory,
+        bytes: usize,
+    ) -> Result<ResumableOutcome> {
+        self.resumable_loop(category, bytes, true)
+    }
+
+    /// Reclassifies up to `joules` of salvaged energy as wasted — the
+    /// caller found the banked prefix undecodable after all. Returns the
+    /// joules actually moved.
+    pub fn demote_salvage(&mut self, joules: f64) -> f64 {
+        self.ledger
+            .reassign(EnergyCategory::Salvaged, EnergyCategory::Wasted, joules)
+    }
+
+    fn resumable_loop(
+        &mut self,
+        category: EnergyCategory,
+        bytes: usize,
+        salvage: bool,
+    ) -> Result<ResumableOutcome> {
         if self.channel.faults().is_none() {
             let duration = self.transmit(category, bytes)?;
-            return Ok(TransmitSummary {
+            return Ok(ResumableOutcome::Complete(TransmitSummary {
                 attempts: 1,
                 delivered_bytes: bytes,
+                corrupt_chunks_detected: 0,
                 wasted_joules: 0.0,
                 backoff_s: 0.0,
                 elapsed_s: duration,
-            });
+            }));
         }
         let start = self.clock.now();
+        let chunk = self.retry.chunk_bytes.max(1);
         let mut confirmed = 0usize;
         let mut attempts = 0u32;
         let mut wasted = 0.0f64;
+        let mut banked_joules = 0.0f64;
+        let mut corrupt_total = 0u64;
         let mut backoff_total = 0.0f64;
         loop {
             if attempts >= self.retry.budget(self.battery.fraction()) {
+                if salvage && confirmed > 0 {
+                    // The budget is gone but whole verified chunks are
+                    // banked: their energy bought fidelity, not waste.
+                    let moved =
+                        self.ledger
+                            .reassign(category, EnergyCategory::Salvaged, banked_joules);
+                    let now = self.clock.now();
+                    self.telemetry
+                        .span(names::NET_SALVAGE, now)
+                        .attr_str("category", category_name(category))
+                        .attr_u64("banked_bytes", confirmed as u64)
+                        .attr_u64("total_bytes", bytes as u64)
+                        .attr_u64("attempts", u64::from(attempts))
+                        .attr_f64("salvaged_joules", moved)
+                        .close(now);
+                    return Ok(ResumableOutcome::Salvaged(SalvageSummary {
+                        attempts,
+                        banked_bytes: confirmed,
+                        total_bytes: bytes,
+                        salvaged_joules: moved,
+                        wasted_joules: wasted,
+                        corrupt_chunks_detected: corrupt_total,
+                        backoff_s: backoff_total,
+                        elapsed_s: now - start,
+                    }));
+                }
+                // An abandoned transfer's banked bytes bought nothing —
+                // their energy is reclassified as wasted.
+                self.ledger
+                    .reassign(category, EnergyCategory::Wasted, banked_joules);
                 return Err(CoreError::Net(NetError::RetriesExhausted {
                     attempts,
                     delivered_bytes: confirmed,
@@ -266,11 +341,37 @@ impl Client {
             let outcome =
                 self.channel
                     .transfer(now, bytes - confirmed, self.retry.attempt_timeout_s);
-            let kept = if outcome.completed() {
+            let attempt_key = self.channel.attempts().saturating_sub(1);
+            let mut kept = if outcome.completed() {
                 outcome.delivered_bytes
             } else {
-                (outcome.delivered_bytes / self.retry.chunk_bytes) * self.retry.chunk_bytes
+                (outcome.delivered_bytes / chunk) * chunk
             };
+            // CRC-verify every delivered transport chunk (deterministic
+            // stand-in for `wire::verify_chunk` on the receiver): a corrupt
+            // chunk is detected, it and everything after it are
+            // re-requested, and it must never reach the decoder.
+            let mut fault = outcome.fault;
+            if self.channel.faults().corrupt_probability > 0.0 {
+                let base = (confirmed / chunk) as u64;
+                let mut first_bad: Option<usize> = None;
+                for c in 0..kept.div_ceil(chunk) {
+                    if self
+                        .channel
+                        .faults()
+                        .chunk_corrupted(attempt_key, base + c as u64)
+                    {
+                        corrupt_total += 1;
+                        first_bad.get_or_insert(c);
+                    }
+                }
+                if let Some(c0) = first_bad {
+                    kept = c0 * chunk;
+                    if fault.is_none() {
+                        fault = Some(FaultKind::Corrupted);
+                    }
+                }
+            }
             let joules = self.energy.radio_tx_energy(outcome.elapsed_s);
             let useful_j = if outcome.delivered_bytes > 0 {
                 joules * (kept as f64 / outcome.delivered_bytes as f64)
@@ -280,6 +381,7 @@ impl Client {
             let waste_j = joules - useful_j;
             let drained_useful = self.battery.drain(useful_j);
             self.ledger.record(category, drained_useful);
+            banked_joules += drained_useful;
             let drained_waste = if waste_j > 0.0 {
                 let d = self.battery.drain(waste_j);
                 self.ledger.record(EnergyCategory::Wasted, d);
@@ -290,7 +392,7 @@ impl Client {
             wasted += drained_waste;
             self.clock.advance(outcome.elapsed_s);
             let baseline_ok = self.drain_baseline(outcome.elapsed_s);
-            if let Some(fault) = outcome.fault {
+            if let Some(fault) = fault {
                 // Record the interrupted attempt even if the battery died
                 // paying for it — the trace should show what was tried.
                 self.telemetry
@@ -314,15 +416,17 @@ impl Client {
                     .attr_str("category", category_name(category))
                     .attr_u64("bytes", bytes as u64)
                     .attr_u64("attempts", u64::from(attempts))
+                    .attr_u64("corrupt_chunks", corrupt_total)
                     .attr_f64("wasted_joules", wasted)
                     .close(self.clock.now());
-                return Ok(TransmitSummary {
+                return Ok(ResumableOutcome::Complete(TransmitSummary {
                     attempts,
                     delivered_bytes: confirmed,
+                    corrupt_chunks_detected: corrupt_total,
                     wasted_joules: wasted,
                     backoff_s: backoff_total,
                     elapsed_s: self.clock.now() - start,
-                });
+                }));
             }
             let wait = self.retry.backoff_s(attempts - 1, self.fault_seed);
             backoff_total += wait;
@@ -355,12 +459,48 @@ pub struct TransmitSummary {
     pub attempts: u32,
     /// Bytes confirmed delivered (equals the payload on success).
     pub delivered_bytes: usize,
+    /// Corrupted transport chunks caught by CRC verification and
+    /// re-requested along the way (none ever reached the decoder).
+    pub corrupt_chunks_detected: u64,
     /// Radio joules burnt on bytes that were never confirmed.
     pub wasted_joules: f64,
     /// Total simulated seconds spent backing off between attempts.
     pub backoff_s: f64,
     /// Total simulated seconds from first attempt to completion,
     /// including backoff waits.
+    pub elapsed_s: f64,
+}
+
+/// How a [`Client::transmit_salvageable`] call ended.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ResumableOutcome {
+    /// Every byte was confirmed delivered.
+    Complete(TransmitSummary),
+    /// The retry budget ran out mid-transfer, but the confirmed chunk
+    /// prefix was banked for partial decoding.
+    Salvaged(SalvageSummary),
+}
+
+/// What survived a transfer that exhausted its retry budget.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SalvageSummary {
+    /// Transfer attempts made before the budget ran out.
+    pub attempts: u32,
+    /// Bytes confirmed delivered — the decodable-prefix budget.
+    pub banked_bytes: usize,
+    /// Bytes the full transfer would have carried.
+    pub total_bytes: usize,
+    /// Radio joules reclassified from the upload category to
+    /// [`EnergyCategory::Salvaged`] for the banked prefix.
+    pub salvaged_joules: f64,
+    /// Radio joules burnt on bytes that were never confirmed.
+    pub wasted_joules: f64,
+    /// Corrupted transport chunks caught by CRC verification (none ever
+    /// reached the decoder).
+    pub corrupt_chunks_detected: u64,
+    /// Total simulated seconds spent backing off between attempts.
+    pub backoff_s: f64,
+    /// Total simulated seconds from first attempt to abandonment.
     pub elapsed_s: f64,
 }
 
@@ -373,6 +513,7 @@ fn category_name(category: EnergyCategory) -> &'static str {
         EnergyCategory::Compression => "compression",
         EnergyCategory::Wasted => "wasted retry",
         EnergyCategory::Idle => "idle",
+        EnergyCategory::Salvaged => "salvaged upload",
     }
 }
 
@@ -382,6 +523,7 @@ fn fault_name(fault: FaultKind) -> &'static str {
         FaultKind::Disconnected => "disconnected",
         FaultKind::Dropped => "dropped",
         FaultKind::TimedOut => "timed_out",
+        FaultKind::Corrupted => "corrupted",
     }
 }
 
@@ -612,6 +754,102 @@ mod tests {
         assert_eq!(s.delivered_bytes, 60_000);
         assert!(s.wasted_joules > 0.0);
         assert!(s.backoff_s > 0.0);
+    }
+
+    #[test]
+    fn salvageable_banks_a_prefix_and_reclassifies_its_energy() {
+        let mut cfg = config();
+        cfg.battery = bees_energy::Battery::from_joules(1e9);
+        // Constant 256 Kbps with a 1 s timeout: each attempt delivers
+        // 32 000 bytes and banks one 16 384-byte chunk. A 2-attempt budget
+        // cannot finish 60 000 bytes, so the transfer is cut with two
+        // chunks banked.
+        cfg.fault = bees_net::FaultModel::new(2, 0.0, 1e-12, 1e9, 1.0).unwrap();
+        cfg.retry.attempt_timeout_s = Some(1.0);
+        cfg.retry.max_attempts = 2;
+        let mut c = Client::try_new(0, &cfg).unwrap();
+        let out = c
+            .transmit_salvageable(EnergyCategory::ImageUpload, 60_000)
+            .unwrap();
+        let ResumableOutcome::Salvaged(s) = out else {
+            panic!("2 attempts cannot deliver 60 kB, got {out:?}");
+        };
+        assert_eq!(s.attempts, 2);
+        assert_eq!(s.banked_bytes, 2 * 16_384);
+        assert_eq!(s.total_bytes, 60_000);
+        assert!(s.salvaged_joules > 0.0);
+        assert!(s.wasted_joules > 0.0);
+        // The banked prefix's energy moved to Salvaged; nothing remains
+        // booked as a completed image upload.
+        assert!((c.ledger().get(EnergyCategory::Salvaged) - s.salvaged_joules).abs() < 1e-12);
+        assert_eq!(c.ledger().get(EnergyCategory::ImageUpload), 0.0);
+        assert!((c.ledger().get(EnergyCategory::Wasted) - s.wasted_joules).abs() < 1e-12);
+        // Demotion sends it back to waste (undecodable prefix).
+        let moved = c.demote_salvage(s.salvaged_joules);
+        assert!((moved - s.salvaged_joules).abs() < 1e-12);
+        assert_eq!(c.ledger().get(EnergyCategory::Salvaged), 0.0);
+    }
+
+    #[test]
+    fn salvage_off_wastes_what_salvage_on_redeems() {
+        // The A/B the fault_resilience bench reports: at identical seeds,
+        // disabling salvage strictly grows the wasted bucket.
+        let mut cfg = config();
+        cfg.battery = bees_energy::Battery::from_joules(1e9);
+        cfg.fault = bees_net::FaultModel::new(2, 0.0, 1e-12, 1e9, 1.0).unwrap();
+        cfg.retry.attempt_timeout_s = Some(1.0);
+        cfg.retry.max_attempts = 2;
+        let mut on = Client::try_new(0, &cfg).unwrap();
+        let mut off = Client::try_new(0, &cfg).unwrap();
+        on.transmit_salvageable(EnergyCategory::ImageUpload, 60_000)
+            .unwrap();
+        let err = off.transmit_resumable(EnergyCategory::ImageUpload, 60_000);
+        assert!(matches!(
+            err,
+            Err(CoreError::Net(NetError::RetriesExhausted { .. }))
+        ));
+        assert_eq!(off.ledger().get(EnergyCategory::ImageUpload), 0.0);
+        assert!(
+            off.ledger().get(EnergyCategory::Wasted)
+                > on.ledger().get(EnergyCategory::Wasted) + 1e-9,
+            "salvage-off must waste strictly more at equal seeds"
+        );
+        // Total drain is identical either way — salvage relabels energy,
+        // it does not refund it.
+        assert_eq!(
+            on.battery().remaining_joules(),
+            off.battery().remaining_joules()
+        );
+    }
+
+    #[test]
+    fn corrupt_chunks_are_detected_retried_and_deterministic() {
+        let mut cfg = config();
+        cfg.battery = bees_energy::Battery::from_joules(1e9);
+        cfg.fault = bees_net::FaultModel::none().with_corruption(0.5).unwrap();
+        cfg.retry.max_attempts = 200;
+        let run = || {
+            let mut c = Client::try_new(0, &cfg).unwrap();
+            let s = c
+                .transmit_resumable(EnergyCategory::ImageUpload, 200_000)
+                .unwrap();
+            (s, c.ledger().clone())
+        };
+        let (s, ledger) = run();
+        assert_eq!(s.delivered_bytes, 200_000);
+        assert!(
+            s.corrupt_chunks_detected > 0,
+            "p=0.5 must corrupt some of ~13 chunks"
+        );
+        assert!(s.attempts > 1, "corruption must force re-requests");
+        assert!(
+            ledger.get(EnergyCategory::Wasted) > 0.0,
+            "re-sent corrupt chunks burn real energy"
+        );
+        // Pure function of the seed: an identical client repeats exactly.
+        let (s2, ledger2) = run();
+        assert_eq!(s, s2);
+        assert_eq!(ledger, ledger2);
     }
 
     #[test]

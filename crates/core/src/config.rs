@@ -92,10 +92,21 @@ pub struct BeesConfig {
     /// single-bit neighbor of each substring).
     #[serde(default = "default_mih_probe_radius")]
     pub mih_probe_radius: u8,
+    /// Whether BEES salvages uploads whose retry budget runs out: the
+    /// confirmed chunk prefix of the progressive stream is decoded into a
+    /// partial image and ingested, instead of the whole transfer being
+    /// written off as waste. Disable to reproduce the pre-salvage ladder
+    /// (full → thumbnail → defer).
+    #[serde(default = "default_salvage_partials")]
+    pub salvage_partials: bool,
 }
 
 fn default_stall_limit() -> f64 {
     DEFAULT_STALL_LIMIT_S
+}
+
+fn default_salvage_partials() -> bool {
+    true
 }
 
 fn default_server_shards() -> usize {
@@ -136,6 +147,7 @@ impl Default for BeesConfig {
             index_backend: IndexBackend::Linear,
             server_shards: 1,
             mih_probe_radius: 1,
+            salvage_partials: true,
         }
     }
 }
@@ -318,6 +330,8 @@ impl BeesConfigBuilder {
         server_shards: usize,
         /// Sets the MIH multi-probe radius (0 or 1).
         mih_probe_radius: u8,
+        /// Sets whether cut uploads are salvaged into partial images.
+        salvage_partials: bool,
     }
 
     /// Validates and returns the configuration.
@@ -390,6 +404,34 @@ mod tests {
     }
 
     #[test]
+    fn malformed_blackout_schedules_are_rejected_by_config_validation() {
+        let detail = |c: &BeesConfig| match c.validate() {
+            Err(CoreError::InvalidConfig { detail }) => detail,
+            other => panic!("expected InvalidConfig, got {other:?}"),
+        };
+
+        // Overlapping windows: the second starts inside the first.
+        let mut c = BeesConfig::default();
+        c.fault.blackout_windows = vec![(10.0, 20.0), (15.0, 25.0)];
+        assert!(detail(&c).contains("blackout_windows"));
+
+        // Unsorted windows: a later entry starts before an earlier one.
+        let mut c = BeesConfig::default();
+        c.fault.blackout_windows = vec![(30.0, 40.0), (5.0, 10.0)];
+        assert!(detail(&c).contains("blackout_windows"));
+
+        // An empty-span window is rejected too.
+        let mut c = BeesConfig::default();
+        c.fault.blackout_windows = vec![(10.0, 10.0)];
+        assert!(detail(&c).contains("blackout_windows"));
+
+        // A sorted, disjoint (even adjacent) schedule passes.
+        let mut c = BeesConfig::default();
+        c.fault.blackout_windows = vec![(10.0, 20.0), (20.0, 25.0), (40.0, 41.5)];
+        c.validate().expect("sorted disjoint windows are valid");
+    }
+
+    #[test]
     fn builder_sets_fleet_knobs() {
         let config = BeesConfig::builder()
             .server_shards(4)
@@ -446,6 +488,7 @@ mod tests {
             obj.remove("stall_limit_s");
             obj.remove("server_shards");
             obj.remove("mih_probe_radius");
+            obj.remove("salvage_partials");
             serde_json::to_string(obj).unwrap()
         };
         let back: BeesConfig = serde_json::from_str(&stripped).unwrap();
@@ -454,5 +497,6 @@ mod tests {
         assert_eq!(back.stall_limit_s, DEFAULT_STALL_LIMIT_S);
         assert_eq!(back.server_shards, 1);
         assert_eq!(back.mih_probe_radius, 1);
+        assert!(back.salvage_partials, "salvage defaults on");
     }
 }

@@ -46,11 +46,11 @@ pub mod schemes;
 mod server;
 pub mod sessions;
 
-pub use client::{Client, TransmitSummary};
+pub use client::{Client, ResumableOutcome, SalvageSummary, TransmitSummary};
 pub use config::{BeesConfig, IndexBackend};
 pub use error::CoreError;
 pub use report::BatchReport;
-pub use server::Server;
+pub use server::{PartialImage, Server};
 
 /// Shorthand result type for system operations.
 pub type Result<T> = std::result::Result<T, CoreError>;

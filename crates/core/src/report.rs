@@ -49,6 +49,19 @@ pub struct BatchReport {
     /// forcing the scheme to treat every image as non-redundant.
     #[serde(default)]
     pub feature_query_deferred: bool,
+    /// Images whose transfer was cut but whose banked scan prefix decoded
+    /// into a usable partial image on the server (BEES' salvage rung).
+    #[serde(default)]
+    pub salvaged_images: usize,
+    /// Sum of salvaged partials' SSIM estimates against the full-quality
+    /// encode; divide by [`salvaged_images`](Self::salvaged_images) for the
+    /// mean.
+    #[serde(default)]
+    pub salvage_ssim_sum: f64,
+    /// Corrupted transport chunks caught by CRC verification across the
+    /// batch's transfers (every one was re-requested, none decoded).
+    #[serde(default)]
+    pub corrupt_chunks_detected: u64,
 }
 
 impl BatchReport {
@@ -84,6 +97,21 @@ impl BatchReport {
     /// confirmed — the robustness experiment's cost-of-faults metric.
     pub fn wasted_energy(&self) -> f64 {
         self.energy.get(bees_energy::EnergyCategory::Wasted)
+    }
+
+    /// Radio energy redeemed by salvaging cut transfers into partial
+    /// images — joules that the pre-salvage ladder would have wasted.
+    pub fn salvaged_energy(&self) -> f64 {
+        self.energy.get(bees_energy::EnergyCategory::Salvaged)
+    }
+
+    /// Mean SSIM of the salvaged partials against their full-quality
+    /// encodes (0.0 when nothing was salvaged).
+    pub fn mean_salvage_ssim(&self) -> f64 {
+        if self.salvaged_images == 0 {
+            return 0.0;
+        }
+        self.salvage_ssim_sum / self.salvaged_images as f64
     }
 }
 
@@ -134,5 +162,22 @@ mod tests {
         assert_eq!(r.deferred_images, 0);
         assert_eq!(r.transfer_attempts, 0);
         assert!(!r.feature_query_deferred);
+        // Salvage fields are additive too — and the legacy 7-bucket energy
+        // ledger (pre-Salvaged) deserializes with an empty salvage bucket.
+        assert_eq!(r.salvaged_images, 0);
+        assert_eq!(r.salvage_ssim_sum, 0.0);
+        assert_eq!(r.corrupt_chunks_detected, 0);
+        assert_eq!(r.salvaged_energy(), 0.0);
+        assert_eq!(r.mean_salvage_ssim(), 0.0);
+    }
+
+    #[test]
+    fn mean_salvage_ssim_averages_over_salvaged_images() {
+        let mut r = BatchReport::new("BEES", 4);
+        r.salvaged_images = 2;
+        r.salvage_ssim_sum = 1.5;
+        assert!((r.mean_salvage_ssim() - 0.75).abs() < 1e-12);
+        r.energy.record(EnergyCategory::Salvaged, 2.0);
+        assert!((r.salvaged_energy() - 2.0).abs() < 1e-12);
     }
 }

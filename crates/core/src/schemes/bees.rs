@@ -13,19 +13,26 @@
 //!    coverage+diversity maximization) to pick the unique subset,
 //! 4. **AIU** — resolution-compress each selected image by the EAU
 //!    proportion `Cr = 0.8 − 0.8·Ebat`, quality-compress with the DCT codec
-//!    at the fixed 0.85 proportion, and upload.
+//!    at the fixed 0.85 proportion, and upload as a *progressive*
+//!    (spectral-selection) stream so a cut transfer's confirmed chunk
+//!    prefix still decodes into a usable partial image. The degradation
+//!    ladder per image is full → salvaged-partial → thumbnail → defer.
 //!
 //! `BEES-EA` is the ablation without adaptation: identical pipeline with
 //! every scheme frozen at its `Ebat = 1` value (no bitmap compression,
 //! highest threshold, no resolution compression) — quality compression,
 //! ORB, and both redundancy eliminations still apply.
 
-use crate::schemes::{transmit_or_defer, try_power, BatchCtx, Delivery, SchemeKind, UploadScheme};
-use crate::{BatchReport, BeesConfig, Client, Result};
+use crate::schemes::{
+    transmit_or_defer, transmit_or_salvage, try_power, BatchCtx, Delivery, SchemeKind, UploadScheme,
+};
+use crate::{BatchReport, BeesConfig, Client, PartialImage, Result};
 use bees_energy::{AdaptiveScheme, EnergyCategory, LinearScheme};
 use bees_features::orb::Orb;
 use bees_features::similarity::{jaccard_similarity, jaccard_similarity_blocks};
 use bees_features::{FeatureExtractor, ImageFeatures};
+use bees_image::codec::progressive;
+use bees_image::metrics::ssim;
 use bees_image::{codec, resize};
 use bees_net::wire;
 use bees_submodular::{SimilarityGraph, Ssmm};
@@ -50,6 +57,8 @@ pub struct Bees {
     similarity: bees_features::similarity::SimilarityConfig,
     upload_quality: u8,
     adaptive: bool,
+    salvage_partials: bool,
+    chunk_bytes: usize,
 }
 
 impl Bees {
@@ -75,6 +84,8 @@ impl Bees {
             similarity: config.similarity,
             upload_quality: config.upload_quality(),
             adaptive,
+            salvage_partials: config.salvage_partials,
+            chunk_bytes: config.retry.chunk_bytes,
         }
     }
 
@@ -154,6 +165,7 @@ impl UploadScheme for Bees {
         ) {
             Delivery::Delivered(summary) => {
                 report.transfer_attempts += summary.attempts as u64;
+                report.corrupt_chunks_detected += summary.corrupt_chunks_detected;
                 report.uplink_bytes += query_bytes;
                 report.feature_bytes += feature_payload;
 
@@ -174,6 +186,7 @@ impl UploadScheme for Bees {
                     }
                 }
             }
+            Delivery::Salvaged(_) => unreachable!("feature queries go through the defer path"),
             Delivery::Deferred { attempts } => {
                 report.transfer_attempts += attempts as u64;
                 report.feature_query_deferred = true;
@@ -243,8 +256,10 @@ impl UploadScheme for Bees {
             .close(client.now());
 
         // ---- Stage 4: Approximate Image Uploading ------------------------
-        // Degradation ladder per image: full-quality upload → (on retry
-        // exhaustion) thumbnail-quality upload → (again exhausted) defer.
+        // Degradation ladder per image: progressive full-quality upload →
+        // (on retry exhaustion) salvage the banked scan prefix as a partial
+        // image → (nothing decodable) thumbnail-quality upload → (again
+        // exhausted) defer.
         let t_aiu = client.now();
         let joules_before_aiu = client.ledger().total();
         for &i in &selected {
@@ -263,60 +278,120 @@ impl UploadScheme for Bees {
                 client,
                 client.spend_cpu(EnergyCategory::Compression, encode_j)
             );
-            let payload = codec::encode_rgb(&shrunk, self.upload_quality)?;
-            let bytes = wire::image_upload_bytes(payload.len());
-            match try_power!(
-                report,
-                client,
-                transmit_or_defer(client, EnergyCategory::ImageUpload, bytes)
-            ) {
+            let payload = progressive::encode_progressive_rgb(&shrunk, self.upload_quality)?;
+            let bytes = wire::framed_upload_bytes(payload.len(), self.chunk_bytes);
+            let delivery = if self.salvage_partials {
+                try_power!(
+                    report,
+                    client,
+                    transmit_or_salvage(client, EnergyCategory::ImageUpload, bytes)
+                )
+            } else {
+                try_power!(
+                    report,
+                    client,
+                    transmit_or_defer(client, EnergyCategory::ImageUpload, bytes)
+                )
+            };
+            // `Some(attempts)` sends the image down the thumbnail rung.
+            let mut fall_back: Option<u32> = None;
+            match delivery {
                 Delivery::Delivered(summary) => {
                     report.transfer_attempts += summary.attempts as u64;
+                    report.corrupt_chunks_detected += summary.corrupt_chunks_detected;
                     report.uplink_bytes += bytes;
                     report.image_bytes += payload.len();
                     report.uploaded_images += 1;
                     server.ingest_image(features[i].clone(), payload.len(), geotags.map(|g| g[i]));
                 }
-                Delivery::Deferred { attempts } => {
-                    report.transfer_attempts += attempts as u64;
-                    let resize_j = model.resize_energy(batch[i].pixel_count());
-                    try_power!(
-                        report,
-                        client,
-                        client.spend_cpu(EnergyCategory::Compression, resize_j)
+                Delivery::Salvaged(summary) => {
+                    report.transfer_attempts += summary.attempts as u64;
+                    report.corrupt_chunks_detected += summary.corrupt_chunks_detected;
+                    let prefix = wire::salvaged_payload_bytes(
+                        summary.banked_bytes,
+                        payload.len(),
+                        self.chunk_bytes,
                     );
-                    let thumb = resize::compress_resolution_rgb(
-                        &batch[i],
-                        THUMBNAIL_RESOLUTION_PROPORTION,
-                    )?;
-                    let encode_j = model.encode_energy(thumb.pixel_count());
-                    try_power!(
-                        report,
-                        client,
-                        client.spend_cpu(EnergyCategory::Compression, encode_j)
-                    );
-                    let thumb_payload = codec::encode_rgb(&thumb, THUMBNAIL_QUALITY)?;
-                    let thumb_bytes = wire::image_upload_bytes(thumb_payload.len());
-                    match try_power!(
-                        report,
-                        client,
-                        transmit_or_defer(client, EnergyCategory::ImageUpload, thumb_bytes)
-                    ) {
-                        Delivery::Delivered(summary) => {
-                            report.transfer_attempts += summary.attempts as u64;
-                            report.uplink_bytes += thumb_bytes;
-                            report.image_bytes += thumb_payload.len();
-                            report.degraded_images += 1;
-                            server.ingest_image(
+                    match progressive::decode_partial(&payload[..prefix]) {
+                        Ok((decoded, progress)) => {
+                            let s = ssim(&shrunk.to_gray(), &decoded.to_gray())?;
+                            report.uplink_bytes += summary.banked_bytes;
+                            report.image_bytes += prefix;
+                            report.salvaged_images += 1;
+                            report.salvage_ssim_sum += s;
+                            server.ingest_partial_image(
                                 features[i].clone(),
-                                thumb_payload.len(),
+                                PartialImage {
+                                    scans_complete: progress.scans_complete,
+                                    scans_total: progress.scans_total,
+                                    payload_bytes: prefix,
+                                    total_bytes: payload.len(),
+                                    ssim_estimate: s,
+                                },
                                 geotags.map(|g| g[i]),
                             );
+                            let now = client.now();
+                            tel.span(names::AIU_SCAN, now)
+                                .attr_str("scheme", self.kind().as_str())
+                                .attr_u64("scans", progress.scans_complete as u64)
+                                .attr_u64("scans_total", progress.scans_total as u64)
+                                .attr_u64("payload_bytes", prefix as u64)
+                                .attr_f64("ssim", s)
+                                .close(now);
                         }
-                        Delivery::Deferred { attempts } => {
-                            report.transfer_attempts += attempts as u64;
-                            report.deferred_images += 1;
+                        Err(_) => {
+                            // The banked prefix ends before the DC scan
+                            // completes: nothing decodable was bought, so
+                            // the energy goes back to waste and the ladder
+                            // falls through to the thumbnail rung.
+                            client.demote_salvage(summary.salvaged_joules);
+                            fall_back = Some(0);
                         }
+                    }
+                }
+                Delivery::Deferred { attempts } => fall_back = Some(attempts),
+            }
+            if let Some(attempts) = fall_back {
+                report.transfer_attempts += attempts as u64;
+                let resize_j = model.resize_energy(batch[i].pixel_count());
+                try_power!(
+                    report,
+                    client,
+                    client.spend_cpu(EnergyCategory::Compression, resize_j)
+                );
+                let thumb =
+                    resize::compress_resolution_rgb(&batch[i], THUMBNAIL_RESOLUTION_PROPORTION)?;
+                let encode_j = model.encode_energy(thumb.pixel_count());
+                try_power!(
+                    report,
+                    client,
+                    client.spend_cpu(EnergyCategory::Compression, encode_j)
+                );
+                let thumb_payload = codec::encode_rgb(&thumb, THUMBNAIL_QUALITY)?;
+                let thumb_bytes = wire::image_upload_bytes(thumb_payload.len());
+                match try_power!(
+                    report,
+                    client,
+                    transmit_or_defer(client, EnergyCategory::ImageUpload, thumb_bytes)
+                ) {
+                    Delivery::Delivered(summary) => {
+                        report.transfer_attempts += summary.attempts as u64;
+                        report.corrupt_chunks_detected += summary.corrupt_chunks_detected;
+                        report.uplink_bytes += thumb_bytes;
+                        report.image_bytes += thumb_payload.len();
+                        report.degraded_images += 1;
+                        server.ingest_image(
+                            features[i].clone(),
+                            thumb_payload.len(),
+                            geotags.map(|g| g[i]),
+                        );
+                    }
+                    Delivery::Salvaged(_) => {
+                        unreachable!("thumbnails go through the defer path")
+                    }
+                    Delivery::Deferred { attempts } => {
+                        report.transfer_attempts += attempts as u64;
+                        report.deferred_images += 1;
                     }
                 }
             }
@@ -325,6 +400,7 @@ impl UploadScheme for Bees {
             .attr_str("scheme", self.kind().as_str())
             .attr_u64("selected", selected.len() as u64)
             .attr_u64("uploaded", report.uploaded_images as u64)
+            .attr_u64("salvaged", report.salvaged_images as u64)
             .attr_u64("degraded", report.degraded_images as u64)
             .attr_u64("bytes", report.image_bytes as u64)
             .attr_f64("joules", client.ledger().total() - joules_before_aiu)
@@ -504,6 +580,7 @@ mod tests {
         assert!(!r.exhausted);
         assert_eq!(
             r.uploaded_images
+                + r.salvaged_images
                 + r.degraded_images
                 + r.deferred_images
                 + r.skipped_cross_batch
@@ -512,8 +589,8 @@ mod tests {
             "every image must be accounted for: {r:?}"
         );
         assert!(
-            r.degraded_images + r.deferred_images > 0,
-            "an 85% drop rate with budget 2 must force degradation: {r:?}"
+            r.salvaged_images + r.degraded_images + r.deferred_images > 0,
+            "an 85% drop rate with budget 2 must force the ladder down: {r:?}"
         );
         assert!(
             r.wasted_energy() > 0.0,
@@ -528,6 +605,65 @@ mod tests {
             .upload(&mut BatchCtx::new(&mut client2, &mut server2, &data.batch))
             .unwrap();
         assert_eq!(r, r2);
+    }
+
+    #[test]
+    fn cut_uploads_salvage_partials_and_shrink_the_wasted_bucket() {
+        // A hostile channel cuts most attempts and the budget is tight, so
+        // full uploads rarely finish. With salvage on, the banked scan
+        // prefixes become partial images on the server; with salvage off
+        // (the pre-salvage ladder) the same joules are written off as
+        // waste. Equal seeds throughout.
+        let mut cfg = config();
+        cfg.battery = bees_energy::Battery::from_joules(1e9);
+        cfg.fault = bees_net::FaultModel::new(0x5A17A6E, 0.9, 0.0, 1e9, 1.0).unwrap();
+        // Three attempts whose cuts each bank 5–95% of the *remaining*
+        // bytes leave most exhausted transfers with a couple of complete
+        // scans; 128-byte chunks keep the banked prefix fine-grained
+        // relative to the ~500-byte progressive payloads.
+        cfg.retry.max_attempts = 3;
+        cfg.retry.chunk_bytes = 128;
+        let data = disaster_batch(45, 5, 0, 0.0, small());
+        let run = |salvage: bool| {
+            let mut c = cfg.clone();
+            c.salvage_partials = salvage;
+            let scheme = Bees::adaptive(&c);
+            let mut server = Server::try_new(&c).unwrap();
+            let mut client = Client::try_new(0, &c).unwrap();
+            let r = scheme
+                .upload(&mut BatchCtx::new(&mut client, &mut server, &data.batch))
+                .unwrap();
+            (r, server)
+        };
+        let (on, srv_on) = run(true);
+        let (off, srv_off) = run(false);
+        assert!(on.salvaged_images > 0, "no upload salvaged: {on:?}");
+        assert!(
+            on.salvage_ssim_sum / on.salvaged_images as f64 > 0.5,
+            "mean salvage ssim {}",
+            on.salvage_ssim_sum / on.salvaged_images as f64
+        );
+        assert_eq!(srv_on.partial_images().len(), on.salvaged_images);
+        for (r, label) in [(&on, "on"), (&off, "off")] {
+            assert_eq!(
+                r.uploaded_images
+                    + r.salvaged_images
+                    + r.degraded_images
+                    + r.deferred_images
+                    + r.skipped_cross_batch
+                    + r.skipped_in_batch,
+                r.batch_size,
+                "conservation with salvage {label}: {r:?}"
+            );
+        }
+        assert_eq!(off.salvaged_images, 0);
+        assert!(srv_off.partial_images().is_empty());
+        assert!(
+            on.wasted_energy() + 1e-9 < off.wasted_energy(),
+            "salvage must strictly shrink waste: on {} vs off {}",
+            on.wasted_energy(),
+            off.wasted_energy()
+        );
     }
 
     #[test]

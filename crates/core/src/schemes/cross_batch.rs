@@ -105,6 +105,7 @@ pub(crate) fn run_cross_batch_scheme(
                 })
                 .collect()
         }
+        Delivery::Salvaged(_) => unreachable!("only BEES salvages uploads"),
         Delivery::Deferred { attempts } => {
             report.transfer_attempts += attempts as u64;
             report.feature_query_deferred = true;
@@ -150,6 +151,7 @@ pub(crate) fn run_cross_batch_scheme(
                 report.uploaded_images += 1;
                 server.ingest_image(features[i].clone(), payload, geotags.map(|t| t[i]));
             }
+            Delivery::Salvaged(_) => unreachable!("only BEES salvages uploads"),
             Delivery::Deferred { attempts } => {
                 report.transfer_attempts += attempts as u64;
                 report.deferred_images += 1;

@@ -81,6 +81,7 @@ impl UploadScheme for DirectUpload {
                         geotags.map(|t| t[i]),
                     );
                 }
+                Delivery::Salvaged(_) => unreachable!("only BEES salvages uploads"),
                 Delivery::Deferred { attempts } => {
                     report.transfer_attempts += attempts as u64;
                     report.deferred_images += 1;

@@ -268,6 +268,9 @@ pub(crate) use try_power;
 pub(crate) enum Delivery {
     /// Every byte was confirmed; the summary carries attempt/waste stats.
     Delivered(TransmitSummary),
+    /// The retry budget ran out with whole chunks banked; the summary says
+    /// how much of the payload survived for partial decoding.
+    Salvaged(crate::SalvageSummary),
     /// The retry budget ran out; the payload was given up on (the batch
     /// continues — graceful degradation instead of an aborted run).
     Deferred {
@@ -288,6 +291,24 @@ pub(crate) fn transmit_or_defer(
 ) -> Result<Delivery> {
     match client.transmit_resumable(category, bytes) {
         Ok(summary) => Ok(Delivery::Delivered(summary)),
+        Err(crate::CoreError::Net(bees_net::NetError::RetriesExhausted { attempts, .. })) => {
+            Ok(Delivery::Deferred { attempts })
+        }
+        Err(other) => Err(other),
+    }
+}
+
+/// Transmits through [`Client::transmit_salvageable`]: retry exhaustion
+/// with banked chunks becomes [`Delivery::Salvaged`] (the caller decodes
+/// the prefix), with nothing banked it becomes [`Delivery::Deferred`].
+pub(crate) fn transmit_or_salvage(
+    client: &mut Client,
+    category: EnergyCategory,
+    bytes: usize,
+) -> Result<Delivery> {
+    match client.transmit_salvageable(category, bytes) {
+        Ok(crate::ResumableOutcome::Complete(summary)) => Ok(Delivery::Delivered(summary)),
+        Ok(crate::ResumableOutcome::Salvaged(summary)) => Ok(Delivery::Salvaged(summary)),
         Err(crate::CoreError::Net(bees_net::NetError::RetriesExhausted { attempts, .. })) => {
             Ok(Delivery::Deferred { attempts })
         }

@@ -107,6 +107,7 @@ impl UploadScheme for PhotoNetLike {
                     })
                     .collect()
             }
+            Delivery::Salvaged(_) => unreachable!("only BEES salvages uploads"),
             Delivery::Deferred { attempts } => {
                 report.transfer_attempts += attempts as u64;
                 report.feature_query_deferred = true;
@@ -143,6 +144,7 @@ impl UploadScheme for PhotoNetLike {
                         geotags.map(|t| t[i]),
                     );
                 }
+                Delivery::Salvaged(_) => unreachable!("only BEES salvages uploads"),
                 Delivery::Deferred { attempts } => {
                     report.transfer_attempts += attempts as u64;
                     report.deferred_images += 1;

@@ -45,7 +45,27 @@ pub struct Server {
     /// Global-feature store for PhotoNet-like schemes (histogram dedup),
     /// keyed by id.
     histograms: BTreeMap<ImageId, ColorHistogram>,
+    /// Salvaged progressive uploads awaiting their tail scans, keyed by id.
+    partials: BTreeMap<ImageId, PartialImage>,
     telemetry: Telemetry,
+}
+
+/// Bookkeeping for a salvaged progressive upload: the server holds a
+/// decodable scan prefix and can upgrade it in place when a later session
+/// delivers the tail scans.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PartialImage {
+    /// Progressive scans fully received (≥ 1: the DC scan decoded).
+    pub scans_complete: usize,
+    /// Scans a complete stream carries.
+    pub scans_total: usize,
+    /// Decodable payload bytes banked so far.
+    pub payload_bytes: usize,
+    /// Bytes of the complete encoded stream.
+    pub total_bytes: usize,
+    /// SSIM of the partial reconstruction against the full-quality encode,
+    /// as estimated by the uploading client.
+    pub ssim_estimate: f64,
 }
 
 fn build_index(config: &BeesConfig) -> Box<dyn FeatureIndex> {
@@ -86,6 +106,7 @@ impl Server {
             queries_served: 0,
             geotags: BTreeMap::new(),
             histograms: BTreeMap::new(),
+            partials: BTreeMap::new(),
             telemetry: Telemetry::disabled(),
         })
     }
@@ -226,6 +247,62 @@ impl Server {
         id
     }
 
+    /// Ingests a *salvaged* progressive upload: the decodable scan prefix
+    /// of a transfer whose tail never arrived. The image is fully
+    /// query-able — its features (extracted client-side and uploaded for
+    /// CBRD) stage for the next epoch commit like any other upload — but it
+    /// is tracked as partial until [`upgrade_partial_image`] delivers the
+    /// tail. Returns the new id.
+    ///
+    /// [`upgrade_partial_image`]: Server::upgrade_partial_image
+    pub fn ingest_partial_image(
+        &mut self,
+        features: ImageFeatures,
+        partial: PartialImage,
+        geotag: Option<(f64, f64)>,
+    ) -> ImageId {
+        let id = self.fresh_id();
+        self.pending.push((id, features));
+        self.received_images += 1;
+        self.received_image_bytes += partial.payload_bytes;
+        if let Some(g) = geotag {
+            self.geotags.insert(id, g);
+        }
+        self.telemetry
+            .event(names::SRV_INGEST, 0.0)
+            .attr_u64("image", id.0)
+            .attr_u64("bytes", partial.payload_bytes as u64)
+            .attr_bool("partial", true)
+            .attr_u64("scans", partial.scans_complete as u64)
+            .close(0.0);
+        self.partials.insert(id, partial);
+        id
+    }
+
+    /// Upgrades a partial image in place: a later session delivered the
+    /// tail scans, so the stored prefix becomes the full-fidelity image.
+    /// Accounts only the tail bytes (the prefix was already counted).
+    /// Returns `false` when `id` is not a partial image.
+    pub fn upgrade_partial_image(&mut self, id: ImageId) -> bool {
+        let Some(partial) = self.partials.remove(&id) else {
+            return false;
+        };
+        let tail = partial.total_bytes.saturating_sub(partial.payload_bytes);
+        self.received_image_bytes += tail;
+        self.telemetry
+            .event(names::SRV_INGEST, 0.0)
+            .attr_u64("image", id.0)
+            .attr_u64("bytes", tail as u64)
+            .attr_bool("upgrade", true)
+            .close(0.0);
+        true
+    }
+
+    /// Salvaged uploads still awaiting their tail scans, keyed by id.
+    pub fn partial_images(&self) -> &BTreeMap<ImageId, PartialImage> {
+        &self.partials
+    }
+
     /// Number of images stored (preloads + uploads), including the pending
     /// epoch.
     pub fn indexed_images(&self) -> usize {
@@ -330,6 +407,7 @@ impl std::fmt::Debug for Server {
             .field("pending", &self.pending.len())
             .field("received_images", &self.received_images)
             .field("received_image_bytes", &self.received_image_bytes)
+            .field("partial_images", &self.partials.len())
             .finish()
     }
 }
@@ -462,6 +540,43 @@ mod tests {
         let hit = s.query_max_similarity(&f).expect("just-ingested image");
         assert!((hit.similarity - 1.0).abs() < 1e-9);
         assert_eq!(s.indexed_images(), 1);
+    }
+
+    #[test]
+    fn partial_images_are_queryable_and_upgrade_in_place() {
+        let cfg = config();
+        let mut s = Server::try_new(&cfg).unwrap();
+        let orb = Orb::new(cfg.orb);
+        let f = orb.extract(&small_scene(9).to_gray());
+        let id = s.ingest_partial_image(
+            f.clone(),
+            PartialImage {
+                scans_complete: 2,
+                scans_total: 5,
+                payload_bytes: 4_000,
+                total_bytes: 10_000,
+                ssim_estimate: 0.7,
+            },
+            Some((1.0, 2.0)),
+        );
+        // The salvaged image answers feature queries like any upload.
+        let hit = s.query_max_similarity(&f).expect("partial is indexed");
+        assert!((hit.similarity - 1.0).abs() < 1e-9);
+        assert_eq!(hit.id, id);
+        assert_eq!(s.received_images(), 1);
+        assert_eq!(s.received_image_bytes(), 4_000);
+        assert_eq!(s.partial_images().len(), 1);
+        assert_eq!(s.partial_images()[&id].scans_complete, 2);
+        // Tail completion upgrades in place: only the tail bytes are new,
+        // and the image stops being partial.
+        assert!(s.upgrade_partial_image(id));
+        assert_eq!(s.received_image_bytes(), 10_000);
+        assert_eq!(s.received_images(), 1);
+        assert!(s.partial_images().is_empty());
+        // A second upgrade (or a bogus id) is a no-op.
+        assert!(!s.upgrade_partial_image(id));
+        assert!(!s.upgrade_partial_image(ImageId(999)));
+        assert_eq!(s.received_image_bytes(), 10_000);
     }
 
     /// The sharded server must answer every query exactly like the

@@ -14,9 +14,12 @@
 //! each group is device-unique.
 
 use crate::schemes::{BatchCtx, UploadScheme};
-use crate::{BeesConfig, Client, Result, Server};
+use crate::{BeesConfig, Client, CoreError, Result, Server};
 use bees_datasets::{Scene, SceneConfig, ViewJitter};
+use bees_energy::EnergyCategory;
 use bees_image::RgbImage;
+use bees_index::ImageId;
+use bees_net::{wire, NetError};
 use std::cmp::{Ordering, Reverse};
 use std::collections::BinaryHeap;
 
@@ -100,6 +103,14 @@ pub struct FleetReport {
     pub server_queries: usize,
     /// Devices whose battery died mid-run.
     pub devices_exhausted: usize,
+    /// Cut uploads salvaged into partial images across the fleet.
+    pub salvaged_images: usize,
+    /// Salvaged partials completed in place when their tail scans arrived
+    /// in a later transfer of the same round.
+    pub partials_upgraded: usize,
+    /// Salvaged partials still awaiting their tail scans when the run
+    /// ended (queryable, just not full quality).
+    pub partials_pending: usize,
     /// Per-device outcomes, in device-id order.
     pub devices: Vec<DeviceSummary>,
 }
@@ -134,6 +145,9 @@ impl FleetReport {
         ));
         push_field(&mut out, "server_queries", self.server_queries);
         push_field(&mut out, "devices_exhausted", self.devices_exhausted);
+        push_field(&mut out, "salvaged_images", self.salvaged_images);
+        push_field(&mut out, "partials_upgraded", self.partials_upgraded);
+        push_field(&mut out, "partials_pending", self.partials_pending);
         out.push_str(",\"devices\":[");
         for (i, d) in self.devices.iter().enumerate() {
             if i > 0 {
@@ -275,12 +289,18 @@ pub fn run_fleet(
     let mut skipped_cross_batch = 0usize;
     let mut skipped_in_batch = 0usize;
     let mut rounds_completed = 0usize;
+    let mut salvaged_images = 0usize;
+    let mut partials_upgraded = 0usize;
+    let chunk = config.retry.chunk_bytes.max(1);
 
     while let Some(Reverse(ev)) = queue.pop() {
         let d = ev.device;
         let batch = make_batch(fleet, d, ev.round);
         images_captured += batch.len();
         let start = clients[d].now();
+        // Snapshot the server's partial set so this round's salvaged
+        // uploads can be attributed to this device afterwards.
+        let before: Vec<ImageId> = server.partial_images().keys().copied().collect();
         let report = scheme.upload(&mut BatchCtx::new(&mut clients[d], &mut server, &batch))?;
         rounds_completed += 1;
         devices[d].rounds += 1;
@@ -288,8 +308,37 @@ pub fn run_fleet(
         devices[d].uplink_bytes += report.uplink_bytes;
         skipped_cross_batch += report.skipped_cross_batch;
         skipped_in_batch += report.skipped_in_batch;
+        salvaged_images += report.salvaged_images;
         if report.exhausted {
             devices[d].exhausted = true;
+            continue;
+        }
+        // Tail completion: before sleeping, the device retries the missing
+        // scan tails of the partials it just salvaged. Each success
+        // upgrades the server's copy in place; a cut tail stays pending.
+        let fresh: Vec<(ImageId, usize)> = server
+            .partial_images()
+            .iter()
+            .filter(|(id, _)| before.binary_search(id).is_err())
+            .map(|(id, p)| (*id, p.total_bytes - p.payload_bytes))
+            .collect();
+        for (id, tail) in fresh {
+            let bytes = wire::framed_upload_bytes(tail, chunk);
+            match clients[d].transmit_resumable(EnergyCategory::ImageUpload, bytes) {
+                Ok(_) => {
+                    server.upgrade_partial_image(id);
+                    devices[d].uplink_bytes += bytes;
+                    partials_upgraded += 1;
+                }
+                Err(CoreError::Net(NetError::RetriesExhausted { .. })) => {}
+                Err(CoreError::BatteryExhausted { .. }) => {
+                    devices[d].exhausted = true;
+                    break;
+                }
+                Err(other) => return Err(other),
+            }
+        }
+        if devices[d].exhausted {
             continue;
         }
         if ev.round + 1 < fleet.rounds {
@@ -328,6 +377,9 @@ pub fn run_fleet(
         redundancy_elimination,
         server_queries: server.queries_served(),
         devices_exhausted: devices.iter().filter(|d| d.exhausted).count(),
+        salvaged_images,
+        partials_upgraded,
+        partials_pending: server.partial_images().len(),
         devices,
     })
 }
@@ -431,6 +483,29 @@ mod tests {
     }
 
     #[test]
+    fn faulty_fleet_salvages_partials_and_upgrades_tails() {
+        let mut cfg = config();
+        cfg.battery = Battery::from_joules(1e9);
+        cfg.fault = bees_net::FaultModel::new(0x5A17A6E, 0.6, 0.0, 1e9, 1.0).unwrap();
+        cfg.retry.max_attempts = 3;
+        cfg.retry.chunk_bytes = 128;
+        let a = run_fleet(&Bees::adaptive(&cfg), &cfg, &tiny_fleet()).unwrap();
+        let b = run_fleet(&Bees::adaptive(&cfg), &cfg, &tiny_fleet()).unwrap();
+        assert_eq!(
+            a.to_json(),
+            b.to_json(),
+            "salvage path must stay deterministic"
+        );
+        assert!(
+            a.salvaged_images > 0,
+            "lossy fleet should salvage something"
+        );
+        // Every salvaged partial is either upgraded by its tail retry or
+        // still pending on the server — none vanish.
+        assert_eq!(a.partials_upgraded + a.partials_pending, a.salvaged_images);
+    }
+
+    #[test]
     fn report_json_shape_is_stable() {
         let report = FleetReport {
             scheme: "bees".to_string(),
@@ -444,6 +519,9 @@ mod tests {
             redundancy_elimination: 0.5,
             server_queries: 2,
             devices_exhausted: 0,
+            salvaged_images: 1,
+            partials_upgraded: 1,
+            partials_pending: 0,
             devices: vec![DeviceSummary {
                 device: 0,
                 rounds: 1,
@@ -460,6 +538,8 @@ mod tests {
              \"skipped_cross_batch\":1,\"skipped_in_batch\":0,\
              \"uplink_bytes\":42,\"redundancy_elimination\":0.5,\
              \"server_queries\":2,\"devices_exhausted\":0,\
+             \"salvaged_images\":1,\"partials_upgraded\":1,\
+             \"partials_pending\":0,\
              \"devices\":[{\"device\":0,\"rounds\":1,\"uploaded_images\":1,\
              \"uplink_bytes\":42,\"final_ebat\":1,\"exhausted\":false}]}"
         );

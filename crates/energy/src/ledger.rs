@@ -25,11 +25,16 @@ pub enum EnergyCategory {
     Wasted,
     /// Baseline screen/system drain.
     Idle,
+    /// Radio energy that bought confirmed chunks of a transfer that never
+    /// completed, later redeemed by decoding the banked prefix into a
+    /// usable partial image. Not wasted — it delivered fidelity.
+    Salvaged,
 }
 
 impl EnergyCategory {
-    /// All categories, in reporting order.
-    pub const ALL: [EnergyCategory; 7] = [
+    /// All categories, in reporting order. `Salvaged` is appended last so
+    /// ledgers serialized before it existed keep their bucket order.
+    pub const ALL: [EnergyCategory; 8] = [
         EnergyCategory::FeatureExtraction,
         EnergyCategory::FeatureUpload,
         EnergyCategory::ImageUpload,
@@ -37,6 +42,7 @@ impl EnergyCategory {
         EnergyCategory::Compression,
         EnergyCategory::Wasted,
         EnergyCategory::Idle,
+        EnergyCategory::Salvaged,
     ];
 }
 
@@ -50,6 +56,7 @@ impl fmt::Display for EnergyCategory {
             EnergyCategory::Compression => "compression",
             EnergyCategory::Wasted => "wasted",
             EnergyCategory::Idle => "idle",
+            EnergyCategory::Salvaged => "salvaged",
         };
         f.write_str(name)
     }
@@ -69,8 +76,35 @@ impl fmt::Display for EnergyCategory {
 /// assert_eq!(ledger.total(), 4.0);
 /// ```
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[serde(from = "LedgerRepr", into = "LedgerRepr")]
 pub struct EnergyLedger {
-    entries: [(f64, u64); 7], // (joules, event count) indexed by category
+    entries: [(f64, u64); 8], // (joules, event count) indexed by category
+}
+
+/// Serialized form of [`EnergyLedger`]: a variable-length bucket list, so
+/// ledgers written before `Salvaged` existed (7 buckets) still deserialize —
+/// missing trailing buckets read as empty, extras are dropped.
+#[derive(Serialize, Deserialize)]
+struct LedgerRepr {
+    entries: Vec<(f64, u64)>,
+}
+
+impl From<LedgerRepr> for EnergyLedger {
+    fn from(repr: LedgerRepr) -> Self {
+        let mut entries = [(0.0, 0u64); 8];
+        for (slot, got) in entries.iter_mut().zip(repr.entries) {
+            *slot = got;
+        }
+        EnergyLedger { entries }
+    }
+}
+
+impl From<EnergyLedger> for LedgerRepr {
+    fn from(ledger: EnergyLedger) -> Self {
+        LedgerRepr {
+            entries: ledger.entries.to_vec(),
+        }
+    }
 }
 
 fn index_of(cat: EnergyCategory) -> usize {
@@ -120,6 +154,31 @@ impl EnergyLedger {
     /// schemes in Fig. 7.
     pub fn total_active(&self) -> f64 {
         self.total() - self.get(EnergyCategory::Idle)
+    }
+
+    /// Moves `joules` already recorded under `from` into the `to` bucket,
+    /// clamped to what `from` actually holds. Event counts stay put — the
+    /// events happened where they happened; only the verdict on the energy
+    /// changes (e.g. banked upload joules become `Salvaged` when the cut
+    /// transfer's prefix decodes). The ledger total is preserved exactly.
+    ///
+    /// Returns the joules actually moved.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `joules` is negative or not finite.
+    pub fn reassign(&mut self, from: EnergyCategory, to: EnergyCategory, joules: f64) -> f64 {
+        assert!(
+            joules.is_finite() && joules >= 0.0,
+            "reassigned energy must be non-negative"
+        );
+        if from == to {
+            return 0.0;
+        }
+        let moved = joules.min(self.entries[index_of(from)].0);
+        self.entries[index_of(from)].0 -= moved;
+        self.entries[index_of(to)].0 += moved;
+        moved
     }
 
     /// Merges another ledger into this one.
@@ -191,6 +250,62 @@ mod tests {
     #[should_panic(expected = "non-negative")]
     fn negative_energy_rejected() {
         EnergyLedger::new().record(EnergyCategory::Idle, -1.0);
+    }
+
+    #[test]
+    fn reassign_moves_joules_but_not_events() {
+        let mut l = EnergyLedger::new();
+        l.record(EnergyCategory::ImageUpload, 10.0);
+        l.record(EnergyCategory::ImageUpload, 2.0);
+        let moved = l.reassign(EnergyCategory::ImageUpload, EnergyCategory::Salvaged, 7.0);
+        assert_eq!(moved, 7.0);
+        assert_eq!(l.get(EnergyCategory::ImageUpload), 5.0);
+        assert_eq!(l.get(EnergyCategory::Salvaged), 7.0);
+        // Events stay where they were recorded; only the joules move.
+        assert_eq!(l.count(EnergyCategory::ImageUpload), 2);
+        assert_eq!(l.count(EnergyCategory::Salvaged), 0);
+        assert_eq!(l.total(), 12.0);
+    }
+
+    #[test]
+    fn reassign_clamps_to_the_source_bucket() {
+        let mut l = EnergyLedger::new();
+        l.record(EnergyCategory::Wasted, 3.0);
+        let moved = l.reassign(EnergyCategory::Wasted, EnergyCategory::Salvaged, 100.0);
+        assert_eq!(moved, 3.0);
+        assert_eq!(l.get(EnergyCategory::Wasted), 0.0);
+        assert_eq!(l.get(EnergyCategory::Salvaged), 3.0);
+        // Self-reassignment is a no-op, not a double count.
+        assert_eq!(
+            l.reassign(EnergyCategory::Salvaged, EnergyCategory::Salvaged, 1.0),
+            0.0
+        );
+        assert_eq!(l.get(EnergyCategory::Salvaged), 3.0);
+        assert_eq!(EnergyCategory::Salvaged.to_string(), "salvaged");
+    }
+
+    #[test]
+    fn legacy_seven_bucket_ledgers_pad_with_empty_salvage() {
+        // Reports serialized before `Salvaged` existed carry 7 buckets;
+        // they must round-trip through the repr with an empty 8th bucket.
+        let legacy = LedgerRepr {
+            entries: vec![
+                (1.0, 1),
+                (2.0, 1),
+                (3.0, 2),
+                (0.0, 0),
+                (4.0, 1),
+                (5.0, 3),
+                (6.0, 1),
+            ],
+        };
+        let ledger = EnergyLedger::from(legacy);
+        assert_eq!(ledger.get(EnergyCategory::Salvaged), 0.0);
+        assert_eq!(ledger.get(EnergyCategory::Idle), 6.0);
+        assert_eq!(ledger.total(), 21.0);
+        let back = LedgerRepr::from(ledger);
+        assert_eq!(back.entries.len(), 8);
+        assert_eq!(back.entries[7], (0.0, 0));
     }
 
     #[test]

@@ -57,8 +57,8 @@ proptest! {
 
     #[test]
     fn ledger_merge_is_additive(
-        a in proptest::collection::vec((0u8..7, 0.0f64..50.0), 0..20),
-        b in proptest::collection::vec((0u8..7, 0.0f64..50.0), 0..20),
+        a in proptest::collection::vec((0u8..8, 0.0f64..50.0), 0..20),
+        b in proptest::collection::vec((0u8..8, 0.0f64..50.0), 0..20),
     ) {
         let fill = |entries: &[(u8, f64)]| {
             let mut l = EnergyLedger::new();

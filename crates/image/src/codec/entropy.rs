@@ -130,6 +130,97 @@ pub fn decode_block(reader: &mut BitReader<'_>, prev_dc: &mut i32) -> Result<[i3
     Ok(zz)
 }
 
+/// Encodes the DC coefficient of one block differentially against
+/// `prev_dc` (updated in place). This is the whole of a progressive DC
+/// scan's per-block contribution.
+pub fn encode_dc(writer: &mut BitWriter, dc: i32, prev_dc: &mut i32) {
+    write_se(writer, (dc - *prev_dc) as i64);
+    *prev_dc = dc;
+}
+
+/// Decodes one differential DC coefficient against `prev_dc` (updated in
+/// place).
+///
+/// # Errors
+///
+/// Returns [`ImageError::CorruptBitstream`] for truncated input or a DC
+/// value outside the plausible coefficient range.
+pub fn decode_dc(reader: &mut BitReader<'_>, prev_dc: &mut i32) -> Result<i32> {
+    let delta = read_se(reader)?;
+    let dc = (*prev_dc as i64) + delta;
+    if dc.abs() > i32::MAX as i64 / 2 {
+        return Err(ImageError::CorruptBitstream {
+            detail: "dc coefficient out of range",
+        });
+    }
+    *prev_dc = dc as i32;
+    Ok(dc as i32)
+}
+
+/// Encodes the `[lo, hi)` zigzag band of one block as run-length (run,
+/// value) pairs confined to the band — the AC piece of a progressive
+/// spectral-selection scan. `lo` must be at least 1 (DC is coded by
+/// [`encode_dc`]) and `hi` at most 64.
+pub fn encode_band(writer: &mut BitWriter, zz: &[i32; 64], lo: usize, hi: usize) {
+    debug_assert!((1..hi).contains(&lo) && hi <= 64, "band out of range");
+    let mut run = 0u64;
+    for &c in &zz[lo..hi] {
+        if c == 0 {
+            run += 1;
+        } else {
+            writer.write_bit(true); // another (run, value) pair follows
+            write_ue(writer, run);
+            let mag = (c.unsigned_abs() as u64) - 1;
+            writer.write_bit(c < 0);
+            write_ue(writer, mag);
+            run = 0;
+        }
+    }
+    writer.write_bit(false); // end of band
+}
+
+/// Decodes one `[lo, hi)` zigzag band into `zz`, leaving coefficients
+/// outside the band untouched. Inverse of [`encode_band`].
+///
+/// # Errors
+///
+/// Returns [`ImageError::CorruptBitstream`] for truncated input or runs
+/// that overflow the band.
+pub fn decode_band(
+    reader: &mut BitReader<'_>,
+    zz: &mut [i32; 64],
+    lo: usize,
+    hi: usize,
+) -> Result<()> {
+    debug_assert!((1..hi).contains(&lo) && hi <= 64, "band out of range");
+    let mut pos = lo;
+    while reader.read_bit()? {
+        let run = read_ue(reader)? as usize;
+        pos = pos.checked_add(run).ok_or(ImageError::CorruptBitstream {
+            detail: "ac run overflow",
+        })?;
+        if pos >= hi {
+            return Err(ImageError::CorruptBitstream {
+                detail: "ac run past end of band",
+            });
+        }
+        let negative = reader.read_bit()?;
+        let mag = read_ue(reader)? + 1;
+        if mag > i32::MAX as u64 {
+            return Err(ImageError::CorruptBitstream {
+                detail: "ac magnitude out of range",
+            });
+        }
+        zz[pos] = if negative {
+            -(mag as i64) as i32
+        } else {
+            mag as i32
+        };
+        pos += 1;
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -219,6 +310,64 @@ mod tests {
         let mut dc = 0;
         encode_block(&mut w, &zz, &mut dc);
         assert!(w.bit_len() <= 2); // DC delta "1" + EOB "0"
+    }
+
+    #[test]
+    fn band_split_reassembles_the_full_block() {
+        // Coding a block as DC + three disjoint AC bands must reproduce
+        // exactly what whole-block coding would.
+        let mut zz = [0i32; 64];
+        zz[0] = 42;
+        zz[1] = -3;
+        zz[5] = 7;
+        zz[6] = 1;
+        zz[30] = -2;
+        zz[63] = 9;
+        let bands = [(1usize, 6usize), (6, 32), (32, 64)];
+        let mut segments = Vec::new();
+        let mut w = BitWriter::new();
+        let mut dc = 0;
+        encode_dc(&mut w, zz[0], &mut dc);
+        segments.push(w.into_bytes());
+        for &(lo, hi) in &bands {
+            let mut w = BitWriter::new();
+            encode_band(&mut w, &zz, lo, hi);
+            segments.push(w.into_bytes());
+        }
+        let mut back = [0i32; 64];
+        let mut dc = 0;
+        back[0] = decode_dc(&mut BitReader::new(&segments[0]), &mut dc).unwrap();
+        for (seg, &(lo, hi)) in segments[1..].iter().zip(&bands) {
+            decode_band(&mut BitReader::new(seg), &mut back, lo, hi).unwrap();
+        }
+        assert_eq!(back, zz);
+    }
+
+    #[test]
+    fn band_run_cannot_escape_the_band() {
+        // A run that would place a coefficient at or past `hi` is corrupt.
+        let mut zz = [0i32; 64];
+        zz[10] = 5;
+        let mut w = BitWriter::new();
+        encode_band(&mut w, &zz, 1, 16);
+        let bytes = w.into_bytes();
+        let mut narrow = [0i32; 64];
+        let err = decode_band(&mut BitReader::new(&bytes), &mut narrow, 1, 8);
+        assert!(err.is_err(), "run past the band must be detected");
+    }
+
+    #[test]
+    fn truncated_band_errors_not_panics() {
+        let mut zz = [0i32; 64];
+        zz[2] = -9;
+        zz[7] = 3;
+        let mut w = BitWriter::new();
+        encode_band(&mut w, &zz, 1, 16);
+        let bytes = w.into_bytes();
+        for cut in 0..bytes.len().saturating_sub(1) {
+            let mut out = [0i32; 64];
+            let _ = decode_band(&mut BitReader::new(&bytes[..cut]), &mut out, 1, 16);
+        }
     }
 
     #[test]

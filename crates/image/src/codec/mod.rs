@@ -39,6 +39,7 @@ pub mod bits;
 pub mod dct;
 pub mod entropy;
 pub mod lossless;
+pub mod progressive;
 pub mod quant;
 pub mod zigzag;
 
@@ -200,13 +201,14 @@ impl PlaneView {
     }
 }
 
-fn encode_plane(writer: &mut BitWriter, plane: &PlaneView, table: &[u16; 64]) {
+/// Stage 1 of plane encoding: per-block gather + forward DCT +
+/// quantization + zigzag. Independent per block, so it fans out over the
+/// runtime (blocks are ordered row-major, exactly as a sequential loop
+/// would visit them). Shared by the baseline and progressive encoders.
+fn plane_zigzags(plane: &PlaneView, table: &[u16; 64]) -> Vec<[i32; 64]> {
     let blocks_x = (plane.width as usize).div_ceil(8);
     let blocks_y = (plane.height as usize).div_ceil(8);
-    // Stage 1 — per-block gather + forward DCT + quantization + zigzag is
-    // independent per block, so it fans out over the runtime (blocks are
-    // ordered row-major, exactly as the sequential loop visited them).
-    let zigzags: Vec<[i32; 64]> = Runtime::current().par_map_range(blocks_x * blocks_y, |b| {
+    Runtime::current().par_map_range(blocks_x * blocks_y, |b| {
         let (by, bx) = (b / blocks_x, b % blocks_x);
         let mut block = [0f32; 64];
         // Gather the block, replicating edge samples, with level shift.
@@ -221,9 +223,56 @@ fn encode_plane(writer: &mut BitWriter, plane: &PlaneView, table: &[u16; 64]) {
         dct::forward_dct_8x8(&block, &mut coeffs);
         quant::quantize(&coeffs, table, &mut quantized);
         zigzag::to_zigzag(&quantized)
+    })
+}
+
+/// Inverse of [`plane_zigzags`]: dequantize + inverse-DCT every block in
+/// parallel and scatter the samples into a plane. Shared by the baseline
+/// and progressive decoders.
+fn plane_from_zigzags(
+    zigzags: &[[i32; 64]],
+    width: u32,
+    height: u32,
+    table: &[u16; 64],
+) -> PlaneView {
+    let blocks_x = (width as usize).div_ceil(8);
+    let mut plane = PlaneView {
+        width,
+        height,
+        data: vec![0.0; (width as usize) * (height as usize)],
+    };
+    let samples: Vec<[f32; 64]> = Runtime::current().par_map(zigzags, |zz| {
+        let quantized = zigzag::from_zigzag(zz);
+        let mut coeffs = [0f32; 64];
+        let mut out = [0f32; 64];
+        quant::dequantize(&quantized, table, &mut coeffs);
+        dct::inverse_dct_8x8(&coeffs, &mut out);
+        out
     });
-    // Stage 2 — entropy coding stays sequential: the differential DC chain
-    // and the bit stream itself are serial by construction.
+    for (b, block) in samples.iter().enumerate() {
+        let (by, bx) = (b / blocks_x, b % blocks_x);
+        for y in 0..8 {
+            let py = by * 8 + y;
+            if py >= height as usize {
+                break;
+            }
+            for x in 0..8 {
+                let px = bx * 8 + x;
+                if px >= width as usize {
+                    break;
+                }
+                plane.data[py * width as usize + px] = block[y * 8 + x] + 128.0;
+            }
+        }
+    }
+    plane
+}
+
+fn encode_plane(writer: &mut BitWriter, plane: &PlaneView, table: &[u16; 64]) {
+    // Stage 1 fans out per block; stage 2 — entropy coding — stays
+    // sequential: the differential DC chain and the bit stream itself are
+    // serial by construction.
+    let zigzags = plane_zigzags(plane, table);
     let mut prev_dc = 0i32;
     for zz in &zigzags {
         entropy::encode_block(writer, zz, &mut prev_dc);
@@ -251,50 +300,20 @@ fn decode_plane(
             detail: "dimensions exceed payload capacity",
         });
     }
-    let pixels =
-        (width as usize)
-            .checked_mul(height as usize)
-            .ok_or(ImageError::CorruptBitstream {
-                detail: "dimension overflow",
-            })?;
-    let mut plane = PlaneView {
-        width,
-        height,
-        data: vec![0.0; pixels],
-    };
+    (width as usize)
+        .checked_mul(height as usize)
+        .ok_or(ImageError::CorruptBitstream {
+            detail: "dimension overflow",
+        })?;
     // Stage 1 — entropy decoding is serial (differential DC over one bit
-    // stream); collect every block's zigzag scan first.
+    // stream); collect every block's zigzag scan first. Stage 2 —
+    // dequantization + inverse DCT — is independent per block.
     let mut prev_dc = 0i32;
     let mut zigzags = Vec::with_capacity(blocks);
     for _ in 0..blocks {
         zigzags.push(entropy::decode_block(reader, &mut prev_dc)?);
     }
-    // Stage 2 — dequantization + inverse DCT is independent per block.
-    let samples: Vec<[f32; 64]> = Runtime::current().par_map(&zigzags, |zz| {
-        let quantized = zigzag::from_zigzag(zz);
-        let mut coeffs = [0f32; 64];
-        let mut out = [0f32; 64];
-        quant::dequantize(&quantized, table, &mut coeffs);
-        dct::inverse_dct_8x8(&coeffs, &mut out);
-        out
-    });
-    for (b, block) in samples.iter().enumerate() {
-        let (by, bx) = (b / blocks_x, b % blocks_x);
-        for y in 0..8 {
-            let py = by * 8 + y;
-            if py >= height as usize {
-                break;
-            }
-            for x in 0..8 {
-                let px = bx * 8 + x;
-                if px >= width as usize {
-                    break;
-                }
-                plane.data[py * width as usize + px] = block[y * 8 + x] + 128.0;
-            }
-        }
-    }
-    Ok(plane)
+    Ok(plane_from_zigzags(&zigzags, width, height, table))
 }
 
 fn split_ycbcr(img: &RgbImage) -> (PlaneView, PlaneView, PlaneView) {

@@ -1,0 +1,119 @@
+//! Integration tests of the progressive codec: the chunk-aligned salvage
+//! contract the resilient upload path relies on. A transfer cut after any
+//! whole number of transport chunks must yield a decodable image whose
+//! fidelity only improves with more chunks, and a later "tail" completion
+//! must reproduce the full-fidelity decode exactly.
+
+use bees_image::codec::progressive::{
+    decode_partial, encode_progressive_gray, encode_progressive_rgb, DecodedImage, SCAN_BANDS,
+};
+use bees_image::metrics::ssim;
+use bees_image::{codec, GrayImage, Rgb, RgbImage};
+
+fn scene(w: u32, h: u32) -> RgbImage {
+    RgbImage::from_fn(w, h, |x, y| {
+        let base = 110.0 + 70.0 * ((x as f64) * 0.08).sin() + 45.0 * ((y as f64) * 0.11).cos();
+        let tex = ((x * 7 + y * 13) % 23) as f64;
+        let v = (base + tex).clamp(0.0, 255.0) as u8;
+        Rgb::new(v, (v / 2).wrapping_add(40), 255 - v)
+    })
+}
+
+#[test]
+fn chunk_aligned_prefixes_form_a_fidelity_ladder() {
+    let img = scene(160, 120);
+    let gray = img.to_gray();
+    let bytes = encode_progressive_rgb(&img, 80).expect("quality in range");
+    // Walk the stream in 1 KiB transport chunks, as the retry loop banks
+    // them. Every prefix past the DC scan decodes; SSIM never regresses as
+    // scans complete.
+    let chunk = 1024usize;
+    let mut best_ssim = -1.0f64;
+    let mut scans_seen = 0usize;
+    let mut decodable_prefixes = 0usize;
+    for n_chunks in 1..=bytes.len().div_ceil(chunk) {
+        let cut = (n_chunks * chunk).min(bytes.len());
+        let Ok((decoded, progress)) = decode_partial(&bytes[..cut]) else {
+            continue;
+        };
+        decodable_prefixes += 1;
+        assert_eq!(decoded.dimensions(), (160, 120));
+        if progress.scans_complete > scans_seen {
+            let s = ssim(&gray, &decoded.to_gray()).expect("dimensions match");
+            assert!(
+                s + 1e-9 >= best_ssim,
+                "fidelity regressed at {} scans: {s} < {best_ssim}",
+                progress.scans_complete
+            );
+            best_ssim = s;
+            scans_seen = progress.scans_complete;
+        }
+    }
+    assert!(decodable_prefixes > 0, "no chunk prefix was decodable");
+    assert_eq!(scans_seen, SCAN_BANDS.len(), "full stream never reached");
+    assert!(best_ssim > 0.85, "full-stream ssim {best_ssim}");
+}
+
+#[test]
+fn salvaged_half_stream_beats_half_ssim() {
+    // The bench acceptance bar: a transfer cut at half the payload must
+    // still salvage an image scoring SSIM > 0.5 against the full-quality
+    // reference.
+    let img = scene(128, 96);
+    let bytes = encode_progressive_rgb(&img, 80).expect("quality in range");
+    let (decoded, progress) = decode_partial(&bytes[..bytes.len() / 2]).expect("DC scan present");
+    assert!(progress.scans_complete >= 1);
+    assert!(progress.scans_complete < progress.scans_total);
+    let s = ssim(&img.to_gray(), &decoded.to_gray()).expect("dimensions match");
+    assert!(s > 0.5, "half-stream salvage ssim {s}");
+}
+
+#[test]
+fn tail_completion_upgrades_to_the_exact_full_decode() {
+    // The server-side upgrade path: decoding the partial prefix, then later
+    // the whole stream, must land on the identical full-fidelity image — no
+    // state from the partial decode leaks into the upgrade.
+    let img = scene(96, 64);
+    let bytes = encode_progressive_rgb(&img, 70).expect("quality in range");
+    let (full_a, pa) = decode_partial(&bytes).expect("full stream decodes");
+    assert!(pa.is_complete());
+    let (_partial, pb) = decode_partial(&bytes[..bytes.len() * 2 / 3]).expect("prefix decodes");
+    assert!(pb.scans_complete < pb.scans_total);
+    let (full_b, _) = decode_partial(&bytes).expect("full stream still decodes");
+    assert_eq!(full_a, full_b);
+}
+
+#[test]
+fn gray_and_color_streams_share_the_scan_discipline() {
+    let gray = GrayImage::from_fn(72, 56, |x, y| ((x * 11 + y * 5) % 256) as u8);
+    let g_bytes = encode_progressive_gray(&gray, 60).expect("quality in range");
+    let (g_dec, g_prog) = decode_partial(&g_bytes).expect("gray decodes");
+    assert!(g_prog.is_complete());
+    assert!(matches!(g_dec, DecodedImage::Gray(_)));
+
+    let color = scene(72, 56);
+    let c_bytes = encode_progressive_rgb(&color, 60).expect("quality in range");
+    let (c_dec, c_prog) = decode_partial(&c_bytes).expect("color decodes");
+    assert!(c_prog.is_complete());
+    assert!(matches!(c_dec, DecodedImage::Rgb(_)));
+    assert_eq!(g_prog.scans_total, c_prog.scans_total);
+}
+
+#[test]
+fn progressive_full_decode_matches_baseline_codec_quality() {
+    // Progressive reordering must not cost fidelity: at equal quality the
+    // complete progressive decode scores the same SSIM as the baseline
+    // codec (identical quantized coefficients, different transmission
+    // order).
+    let img = scene(120, 88);
+    let baseline = codec::decode_rgb(&codec::encode_rgb(&img, 75).expect("encodes"))
+        .expect("baseline decodes");
+    let (progressive, _) =
+        decode_partial(&encode_progressive_rgb(&img, 75).expect("encodes")).expect("decodes");
+    let s_base = ssim(&img.to_gray(), &baseline.to_gray()).expect("dimensions match");
+    let s_prog = ssim(&img.to_gray(), &progressive.to_gray()).expect("dimensions match");
+    assert!(
+        (s_base - s_prog).abs() < 1e-9,
+        "baseline {s_base} vs progressive {s_prog}"
+    );
+}

@@ -22,6 +22,8 @@ const MAX_WINDOW_SCAN: u64 = 100_000;
 const BLACKOUT_SALT: u64 = 0xB1AC_0017_0000_0001;
 /// Salt mixed into the per-attempt drop coin.
 const DROP_SALT: u64 = 0xD20F_00AA_0000_0002;
+/// Salt mixed into the per-chunk corruption coin.
+const CORRUPT_SALT: u64 = 0xC022_0BAD_0000_0004;
 
 /// How a transfer attempt was interrupted.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -33,6 +35,9 @@ pub enum FaultKind {
     Dropped,
     /// The attempt exceeded its timeout or the channel's stall limit.
     TimedOut,
+    /// A delivered transport chunk failed its CRC check and must be
+    /// re-requested.
+    Corrupted,
 }
 
 impl fmt::Display for FaultKind {
@@ -41,6 +46,7 @@ impl fmt::Display for FaultKind {
             FaultKind::Disconnected => "disconnected",
             FaultKind::Dropped => "dropped",
             FaultKind::TimedOut => "timed out",
+            FaultKind::Corrupted => "corrupted",
         };
         f.write_str(name)
     }
@@ -49,20 +55,26 @@ impl fmt::Display for FaultKind {
 /// A deterministic, seeded model of disaster-link impairments layered on
 /// top of a [`crate::BandwidthTrace`].
 ///
-/// Two impairment families:
+/// Three impairment families:
 ///
 /// * **Blackout windows** — time is divided into periods of
 ///   `blackout_period_s`; each period is independently dark (for its first
 ///   `blackout_duration_s` seconds) with probability
 ///   `blackout_probability`, decided by a seeded hash of the period index.
 ///   A transfer in flight when a blackout begins is cut there; one started
-///   inside a blackout fails immediately.
+///   inside a blackout fails immediately. Explicit windows (a scripted
+///   outage schedule) can be layered on via `blackout_windows`.
 /// * **Per-attempt drops** — each attempt is cut mid-flight with
 ///   probability `drop_probability`, at a seeded fraction of its payload.
+/// * **Per-chunk corruption** — each delivered transport chunk is
+///   independently bit-flipped in transit with probability
+///   `corrupt_probability`, decided by a seeded hash of
+///   `(attempt, chunk index)`. The CRC framing in [`crate::wire`] detects
+///   it; the retry loop re-requests the chunk.
 ///
-/// [`FaultModel::none`] disables both and reproduces the perfectly
+/// [`FaultModel::none`] disables all three and reproduces the perfectly
 /// reliable channel bit for bit.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct FaultModel {
     /// Seed for every fault decision.
     pub seed: u64,
@@ -75,6 +87,16 @@ pub struct FaultModel {
     pub blackout_period_s: f64,
     /// Dark span at the start of a dark period, in seconds.
     pub blackout_duration_s: f64,
+    /// Probability that a delivered transport chunk arrives bit-flipped
+    /// (defaults to 0: no corruption).
+    #[serde(default)]
+    pub corrupt_probability: f64,
+    /// Explicit blackout windows `(start_s, end_s)` layered on top of the
+    /// seeded periodic ones — a scripted outage schedule. Must be sorted by
+    /// start, non-overlapping, each with positive span (see
+    /// [`validate`](FaultModel::validate)). Defaults to empty.
+    #[serde(default)]
+    pub blackout_windows: Vec<(f64, f64)>,
 }
 
 impl Default for FaultModel {
@@ -94,6 +116,8 @@ impl FaultModel {
             blackout_probability: 0.0,
             blackout_period_s: 1.0,
             blackout_duration_s: 0.0,
+            corrupt_probability: 0.0,
+            blackout_windows: Vec::new(),
         }
     }
 
@@ -117,9 +141,37 @@ impl FaultModel {
             blackout_probability,
             blackout_period_s,
             blackout_duration_s,
+            corrupt_probability: 0.0,
+            blackout_windows: Vec::new(),
         };
         model.validate()?;
         Ok(model)
+    }
+
+    /// The same model with chunk corruption probability `p` — the builder
+    /// for the third impairment family, which [`new`](FaultModel::new)
+    /// leaves off.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::InvalidParameter`] if `p` is outside `[0, 1]`.
+    pub fn with_corruption(mut self, p: f64) -> Result<Self> {
+        self.corrupt_probability = p;
+        self.validate()?;
+        Ok(self)
+    }
+
+    /// The same model with an explicit (scripted) blackout window schedule
+    /// layered on the seeded periodic windows.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::InvalidParameter`] if the windows are unsorted,
+    /// overlapping, non-finite, negative, or empty-spanned.
+    pub fn with_blackout_windows(mut self, windows: Vec<(f64, f64)>) -> Result<Self> {
+        self.blackout_windows = windows;
+        self.validate()?;
+        Ok(self)
     }
 
     /// A moderately hostile disaster-network preset: 12 % of attempts cut
@@ -132,6 +184,8 @@ impl FaultModel {
     pub fn is_none(&self) -> bool {
         self.drop_probability <= 0.0
             && (self.blackout_probability <= 0.0 || self.blackout_duration_s <= 0.0)
+            && self.corrupt_probability <= 0.0
+            && self.blackout_windows.is_empty()
     }
 
     /// Checks every field.
@@ -169,18 +223,60 @@ impl FaultModel {
                 value: self.blackout_duration_s,
             });
         }
+        if !self.corrupt_probability.is_finite() || !(0.0..=1.0).contains(&self.corrupt_probability)
+        {
+            return Err(NetError::InvalidParameter {
+                name: "corrupt_probability",
+                value: self.corrupt_probability,
+            });
+        }
+        // Explicit windows must be a well-formed schedule: finite,
+        // non-negative, positive span, sorted by start, and non-overlapping
+        // — rejected here rather than silently reordered or merged at
+        // runtime.
+        let mut prev_end = 0.0f64;
+        for &(start, end) in &self.blackout_windows {
+            if !start.is_finite() || start < 0.0 {
+                return Err(NetError::InvalidParameter {
+                    name: "blackout_windows start",
+                    value: start,
+                });
+            }
+            if !end.is_finite() || end <= start {
+                return Err(NetError::InvalidParameter {
+                    name: "blackout_windows end",
+                    value: end,
+                });
+            }
+            if start < prev_end {
+                return Err(NetError::InvalidParameter {
+                    name: "blackout_windows overlap/order",
+                    value: start,
+                });
+            }
+            prev_end = end;
+        }
         Ok(())
     }
 
     /// The same impairment statistics under a different seed — what a
     /// fleet uses so phones do not fail in lockstep.
     pub fn reseeded(&self, seed: u64) -> Self {
-        FaultModel { seed, ..*self }
+        FaultModel {
+            seed,
+            ..self.clone()
+        }
     }
 
     /// The blackout window covering time `t`, as `(start_s, end_s)`, if
-    /// the link is dark at `t`.
+    /// the link is dark at `t` — checking the explicit schedule first, then
+    /// the seeded periodic windows.
     pub fn blackout_at(&self, t: f64) -> Option<(f64, f64)> {
+        for &(start, end) in &self.blackout_windows {
+            if t >= start && t < end {
+                return Some((start, end));
+            }
+        }
         if self.blackout_probability <= 0.0 || self.blackout_duration_s <= 0.0 {
             return None;
         }
@@ -193,21 +289,30 @@ impl FaultModel {
         }
     }
 
-    /// The first instant strictly after `t` at which a blackout begins, or
-    /// `f64::INFINITY` if none is found within the deterministic scan
-    /// horizon.
+    /// The first instant strictly after `t` at which a blackout begins —
+    /// explicit or periodic — or `f64::INFINITY` if none is found within
+    /// the deterministic scan horizon.
     pub fn next_blackout_start(&self, t: f64) -> f64 {
+        let explicit = self
+            .blackout_windows
+            .iter()
+            .map(|&(start, _)| start)
+            .find(|&start| start > t)
+            .unwrap_or(f64::INFINITY);
         if self.blackout_probability <= 0.0 || self.blackout_duration_s <= 0.0 {
-            return f64::INFINITY;
+            return explicit;
         }
         let first = (t / self.blackout_period_s).floor().max(0.0) as u64;
         for k in first..first.saturating_add(MAX_WINDOW_SCAN) {
             let start = k as f64 * self.blackout_period_s;
+            if start >= explicit {
+                break;
+            }
             if start > t && self.window_is_dark(k) {
                 return start;
             }
         }
-        f64::INFINITY
+        explicit
     }
 
     /// Where the per-attempt failure coin cuts attempt number `attempt`:
@@ -228,6 +333,24 @@ impl FaultModel {
         }
         // A second hash round decorrelates the cut point from the coin.
         Some(0.05 + 0.9 * unit(hash64(coin)))
+    }
+
+    /// Whether transport chunk `chunk_index` of attempt number `attempt`
+    /// arrives bit-flipped. Pure in `(seed, attempt, chunk_index)`, so the
+    /// retry loop and a re-run agree on every corruption event at any
+    /// thread count.
+    pub fn chunk_corrupted(&self, attempt: u64, chunk_index: u64) -> bool {
+        if self.corrupt_probability <= 0.0 {
+            return false;
+        }
+        let h = hash64(
+            self.seed
+                ^ attempt.wrapping_mul(0xA24B_AED4_963E_E407)
+                ^ chunk_index
+                    .wrapping_mul(0x9FB2_1C65_1E98_DF25)
+                    .wrapping_add(CORRUPT_SALT),
+        );
+        unit(h) < self.corrupt_probability
     }
 
     fn window_is_dark(&self, k: u64) -> bool {
@@ -430,7 +553,7 @@ mod tests {
     fn attempts_see_fresh_coins_deterministically() {
         let model = FaultModel::new(5, 0.5, 0.0, 30.0, 10.0).unwrap();
         let run = || {
-            let mut ch = FaultyChannel::new(channel(), model);
+            let mut ch = FaultyChannel::new(channel(), model.clone());
             (0..20)
                 .map(|i| ch.transfer(i as f64 * 10.0, 8_000, None).fault.is_some())
                 .collect::<Vec<_>>()
@@ -546,6 +669,99 @@ mod tests {
         assert!(FaultModel::none().is_none());
         assert!(!FaultModel::disaster(1).is_none());
         assert!(FaultModel::disaster(1).validate().is_ok());
+        // Either new impairment family alone disqualifies the fast path.
+        let corrupt = FaultModel::none().with_corruption(0.1).unwrap();
+        assert!(!corrupt.is_none());
+        let scripted = FaultModel::none()
+            .with_blackout_windows(vec![(5.0, 8.0)])
+            .unwrap();
+        assert!(!scripted.is_none());
+    }
+
+    #[test]
+    fn chunk_corruption_is_deterministic_and_seed_sensitive() {
+        let m = FaultModel::none().with_corruption(0.3).unwrap();
+        let flips = |m: &FaultModel| {
+            (0..10)
+                .flat_map(|a| (0..20).map(move |c| (a, c)))
+                .map(|(a, c)| m.chunk_corrupted(a, c))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(flips(&m), flips(&m));
+        let hits = flips(&m).iter().filter(|&&f| f).count();
+        assert!(
+            (20..100).contains(&hits),
+            "~30% of 200 chunk coins should flip, got {hits}"
+        );
+        let reseeded = m.reseeded(99);
+        assert_ne!(flips(&m), flips(&reseeded));
+        // Zero probability never flips, regardless of indices.
+        let clean = FaultModel::none();
+        assert!((0..50).all(|c| !clean.chunk_corrupted(0, c)));
+    }
+
+    #[test]
+    fn explicit_windows_black_out_the_link() {
+        let m = FaultModel::none()
+            .with_blackout_windows(vec![(10.0, 12.0), (40.0, 45.0)])
+            .unwrap();
+        assert!(m.blackout_at(9.99).is_none());
+        assert_eq!(m.blackout_at(10.0), Some((10.0, 12.0)));
+        assert_eq!(m.blackout_at(11.5), Some((10.0, 12.0)));
+        assert!(m.blackout_at(12.0).is_none());
+        assert_eq!(m.blackout_at(44.0), Some((40.0, 45.0)));
+        assert_eq!(m.next_blackout_start(0.0), 10.0);
+        assert_eq!(m.next_blackout_start(10.0), 40.0);
+        assert_eq!(m.next_blackout_start(45.0), f64::INFINITY);
+        // A transfer crossing a scripted window is cut at its start.
+        let mut ch = FaultyChannel::new(channel(), m);
+        let cut = ch.transfer(8.0, 100_000, None);
+        assert_eq!(cut.fault, Some(FaultKind::Disconnected));
+        assert_eq!(cut.delivered_bytes, 64_000); // 2 s at 256 Kbps
+    }
+
+    #[test]
+    fn explicit_windows_combine_with_periodic_ones() {
+        // Periodic: every 10 s window dark for 4 s. Explicit: (5, 6).
+        let m = FaultModel::new(1, 0.0, 1.0, 10.0, 4.0)
+            .unwrap()
+            .with_blackout_windows(vec![(5.0, 6.0)])
+            .unwrap();
+        assert!(m.blackout_at(1.0).is_some(), "periodic window");
+        assert!(m.blackout_at(5.5).is_some(), "explicit window");
+        assert!(m.blackout_at(7.0).is_none());
+        // Next start after 4.0 is the explicit 5.0, before periodic 10.0.
+        assert_eq!(m.next_blackout_start(4.0), 5.0);
+        assert_eq!(m.next_blackout_start(6.0), 10.0);
+    }
+
+    #[test]
+    fn malformed_window_schedules_are_rejected() {
+        let base = FaultModel::none;
+        // Overlapping.
+        assert!(base()
+            .with_blackout_windows(vec![(0.0, 10.0), (5.0, 15.0)])
+            .is_err());
+        // Unsorted.
+        assert!(base()
+            .with_blackout_windows(vec![(20.0, 25.0), (0.0, 5.0)])
+            .is_err());
+        // Empty or inverted span.
+        assert!(base().with_blackout_windows(vec![(3.0, 3.0)]).is_err());
+        assert!(base().with_blackout_windows(vec![(5.0, 2.0)]).is_err());
+        // Negative or non-finite endpoints.
+        assert!(base().with_blackout_windows(vec![(-1.0, 2.0)]).is_err());
+        assert!(base()
+            .with_blackout_windows(vec![(0.0, f64::INFINITY)])
+            .is_err());
+        // Adjacent windows are fine.
+        assert!(base()
+            .with_blackout_windows(vec![(0.0, 5.0), (5.0, 8.0)])
+            .is_ok());
+        // Corruption probability is validated too.
+        assert!(base().with_corruption(1.5).is_err());
+        assert!(base().with_corruption(f64::NAN).is_err());
+        assert!(base().with_corruption(1.0).is_ok());
     }
 
     #[test]

@@ -248,6 +248,128 @@ mod tests {
     }
 
     #[test]
+    fn backoff_is_monotone_before_the_cap_for_all_policies() {
+        // Property: with jitter off, backoff_s never decreases in the
+        // attempt number, for a grid of (base, factor, cap) policies.
+        for base in [0.0, 0.1, 0.5, 2.0, 30.0] {
+            for factor in [1.0, 1.5, 2.0, 4.0] {
+                for cap in [0.5, 10.0, 1e6] {
+                    let p = RetryPolicy {
+                        base_backoff_s: base,
+                        backoff_factor: factor,
+                        max_backoff_s: cap,
+                        jitter: 0.0,
+                        ..RetryPolicy::default()
+                    };
+                    assert!(p.validate().is_ok(), "grid policy must be valid");
+                    let mut prev = -1.0f64;
+                    for attempt in 0..100u32 {
+                        let b = p.backoff_s(attempt, 7);
+                        assert!(b.is_finite() && b >= 0.0);
+                        assert!(b <= cap + 1e-12, "cap violated: {b} > {cap}");
+                        assert!(
+                            b >= prev - 1e-12,
+                            "backoff shrank at attempt {attempt}: {b} < {prev} \
+                             (base {base}, factor {factor}, cap {cap})"
+                        );
+                        prev = b;
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn jittered_backoff_is_a_pure_function_of_seed_and_attempt() {
+        // Property: for any (seed, attempt), repeated evaluation is exact,
+        // and the jitter envelope ±jitter/2 holds around the nominal value.
+        let p = RetryPolicy {
+            jitter: 0.5,
+            ..RetryPolicy::default()
+        };
+        for seed in [0u64, 1, 0xDEAD_BEEF, u64::MAX] {
+            for attempt in (0..64).chain([1000, u32::MAX - 1, u32::MAX]) {
+                let a = p.backoff_s(attempt, seed);
+                assert_eq!(a, p.backoff_s(attempt, seed), "same inputs, same output");
+                let exp = attempt.min(62) as i32;
+                let nominal = (p.base_backoff_s * p.backoff_factor.powi(exp)).min(p.max_backoff_s);
+                assert!(
+                    a >= nominal * 0.75 - 1e-12,
+                    "{a} below envelope of {nominal}"
+                );
+                assert!(
+                    a <= nominal * 1.25 + 1e-12,
+                    "{a} above envelope of {nominal}"
+                );
+            }
+        }
+        // Seeds decorrelate: two seed streams differ somewhere.
+        assert!((0..32).any(|k| p.backoff_s(k, 3) != p.backoff_s(k, 4)));
+    }
+
+    #[test]
+    fn budget_is_exact_at_ebat_boundaries_and_midpoints() {
+        // The contract: budget = 1 + round((max_attempts - 1) · Ebat),
+        // with f64 rounding half away from zero. Pin it exactly at the
+        // boundaries and at every rounding midpoint for a sweep of
+        // max_attempts.
+        for max in 1u32..=12 {
+            let p = RetryPolicy {
+                max_attempts: max,
+                ..RetryPolicy::default()
+            };
+            assert_eq!(p.budget(0.0), 1, "empty battery is one attempt");
+            assert_eq!(p.budget(1.0), max, "full battery is the whole budget");
+            // Below/above the clamp.
+            assert_eq!(p.budget(-0.5), 1);
+            assert_eq!(p.budget(1.5), max);
+        }
+        // Midpoints, pinned where `(k + 0.5) / steps` is exactly
+        // representable (steps a power of two), so the assertion tests the
+        // rounding contract rather than 1-ulp division noise.
+        for max in [2u32, 3, 5, 9, 17] {
+            let p = RetryPolicy {
+                max_attempts: max,
+                ..RetryPolicy::default()
+            };
+            let steps = (max - 1) as f64;
+            for k in 0..(max - 1) {
+                // Midpoint between budgets 1+k and 2+k: rounds half away
+                // from zero, i.e. up.
+                let mid = (k as f64 + 0.5) / steps;
+                assert_eq!(p.budget(mid), 2 + k, "midpoint {mid} at max_attempts {max}");
+                // Just below the midpoint rounds down.
+                assert_eq!(
+                    p.budget(mid - 1e-9),
+                    1 + k,
+                    "below-midpoint at max_attempts {max}"
+                );
+            }
+        }
+        // The documented default example: Ebat 0.1 at max 6 gives
+        // 1 + round(0.5) = 2.
+        let p = RetryPolicy::default();
+        assert_eq!(p.budget(0.1), 2);
+    }
+
+    #[test]
+    fn budget_is_monotone_over_a_dense_ebat_sweep() {
+        for max in [1u32, 2, 3, 6, 17] {
+            let p = RetryPolicy {
+                max_attempts: max,
+                ..RetryPolicy::default()
+            };
+            let mut prev = 0u32;
+            for k in 0..=1000 {
+                let b = p.budget(k as f64 / 1000.0);
+                assert!((1..=max).contains(&b));
+                assert!(b >= prev, "budget shrank at Ebat {}", k as f64 / 1000.0);
+                prev = b;
+            }
+        }
+    }
+
+    #[test]
     fn policy_serializes_roundtrip() {
         let p = RetryPolicy::default();
         let json = serde_json::to_string(&p).unwrap();

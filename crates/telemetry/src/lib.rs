@@ -84,12 +84,18 @@ pub mod names {
     pub const ARD_SSMM: &str = "ard.ssmm";
     /// Approximate image upload: JPEG encode (+ EAAS degradation).
     pub const AIU_ENCODE: &str = "aiu.encode";
+    /// Partial-image reconstruction from the banked prefix of a cut
+    /// transfer: scans decoded, SSIM estimate (zero-duration event).
+    pub const AIU_SCAN: &str = "aiu.scan";
     /// One confirmed client→server payload transfer.
     pub const NET_TRANSMIT: &str = "net.transmit";
     /// One server→client payload transfer.
     pub const NET_RECEIVE: &str = "net.receive";
     /// One attempt inside the fault-injected resumable-transfer loop.
     pub const NET_RETRY: &str = "net.retry";
+    /// A resumable transfer that exhausted its retry budget but banked
+    /// enough confirmed chunks to salvage (zero-duration event).
+    pub const NET_SALVAGE: &str = "net.salvage";
     /// A server-side similarity query (zero-duration event).
     pub const SRV_QUERY: &str = "srv.query";
     /// A server-side image ingest (zero-duration event).

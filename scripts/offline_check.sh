@@ -208,6 +208,20 @@ for t in crates/features/tests/*.rs; do
     "$TESTS/$name" -q
 done
 
+say "image codec integration tests"
+# shellcheck disable=SC2046
+for t in crates/image/tests/*.rs; do
+    name="img_$(basename "$t" .rs)"
+    if grep -q "use proptest" "$t"; then
+        say "skip $name (proptest)"
+        continue
+    fi
+    rustc --edition $EDITION --test --crate-name "$name" \
+        $(extern_flags bees_image $(deps_of bees_image) $(dev_deps_of bees_image)) \
+        -L "$STUBS" -L "$LIBS" "${CODEGEN[@]}" "$t" -o "$TESTS/$name"
+    "$TESTS/$name" -q
+done
+
 say "index integration tests"
 # shellcheck disable=SC2046
 for t in crates/index/tests/*.rs; do

@@ -3,9 +3,13 @@
 
 Both files are JSON Lines as emitted by ``--json-out`` on the bench
 binaries (``crates/bench/src/perf.rs``): one object per line with keys
-``bench`` / ``case`` / ``metric`` / ``value``. Every metric is
-higher-is-better (throughputs and speedups), so a regression is
-``current < baseline * (1 - tolerance)``.
+``bench`` / ``case`` / ``metric`` / ``value`` and an optional ``dir``.
+Metrics default to higher-is-better (throughputs and speedups), where a
+regression is ``current < baseline * (1 - tolerance)``. Lines tagged
+``"dir": "lower"`` (costs: wasted joules, delays) invert the band: a
+regression is ``current > baseline * (1 + tolerance)``. The direction
+comes from the *baseline* line, so flipping a metric's direction is an
+explicit baseline edit.
 
 The tolerance band is deliberately generous (default 0.35): these are
 wall-clock numbers from shared CI runners, and the same kernel can vary
@@ -27,7 +31,7 @@ import sys
 
 
 def load_metrics(path):
-    """Parse a JSON-lines metrics file into {(bench, case, metric): value}."""
+    """Parse a JSON-lines metrics file into {(bench, case, metric): (value, dir)}."""
     metrics = {}
     with open(path, encoding="utf-8") as fh:
         for lineno, line in enumerate(fh, 1):
@@ -37,7 +41,10 @@ def load_metrics(path):
             try:
                 row = json.loads(line)
                 key = (row["bench"], row["case"], row["metric"])
-                metrics[key] = float(row["value"])
+                direction = row.get("dir", "higher")
+                if direction not in ("higher", "lower"):
+                    raise ValueError(f"bad dir {direction!r}")
+                metrics[key] = (float(row["value"]), direction)
             except (json.JSONDecodeError, KeyError, TypeError, ValueError) as err:
                 raise SystemExit(f"{path}:{lineno}: bad metric line: {err}")
     if not metrics:
@@ -75,19 +82,30 @@ def main():
             print(f"MISSING  {'/'.join(key)} (in baseline, not measured)")
             continue
         compared += 1
-        base, cur = baseline[key], current[key]
-        floor = base * (1.0 - args.tolerance)
+        base, direction = baseline[key]
+        cur = current[key][0]
         ratio = cur / base if base else float("inf")
+        if direction == "lower":
+            # Cost metric: growing past the band is the regression.
+            regressed = cur > base * (1.0 + args.tolerance)
+            improved = cur < base
+        else:
+            regressed = cur < base * (1.0 - args.tolerance)
+            improved = cur > base
         tag = "ok"
-        if cur < floor:
+        if regressed:
             tag = "REGRESS"
             regressions.append(key)
-        elif cur > base:
+        elif improved:
             improvements += 1
-        print(f"{tag:<8} {'/'.join(key)}: {cur:.3f} vs baseline {base:.3f} ({ratio:.2f}x)")
+        arrow = " [lower-is-better]" if direction == "lower" else ""
+        print(
+            f"{tag:<8} {'/'.join(key)}: {cur:.3f} vs baseline {base:.3f} "
+            f"({ratio:.2f}x){arrow}"
+        )
 
     for key in sorted(set(current) - set(baseline)):
-        print(f"NEW      {'/'.join(key)}: {current[key]:.3f} (not in baseline)")
+        print(f"NEW      {'/'.join(key)}: {current[key][0]:.3f} (not in baseline)")
 
     print(
         f"\n{compared} metrics compared, {improvements} above baseline, "

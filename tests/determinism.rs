@@ -77,6 +77,7 @@ fn fault_injected_pipeline_is_identical_across_thread_counts() {
         let mut config = BeesConfig::default();
         config.trace = BandwidthTrace::disaster_wifi(0xFA11);
         config.fault = bees::net::FaultModel::new(0xFA11, 0.35, 0.4, 12.0, 5.0)
+            .and_then(|f| f.with_corruption(0.2))
             .expect("fault parameters are valid");
         config.battery = bees::energy::Battery::from_joules(1e7);
         let data = disaster_batch(42, 10, 2, 0.25, small_scene());
@@ -243,6 +244,65 @@ fn fleet_report_is_identical_across_threads_and_shards() {
             assert_eq!(
                 baseline, report,
                 "fleet report differs at {threads} threads, {shards} shards"
+            );
+        }
+    }
+}
+
+#[test]
+fn fleet_report_is_identical_across_threads_and_shards_with_corruption_faults() {
+    // The salvage acceptance sweep: with every fault mode on — drops that
+    // cut transfers mid-payload, blackout windows, and CRC-caught chunk
+    // corruption — the fleet report (including the salvaged/upgraded
+    // partial-image counters and the Salvaged energy bucket feeding them)
+    // stays byte-identical across worker counts (1/2/8) and server shard
+    // counts (1/2/4).
+    use bees::core::sessions::{run_fleet, FleetConfig};
+    use bees::core::IndexBackend;
+
+    let fleet = FleetConfig {
+        n_devices: 3,
+        rounds: 2,
+        group_size: 4,
+        shared_per_group: 2,
+        interval_s: 30.0,
+        scene: small_scene(),
+        seed: 0xF1EE7,
+    };
+    let run = |shards: usize| -> String {
+        let mut config = BeesConfig {
+            trace: BandwidthTrace::disaster_wifi(0xFA11),
+            index_backend: IndexBackend::Mih,
+            server_shards: shards,
+            ..BeesConfig::default()
+        };
+        config.fault = bees::net::FaultModel::new(0xFA11, 0.6, 0.4, 12.0, 5.0)
+            .and_then(|f| f.with_corruption(0.25))
+            .expect("fault parameters are valid");
+        config.battery = bees::energy::Battery::from_joules(1e9);
+        config.retry.max_attempts = 3;
+        config.retry.chunk_bytes = 128;
+        run_fleet(&Bees::adaptive(&config), &config, &fleet)
+            .unwrap()
+            .to_json()
+    };
+
+    bees::runtime::set_threads(1);
+    let baseline = run(1);
+    // The storm must actually exercise the salvage rung, or the sweep
+    // proves nothing about its determinism.
+    assert!(
+        !baseline.contains("\"salvaged_images\":0,"),
+        "no salvage under the corruption storm: {baseline}"
+    );
+    for threads in [1usize, 2, 8] {
+        for shards in [1usize, 2, 4] {
+            bees::runtime::set_threads(threads);
+            let report = run(shards);
+            bees::runtime::set_threads(0);
+            assert_eq!(
+                baseline, report,
+                "corrupted-fleet report differs at {threads} threads, {shards} shards"
             );
         }
     }
