@@ -1,0 +1,6 @@
+//! Shared-cell contention sweep: devices × cell capacity × scheduler policy.
+use bees_bench::args::ExpArgs;
+
+fn main() {
+    bees_bench::experiments::contention::run(&ExpArgs::from_env()).print();
+}

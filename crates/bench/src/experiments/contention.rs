@@ -1,0 +1,295 @@
+//! Shared-cell contention: devices × cell-capacity sweep, three airtime
+//! scheduling policies at equal seeds.
+//!
+//! Every fleet in the sweep shares one uplink cell instead of N private
+//! channels. For each (devices, capacity) point the same seeded workload
+//! runs under the FIFO, round-robin, and utility schedulers, so the table
+//! isolates what the *ranking discipline* buys when the cell is
+//! oversubscribed: the utility scheduler (SSMM novelty × battery state ×
+//! geotag coverage gap) defers low-value co-located devices before they
+//! spend radio energy, which shows up as more unique locations covered per
+//! kilojoule drained. `--json-out` emits the trajectory for
+//! `scripts/perf_check.py`.
+//!
+//! Not a paper figure — the paper gives each phone its own channel — but
+//! the disaster scenario it motivates (§I) is exactly one where survivors
+//! crowd whatever cell is left standing.
+
+use crate::args::ExpArgs;
+use crate::perf::{write_json_lines, Metric};
+use crate::table::{f1, Table};
+use bees_core::schemes::Bees;
+use bees_core::sessions::{run_fleet, FleetConfig, FleetReport};
+use bees_core::{BeesConfig, SchedulerPolicy};
+use bees_datasets::SceneConfig;
+use bees_energy::Battery;
+use bees_net::BandwidthTrace;
+
+/// The three ranking disciplines, in table order.
+pub const POLICIES: [SchedulerPolicy; 3] = [
+    SchedulerPolicy::Fifo,
+    SchedulerPolicy::RoundRobin,
+    SchedulerPolicy::Utility,
+];
+
+/// One (devices, capacity, policy) point of the sweep.
+#[derive(Debug, Clone)]
+pub struct ContentionCell {
+    /// Fleet size sharing the cell.
+    pub devices: usize,
+    /// Cell capacity in bits per second.
+    pub capacity_bps: f64,
+    /// The scheduling policy this point ran under.
+    pub policy: SchedulerPolicy,
+    /// The deterministic fleet report.
+    pub report: FleetReport,
+}
+
+impl ContentionCell {
+    /// Unique geotagged locations covered per kilojoule drained — the
+    /// sweep's figure of merit (higher is better).
+    pub fn coverage_per_kj(&self) -> f64 {
+        let kj = self.report.energy_spent_j / 1000.0;
+        if kj > 0.0 {
+            self.report.unique_locations as f64 / kj
+        } else {
+            0.0
+        }
+    }
+
+    /// Full or partial images the server holds per kilojoule drained.
+    pub fn delivered_per_kj(&self) -> f64 {
+        let kj = self.report.energy_spent_j / 1000.0;
+        let delivered = self.report.images_uploaded + self.report.salvaged_images;
+        if kj > 0.0 {
+            delivered as f64 / kj
+        } else {
+            0.0
+        }
+    }
+
+    /// Mean of the per-epoch cell-utilization series.
+    pub fn mean_utilization(&self) -> f64 {
+        let u = &self.report.cell_utilization;
+        if u.is_empty() {
+            0.0
+        } else {
+            u.iter().sum::<f64>() / u.len() as f64
+        }
+    }
+
+    fn case_name(&self) -> String {
+        format!(
+            "d{}_c{}k_{}",
+            self.devices,
+            (self.capacity_bps / 1000.0) as u64,
+            self.policy.as_str()
+        )
+    }
+}
+
+/// Full sweep result.
+#[derive(Debug, Clone)]
+pub struct ContentionResult {
+    /// All cells: (devices, capacity)-major, policy-minor (FIFO,
+    /// round-robin, utility).
+    pub cells: Vec<ContentionCell>,
+}
+
+impl ContentionResult {
+    /// The perf-trajectory lines for `BENCH_baseline.json`.
+    pub fn metrics(&self) -> Vec<Metric> {
+        let mut out = Vec::with_capacity(self.cells.len() * 3);
+        for c in &self.cells {
+            let case = c.case_name();
+            out.push(Metric::new(
+                "contention",
+                &case,
+                "coverage_per_kj",
+                c.coverage_per_kj(),
+            ));
+            out.push(Metric::new(
+                "contention",
+                &case,
+                "delivered_per_kj",
+                c.delivered_per_kj(),
+            ));
+            out.push(Metric::lower(
+                "contention",
+                &case,
+                "deadline_abandons",
+                c.report.deadline_abandons as f64,
+            ));
+        }
+        out
+    }
+
+    /// Prints the sweep table.
+    pub fn print(&self) {
+        println!("\n== Shared-cell contention: devices x capacity x scheduler ==");
+        let mut t = Table::new(vec![
+            "devices",
+            "cell kbps",
+            "policy",
+            "granted",
+            "denied",
+            "abandoned",
+            "locations",
+            "util %",
+            "cov/kJ",
+            "delivered/kJ",
+        ]);
+        for c in &self.cells {
+            t.row(vec![
+                c.devices.to_string(),
+                format!("{:.0}", c.capacity_bps / 1000.0),
+                c.policy.as_str().to_string(),
+                c.report.grants_issued.to_string(),
+                c.report.grants_denied.to_string(),
+                c.report.deadline_abandons.to_string(),
+                c.report.unique_locations.to_string(),
+                format!("{:.0}", 100.0 * c.mean_utilization()),
+                f1(c.coverage_per_kj()),
+                f1(c.delivered_per_kj()),
+            ]);
+        }
+        t.print();
+        println!(
+            "equal seeds per (devices, capacity) point; the policy column is \
+             the only knob that moves"
+        );
+    }
+}
+
+fn fleet_for(args: &ExpArgs, devices: usize) -> FleetConfig {
+    FleetConfig {
+        n_devices: devices,
+        rounds: args.scaled(4, 3),
+        group_size: args.scaled(5, 3),
+        shared_per_group: 2,
+        interval_s: 30.0,
+        scene: SceneConfig {
+            width: 96,
+            height: 72,
+            n_shapes: 8,
+            texture_amp: 8.0,
+        },
+        seed: args.seed,
+    }
+}
+
+fn config_for(args: &ExpArgs, capacity_bps: f64, policy: SchedulerPolicy) -> BeesConfig {
+    let mut c = BeesConfig {
+        trace: BandwidthTrace::constant(256_000.0).expect("constant trace is valid"),
+        // A small battery, sized (with the workload) so an oversubscribed
+        // run kills part of the fleet: which devices the scheduler spends
+        // airtime on then decides how many sites get covered before the
+        // lights go out.
+        battery: Battery::from_joules(args.scaled(100, 40) as f64),
+        scheduler: policy,
+        ..BeesConfig::default()
+    };
+    c.cell.enabled = true;
+    c.cell.capacity = BandwidthTrace::constant(capacity_bps).expect("constant trace is valid");
+    c.cell.epoch_s = 20.0;
+    c
+}
+
+/// Runs the devices × cell-capacity × policy sweep (BEES scheme).
+pub fn run(args: &ExpArgs) -> ContentionResult {
+    // The small capacity puts the larger fleet well past 2x
+    // oversubscription; the larger capacity is the near-saturated control.
+    // Both scale with the workload so quick mode contends rather than
+    // collapsing outright.
+    let device_sweep = [args.scaled(6, 4), args.scaled(10, 8)];
+    let capacity_sweep = [
+        args.scaled(48_000, 32_000) as f64,
+        args.scaled(192_000, 96_000) as f64,
+    ];
+    let mut cells = Vec::new();
+    for &devices in &device_sweep {
+        let fleet = fleet_for(args, devices);
+        for &capacity in &capacity_sweep {
+            for policy in POLICIES {
+                let config = config_for(args, capacity, policy);
+                let report = run_fleet(&Bees::adaptive(&config), &config, &fleet)
+                    .expect("constant traces cannot stall");
+                cells.push(ContentionCell {
+                    devices,
+                    capacity_bps: capacity,
+                    policy,
+                    report,
+                });
+            }
+        }
+    }
+    let result = ContentionResult { cells };
+    if let Some(path) = &args.json_out {
+        write_json_lines(path, &result.metrics());
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> ContentionResult {
+        run(&ExpArgs {
+            scale: 0.1,
+            seed: 7,
+            quick: true,
+            ..ExpArgs::default()
+        })
+    }
+
+    #[test]
+    fn utility_beats_fifo_and_round_robin_when_oversubscribed() {
+        let r = quick();
+        // 2 fleet sizes x 2 capacities x 3 policies.
+        assert_eq!(r.cells.len(), 12);
+        // The most oversubscribed point: the big fleet on the small cell.
+        let max_devices = r.cells.iter().map(|c| c.devices).max().unwrap();
+        let min_capacity = r
+            .cells
+            .iter()
+            .map(|c| c.capacity_bps)
+            .fold(f64::INFINITY, f64::min);
+        let point: Vec<&ContentionCell> = r
+            .cells
+            .iter()
+            .filter(|c| c.devices == max_devices && c.capacity_bps == min_capacity)
+            .collect();
+        assert_eq!(point.len(), 3);
+        let by = |p: SchedulerPolicy| point.iter().find(|c| c.policy == p).unwrap();
+        let fifo = by(SchedulerPolicy::Fifo);
+        let rr = by(SchedulerPolicy::RoundRobin);
+        let util = by(SchedulerPolicy::Utility);
+        assert!(
+            util.coverage_per_kj() > fifo.coverage_per_kj(),
+            "utility {} vs fifo {}",
+            util.coverage_per_kj(),
+            fifo.coverage_per_kj()
+        );
+        assert!(
+            util.coverage_per_kj() > rr.coverage_per_kj(),
+            "utility {} vs round-robin {}",
+            util.coverage_per_kj(),
+            rr.coverage_per_kj()
+        );
+        // The cell genuinely contends at this point.
+        assert!(util.report.grants_denied > 0, "{:?}", util.report);
+    }
+
+    #[test]
+    fn sweep_is_reproducible_and_metrics_are_well_formed() {
+        let a = quick();
+        let b = quick();
+        for (x, y) in a.cells.iter().zip(&b.cells) {
+            assert_eq!(x.report.to_json(), y.report.to_json());
+        }
+        for m in a.metrics() {
+            assert!(m.value.is_finite() && m.value >= 0.0, "{m:?}");
+        }
+    }
+}

@@ -2,6 +2,7 @@
 
 pub mod ablation_ssmm;
 pub mod calibrate;
+pub mod contention;
 pub mod descriptor_hotloop;
 pub mod fault_resilience;
 pub mod fig11_delay;

@@ -28,6 +28,11 @@ pub struct Client {
     fault_seed: u64,
     energy: EnergyModel,
     telemetry: Telemetry,
+    /// Absolute virtual-time deadline of the device's current airtime
+    /// grant; resumable transfers abandon (not retry) past it.
+    grant_deadline_s: Option<f64>,
+    /// Transfers abandoned at a virtual-time deadline so far.
+    deadline_abandons: u64,
 }
 
 impl Client {
@@ -74,6 +79,8 @@ impl Client {
             fault_seed,
             energy: config.energy,
             telemetry: Telemetry::disabled(),
+            grant_deadline_s: None,
+            deadline_abandons: 0,
         })
     }
 
@@ -97,6 +104,44 @@ impl Client {
     /// Remaining battery fraction — the `Ebat` every EAAS scheme reads.
     pub fn ebat(&self) -> f64 {
         self.battery.fraction()
+    }
+
+    /// Installs (or clears) the absolute virtual-time deadline of the
+    /// device's current airtime grant. While set, every resumable transfer
+    /// treats it as a hard stop: once the clock passes it, the transfer is
+    /// abandoned — salvage ladder still applying — instead of retried, and
+    /// backoff waits never sleep past it. The shared-cell fleet loop sets
+    /// this to the grant's epoch end and clears it between rounds.
+    pub fn set_grant_deadline(&mut self, deadline_s: Option<f64>) {
+        self.grant_deadline_s = deadline_s;
+    }
+
+    /// The active grant deadline, if any.
+    pub fn grant_deadline_s(&self) -> Option<f64> {
+        self.grant_deadline_s
+    }
+
+    /// Installs (or clears) a constant-rate override on the underlying
+    /// channel — the device's granted slice of a shared cell.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Net`] if the rate is negative or not finite.
+    pub fn set_rate_override(&mut self, bps: Option<f64>) -> Result<()> {
+        self.channel.channel_mut().set_rate_override(bps)?;
+        Ok(())
+    }
+
+    /// The active channel rate override, if any.
+    pub fn rate_override_bps(&self) -> Option<f64> {
+        self.channel.channel().rate_override_bps()
+    }
+
+    /// Transfers abandoned at a virtual-time deadline (grant expiry or
+    /// [`RetryPolicy::transfer_deadline_s`]) so far — the zombie retries
+    /// that were *not* made.
+    pub fn deadline_abandons(&self) -> u64 {
+        self.deadline_abandons
     }
 
     /// The battery.
@@ -279,7 +324,17 @@ impl Client {
         bytes: usize,
         salvage: bool,
     ) -> Result<ResumableOutcome> {
-        if self.channel.faults().is_none() {
+        let start = self.clock.now();
+        // The transfer's virtual-time deadline: the earlier of the airtime
+        // grant's expiry and the policy's per-transfer cap, when either is
+        // set.
+        let deadline = match (self.grant_deadline_s, self.retry.transfer_deadline_s) {
+            (Some(g), Some(d)) => Some(g.min(start + d)),
+            (Some(g), None) => Some(g),
+            (None, Some(d)) => Some(start + d),
+            (None, None) => None,
+        };
+        if self.channel.faults().is_none() && deadline.is_none() {
             let duration = self.transmit(category, bytes)?;
             return Ok(ResumableOutcome::Complete(TransmitSummary {
                 attempts: 1,
@@ -290,7 +345,6 @@ impl Client {
                 elapsed_s: duration,
             }));
         }
-        let start = self.clock.now();
         let chunk = self.retry.chunk_bytes.max(1);
         let mut confirmed = 0usize;
         let mut attempts = 0u32;
@@ -299,7 +353,23 @@ impl Client {
         let mut corrupt_total = 0u64;
         let mut backoff_total = 0.0f64;
         loop {
-            if attempts >= self.retry.budget(self.battery.fraction()) {
+            let loop_now = self.clock.now();
+            let past_deadline = deadline.is_some_and(|d| loop_now >= d);
+            let over_budget = attempts >= self.retry.budget(self.battery.fraction());
+            if over_budget || past_deadline {
+                if past_deadline && !over_budget {
+                    // The deadline, not the budget, killed this transfer:
+                    // the retries it *would* have made are the zombie
+                    // retries the grant mechanism exists to prevent.
+                    self.deadline_abandons += 1;
+                    self.telemetry
+                        .span(names::SCHED_PREEMPT, loop_now)
+                        .attr_str("category", category_name(category))
+                        .attr_u64("attempts", u64::from(attempts))
+                        .attr_u64("banked_bytes", confirmed as u64)
+                        .attr_u64("total_bytes", bytes as u64)
+                        .close(loop_now);
+                }
                 if salvage && confirmed > 0 {
                     // The budget is gone but whole verified chunks are
                     // banked: their energy bought fidelity, not waste.
@@ -337,10 +407,17 @@ impl Client {
                 }));
             }
             attempts += 1;
-            let now = self.clock.now();
-            let outcome =
-                self.channel
-                    .transfer(now, bytes - confirmed, self.retry.attempt_timeout_s);
+            let now = loop_now;
+            // Clamp the attempt so it cannot run past the deadline (we
+            // know `now < deadline` here, so the clamp stays positive).
+            let timeout = match deadline {
+                Some(d) => Some(match self.retry.attempt_timeout_s {
+                    Some(t) => t.min(d - now),
+                    None => d - now,
+                }),
+                None => self.retry.attempt_timeout_s,
+            };
+            let outcome = self.channel.transfer(now, bytes - confirmed, timeout);
             let attempt_key = self.channel.attempts().saturating_sub(1);
             let mut kept = if outcome.completed() {
                 outcome.delivered_bytes
@@ -428,7 +505,12 @@ impl Client {
                     elapsed_s: self.clock.now() - start,
                 }));
             }
-            let wait = self.retry.backoff_s(attempts - 1, self.fault_seed);
+            let mut wait = self.retry.backoff_s(attempts - 1, self.fault_seed);
+            if let Some(d) = deadline {
+                // Never sleep past the deadline: the next loop iteration
+                // abandons the transfer the moment the clock reaches it.
+                wait = wait.min((d - self.clock.now()).max(0.0));
+            }
             backoff_total += wait;
             self.idle(wait)?;
         }
@@ -850,6 +932,125 @@ mod tests {
         let (s2, ledger2) = run();
         assert_eq!(s, s2);
         assert_eq!(ledger, ledger2);
+    }
+
+    #[test]
+    fn grant_deadline_abandons_instead_of_retrying() {
+        let mut cfg = config();
+        cfg.battery = bees_energy::Battery::from_joules(1e9);
+        // Every attempt times out after 1 s having delivered 32 000 bytes;
+        // without a deadline the 200-attempt budget would grind on.
+        cfg.fault = bees_net::FaultModel::new(2, 0.0, 1e-12, 1e9, 1.0).unwrap();
+        cfg.retry.attempt_timeout_s = Some(1.0);
+        cfg.retry.max_attempts = 200;
+        let mut c = Client::try_new(0, &cfg).unwrap();
+        c.set_grant_deadline(Some(2.5));
+        assert_eq!(c.grant_deadline_s(), Some(2.5));
+        let err = c.transmit_resumable(EnergyCategory::ImageUpload, 10_000_000);
+        assert!(matches!(
+            err,
+            Err(CoreError::Net(NetError::RetriesExhausted { .. }))
+        ));
+        assert_eq!(c.deadline_abandons(), 1);
+        // No zombie retries: the clock never ran past the deadline.
+        assert!(c.now() <= 2.5 + 1e-9, "clock at {}", c.now());
+        // All spent airtime is accounted: banked bytes' energy was wasted
+        // (non-salvage path), nothing lingers in the upload bucket.
+        assert_eq!(c.ledger().get(EnergyCategory::ImageUpload), 0.0);
+        assert!(c.ledger().get(EnergyCategory::Wasted) > 0.0);
+    }
+
+    #[test]
+    fn deadline_abandons_still_salvage_banked_chunks() {
+        let mut cfg = config();
+        cfg.battery = bees_energy::Battery::from_joules(1e9);
+        cfg.fault = bees_net::FaultModel::new(2, 0.0, 1e-12, 1e9, 1.0).unwrap();
+        cfg.retry.attempt_timeout_s = Some(1.0);
+        cfg.retry.max_attempts = 200;
+        let mut c = Client::try_new(0, &cfg).unwrap();
+        c.set_grant_deadline(Some(2.5));
+        let out = c
+            .transmit_salvageable(EnergyCategory::ImageUpload, 10_000_000)
+            .unwrap();
+        let ResumableOutcome::Salvaged(s) = out else {
+            panic!("the deadline must cut this transfer, got {out:?}");
+        };
+        assert!(s.banked_bytes >= 16_384, "whole chunks were banked");
+        assert!(s.salvaged_joules > 0.0);
+        assert_eq!(c.deadline_abandons(), 1);
+        assert!((c.ledger().get(EnergyCategory::Salvaged) - s.salvaged_joules).abs() < 1e-12);
+    }
+
+    #[test]
+    fn expired_grant_defers_before_spending_radio_energy() {
+        let mut cfg = config();
+        cfg.fault = bees_net::FaultModel::new(2, 0.0, 1e-12, 1e9, 1.0).unwrap();
+        let mut c = Client::try_new(0, &cfg).unwrap();
+        c.idle(10.0).unwrap();
+        c.set_grant_deadline(Some(5.0)); // already in the past
+        let idle_before = c.ledger().get(EnergyCategory::Idle);
+        let err = c.transmit_resumable(EnergyCategory::ImageUpload, 50_000);
+        match err {
+            Err(CoreError::Net(NetError::RetriesExhausted { attempts, .. })) => {
+                assert_eq!(attempts, 0, "not a single attempt was made");
+            }
+            other => panic!("expected RetriesExhausted, got {other:?}"),
+        }
+        assert_eq!(c.ledger().get(EnergyCategory::Wasted), 0.0);
+        assert_eq!(c.ledger().get(EnergyCategory::ImageUpload), 0.0);
+        assert_eq!(c.ledger().get(EnergyCategory::Idle), idle_before);
+    }
+
+    #[test]
+    fn policy_transfer_deadline_works_without_a_grant() {
+        let mut cfg = config();
+        cfg.battery = bees_energy::Battery::from_joules(1e9);
+        cfg.fault = bees_net::FaultModel::new(2, 0.0, 1e-12, 1e9, 1.0).unwrap();
+        cfg.retry.attempt_timeout_s = Some(1.0);
+        cfg.retry.max_attempts = 200;
+        cfg.retry.transfer_deadline_s = Some(2.5);
+        let mut c = Client::try_new(0, &cfg).unwrap();
+        // Burn some clock first: the policy deadline is *relative* to the
+        // transfer start, unlike the absolute grant deadline.
+        c.idle(100.0).unwrap();
+        let err = c.transmit_resumable(EnergyCategory::ImageUpload, 10_000_000);
+        assert!(matches!(
+            err,
+            Err(CoreError::Net(NetError::RetriesExhausted { .. }))
+        ));
+        assert_eq!(c.deadline_abandons(), 1);
+        assert!(c.now() <= 102.5 + 1e-9, "clock at {}", c.now());
+    }
+
+    #[test]
+    fn clearing_the_grant_deadline_restores_plain_behavior() {
+        let cfg = config();
+        let mut gated = Client::try_new(7, &cfg).unwrap();
+        let mut plain = Client::try_new(7, &cfg).unwrap();
+        gated.set_grant_deadline(Some(1e9));
+        gated.set_grant_deadline(None);
+        gated
+            .transmit_resumable(EnergyCategory::ImageUpload, 100_000)
+            .unwrap();
+        plain
+            .transmit_resumable(EnergyCategory::ImageUpload, 100_000)
+            .unwrap();
+        assert_eq!(gated.ledger(), plain.ledger());
+        assert_eq!(gated.now(), plain.now());
+        assert_eq!(gated.deadline_abandons(), 0);
+    }
+
+    #[test]
+    fn rate_override_round_trips_through_the_client() {
+        let mut c = Client::try_new(0, &config()).unwrap();
+        assert_eq!(c.rate_override_bps(), None);
+        c.set_rate_override(Some(64_000.0)).unwrap();
+        assert_eq!(c.rate_override_bps(), Some(64_000.0));
+        // 32 KB at a granted 64 Kbps slice = 4 s instead of 1 s.
+        let d = c.transmit(EnergyCategory::ImageUpload, 32_000).unwrap();
+        assert!((d - 4.0).abs() < 1e-9);
+        c.set_rate_override(None).unwrap();
+        assert!(c.set_rate_override(Some(-1.0)).is_err());
     }
 
     #[test]

@@ -5,7 +5,8 @@ use bees_energy::{Battery, EnergyModel, LinearScheme};
 use bees_features::orb::OrbConfig;
 use bees_features::pca::PcaSiftConfig;
 use bees_features::similarity::SimilarityConfig;
-use bees_net::{BandwidthTrace, FaultModel, RetryPolicy, DEFAULT_STALL_LIMIT_S};
+use crate::scheduler::SchedulerPolicy;
+use bees_net::{BandwidthTrace, FaultModel, RetryPolicy, SharedCellConfig, DEFAULT_STALL_LIMIT_S};
 use bees_submodular::SsmmConfig;
 use serde::{Deserialize, Serialize};
 
@@ -99,6 +100,15 @@ pub struct BeesConfig {
     /// (full → thumbnail → defer).
     #[serde(default = "default_salvage_partials")]
     pub salvage_partials: bool,
+    /// The shared uplink cell the fleet draws airtime from; defaults to
+    /// disabled, i.e. the historical one-private-channel-per-device
+    /// behavior.
+    #[serde(default)]
+    pub cell: SharedCellConfig,
+    /// How the server ranks devices competing for cell airtime; only
+    /// consulted when `cell.enabled` is set.
+    #[serde(default)]
+    pub scheduler: SchedulerPolicy,
 }
 
 fn default_stall_limit() -> f64 {
@@ -148,6 +158,8 @@ impl Default for BeesConfig {
             server_shards: 1,
             mih_probe_radius: 1,
             salvage_partials: true,
+            cell: SharedCellConfig::default(),
+            scheduler: SchedulerPolicy::default(),
         }
     }
 }
@@ -243,6 +255,9 @@ impl BeesConfig {
                 ),
             });
         }
+        self.cell.validate().map_err(|e| CoreError::InvalidConfig {
+            detail: format!("shared cell: {e}"),
+        })?;
         Ok(())
     }
 }
@@ -332,14 +347,42 @@ impl BeesConfigBuilder {
         mih_probe_radius: u8,
         /// Sets whether cut uploads are salvaged into partial images.
         salvage_partials: bool,
+        /// Sets the shared uplink cell the fleet contends for.
+        cell: SharedCellConfig,
+        /// Sets the airtime-scheduler ranking policy.
+        scheduler: SchedulerPolicy,
     }
 
     /// Validates and returns the configuration.
+    ///
+    /// On top of [`BeesConfig::validate`], the builder enforces stricter
+    /// retry-policy hygiene than the raw struct allows: a zero backoff
+    /// base is *representable* (and kept valid at the struct level for
+    /// old serialized policies), but a config built here must back off for
+    /// real, and its jitter amplitude must stay below the backoff base it
+    /// modulates.
     ///
     /// # Errors
     ///
     /// Returns [`CoreError::InvalidConfig`] naming the offending knob.
     pub fn build(self) -> crate::Result<BeesConfig> {
+        if self.config.retry.base_backoff_s <= 0.0 {
+            return Err(CoreError::InvalidConfig {
+                detail: format!(
+                    "retry.base_backoff_s must be positive when built through \
+                     BeesConfigBuilder, got {}",
+                    self.config.retry.base_backoff_s
+                ),
+            });
+        }
+        if self.config.retry.jitter >= self.config.retry.base_backoff_s {
+            return Err(CoreError::InvalidConfig {
+                detail: format!(
+                    "retry.jitter ({}) must stay below retry.base_backoff_s ({})",
+                    self.config.retry.jitter, self.config.retry.base_backoff_s
+                ),
+            });
+        }
         self.config.validate()?;
         Ok(self.config)
     }
@@ -489,14 +532,125 @@ mod tests {
             obj.remove("server_shards");
             obj.remove("mih_probe_radius");
             obj.remove("salvage_partials");
+            obj.remove("cell");
+            obj.remove("scheduler");
             serde_json::to_string(obj).unwrap()
         };
         let back: BeesConfig = serde_json::from_str(&stripped).unwrap();
         assert!(back.fault.is_none());
         assert_eq!(back.retry.max_attempts, RetryPolicy::default().max_attempts);
+        assert_eq!(back.retry.transfer_deadline_s, None);
         assert_eq!(back.stall_limit_s, DEFAULT_STALL_LIMIT_S);
         assert_eq!(back.server_shards, 1);
         assert_eq!(back.mih_probe_radius, 1);
         assert!(back.salvage_partials, "salvage defaults on");
+        assert!(!back.cell.enabled, "shared cell defaults off");
+        assert_eq!(back.scheduler, SchedulerPolicy::Utility);
+    }
+
+    #[test]
+    fn builder_sets_contention_knobs() {
+        let cell = SharedCellConfig {
+            enabled: true,
+            epoch_s: 15.0,
+            ..SharedCellConfig::default()
+        };
+        let config = BeesConfig::builder()
+            .cell(cell.clone())
+            .scheduler(SchedulerPolicy::Fifo)
+            .build()
+            .expect("knobs are in range");
+        assert!(config.cell.enabled);
+        assert_eq!(config.cell.epoch_s, 15.0);
+        assert_eq!(config.scheduler, SchedulerPolicy::Fifo);
+    }
+
+    #[test]
+    fn invalid_cell_knobs_are_named_by_validate() {
+        let mut c = BeesConfig::default();
+        c.cell.epoch_s = -1.0;
+        match c.validate() {
+            Err(CoreError::InvalidConfig { detail }) => {
+                assert!(detail.contains("shared cell"), "{detail}");
+                assert!(detail.contains("epoch_s"), "{detail}");
+            }
+            other => panic!("expected InvalidConfig, got {other:?}"),
+        }
+        let bad = BeesConfig::builder()
+            .cell(SharedCellConfig {
+                oversubscription_threshold: 0.2,
+                ..SharedCellConfig::default()
+            })
+            .build();
+        assert!(matches!(bad, Err(CoreError::InvalidConfig { .. })));
+    }
+
+    #[test]
+    fn builder_rejects_zero_backoff_base() {
+        let err = BeesConfig::builder()
+            .retry(RetryPolicy {
+                base_backoff_s: 0.0,
+                jitter: 0.0,
+                ..RetryPolicy::default()
+            })
+            .build();
+        match err {
+            Err(CoreError::InvalidConfig { detail }) => {
+                assert!(detail.contains("base_backoff_s"), "{detail}");
+            }
+            other => panic!("expected InvalidConfig, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn builder_rejects_negative_backoff_base() {
+        let err = BeesConfig::builder()
+            .retry(RetryPolicy {
+                base_backoff_s: -2.5,
+                ..RetryPolicy::default()
+            })
+            .build();
+        match err {
+            Err(CoreError::InvalidConfig { detail }) => {
+                assert!(detail.contains("base_backoff_s"), "{detail}");
+            }
+            other => panic!("expected InvalidConfig, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn builder_rejects_jitter_at_or_above_the_backoff_base() {
+        // jitter == base
+        let err = BeesConfig::builder()
+            .retry(RetryPolicy {
+                base_backoff_s: 0.25,
+                jitter: 0.25,
+                ..RetryPolicy::default()
+            })
+            .build();
+        match err {
+            Err(CoreError::InvalidConfig { detail }) => {
+                assert!(detail.contains("jitter"), "{detail}");
+            }
+            other => panic!("expected InvalidConfig, got {other:?}"),
+        }
+        // jitter > base
+        let err = BeesConfig::builder()
+            .retry(RetryPolicy {
+                base_backoff_s: 0.1,
+                jitter: 0.9,
+                ..RetryPolicy::default()
+            })
+            .build();
+        assert!(matches!(err, Err(CoreError::InvalidConfig { .. })));
+        // The raw struct keeps accepting what the builder rejects, so old
+        // serialized policies stay loadable.
+        assert!(RetryPolicy {
+            base_backoff_s: 0.0,
+            jitter: 0.0,
+            ..RetryPolicy::default()
+        }
+        .validate()
+        .is_ok());
     }
 }

@@ -42,6 +42,7 @@ mod client;
 mod config;
 mod error;
 mod report;
+mod scheduler;
 pub mod schemes;
 mod server;
 pub mod sessions;
@@ -50,6 +51,10 @@ pub use client::{Client, ResumableOutcome, SalvageSummary, TransmitSummary};
 pub use config::{BeesConfig, IndexBackend};
 pub use error::CoreError;
 pub use report::BatchReport;
+pub use scheduler::{
+    AirtimeScheduler, DeviceDemand, EpochPlan, Grant, SchedulerPolicy, UploadTier,
+    PARTIAL_TIER_FRACTION, THUMBNAIL_TIER_FRACTION,
+};
 pub use server::{PartialImage, Server};
 
 /// Shorthand result type for system operations.

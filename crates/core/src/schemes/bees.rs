@@ -26,7 +26,7 @@
 use crate::schemes::{
     transmit_or_defer, transmit_or_salvage, try_power, BatchCtx, Delivery, SchemeKind, UploadScheme,
 };
-use crate::{BatchReport, BeesConfig, Client, PartialImage, Result};
+use crate::{BatchReport, BeesConfig, Client, PartialImage, Result, UploadTier};
 use bees_energy::{AdaptiveScheme, EnergyCategory, LinearScheme};
 use bees_features::orb::Orb;
 use bees_features::similarity::{jaccard_similarity, jaccard_similarity_blocks};
@@ -113,6 +113,7 @@ impl UploadScheme for Bees {
         let tel = ctx.telemetry.clone();
         let batch = ctx.batch;
         let geotags = ctx.geotags();
+        let tier = ctx.tier();
         let client = &mut *ctx.client;
         let server = &mut *ctx.server;
         let mut report = BatchReport::new(self.kind().to_string(), batch.len());
@@ -158,11 +159,18 @@ impl UploadScheme for Bees {
         let feature_payload: usize = features.iter().map(|f| f.wire_size()).sum();
         let query_bytes = wire::feature_query_bytes(feature_payload);
         let mut survivors: Vec<usize> = Vec::with_capacity(batch.len());
-        match try_power!(
-            report,
-            client,
-            transmit_or_defer(client, EnergyCategory::FeatureUpload, query_bytes)
-        ) {
+        // A deferred grant spends no radio energy at all: the feature query
+        // is skipped the same way a failed one degrades.
+        let query_delivery = if tier == UploadTier::Defer {
+            Delivery::Deferred { attempts: 0 }
+        } else {
+            try_power!(
+                report,
+                client,
+                transmit_or_defer(client, EnergyCategory::FeatureUpload, query_bytes)
+            )
+        };
+        match query_delivery {
             Delivery::Delivered(summary) => {
                 report.transfer_attempts += summary.attempts as u64;
                 report.corrupt_chunks_detected += summary.corrupt_chunks_detected;
@@ -263,93 +271,156 @@ impl UploadScheme for Bees {
         let t_aiu = client.now();
         let joules_before_aiu = client.ledger().total();
         for &i in &selected {
-            let ebat = self.effective_ebat(client);
-            let cr = self.eau.value(ebat);
-            let resize_j = model.resize_energy(batch[i].pixel_count());
-            try_power!(
-                report,
-                client,
-                client.spend_cpu(EnergyCategory::Compression, resize_j)
-            );
-            let shrunk = resize::compress_resolution_rgb(&batch[i], cr)?;
-            let encode_j = model.encode_energy(shrunk.pixel_count());
-            try_power!(
-                report,
-                client,
-                client.spend_cpu(EnergyCategory::Compression, encode_j)
-            );
-            let payload = progressive::encode_progressive_rgb(&shrunk, self.upload_quality)?;
-            let bytes = wire::framed_upload_bytes(payload.len(), self.chunk_bytes);
-            let delivery = if self.salvage_partials {
-                try_power!(
-                    report,
-                    client,
-                    transmit_or_salvage(client, EnergyCategory::ImageUpload, bytes)
-                )
-            } else {
-                try_power!(
-                    report,
-                    client,
-                    transmit_or_defer(client, EnergyCategory::ImageUpload, bytes)
-                )
-            };
+            if tier == UploadTier::Defer {
+                report.deferred_images += 1;
+                continue;
+            }
             // `Some(attempts)` sends the image down the thumbnail rung.
             let mut fall_back: Option<u32> = None;
-            match delivery {
-                Delivery::Delivered(summary) => {
-                    report.transfer_attempts += summary.attempts as u64;
-                    report.corrupt_chunks_detected += summary.corrupt_chunks_detected;
-                    report.uplink_bytes += bytes;
-                    report.image_bytes += payload.len();
-                    report.uploaded_images += 1;
-                    server.ingest_image(features[i].clone(), payload.len(), geotags.map(|g| g[i]));
-                }
-                Delivery::Salvaged(summary) => {
-                    report.transfer_attempts += summary.attempts as u64;
-                    report.corrupt_chunks_detected += summary.corrupt_chunks_detected;
-                    let prefix = wire::salvaged_payload_bytes(
-                        summary.banked_bytes,
-                        payload.len(),
-                        self.chunk_bytes,
-                    );
-                    match progressive::decode_partial(&payload[..prefix]) {
-                        Ok((decoded, progress)) => {
-                            let s = ssim(&shrunk.to_gray(), &decoded.to_gray())?;
-                            report.uplink_bytes += summary.banked_bytes;
-                            report.image_bytes += prefix;
-                            report.salvaged_images += 1;
-                            report.salvage_ssim_sum += s;
-                            server.ingest_partial_image(
+            if tier == UploadTier::Thumbnail {
+                // The grant only covers a thumbnail: skip the full-quality
+                // attempt instead of burning airtime it would lose anyway.
+                fall_back = Some(0);
+            } else {
+                let ebat = self.effective_ebat(client);
+                let cr = self.eau.value(ebat);
+                let resize_j = model.resize_energy(batch[i].pixel_count());
+                try_power!(
+                    report,
+                    client,
+                    client.spend_cpu(EnergyCategory::Compression, resize_j)
+                );
+                let shrunk = resize::compress_resolution_rgb(&batch[i], cr)?;
+                let encode_j = model.encode_energy(shrunk.pixel_count());
+                try_power!(
+                    report,
+                    client,
+                    client.spend_cpu(EnergyCategory::Compression, encode_j)
+                );
+                let full_payload = progressive::encode_progressive_rgb(&shrunk, self.upload_quality)?;
+                // A PartialScans grant transmits only a prefix of the
+                // progressive stream; whatever it delivers is ingested
+                // through the partial-image machinery, upgradeable later.
+                let send_len = if tier == UploadTier::PartialScans {
+                    tier.est_bytes(full_payload.len()).min(full_payload.len())
+                } else {
+                    full_payload.len()
+                };
+                let capped = send_len < full_payload.len();
+                let payload = &full_payload[..send_len];
+                let bytes = wire::framed_upload_bytes(payload.len(), self.chunk_bytes);
+                let delivery = if self.salvage_partials || capped {
+                    try_power!(
+                        report,
+                        client,
+                        transmit_or_salvage(client, EnergyCategory::ImageUpload, bytes)
+                    )
+                } else {
+                    try_power!(
+                        report,
+                        client,
+                        transmit_or_defer(client, EnergyCategory::ImageUpload, bytes)
+                    )
+                };
+                match delivery {
+                    Delivery::Delivered(summary) => {
+                        report.transfer_attempts += summary.attempts as u64;
+                        report.corrupt_chunks_detected += summary.corrupt_chunks_detected;
+                        if capped {
+                            match progressive::decode_partial(payload) {
+                                Ok((decoded, progress)) => {
+                                    let s = ssim(&shrunk.to_gray(), &decoded.to_gray())?;
+                                    report.uplink_bytes += bytes;
+                                    report.image_bytes += payload.len();
+                                    report.salvaged_images += 1;
+                                    report.salvage_ssim_sum += s;
+                                    server.ingest_partial_image(
+                                        features[i].clone(),
+                                        PartialImage {
+                                            scans_complete: progress.scans_complete,
+                                            scans_total: progress.scans_total,
+                                            payload_bytes: payload.len(),
+                                            total_bytes: full_payload.len(),
+                                            ssim_estimate: s,
+                                        },
+                                        geotags.map(|g| g[i]),
+                                    );
+                                    let now = client.now();
+                                    tel.span(names::AIU_SCAN, now)
+                                        .attr_str("scheme", self.kind().as_str())
+                                        .attr_u64("scans", progress.scans_complete as u64)
+                                        .attr_u64("scans_total", progress.scans_total as u64)
+                                        .attr_u64("payload_bytes", payload.len() as u64)
+                                        .attr_f64("ssim", s)
+                                        .close(now);
+                                }
+                                Err(_) => {
+                                    // The granted prefix ends before even
+                                    // the DC scan completes: nothing
+                                    // decodable reached the server, so the
+                                    // ladder falls through to the thumbnail
+                                    // rung.
+                                    fall_back = Some(0);
+                                }
+                            }
+                        } else {
+                            report.uplink_bytes += bytes;
+                            report.image_bytes += payload.len();
+                            report.uploaded_images += 1;
+                            server.ingest_image(
                                 features[i].clone(),
-                                PartialImage {
-                                    scans_complete: progress.scans_complete,
-                                    scans_total: progress.scans_total,
-                                    payload_bytes: prefix,
-                                    total_bytes: payload.len(),
-                                    ssim_estimate: s,
-                                },
+                                payload.len(),
                                 geotags.map(|g| g[i]),
                             );
-                            let now = client.now();
-                            tel.span(names::AIU_SCAN, now)
-                                .attr_str("scheme", self.kind().as_str())
-                                .attr_u64("scans", progress.scans_complete as u64)
-                                .attr_u64("scans_total", progress.scans_total as u64)
-                                .attr_u64("payload_bytes", prefix as u64)
-                                .attr_f64("ssim", s)
-                                .close(now);
-                        }
-                        Err(_) => {
-                            // The banked prefix ends before the DC scan
-                            // completes: nothing decodable was bought, so
-                            // the energy goes back to waste and the ladder
-                            // falls through to the thumbnail rung.
-                            client.demote_salvage(summary.salvaged_joules);
-                            fall_back = Some(0);
                         }
                     }
+                    Delivery::Salvaged(summary) => {
+                        report.transfer_attempts += summary.attempts as u64;
+                        report.corrupt_chunks_detected += summary.corrupt_chunks_detected;
+                        let prefix = wire::salvaged_payload_bytes(
+                            summary.banked_bytes,
+                            payload.len(),
+                            self.chunk_bytes,
+                        );
+                        match progressive::decode_partial(&payload[..prefix]) {
+                            Ok((decoded, progress)) => {
+                                let s = ssim(&shrunk.to_gray(), &decoded.to_gray())?;
+                                report.uplink_bytes += summary.banked_bytes;
+                                report.image_bytes += prefix;
+                                report.salvaged_images += 1;
+                                report.salvage_ssim_sum += s;
+                                server.ingest_partial_image(
+                                    features[i].clone(),
+                                    PartialImage {
+                                        scans_complete: progress.scans_complete,
+                                        scans_total: progress.scans_total,
+                                        payload_bytes: prefix,
+                                        total_bytes: full_payload.len(),
+                                        ssim_estimate: s,
+                                    },
+                                    geotags.map(|g| g[i]),
+                                );
+                                let now = client.now();
+                                tel.span(names::AIU_SCAN, now)
+                                    .attr_str("scheme", self.kind().as_str())
+                                    .attr_u64("scans", progress.scans_complete as u64)
+                                    .attr_u64("scans_total", progress.scans_total as u64)
+                                    .attr_u64("payload_bytes", prefix as u64)
+                                    .attr_f64("ssim", s)
+                                    .close(now);
+                            }
+                            Err(_) => {
+                                // The banked prefix ends before the DC scan
+                                // completes: nothing decodable was bought, so
+                                // the energy goes back to waste and the ladder
+                                // falls through to the thumbnail rung.
+                                client.demote_salvage(summary.salvaged_joules);
+                                fall_back = Some(0);
+                            }
+                        }
+                    }
+                    Delivery::Deferred { attempts } => fall_back = Some(attempts),
                 }
-                Delivery::Deferred { attempts } => fall_back = Some(attempts),
             }
             if let Some(attempts) = fall_back {
                 report.transfer_attempts += attempts as u64;
@@ -664,6 +735,91 @@ mod tests {
             on.wasted_energy(),
             off.wasted_energy()
         );
+    }
+
+    #[test]
+    fn partial_scans_tier_uploads_a_prefix_per_image() {
+        let cfg = config();
+        let data = disaster_batch(46, 4, 0, 0.0, small());
+        let run = |tier: UploadTier| {
+            let scheme = Bees::adaptive(&cfg);
+            let mut server = Server::try_new(&cfg).unwrap();
+            let mut client = Client::try_new(0, &cfg).unwrap();
+            let r = scheme
+                .upload(
+                    &mut BatchCtx::new(&mut client, &mut server, &data.batch).with_tier(tier),
+                )
+                .unwrap();
+            (r, server)
+        };
+        let (full, _) = run(UploadTier::Full);
+        let (partial, srv) = run(UploadTier::PartialScans);
+        assert_eq!(partial.uploaded_images, 0);
+        assert_eq!(
+            partial.salvaged_images,
+            full.uploaded_images,
+            "every would-be full upload lands as a partial: {partial:?}"
+        );
+        assert_eq!(srv.partial_images().len(), partial.salvaged_images);
+        assert!(
+            partial.uplink_bytes < full.uplink_bytes,
+            "the prefix tier must spend less airtime: {} vs {}",
+            partial.uplink_bytes,
+            full.uplink_bytes
+        );
+        for (_, p) in srv.partial_images() {
+            assert!(p.payload_bytes < p.total_bytes, "{p:?}");
+            assert!(p.scans_complete >= 1, "{p:?}");
+        }
+    }
+
+    #[test]
+    fn thumbnail_tier_skips_the_full_attempt() {
+        let cfg = config();
+        let data = disaster_batch(47, 4, 0, 0.0, small());
+        let run = |tier: UploadTier| {
+            let scheme = Bees::adaptive(&cfg);
+            let mut server = Server::try_new(&cfg).unwrap();
+            let mut client = Client::try_new(0, &cfg).unwrap();
+            scheme
+                .upload(
+                    &mut BatchCtx::new(&mut client, &mut server, &data.batch).with_tier(tier),
+                )
+                .unwrap()
+        };
+        let full = run(UploadTier::Full);
+        let thumb = run(UploadTier::Thumbnail);
+        assert_eq!(thumb.uploaded_images, 0);
+        assert_eq!(thumb.salvaged_images, 0);
+        assert_eq!(thumb.degraded_images, full.uploaded_images);
+        assert!(
+            thumb.uplink_bytes < full.uplink_bytes,
+            "thumbnails must spend less airtime: {} vs {}",
+            thumb.uplink_bytes,
+            full.uplink_bytes
+        );
+    }
+
+    #[test]
+    fn defer_tier_spends_no_radio_energy() {
+        let cfg = config();
+        let data = disaster_batch(48, 4, 0, 0.0, small());
+        let scheme = Bees::adaptive(&cfg);
+        let mut server = Server::try_new(&cfg).unwrap();
+        let mut client = Client::try_new(0, &cfg).unwrap();
+        let r = scheme
+            .upload(
+                &mut BatchCtx::new(&mut client, &mut server, &data.batch)
+                    .with_tier(UploadTier::Defer),
+            )
+            .unwrap();
+        assert!(r.feature_query_deferred);
+        assert_eq!(r.uplink_bytes, 0);
+        assert_eq!(r.uploaded_images + r.salvaged_images + r.degraded_images, 0);
+        assert!(r.deferred_images > 0);
+        assert_eq!(r.energy.get(EnergyCategory::FeatureUpload), 0.0);
+        assert_eq!(r.energy.get(EnergyCategory::ImageUpload), 0.0);
+        assert_eq!(server.received_images(), 0);
     }
 
     #[test]

@@ -25,7 +25,9 @@ pub use mrc::Mrc;
 pub use photonet::PhotoNetLike;
 pub use smarteye::SmartEye;
 
-use crate::{BatchReport, BeesConfig, Client, CoreError, Result, Server, TransmitSummary};
+use crate::{
+    BatchReport, BeesConfig, Client, CoreError, Result, Server, TransmitSummary, UploadTier,
+};
 use bees_energy::EnergyCategory;
 use bees_image::RgbImage;
 use bees_telemetry::Telemetry;
@@ -158,6 +160,7 @@ pub struct BatchCtx<'a> {
     /// The images to upload.
     pub batch: &'a [RgbImage],
     geotags: Option<&'a [(f64, f64)]>,
+    tier: UploadTier,
     /// Telemetry handle stage spans are emitted through. Defaults to the
     /// client's handle; override with
     /// [`with_telemetry`](BatchCtx::with_telemetry).
@@ -174,6 +177,7 @@ impl<'a> BatchCtx<'a> {
             server,
             batch,
             geotags: None,
+            tier: UploadTier::Full,
             telemetry,
         }
     }
@@ -205,6 +209,27 @@ impl<'a> BatchCtx<'a> {
         self.server.set_telemetry(telemetry.clone());
         self.telemetry = telemetry;
         self
+    }
+
+    /// Caps the upload tier for this batch — an airtime grant from the
+    /// shared-cell scheduler. [`UploadTier::Full`] (the default) changes
+    /// nothing; [`UploadTier::PartialScans`] makes the BEES scheme transmit
+    /// only a progressive-scan prefix per image (ingested through the
+    /// partial-image machinery, upgradeable later);
+    /// [`UploadTier::Thumbnail`] sends every selected image straight down
+    /// the thumbnail rung; [`UploadTier::Defer`] spends no radio energy at
+    /// all — the whole batch (feature query included) defers.
+    ///
+    /// Schemes without a degradation ladder ignore the cap.
+    #[must_use]
+    pub fn with_tier(mut self, tier: UploadTier) -> Self {
+        self.tier = tier;
+        self
+    }
+
+    /// The upload-tier cap in force for this batch.
+    pub fn tier(&self) -> UploadTier {
+        self.tier
     }
 
     /// The geotags, if attached (guaranteed to be `batch.len()` long).

@@ -6,7 +6,7 @@ mod fleet;
 mod lifetime;
 
 pub use coverage::{run_coverage, CoverageConfig, CoverageResult};
-pub use fleet::{run_fleet, DeviceSummary, FleetConfig, FleetReport};
+pub use fleet::{run_fleet, run_fleet_traced, DeviceSummary, FleetConfig, FleetReport};
 pub use lifetime::{
     run_lifetime, run_lifetime_traced, LifetimeConfig, LifetimeResult, LifetimeSample,
 };

@@ -72,6 +72,13 @@ impl Battery {
         self.remaining_j / self.capacity_j
     }
 
+    /// Joules drained since the battery was full — the denominator of the
+    /// contention bench's coverage-per-joule metric.
+    #[inline]
+    pub fn drawn_joules(&self) -> f64 {
+        self.capacity_j - self.remaining_j
+    }
+
     /// Whether the battery is exhausted.
     #[inline]
     pub fn is_empty(&self) -> bool {
@@ -139,6 +146,18 @@ mod tests {
         assert!(b.is_empty());
         assert_eq!(b.fraction(), 0.0);
         assert_eq!(b.drain(1.0), 0.0);
+    }
+
+    #[test]
+    fn drawn_joules_mirrors_the_drain() {
+        let mut b = Battery::from_joules(10.0);
+        assert_eq!(b.drawn_joules(), 0.0);
+        b.drain(4.0);
+        assert!((b.drawn_joules() - 4.0).abs() < 1e-12);
+        b.drain(100.0);
+        assert!((b.drawn_joules() - 10.0).abs() < 1e-12);
+        b.recharge();
+        assert_eq!(b.drawn_joules(), 0.0);
     }
 
     #[test]

@@ -1,0 +1,455 @@
+//! The shared uplink cell: one capacity trace that a whole fleet draws
+//! airtime from.
+//!
+//! The paper's disaster setting is many phones fighting over a single
+//! damaged base station, yet the fleet simulation historically gave every
+//! device a private copy of the channel trace — N devices enjoyed N times
+//! the spectrum. [`SharedCell`] replaces that fiction: the cell has one
+//! seeded capacity trace, and devices only transmit through *grants* that
+//! carve the per-epoch capacity into constant-rate slices (installed on
+//! each device's [`Channel`](crate::Channel) via
+//! [`set_rate_override`](crate::Channel::set_rate_override)).
+//!
+//! Cell-level fault modes reuse the [`FaultModel`] machinery:
+//!
+//! * **outage** — blackout windows during which the whole cell is dark
+//!   (capacity 0); scheduled or seeded-periodic, exactly like device-level
+//!   blackouts,
+//! * **capacity collapse** — blackout windows during which the cell stays
+//!   up but its capacity is multiplied by `collapse_factor` (congestion
+//!   shockwaves, backhaul degradation).
+//!
+//! [`SharedCellConfig`] is the serializable, validated knob set; it
+//! defaults to *disabled* so existing configs and reports are untouched.
+
+use crate::{BandwidthTrace, FaultModel, NetError, Result};
+use serde::{Deserialize, Serialize};
+
+/// Iteration bound for the outage-overlap walk; far above any realistic
+/// number of blackout windows inside one scheduling epoch.
+const MAX_OVERLAP_STEPS: u32 = 10_000;
+
+/// A single uplink cell shared by every device in a fleet.
+///
+/// Built from a validated [`SharedCellConfig`]; pure and deterministic —
+/// every query is a function of the (seeded) traces and `t` alone.
+///
+/// # Examples
+///
+/// ```
+/// use bees_net::{SharedCell, SharedCellConfig};
+///
+/// let cell = SharedCellConfig::default().build().unwrap();
+/// assert_eq!(cell.capacity_bps(0.0), 256_000.0);
+/// // Two granted devices split the epoch capacity evenly.
+/// assert_eq!(cell.share_bps(0.0, 2), 128_000.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SharedCell {
+    capacity: BandwidthTrace,
+    epoch_s: f64,
+    outage: FaultModel,
+    collapse: FaultModel,
+    collapse_factor: f64,
+}
+
+impl SharedCell {
+    /// The scheduling epoch length in seconds.
+    pub fn epoch_s(&self) -> f64 {
+        self.epoch_s
+    }
+
+    /// The cell's capacity trace before fault modes are applied.
+    pub fn capacity_trace(&self) -> &BandwidthTrace {
+        &self.capacity
+    }
+
+    /// The outage fault model (cell fully dark inside its windows).
+    pub fn outage(&self) -> &FaultModel {
+        &self.outage
+    }
+
+    /// The capacity-collapse fault model.
+    pub fn collapse(&self) -> &FaultModel {
+        &self.collapse
+    }
+
+    /// Index of the scheduling epoch containing time `t`.
+    pub fn epoch_of(&self, t: f64) -> u64 {
+        (t / self.epoch_s).floor().max(0.0) as u64
+    }
+
+    /// Start time of epoch `epoch`.
+    pub fn epoch_start(&self, epoch: u64) -> f64 {
+        epoch as f64 * self.epoch_s
+    }
+
+    /// End time of epoch `epoch` (exclusive).
+    pub fn epoch_end(&self, epoch: u64) -> f64 {
+        (epoch + 1) as f64 * self.epoch_s
+    }
+
+    /// The cell's deliverable capacity at time `t`, in bits per second:
+    /// zero inside an outage window, collapsed by `collapse_factor` inside
+    /// a collapse window, the raw trace otherwise.
+    pub fn capacity_bps(&self, t: f64) -> f64 {
+        if self.outage.blackout_at(t).is_some() {
+            return 0.0;
+        }
+        let base = self.capacity.bps_at(t);
+        if self.collapse.blackout_at(t).is_some() {
+            base * self.collapse_factor
+        } else {
+            base
+        }
+    }
+
+    /// The constant rate each of `granted` devices receives when the epoch
+    /// capacity (sampled at `t`, normally the epoch start) is split evenly.
+    /// Zero when nothing is granted or the cell is dark.
+    pub fn share_bps(&self, t: f64, granted: usize) -> f64 {
+        if granted == 0 {
+            return 0.0;
+        }
+        self.capacity_bps(t) / granted as f64
+    }
+
+    /// Seconds of `[start_s, end_s)` covered by outage windows — the dark
+    /// time an airtime budget must discount. Bounded walk over the outage
+    /// schedule; deterministic.
+    pub fn outage_overlap_s(&self, start_s: f64, end_s: f64) -> f64 {
+        if end_s <= start_s {
+            return 0.0;
+        }
+        let mut dark = 0.0;
+        let mut t = start_s;
+        for _ in 0..MAX_OVERLAP_STEPS {
+            if t >= end_s {
+                break;
+            }
+            match self.outage.blackout_at(t) {
+                Some((_, window_end)) => {
+                    let stop = window_end.min(end_s);
+                    dark += stop - t;
+                    t = stop;
+                }
+                None => {
+                    let next = self.outage.next_blackout_start(t);
+                    if next >= end_s {
+                        break;
+                    }
+                    t = next;
+                }
+            }
+        }
+        dark
+    }
+
+    /// The airtime budget of the epoch containing `t`: the epoch length
+    /// minus its outage overlap.
+    pub fn epoch_budget_s(&self, t: f64) -> f64 {
+        let e = self.epoch_of(t);
+        let (start, end) = (self.epoch_start(e), self.epoch_end(e));
+        (end - start) - self.outage_overlap_s(start, end)
+    }
+}
+
+/// Serializable, validated configuration for a [`SharedCell`].
+///
+/// Strictly opt-in: `Default` (and therefore any config serialized before
+/// this struct existed) has `enabled: false`, leaving the fleet on its
+/// historical private-channel behavior.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SharedCellConfig {
+    /// Whether the fleet draws airtime from a shared cell at all.
+    #[serde(default)]
+    pub enabled: bool,
+    /// The cell's capacity trace — the *total* uplink all devices share.
+    #[serde(default = "default_capacity")]
+    pub capacity: BandwidthTrace,
+    /// Scheduling epoch length in seconds: grants are issued per epoch.
+    #[serde(default = "default_epoch_s")]
+    pub epoch_s: f64,
+    /// Demand-to-budget ratio above which admission control starts
+    /// degrading low-utility devices (tier ladder) instead of granting
+    /// everyone. `1.5` means grants may overfill the budget by half before
+    /// backpressure engages.
+    #[serde(default = "default_oversubscription_threshold")]
+    pub oversubscription_threshold: f64,
+    /// Cell outage windows: the whole cell goes dark.
+    #[serde(default)]
+    pub outage: FaultModel,
+    /// Capacity-collapse windows: the cell stays up at a fraction of its
+    /// capacity.
+    #[serde(default)]
+    pub collapse: FaultModel,
+    /// Capacity multiplier inside a collapse window, in `(0, 1]`.
+    #[serde(default = "default_collapse_factor")]
+    pub collapse_factor: f64,
+    /// After this many consecutive denied epochs a starving device is
+    /// granted unconditionally — the starvation bound.
+    #[serde(default = "default_max_consecutive_denials")]
+    pub max_consecutive_denials: u32,
+}
+
+fn default_capacity() -> BandwidthTrace {
+    BandwidthTrace::constant(256_000.0).expect("constant is valid")
+}
+
+fn default_epoch_s() -> f64 {
+    30.0
+}
+
+fn default_oversubscription_threshold() -> f64 {
+    1.5
+}
+
+fn default_collapse_factor() -> f64 {
+    0.25
+}
+
+fn default_max_consecutive_denials() -> u32 {
+    8
+}
+
+impl Default for SharedCellConfig {
+    fn default() -> Self {
+        SharedCellConfig {
+            enabled: false,
+            capacity: default_capacity(),
+            epoch_s: default_epoch_s(),
+            oversubscription_threshold: default_oversubscription_threshold(),
+            outage: FaultModel::none(),
+            collapse: FaultModel::none(),
+            collapse_factor: default_collapse_factor(),
+            max_consecutive_denials: default_max_consecutive_denials(),
+        }
+    }
+}
+
+impl SharedCellConfig {
+    /// Checks every field.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::InvalidParameter`] naming the offending field.
+    pub fn validate(&self) -> Result<()> {
+        if !self.epoch_s.is_finite() || self.epoch_s <= 0.0 {
+            return Err(NetError::InvalidParameter {
+                name: "cell epoch_s",
+                value: self.epoch_s,
+            });
+        }
+        if !self.oversubscription_threshold.is_finite() || self.oversubscription_threshold < 1.0 {
+            return Err(NetError::InvalidParameter {
+                name: "cell oversubscription_threshold",
+                value: self.oversubscription_threshold,
+            });
+        }
+        if !self.collapse_factor.is_finite()
+            || self.collapse_factor <= 0.0
+            || self.collapse_factor > 1.0
+        {
+            return Err(NetError::InvalidParameter {
+                name: "cell collapse_factor",
+                value: self.collapse_factor,
+            });
+        }
+        if self.max_consecutive_denials == 0 {
+            return Err(NetError::InvalidParameter {
+                name: "cell max_consecutive_denials",
+                value: 0.0,
+            });
+        }
+        self.outage.validate()?;
+        self.collapse.validate()?;
+        Ok(())
+    }
+
+    /// Builds the runtime [`SharedCell`] after validation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::InvalidParameter`] if any field fails
+    /// [`validate`](SharedCellConfig::validate).
+    pub fn build(&self) -> Result<SharedCell> {
+        self.validate()?;
+        Ok(SharedCell {
+            capacity: self.capacity.clone(),
+            epoch_s: self.epoch_s,
+            outage: self.outage.clone(),
+            collapse: self.collapse.clone(),
+            collapse_factor: self.collapse_factor,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn windowed(windows: Vec<(f64, f64)>) -> FaultModel {
+        FaultModel::none()
+            .with_blackout_windows(windows)
+            .expect("windows are valid")
+    }
+
+    #[test]
+    fn default_config_is_disabled_and_valid() {
+        let cfg = SharedCellConfig::default();
+        assert!(!cfg.enabled);
+        assert!(cfg.validate().is_ok());
+        let cell = cfg.build().unwrap();
+        assert_eq!(cell.epoch_s(), 30.0);
+        assert_eq!(cell.capacity_bps(12.0), 256_000.0);
+        assert_eq!(cell.epoch_budget_s(12.0), 30.0);
+    }
+
+    #[test]
+    fn epoch_arithmetic_round_trips() {
+        let cell = SharedCellConfig::default().build().unwrap();
+        assert_eq!(cell.epoch_of(0.0), 0);
+        assert_eq!(cell.epoch_of(29.999), 0);
+        assert_eq!(cell.epoch_of(30.0), 1);
+        assert_eq!(cell.epoch_of(-5.0), 0, "pre-history clamps to epoch 0");
+        assert_eq!(cell.epoch_start(3), 90.0);
+        assert_eq!(cell.epoch_end(3), 120.0);
+        for e in [0u64, 1, 7, 1000] {
+            assert_eq!(cell.epoch_of(cell.epoch_start(e)), e);
+        }
+    }
+
+    #[test]
+    fn outage_zeroes_capacity_and_shrinks_the_budget() {
+        let cfg = SharedCellConfig {
+            outage: windowed(vec![(10.0, 20.0)]),
+            ..SharedCellConfig::default()
+        };
+        let cell = cfg.build().unwrap();
+        assert_eq!(cell.capacity_bps(9.9), 256_000.0);
+        assert_eq!(cell.capacity_bps(10.0), 0.0);
+        assert_eq!(cell.capacity_bps(19.9), 0.0);
+        assert_eq!(cell.capacity_bps(20.0), 256_000.0);
+        assert!((cell.outage_overlap_s(0.0, 30.0) - 10.0).abs() < 1e-9);
+        assert!((cell.epoch_budget_s(5.0) - 20.0).abs() < 1e-9);
+        // Overlap clips to the queried span.
+        assert!((cell.outage_overlap_s(15.0, 18.0) - 3.0).abs() < 1e-9);
+        assert_eq!(cell.outage_overlap_s(20.0, 30.0), 0.0);
+    }
+
+    #[test]
+    fn collapse_scales_capacity_without_darkness() {
+        let cfg = SharedCellConfig {
+            collapse: windowed(vec![(0.0, 15.0)]),
+            collapse_factor: 0.25,
+            ..SharedCellConfig::default()
+        };
+        let cell = cfg.build().unwrap();
+        assert_eq!(cell.capacity_bps(5.0), 64_000.0);
+        assert_eq!(cell.capacity_bps(15.0), 256_000.0);
+        // Collapse does not eat airtime budget — the cell is still up.
+        assert_eq!(cell.epoch_budget_s(5.0), 30.0);
+    }
+
+    #[test]
+    fn outage_wins_over_collapse() {
+        let cfg = SharedCellConfig {
+            outage: windowed(vec![(0.0, 10.0)]),
+            collapse: windowed(vec![(0.0, 30.0)]),
+            ..SharedCellConfig::default()
+        };
+        let cell = cfg.build().unwrap();
+        assert_eq!(cell.capacity_bps(5.0), 0.0);
+        assert_eq!(cell.capacity_bps(12.0), 64_000.0);
+    }
+
+    #[test]
+    fn shares_split_evenly_and_handle_zero_grants() {
+        let cell = SharedCellConfig::default().build().unwrap();
+        assert_eq!(cell.share_bps(0.0, 0), 0.0);
+        assert_eq!(cell.share_bps(0.0, 1), 256_000.0);
+        assert_eq!(cell.share_bps(0.0, 4), 64_000.0);
+    }
+
+    #[test]
+    fn seeded_periodic_outages_are_deterministic() {
+        let outage = FaultModel::new(0xCE11, 0.0, 0.5, 30.0, 10.0).unwrap();
+        let cfg = SharedCellConfig {
+            outage,
+            ..SharedCellConfig::default()
+        };
+        let a = cfg.build().unwrap();
+        let b = cfg.build().unwrap();
+        let mut saw_dark = false;
+        let mut saw_light = false;
+        for k in 0..400 {
+            let t = k as f64 * 7.3;
+            assert_eq!(a.capacity_bps(t), b.capacity_bps(t));
+            if a.capacity_bps(t) == 0.0 {
+                saw_dark = true;
+            } else {
+                saw_light = true;
+            }
+        }
+        assert!(saw_dark && saw_light, "p=0.5 outages must fire sometimes");
+    }
+
+    #[test]
+    fn validation_names_the_offending_knob() {
+        let ok = SharedCellConfig::default();
+        let cases: [(SharedCellConfig, &str); 5] = [
+            (
+                SharedCellConfig {
+                    epoch_s: 0.0,
+                    ..ok.clone()
+                },
+                "epoch_s",
+            ),
+            (
+                SharedCellConfig {
+                    oversubscription_threshold: 0.5,
+                    ..ok.clone()
+                },
+                "oversubscription_threshold",
+            ),
+            (
+                SharedCellConfig {
+                    collapse_factor: 0.0,
+                    ..ok.clone()
+                },
+                "collapse_factor",
+            ),
+            (
+                SharedCellConfig {
+                    collapse_factor: 1.5,
+                    ..ok.clone()
+                },
+                "collapse_factor",
+            ),
+            (
+                SharedCellConfig {
+                    max_consecutive_denials: 0,
+                    ..ok.clone()
+                },
+                "max_consecutive_denials",
+            ),
+        ];
+        for (cfg, field) in cases {
+            match cfg.validate() {
+                Err(NetError::InvalidParameter { name, .. }) => {
+                    assert!(name.contains(field), "{name} should mention {field}");
+                }
+                other => panic!("expected InvalidParameter for {field}, got {other:?}"),
+            }
+        }
+        // Nested fault models are validated too.
+        let bad_outage = SharedCellConfig {
+            outage: FaultModel {
+                drop_probability: 2.0,
+                ..FaultModel::none()
+            },
+            ..ok
+        };
+        assert!(bad_outage.validate().is_err());
+    }
+}

@@ -27,6 +27,10 @@ pub const DEFAULT_STALL_LIMIT_S: f64 = 7.0 * 24.0 * 3600.0;
 pub struct Channel {
     trace: BandwidthTrace,
     stall_limit_s: f64,
+    /// When set, the channel carries bits at exactly this rate instead of
+    /// the trace's — the mechanism by which a shared-cell airtime grant
+    /// pins a device to its slice of the cell for one scheduling epoch.
+    rate_override_bps: Option<f64>,
 }
 
 impl Channel {
@@ -35,6 +39,7 @@ impl Channel {
         Channel {
             trace,
             stall_limit_s: DEFAULT_STALL_LIMIT_S,
+            rate_override_bps: None,
         }
     }
 
@@ -65,6 +70,40 @@ impl Channel {
         self.stall_limit_s
     }
 
+    /// Installs (or clears, with `None`) a constant-rate override that
+    /// replaces the trace's rate for subsequent transfers. A shared-cell
+    /// grant installs the device's per-epoch slice here; clearing restores
+    /// the private trace.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::InvalidParameter`] if the rate is negative or
+    /// not finite (zero is allowed: a revoked grant carries no bits, and
+    /// the stall limit backstops the wait).
+    pub fn set_rate_override(&mut self, bps: Option<f64>) -> Result<()> {
+        if let Some(r) = bps {
+            if !r.is_finite() || r < 0.0 {
+                return Err(NetError::InvalidParameter {
+                    name: "rate_override_bps",
+                    value: r,
+                });
+            }
+        }
+        self.rate_override_bps = bps;
+        Ok(())
+    }
+
+    /// The active constant-rate override, if any.
+    pub fn rate_override_bps(&self) -> Option<f64> {
+        self.rate_override_bps
+    }
+
+    /// The rate the channel carries bits at `t`: the override when one is
+    /// installed, the trace otherwise.
+    fn rate_bps_at(&self, t: f64) -> f64 {
+        self.rate_override_bps.unwrap_or_else(|| self.trace.bps_at(t))
+    }
+
     /// Computes how many seconds a transfer of `bytes` takes when it starts
     /// at simulated time `start_s`, integrating the piecewise-constant
     /// trace.
@@ -88,7 +127,7 @@ impl Channel {
                     waited_seconds: t - start_s,
                 });
             }
-            let bps = self.trace.bps_at(t);
+            let bps = self.rate_bps_at(t);
             let mut seg_end = self.trace.segment_end(t);
             if seg_end <= t {
                 // Floating-point boundary: `t` sits exactly on a segment
@@ -149,7 +188,7 @@ impl Channel {
         let mut airtime = 0.0;
         let mut t = start_s;
         while t < hard_end {
-            let bps = self.trace.bps_at(t);
+            let bps = self.rate_bps_at(t);
             let mut seg_end = self.trace.segment_end(t).min(hard_end);
             if seg_end <= t {
                 seg_end = next_after(t).min(hard_end);
@@ -200,7 +239,7 @@ impl Channel {
         // degenerates to a point sample.
         let width = end - start_s;
         if width <= 0.0 {
-            return self.trace.bps_at(start_s);
+            return self.rate_bps_at(start_s);
         }
         let mut bit_total = 0.0;
         while t < end {
@@ -212,11 +251,11 @@ impl Channel {
                     // remaining sliver has zero measurable width. Account
                     // for it at the current rate and stop, rather than
                     // looping on a boundary that cannot advance.
-                    bit_total += self.trace.bps_at(t) * (end - t);
+                    bit_total += self.rate_bps_at(t) * (end - t);
                     break;
                 }
             }
-            bit_total += self.trace.bps_at(t) * (seg_end - t);
+            bit_total += self.rate_bps_at(t) * (seg_end - t);
             t = seg_end;
         }
         bit_total / width
@@ -429,6 +468,57 @@ mod tests {
         assert_eq!(p.delivered_bytes, 0);
         assert_eq!(p.end_s, 35.0);
         assert_eq!(p.active_airtime_s, 0.0);
+    }
+
+    #[test]
+    fn rate_override_replaces_the_trace() {
+        // A choppy schedule trace, but a granted slice of 8 Kbps: the
+        // override must carry the transfer at exactly the granted rate.
+        let tr = BandwidthTrace::schedule(vec![(1.0, 0.0), (1.0, 512_000.0)]).unwrap();
+        let mut ch = Channel::new(tr);
+        ch.set_rate_override(Some(8_000.0)).unwrap();
+        assert_eq!(ch.rate_override_bps(), Some(8_000.0));
+        // 1000 bytes = 8000 bits at 8000 bps = 1 s, dead air ignored.
+        assert!((ch.transfer_duration(0.0, 1_000).unwrap() - 1.0).abs() < 1e-9);
+        let p = ch.transfer_progress(0.0, 10_000, 4.0);
+        assert!(!p.completed);
+        assert_eq!(p.delivered_bytes, 4_000);
+        assert!((ch.mean_bps(0.0, 2.0) - 8_000.0).abs() < 1e-9);
+        // Clearing restores the trace.
+        ch.set_rate_override(None).unwrap();
+        assert_eq!(ch.rate_override_bps(), None);
+        let d = ch.transfer_duration(0.0, 64_000).unwrap();
+        assert!((d - 2.0).abs() < 1e-9, "got {d}");
+    }
+
+    #[test]
+    fn zero_rate_override_is_dead_air() {
+        let mut ch = Channel::new(BandwidthTrace::constant(512_000.0).unwrap())
+            .with_stall_limit(30.0)
+            .unwrap();
+        ch.set_rate_override(Some(0.0)).unwrap();
+        assert!(matches!(
+            ch.transfer_duration(0.0, 10),
+            Err(NetError::Stalled { .. })
+        ));
+        let p = ch.transfer_progress(0.0, 10, 5.0);
+        assert!(!p.completed);
+        assert_eq!(p.delivered_bytes, 0);
+    }
+
+    #[test]
+    fn invalid_rate_override_is_rejected() {
+        let mut ch = Channel::new(BandwidthTrace::constant(1.0).unwrap());
+        for bad in [-1.0, f64::NAN, f64::INFINITY] {
+            assert!(matches!(
+                ch.set_rate_override(Some(bad)),
+                Err(NetError::InvalidParameter {
+                    name: "rate_override_bps",
+                    ..
+                })
+            ));
+        }
+        assert_eq!(ch.rate_override_bps(), None, "rejected rates don't stick");
     }
 
     #[test]

@@ -427,6 +427,13 @@ impl FaultyChannel {
         &self.channel
     }
 
+    /// Mutable access to the underlying channel, so a shared-cell grant
+    /// can install or clear its per-epoch rate override without disturbing
+    /// the fault state.
+    pub fn channel_mut(&mut self) -> &mut Channel {
+        &mut self.channel
+    }
+
     /// The fault model in force.
     pub fn faults(&self) -> &FaultModel {
         &self.faults

@@ -18,7 +18,10 @@
 //!   reporting partial progress per attempt,
 //! * [`RetryPolicy`] — energy-aware retry budgets with deterministic
 //!   exponential backoff and seeded jitter, consumed by the resumable
-//!   transfer path in `bees-core`.
+//!   transfer path in `bees-core`,
+//! * [`SharedCell`] / [`SharedCellConfig`] — one oversubscribed uplink
+//!   cell (with outage and capacity-collapse fault windows) that a whole
+//!   fleet draws airtime from through per-epoch grants.
 //!
 //! # Examples
 //!
@@ -33,6 +36,7 @@
 //! # }
 //! ```
 
+mod cell;
 mod channel;
 mod clock;
 mod error;
@@ -41,6 +45,7 @@ mod retry;
 mod trace;
 pub mod wire;
 
+pub use cell::{SharedCell, SharedCellConfig};
 pub use channel::{Channel, TransferProgress, DEFAULT_STALL_LIMIT_S};
 pub use clock::SimClock;
 pub use error::NetError;

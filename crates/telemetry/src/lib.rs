@@ -106,6 +106,17 @@ pub mod names {
     /// A fan-out query across index shards (zero-duration event, emitted
     /// only when the server runs > 1 shard).
     pub const SRV_SHARD_QUERY: &str = "srv.shard.query";
+    /// The airtime scheduler granted a device an upload tier for one
+    /// shared-cell epoch (zero-duration event; the `tier`, `policy`, and
+    /// `utility` attributes say what and why).
+    pub const SCHED_GRANT: &str = "sched.grant";
+    /// The airtime scheduler denied a device airtime for one epoch — the
+    /// device defers without spending radio energy (zero-duration event).
+    pub const SCHED_DENY: &str = "sched.deny";
+    /// A transfer was abandoned at its virtual-time deadline — the device
+    /// lost its grant mid-flight and stopped retrying (zero-duration
+    /// event).
+    pub const SCHED_PREEMPT: &str = "sched.preempt";
 }
 
 pub(crate) struct Inner {

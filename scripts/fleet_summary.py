@@ -12,7 +12,12 @@ Input format (one JSON object per line, written by `--json-out`):
 Prints one row per sweep cell (captured/uploaded images, redundancy
 elimination, server queries, per-device exhaustion) and verifies the
 sweep's determinism contract: for each fleet size, every shard count must
-report identical numbers. Stdlib only.
+report identical numbers. Also checks each row's internal accounting:
+the salvage ledger (``salvaged_images == partials_upgraded +
+partials_pending``) and the shared-cell contention counters
+(fleet-level ``grants_issued`` / ``grants_denied`` /
+``deadline_abandons`` must equal the per-device sums, and the
+utilization series must be non-negative). Stdlib only.
 """
 
 import json
@@ -57,9 +62,50 @@ def check_shard_invariance(cells):
     return ok
 
 
+def check_row_invariants(cells):
+    """Per-row accounting: the salvage ledger and contention counters."""
+    ok = True
+
+    def complain(cell, msg):
+        nonlocal ok
+        print(f"ACCOUNTING VIOLATION: devices={cell['devices']} "
+              f"shards={cell['shards']}: {msg}", file=sys.stderr)
+        ok = False
+
+    for c in cells:
+        r = c["report"]
+        salvaged = r.get("salvaged_images", 0)
+        upgraded = r.get("partials_upgraded", 0)
+        pending = r.get("partials_pending", 0)
+        if salvaged != upgraded + pending:
+            complain(c, f"salvaged_images={salvaged} != partials_upgraded="
+                        f"{upgraded} + partials_pending={pending}")
+        devices = r.get("devices", [])
+        for total_key, device_key in [("grants_issued", "grants"),
+                                      ("grants_denied", "denied"),
+                                      ("deadline_abandons",
+                                       "deadline_abandons")]:
+            total = r.get(total_key, 0)
+            per_device = sum(d.get(device_key, 0) for d in devices)
+            if total != per_device:
+                complain(c, f"{total_key}={total} != per-device sum "
+                            f"{per_device}")
+        for i, u in enumerate(r.get("cell_utilization", [])):
+            if not isinstance(u, (int, float)) or u != u or u < 0.0:
+                complain(c, f"cell_utilization[{i}]={u!r} is not a "
+                            f"non-negative number")
+        starving = r.get("grants_denied", 0)
+        if starving and not r.get("grants_issued", 0) \
+                and not r.get("devices_exhausted", 0):
+            complain(c, f"{starving} denials but no grants and no deaths "
+                        f"(scheduler wedged?)")
+    return ok
+
+
 def print_table(cells):
     header = ["devices", "shards", "scheme", "captured", "uploaded",
-              "elim %", "queries", "exhausted"]
+              "elim %", "queries", "exhausted", "grants", "denied",
+              "abandoned"]
     rows = [header]
     for c in cells:
         r = c["report"]
@@ -70,7 +116,10 @@ def print_table(cells):
                      str(r.get("images_uploaded", 0)),
                      f"{elim:.1f}",
                      str(r.get("server_queries", 0)),
-                     str(r.get("devices_exhausted", 0))])
+                     str(r.get("devices_exhausted", 0)),
+                     str(r.get("grants_issued", 0)),
+                     str(r.get("grants_denied", 0)),
+                     str(r.get("deadline_abandons", 0))])
     widths = [max(len(r[i]) for r in rows) for i in range(len(header))]
     for i, row in enumerate(rows):
         print("  ".join(cell.ljust(w) if j <= 2 else cell.rjust(w)
@@ -93,10 +142,16 @@ def main():
         print("no fleet cells found", file=sys.stderr)
         return 1
     print_table(cells)
+    failed = False
     if not check_shard_invariance(cells):
-        return 1
-    print("reports byte-identical across shard counts: true")
-    return 0
+        failed = True
+    else:
+        print("reports byte-identical across shard counts: true")
+    if not check_row_invariants(cells):
+        failed = True
+    else:
+        print("salvage ledger and contention counters consistent: true")
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":

@@ -104,18 +104,35 @@ def main():
             f"({ratio:.2f}x){arrow}"
         )
 
-    for key in sorted(set(current) - set(baseline)):
+    unmatched = sorted(set(current) - set(baseline))
+    for key in unmatched:
         print(f"NEW      {'/'.join(key)}: {current[key][0]:.3f} (not in baseline)")
 
     print(
         f"\n{compared} metrics compared, {improvements} above baseline, "
-        f"{len(regressions)} regressed (tolerance {args.tolerance:.0%})"
+        f"{len(regressions)} regressed (tolerance {args.tolerance:.0%}), "
+        f"{len(unmatched)} not in baseline"
     )
+    if unmatched and not args.no_fail:
+        print(
+            "FAIL: measured metrics missing from the baseline — either the "
+            "bench grew new cases or the run used a different scale than the "
+            "baseline was recorded at. Unmatched keys:",
+            file=sys.stderr,
+        )
+        for key in unmatched:
+            print(f"  {'/'.join(key)}", file=sys.stderr)
+        print(
+            f"Append the new lines to {args.baseline} (see DESIGN.md §10) "
+            "or rerun at the baseline's scale.",
+            file=sys.stderr,
+        )
+        return 1
     if regressions and not args.no_fail:
         print("FAIL: regressions beyond the tolerance band", file=sys.stderr)
         return 1
-    if regressions:
-        print("regressions ignored (--no-fail)")
+    if regressions or unmatched:
+        print("problems ignored (--no-fail)")
     return 0
 
 

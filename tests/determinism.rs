@@ -308,6 +308,68 @@ fn fleet_report_is_identical_across_threads_and_shards_with_corruption_faults() 
     }
 }
 
+#[test]
+fn contended_fleet_report_is_identical_across_threads_and_shards() {
+    // The shared-cell acceptance sweep: with the cell enabled, an outage
+    // fault cutting it dark half the time, and the utility scheduler
+    // ranking the cohort, the fleet report — grant/denial counters,
+    // deadline abandons, per-epoch utilization series and all — stays
+    // byte-identical across worker counts (1/2/8) and server shard counts
+    // (1/2/4). The airtime scheduler runs on the orchestration thread from
+    // seeded inputs only, so neither knob may move a byte.
+    use bees::core::sessions::{run_fleet, FleetConfig};
+    use bees::core::{IndexBackend, SchedulerPolicy};
+
+    let fleet = FleetConfig {
+        n_devices: 4,
+        rounds: 2,
+        group_size: 4,
+        shared_per_group: 2,
+        interval_s: 30.0,
+        scene: small_scene(),
+        seed: 0xF1EE7,
+    };
+    let run = |shards: usize| -> String {
+        let mut config = BeesConfig {
+            trace: BandwidthTrace::constant(200_000.0).unwrap(),
+            index_backend: IndexBackend::Mih,
+            server_shards: shards,
+            scheduler: SchedulerPolicy::Utility,
+            ..BeesConfig::default()
+        };
+        config.battery = bees::energy::Battery::from_joules(1e9);
+        config.cell.enabled = true;
+        config.cell.capacity = BandwidthTrace::constant(32_000.0).unwrap();
+        config.cell.epoch_s = 20.0;
+        config.cell.outage = bees::net::FaultModel::new(0xCE11, 0.0, 0.5, 40.0, 20.0)
+            .expect("outage parameters are valid");
+        run_fleet(&Bees::adaptive(&config), &config, &fleet)
+            .unwrap()
+            .to_json()
+    };
+
+    bees::runtime::set_threads(1);
+    let baseline = run(1);
+    // The cell must genuinely contend, or the sweep proves nothing about
+    // the scheduler's determinism.
+    assert!(
+        !baseline.contains("\"grants_denied\":0,")
+            || !baseline.contains("\"deadline_abandons\":0,"),
+        "no contention under the oversubscribed cell: {baseline}"
+    );
+    for threads in [1usize, 2, 8] {
+        for shards in [1usize, 2, 4] {
+            bees::runtime::set_threads(threads);
+            let report = run(shards);
+            bees::runtime::set_threads(0);
+            assert_eq!(
+                baseline, report,
+                "contended-fleet report differs at {threads} threads, {shards} shards"
+            );
+        }
+    }
+}
+
 /// The SSMM pairwise similarity graph must not move a single bit when the
 /// descriptor layout (AoS vs SoA blocks) or the thread count changes —
 /// the invariance the BEES scheme's in-batch stage relies on after the
