@@ -1,0 +1,9 @@
+//! Responder-side retrieval: recall vs bytes vs joules across upload
+//! policies (always-upload / thumbnail-only / server-only / pull-down).
+
+use bees_bench::args::ExpArgs;
+use bees_bench::experiments::retrieval;
+
+fn main() {
+    retrieval::run(&ExpArgs::from_env()).print();
+}

@@ -29,6 +29,7 @@ fn main() {
     ex::telemetry_report::run(&args).print();
     ex::fleet_scaling::run(&args).print();
     ex::contention::run(&args).print();
+    ex::retrieval::run(&args).print();
     ex::descriptor_hotloop::run(&args).print();
     ex::query_throughput::run(&args).print();
     ex::runtime_scaling::run(&args).print();

@@ -100,6 +100,7 @@ fn fleet_for(args: &ExpArgs, devices: usize) -> FleetConfig {
             texture_amp: 8.0,
         },
         seed: args.seed,
+        pulldown: None,
     }
 }
 

@@ -17,6 +17,7 @@ pub mod fleet_scaling;
 pub mod global_vs_local;
 pub mod query_throughput;
 pub mod redundancy_sweep;
+pub mod retrieval;
 pub mod runtime_scaling;
 pub mod table1_space;
 pub mod telemetry_report;

@@ -1,0 +1,371 @@
+//! Responder-side retrieval: recall vs. bytes moved vs. joules across
+//! upload policies, on one seeded fleet under a lossy shared cell.
+//!
+//! Four arms run the *same* workload (equal seeds, equal cell, equal fault
+//! schedule), then a responder sweeps the lattice sites with geo-radius
+//! [`RetrievalQuery`]s against the final server:
+//!
+//! * `always_upload` — Direct Upload ships every photo file verbatim.
+//!   No ladder and no catalog: whatever the lossy cell drops is simply
+//!   gone, so under contention this is *not* a recall ceiling.
+//! * `thumbnail_only` — BEES capped at the thumbnail rung: cheap and
+//!   complete-ish, but nothing is retrievable at full quality.
+//! * `server_only` — adaptive BEES, deferred images simply vanish (the
+//!   pre-pull-down world).
+//! * `pulldown` — adaptive BEES plus the on-device catalog and the
+//!   post-run pull-down pass fetching cataloged images on demand.
+//!
+//! The figure of merit is *full-quality recall*: the fraction of captured
+//! images a responder can retrieve at full fidelity. Pull-down buys
+//! strictly more of it than `server_only` for a bounded, separately
+//! metered byte/joule surcharge (`pulldown_bytes` / `pulldown_joules`).
+//! `--json-out` emits the trajectory for `scripts/perf_check.py`.
+
+use crate::args::ExpArgs;
+use crate::perf::{write_json_lines, Metric};
+use crate::table::{f1, f3, kib, Table};
+use bees_core::schemes::{BatchCtx, Bees, DirectUpload, SchemeKind, UploadScheme};
+use bees_core::sessions::{run_fleet_with_server, FleetConfig, FleetReport, PulldownConfig};
+use bees_core::{BatchReport, BeesConfig, Provenance, RetrievalQuery, Server, UploadTier};
+use bees_datasets::SceneConfig;
+use bees_energy::Battery;
+use bees_image::RgbImage;
+use bees_net::{BandwidthTrace, FaultModel};
+
+/// Adaptive BEES with every batch capped at the thumbnail rung — the
+/// "send tiny previews of everything" baseline.
+struct ThumbnailOnly(Bees);
+
+impl UploadScheme for ThumbnailOnly {
+    fn kind(&self) -> SchemeKind {
+        self.0.kind()
+    }
+
+    fn upload(&self, ctx: &mut BatchCtx<'_>) -> bees_core::Result<BatchReport> {
+        ctx.cap_tier(UploadTier::Thumbnail);
+        self.0.upload(ctx)
+    }
+
+    fn preload_server(&self, server: &mut Server, images: &[RgbImage]) {
+        self.0.preload_server(server, images);
+    }
+}
+
+/// One upload-policy arm and what the responder could retrieve from it.
+#[derive(Debug, Clone)]
+pub struct RetrievalArm {
+    /// Arm name (`always_upload`, `thumbnail_only`, `server_only`,
+    /// `pulldown`).
+    pub name: &'static str,
+    /// The deterministic fleet report.
+    pub report: FleetReport,
+    /// Unique full-fidelity hits across the site sweep.
+    pub full_hits: usize,
+    /// Unique salvaged-partial hits across the sweep.
+    pub partial_hits: usize,
+    /// Unique thumbnail-only hits across the sweep.
+    pub thumbnail_hits: usize,
+    /// Images still stranded in the on-device catalog after the run.
+    pub stranded_on_device: usize,
+}
+
+impl RetrievalArm {
+    /// Fraction of captured images retrievable at full quality.
+    pub fn recall_full(&self) -> f64 {
+        self.full_hits as f64 / self.report.images_captured.max(1) as f64
+    }
+
+    /// Fraction of captured images retrievable at *any* fidelity.
+    pub fn recall_any(&self) -> f64 {
+        (self.full_hits + self.partial_hits + self.thumbnail_hits) as f64
+            / self.report.images_captured.max(1) as f64
+    }
+}
+
+/// All four arms, table order.
+#[derive(Debug, Clone)]
+pub struct RetrievalResultExp {
+    /// `always_upload`, `thumbnail_only`, `server_only`, `pulldown`.
+    pub arms: Vec<RetrievalArm>,
+}
+
+impl RetrievalResultExp {
+    /// The perf-trajectory lines for `BENCH_baseline.json`.
+    pub fn metrics(&self) -> Vec<Metric> {
+        let mut out = Vec::with_capacity(self.arms.len() * 4);
+        for a in &self.arms {
+            out.push(Metric::new(
+                "retrieval",
+                a.name,
+                "recall_full",
+                a.recall_full(),
+            ));
+            out.push(Metric::new(
+                "retrieval",
+                a.name,
+                "recall_any",
+                a.recall_any(),
+            ));
+            out.push(Metric::lower(
+                "retrieval",
+                a.name,
+                "uplink_kb",
+                a.report.uplink_bytes as f64 / 1024.0,
+            ));
+            out.push(Metric::lower(
+                "retrieval",
+                a.name,
+                "energy_j",
+                a.report.energy_spent_j,
+            ));
+        }
+        out
+    }
+
+    /// Prints the arm table.
+    pub fn print(&self) {
+        println!("\n== Responder retrieval: recall vs bytes vs joules ==");
+        let mut t = Table::new(vec![
+            "arm",
+            "captured",
+            "full",
+            "partial",
+            "thumb",
+            "stranded",
+            "fetched",
+            "denied",
+            "recall full",
+            "recall any",
+            "uplink",
+            "energy J",
+        ]);
+        for a in &self.arms {
+            t.row(vec![
+                a.name.to_string(),
+                a.report.images_captured.to_string(),
+                a.full_hits.to_string(),
+                a.partial_hits.to_string(),
+                a.thumbnail_hits.to_string(),
+                a.stranded_on_device.to_string(),
+                a.report.pulldown_fulfilled.to_string(),
+                a.report.pulldown_denied.to_string(),
+                f3(a.recall_full()),
+                f3(a.recall_any()),
+                kib(a.report.uplink_bytes),
+                f1(a.report.energy_spent_j),
+            ]);
+        }
+        t.print();
+        println!(
+            "equal seeds and cell per arm; the upload policy (and the \
+             pull-down pass) is the only knob that moves"
+        );
+    }
+}
+
+fn fleet_for(args: &ExpArgs, pulldown: Option<PulldownConfig>) -> FleetConfig {
+    FleetConfig {
+        n_devices: args.scaled(6, 4),
+        rounds: args.scaled(3, 2),
+        group_size: 4,
+        shared_per_group: 2,
+        interval_s: 30.0,
+        scene: SceneConfig {
+            width: 96,
+            height: 72,
+            n_shapes: 8,
+            texture_amp: 8.0,
+        },
+        seed: args.seed,
+        pulldown,
+    }
+}
+
+fn config_for(args: &ExpArgs) -> BeesConfig {
+    let mut c = BeesConfig {
+        trace: BandwidthTrace::constant(256_000.0).expect("constant trace is valid"),
+        // A big battery: recall differences should come from the cell and
+        // the ladder, not from devices dying mid-run.
+        battery: Battery::from_joules(1e9),
+        ..BeesConfig::default()
+    };
+    c.cell.enabled = true;
+    c.cell.capacity =
+        BandwidthTrace::constant(args.scaled(48_000, 32_000) as f64).expect("constant");
+    c.cell.epoch_s = 20.0;
+    // Lossy enough that the degradation ladder actually defers images into
+    // the catalog; cheap retries keep virtual time bounded.
+    c.fault = FaultModel::new(0x9E11, 0.7, 0.0, 1e9, 1.0).expect("valid fault model");
+    c.retry.max_attempts = 2;
+    c.retry.chunk_bytes = 256;
+    c
+}
+
+/// Sweeps every lattice site with a tight geo query and tallies unique
+/// hits by provenance. Radius 0.5 km isolates one site of the fleet's
+/// 0.01°-spaced lattice (sites are ~1.11 km apart).
+fn sweep(server: &mut Server) -> (usize, usize, usize) {
+    let mut full = std::collections::BTreeSet::new();
+    let mut partial = std::collections::BTreeSet::new();
+    let mut thumb = std::collections::BTreeSet::new();
+    for site in 0..4u32 {
+        let (lon, lat) = ((site % 2) as f64 * 0.01, (site / 2) as f64 * 0.01);
+        for hit in server
+            .answer(&RetrievalQuery::new().near(lon, lat, 0.5))
+            .hits
+        {
+            match hit.provenance {
+                Provenance::Full => full.insert(hit.id),
+                Provenance::SalvagedPartial { .. } => partial.insert(hit.id),
+                Provenance::ThumbnailOnly => thumb.insert(hit.id),
+                Provenance::OnDevice { .. } => unreachable!("catalog is opt-in"),
+            };
+        }
+    }
+    (full.len(), partial.len(), thumb.len())
+}
+
+fn run_arm(
+    name: &'static str,
+    scheme: &dyn UploadScheme,
+    config: &BeesConfig,
+    fleet: &FleetConfig,
+) -> RetrievalArm {
+    let (report, mut server) = run_fleet_with_server(
+        scheme,
+        config,
+        fleet,
+        &bees_telemetry::Telemetry::disabled(),
+    )
+    .expect("constant traces cannot stall");
+    let (full_hits, partial_hits, thumbnail_hits) = sweep(&mut server);
+    RetrievalArm {
+        name,
+        report,
+        full_hits,
+        partial_hits,
+        thumbnail_hits,
+        stranded_on_device: server.on_device_images().len(),
+    }
+}
+
+/// Runs the four-arm comparison.
+pub fn run(args: &ExpArgs) -> RetrievalResultExp {
+    let config = config_for(args);
+    let fleet = fleet_for(args, None);
+    let fleet_pd = fleet_for(args, Some(PulldownConfig::default()));
+    let arms = vec![
+        run_arm(
+            "always_upload",
+            &DirectUpload::new(&config),
+            &config,
+            &fleet,
+        ),
+        run_arm(
+            "thumbnail_only",
+            &ThumbnailOnly(Bees::adaptive(&config)),
+            &config,
+            &fleet,
+        ),
+        run_arm("server_only", &Bees::adaptive(&config), &config, &fleet),
+        run_arm("pulldown", &Bees::adaptive(&config), &config, &fleet_pd),
+    ];
+    let result = RetrievalResultExp { arms };
+    if let Some(path) = &args.json_out {
+        write_json_lines(path, &result.metrics());
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> RetrievalResultExp {
+        run(&ExpArgs {
+            seed: 11,
+            quick: true,
+            ..ExpArgs::default()
+        })
+    }
+
+    fn arm<'a>(r: &'a RetrievalResultExp, name: &str) -> &'a RetrievalArm {
+        r.arms.iter().find(|a| a.name == name).unwrap()
+    }
+
+    #[test]
+    fn pulldown_strictly_improves_full_recall_over_server_only() {
+        let r = quick();
+        assert_eq!(r.arms.len(), 4);
+        let server_only = arm(&r, "server_only");
+        let pulldown = arm(&r, "pulldown");
+        assert!(
+            pulldown.report.pulldown_fulfilled > 0,
+            "the lossy cell must strand images for pull-down to fetch: {:?}",
+            pulldown.report
+        );
+        assert!(
+            pulldown.recall_full() > server_only.recall_full(),
+            "pull-down {} vs server-only {}",
+            pulldown.recall_full(),
+            server_only.recall_full()
+        );
+        // The surcharge is metered and bounded by what actually moved.
+        assert!(pulldown.report.pulldown_bytes > 0);
+        assert!(pulldown.report.pulldown_joules > 0.0);
+        assert!(
+            pulldown.report.uplink_bytes
+                >= server_only.report.uplink_bytes + pulldown.report.pulldown_bytes
+        );
+    }
+
+    #[test]
+    fn baselines_bracket_the_bees_arms() {
+        let r = quick();
+        let thumbs = arm(&r, "thumbnail_only");
+        let pulldown = arm(&r, "pulldown");
+        // Thumbnail-only never yields a full-quality image.
+        assert_eq!(thumbs.full_hits, 0, "{thumbs:?}");
+        assert!(thumbs.thumbnail_hits > 0);
+        // Every arm sees the same captured workload; every arm moves bytes.
+        for a in &r.arms {
+            assert_eq!(a.report.images_captured, pulldown.report.images_captured);
+            assert!(a.report.uplink_bytes > 0, "{}", a.name);
+        }
+        // Nothing a responder could reach vanishes under pull-down: its
+        // any-fidelity recall tops every other arm on this workload.
+        for a in &r.arms {
+            assert!(
+                pulldown.recall_any() >= a.recall_any(),
+                "pull-down {} vs {} {}",
+                pulldown.recall_any(),
+                a.name,
+                a.recall_any()
+            );
+        }
+        // What stays cataloged after the run is exactly the denied set.
+        assert_eq!(pulldown.stranded_on_device, pulldown.report.pulldown_denied);
+        // Only the pull-down arm touches the pull-down ledger.
+        for a in &r.arms {
+            if a.name != pulldown.name {
+                assert_eq!(a.report.pulldown_requests, 0, "{}", a.name);
+                assert_eq!(a.report.pulldown_joules, 0.0, "{}", a.name);
+            }
+        }
+    }
+
+    #[test]
+    fn arms_are_reproducible_and_metrics_well_formed() {
+        let a = quick();
+        let b = quick();
+        for (x, y) in a.arms.iter().zip(&b.arms) {
+            assert_eq!(x.report.to_json(), y.report.to_json());
+            assert_eq!(x.full_hits, y.full_hits);
+        }
+        let metrics = a.metrics();
+        assert_eq!(metrics.len(), 16);
+        for m in &metrics {
+            assert!(m.value.is_finite() && m.value >= 0.0, "{m:?}");
+        }
+    }
+}

@@ -596,6 +596,7 @@ fn category_name(category: EnergyCategory) -> &'static str {
         EnergyCategory::Wasted => "wasted retry",
         EnergyCategory::Idle => "idle",
         EnergyCategory::Salvaged => "salvaged upload",
+        EnergyCategory::PullDown => "pull-down upload",
     }
 }
 

@@ -1,11 +1,11 @@
 //! System-wide configuration.
 
 use crate::error::CoreError;
+use crate::scheduler::SchedulerPolicy;
 use bees_energy::{Battery, EnergyModel, LinearScheme};
 use bees_features::orb::OrbConfig;
 use bees_features::pca::PcaSiftConfig;
 use bees_features::similarity::SimilarityConfig;
-use crate::scheduler::SchedulerPolicy;
 use bees_net::{BandwidthTrace, FaultModel, RetryPolicy, SharedCellConfig, DEFAULT_STALL_LIMIT_S};
 use bees_submodular::SsmmConfig;
 use serde::{Deserialize, Serialize};

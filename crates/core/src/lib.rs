@@ -42,6 +42,7 @@ mod client;
 mod config;
 mod error;
 mod report;
+pub mod retrieval;
 mod scheduler;
 pub mod schemes;
 mod server;
@@ -51,11 +52,12 @@ pub use client::{Client, ResumableOutcome, SalvageSummary, TransmitSummary};
 pub use config::{BeesConfig, IndexBackend};
 pub use error::CoreError;
 pub use report::BatchReport;
+pub use retrieval::{Provenance, RetrievalHit, RetrievalQuery, RetrievalResult};
 pub use scheduler::{
     AirtimeScheduler, DeviceDemand, EpochPlan, Grant, SchedulerPolicy, UploadTier,
     PARTIAL_TIER_FRACTION, THUMBNAIL_TIER_FRACTION,
 };
-pub use server::{PartialImage, Server};
+pub use server::{OnDeviceImage, PartialImage, Server};
 
 /// Shorthand result type for system operations.
 pub type Result<T> = std::result::Result<T, CoreError>;

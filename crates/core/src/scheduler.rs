@@ -152,7 +152,13 @@ pub struct DeviceDemand {
 impl DeviceDemand {
     /// The marginal-utility score the `Utility` policy ranks by.
     pub fn utility(&self) -> f64 {
-        let clamp = |x: f64| if x.is_finite() { x.clamp(0.0, 1.0) } else { 0.0 };
+        let clamp = |x: f64| {
+            if x.is_finite() {
+                x.clamp(0.0, 1.0)
+            } else {
+                0.0
+            }
+        };
         clamp(self.novelty) * clamp(self.ebat) * clamp(self.coverage_gap)
     }
 }
@@ -465,7 +471,10 @@ mod tests {
     fn threshold_stretches_the_allowance() {
         // Two full uploads need 6 s against a 3 s budget: threshold 2.0
         // admits both at Full, threshold 1.0 degrades the second.
-        let demands = vec![demand(0, 1.0, 1.0, 1.0, 96_000), demand(1, 0.5, 1.0, 1.0, 96_000)];
+        let demands = vec![
+            demand(0, 1.0, 1.0, 1.0, 96_000),
+            demand(1, 0.5, 1.0, 1.0, 96_000),
+        ];
         let mut loose = AirtimeScheduler::new(SchedulerPolicy::Utility, 2.0, 8);
         let plan = loose.plan_epoch(&demands, 3.0, 256_000.0);
         assert!(plan.grants.iter().all(|g| g.tier == UploadTier::Full));
@@ -494,7 +503,10 @@ mod tests {
         ] {
             assert_eq!(p.as_str().parse::<SchedulerPolicy>().unwrap(), p);
         }
-        assert_eq!("rr".parse::<SchedulerPolicy>().unwrap(), SchedulerPolicy::RoundRobin);
+        assert_eq!(
+            "rr".parse::<SchedulerPolicy>().unwrap(),
+            SchedulerPolicy::RoundRobin
+        );
         assert!("bogus".parse::<SchedulerPolicy>().is_err());
         assert_eq!(SchedulerPolicy::default(), SchedulerPolicy::Utility);
     }
@@ -502,7 +514,15 @@ mod tests {
     #[test]
     fn plans_are_deterministic() {
         let demands: Vec<_> = (0..6)
-            .map(|d| demand(d, 0.1 * d as f64, 1.0 - 0.1 * d as f64, 1.0, 50_000 + d * 1000))
+            .map(|d| {
+                demand(
+                    d,
+                    0.1 * d as f64,
+                    1.0 - 0.1 * d as f64,
+                    1.0,
+                    50_000 + d * 1000,
+                )
+            })
             .collect();
         let mut a = sched(SchedulerPolicy::Utility);
         let mut b = sched(SchedulerPolicy::Utility);

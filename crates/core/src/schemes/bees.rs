@@ -26,7 +26,7 @@
 use crate::schemes::{
     transmit_or_defer, transmit_or_salvage, try_power, BatchCtx, Delivery, SchemeKind, UploadScheme,
 };
-use crate::{BatchReport, BeesConfig, Client, PartialImage, Result, UploadTier};
+use crate::{BatchReport, BeesConfig, Client, PartialImage, Result, RetrievalQuery, UploadTier};
 use bees_energy::{AdaptiveScheme, EnergyCategory, LinearScheme};
 use bees_features::orb::Orb;
 use bees_features::similarity::{jaccard_similarity, jaccard_similarity_blocks};
@@ -56,6 +56,7 @@ pub struct Bees {
     ssmm: Ssmm,
     similarity: bees_features::similarity::SimilarityConfig,
     upload_quality: u8,
+    camera_quality: u8,
     adaptive: bool,
     salvage_partials: bool,
     chunk_bytes: usize,
@@ -83,6 +84,7 @@ impl Bees {
             ssmm: Ssmm::new(config.ssmm),
             similarity: config.similarity,
             upload_quality: config.upload_quality(),
+            camera_quality: config.camera_quality,
             adaptive,
             salvage_partials: config.salvage_partials,
             chunk_bytes: config.retry.chunk_bytes,
@@ -114,6 +116,7 @@ impl UploadScheme for Bees {
         let batch = ctx.batch;
         let geotags = ctx.geotags();
         let tier = ctx.tier();
+        let catalog = ctx.deferral_catalog();
         let client = &mut *ctx.client;
         let server = &mut *ctx.server;
         let mut report = BatchReport::new(self.kind().to_string(), batch.len());
@@ -184,8 +187,10 @@ impl UploadScheme for Bees {
                 let t = self.edr.value(self.effective_ebat(client));
                 for (i, f) in features.iter().enumerate() {
                     let redundant = server
-                        .query_max_similarity(f)
-                        .map(|hit| hit.similarity > t)
+                        .answer(&RetrievalQuery::new().similar_to(f).top_k(1))
+                        .hits
+                        .first()
+                        .map(|hit| hit.score > t)
                         .unwrap_or(false);
                     if redundant {
                         report.skipped_cross_batch += 1;
@@ -273,6 +278,17 @@ impl UploadScheme for Bees {
         for &i in &selected {
             if tier == UploadTier::Defer {
                 report.deferred_images += 1;
+                if let Some(device) = catalog {
+                    // The catalog bills a later pull-down for the stored
+                    // camera-quality photo file; encoding happened at
+                    // capture, so sizing it costs no CPU here.
+                    server.record_on_device(
+                        device,
+                        features[i].clone(),
+                        geotags.map(|g| g[i]),
+                        codec::encoded_rgb_size(&batch[i], self.camera_quality)?,
+                    );
+                }
                 continue;
             }
             // `Some(attempts)` sends the image down the thumbnail rung.
@@ -297,7 +313,8 @@ impl UploadScheme for Bees {
                     client,
                     client.spend_cpu(EnergyCategory::Compression, encode_j)
                 );
-                let full_payload = progressive::encode_progressive_rgb(&shrunk, self.upload_quality)?;
+                let full_payload =
+                    progressive::encode_progressive_rgb(&shrunk, self.upload_quality)?;
                 // A PartialScans grant transmits only a prefix of the
                 // progressive stream; whatever it delivers is ingested
                 // through the partial-image machinery, upgradeable later.
@@ -451,7 +468,7 @@ impl UploadScheme for Bees {
                         report.uplink_bytes += thumb_bytes;
                         report.image_bytes += thumb_payload.len();
                         report.degraded_images += 1;
-                        server.ingest_image(
+                        server.ingest_thumbnail_image(
                             features[i].clone(),
                             thumb_payload.len(),
                             geotags.map(|g| g[i]),
@@ -463,6 +480,14 @@ impl UploadScheme for Bees {
                     Delivery::Deferred { attempts } => {
                         report.transfer_attempts += attempts as u64;
                         report.deferred_images += 1;
+                        if let Some(device) = catalog {
+                            server.record_on_device(
+                                device,
+                                features[i].clone(),
+                                geotags.map(|g| g[i]),
+                                codec::encoded_rgb_size(&batch[i], self.camera_quality)?,
+                            );
+                        }
                     }
                 }
             }
@@ -746,9 +771,7 @@ mod tests {
             let mut server = Server::try_new(&cfg).unwrap();
             let mut client = Client::try_new(0, &cfg).unwrap();
             let r = scheme
-                .upload(
-                    &mut BatchCtx::new(&mut client, &mut server, &data.batch).with_tier(tier),
-                )
+                .upload(&mut BatchCtx::new(&mut client, &mut server, &data.batch).with_tier(tier))
                 .unwrap();
             (r, server)
         };
@@ -756,8 +779,7 @@ mod tests {
         let (partial, srv) = run(UploadTier::PartialScans);
         assert_eq!(partial.uploaded_images, 0);
         assert_eq!(
-            partial.salvaged_images,
-            full.uploaded_images,
+            partial.salvaged_images, full.uploaded_images,
             "every would-be full upload lands as a partial: {partial:?}"
         );
         assert_eq!(srv.partial_images().len(), partial.salvaged_images);
@@ -782,9 +804,7 @@ mod tests {
             let mut server = Server::try_new(&cfg).unwrap();
             let mut client = Client::try_new(0, &cfg).unwrap();
             scheme
-                .upload(
-                    &mut BatchCtx::new(&mut client, &mut server, &data.batch).with_tier(tier),
-                )
+                .upload(&mut BatchCtx::new(&mut client, &mut server, &data.batch).with_tier(tier))
                 .unwrap()
         };
         let full = run(UploadTier::Full);
@@ -820,6 +840,38 @@ mod tests {
         assert_eq!(r.energy.get(EnergyCategory::FeatureUpload), 0.0);
         assert_eq!(r.energy.get(EnergyCategory::ImageUpload), 0.0);
         assert_eq!(server.received_images(), 0);
+    }
+
+    #[test]
+    fn deferral_catalog_records_deferred_images_on_device() {
+        let cfg = config();
+        let data = disaster_batch(49, 4, 0, 0.0, small());
+        let scheme = Bees::adaptive(&cfg);
+        let mut server = Server::try_new(&cfg).unwrap();
+        let mut client = Client::try_new(0, &cfg).unwrap();
+        let r = scheme
+            .upload(
+                &mut BatchCtx::new(&mut client, &mut server, &data.batch)
+                    .with_tier(UploadTier::Defer)
+                    .with_deferral_catalog(7),
+            )
+            .unwrap();
+        assert!(r.deferred_images > 0);
+        assert_eq!(server.on_device_images().len(), r.deferred_images);
+        assert!(server.on_device_images().values().all(|e| e.device_id == 7));
+        // The catalog stays invisible to the legacy surface.
+        assert_eq!(server.received_images(), 0);
+        assert_eq!(server.indexed_images(), 0);
+        // Without the opt-in, deferral leaves no trace (the default).
+        let mut server2 = Server::try_new(&cfg).unwrap();
+        let mut client2 = Client::try_new(0, &cfg).unwrap();
+        scheme
+            .upload(
+                &mut BatchCtx::new(&mut client2, &mut server2, &data.batch)
+                    .with_tier(UploadTier::Defer),
+            )
+            .unwrap();
+        assert!(server2.on_device_images().is_empty());
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! ORB) and in MRC's thumbnail feedback downlink.
 
 use crate::schemes::{transmit_or_defer, try_power, BatchCtx, Delivery, SchemeKind};
-use crate::{BatchReport, Result};
+use crate::{BatchReport, Result, RetrievalQuery};
 use bees_energy::EnergyCategory;
 use bees_features::{ExtractorKind, FeatureExtractor};
 use bees_net::wire;
@@ -99,8 +99,10 @@ pub(crate) fn run_cross_batch_scheme(
                 .iter()
                 .map(|f| {
                     server
-                        .query_max_similarity(f)
-                        .map(|hit| hit.similarity > opts.threshold)
+                        .answer(&RetrievalQuery::new().similar_to(f).top_k(1))
+                        .hits
+                        .first()
+                        .map(|hit| hit.score > opts.threshold)
                         .unwrap_or(false)
                 })
                 .collect()

@@ -161,6 +161,7 @@ pub struct BatchCtx<'a> {
     pub batch: &'a [RgbImage],
     geotags: Option<&'a [(f64, f64)]>,
     tier: UploadTier,
+    deferral_catalog: Option<u64>,
     /// Telemetry handle stage spans are emitted through. Defaults to the
     /// client's handle; override with
     /// [`with_telemetry`](BatchCtx::with_telemetry).
@@ -178,6 +179,7 @@ impl<'a> BatchCtx<'a> {
             batch,
             geotags: None,
             tier: UploadTier::Full,
+            deferral_catalog: None,
             telemetry,
         }
     }
@@ -230,6 +232,31 @@ impl<'a> BatchCtx<'a> {
     /// The upload-tier cap in force for this batch.
     pub fn tier(&self) -> UploadTier {
         self.tier
+    }
+
+    /// Tightens the tier cap in place: the batch keeps the *weaker* of its
+    /// current cap and `tier`. Lets a wrapping scheme degrade a batch that
+    /// already carries a scheduler grant (tiers order `Full <
+    /// PartialScans < Thumbnail < Defer`, so weaker == larger).
+    pub fn cap_tier(&mut self, tier: UploadTier) {
+        self.tier = self.tier.max(tier);
+    }
+
+    /// Opts this batch into the server's on-device catalog: images the
+    /// scheme ends up deferring are recorded (with their already-extracted
+    /// features) as living on device `device_id`, so a later retrieval
+    /// pull-down can fetch them on demand. Off by default — without it,
+    /// deferred images simply vanish, as they always have.
+    #[must_use]
+    pub fn with_deferral_catalog(mut self, device_id: u64) -> Self {
+        self.deferral_catalog = Some(device_id);
+        self
+    }
+
+    /// The device id deferred images are cataloged under, if the batch
+    /// opted in.
+    pub fn deferral_catalog(&self) -> Option<u64> {
+        self.deferral_catalog
     }
 
     /// The geotags, if attached (guaranteed to be `batch.len()` long).

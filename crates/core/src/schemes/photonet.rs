@@ -14,7 +14,7 @@
 //! `global_vs_local` experiment), which is why BEES pays for ORB.
 
 use crate::schemes::{transmit_or_defer, try_power, BatchCtx, Delivery, SchemeKind, UploadScheme};
-use crate::{BatchReport, BeesConfig, Result, Server};
+use crate::{BatchReport, BeesConfig, Result, RetrievalQuery, Server};
 use bees_energy::EnergyCategory;
 use bees_features::global::ColorHistogram;
 use bees_image::RgbImage;
@@ -101,8 +101,10 @@ impl UploadScheme for PhotoNetLike {
                     .iter()
                     .map(|h| {
                         server
-                            .query_max_histogram(h)
-                            .map(|(_, sim)| sim > self.threshold)
+                            .answer(&RetrievalQuery::new().similar_to_histogram(h).top_k(1))
+                            .hits
+                            .first()
+                            .map(|hit| hit.score > self.threshold)
                             .unwrap_or(false)
                     })
                     .collect()

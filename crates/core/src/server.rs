@@ -9,15 +9,19 @@
 //! with the shard count.
 
 use crate::config::{BeesConfig, IndexBackend};
+use crate::retrieval::{
+    rank_retrieval_hits, Provenance, RetrievalHit, RetrievalQuery, RetrievalResult,
+};
 use bees_features::global::ColorHistogram;
 use bees_features::orb::Orb;
+use bees_features::similarity::jaccard_similarity;
 use bees_features::{FeatureExtractor, ImageFeatures};
 use bees_image::RgbImage;
 use bees_index::{
     FeatureIndex, ImageId, LinearIndex, MihIndex, Query, QueryHit, QueryScratch, ShardedIndex,
 };
 use bees_telemetry::{names, Telemetry};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// The server side of the system.
 ///
@@ -47,7 +51,36 @@ pub struct Server {
     histograms: BTreeMap<ImageId, ColorHistogram>,
     /// Salvaged progressive uploads awaiting their tail scans, keyed by id.
     partials: BTreeMap<ImageId, PartialImage>,
+    /// The fleet's virtual clock, installed by [`Server::set_time`]; `None`
+    /// until a session installs one (legacy ingests then carry no time and
+    /// never satisfy a retrieval time-window predicate).
+    clock_s: Option<f64>,
+    /// Virtual ingest time per received image, keyed by id.
+    times: BTreeMap<ImageId, f64>,
+    /// Received images whose payload is the degraded thumbnail rung.
+    thumbnails: BTreeSet<ImageId>,
+    /// The on-device catalog: deferred images whose features the server
+    /// knows but whose payload still lives on the capturing device.
+    on_device: BTreeMap<ImageId, OnDeviceImage>,
     telemetry: Telemetry,
+}
+
+/// A deferred image's catalog entry: the fleet session recorded that a
+/// device captured (and feature-extracted) an image it could not afford to
+/// upload. Retrieval can match the entry and the pull-down path can fetch
+/// the payload on demand.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OnDeviceImage {
+    /// The device holding the payload.
+    pub device_id: u64,
+    /// Features extracted client-side (the same ones CBRD would upload).
+    pub features: ImageFeatures,
+    /// Capture geotag, when known.
+    pub geotag: Option<(f64, f64)>,
+    /// Virtual time the deferral was recorded, when the clock was set.
+    pub time_s: Option<f64>,
+    /// Estimated full-fidelity payload size, in bytes.
+    pub est_bytes: usize,
 }
 
 /// Bookkeeping for a salvaged progressive upload: the server holds a
@@ -107,6 +140,10 @@ impl Server {
             geotags: BTreeMap::new(),
             histograms: BTreeMap::new(),
             partials: BTreeMap::new(),
+            clock_s: None,
+            times: BTreeMap::new(),
+            thumbnails: BTreeSet::new(),
+            on_device: BTreeMap::new(),
             telemetry: Telemetry::disabled(),
         })
     }
@@ -189,37 +226,245 @@ impl Server {
         self.commit_epoch();
     }
 
-    /// Answers a CBRD query: the highest similarity any indexed image has
-    /// to the queried features. Commits the pending epoch first.
-    pub fn query_max_similarity(&mut self, features: &ImageFeatures) -> Option<QueryHit> {
-        self.commit_epoch();
-        let hit = self
-            .index
-            .query_with_scratch(&Query::new(features), &mut self.scratch)
-            .into_iter()
-            .next();
+    /// Installs the fleet's virtual clock. Subsequent ingests are stamped
+    /// with this time so retrieval time-window predicates can filter them;
+    /// until the first call, ingests carry no time.
+    pub fn set_time(&mut self, t_s: f64) {
+        self.clock_s = Some(t_s);
+    }
+
+    /// The `(provenance, geotag, time)` side-table view of a received
+    /// image, used to decorate retrieval hits.
+    fn provenance_of(&self, id: ImageId) -> Provenance {
+        if let Some(p) = self.partials.get(&id) {
+            Provenance::SalvagedPartial {
+                scans_complete: p.scans_complete,
+                scans_total: p.scans_total,
+            }
+        } else if self.thumbnails.contains(&id) {
+            Provenance::ThumbnailOnly
+        } else {
+            Provenance::Full
+        }
+    }
+
+    /// Resolves the query's geo/time predicates against the side tables
+    /// into a sorted id allow-list — `None` when a similarity probe runs
+    /// unfiltered over the whole index. This is the list that gets pushed
+    /// below the shard merge.
+    fn resolve_filters(&self, query: &RetrievalQuery<'_>) -> Option<Vec<ImageId>> {
+        if query.has_filter() {
+            // A geo predicate needs a geotag, a time predicate a time — so
+            // iterating the side table the predicate demands covers every
+            // image that could possibly pass.
+            let mut ids: Vec<ImageId> = Vec::new();
+            if query.geo.is_some() {
+                for (&id, &g) in &self.geotags {
+                    if query.passes_filters(Some(g), self.times.get(&id).copied()) {
+                        ids.push(id);
+                    }
+                }
+            } else {
+                for (&id, &t) in &self.times {
+                    if query.passes_filters(self.geotags.get(&id).copied(), Some(t)) {
+                        ids.push(id);
+                    }
+                }
+            }
+            Some(ids)
+        } else if !query.has_probe() {
+            // Unconstrained browse: every image with any side-table data.
+            let mut ids: BTreeSet<ImageId> = self.geotags.keys().copied().collect();
+            ids.extend(self.times.keys().copied());
+            Some(ids.into_iter().collect())
+        } else {
+            None
+        }
+    }
+
+    /// Executes a responder query: geo/time predicates are resolved into an
+    /// allow-list pushed below the shard merge, the similarity probe (if
+    /// any) ranks survivors, and — when the query opts in — the on-device
+    /// catalog is matched alongside the received images. Hits come back in
+    /// the canonical total order (descending score, ascending id), truncated
+    /// to the query's `top_k` budget.
+    ///
+    /// Commits the pending epoch first when a descriptor probe is present,
+    /// exactly like the legacy CBRD path.
+    pub fn retrieve(
+        &mut self,
+        query: &RetrievalQuery<'_>,
+        scratch: &mut QueryScratch,
+    ) -> RetrievalResult {
+        let allowed = self.resolve_filters(query);
+        let mut hits: Vec<RetrievalHit> = Vec::new();
+        let mut candidates;
+        if let Some(features) = query.features {
+            self.commit_epoch();
+            candidates = allowed.as_ref().map_or(self.index.len(), Vec::len);
+            let k = if query.top_k == 0 {
+                usize::MAX
+            } else {
+                query.top_k
+            };
+            let mut iq = Query::top_k(features, k).with_max_candidates(query.max_candidates);
+            if let Some(ids) = allowed.as_deref() {
+                iq = iq.with_allowed(ids);
+            }
+            let index_hits = self.index.query_with_scratch(&iq, scratch);
+            self.telemetry
+                .event(names::SRV_QUERY, 0.0)
+                .attr_u64("indexed", self.index.len() as u64)
+                .attr_bool("hit", !index_hits.is_empty())
+                .close(0.0);
+            if self.n_shards > 1 {
+                self.telemetry
+                    .event(names::SRV_SHARD_QUERY, 0.0)
+                    .attr_u64("shards", self.n_shards as u64)
+                    .close(0.0);
+            }
+            for h in index_hits {
+                hits.push(RetrievalHit {
+                    id: h.id,
+                    score: h.similarity,
+                    provenance: self.provenance_of(h.id),
+                    geotag: self.geotags.get(&h.id).copied(),
+                    time_s: self.times.get(&h.id).copied(),
+                });
+            }
+        } else if let Some(probe) = query.histogram {
+            candidates = allowed.as_ref().map_or(self.histograms.len(), Vec::len);
+            for (&id, h) in &self.histograms {
+                if let Some(ids) = allowed.as_deref() {
+                    if ids.binary_search(&id).is_err() {
+                        continue;
+                    }
+                }
+                let s = probe.intersection(h);
+                if s > 0.0 {
+                    hits.push(RetrievalHit {
+                        id,
+                        score: s,
+                        provenance: self.provenance_of(id),
+                        geotag: self.geotags.get(&id).copied(),
+                        time_s: self.times.get(&id).copied(),
+                    });
+                }
+            }
+        } else {
+            // Predicate-only: every allowed image is a hit, ranked by
+            // geographic proximity (or id order for pure time windows).
+            let ids = allowed.as_deref().unwrap_or(&[]);
+            candidates = ids.len();
+            for &id in ids {
+                let geotag = self.geotags.get(&id).copied();
+                hits.push(RetrievalHit {
+                    id,
+                    score: query.filter_score(geotag),
+                    provenance: self.provenance_of(id),
+                    geotag,
+                    time_s: self.times.get(&id).copied(),
+                });
+            }
+        }
+        if query.on_device {
+            candidates += self.on_device.len();
+            for (&id, entry) in &self.on_device {
+                if !query.passes_filters(entry.geotag, entry.time_s) {
+                    continue;
+                }
+                let score = if let Some(f) = query.features {
+                    let s = jaccard_similarity(f, &entry.features, self.index.similarity_config());
+                    if s <= 0.0 {
+                        continue;
+                    }
+                    s
+                } else if query.histogram.is_some() {
+                    // The catalog stores descriptors only; a histogram
+                    // probe has nothing to score against.
+                    continue;
+                } else {
+                    query.filter_score(entry.geotag)
+                };
+                hits.push(RetrievalHit {
+                    id,
+                    score,
+                    provenance: Provenance::OnDevice {
+                        device_id: entry.device_id,
+                    },
+                    geotag: entry.geotag,
+                    time_s: entry.time_s,
+                });
+            }
+        }
+        rank_retrieval_hits(&mut hits, query.top_k);
+        let on_device_matches = hits
+            .iter()
+            .filter(|h| matches!(h.provenance, Provenance::OnDevice { .. }))
+            .count();
         self.queries_served += 1;
         self.telemetry
-            .event(names::SRV_QUERY, 0.0)
-            .attr_u64("indexed", self.index.len() as u64)
-            .attr_bool("hit", hit.is_some())
+            .event(names::SRV_RETRIEVE, 0.0)
+            .attr_u64("hits", hits.len() as u64)
+            .attr_u64("candidates", candidates as u64)
+            .attr_u64("on_device", on_device_matches as u64)
             .close(0.0);
-        if self.n_shards > 1 {
-            self.telemetry
-                .event(names::SRV_SHARD_QUERY, 0.0)
-                .attr_u64("shards", self.n_shards as u64)
-                .close(0.0);
+        RetrievalResult {
+            hits,
+            candidates_considered: candidates,
+            on_device_matches,
         }
-        hit
+    }
+
+    /// [`Server::retrieve`] with the server's own recycled scratch arena —
+    /// the convenience form for callers that don't manage a
+    /// [`QueryScratch`] of their own (the schemes' CBRD loop, the fleet
+    /// pull-down phase). Results are identical.
+    pub fn answer(&mut self, query: &RetrievalQuery<'_>) -> RetrievalResult {
+        let mut scratch = std::mem::take(&mut self.scratch);
+        let result = self.retrieve(query, &mut scratch);
+        self.scratch = scratch;
+        result
+    }
+
+    /// Answers a CBRD query: the highest similarity any indexed image has
+    /// to the queried features. Commits the pending epoch first.
+    #[deprecated(
+        since = "0.1.0",
+        note = "compose a `RetrievalQuery::new().similar_to(..)` and call `Server::retrieve` (or `Server::answer`)"
+    )]
+    pub fn query_max_similarity(&mut self, features: &ImageFeatures) -> Option<QueryHit> {
+        self.answer(&RetrievalQuery::new().similar_to(features).top_k(1))
+            .hits
+            .into_iter()
+            .next()
+            .map(|h| QueryHit {
+                id: h.id,
+                similarity: h.score,
+            })
     }
 
     /// Top-k query (precision experiments). Commits the pending epoch
     /// first.
+    #[deprecated(
+        since = "0.1.0",
+        note = "compose a `RetrievalQuery::new().similar_to(..).top_k(k)` and call `Server::retrieve` (or `Server::answer`)"
+    )]
     pub fn query_top_k(&mut self, features: &ImageFeatures, k: usize) -> Vec<QueryHit> {
-        self.commit_epoch();
-        self.queries_served += 1;
-        self.index
-            .query_with_scratch(&Query::top_k(features, k), &mut self.scratch)
+        // The index's `k` is a hard cap (k = 0 returns nothing), while the
+        // retrieval budget treats 0 as unlimited — preserve the old edge.
+        let hits = self
+            .answer(&RetrievalQuery::new().similar_to(features).top_k(k.max(1)))
+            .hits;
+        if k == 0 {
+            return Vec::new();
+        }
+        hits.into_iter()
+            .map(|h| QueryHit {
+                id: h.id,
+                similarity: h.score,
+            })
+            .collect()
     }
 
     /// Ingests an uploaded image: records the payload size and stages the
@@ -239,11 +484,31 @@ impl Server {
         if let Some(g) = geotag {
             self.geotags.insert(id, g);
         }
+        if let Some(t) = self.clock_s {
+            self.times.insert(id, t);
+        }
         self.telemetry
             .event(names::SRV_INGEST, 0.0)
             .attr_u64("image", id.0)
             .attr_u64("bytes", payload_bytes as u64)
             .close(0.0);
+        id
+    }
+
+    /// Ingests a *thumbnail-rung* upload: identical to [`ingest_image`] but
+    /// the image is remembered as degraded, so retrieval reports
+    /// [`Provenance::ThumbnailOnly`] and the pull-down path knows a
+    /// full-fidelity fetch would still add information.
+    ///
+    /// [`ingest_image`]: Server::ingest_image
+    pub fn ingest_thumbnail_image(
+        &mut self,
+        features: ImageFeatures,
+        payload_bytes: usize,
+        geotag: Option<(f64, f64)>,
+    ) -> ImageId {
+        let id = self.ingest_image(features, payload_bytes, geotag);
+        self.thumbnails.insert(id);
         id
     }
 
@@ -267,6 +532,9 @@ impl Server {
         self.received_image_bytes += partial.payload_bytes;
         if let Some(g) = geotag {
             self.geotags.insert(id, g);
+        }
+        if let Some(t) = self.clock_s {
+            self.times.insert(id, t);
         }
         self.telemetry
             .event(names::SRV_INGEST, 0.0)
@@ -360,13 +628,31 @@ impl Server {
 
     /// Maximum histogram-intersection similarity of `query` against every
     /// stored histogram, or `None` when none are stored. Ties go to the
-    /// highest id (iteration is in ascending-id order).
+    /// highest id (matching the historical ascending-iteration `max_by`).
+    #[deprecated(
+        since = "0.1.0",
+        note = "compose a `RetrievalQuery::new().similar_to_histogram(..)` and call `Server::retrieve` (or `Server::answer`)"
+    )]
     pub fn query_max_histogram(&mut self, query: &ColorHistogram) -> Option<(ImageId, f64)> {
-        self.queries_served += 1;
-        self.histograms
-            .iter()
-            .map(|(id, h)| (*id, query.intersection(h)))
-            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("similarities are finite"))
+        let r = self.answer(&RetrievalQuery::new().similar_to_histogram(query));
+        match r.hits.first() {
+            Some(top) => {
+                // Retrieval breaks score ties toward the *lowest* id; the
+                // legacy `max_by` kept the last (highest-id) maximum.
+                let best = r
+                    .hits
+                    .iter()
+                    .take_while(|h| {
+                        h.score.partial_cmp(&top.score) == Some(std::cmp::Ordering::Equal)
+                    })
+                    .last()
+                    .expect("run starts at the top hit");
+                Some((best.id, best.score))
+            }
+            // Retrieval omits zero-score hits; the legacy query reported
+            // the best of an all-disjoint store as (highest id, 0.0).
+            None => self.histograms.keys().next_back().map(|id| (*id, 0.0)),
+        }
     }
 
     /// Ingests an image deduplicated by global features: stores its
@@ -384,12 +670,76 @@ impl Server {
         if let Some(g) = geotag {
             self.geotags.insert(id, g);
         }
+        if let Some(t) = self.clock_s {
+            self.times.insert(id, t);
+        }
         self.telemetry
             .event(names::SRV_INGEST, 0.0)
             .attr_u64("image", id.0)
             .attr_u64("bytes", payload_bytes as u64)
             .close(0.0);
         id
+    }
+
+    /// Catalogs a deferred image: the fleet session records that `device`
+    /// holds a payload it could not afford to upload, along with the
+    /// features it already extracted. The entry is invisible to the legacy
+    /// query surface (it is not indexed and counts as neither received nor
+    /// pending) — only retrieval queries that opt into the catalog see it.
+    /// Returns the catalog id, under which [`fulfill_on_device`] later
+    /// ingests the real payload.
+    ///
+    /// [`fulfill_on_device`]: Server::fulfill_on_device
+    pub fn record_on_device(
+        &mut self,
+        device_id: u64,
+        features: ImageFeatures,
+        geotag: Option<(f64, f64)>,
+        est_bytes: usize,
+    ) -> ImageId {
+        let id = self.fresh_id();
+        self.on_device.insert(
+            id,
+            OnDeviceImage {
+                device_id,
+                features,
+                geotag,
+                time_s: self.clock_s,
+                est_bytes,
+            },
+        );
+        id
+    }
+
+    /// The on-device catalog, keyed by id (the pull-down phase groups it
+    /// by owning device).
+    pub fn on_device_images(&self) -> &BTreeMap<ImageId, OnDeviceImage> {
+        &self.on_device
+    }
+
+    /// Fulfills a pull-down: the device delivered the payload for catalog
+    /// entry `id`, which becomes a received image *under the same id* —
+    /// its features stage for the next epoch commit, its geotag and capture
+    /// time enter the side tables, and the payload bytes are accounted.
+    /// Returns the payload size, or `None` when `id` is not cataloged.
+    pub fn fulfill_on_device(&mut self, id: ImageId) -> Option<usize> {
+        let entry = self.on_device.remove(&id)?;
+        self.pending.push((id, entry.features));
+        self.received_images += 1;
+        self.received_image_bytes += entry.est_bytes;
+        if let Some(g) = entry.geotag {
+            self.geotags.insert(id, g);
+        }
+        if let Some(t) = entry.time_s {
+            self.times.insert(id, t);
+        }
+        self.telemetry
+            .event(names::SRV_INGEST, 0.0)
+            .attr_u64("image", id.0)
+            .attr_u64("bytes", entry.est_bytes as u64)
+            .attr_bool("pulldown", true)
+            .close(0.0);
+        Some(entry.est_bytes)
     }
 }
 
@@ -466,8 +816,10 @@ mod tests {
             ..ViewJitter::identity()
         });
         let f = orb.extract(&other_view.to_gray());
-        let hit = s.query_max_similarity(&f).expect("similar image indexed");
-        assert!(hit.similarity > 0.1, "similarity {}", hit.similarity);
+        let r = s.answer(&RetrievalQuery::new().similar_to(&f).top_k(1));
+        let hit = r.hits.first().expect("similar image indexed");
+        assert!(hit.score > 0.1, "similarity {}", hit.score);
+        assert_eq!(hit.provenance, Provenance::Full);
         assert_eq!(s.queries_served(), 1);
     }
 
@@ -537,8 +889,9 @@ mod tests {
         assert_eq!(s.indexed_images(), 1);
         assert!(s.feature_bytes() > 0);
         // ...and the query sees them (flushing the epoch first).
-        let hit = s.query_max_similarity(&f).expect("just-ingested image");
-        assert!((hit.similarity - 1.0).abs() < 1e-9);
+        let r = s.answer(&RetrievalQuery::new().similar_to(&f).top_k(1));
+        let hit = r.hits.first().expect("just-ingested image");
+        assert!((hit.score - 1.0).abs() < 1e-9);
         assert_eq!(s.indexed_images(), 1);
     }
 
@@ -559,10 +912,19 @@ mod tests {
             },
             Some((1.0, 2.0)),
         );
-        // The salvaged image answers feature queries like any upload.
-        let hit = s.query_max_similarity(&f).expect("partial is indexed");
-        assert!((hit.similarity - 1.0).abs() < 1e-9);
+        // The salvaged image answers feature queries like any upload, and
+        // retrieval reports its partial provenance.
+        let r = s.answer(&RetrievalQuery::new().similar_to(&f).top_k(1));
+        let hit = r.hits.first().expect("partial is indexed").clone();
+        assert!((hit.score - 1.0).abs() < 1e-9);
         assert_eq!(hit.id, id);
+        assert_eq!(
+            hit.provenance,
+            Provenance::SalvagedPartial {
+                scans_complete: 2,
+                scans_total: 5
+            }
+        );
         assert_eq!(s.received_images(), 1);
         assert_eq!(s.received_image_bytes(), 4_000);
         assert_eq!(s.partial_images().len(), 1);
@@ -602,11 +964,149 @@ mod tests {
             }
             let hits: Vec<Option<(ImageId, f64)>> = features
                 .iter()
-                .map(|f| s.query_max_similarity(f).map(|h| (h.id, h.similarity)))
+                .map(|f| {
+                    s.answer(&RetrievalQuery::new().similar_to(f).top_k(1))
+                        .hits
+                        .first()
+                        .map(|h| (h.id, h.score))
+                })
                 .collect();
             answers.push(hits);
         }
         assert_eq!(answers[0], answers[1]);
         assert_eq!(answers[0], answers[2]);
+    }
+
+    #[test]
+    fn retrieval_filters_by_geo_radius_and_time_window() {
+        let mut s = Server::try_new(&config()).unwrap();
+        s.set_time(10.0);
+        let a = s.ingest_image(ImageFeatures::empty_binary(), 100, Some((0.0, 0.0)));
+        s.set_time(20.0);
+        let b = s.ingest_image(ImageFeatures::empty_binary(), 100, Some((0.01, 0.0)));
+        s.set_time(30.0);
+        let c = s.ingest_image(ImageFeatures::empty_binary(), 100, Some((10.0, 10.0)));
+        // A 2 km radius covers a (0 km) and b (~1.1 km), ranked by
+        // proximity; c is ~1560 km away.
+        let r = s.answer(&RetrievalQuery::new().near(0.0, 0.0, 2.0));
+        assert_eq!(r.hits.iter().map(|h| h.id).collect::<Vec<_>>(), vec![a, b]);
+        assert_eq!(r.candidates_considered, 2);
+        assert!(r.hits[0].score > r.hits[1].score);
+        // Predicates compose conjunctively.
+        let r = s.answer(
+            &RetrievalQuery::new()
+                .near(0.0, 0.0, 2.0)
+                .within_time(15.0, 25.0),
+        );
+        assert_eq!(r.hits.len(), 1);
+        assert_eq!(r.hits[0].id, b);
+        assert_eq!(r.hits[0].time_s, Some(20.0));
+        // A pure time window matches everything in range, id-ordered.
+        let r = s.answer(&RetrievalQuery::new().within_time(0.0, 100.0));
+        assert_eq!(
+            r.hits.iter().map(|h| h.id).collect::<Vec<_>>(),
+            vec![a, b, c]
+        );
+        // Radius 0 means exact-coordinate match.
+        let r = s.answer(&RetrievalQuery::new().near(0.01, 0.0, 0.0));
+        assert_eq!(r.hits.iter().map(|h| h.id).collect::<Vec<_>>(), vec![b]);
+        // The top_k budget caps the ranked list.
+        let r = s.answer(&RetrievalQuery::new().within_time(0.0, 100.0).top_k(2));
+        assert_eq!(r.hits.len(), 2);
+    }
+
+    #[test]
+    fn on_device_catalog_is_opt_in_and_fulfillable() {
+        let cfg = config();
+        let mut s = Server::try_new(&cfg).unwrap();
+        let orb = Orb::new(cfg.orb);
+        let f = orb.extract(&small_scene(11).to_gray());
+        s.set_time(5.0);
+        let id = s.record_on_device(3, f.clone(), Some((0.01, 0.0)), 32_000);
+        // Invisible to the legacy surface and to opted-out retrieval.
+        assert_eq!(s.received_images(), 0);
+        assert_eq!(s.indexed_images(), 0);
+        assert!(s
+            .answer(&RetrievalQuery::new().similar_to(&f))
+            .hits
+            .is_empty());
+        assert_eq!(s.on_device_images().len(), 1);
+        // Opting in surfaces the match with on-device provenance.
+        let r = s.answer(&RetrievalQuery::new().similar_to(&f).include_on_device(true));
+        assert_eq!(r.hits.len(), 1);
+        assert_eq!(r.on_device_matches, 1);
+        assert_eq!(r.hits[0].provenance, Provenance::OnDevice { device_id: 3 });
+        assert!((r.hits[0].score - 1.0).abs() < 1e-9);
+        assert_eq!(r.hits[0].time_s, Some(5.0));
+        // Geo predicates apply to catalog entries too.
+        let near = RetrievalQuery::new()
+            .near(0.01, 0.0, 1.0)
+            .include_on_device(true);
+        assert_eq!(s.answer(&near).hits.len(), 1);
+        let far = RetrievalQuery::new()
+            .near(5.0, 5.0, 1.0)
+            .include_on_device(true);
+        assert!(s.answer(&far).hits.is_empty());
+        // Fulfillment ingests under the same id and empties the catalog.
+        assert_eq!(s.fulfill_on_device(id), Some(32_000));
+        assert_eq!(s.fulfill_on_device(id), None);
+        assert_eq!(s.received_images(), 1);
+        assert_eq!(s.received_image_bytes(), 32_000);
+        assert!(s.on_device_images().is_empty());
+        let r = s.answer(&RetrievalQuery::new().similar_to(&f).top_k(1));
+        assert_eq!(r.hits[0].id, id);
+        assert_eq!(r.hits[0].provenance, Provenance::Full);
+        assert_eq!(r.on_device_matches, 0);
+    }
+
+    #[test]
+    fn thumbnail_ingest_reports_degraded_provenance() {
+        let mut s = Server::try_new(&config()).unwrap();
+        s.set_time(1.0);
+        let id = s.ingest_thumbnail_image(ImageFeatures::empty_binary(), 400, Some((1.0, 1.0)));
+        let r = s.answer(&RetrievalQuery::new().near(1.0, 1.0, 0.0));
+        assert_eq!(r.hits.len(), 1);
+        assert_eq!(r.hits[0].id, id);
+        assert_eq!(r.hits[0].provenance, Provenance::ThumbnailOnly);
+        assert_eq!(s.received_images(), 1);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_query_shims_match_retrieval() {
+        let cfg = config();
+        let mut s = Server::try_new(&cfg).unwrap();
+        let orb = Orb::new(cfg.orb);
+        for seed in 0..4 {
+            let f = orb.extract(&small_scene(seed).to_gray());
+            s.ingest_image(f, 10, None);
+        }
+        let probe = orb.extract(&small_scene(0).to_gray());
+        let max = s.query_max_similarity(&probe).expect("indexed");
+        let r = s.answer(&RetrievalQuery::new().similar_to(&probe).top_k(1));
+        assert_eq!((max.id, max.similarity), (r.hits[0].id, r.hits[0].score));
+        let top = s.query_top_k(&probe, 3);
+        assert!(!top.is_empty() && top.len() <= 3);
+        assert_eq!(top[0].id, max.id);
+        assert!(s.query_top_k(&probe, 0).is_empty());
+
+        // Histogram ties keep the legacy highest-id winner; an all-disjoint
+        // store keeps the legacy (highest id, 0.0) answer.
+        let red = ColorHistogram::from_image(&RgbImage::from_fn(8, 8, |_, _| {
+            bees_image::Rgb::new(255, 0, 0)
+        }));
+        let blue = ColorHistogram::from_image(&RgbImage::from_fn(8, 8, |_, _| {
+            bees_image::Rgb::new(0, 0, 255)
+        }));
+        let _first = s.ingest_image_with_histogram(blue.clone(), 1, None);
+        let second = s.ingest_image_with_histogram(blue.clone(), 1, None);
+        let (best, sim) = s.query_max_histogram(&blue).expect("histograms stored");
+        assert_eq!(best, second, "ties go to the highest id");
+        assert!((sim - 1.0).abs() < 1e-6);
+        assert_eq!(s.query_max_histogram(&red), Some((second, 0.0)));
+        assert!(s
+            .answer(&RetrievalQuery::new().similar_to_histogram(&red))
+            .hits
+            .is_empty());
     }
 }

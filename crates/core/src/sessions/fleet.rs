@@ -29,7 +29,9 @@
 
 use crate::scheduler::{AirtimeScheduler, DeviceDemand};
 use crate::schemes::{BatchCtx, UploadScheme};
-use crate::{BeesConfig, Client, CoreError, Result, Server, UploadTier};
+use crate::{
+    BeesConfig, Client, CoreError, Provenance, Result, RetrievalQuery, Server, UploadTier,
+};
 use bees_datasets::{Scene, SceneConfig, ViewJitter};
 use bees_energy::EnergyCategory;
 use bees_image::RgbImage;
@@ -37,7 +39,35 @@ use bees_index::ImageId;
 use bees_net::{wire, NetError, SharedCell};
 use bees_telemetry::{names, Telemetry};
 use std::cmp::{Ordering, Reverse};
-use std::collections::{BTreeMap, BinaryHeap};
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
+
+/// Parameters of the post-run retrieval pull-down pass.
+///
+/// When attached to [`FleetConfig::pulldown`], each round's deferred
+/// images are cataloged on the server as [on-device
+/// entries](crate::OnDeviceImage), and the run ends with a responder
+/// sweep: one geo retrieval per lattice site with the catalog included,
+/// followed by a fetch of every on-device match the sweep surfaces.
+/// Fetches drain the owning device's battery under
+/// [`EnergyCategory::PullDown`] and, under a shared cell, occupy airtime
+/// through the same [`AirtimeScheduler`] grants as any upload — a denied
+/// or cut fetch leaves the image on the catalog.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PulldownConfig {
+    /// Radius of each site query in kilometres.
+    pub radius_km: f64,
+    /// Cap on images fetched per device (0 = unlimited).
+    pub max_per_device: usize,
+}
+
+impl Default for PulldownConfig {
+    fn default() -> Self {
+        PulldownConfig {
+            radius_km: 5.0,
+            max_per_device: 0,
+        }
+    }
+}
 
 /// Parameters of a fleet run.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -57,6 +87,9 @@ pub struct FleetConfig {
     pub scene: SceneConfig,
     /// Master seed; every device/round/image seed derives from it.
     pub seed: u64,
+    /// Retrieval pull-down pass; `None` (the default) skips the catalog
+    /// and the sweep entirely, reproducing the pre-retrieval behavior.
+    pub pulldown: Option<PulldownConfig>,
 }
 
 impl Default for FleetConfig {
@@ -69,6 +102,7 @@ impl Default for FleetConfig {
             interval_s: 60.0,
             scene: SceneConfig::default(),
             seed: 0xF1EE7,
+            pulldown: None,
         }
     }
 }
@@ -150,6 +184,19 @@ pub struct FleetReport {
     /// Joules drained from fleet batteries over the whole run — the
     /// denominator of the contention bench's coverage-per-energy metric.
     pub energy_spent_j: f64,
+    /// Pull-down fetches the post-run responder sweep requested
+    /// (0 when [`FleetConfig::pulldown`] is off).
+    pub pulldown_requests: usize,
+    /// Requests that delivered their image to the server.
+    pub pulldown_fulfilled: usize,
+    /// Requests denied airtime or cut mid-transfer; the image stays on
+    /// the device catalog.
+    pub pulldown_denied: usize,
+    /// Wire bytes the fulfilled fetches moved.
+    pub pulldown_bytes: usize,
+    /// Joules the fleet spent serving pull-down fetches (the
+    /// [`EnergyCategory::PullDown`] buckets summed across devices).
+    pub pulldown_joules: f64,
     /// Per-epoch cell utilization: delivered bits over capacity × epoch
     /// length, indexed by epoch. Empty when the cell is disabled.
     pub cell_utilization: Vec<f64>,
@@ -195,6 +242,11 @@ impl FleetReport {
         push_field(&mut out, "deadline_abandons", self.deadline_abandons);
         push_field(&mut out, "unique_locations", self.unique_locations);
         out.push_str(&format!(",\"energy_spent_j\":{}", self.energy_spent_j));
+        push_field(&mut out, "pulldown_requests", self.pulldown_requests);
+        push_field(&mut out, "pulldown_fulfilled", self.pulldown_fulfilled);
+        push_field(&mut out, "pulldown_denied", self.pulldown_denied);
+        push_field(&mut out, "pulldown_bytes", self.pulldown_bytes);
+        out.push_str(&format!(",\"pulldown_joules\":{}", self.pulldown_joules));
         out.push_str(",\"cell_utilization\":[");
         for (i, u) in self.cell_utilization.iter().enumerate() {
             if i > 0 {
@@ -352,15 +404,23 @@ fn run_round(
     tier: UploadTier,
     telemetry: &Telemetry,
     chunk: usize,
+    catalog: bool,
 ) -> Result<crate::BatchReport> {
     let d = ev.device;
     let start = client.now();
+    // The server's virtual clock tracks the uploading device, so every
+    // ingested image carries a capture time the retrieval time-window
+    // predicate can filter on.
+    server.set_time(start);
     // Snapshot the server's partial set so this round's salvaged uploads
     // can be attributed to this device afterwards.
     let before: Vec<ImageId> = server.partial_images().keys().copied().collect();
     let mut ctx = BatchCtx::new(client, server, batch)
         .with_telemetry(telemetry.clone())
         .with_tier(tier);
+    if catalog {
+        ctx = ctx.with_deferral_catalog(d as u64);
+    }
     if let Some(tags) = geotags {
         ctx = ctx.with_geotags(tags)?;
     }
@@ -461,6 +521,27 @@ pub fn run_fleet_traced(
     fleet: &FleetConfig,
     telemetry: &Telemetry,
 ) -> Result<FleetReport> {
+    run_fleet_with_server(scheme, config, fleet, telemetry).map(|(report, _)| report)
+}
+
+/// [`run_fleet_traced`], additionally handing back the server the fleet
+/// uploaded into, so callers can issue [`Server::retrieve`] queries against
+/// the final state — geotag/time side tables, partials, thumbnails, and
+/// whatever the pull-down pass left on the on-device catalog included.
+///
+/// # Errors
+///
+/// Same as [`run_fleet`].
+///
+/// # Panics
+///
+/// Same as [`run_fleet`].
+pub fn run_fleet_with_server(
+    scheme: &dyn UploadScheme,
+    config: &BeesConfig,
+    fleet: &FleetConfig,
+    telemetry: &Telemetry,
+) -> Result<(FleetReport, Server)> {
     assert!(fleet.n_devices > 0, "fleet needs at least one device");
     assert!(fleet.rounds > 0, "fleet needs at least one round");
     assert!(fleet.group_size > 0, "fleet groups must be non-empty");
@@ -540,6 +621,7 @@ pub fn run_fleet_traced(
                 UploadTier::Full,
                 telemetry,
                 chunk,
+                fleet.pulldown.is_some(),
             )?;
             continue;
         };
@@ -565,10 +647,9 @@ pub fn run_fleet_traced(
             .map(|(k, ev)| {
                 let d = ev.device;
                 let tag = device_geotag(d);
-                let covered = server
-                    .geotags()
-                    .values()
-                    .any(|&(lon, lat)| lon.to_bits() == tag.0.to_bits() && lat.to_bits() == tag.1.to_bits());
+                let covered = server.geotags().values().any(|&(lon, lat)| {
+                    lon.to_bits() == tag.0.to_bits() && lat.to_bits() == tag.1.to_bits()
+                });
                 DeviceDemand {
                     device: d,
                     novelty: novelty[d],
@@ -666,6 +747,7 @@ pub fn run_fleet_traced(
                 grant.tier,
                 telemetry,
                 chunk,
+                fleet.pulldown.is_some(),
             )?;
             clients[d].set_rate_override(None)?;
             clients[d].set_grant_deadline(None);
@@ -678,11 +760,157 @@ pub fn run_fleet_traced(
         }
     }
 
+    // ---- Retrieval pull-down pass -----------------------------------
+    // Once the fleet has gone quiet the responders sweep the lattice:
+    // one geo retrieval per site with the on-device catalog included,
+    // then a fetch of every deferred image the sweep surfaced. Under a
+    // shared cell the fetches compete for airtime through the same
+    // scheduler as uploads; a denied or cut fetch leaves its image on
+    // the catalog.
+    let mut pulldown_requests = 0usize;
+    let mut pulldown_fulfilled = 0usize;
+    let mut pulldown_denied = 0usize;
+    let mut pulldown_bytes = 0usize;
+    if let Some(pd) = fleet.pulldown {
+        let t0 = clients.iter().map(|c| c.now()).fold(0.0, f64::max);
+        server.set_time(t0);
+        // Owner → (catalog id, estimated payload) in relevance order,
+        // deduplicated across overlapping site queries.
+        let mut wanted: BTreeMap<u64, Vec<(ImageId, usize)>> = BTreeMap::new();
+        let mut seen: BTreeSet<ImageId> = BTreeSet::new();
+        for site in 0..FLEET_LOCATIONS {
+            let (lon, lat) = device_geotag(site * DEVICES_PER_LOCATION);
+            let query = RetrievalQuery::new()
+                .near(lon, lat, pd.radius_km)
+                .include_on_device(true);
+            for hit in server.answer(&query).hits {
+                if let Provenance::OnDevice { device_id } = hit.provenance {
+                    if seen.insert(hit.id) {
+                        let est = server
+                            .on_device_images()
+                            .get(&hit.id)
+                            .map_or(0, |e| e.est_bytes);
+                        wanted.entry(device_id).or_default().push((hit.id, est));
+                    }
+                }
+            }
+        }
+        if pd.max_per_device > 0 {
+            for ids in wanted.values_mut() {
+                ids.truncate(pd.max_per_device);
+            }
+        }
+        pulldown_requests = wanted.values().map(Vec::len).sum();
+
+        // Grant verdicts: one scheduler epoch under a cell (fetches are
+        // demands like any other), every requester granted otherwise.
+        let cell_grant = cell.as_ref().map(|cell| {
+            let demands: Vec<DeviceDemand> = wanted
+                .iter()
+                .enumerate()
+                .map(|(k, (&d, ids))| DeviceDemand {
+                    device: d as usize,
+                    novelty: 1.0,
+                    ebat: clients[d as usize].ebat(),
+                    coverage_gap: 1.0,
+                    est_bytes: ids.iter().map(|&(_, est)| est).sum(),
+                    arrival_order: k,
+                    consecutive_denials: 0,
+                })
+                .collect();
+            let epoch = cell.epoch_of(t0);
+            let epoch_start = cell.epoch_start(epoch);
+            let plan = scheduler.plan_epoch(
+                &demands,
+                cell.epoch_budget_s(epoch_start),
+                cell.capacity_bps(epoch_start),
+            );
+            let share = cell.share_bps(epoch_start, plan.granted);
+            (epoch, plan, share)
+        });
+        for (&d, ids) in &wanted {
+            let dev = d as usize;
+            if let (Some(cell), Some((epoch, plan, share))) = (&cell, &cell_grant) {
+                let epoch_start = cell.epoch_start(*epoch);
+                let grant = *plan.grant_for(dev).expect("every requester got a verdict");
+                if grant.tier == UploadTier::Defer {
+                    devices[dev].denied += 1;
+                    telemetry
+                        .event(names::SCHED_DENY, epoch_start)
+                        .attr_u64("device", d)
+                        .attr_str("policy", scheduler.policy().as_str())
+                        .attr_f64("utility", grant.utility)
+                        .attr_u64("denials", 1)
+                        .close(epoch_start);
+                    pulldown_denied += ids.len();
+                    continue;
+                }
+                devices[dev].grants += 1;
+                telemetry
+                    .event(names::SCHED_GRANT, epoch_start)
+                    .attr_u64("device", d)
+                    .attr_str("tier", grant.tier.as_str())
+                    .attr_str("policy", scheduler.policy().as_str())
+                    .attr_f64("utility", grant.utility)
+                    .attr_bool("forced", grant.forced)
+                    .close(epoch_start);
+                // Fetches share the cell at the epoch's granted rate, but
+                // carry no epoch deadline: the guillotine exists to keep
+                // capture rounds on cadence, and the mission's rounds are
+                // over. The retry budget still bounds every transfer.
+                clients[dev].set_rate_override(Some(*share))?;
+            }
+            // Wake the device up to the sweep time before it serves.
+            let now = clients[dev].now();
+            if now < t0 && clients[dev].idle(t0 - now).is_err() {
+                devices[dev].exhausted = true;
+            }
+            for &(id, est) in ids {
+                if devices[dev].exhausted {
+                    pulldown_denied += 1;
+                    continue;
+                }
+                let bytes = wire::framed_upload_bytes(est, chunk);
+                match clients[dev].transmit_resumable(EnergyCategory::PullDown, bytes) {
+                    Ok(_) => {
+                        server.fulfill_on_device(id);
+                        devices[dev].uplink_bytes += bytes;
+                        pulldown_fulfilled += 1;
+                        pulldown_bytes += bytes;
+                        if let Some(cell) = &cell {
+                            *epoch_bytes.entry(cell.epoch_of(t0)).or_insert(0) += bytes;
+                        }
+                        let now = clients[dev].now();
+                        telemetry
+                            .event(names::SRV_PULLDOWN, now)
+                            .attr_u64("device", d)
+                            .attr_u64("image", id.0)
+                            .attr_u64("bytes", bytes as u64)
+                            .close(now);
+                    }
+                    Err(CoreError::Net(NetError::RetriesExhausted { .. })) => {
+                        pulldown_denied += 1;
+                    }
+                    Err(CoreError::BatteryExhausted { .. }) => {
+                        devices[dev].exhausted = true;
+                        pulldown_denied += 1;
+                    }
+                    Err(other) => return Err(other),
+                }
+            }
+            if cell_grant.is_some() {
+                clients[dev].set_rate_override(None)?;
+            }
+        }
+    }
+
     let mut energy_spent_j = 0.0;
+    let mut pulldown_joules = 0.0;
     for (d, client) in clients.iter().enumerate() {
         devices[d].final_ebat = client.ebat();
         devices[d].deadline_abandons = client.deadline_abandons() as usize;
         energy_spent_j += client.battery().drawn_joules();
+        pulldown_joules += client.ledger().get(EnergyCategory::PullDown);
     }
 
     let cell_utilization: Vec<f64> = match &cell {
@@ -709,7 +937,7 @@ pub fn run_fleet_traced(
     } else {
         0.0
     };
-    Ok(FleetReport {
+    let report = FleetReport {
         scheme: scheme.kind().to_string(),
         n_devices: fleet.n_devices,
         rounds_completed: totals.rounds_completed,
@@ -729,9 +957,15 @@ pub fn run_fleet_traced(
         deadline_abandons: devices.iter().map(|d| d.deadline_abandons).sum(),
         unique_locations: server.unique_locations(),
         energy_spent_j,
+        pulldown_requests,
+        pulldown_fulfilled,
+        pulldown_denied,
+        pulldown_bytes,
+        pulldown_joules,
         cell_utilization,
         devices,
-    })
+    };
+    Ok((report, server))
 }
 
 #[cfg(test)]
@@ -756,6 +990,7 @@ mod tests {
                 texture_amp: 8.0,
             },
             seed: 11,
+            pulldown: None,
         }
     }
 
@@ -873,6 +1108,10 @@ mod tests {
         assert_eq!(r.deadline_abandons, 0);
         assert_eq!(r.unique_locations, 0);
         assert!(r.cell_utilization.is_empty());
+        assert_eq!(r.pulldown_requests, 0);
+        assert_eq!(r.pulldown_fulfilled + r.pulldown_denied, 0);
+        assert_eq!(r.pulldown_bytes, 0);
+        assert_eq!(r.pulldown_joules, 0.0);
         for d in &r.devices {
             assert_eq!((d.grants, d.denied, d.deadline_abandons), (0, 0, 0));
         }
@@ -1012,6 +1251,54 @@ mod tests {
     }
 
     #[test]
+    fn pulldown_fetches_deferred_images_deterministically() {
+        // A lossy contended cell forces images down the ladder until some
+        // defer into the on-device catalog; the post-run sweep then pulls
+        // them down, and every request resolves one way or the other.
+        let mut cfg = contended_config(48_000.0);
+        cfg.fault = bees_net::FaultModel::new(0x9E11, 0.7, 0.0, 1e9, 1.0).unwrap();
+        cfg.retry.max_attempts = 2;
+        cfg.retry.chunk_bytes = 256;
+        let base_fleet = FleetConfig {
+            n_devices: 6,
+            ..tiny_fleet()
+        };
+        let fleet = FleetConfig {
+            pulldown: Some(PulldownConfig::default()),
+            ..base_fleet
+        };
+        let a = run_fleet(&Bees::adaptive(&cfg), &cfg, &fleet).unwrap();
+        let b = run_fleet(&Bees::adaptive(&cfg), &cfg, &fleet).unwrap();
+        assert_eq!(a.to_json(), b.to_json(), "pull-down must stay seeded");
+        assert!(
+            a.pulldown_requests > 0,
+            "a lossy cell should catalog some deferrals: {a:?}"
+        );
+        assert_eq!(
+            a.pulldown_requests,
+            a.pulldown_fulfilled + a.pulldown_denied,
+            "every request resolves: {a:?}"
+        );
+        if a.pulldown_fulfilled > 0 {
+            assert!(a.pulldown_bytes > 0);
+            assert!(a.pulldown_joules > 0.0);
+        }
+        // Against the same run without pull-down, every fulfilled fetch is
+        // one more image the server actually holds.
+        let base = run_fleet(&Bees::adaptive(&cfg), &cfg, &base_fleet).unwrap();
+        assert_eq!(base.pulldown_requests, 0);
+        assert_eq!(
+            a.images_uploaded,
+            base.images_uploaded + a.pulldown_fulfilled,
+            "pull-down must add exactly the fulfilled images: {} vs {} + {}",
+            a.images_uploaded,
+            base.images_uploaded,
+            a.pulldown_fulfilled
+        );
+        assert_eq!(a.partials_upgraded + a.partials_pending, a.salvaged_images);
+    }
+
+    #[test]
     fn report_json_shape_is_stable() {
         let report = FleetReport {
             scheme: "bees".to_string(),
@@ -1033,6 +1320,11 @@ mod tests {
             deadline_abandons: 1,
             unique_locations: 1,
             energy_spent_j: 12.5,
+            pulldown_requests: 3,
+            pulldown_fulfilled: 2,
+            pulldown_denied: 1,
+            pulldown_bytes: 64,
+            pulldown_joules: 0.5,
             cell_utilization: vec![0.5, 0.25],
             devices: vec![DeviceSummary {
                 device: 0,
@@ -1057,6 +1349,9 @@ mod tests {
              \"partials_pending\":0,\"grants_issued\":2,\
              \"grants_denied\":1,\"deadline_abandons\":1,\
              \"unique_locations\":1,\"energy_spent_j\":12.5,\
+             \"pulldown_requests\":3,\"pulldown_fulfilled\":2,\
+             \"pulldown_denied\":1,\"pulldown_bytes\":64,\
+             \"pulldown_joules\":0.5,\
              \"cell_utilization\":[0.5,0.25],\
              \"devices\":[{\"device\":0,\"rounds\":1,\"uploaded_images\":1,\
              \"uplink_bytes\":42,\"grants\":2,\"denied\":1,\

@@ -6,7 +6,10 @@ mod fleet;
 mod lifetime;
 
 pub use coverage::{run_coverage, CoverageConfig, CoverageResult};
-pub use fleet::{run_fleet, run_fleet_traced, DeviceSummary, FleetConfig, FleetReport};
+pub use fleet::{
+    run_fleet, run_fleet_traced, run_fleet_with_server, DeviceSummary, FleetConfig, FleetReport,
+    PulldownConfig,
+};
 pub use lifetime::{
     run_lifetime, run_lifetime_traced, LifetimeConfig, LifetimeResult, LifetimeSample,
 };

@@ -29,12 +29,17 @@ pub enum EnergyCategory {
     /// completed, later redeemed by decoding the banked prefix into a
     /// usable partial image. Not wasted — it delivered fidelity.
     Salvaged,
+    /// Transmitting a deferred image the server pulled down on demand: a
+    /// responder's retrieval query matched an on-device catalog entry and
+    /// the device was asked (and granted airtime) to deliver it.
+    PullDown,
 }
 
 impl EnergyCategory {
-    /// All categories, in reporting order. `Salvaged` is appended last so
-    /// ledgers serialized before it existed keep their bucket order.
-    pub const ALL: [EnergyCategory; 8] = [
+    /// All categories, in reporting order. Later additions (`Salvaged`,
+    /// then `PullDown`) are appended last so ledgers serialized before they
+    /// existed keep their bucket order.
+    pub const ALL: [EnergyCategory; 9] = [
         EnergyCategory::FeatureExtraction,
         EnergyCategory::FeatureUpload,
         EnergyCategory::ImageUpload,
@@ -43,6 +48,7 @@ impl EnergyCategory {
         EnergyCategory::Wasted,
         EnergyCategory::Idle,
         EnergyCategory::Salvaged,
+        EnergyCategory::PullDown,
     ];
 }
 
@@ -57,6 +63,7 @@ impl fmt::Display for EnergyCategory {
             EnergyCategory::Wasted => "wasted",
             EnergyCategory::Idle => "idle",
             EnergyCategory::Salvaged => "salvaged",
+            EnergyCategory::PullDown => "pull-down",
         };
         f.write_str(name)
     }
@@ -78,12 +85,13 @@ impl fmt::Display for EnergyCategory {
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 #[serde(from = "LedgerRepr", into = "LedgerRepr")]
 pub struct EnergyLedger {
-    entries: [(f64, u64); 8], // (joules, event count) indexed by category
+    entries: [(f64, u64); 9], // (joules, event count) indexed by category
 }
 
 /// Serialized form of [`EnergyLedger`]: a variable-length bucket list, so
-/// ledgers written before `Salvaged` existed (7 buckets) still deserialize —
-/// missing trailing buckets read as empty, extras are dropped.
+/// ledgers written before `Salvaged`/`PullDown` existed (7 or 8 buckets)
+/// still deserialize — missing trailing buckets read as empty, extras are
+/// dropped.
 #[derive(Serialize, Deserialize)]
 struct LedgerRepr {
     entries: Vec<(f64, u64)>,
@@ -91,7 +99,7 @@ struct LedgerRepr {
 
 impl From<LedgerRepr> for EnergyLedger {
     fn from(repr: LedgerRepr) -> Self {
-        let mut entries = [(0.0, 0u64); 8];
+        let mut entries = [(0.0, 0u64); 9];
         for (slot, got) in entries.iter_mut().zip(repr.entries) {
             *slot = got;
         }
@@ -286,8 +294,9 @@ mod tests {
 
     #[test]
     fn legacy_seven_bucket_ledgers_pad_with_empty_salvage() {
-        // Reports serialized before `Salvaged` existed carry 7 buckets;
-        // they must round-trip through the repr with an empty 8th bucket.
+        // Reports serialized before `Salvaged` and `PullDown` existed carry
+        // 7 buckets; they must round-trip through the repr with the
+        // trailing buckets empty.
         let legacy = LedgerRepr {
             entries: vec![
                 (1.0, 1),
@@ -301,11 +310,14 @@ mod tests {
         };
         let ledger = EnergyLedger::from(legacy);
         assert_eq!(ledger.get(EnergyCategory::Salvaged), 0.0);
+        assert_eq!(ledger.get(EnergyCategory::PullDown), 0.0);
         assert_eq!(ledger.get(EnergyCategory::Idle), 6.0);
         assert_eq!(ledger.total(), 21.0);
         let back = LedgerRepr::from(ledger);
-        assert_eq!(back.entries.len(), 8);
+        assert_eq!(back.entries.len(), 9);
         assert_eq!(back.entries[7], (0.0, 0));
+        assert_eq!(back.entries[8], (0.0, 0));
+        assert_eq!(EnergyCategory::PullDown.to_string(), "pull-down");
     }
 
     #[test]

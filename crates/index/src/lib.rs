@@ -73,6 +73,12 @@ pub struct Query<'a> {
     pub k: usize,
     /// Candidate budget for accelerated backends; `0` means unlimited.
     pub max_candidates: usize,
+    /// Optional id allow-list (sorted ascending): images outside it score
+    /// as if absent. `None` means every stored image is eligible. This is
+    /// how side-table predicates (geo radius, time window) are pushed
+    /// *below* the shard merge — each shard drops disallowed ids before
+    /// ranking, so the merged result equals filtering an unsharded scan.
+    pub allowed: Option<&'a [ImageId]>,
 }
 
 impl<'a> Query<'a> {
@@ -82,6 +88,7 @@ impl<'a> Query<'a> {
             features,
             k: 1,
             max_candidates: 0,
+            allowed: None,
         }
     }
 
@@ -91,6 +98,7 @@ impl<'a> Query<'a> {
             features,
             k,
             max_candidates: 0,
+            allowed: None,
         }
     }
 
@@ -100,6 +108,24 @@ impl<'a> Query<'a> {
     pub fn with_max_candidates(mut self, budget: usize) -> Self {
         self.max_candidates = budget;
         self
+    }
+
+    /// Restricts scoring to `ids`, which **must be sorted ascending**
+    /// (backends membership-test with binary search). Images outside the
+    /// list are skipped before ranking.
+    #[must_use]
+    pub fn with_allowed(mut self, ids: &'a [ImageId]) -> Self {
+        debug_assert!(ids.windows(2).all(|w| w[0] < w[1]), "allow-list unsorted");
+        self.allowed = Some(ids);
+        self
+    }
+
+    /// Whether `id` passes the allow-list (vacuously true without one).
+    pub fn is_allowed(&self, id: ImageId) -> bool {
+        match self.allowed {
+            None => true,
+            Some(ids) => ids.binary_search(&id).is_ok(),
+        }
     }
 }
 
@@ -191,5 +217,18 @@ mod trait_tests {
         assert_eq!(q.max_candidates, 100);
         assert_eq!(Query::new(&f).k, 1);
         assert_eq!(Query::new(&f).max_candidates, 0);
+        assert!(Query::new(&f).allowed.is_none());
+    }
+
+    #[test]
+    fn allow_list_membership_is_binary_searched() {
+        let f = ImageFeatures::empty_binary();
+        let ids = [ImageId(2), ImageId(5), ImageId(9)];
+        let q = Query::new(&f).with_allowed(&ids);
+        assert!(q.is_allowed(ImageId(2)));
+        assert!(q.is_allowed(ImageId(9)));
+        assert!(!q.is_allowed(ImageId(4)));
+        // No allow-list admits everything.
+        assert!(Query::new(&f).is_allowed(ImageId(4)));
     }
 }

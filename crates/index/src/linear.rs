@@ -93,6 +93,9 @@ impl FeatureIndex for LinearIndex {
             .iter()
             .zip(&self.blocks)
             .filter_map(|(e, b)| {
+                if !query.is_allowed(e.id) {
+                    return None;
+                }
                 let s = match (&qblock, b) {
                     (Some(qb), Some(tb)) => jaccard_similarity_blocks(qb, tb, &self.config),
                     _ => jaccard_similarity(query.features, &e.features, &self.config),
@@ -177,6 +180,24 @@ mod tests {
         assert_eq!(hits[0].id, ImageId(1));
         assert_eq!(hits[1].id, ImageId(2));
         assert!(hits[0].similarity > hits[1].similarity);
+    }
+
+    #[test]
+    fn allow_list_filters_before_ranking() {
+        use crate::Query;
+        let mut idx = LinearIndex::new(SimilarityConfig::default());
+        idx.insert(ImageId(1), features(&[1, 2, 3, 4]));
+        idx.insert(ImageId(2), features(&[1, 2, 3, 4]));
+        idx.insert(ImageId(3), features(&[1, 2, 3, 4]));
+        let probe = features(&[1, 2, 3, 4]);
+        let allowed = [ImageId(2)];
+        let hits = idx.query(&Query::top_k(&probe, 5).with_allowed(&allowed));
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].id, ImageId(2));
+        // An empty allow-list blanks the result entirely.
+        assert!(idx
+            .query(&Query::top_k(&probe, 5).with_allowed(&[]))
+            .is_empty());
     }
 
     #[test]

@@ -242,6 +242,9 @@ impl FeatureIndex for MihIndex {
         let hits: Vec<QueryHit> = if let Some(qblock) = query.features.descriptors.to_block() {
             self.candidates_into(query.features, query.max_candidates, scratch);
             rt.par_map(&scratch.cand_ids, |&id| {
+                if !query.is_allowed(id) {
+                    return None;
+                }
                 let pos = *self.id_to_pos.get(&id).expect("candidate ids are indexed");
                 // Candidates only arise from word tables, which index
                 // binary sets exclusively — so a cached block exists.
@@ -262,6 +265,9 @@ impl FeatureIndex for MihIndex {
             // Vector features: no word structure, fall back to a full scan
             // (exact, so the candidate budget does not apply).
             rt.par_map(&self.entries, |e| {
+                if !query.is_allowed(e.id) {
+                    return None;
+                }
                 let s = jaccard_similarity(query.features, &e.features, &self.config);
                 (s > 0.0).then_some(QueryHit {
                     id: e.id,

@@ -223,6 +223,27 @@ mod tests {
     }
 
     #[test]
+    fn allow_list_is_applied_below_the_shard_merge() {
+        let mut rng = ChaCha8Rng::seed_from_u64(31);
+        let cfg = SimilarityConfig::default();
+        let shared = random_features(&mut rng, 8);
+        let items: Vec<(ImageId, ImageFeatures)> =
+            (0..16u64).map(|i| (ImageId(i), shared.clone())).collect();
+        let mut flat = MihIndex::new(cfg);
+        flat.insert_batch(items.clone());
+        let allowed: Vec<ImageId> = [3u64, 7, 8, 13].into_iter().map(ImageId).collect();
+        let expect = flat.query(&Query::top_k(&shared, 10).with_allowed(&allowed));
+        assert_eq!(expect.len(), 4);
+        for shards in [2usize, 4] {
+            let mut idx = ShardedIndex::with_shards(shards, || MihIndex::new(cfg));
+            idx.insert_batch(items.clone());
+            let got = idx.query(&Query::top_k(&shared, 10).with_allowed(&allowed));
+            assert_eq!(got, expect, "shards={shards}");
+            assert!(got.iter().all(|h| allowed.contains(&h.id)));
+        }
+    }
+
+    #[test]
     fn insert_batch_partitions_by_id() {
         let mut rng = ChaCha8Rng::seed_from_u64(23);
         let mut idx =

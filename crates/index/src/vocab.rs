@@ -310,6 +310,9 @@ impl FeatureIndex for VocabIndex {
             cands
                 .into_iter()
                 .filter_map(|id| {
+                    if !query.is_allowed(id) {
+                        return None;
+                    }
                     let pos = *self.id_to_pos.get(&id).expect("candidates are indexed");
                     let s = jaccard_similarity(
                         query.features,
@@ -323,6 +326,9 @@ impl FeatureIndex for VocabIndex {
             self.entries
                 .iter()
                 .filter_map(|e| {
+                    if !query.is_allowed(e.id) {
+                        return None;
+                    }
                     let s = jaccard_similarity(query.features, &e.features, &self.config);
                     (s > 0.0).then_some(QueryHit {
                         id: e.id,

@@ -117,6 +117,14 @@ pub mod names {
     /// lost its grant mid-flight and stopped retrying (zero-duration
     /// event).
     pub const SCHED_PREEMPT: &str = "sched.preempt";
+    /// A responder-side retrieval: one `Server::retrieve` execution over
+    /// the fleet index and its side tables (zero-duration event; the
+    /// `hits` / `candidates` attributes carry the result shape).
+    pub const SRV_RETRIEVE: &str = "srv.retrieve";
+    /// A device pull-down fetch: an `OnDevice` retrieval hit being
+    /// uploaded on demand, charged to the owning device's ledger
+    /// (zero-duration event).
+    pub const SRV_PULLDOWN: &str = "srv.pulldown";
 }
 
 pub(crate) struct Inner {

@@ -14,10 +14,13 @@ elimination, server queries, per-device exhaustion) and verifies the
 sweep's determinism contract: for each fleet size, every shard count must
 report identical numbers. Also checks each row's internal accounting:
 the salvage ledger (``salvaged_images == partials_upgraded +
-partials_pending``) and the shared-cell contention counters
+partials_pending``), the shared-cell contention counters
 (fleet-level ``grants_issued`` / ``grants_denied`` /
 ``deadline_abandons`` must equal the per-device sums, and the
-utilization series must be non-negative). Stdlib only.
+utilization series must be non-negative), and the pull-down ledger
+(``pulldown_requests == pulldown_fulfilled + pulldown_denied``, with
+bytes and joules only when something was actually fetched). Stdlib
+only.
 """
 
 import json
@@ -99,13 +102,27 @@ def check_row_invariants(cells):
                 and not r.get("devices_exhausted", 0):
             complain(c, f"{starving} denials but no grants and no deaths "
                         f"(scheduler wedged?)")
+        requests = r.get("pulldown_requests", 0)
+        fulfilled = r.get("pulldown_fulfilled", 0)
+        denied = r.get("pulldown_denied", 0)
+        if requests != fulfilled + denied:
+            complain(c, f"pulldown_requests={requests} != "
+                        f"pulldown_fulfilled={fulfilled} + "
+                        f"pulldown_denied={denied}")
+        pd_bytes = r.get("pulldown_bytes", 0)
+        pd_joules = r.get("pulldown_joules", 0.0)
+        if fulfilled and not pd_bytes:
+            complain(c, f"{fulfilled} pull-down fetches moved zero bytes")
+        if not fulfilled and (pd_bytes or pd_joules > 1e-9):
+            complain(c, f"pulldown_bytes={pd_bytes} / pulldown_joules="
+                        f"{pd_joules} without a fulfilled fetch")
     return ok
 
 
 def print_table(cells):
     header = ["devices", "shards", "scheme", "captured", "uploaded",
               "elim %", "queries", "exhausted", "grants", "denied",
-              "abandoned"]
+              "abandoned", "pulled"]
     rows = [header]
     for c in cells:
         r = c["report"]
@@ -119,7 +136,8 @@ def print_table(cells):
                      str(r.get("devices_exhausted", 0)),
                      str(r.get("grants_issued", 0)),
                      str(r.get("grants_denied", 0)),
-                     str(r.get("deadline_abandons", 0))])
+                     str(r.get("deadline_abandons", 0)),
+                     str(r.get("pulldown_fulfilled", 0))])
     widths = [max(len(r[i]) for r in rows) for i in range(len(header))]
     for i, row in enumerate(rows):
         print("  ".join(cell.ljust(w) if j <= 2 else cell.rjust(w)

@@ -187,6 +187,7 @@ run_integration() {
 
 run_integration it_end_to_end tests/end_to_end.rs
 run_integration it_approximate tests/approximate_pipeline.rs
+run_integration it_retrieval tests/retrieval.rs
 # JSON round-trip tests need real serde_json; the deterministic-report
 # tests (including the fleet sweep) run here.
 run_integration it_determinism tests/determinism.rs \

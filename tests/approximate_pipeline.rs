@@ -154,7 +154,7 @@ fn server_side_extraction_matches_client_side() {
     // CBRD only works because both sides extract comparable features; the
     // preloaded (server-extracted) features must match a client query of a
     // similar view.
-    use bees::core::{BeesConfig, Server};
+    use bees::core::{BeesConfig, RetrievalQuery, Server};
     let config = BeesConfig::default();
     let mut server = Server::try_new(&config).unwrap();
     let scene = Scene::new(50, SceneConfig::default());
@@ -167,10 +167,11 @@ fn server_side_extraction_matches_client_side() {
     });
     let orb = Orb::new(config.orb);
     let query = orb.extract(&other_view.to_gray());
-    let hit = server.query_max_similarity(&query).expect("indexed image");
+    let result = server.answer(&RetrievalQuery::new().similar_to(&query).top_k(1));
+    let hit = result.hits.first().expect("indexed image");
     assert!(
-        hit.similarity > config.edr.value(1.0),
+        hit.score > config.edr.value(1.0),
         "similarity {}",
-        hit.similarity
+        hit.score
     );
 }

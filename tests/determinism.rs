@@ -221,6 +221,7 @@ fn fleet_report_is_identical_across_threads_and_shards() {
         interval_s: 30.0,
         scene: small_scene(),
         seed: 0xF1EE7,
+        pulldown: None,
     };
     let run = |shards: usize| -> String {
         let config = BeesConfig {
@@ -250,6 +251,113 @@ fn fleet_report_is_identical_across_threads_and_shards() {
 }
 
 #[test]
+fn retrieval_result_is_identical_across_threads_and_shards() {
+    // The retrieval acceptance property: a composite query (geo radius +
+    // time window + descriptor probe + on-device catalog) serialized
+    // through `RetrievalResult::to_json` is byte-identical across worker
+    // counts (1/2/8) and server shard counts (1/2/4).
+    use bees::core::{IndexBackend, RetrievalQuery, Server};
+
+    let run = |shards: usize| -> String {
+        let config = BeesConfig {
+            index_backend: IndexBackend::Mih,
+            server_shards: shards,
+            ..BeesConfig::default()
+        };
+        let mut server = Server::try_new(&config).unwrap();
+        let orb = Orb::new(config.orb);
+        let data = disaster_batch(77, 6, 0, 0.0, small_scene());
+        for (i, img) in data.batch.iter().enumerate() {
+            server.set_time(10.0 * i as f64);
+            let f = orb.extract(&img.to_gray());
+            if i == 4 {
+                // One image never uploaded: it lives on device 3's catalog.
+                server.record_on_device(3, f, Some((0.01, 0.0)), 2048);
+            } else {
+                server.ingest_image(f, 1000 + i, Some(((i % 2) as f64 * 0.01, 0.0)));
+            }
+        }
+        let probe = orb.extract(&data.batch[0].to_gray());
+        let query = RetrievalQuery::new()
+            .near(0.0, 0.0, 25.0)
+            .within_time(0.0, 40.0)
+            .similar_to(&probe)
+            .include_on_device(true)
+            .top_k(4);
+        server.answer(&query).to_json()
+    };
+
+    bees::runtime::set_threads(1);
+    let baseline = run(1);
+    assert!(
+        baseline.contains("\"provenance\":\"full\""),
+        "the probe must hit its own upload: {baseline}"
+    );
+    for threads in [1usize, 2, 8] {
+        for shards in [1usize, 2, 4] {
+            bees::runtime::set_threads(threads);
+            let result = run(shards);
+            bees::runtime::set_threads(0);
+            assert_eq!(
+                baseline, result,
+                "retrieval result differs at {threads} threads, {shards} shards"
+            );
+        }
+    }
+}
+
+#[test]
+fn pulldown_fleet_report_is_identical_across_threads_and_shards() {
+    // The pull-down sweep rides the same determinism guarantee: enabling
+    // `FleetConfig::pulldown` must not introduce any thread- or
+    // shard-dependent byte into the report.
+    use bees::core::sessions::{run_fleet, FleetConfig, PulldownConfig};
+    use bees::core::IndexBackend;
+
+    let fleet = FleetConfig {
+        n_devices: 4,
+        rounds: 2,
+        group_size: 4,
+        shared_per_group: 2,
+        interval_s: 30.0,
+        scene: small_scene(),
+        seed: 0xF1EE7,
+        pulldown: Some(PulldownConfig::default()),
+    };
+    let run = |shards: usize| -> String {
+        let mut config = BeesConfig {
+            trace: BandwidthTrace::constant(200_000.0).unwrap(),
+            index_backend: IndexBackend::Mih,
+            server_shards: shards,
+            ..BeesConfig::default()
+        };
+        config.cell.enabled = true;
+        config.cell.capacity = BandwidthTrace::constant(48_000.0).unwrap();
+        config.cell.epoch_s = 20.0;
+        config.fault = bees::net::FaultModel::new(0x9E11, 0.6, 0.0, 1e9, 1.0).unwrap();
+        config.retry.max_attempts = 2;
+        config.retry.chunk_bytes = 256;
+        run_fleet(&Bees::adaptive(&config), &config, &fleet)
+            .unwrap()
+            .to_json()
+    };
+
+    bees::runtime::set_threads(1);
+    let baseline = run(1);
+    for threads in [1usize, 2, 8] {
+        for shards in [1usize, 2, 4] {
+            bees::runtime::set_threads(threads);
+            let report = run(shards);
+            bees::runtime::set_threads(0);
+            assert_eq!(
+                baseline, report,
+                "pull-down fleet report differs at {threads} threads, {shards} shards"
+            );
+        }
+    }
+}
+
+#[test]
 fn fleet_report_is_identical_across_threads_and_shards_with_corruption_faults() {
     // The salvage acceptance sweep: with every fault mode on — drops that
     // cut transfers mid-payload, blackout windows, and CRC-caught chunk
@@ -268,6 +376,7 @@ fn fleet_report_is_identical_across_threads_and_shards_with_corruption_faults() 
         interval_s: 30.0,
         scene: small_scene(),
         seed: 0xF1EE7,
+        pulldown: None,
     };
     let run = |shards: usize| -> String {
         let mut config = BeesConfig {
@@ -328,6 +437,7 @@ fn contended_fleet_report_is_identical_across_threads_and_shards() {
         interval_s: 30.0,
         scene: small_scene(),
         seed: 0xF1EE7,
+        pulldown: None,
     };
     let run = |shards: usize| -> String {
         let mut config = BeesConfig {

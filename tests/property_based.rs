@@ -1,5 +1,7 @@
 //! Property-based tests (proptest) on the core invariants spanning crates.
 
+use bees::core::retrieval::haversine_km;
+use bees::core::{BeesConfig, RetrievalQuery, Server};
 use bees::energy::{AdaptiveScheme, Battery, EnergyLedger, LinearScheme};
 use bees::features::descriptor::BinaryDescriptor;
 use bees::features::matcher::{match_binary, MatchConfig};
@@ -238,5 +240,100 @@ proptest! {
             expected += j;
         }
         prop_assert!((ledger.total() - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn haversine_is_symmetric_bounded_and_zero_on_identity(
+        lon_a in -180.0f64..180.0, lat_a in -90.0f64..90.0,
+        lon_b in -180.0f64..180.0, lat_b in -90.0f64..90.0,
+    ) {
+        let a = (lon_a, lat_a);
+        let b = (lon_b, lat_b);
+        let d_ab = haversine_km(a, b);
+        let d_ba = haversine_km(b, a);
+        prop_assert!(d_ab.is_finite() && d_ab >= 0.0);
+        prop_assert!((d_ab - d_ba).abs() < 1e-9, "asymmetric: {} vs {}", d_ab, d_ba);
+        // Half the great circle is the farthest two points can be.
+        prop_assert!(d_ab <= std::f64::consts::PI * 6371.0088 + 1e-6);
+        prop_assert!(haversine_km(a, a) < 1e-9);
+    }
+
+    #[test]
+    fn haversine_handles_antimeridian_and_poles(
+        lat in -85.0f64..85.0, lon in -180.0f64..180.0, eps in 0.0f64..0.25,
+    ) {
+        // Wrapping the antimeridian is a short hop, not a lap around the
+        // globe: ±(180 − ε) at the same latitude are 2ε of longitude apart.
+        let east = (180.0 - eps, lat);
+        let west = (-(180.0 - eps), lat);
+        let wrapped = haversine_km(east, west);
+        let local = haversine_km((0.0 - eps, lat), (0.0 + eps, lat));
+        prop_assert!((wrapped - local).abs() < 1e-6, "wrap {} vs local {}", wrapped, local);
+        // A full revolution of longitude is the same point.
+        prop_assert!(haversine_km((lon, lat), (lon + 360.0, lat)) < 1e-6);
+        // Every longitude at a pole is the same point; pole to pole is half
+        // the great circle.
+        prop_assert!(haversine_km((lon, 90.0), (0.0, 90.0)) < 1e-6);
+        let pole_to_pole = haversine_km((lon, 90.0), (lon, -90.0));
+        prop_assert!((pole_to_pole - std::f64::consts::PI * 6371.0088).abs() < 1e-6);
+    }
+
+    #[test]
+    fn radius_zero_matches_exactly_the_query_point(
+        lon in -180.0f64..180.0, lat in -85.0f64..85.0,
+        dlon in 0.001f64..1.0, dlat in 0.001f64..1.0,
+    ) {
+        let q = RetrievalQuery::new().near(lon, lat, 0.0);
+        prop_assert!(q.passes_filters(Some((lon, lat)), None));
+        prop_assert!(!q.passes_filters(Some((lon + dlon, lat)), None));
+        prop_assert!(!q.passes_filters(Some((lon, (lat + dlat).min(89.9))), None));
+        prop_assert!(!q.passes_filters(None, None));
+    }
+
+    #[test]
+    fn composed_retrieval_equals_sequential_filtering(
+        sets in proptest::collection::vec(arb_descriptors(16), 2..8),
+        geos in proptest::collection::vec((-170.0f64..170.0, -80.0f64..80.0), 8),
+        times in proptest::collection::vec(0.0f64..100.0, 8),
+        radius_km in 100.0f64..8000.0,
+        t_lo in 0.0f64..50.0,
+        span in 0.0f64..60.0,
+    ) {
+        // Composing geo + time + similarity in one RetrievalQuery must
+        // return exactly what querying by similarity alone and then
+        // filtering hit by hit returns, in the same order.
+        let config = BeesConfig::default();
+        let mut server = Server::try_new(&config).unwrap();
+        let mut side = Vec::new();
+        for (i, descs) in sets.iter().enumerate() {
+            let geo = geos[i % geos.len()];
+            let t = times[i % times.len()];
+            server.set_time(t);
+            server.ingest_image(features(descs.clone()), 1000, Some(geo));
+            side.push((geo, t));
+        }
+        let probe = features(sets[0].clone());
+        let center = geos[0];
+        let (t0, t1) = (t_lo, t_lo + span);
+
+        let composed = server.answer(
+            &RetrievalQuery::new()
+                .near(center.0, center.1, radius_km)
+                .within_time(t0, t1)
+                .similar_to(&probe),
+        );
+        let unfiltered = server.answer(&RetrievalQuery::new().similar_to(&probe));
+        let sequential: Vec<_> = unfiltered
+            .hits
+            .iter()
+            .filter(|h| {
+                let (geo, t) = side[h.id.0 as usize];
+                haversine_km(center, geo) <= radius_km && t >= t0 && t <= t1
+            })
+            .map(|h| (h.id, h.score))
+            .collect();
+        let composed_pairs: Vec<_> =
+            composed.hits.iter().map(|h| (h.id, h.score)).collect();
+        prop_assert_eq!(composed_pairs, sequential);
     }
 }

@@ -1,0 +1,167 @@
+//! End-to-end retrieval: a fleet uploads (and defers) under a lossy
+//! shared cell, then responders query the unified surface — geo radius,
+//! time windows, and the on-device catalog — against the final server.
+
+use bees::core::schemes::Bees;
+use bees::core::sessions::{run_fleet_with_server, FleetConfig, FleetReport, PulldownConfig};
+use bees::core::{BeesConfig, Provenance, RetrievalQuery, Server};
+use bees::datasets::SceneConfig;
+use bees::net::BandwidthTrace;
+use bees::telemetry::Telemetry;
+
+fn config() -> BeesConfig {
+    let mut c = BeesConfig::default();
+    c.trace = BandwidthTrace::constant(256_000.0).unwrap();
+    c.battery = bees::energy::Battery::from_joules(1e9);
+    c.cell.enabled = true;
+    c.cell.capacity = BandwidthTrace::constant(48_000.0).unwrap();
+    c.cell.epoch_s = 20.0;
+    c.fault = bees::net::FaultModel::new(0x9E11, 0.7, 0.0, 1e9, 1.0).unwrap();
+    c.retry.max_attempts = 2;
+    c.retry.chunk_bytes = 256;
+    c
+}
+
+fn fleet(pulldown: Option<PulldownConfig>) -> FleetConfig {
+    FleetConfig {
+        n_devices: 6,
+        rounds: 2,
+        group_size: 4,
+        shared_per_group: 2,
+        interval_s: 30.0,
+        scene: SceneConfig {
+            width: 96,
+            height: 72,
+            n_shapes: 8,
+            texture_amp: 8.0,
+        },
+        seed: 11,
+        pulldown,
+    }
+}
+
+fn run(pulldown: Option<PulldownConfig>) -> (FleetReport, Server) {
+    let cfg = config();
+    run_fleet_with_server(
+        &Bees::adaptive(&cfg),
+        &cfg,
+        &fleet(pulldown),
+        &Telemetry::disabled(),
+    )
+    .unwrap()
+}
+
+#[test]
+fn geo_queries_return_ranked_geotagged_hits() {
+    let (_, mut server) = run(None);
+    let result = server.answer(&RetrievalQuery::new().near(0.0, 0.0, 5.0));
+    assert!(!result.hits.is_empty(), "the fleet uploaded near the sites");
+    assert!(result.candidates_considered >= result.hits.len());
+    for pair in result.hits.windows(2) {
+        assert!(
+            pair[0].score > pair[1].score
+                || (pair[0].score == pair[1].score && pair[0].id < pair[1].id),
+            "hits must be ranked by score desc, id asc: {pair:?}"
+        );
+    }
+    for hit in &result.hits {
+        let geo = hit.geotag.expect("cell-mode uploads carry geotags");
+        assert!(
+            bees::core::retrieval::haversine_km((0.0, 0.0), geo) <= 5.0,
+            "hit outside the radius: {hit:?}"
+        );
+        assert!(hit.time_s.is_some(), "fleet ingests are timestamped");
+    }
+    // A half-kilometre radius isolates the lattice site at the origin:
+    // every hit sits exactly there.
+    let tight = server.answer(&RetrievalQuery::new().near(0.0, 0.0, 0.5));
+    for hit in &tight.hits {
+        assert_eq!(hit.geotag, Some((0.0, 0.0)), "{hit:?}");
+    }
+    assert!(tight.hits.len() <= result.hits.len());
+}
+
+#[test]
+fn time_windows_slice_the_run() {
+    let (_, mut server) = run(None);
+    let all = server.answer(&RetrievalQuery::new().within_time(0.0, 1e9));
+    assert!(!all.hits.is_empty());
+    // Ids break ties for the pure time-window ranking (every score is
+    // equal), so the full window enumerates in id order.
+    for pair in all.hits.windows(2) {
+        assert!(pair[0].id < pair[1].id, "{pair:?}");
+    }
+    let early = server.answer(&RetrievalQuery::new().within_time(0.0, 30.0));
+    assert!(early.hits.len() < all.hits.len());
+    for hit in &early.hits {
+        let t = hit.time_s.expect("time-window hits are timestamped");
+        assert!((0.0..=30.0).contains(&t), "{hit:?}");
+    }
+}
+
+#[test]
+fn on_device_catalog_is_opt_in_and_shrinks_to_the_denied_set() {
+    let (report, mut server) = run(Some(PulldownConfig::default()));
+    assert!(
+        report.pulldown_requests > 0,
+        "lossy cell must defer: {report:?}"
+    );
+    assert_eq!(
+        report.pulldown_requests,
+        report.pulldown_fulfilled + report.pulldown_denied
+    );
+    // The default sweep radius covers every lattice site, so what remains
+    // cataloged after the run is exactly the denied set.
+    assert_eq!(server.on_device_images().len(), report.pulldown_denied);
+
+    let base = server.answer(&RetrievalQuery::new().near(0.0, 0.0, 5.0));
+    let with_catalog = server.answer(
+        &RetrievalQuery::new()
+            .near(0.0, 0.0, 5.0)
+            .include_on_device(true),
+    );
+    assert!(
+        base.hits
+            .iter()
+            .all(|h| !matches!(h.provenance, Provenance::OnDevice { .. })),
+        "catalog entries must stay invisible without the opt-in"
+    );
+    let on_device = with_catalog
+        .hits
+        .iter()
+        .filter(|h| matches!(h.provenance, Provenance::OnDevice { .. }))
+        .count();
+    assert_eq!(with_catalog.hits.len(), base.hits.len() + on_device);
+    assert_eq!(with_catalog.on_device_matches, on_device);
+    assert!(on_device <= report.pulldown_denied);
+}
+
+#[test]
+fn pulldown_strictly_improves_recall_for_bounded_extra_cost() {
+    let (without, _) = run(None);
+    let (with, _) = run(Some(PulldownConfig::default()));
+    assert_eq!(
+        with.images_uploaded,
+        without.images_uploaded + with.pulldown_fulfilled,
+        "each fulfilled fetch is one more image the server holds"
+    );
+    if with.pulldown_fulfilled > 0 {
+        assert!(with.pulldown_bytes > 0);
+        assert!(with.pulldown_joules > 0.0);
+        // The fetches are accounted, not free — and bounded by what was
+        // actually moved.
+        assert!(with.energy_spent_j > without.energy_spent_j);
+        assert!(with.uplink_bytes >= without.uplink_bytes + with.pulldown_bytes);
+    }
+}
+
+#[test]
+fn repeated_queries_are_stable_and_counted() {
+    let (_, mut server) = run(None);
+    let before = server.queries_served();
+    let q = RetrievalQuery::new().near(0.0, 0.0, 5.0).top_k(3);
+    let a = server.answer(&q).to_json();
+    let b = server.answer(&q).to_json();
+    assert_eq!(a, b, "retrieval must be a pure function of server state");
+    assert_eq!(server.queries_served(), before + 2);
+}
