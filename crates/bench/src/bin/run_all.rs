@@ -30,6 +30,7 @@ fn main() {
     ex::fleet_scaling::run(&args).print();
     ex::contention::run(&args).print();
     ex::retrieval::run(&args).print();
+    ex::storage::run(&args).print();
     ex::descriptor_hotloop::run(&args).print();
     ex::query_throughput::run(&args).print();
     ex::runtime_scaling::run(&args).print();

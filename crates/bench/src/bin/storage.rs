@@ -1,0 +1,9 @@
+//! Storage tier: exact dedup + cold recompression, on/off arms at equal
+//! seeds.
+
+use bees_bench::args::ExpArgs;
+use bees_bench::experiments::storage;
+
+fn main() {
+    storage::run(&ExpArgs::from_env()).print();
+}

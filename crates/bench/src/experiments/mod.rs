@@ -19,6 +19,7 @@ pub mod query_throughput;
 pub mod redundancy_sweep;
 pub mod retrieval;
 pub mod runtime_scaling;
+pub mod storage;
 pub mod table1_space;
 pub mod telemetry_report;
 

@@ -1,0 +1,298 @@
+//! Storage-tier capacity: exact dedup + cold recompression on one seeded
+//! upload corpus.
+//!
+//! Two arms ingest the *same* workload (equal seeds): `scenes` disaster
+//! scenes, each shot from several jittered viewpoints by different
+//! devices, plus one byte-identical re-upload per scene (two devices
+//! sharing the same stored file). The `off` arm stops after ingest; the
+//! `on` arm then advances the virtual clock past the cold-age gate and
+//! runs [`Server::run_cold_recompression`]. The figures of merit are the
+//! fraction of stored bytes reclaimed (the capacity concern at fleet
+//! scale) and the mean SSIM of the re-encoded blobs (the fidelity price).
+//! `--json-out` emits the trajectory for `scripts/perf_check.py`.
+
+use crate::args::ExpArgs;
+use crate::perf::{write_json_lines, Metric};
+use crate::table::{f3, kib, Table};
+use bees_core::{BeesConfig, IngestRequest, RetrievalQuery, Server};
+use bees_datasets::{Scene, SceneConfig, ViewJitter};
+use bees_features::orb::Orb;
+use bees_features::{FeatureExtractor, ImageFeatures};
+use bees_image::codec;
+
+/// Jittered views per scene (distinct devices shooting the same subject).
+const VIEWS_PER_SCENE: usize = 4;
+/// Stored-photo quality of the uploads (the camera file the devices ship).
+const INGEST_QUALITY: u8 = 85;
+/// Virtual seconds between consecutive uploads.
+const UPLOAD_SPACING_S: f64 = 10.0;
+
+/// One arm's final storage ledger.
+#[derive(Debug, Clone)]
+pub struct StorageArm {
+    /// `off` (ingest only) or `on` (ingest + cold recompression).
+    pub name: &'static str,
+    /// Images the corpus uploaded (including the duplicate re-uploads).
+    pub uploads: usize,
+    /// Physical bytes ever written to the store.
+    pub stored_bytes: usize,
+    /// Bytes the cold pass gave back.
+    pub reclaimed_bytes: usize,
+    /// Physical bytes live at the end of the arm.
+    pub live_bytes: usize,
+    /// Uploads answered by an existing blob (no new physical bytes).
+    pub dedup_hits: usize,
+    /// Near-duplicate groups the commit-time probe formed.
+    pub groups: usize,
+    /// Blobs the cold pass actually re-encoded.
+    pub blobs_recompressed: usize,
+    /// Mean SSIM of re-encoded blobs against their pre-pass decode
+    /// (1.0 when nothing was recompressed).
+    pub mean_ssim: f64,
+}
+
+impl StorageArm {
+    /// Fraction of stored bytes the cold pass reclaimed.
+    pub fn reclaimed_frac(&self) -> f64 {
+        self.reclaimed_bytes as f64 / self.stored_bytes.max(1) as f64
+    }
+}
+
+/// Both arms, `off` first.
+#[derive(Debug, Clone)]
+pub struct StorageResult {
+    /// `off`, `on`.
+    pub arms: Vec<StorageArm>,
+}
+
+impl StorageResult {
+    /// The perf-trajectory lines for `BENCH_baseline.json`.
+    pub fn metrics(&self) -> Vec<Metric> {
+        let mut out = Vec::with_capacity(self.arms.len() * 3);
+        for a in &self.arms {
+            out.push(Metric::lower(
+                "storage",
+                a.name,
+                "live_kib",
+                a.live_bytes as f64 / 1024.0,
+            ));
+            out.push(Metric::new(
+                "storage",
+                a.name,
+                "dedup_hits",
+                a.dedup_hits as f64,
+            ));
+        }
+        if let Some(on) = self.arms.iter().find(|a| a.name == "on") {
+            out.push(Metric::new(
+                "storage",
+                "on",
+                "reclaimed_frac",
+                on.reclaimed_frac(),
+            ));
+            out.push(Metric::new("storage", "on", "mean_ssim", on.mean_ssim));
+        }
+        out
+    }
+
+    /// Prints the arm table.
+    pub fn print(&self) {
+        println!("\n== Storage tier: dedup + cold recompression ==");
+        let mut t = Table::new(vec![
+            "arm",
+            "uploads",
+            "dedup",
+            "groups",
+            "stored",
+            "reclaimed",
+            "live",
+            "recompressed",
+            "reclaim frac",
+            "mean ssim",
+        ]);
+        for a in &self.arms {
+            t.row(vec![
+                a.name.to_string(),
+                a.uploads.to_string(),
+                a.dedup_hits.to_string(),
+                a.groups.to_string(),
+                kib(a.stored_bytes),
+                kib(a.reclaimed_bytes),
+                kib(a.live_bytes),
+                a.blobs_recompressed.to_string(),
+                f3(a.reclaimed_frac()),
+                f3(a.mean_ssim),
+            ]);
+        }
+        t.print();
+        println!(
+            "equal corpus per arm; only the cold pass differs. live = \
+             stored - reclaimed (nothing is ever deleted)"
+        );
+    }
+}
+
+/// Ingests the seeded corpus: every view carries its real encoded payload
+/// plus ORB features, each scene commits as one epoch (so commit-time
+/// grouping sees whole scenes), and one view per scene is re-uploaded
+/// byte-identically.
+fn ingest_corpus(server: &mut Server, args: &ExpArgs, scenes: usize) -> (usize, ImageFeatures) {
+    let orb = Orb::new(BeesConfig::default().orb);
+    let scene_cfg = SceneConfig {
+        width: 96,
+        height: 72,
+        n_shapes: 8,
+        texture_amp: 8.0,
+    };
+    let mut uploads = 0;
+    let mut t = 0.0;
+    let mut probe = ImageFeatures::empty_binary();
+    for s in 0..scenes {
+        let scene = Scene::new(args.seed.wrapping_add(s as u64), scene_cfg);
+        let mut first_payload: Option<(Vec<u8>, ImageFeatures)> = None;
+        for v in 0..VIEWS_PER_SCENE {
+            let jitter = ViewJitter {
+                dx: v as f32 * 1.5,
+                dy: -(v as f32),
+                brightness: v as i32 * 4,
+                ..ViewJitter::identity()
+            };
+            let img = scene.render(&jitter);
+            let payload = codec::encode_rgb(&img, INGEST_QUALITY).expect("scene encodes");
+            let features = orb.extract(&img.to_gray());
+            if v == 0 {
+                first_payload = Some((payload.clone(), features.clone()));
+            }
+            if s == 0 && v == 0 {
+                probe = features.clone();
+            }
+            server.set_time(t);
+            server.ingest(
+                IngestRequest::full(payload.len())
+                    .with_bytes(payload)
+                    .with_features(features),
+            );
+            uploads += 1;
+            t += UPLOAD_SPACING_S;
+        }
+        // A second device uploads the same stored file for the lead view:
+        // byte-identical content, so the store answers it with a dedup hit.
+        let (payload, features) = first_payload.expect("VIEWS_PER_SCENE > 0");
+        server.set_time(t);
+        server.ingest(
+            IngestRequest::full(payload.len())
+                .with_bytes(payload)
+                .with_features(features),
+        );
+        uploads += 1;
+        t += UPLOAD_SPACING_S;
+        // Commit the scene's epoch so the grouping probe runs per batch
+        // (any feature query flushes the pending epoch).
+        server.answer(&RetrievalQuery::new().similar_to(&probe).top_k(1));
+    }
+    (uploads, probe)
+}
+
+fn arm_from(server: &Server, name: &'static str, uploads: usize) -> StorageArm {
+    let ledger = server.storage().ledger();
+    StorageArm {
+        name,
+        uploads,
+        stored_bytes: ledger.stored_bytes,
+        reclaimed_bytes: ledger.reclaimed_bytes,
+        live_bytes: server.storage().live_bytes(),
+        dedup_hits: ledger.dedup_hits,
+        groups: server.storage().group_count(),
+        blobs_recompressed: 0,
+        mean_ssim: 1.0,
+    }
+}
+
+/// Runs the two-arm comparison.
+pub fn run(args: &ExpArgs) -> StorageResult {
+    let scenes = args.scaled(24, 4);
+    let config = BeesConfig::default();
+
+    let mut off = Server::try_new(&config).expect("default config is valid");
+    let (uploads, _) = ingest_corpus(&mut off, args, scenes);
+    let off_arm = arm_from(&off, "off", uploads);
+
+    let mut on = Server::try_new(&config).expect("default config is valid");
+    let (uploads, _) = ingest_corpus(&mut on, args, scenes);
+    // Let every blob cool past the age gate, then run the cold pass.
+    let cold = uploads as f64 * UPLOAD_SPACING_S + config.storage.recompress_min_age_s + 60.0;
+    on.set_time(cold);
+    let report = on.run_cold_recompression();
+    let mut on_arm = arm_from(&on, "on", uploads);
+    on_arm.blobs_recompressed = report.recompressed;
+    on_arm.mean_ssim = report.mean_ssim();
+
+    let result = StorageResult {
+        arms: vec![off_arm, on_arm],
+    };
+    if let Some(path) = &args.json_out {
+        write_json_lines(path, &result.metrics());
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> StorageResult {
+        run(&ExpArgs {
+            seed: 7,
+            quick: true,
+            ..ExpArgs::default()
+        })
+    }
+
+    #[test]
+    fn arms_share_the_ingest_ledger_and_on_reclaims() {
+        let r = quick();
+        assert_eq!(r.arms.len(), 2);
+        let off = &r.arms[0];
+        let on = &r.arms[1];
+        // Equal corpus: the write-side ledger must match exactly.
+        assert_eq!(off.stored_bytes, on.stored_bytes);
+        assert_eq!(off.dedup_hits, on.dedup_hits);
+        assert_eq!(off.groups, on.groups);
+        assert_eq!(off.reclaimed_bytes, 0);
+        assert_eq!(off.live_bytes, off.stored_bytes);
+        // One dedup hit per scene (the byte-identical re-upload).
+        assert!(off.dedup_hits > 0);
+        // The cold pass reclaims real bytes at bounded fidelity cost.
+        assert!(on.reclaimed_bytes > 0, "{on:?}");
+        assert!(on.blobs_recompressed > 0);
+        assert!(on.mean_ssim >= 0.85, "ssim {}", on.mean_ssim);
+        // Ledger identity: nothing is deleted, so live = stored - reclaimed.
+        assert_eq!(on.live_bytes, on.stored_bytes - on.reclaimed_bytes);
+    }
+
+    #[test]
+    fn runs_are_reproducible_and_metrics_well_formed() {
+        let a = quick();
+        let b = quick();
+        for (x, y) in a.arms.iter().zip(&b.arms) {
+            assert_eq!(x.stored_bytes, y.stored_bytes);
+            assert_eq!(x.reclaimed_bytes, y.reclaimed_bytes);
+            assert_eq!(x.dedup_hits, y.dedup_hits);
+            assert_eq!(x.mean_ssim, y.mean_ssim);
+        }
+        let metrics = a.metrics();
+        assert_eq!(metrics.len(), 6);
+        for m in &metrics {
+            assert!(m.value.is_finite() && m.value >= 0.0, "{m:?}");
+        }
+        // The on arm stores the same bytes but keeps fewer of them live.
+        let live = |name: &str| {
+            metrics
+                .iter()
+                .find(|m| m.case == name && m.metric == "live_kib")
+                .unwrap()
+                .value
+        };
+        assert!(live("on") < live("off"));
+    }
+}

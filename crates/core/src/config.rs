@@ -7,6 +7,7 @@ use bees_features::orb::OrbConfig;
 use bees_features::pca::PcaSiftConfig;
 use bees_features::similarity::SimilarityConfig;
 use bees_net::{BandwidthTrace, FaultModel, RetryPolicy, SharedCellConfig, DEFAULT_STALL_LIMIT_S};
+use bees_store::StorageConfig;
 use bees_submodular::SsmmConfig;
 use serde::{Deserialize, Serialize};
 
@@ -109,6 +110,10 @@ pub struct BeesConfig {
     /// consulted when `cell.enabled` is set.
     #[serde(default)]
     pub scheduler: SchedulerPolicy,
+    /// Storage-tier knobs: near-duplicate grouping threshold and the
+    /// cold-recompression gates (age, group size, re-encode quality).
+    #[serde(default)]
+    pub storage: StorageConfig,
 }
 
 fn default_stall_limit() -> f64 {
@@ -160,6 +165,7 @@ impl Default for BeesConfig {
             salvage_partials: true,
             cell: SharedCellConfig::default(),
             scheduler: SchedulerPolicy::default(),
+            storage: StorageConfig::default(),
         }
     }
 }
@@ -258,6 +264,11 @@ impl BeesConfig {
         self.cell.validate().map_err(|e| CoreError::InvalidConfig {
             detail: format!("shared cell: {e}"),
         })?;
+        self.storage
+            .validate()
+            .map_err(|e| CoreError::InvalidConfig {
+                detail: format!("storage: {e}"),
+            })?;
         Ok(())
     }
 }
@@ -351,6 +362,8 @@ impl BeesConfigBuilder {
         cell: SharedCellConfig,
         /// Sets the airtime-scheduler ranking policy.
         scheduler: SchedulerPolicy,
+        /// Sets the storage-tier knobs (grouping + cold recompression).
+        storage: StorageConfig,
     }
 
     /// Validates and returns the configuration.
@@ -534,6 +547,7 @@ mod tests {
             obj.remove("salvage_partials");
             obj.remove("cell");
             obj.remove("scheduler");
+            obj.remove("storage");
             serde_json::to_string(obj).unwrap()
         };
         let back: BeesConfig = serde_json::from_str(&stripped).unwrap();
@@ -546,6 +560,7 @@ mod tests {
         assert!(back.salvage_partials, "salvage defaults on");
         assert!(!back.cell.enabled, "shared cell defaults off");
         assert_eq!(back.scheduler, SchedulerPolicy::Utility);
+        assert_eq!(back.storage, StorageConfig::default());
     }
 
     #[test]

@@ -1,0 +1,292 @@
+//! The unified server write path: [`IngestRequest`] → [`IngestReceipt`].
+//!
+//! The server historically grew seven ad-hoc ingest entry points (full,
+//! thumbnail, partial, histogram, catalog, fulfill, upgrade), each with its
+//! own side-table wiring. The storage tier needs every write to flow through
+//! one content-addressed path, so the entry points collapse into a single
+//! [`Server::ingest`](crate::Server::ingest): the request names the payload
+//! fidelity and carries whatever the upload included (bytes, features,
+//! histogram, geotag), and the receipt reports what the store did with it —
+//! stored fresh, answered by an existing blob (dedup hit), upgraded in
+//! place, or fulfilled from the on-device catalog. The legacy entry points
+//! remain as thin `#[deprecated]` shims with exact historical semantics.
+//!
+//! [`PreloadBatch`] does the same for the three preload variants: one
+//! [`Server::preload`](crate::Server::preload) stages ORB features,
+//! explicit-extractor features, or global histograms.
+
+use crate::server::PartialImage;
+use bees_features::global::ColorHistogram;
+use bees_features::{FeatureExtractor, ImageFeatures};
+use bees_image::RgbImage;
+use bees_index::ImageId;
+
+/// Which write the request performs (and its fidelity tier).
+#[derive(Debug, Clone)]
+pub(crate) enum IngestKind {
+    /// A full-fidelity upload of `payload_bytes` bytes.
+    Full {
+        /// Payload size accounted against the uplink.
+        payload_bytes: usize,
+    },
+    /// A degraded thumbnail-rung upload of `payload_bytes` bytes.
+    Thumbnail {
+        /// Payload size accounted against the uplink.
+        payload_bytes: usize,
+    },
+    /// A salvaged progressive prefix (tracked until its tail arrives).
+    Partial {
+        /// Scan bookkeeping of the salvaged prefix.
+        partial: PartialImage,
+    },
+    /// A catalog entry: the payload stays on the capturing device.
+    OnDevice {
+        /// The device holding the payload.
+        device_id: u64,
+        /// Estimated full-fidelity payload size.
+        est_bytes: usize,
+    },
+    /// Tail delivery for a previously salvaged partial.
+    Upgrade {
+        /// The partial image to complete.
+        id: ImageId,
+    },
+    /// Pull-down delivery for a previously cataloged on-device image.
+    Fulfill {
+        /// The catalog entry to fulfill.
+        id: ImageId,
+    },
+}
+
+/// A builder-style description of one server write.
+///
+/// Construct with the fidelity-naming constructor ([`full`](Self::full),
+/// [`thumbnail`](Self::thumbnail), [`partial`](Self::partial),
+/// [`on_device`](Self::on_device), [`upgrade`](Self::upgrade),
+/// [`fulfill`](Self::fulfill)), then attach whatever the upload carried:
+///
+/// ```
+/// use bees_core::{IngestRequest, Server};
+/// use bees_features::ImageFeatures;
+///
+/// let mut server = Server::new();
+/// let receipt = server.ingest(
+///     IngestRequest::full(32_000)
+///         .with_features(ImageFeatures::empty_binary())
+///         .with_geotag((2.32, 48.86)),
+/// );
+/// assert_eq!(receipt.accounted_bytes, 32_000);
+/// assert!(receipt.outcome.is_stored());
+/// ```
+#[derive(Debug, Clone)]
+pub struct IngestRequest {
+    pub(crate) kind: IngestKind,
+    pub(crate) bytes: Option<Vec<u8>>,
+    pub(crate) features: Option<ImageFeatures>,
+    pub(crate) histogram: Option<ColorHistogram>,
+    pub(crate) geotag: Option<(f64, f64)>,
+}
+
+impl IngestRequest {
+    fn new(kind: IngestKind) -> Self {
+        IngestRequest {
+            kind,
+            bytes: None,
+            features: None,
+            histogram: None,
+            geotag: None,
+        }
+    }
+
+    /// A full-fidelity upload of `payload_bytes` bytes.
+    pub fn full(payload_bytes: usize) -> Self {
+        Self::new(IngestKind::Full { payload_bytes })
+    }
+
+    /// A thumbnail-rung upload of `payload_bytes` bytes; retrieval will
+    /// report [`Provenance::ThumbnailOnly`](crate::Provenance::ThumbnailOnly)
+    /// and the pull-down path knows a full fetch would still add
+    /// information.
+    pub fn thumbnail(payload_bytes: usize) -> Self {
+        Self::new(IngestKind::Thumbnail { payload_bytes })
+    }
+
+    /// A salvaged progressive prefix; the server tracks it as partial until
+    /// an [`upgrade`](Self::upgrade) delivers the tail scans.
+    pub fn partial(partial: PartialImage) -> Self {
+        Self::new(IngestKind::Partial { partial })
+    }
+
+    /// A catalog-only record: `device_id` holds a payload of about
+    /// `est_bytes` bytes it could not afford to upload. Invisible to the
+    /// legacy query surface; only retrieval queries that opt into the
+    /// catalog see it, and a later [`fulfill`](Self::fulfill) ingests the
+    /// real payload under the same id.
+    pub fn on_device(device_id: u64, est_bytes: usize) -> Self {
+        Self::new(IngestKind::OnDevice {
+            device_id,
+            est_bytes,
+        })
+    }
+
+    /// Tail delivery for partial image `id`: the stored prefix becomes the
+    /// full-fidelity image and only the tail bytes are newly accounted.
+    pub fn upgrade(id: ImageId) -> Self {
+        Self::new(IngestKind::Upgrade { id })
+    }
+
+    /// Pull-down delivery for catalog entry `id`: the entry becomes a
+    /// received image under the same id.
+    pub fn fulfill(id: ImageId) -> Self {
+        Self::new(IngestKind::Fulfill { id })
+    }
+
+    /// Attaches the encoded payload itself. The store then content-addresses
+    /// the real bytes (enabling exact dedup across devices) and the cold
+    /// pass can re-encode them; without bytes the blob is a size-only stub.
+    #[must_use]
+    pub fn with_bytes(mut self, bytes: Vec<u8>) -> Self {
+        self.bytes = Some(bytes);
+        self
+    }
+
+    /// Attaches the client-extracted features; they stage for the next
+    /// epoch commit so later batches can deduplicate against this image.
+    #[must_use]
+    pub fn with_features(mut self, features: ImageFeatures) -> Self {
+        self.features = Some(features);
+        self
+    }
+
+    /// Attaches a global color histogram (the PhotoNet-like schemes' dedup
+    /// key); it enters the histogram side table, not the feature index.
+    #[must_use]
+    pub fn with_histogram(mut self, histogram: ColorHistogram) -> Self {
+        self.histogram = Some(histogram);
+        self
+    }
+
+    /// Attaches the capture geotag.
+    #[must_use]
+    pub fn with_geotag(mut self, geotag: (f64, f64)) -> Self {
+        self.geotag = Some(geotag);
+        self
+    }
+
+    /// Attaches the capture geotag when one is known — the `Option` form
+    /// the schemes' per-image geotag tables produce.
+    #[must_use]
+    pub fn maybe_geotag(mut self, geotag: Option<(f64, f64)>) -> Self {
+        self.geotag = geotag;
+        self
+    }
+}
+
+/// What [`Server::ingest`](crate::Server::ingest) did with a request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IngestOutcome {
+    /// New content: a fresh blob was written to the store.
+    Stored,
+    /// Identical content was already stored; the existing blob gained a
+    /// reference and no new physical bytes were written.
+    DedupHit,
+    /// A catalog entry was recorded; no payload reached the server.
+    Cataloged,
+    /// A partial image was completed in place by its tail bytes.
+    Upgraded,
+    /// An on-device catalog entry was fulfilled by its pull-down payload.
+    Fulfilled,
+    /// The request referenced an id that is not (or no longer) upgradable
+    /// or fulfillable; nothing changed.
+    NoOp,
+}
+
+impl IngestOutcome {
+    /// True when the request wrote new physical bytes to the store
+    /// (`Stored`, `Upgraded`, or `Fulfilled`).
+    pub fn is_stored(&self) -> bool {
+        matches!(
+            self,
+            IngestOutcome::Stored | IngestOutcome::Upgraded | IngestOutcome::Fulfilled
+        )
+    }
+}
+
+/// The server's answer to an [`IngestRequest`]: the id the image is filed
+/// under, what the storage tier did, and the bytes accounted against the
+/// legacy uplink counter.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IngestReceipt {
+    /// The image id (fresh for uploads and catalog records; the caller's id
+    /// for upgrades and fulfillments).
+    pub id: ImageId,
+    /// Storage provenance of the write.
+    pub outcome: IngestOutcome,
+    /// Payload bytes this request added to `received_image_bytes` (zero for
+    /// catalog records and no-ops). Dedup hits still account their payload
+    /// — the bytes crossed the uplink even though the store kept one copy.
+    pub accounted_bytes: usize,
+}
+
+/// A unified description of one preload: which images to stage and in what
+/// feature language. Replaces the `preload` / `preload_with` /
+/// `preload_histograms` trio.
+///
+/// ```
+/// use bees_core::{PreloadBatch, Server};
+/// use bees_image::RgbImage;
+///
+/// let mut server = Server::new();
+/// let images = vec![RgbImage::from_fn(32, 32, |x, y| {
+///     bees_image::Rgb::new((x * 8) as u8, (y * 8) as u8, 0)
+/// })];
+/// server.preload(PreloadBatch::new(&images));
+/// assert_eq!(server.indexed_images(), 1);
+/// ```
+#[derive(Clone, Copy)]
+pub struct PreloadBatch<'a> {
+    pub(crate) images: &'a [RgbImage],
+    pub(crate) extractor: Option<&'a dyn FeatureExtractor>,
+    pub(crate) histograms_only: bool,
+}
+
+impl<'a> PreloadBatch<'a> {
+    /// Stages `images` into the feature index using the server's own ORB
+    /// extractor (the historical `preload`).
+    pub fn new(images: &'a [RgbImage]) -> Self {
+        PreloadBatch {
+            images,
+            extractor: None,
+            histograms_only: false,
+        }
+    }
+
+    /// Stages `images` as global color histograms only — nothing enters the
+    /// feature index (the historical `preload_histograms`).
+    pub fn histograms(images: &'a [RgbImage]) -> Self {
+        PreloadBatch {
+            images,
+            extractor: None,
+            histograms_only: true,
+        }
+    }
+
+    /// Extracts features with `extractor` instead of the server's ORB —
+    /// for schemes whose clients speak a different feature language
+    /// (SmartEye's PCA-SIFT).
+    #[must_use]
+    pub fn with_extractor(mut self, extractor: &'a dyn FeatureExtractor) -> Self {
+        self.extractor = Some(extractor);
+        self
+    }
+}
+
+impl std::fmt::Debug for PreloadBatch<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PreloadBatch")
+            .field("images", &self.images.len())
+            .field("explicit_extractor", &self.extractor.is_some())
+            .field("histograms_only", &self.histograms_only)
+            .finish()
+    }
+}

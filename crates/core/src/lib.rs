@@ -30,7 +30,7 @@
 //! let mut server = Server::try_new(&config)?;
 //! let mut client = Client::try_new(1, &config)?;
 //! let data = disaster_batch(7, 10, 1, 0.25, SceneConfig::default());
-//! server.preload(&data.server_preload);
+//! server.preload(bees_core::PreloadBatch::new(&data.server_preload));
 //! let mut ctx = BatchCtx::new(&mut client, &mut server, &data.batch);
 //! let report = Bees::adaptive(&config).upload(&mut ctx)?;
 //! println!("uploaded {} of {}", report.uploaded_images, report.batch_size);
@@ -41,6 +41,7 @@
 mod client;
 mod config;
 mod error;
+mod ingest;
 mod report;
 pub mod retrieval;
 mod scheduler;
@@ -51,6 +52,7 @@ pub mod sessions;
 pub use client::{Client, ResumableOutcome, SalvageSummary, TransmitSummary};
 pub use config::{BeesConfig, IndexBackend};
 pub use error::CoreError;
+pub use ingest::{IngestOutcome, IngestReceipt, IngestRequest, PreloadBatch};
 pub use report::BatchReport;
 pub use retrieval::{Provenance, RetrievalHit, RetrievalQuery, RetrievalResult};
 pub use scheduler::{

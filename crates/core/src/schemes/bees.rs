@@ -26,7 +26,10 @@
 use crate::schemes::{
     transmit_or_defer, transmit_or_salvage, try_power, BatchCtx, Delivery, SchemeKind, UploadScheme,
 };
-use crate::{BatchReport, BeesConfig, Client, PartialImage, Result, RetrievalQuery, UploadTier};
+use crate::{
+    BatchReport, BeesConfig, Client, IngestRequest, PartialImage, Result, RetrievalQuery,
+    UploadTier,
+};
 use bees_energy::{AdaptiveScheme, EnergyCategory, LinearScheme};
 use bees_features::orb::Orb;
 use bees_features::similarity::{jaccard_similarity, jaccard_similarity_blocks};
@@ -282,11 +285,13 @@ impl UploadScheme for Bees {
                     // The catalog bills a later pull-down for the stored
                     // camera-quality photo file; encoding happened at
                     // capture, so sizing it costs no CPU here.
-                    server.record_on_device(
-                        device,
-                        features[i].clone(),
-                        geotags.map(|g| g[i]),
-                        codec::encoded_rgb_size(&batch[i], self.camera_quality)?,
+                    server.ingest(
+                        IngestRequest::on_device(
+                            device,
+                            codec::encoded_rgb_size(&batch[i], self.camera_quality)?,
+                        )
+                        .with_features(features[i].clone())
+                        .maybe_geotag(geotags.map(|g| g[i])),
                     );
                 }
                 continue;
@@ -351,16 +356,17 @@ impl UploadScheme for Bees {
                                     report.image_bytes += payload.len();
                                     report.salvaged_images += 1;
                                     report.salvage_ssim_sum += s;
-                                    server.ingest_partial_image(
-                                        features[i].clone(),
-                                        PartialImage {
+                                    server.ingest(
+                                        IngestRequest::partial(PartialImage {
                                             scans_complete: progress.scans_complete,
                                             scans_total: progress.scans_total,
                                             payload_bytes: payload.len(),
                                             total_bytes: full_payload.len(),
                                             ssim_estimate: s,
-                                        },
-                                        geotags.map(|g| g[i]),
+                                        })
+                                        .with_bytes(payload.to_vec())
+                                        .with_features(features[i].clone())
+                                        .maybe_geotag(geotags.map(|g| g[i])),
                                     );
                                     let now = client.now();
                                     tel.span(names::AIU_SCAN, now)
@@ -384,10 +390,11 @@ impl UploadScheme for Bees {
                             report.uplink_bytes += bytes;
                             report.image_bytes += payload.len();
                             report.uploaded_images += 1;
-                            server.ingest_image(
-                                features[i].clone(),
-                                payload.len(),
-                                geotags.map(|g| g[i]),
+                            server.ingest(
+                                IngestRequest::full(payload.len())
+                                    .with_bytes(payload.to_vec())
+                                    .with_features(features[i].clone())
+                                    .maybe_geotag(geotags.map(|g| g[i])),
                             );
                         }
                     }
@@ -406,16 +413,17 @@ impl UploadScheme for Bees {
                                 report.image_bytes += prefix;
                                 report.salvaged_images += 1;
                                 report.salvage_ssim_sum += s;
-                                server.ingest_partial_image(
-                                    features[i].clone(),
-                                    PartialImage {
+                                server.ingest(
+                                    IngestRequest::partial(PartialImage {
                                         scans_complete: progress.scans_complete,
                                         scans_total: progress.scans_total,
                                         payload_bytes: prefix,
                                         total_bytes: full_payload.len(),
                                         ssim_estimate: s,
-                                    },
-                                    geotags.map(|g| g[i]),
+                                    })
+                                    .with_bytes(payload[..prefix].to_vec())
+                                    .with_features(features[i].clone())
+                                    .maybe_geotag(geotags.map(|g| g[i])),
                                 );
                                 let now = client.now();
                                 tel.span(names::AIU_SCAN, now)
@@ -468,10 +476,11 @@ impl UploadScheme for Bees {
                         report.uplink_bytes += thumb_bytes;
                         report.image_bytes += thumb_payload.len();
                         report.degraded_images += 1;
-                        server.ingest_thumbnail_image(
-                            features[i].clone(),
-                            thumb_payload.len(),
-                            geotags.map(|g| g[i]),
+                        server.ingest(
+                            IngestRequest::thumbnail(thumb_payload.len())
+                                .with_bytes(thumb_payload.clone())
+                                .with_features(features[i].clone())
+                                .maybe_geotag(geotags.map(|g| g[i])),
                         );
                     }
                     Delivery::Salvaged(_) => {
@@ -481,11 +490,13 @@ impl UploadScheme for Bees {
                         report.transfer_attempts += attempts as u64;
                         report.deferred_images += 1;
                         if let Some(device) = catalog {
-                            server.record_on_device(
-                                device,
-                                features[i].clone(),
-                                geotags.map(|g| g[i]),
-                                codec::encoded_rgb_size(&batch[i], self.camera_quality)?,
+                            server.ingest(
+                                IngestRequest::on_device(
+                                    device,
+                                    codec::encoded_rgb_size(&batch[i], self.camera_quality)?,
+                                )
+                                .with_features(features[i].clone())
+                                .maybe_geotag(geotags.map(|g| g[i])),
                             );
                         }
                     }

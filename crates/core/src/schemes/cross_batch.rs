@@ -7,7 +7,7 @@
 //! ORB) and in MRC's thumbnail feedback downlink.
 
 use crate::schemes::{transmit_or_defer, try_power, BatchCtx, Delivery, SchemeKind};
-use crate::{BatchReport, Result, RetrievalQuery};
+use crate::{BatchReport, IngestRequest, Result, RetrievalQuery};
 use bees_energy::EnergyCategory;
 use bees_features::{ExtractorKind, FeatureExtractor};
 use bees_net::wire;
@@ -151,7 +151,11 @@ pub(crate) fn run_cross_batch_scheme(
                 report.uplink_bytes += bytes;
                 report.image_bytes += payload;
                 report.uploaded_images += 1;
-                server.ingest_image(features[i].clone(), payload, geotags.map(|t| t[i]));
+                server.ingest(
+                    IngestRequest::full(payload)
+                        .with_features(features[i].clone())
+                        .maybe_geotag(geotags.map(|t| t[i])),
+                );
             }
             Delivery::Salvaged(_) => unreachable!("only BEES salvages uploads"),
             Delivery::Deferred { attempts } => {

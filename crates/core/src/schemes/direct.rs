@@ -1,7 +1,7 @@
 //! Direct Upload: the baseline that sends every image verbatim.
 
 use crate::schemes::{transmit_or_defer, try_power, BatchCtx, Delivery, SchemeKind, UploadScheme};
-use crate::{BatchReport, Result};
+use crate::{BatchReport, IngestRequest, Result};
 use bees_energy::EnergyCategory;
 use bees_features::ImageFeatures;
 use bees_net::wire;
@@ -75,10 +75,10 @@ impl UploadScheme for DirectUpload {
                     // Direct Upload carries no features; the server stores an
                     // empty feature set (it performs no deduplication for
                     // this scheme).
-                    server.ingest_image(
-                        ImageFeatures::empty_binary(),
-                        payload,
-                        geotags.map(|t| t[i]),
+                    server.ingest(
+                        IngestRequest::full(payload)
+                            .with_features(ImageFeatures::empty_binary())
+                            .maybe_geotag(geotags.map(|t| t[i])),
                     );
                 }
                 Delivery::Salvaged(_) => unreachable!("only BEES salvages uploads"),

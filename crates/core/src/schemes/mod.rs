@@ -294,7 +294,7 @@ pub trait UploadScheme {
     /// so staged cross-batch redundancy is detectable by the scheme. The
     /// default extracts ORB features (what the BEES/MRC servers store).
     fn preload_server(&self, server: &mut Server, images: &[RgbImage]) {
-        server.preload(images);
+        server.preload(crate::PreloadBatch::new(images));
     }
 }
 

@@ -14,7 +14,7 @@
 //! `global_vs_local` experiment), which is why BEES pays for ORB.
 
 use crate::schemes::{transmit_or_defer, try_power, BatchCtx, Delivery, SchemeKind, UploadScheme};
-use crate::{BatchReport, BeesConfig, Result, RetrievalQuery, Server};
+use crate::{BatchReport, BeesConfig, IngestRequest, PreloadBatch, Result, RetrievalQuery, Server};
 use bees_energy::EnergyCategory;
 use bees_features::global::ColorHistogram;
 use bees_image::RgbImage;
@@ -140,10 +140,10 @@ impl UploadScheme for PhotoNetLike {
                     report.uplink_bytes += bytes;
                     report.image_bytes += payload;
                     report.uploaded_images += 1;
-                    server.ingest_image_with_histogram(
-                        histograms[i].clone(),
-                        payload,
-                        geotags.map(|t| t[i]),
+                    server.ingest(
+                        IngestRequest::full(payload)
+                            .with_histogram(histograms[i].clone())
+                            .maybe_geotag(geotags.map(|t| t[i])),
                     );
                 }
                 Delivery::Salvaged(_) => unreachable!("only BEES salvages uploads"),
@@ -160,7 +160,7 @@ impl UploadScheme for PhotoNetLike {
     }
 
     fn preload_server(&self, server: &mut Server, images: &[RgbImage]) {
-        server.preload_histograms(images);
+        server.preload(PreloadBatch::histograms(images));
     }
 }
 

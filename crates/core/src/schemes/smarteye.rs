@@ -7,7 +7,7 @@
 
 use crate::schemes::cross_batch::{run_cross_batch_scheme, CrossBatchOptions};
 use crate::schemes::{BatchCtx, SchemeKind, UploadScheme};
-use crate::{BatchReport, BeesConfig, Result, Server};
+use crate::{BatchReport, BeesConfig, PreloadBatch, Result, Server};
 use bees_features::pca::PcaSift;
 use bees_image::RgbImage;
 
@@ -48,7 +48,7 @@ impl UploadScheme for SmartEye {
     fn preload_server(&self, server: &mut Server, images: &[RgbImage]) {
         // SmartEye's server index stores PCA-SIFT features; ORB preloads
         // would be invisible to its queries.
-        server.preload_with(&self.extractor, images);
+        server.preload(PreloadBatch::new(images).with_extractor(&self.extractor));
     }
 }
 

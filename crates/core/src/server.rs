@@ -9,16 +9,20 @@
 //! with the shard count.
 
 use crate::config::{BeesConfig, IndexBackend};
+use crate::ingest::{IngestKind, IngestOutcome, IngestReceipt, IngestRequest, PreloadBatch};
 use crate::retrieval::{
     rank_retrieval_hits, Provenance, RetrievalHit, RetrievalQuery, RetrievalResult,
 };
 use bees_features::global::ColorHistogram;
 use bees_features::orb::Orb;
 use bees_features::similarity::jaccard_similarity;
-use bees_features::{FeatureExtractor, ImageFeatures};
+use bees_features::{Descriptors, FeatureExtractor, ImageFeatures};
 use bees_image::RgbImage;
 use bees_index::{
     FeatureIndex, ImageId, LinearIndex, MihIndex, Query, QueryHit, QueryScratch, ShardedIndex,
+};
+use bees_store::{
+    ContentStore, Fidelity, Fnv64, InsertOutcome, RecompressionReport, StorageConfig, StorePayload,
 };
 use bees_telemetry::{names, Telemetry};
 use std::collections::{BTreeMap, BTreeSet};
@@ -62,6 +66,11 @@ pub struct Server {
     /// The on-device catalog: deferred images whose features the server
     /// knows but whose payload still lives on the capturing device.
     on_device: BTreeMap<ImageId, OnDeviceImage>,
+    /// The content-addressed storage tier: every ingest files its payload
+    /// (or size-only stub) here; epoch commits group near-duplicates and
+    /// snapshot the capacity ledger.
+    store: ContentStore,
+    storage_config: StorageConfig,
     telemetry: Telemetry,
 }
 
@@ -100,6 +109,11 @@ pub struct PartialImage {
     /// as estimated by the uploading client.
     pub ssim_estimate: f64,
 }
+
+/// How many neighbors an epoch-commit grouping probe retrieves: enough to
+/// skip the image itself and any interleaved preloads (which hold no stored
+/// payload and therefore cannot anchor a group).
+const GROUPING_PROBE_K: usize = 8;
 
 fn build_index(config: &BeesConfig) -> Box<dyn FeatureIndex> {
     let similarity = config.similarity;
@@ -144,6 +158,8 @@ impl Server {
             times: BTreeMap::new(),
             thumbnails: BTreeSet::new(),
             on_device: BTreeMap::new(),
+            store: ContentStore::new(),
+            storage_config: config.storage.clone(),
             telemetry: Telemetry::disabled(),
         })
     }
@@ -187,13 +203,38 @@ impl Server {
     /// Commits the pending epoch: one parallel `insert_batch` over all
     /// shards. Called from every feature-query path, so queries never see a
     /// partially ingested epoch.
+    ///
+    /// After the commit, each newly indexed image that carries a stored
+    /// payload joins its best already-stored neighbor's near-duplicate
+    /// group (when the similarity clears `storage.group_threshold`), and
+    /// the storage ledger takes an epoch snapshot. The grouping probes go
+    /// straight to the index — they are bookkeeping, not served queries,
+    /// so `queries_served` and the `srv.query` telemetry stay untouched.
     fn commit_epoch(&mut self) {
         if self.pending.is_empty() {
             return;
         }
         let batch = std::mem::take(&mut self.pending);
         let images = batch.len();
+        let to_group: Vec<(ImageId, ImageFeatures)> = batch
+            .iter()
+            .filter(|(id, f)| !f.is_empty() && self.store.contains(id.0))
+            .cloned()
+            .collect();
         self.index.insert_batch(batch);
+        for (id, features) in &to_group {
+            let query = Query::top_k(features, GROUPING_PROBE_K);
+            let hits = self.index.query_with_scratch(&query, &mut self.scratch);
+            let neighbor = hits.iter().find(|h| {
+                h.id != *id
+                    && h.similarity >= self.storage_config.group_threshold
+                    && self.store.contains(h.id.0)
+            });
+            if let Some(best) = neighbor {
+                self.store.merge_groups(id.0, best.id.0);
+            }
+        }
+        self.store.commit_epoch();
         if self.n_shards > 1 {
             self.telemetry
                 .event(names::SRV_SHARD_COMMIT, 0.0)
@@ -203,11 +244,26 @@ impl Server {
         }
     }
 
-    /// Pre-loads images into the index (extracting ORB features
-    /// server-side), used to stage a target cross-batch redundancy ratio.
-    pub fn preload(&mut self, images: &[RgbImage]) {
-        for img in images {
-            let features = self.orb.extract(&img.to_gray());
+    /// Pre-loads images to stage a target cross-batch redundancy ratio:
+    /// into the feature index (with the server's ORB or the batch's
+    /// explicit extractor) or as global histograms only — see
+    /// [`PreloadBatch`]. Feature preloads commit the epoch immediately;
+    /// histogram preloads never touch the index, matching the historical
+    /// trio of preload entry points.
+    pub fn preload(&mut self, batch: PreloadBatch<'_>) {
+        if batch.histograms_only {
+            for img in batch.images {
+                let h = ColorHistogram::from_image(img);
+                let id = self.fresh_id();
+                self.histograms.insert(id, h);
+            }
+            return;
+        }
+        for img in batch.images {
+            let features = match batch.extractor {
+                Some(extractor) => extractor.extract(&img.to_gray()),
+                None => self.orb.extract(&img.to_gray()),
+            };
             let id = self.fresh_id();
             self.pending.push((id, features));
         }
@@ -217,13 +273,12 @@ impl Server {
     /// Pre-loads images using an explicit extractor. Schemes whose clients
     /// speak a different feature language (SmartEye's PCA-SIFT) stage their
     /// redundancy with this.
+    #[deprecated(
+        since = "0.1.0",
+        note = "build a `PreloadBatch::new(..).with_extractor(..)` and call `Server::preload`"
+    )]
     pub fn preload_with(&mut self, extractor: &dyn FeatureExtractor, images: &[RgbImage]) {
-        for img in images {
-            let features = extractor.extract(&img.to_gray());
-            let id = self.fresh_id();
-            self.pending.push((id, features));
-        }
-        self.commit_epoch();
+        self.preload(PreloadBatch::new(images).with_extractor(extractor));
     }
 
     /// Installs the fleet's virtual clock. Subsequent ingests are stamped
@@ -467,103 +522,317 @@ impl Server {
             .collect()
     }
 
+    /// Executes one write against the unified storage path. Every ingest —
+    /// full, thumbnail, partial, catalog record, upgrade, fulfillment —
+    /// flows through here: the request names the payload fidelity and
+    /// carries whatever the upload included (bytes, features, histogram,
+    /// geotag); the receipt reports the id and the storage provenance
+    /// (stored fresh / dedup hit / upgraded / fulfilled / cataloged).
+    ///
+    /// Payloads are filed in the content-addressed [`ContentStore`]: real
+    /// bytes are keyed by their own hash, size-only stubs by a content
+    /// fingerprint (feature digest, else histogram digest, else the unique
+    /// image id). An ingest whose key is already stored becomes a
+    /// [`IngestOutcome::DedupHit`] — the legacy uplink counters still
+    /// account the payload (the bytes crossed the network), but no new
+    /// physical bytes enter the store.
+    pub fn ingest(&mut self, request: IngestRequest) -> IngestReceipt {
+        let IngestRequest {
+            kind,
+            bytes,
+            features,
+            histogram,
+            geotag,
+        } = request;
+        let now = self.clock_s.unwrap_or(0.0);
+        match kind {
+            IngestKind::Full { payload_bytes } => self.ingest_upload(
+                payload_bytes,
+                Fidelity::Full,
+                None,
+                bytes,
+                features,
+                histogram,
+                geotag,
+                now,
+            ),
+            IngestKind::Thumbnail { payload_bytes } => {
+                let receipt = self.ingest_upload(
+                    payload_bytes,
+                    Fidelity::Thumbnail,
+                    None,
+                    bytes,
+                    features,
+                    histogram,
+                    geotag,
+                    now,
+                );
+                self.thumbnails.insert(receipt.id);
+                receipt
+            }
+            IngestKind::Partial { partial } => {
+                let accounted = partial.payload_bytes;
+                self.ingest_upload(
+                    accounted,
+                    Fidelity::Partial,
+                    Some(partial),
+                    bytes,
+                    features,
+                    histogram,
+                    geotag,
+                    now,
+                )
+            }
+            IngestKind::OnDevice {
+                device_id,
+                est_bytes,
+            } => {
+                let id = self.fresh_id();
+                let fingerprint = content_fingerprint(id, features.as_ref(), histogram.as_ref());
+                self.on_device.insert(
+                    id,
+                    OnDeviceImage {
+                        device_id,
+                        features: features.unwrap_or_else(ImageFeatures::empty_binary),
+                        geotag,
+                        time_s: self.clock_s,
+                        est_bytes,
+                    },
+                );
+                self.store.insert(
+                    id.0,
+                    StorePayload::Size {
+                        size: est_bytes,
+                        fingerprint,
+                    },
+                    Fidelity::OnDevice,
+                    now,
+                );
+                IngestReceipt {
+                    id,
+                    outcome: IngestOutcome::Cataloged,
+                    accounted_bytes: 0,
+                }
+            }
+            IngestKind::Upgrade { id } => {
+                let Some(partial) = self.partials.remove(&id) else {
+                    return IngestReceipt {
+                        id,
+                        outcome: IngestOutcome::NoOp,
+                        accounted_bytes: 0,
+                    };
+                };
+                let tail = partial.total_bytes.saturating_sub(partial.payload_bytes);
+                self.received_image_bytes += tail;
+                self.telemetry
+                    .event(names::SRV_INGEST, 0.0)
+                    .attr_u64("image", id.0)
+                    .attr_u64("bytes", tail as u64)
+                    .attr_bool("upgrade", true)
+                    .close(0.0);
+                self.store.upgrade(id.0, tail, now);
+                IngestReceipt {
+                    id,
+                    outcome: IngestOutcome::Upgraded,
+                    accounted_bytes: tail,
+                }
+            }
+            IngestKind::Fulfill { id } => {
+                let Some(entry) = self.on_device.remove(&id) else {
+                    return IngestReceipt {
+                        id,
+                        outcome: IngestOutcome::NoOp,
+                        accounted_bytes: 0,
+                    };
+                };
+                self.pending.push((id, entry.features));
+                self.received_images += 1;
+                self.received_image_bytes += entry.est_bytes;
+                if let Some(g) = entry.geotag {
+                    self.geotags.insert(id, g);
+                }
+                if let Some(t) = entry.time_s {
+                    self.times.insert(id, t);
+                }
+                self.telemetry
+                    .event(names::SRV_INGEST, 0.0)
+                    .attr_u64("image", id.0)
+                    .attr_u64("bytes", entry.est_bytes as u64)
+                    .attr_bool("pulldown", true)
+                    .close(0.0);
+                self.store.fulfill(id.0, entry.est_bytes, now);
+                IngestReceipt {
+                    id,
+                    outcome: IngestOutcome::Fulfilled,
+                    accounted_bytes: entry.est_bytes,
+                }
+            }
+        }
+    }
+
+    /// The shared upload path behind `Full`, `Thumbnail`, and `Partial`
+    /// requests: fresh id, legacy counters and side tables, the
+    /// `srv.ingest` event, feature staging, and the content-addressed store
+    /// insert.
+    #[allow(clippy::too_many_arguments)]
+    fn ingest_upload(
+        &mut self,
+        accounted: usize,
+        fidelity: Fidelity,
+        partial: Option<PartialImage>,
+        bytes: Option<Vec<u8>>,
+        features: Option<ImageFeatures>,
+        histogram: Option<ColorHistogram>,
+        geotag: Option<(f64, f64)>,
+        now: f64,
+    ) -> IngestReceipt {
+        let id = self.fresh_id();
+        let fingerprint = content_fingerprint(id, features.as_ref(), histogram.as_ref());
+        self.received_images += 1;
+        self.received_image_bytes += accounted;
+        if let Some(g) = geotag {
+            self.geotags.insert(id, g);
+        }
+        if let Some(t) = self.clock_s {
+            self.times.insert(id, t);
+        }
+        let event = self
+            .telemetry
+            .event(names::SRV_INGEST, 0.0)
+            .attr_u64("image", id.0)
+            .attr_u64("bytes", accounted as u64);
+        let event = match &partial {
+            Some(p) => event
+                .attr_bool("partial", true)
+                .attr_u64("scans", p.scans_complete as u64),
+            None => event,
+        };
+        event.close(0.0);
+        if let Some(h) = histogram {
+            self.histograms.insert(id, h);
+        }
+        if let Some(f) = features {
+            self.pending.push((id, f));
+        }
+        let payload = match bytes {
+            Some(b) => {
+                debug_assert_eq!(
+                    b.len(),
+                    accounted,
+                    "attached bytes must be the accounted payload"
+                );
+                StorePayload::Bytes(b)
+            }
+            None => StorePayload::Size {
+                size: accounted,
+                fingerprint,
+            },
+        };
+        let outcome = match self.store.insert(id.0, payload, fidelity, now) {
+            InsertOutcome::Stored { .. } => IngestOutcome::Stored,
+            InsertOutcome::DedupHit => IngestOutcome::DedupHit,
+        };
+        if let Some(p) = partial {
+            self.partials.insert(id, p);
+        }
+        IngestReceipt {
+            id,
+            outcome,
+            accounted_bytes: accounted,
+        }
+    }
+
+    /// The content-addressed storage tier: blobs, near-duplicate groups,
+    /// and the capacity ledger.
+    pub fn storage(&self) -> &ContentStore {
+        &self.store
+    }
+
+    /// Runs the cold-recompression pass at the fleet's current virtual
+    /// time, with the configured gates (`storage.recompress_*`): blobs
+    /// untouched for the configured age whose near-duplicate group holds
+    /// enough redundant members are re-encoded at the lower quality tier.
+    /// The reclaimed bytes land in the storage ledger.
+    pub fn run_cold_recompression(&mut self) -> RecompressionReport {
+        let now = self.clock_s.unwrap_or(0.0);
+        self.store.run_recompression(now, &self.storage_config)
+    }
+
     /// Ingests an uploaded image: records the payload size and stages the
     /// supplied features (the ones the client already uploaded for CBRD)
     /// for the next epoch commit, so later batches can deduplicate against
     /// it. Returns the new id.
+    #[deprecated(
+        since = "0.1.0",
+        note = "build an `IngestRequest::full(..).with_features(..)` and call `Server::ingest`"
+    )]
     pub fn ingest_image(
         &mut self,
         features: ImageFeatures,
         payload_bytes: usize,
         geotag: Option<(f64, f64)>,
     ) -> ImageId {
-        let id = self.fresh_id();
-        self.pending.push((id, features));
-        self.received_images += 1;
-        self.received_image_bytes += payload_bytes;
+        let mut request = IngestRequest::full(payload_bytes).with_features(features);
         if let Some(g) = geotag {
-            self.geotags.insert(id, g);
+            request = request.with_geotag(g);
         }
-        if let Some(t) = self.clock_s {
-            self.times.insert(id, t);
-        }
-        self.telemetry
-            .event(names::SRV_INGEST, 0.0)
-            .attr_u64("image", id.0)
-            .attr_u64("bytes", payload_bytes as u64)
-            .close(0.0);
-        id
+        self.ingest(request).id
     }
 
-    /// Ingests a *thumbnail-rung* upload: identical to [`ingest_image`] but
+    /// Ingests a *thumbnail-rung* upload: identical to a full ingest but
     /// the image is remembered as degraded, so retrieval reports
     /// [`Provenance::ThumbnailOnly`] and the pull-down path knows a
     /// full-fidelity fetch would still add information.
-    ///
-    /// [`ingest_image`]: Server::ingest_image
+    #[deprecated(
+        since = "0.1.0",
+        note = "build an `IngestRequest::thumbnail(..).with_features(..)` and call `Server::ingest`"
+    )]
     pub fn ingest_thumbnail_image(
         &mut self,
         features: ImageFeatures,
         payload_bytes: usize,
         geotag: Option<(f64, f64)>,
     ) -> ImageId {
-        let id = self.ingest_image(features, payload_bytes, geotag);
-        self.thumbnails.insert(id);
-        id
+        let mut request = IngestRequest::thumbnail(payload_bytes).with_features(features);
+        if let Some(g) = geotag {
+            request = request.with_geotag(g);
+        }
+        self.ingest(request).id
     }
 
     /// Ingests a *salvaged* progressive upload: the decodable scan prefix
     /// of a transfer whose tail never arrived. The image is fully
     /// query-able — its features (extracted client-side and uploaded for
     /// CBRD) stage for the next epoch commit like any other upload — but it
-    /// is tracked as partial until [`upgrade_partial_image`] delivers the
-    /// tail. Returns the new id.
-    ///
-    /// [`upgrade_partial_image`]: Server::upgrade_partial_image
+    /// is tracked as partial until an upgrade delivers the tail. Returns
+    /// the new id.
+    #[deprecated(
+        since = "0.1.0",
+        note = "build an `IngestRequest::partial(..).with_features(..)` and call `Server::ingest`"
+    )]
     pub fn ingest_partial_image(
         &mut self,
         features: ImageFeatures,
         partial: PartialImage,
         geotag: Option<(f64, f64)>,
     ) -> ImageId {
-        let id = self.fresh_id();
-        self.pending.push((id, features));
-        self.received_images += 1;
-        self.received_image_bytes += partial.payload_bytes;
+        let mut request = IngestRequest::partial(partial).with_features(features);
         if let Some(g) = geotag {
-            self.geotags.insert(id, g);
+            request = request.with_geotag(g);
         }
-        if let Some(t) = self.clock_s {
-            self.times.insert(id, t);
-        }
-        self.telemetry
-            .event(names::SRV_INGEST, 0.0)
-            .attr_u64("image", id.0)
-            .attr_u64("bytes", partial.payload_bytes as u64)
-            .attr_bool("partial", true)
-            .attr_u64("scans", partial.scans_complete as u64)
-            .close(0.0);
-        self.partials.insert(id, partial);
-        id
+        self.ingest(request).id
     }
 
     /// Upgrades a partial image in place: a later session delivered the
     /// tail scans, so the stored prefix becomes the full-fidelity image.
     /// Accounts only the tail bytes (the prefix was already counted).
     /// Returns `false` when `id` is not a partial image.
+    #[deprecated(
+        since = "0.1.0",
+        note = "build an `IngestRequest::upgrade(id)` and call `Server::ingest`"
+    )]
     pub fn upgrade_partial_image(&mut self, id: ImageId) -> bool {
-        let Some(partial) = self.partials.remove(&id) else {
-            return false;
-        };
-        let tail = partial.total_bytes.saturating_sub(partial.payload_bytes);
-        self.received_image_bytes += tail;
-        self.telemetry
-            .event(names::SRV_INGEST, 0.0)
-            .attr_u64("image", id.0)
-            .attr_u64("bytes", tail as u64)
-            .attr_bool("upgrade", true)
-            .close(0.0);
-        true
+        self.ingest(IngestRequest::upgrade(id)).outcome == IngestOutcome::Upgraded
     }
 
     /// Salvaged uploads still awaiting their tail scans, keyed by id.
@@ -618,12 +887,12 @@ impl Server {
 
     /// Pre-loads global features (color histograms) for the PhotoNet-like
     /// scheme's staging.
+    #[deprecated(
+        since = "0.1.0",
+        note = "build a `PreloadBatch::histograms(..)` and call `Server::preload`"
+    )]
     pub fn preload_histograms(&mut self, images: &[RgbImage]) {
-        for img in images {
-            let h = ColorHistogram::from_image(img);
-            let id = self.fresh_id();
-            self.histograms.insert(id, h);
-        }
+        self.preload(PreloadBatch::histograms(images));
     }
 
     /// Maximum histogram-intersection similarity of `query` against every
@@ -657,28 +926,21 @@ impl Server {
 
     /// Ingests an image deduplicated by global features: stores its
     /// histogram and payload accounting. Returns the new id.
+    #[deprecated(
+        since = "0.1.0",
+        note = "build an `IngestRequest::full(..).with_histogram(..)` and call `Server::ingest`"
+    )]
     pub fn ingest_image_with_histogram(
         &mut self,
         histogram: ColorHistogram,
         payload_bytes: usize,
         geotag: Option<(f64, f64)>,
     ) -> ImageId {
-        let id = self.fresh_id();
-        self.histograms.insert(id, histogram);
-        self.received_images += 1;
-        self.received_image_bytes += payload_bytes;
+        let mut request = IngestRequest::full(payload_bytes).with_histogram(histogram);
         if let Some(g) = geotag {
-            self.geotags.insert(id, g);
+            request = request.with_geotag(g);
         }
-        if let Some(t) = self.clock_s {
-            self.times.insert(id, t);
-        }
-        self.telemetry
-            .event(names::SRV_INGEST, 0.0)
-            .attr_u64("image", id.0)
-            .attr_u64("bytes", payload_bytes as u64)
-            .close(0.0);
-        id
+        self.ingest(request).id
     }
 
     /// Catalogs a deferred image: the fleet session records that `device`
@@ -690,6 +952,10 @@ impl Server {
     /// ingests the real payload.
     ///
     /// [`fulfill_on_device`]: Server::fulfill_on_device
+    #[deprecated(
+        since = "0.1.0",
+        note = "build an `IngestRequest::on_device(..).with_features(..)` and call `Server::ingest`"
+    )]
     pub fn record_on_device(
         &mut self,
         device_id: u64,
@@ -697,18 +963,11 @@ impl Server {
         geotag: Option<(f64, f64)>,
         est_bytes: usize,
     ) -> ImageId {
-        let id = self.fresh_id();
-        self.on_device.insert(
-            id,
-            OnDeviceImage {
-                device_id,
-                features,
-                geotag,
-                time_s: self.clock_s,
-                est_bytes,
-            },
-        );
-        id
+        let mut request = IngestRequest::on_device(device_id, est_bytes).with_features(features);
+        if let Some(g) = geotag {
+            request = request.with_geotag(g);
+        }
+        self.ingest(request).id
     }
 
     /// The on-device catalog, keyed by id (the pull-down phase groups it
@@ -722,25 +981,53 @@ impl Server {
     /// its features stage for the next epoch commit, its geotag and capture
     /// time enter the side tables, and the payload bytes are accounted.
     /// Returns the payload size, or `None` when `id` is not cataloged.
+    #[deprecated(
+        since = "0.1.0",
+        note = "build an `IngestRequest::fulfill(id)` and call `Server::ingest`"
+    )]
     pub fn fulfill_on_device(&mut self, id: ImageId) -> Option<usize> {
-        let entry = self.on_device.remove(&id)?;
-        self.pending.push((id, entry.features));
-        self.received_images += 1;
-        self.received_image_bytes += entry.est_bytes;
-        if let Some(g) = entry.geotag {
-            self.geotags.insert(id, g);
-        }
-        if let Some(t) = entry.time_s {
-            self.times.insert(id, t);
-        }
-        self.telemetry
-            .event(names::SRV_INGEST, 0.0)
-            .attr_u64("image", id.0)
-            .attr_u64("bytes", entry.est_bytes as u64)
-            .attr_bool("pulldown", true)
-            .close(0.0);
-        Some(entry.est_bytes)
+        let receipt = self.ingest(IngestRequest::fulfill(id));
+        (receipt.outcome == IngestOutcome::Fulfilled).then_some(receipt.accounted_bytes)
     }
+}
+
+/// Content fingerprint for size-only stubs: folds the descriptor bytes (or
+/// the histogram bins) so identical content dedups across devices; with no
+/// content to key on, falls back to the unique image id so distinct images
+/// never alias on size alone.
+fn content_fingerprint(
+    id: ImageId,
+    features: Option<&ImageFeatures>,
+    histogram: Option<&ColorHistogram>,
+) -> u64 {
+    let mut h = Fnv64::new();
+    if let Some(f) = features.filter(|f| !f.is_empty()) {
+        match &f.descriptors {
+            Descriptors::Binary(ds) => {
+                h.write_u64(1);
+                for d in ds {
+                    h.write(d.as_bytes());
+                }
+            }
+            Descriptors::Vector(ds) => {
+                h.write_u64(2);
+                for d in ds {
+                    for v in d.values() {
+                        h.write(&v.to_bits().to_le_bytes());
+                    }
+                }
+            }
+        }
+    } else if let Some(hist) = histogram {
+        h.write_u64(3);
+        for c in hist.cells() {
+            h.write(&c.to_bits().to_le_bytes());
+        }
+    } else {
+        h.write_u64(4);
+        h.write_u64(id.0);
+    }
+    h.finish()
 }
 
 impl Default for Server {
@@ -789,10 +1076,13 @@ mod tests {
     fn preload_populates_index() {
         let mut s = Server::try_new(&config()).unwrap();
         assert_eq!(s.indexed_images(), 0);
-        s.preload(&[small_scene(1), small_scene(2)]);
+        s.preload(PreloadBatch::new(&[small_scene(1), small_scene(2)]));
         assert_eq!(s.indexed_images(), 2);
         assert_eq!(s.received_images(), 0);
         assert!(s.feature_bytes() > 0);
+        // Preloads hold no payload, so the storage tier stays empty.
+        assert_eq!(s.storage().blob_count(), 0);
+        assert_eq!(s.storage().ledger().stored_bytes, 0);
     }
 
     #[test]
@@ -808,7 +1098,7 @@ mod tests {
                 texture_amp: 8.0,
             },
         );
-        s.preload(&[scene.render(&ViewJitter::identity())]);
+        s.preload(PreloadBatch::new(&[scene.render(&ViewJitter::identity())]));
         let orb = Orb::new(cfg.orb);
         let other_view = scene.render(&ViewJitter {
             dx: 2.0,
@@ -826,15 +1116,25 @@ mod tests {
     #[test]
     fn ingest_tracks_bytes_and_geotags() {
         let mut s = Server::try_new(&config()).unwrap();
-        let id1 = s.ingest_image(ImageFeatures::empty_binary(), 1000, Some((2.32, 48.86)));
-        let id2 = s.ingest_image(ImageFeatures::empty_binary(), 500, Some((2.32, 48.86)));
-        let id3 = s.ingest_image(ImageFeatures::empty_binary(), 200, Some((2.33, 48.87)));
+        let full = |bytes: usize, geo: (f64, f64)| {
+            IngestRequest::full(bytes)
+                .with_features(ImageFeatures::empty_binary())
+                .with_geotag(geo)
+        };
+        let id1 = s.ingest(full(1000, (2.32, 48.86))).id;
+        let id2 = s.ingest(full(500, (2.32, 48.86))).id;
+        let id3 = s.ingest(full(200, (2.33, 48.87))).id;
         assert_ne!(id1, id2);
         assert_ne!(id2, id3);
         assert_eq!(s.received_images(), 3);
         assert_eq!(s.received_image_bytes(), 1700);
         assert_eq!(s.unique_locations(), 2);
         assert_eq!(s.geotags().len(), 3);
+        // Empty features give the store nothing to key on, so distinct
+        // images never alias even at equal sizes.
+        assert_eq!(s.storage().blob_count(), 3);
+        assert_eq!(s.storage().ledger().dedup_hits, 0);
+        assert_eq!(s.storage().ledger().stored_bytes, 1700);
     }
 
     #[test]
@@ -844,7 +1144,7 @@ mod tests {
             ..config()
         };
         let mut s = Server::try_new(&cfg).unwrap();
-        s.preload(&[small_scene(3)]);
+        s.preload(PreloadBatch::new(&[small_scene(3)]));
         assert_eq!(s.indexed_images(), 1);
     }
 
@@ -884,7 +1184,7 @@ mod tests {
         let mut s = Server::try_new(&cfg).unwrap();
         let orb = Orb::new(cfg.orb);
         let f = orb.extract(&small_scene(7).to_gray());
-        s.ingest_image(f.clone(), 100, None);
+        s.ingest(IngestRequest::full(100).with_features(f.clone()));
         // Pending images count as indexed before the commit...
         assert_eq!(s.indexed_images(), 1);
         assert!(s.feature_bytes() > 0);
@@ -901,17 +1201,20 @@ mod tests {
         let mut s = Server::try_new(&cfg).unwrap();
         let orb = Orb::new(cfg.orb);
         let f = orb.extract(&small_scene(9).to_gray());
-        let id = s.ingest_partial_image(
-            f.clone(),
-            PartialImage {
+        let receipt = s.ingest(
+            IngestRequest::partial(PartialImage {
                 scans_complete: 2,
                 scans_total: 5,
                 payload_bytes: 4_000,
                 total_bytes: 10_000,
                 ssim_estimate: 0.7,
-            },
-            Some((1.0, 2.0)),
+            })
+            .with_features(f.clone())
+            .with_geotag((1.0, 2.0)),
         );
+        assert_eq!(receipt.outcome, IngestOutcome::Stored);
+        assert_eq!(receipt.accounted_bytes, 4_000);
+        let id = receipt.id;
         // The salvaged image answers feature queries like any upload, and
         // retrieval reports its partial provenance.
         let r = s.answer(&RetrievalQuery::new().similar_to(&f).top_k(1));
@@ -931,13 +1234,21 @@ mod tests {
         assert_eq!(s.partial_images()[&id].scans_complete, 2);
         // Tail completion upgrades in place: only the tail bytes are new,
         // and the image stops being partial.
-        assert!(s.upgrade_partial_image(id));
+        let up = s.ingest(IngestRequest::upgrade(id));
+        assert_eq!(up.outcome, IngestOutcome::Upgraded);
+        assert_eq!(up.accounted_bytes, 6_000);
         assert_eq!(s.received_image_bytes(), 10_000);
         assert_eq!(s.received_images(), 1);
         assert!(s.partial_images().is_empty());
+        // The store promoted the blob and accounted the tail too.
+        assert_eq!(s.storage().blob_of(id.0).unwrap().len, 10_000);
+        assert_eq!(s.storage().ledger().stored_bytes, 10_000);
         // A second upgrade (or a bogus id) is a no-op.
-        assert!(!s.upgrade_partial_image(id));
-        assert!(!s.upgrade_partial_image(ImageId(999)));
+        assert_eq!(s.ingest(IngestRequest::upgrade(id)).outcome, IngestOutcome::NoOp);
+        assert_eq!(
+            s.ingest(IngestRequest::upgrade(ImageId(999))).outcome,
+            IngestOutcome::NoOp
+        );
         assert_eq!(s.received_image_bytes(), 10_000);
     }
 
@@ -951,6 +1262,7 @@ mod tests {
             scenes.iter().map(|s| orb.extract(&s.to_gray())).collect();
 
         let mut answers: Vec<Vec<Option<(ImageId, f64)>>> = Vec::new();
+        let mut digests: Vec<u64> = Vec::new();
         for shards in [1usize, 2, 4] {
             let cfg = BeesConfig {
                 index_backend: IndexBackend::Mih,
@@ -960,7 +1272,7 @@ mod tests {
             let mut s = Server::try_new(&cfg).unwrap();
             assert_eq!(s.n_shards(), shards);
             for f in &features {
-                s.ingest_image(f.clone(), 10, None);
+                s.ingest(IngestRequest::full(10).with_features(f.clone()));
             }
             let hits: Vec<Option<(ImageId, f64)>> = features
                 .iter()
@@ -972,20 +1284,29 @@ mod tests {
                 })
                 .collect();
             answers.push(hits);
+            digests.push(s.storage().layout_digest());
         }
         assert_eq!(answers[0], answers[1]);
         assert_eq!(answers[0], answers[2]);
+        // The storage tier (blobs, groups, ledger) is shard-invariant too.
+        assert_eq!(digests[0], digests[1]);
+        assert_eq!(digests[0], digests[2]);
     }
 
     #[test]
     fn retrieval_filters_by_geo_radius_and_time_window() {
         let mut s = Server::try_new(&config()).unwrap();
+        let full = |geo: (f64, f64)| {
+            IngestRequest::full(100)
+                .with_features(ImageFeatures::empty_binary())
+                .with_geotag(geo)
+        };
         s.set_time(10.0);
-        let a = s.ingest_image(ImageFeatures::empty_binary(), 100, Some((0.0, 0.0)));
+        let a = s.ingest(full((0.0, 0.0))).id;
         s.set_time(20.0);
-        let b = s.ingest_image(ImageFeatures::empty_binary(), 100, Some((0.01, 0.0)));
+        let b = s.ingest(full((0.01, 0.0))).id;
         s.set_time(30.0);
-        let c = s.ingest_image(ImageFeatures::empty_binary(), 100, Some((10.0, 10.0)));
+        let c = s.ingest(full((10.0, 10.0))).id;
         // A 2 km radius covers a (0 km) and b (~1.1 km), ranked by
         // proximity; c is ~1560 km away.
         let r = s.answer(&RetrievalQuery::new().near(0.0, 0.0, 2.0));
@@ -1022,7 +1343,17 @@ mod tests {
         let orb = Orb::new(cfg.orb);
         let f = orb.extract(&small_scene(11).to_gray());
         s.set_time(5.0);
-        let id = s.record_on_device(3, f.clone(), Some((0.01, 0.0)), 32_000);
+        let receipt = s.ingest(
+            IngestRequest::on_device(3, 32_000)
+                .with_features(f.clone())
+                .with_geotag((0.01, 0.0)),
+        );
+        assert_eq!(receipt.outcome, IngestOutcome::Cataloged);
+        assert_eq!(receipt.accounted_bytes, 0);
+        let id = receipt.id;
+        // Catalog entries occupy no server-side storage until fulfilled.
+        assert_eq!(s.storage().ledger().stored_bytes, 0);
+        assert_eq!(s.storage().live_bytes(), 0);
         // Invisible to the legacy surface and to opted-out retrieval.
         assert_eq!(s.received_images(), 0);
         assert_eq!(s.indexed_images(), 0);
@@ -1048,10 +1379,15 @@ mod tests {
             .include_on_device(true);
         assert!(s.answer(&far).hits.is_empty());
         // Fulfillment ingests under the same id and empties the catalog.
-        assert_eq!(s.fulfill_on_device(id), Some(32_000));
-        assert_eq!(s.fulfill_on_device(id), None);
+        let fulfilled = s.ingest(IngestRequest::fulfill(id));
+        assert_eq!(fulfilled.outcome, IngestOutcome::Fulfilled);
+        assert_eq!(fulfilled.accounted_bytes, 32_000);
+        assert_eq!(s.ingest(IngestRequest::fulfill(id)).outcome, IngestOutcome::NoOp);
         assert_eq!(s.received_images(), 1);
         assert_eq!(s.received_image_bytes(), 32_000);
+        // The pulled-down payload now occupies real storage.
+        assert_eq!(s.storage().ledger().stored_bytes, 32_000);
+        assert_eq!(s.storage().live_bytes(), 32_000);
         assert!(s.on_device_images().is_empty());
         let r = s.answer(&RetrievalQuery::new().similar_to(&f).top_k(1));
         assert_eq!(r.hits[0].id, id);
@@ -1063,7 +1399,13 @@ mod tests {
     fn thumbnail_ingest_reports_degraded_provenance() {
         let mut s = Server::try_new(&config()).unwrap();
         s.set_time(1.0);
-        let id = s.ingest_thumbnail_image(ImageFeatures::empty_binary(), 400, Some((1.0, 1.0)));
+        let id = s
+            .ingest(
+                IngestRequest::thumbnail(400)
+                    .with_features(ImageFeatures::empty_binary())
+                    .with_geotag((1.0, 1.0)),
+            )
+            .id;
         let r = s.answer(&RetrievalQuery::new().near(1.0, 1.0, 0.0));
         assert_eq!(r.hits.len(), 1);
         assert_eq!(r.hits[0].id, id);
@@ -1108,5 +1450,153 @@ mod tests {
             .answer(&RetrievalQuery::new().similar_to_histogram(&red))
             .hits
             .is_empty());
+    }
+
+    /// The seven deprecated ingest entry points must behave exactly like
+    /// the `IngestRequest` forms they shim: same ids, same counters, same
+    /// side tables, same storage layout.
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_ingest_shims_match_ingest() {
+        let cfg = config();
+        let orb = Orb::new(cfg.orb);
+        let f: Vec<ImageFeatures> = (0..3)
+            .map(|seed| orb.extract(&small_scene(20 + seed).to_gray()))
+            .collect();
+        let hist = ColorHistogram::from_image(&small_scene(30));
+        let partial = PartialImage {
+            scans_complete: 1,
+            scans_total: 5,
+            payload_bytes: 2_000,
+            total_bytes: 9_000,
+            ssim_estimate: 0.5,
+        };
+
+        let mut legacy = Server::try_new(&cfg).unwrap();
+        legacy.set_time(3.0);
+        let l0 = legacy.ingest_image(f[0].clone(), 700, Some((1.0, 2.0)));
+        let l1 = legacy.ingest_thumbnail_image(f[1].clone(), 300, None);
+        let l2 = legacy.ingest_partial_image(f[2].clone(), partial.clone(), None);
+        assert!(legacy.upgrade_partial_image(l2));
+        let l3 = legacy.ingest_image_with_histogram(hist.clone(), 150, None);
+        let l4 = legacy.record_on_device(9, f[0].clone(), Some((5.0, 6.0)), 4_000);
+        assert_eq!(legacy.fulfill_on_device(l4), Some(4_000));
+        legacy.preload_histograms(&[small_scene(31)]);
+        legacy.preload_with(&orb, &[small_scene(32)]);
+
+        let mut new = Server::try_new(&cfg).unwrap();
+        new.set_time(3.0);
+        let n0 = new
+            .ingest(
+                IngestRequest::full(700)
+                    .with_features(f[0].clone())
+                    .with_geotag((1.0, 2.0)),
+            )
+            .id;
+        let n1 = new
+            .ingest(IngestRequest::thumbnail(300).with_features(f[1].clone()))
+            .id;
+        let n2 = new
+            .ingest(IngestRequest::partial(partial).with_features(f[2].clone()))
+            .id;
+        assert_eq!(
+            new.ingest(IngestRequest::upgrade(n2)).outcome,
+            IngestOutcome::Upgraded
+        );
+        let n3 = new
+            .ingest(IngestRequest::full(150).with_histogram(hist))
+            .id;
+        let n4 = new
+            .ingest(
+                IngestRequest::on_device(9, 4_000)
+                    .with_features(f[0].clone())
+                    .with_geotag((5.0, 6.0)),
+            )
+            .id;
+        assert_eq!(
+            new.ingest(IngestRequest::fulfill(n4)).outcome,
+            IngestOutcome::Fulfilled
+        );
+        new.preload(PreloadBatch::histograms(&[small_scene(31)]));
+        new.preload(PreloadBatch::new(&[small_scene(32)]).with_extractor(&orb));
+
+        assert_eq!((l0, l1, l2, l3, l4), (n0, n1, n2, n3, n4));
+        assert_eq!(legacy.received_images(), new.received_images());
+        assert_eq!(legacy.received_image_bytes(), new.received_image_bytes());
+        assert_eq!(legacy.indexed_images(), new.indexed_images());
+        assert_eq!(legacy.geotags(), new.geotags());
+        assert_eq!(legacy.partial_images(), new.partial_images());
+        assert_eq!(
+            legacy.storage().layout_digest(),
+            new.storage().layout_digest()
+        );
+    }
+
+    /// Identical payload bytes dedup in the store (while the uplink
+    /// counters keep legacy accounting), and near-duplicate uploads group
+    /// at epoch commit without disturbing the served-query counter.
+    #[test]
+    fn ingest_dedups_identical_bytes_and_groups_near_duplicates() {
+        let cfg = config();
+        let mut s = Server::try_new(&cfg).unwrap();
+        let orb = Orb::new(cfg.orb);
+        let scene = Scene::new(
+            40,
+            SceneConfig {
+                width: 96,
+                height: 72,
+                n_shapes: 10,
+                texture_amp: 8.0,
+            },
+        );
+        let base = scene.render(&ViewJitter::identity());
+        let near = scene.render(&ViewJitter {
+            dx: 2.0,
+            brightness: 5,
+            ..ViewJitter::identity()
+        });
+        let payload = bees_image::codec::encode_rgb(&base, 60).unwrap();
+        let near_payload = bees_image::codec::encode_rgb(&near, 60).unwrap();
+
+        let first = s.ingest(
+            IngestRequest::full(payload.len())
+                .with_bytes(payload.clone())
+                .with_features(orb.extract(&base.to_gray())),
+        );
+        assert_eq!(first.outcome, IngestOutcome::Stored);
+        // Byte-identical payload from another device: dedup hit, legacy
+        // counters still account the upload.
+        let dup = s.ingest(
+            IngestRequest::full(payload.len())
+                .with_bytes(payload.clone())
+                .with_features(orb.extract(&base.to_gray())),
+        );
+        assert_eq!(dup.outcome, IngestOutcome::DedupHit);
+        assert_eq!(s.received_image_bytes(), 2 * payload.len());
+        assert_eq!(s.storage().ledger().stored_bytes, payload.len());
+        assert_eq!(s.storage().ledger().dedup_hits, 1);
+        // A near-duplicate view stores fresh bytes...
+        let nearby = s.ingest(
+            IngestRequest::full(near_payload.len())
+                .with_bytes(near_payload)
+                .with_features(orb.extract(&near.to_gray())),
+        );
+        assert_eq!(nearby.outcome, IngestOutcome::Stored);
+        let served_before = s.queries_served();
+        // ...and the commit (forced by any feature query) merges it into
+        // the duplicate pair's group via the similarity index.
+        let probe = orb.extract(&base.to_gray());
+        s.answer(&RetrievalQuery::new().similar_to(&probe).top_k(1));
+        let group = s.storage().group_of(first.id.0);
+        assert_eq!(group, &[first.id.0, dup.id.0, nearby.id.0]);
+        // Grouping probes are bookkeeping, not served queries.
+        assert_eq!(s.queries_served(), served_before + 1);
+        // The ledger identity holds and the epoch series recorded it.
+        let ledger = s.storage().ledger();
+        assert_eq!(
+            ledger.stored_bytes - ledger.reclaimed_bytes,
+            s.storage().live_bytes()
+        );
+        assert!(!ledger.epochs.is_empty());
     }
 }

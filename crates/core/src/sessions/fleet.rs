@@ -30,12 +30,14 @@
 use crate::scheduler::{AirtimeScheduler, DeviceDemand};
 use crate::schemes::{BatchCtx, UploadScheme};
 use crate::{
-    BeesConfig, Client, CoreError, Provenance, Result, RetrievalQuery, Server, UploadTier,
+    BeesConfig, Client, CoreError, IngestRequest, Provenance, Result, RetrievalQuery, Server,
+    UploadTier,
 };
 use bees_datasets::{Scene, SceneConfig, ViewJitter};
 use bees_energy::EnergyCategory;
 use bees_image::RgbImage;
 use bees_index::ImageId;
+use bees_store::EpochStorage;
 use bees_net::{wire, NetError, SharedCell};
 use bees_telemetry::{names, Telemetry};
 use std::cmp::{Ordering, Reverse};
@@ -197,6 +199,20 @@ pub struct FleetReport {
     /// Joules the fleet spent serving pull-down fetches (the
     /// [`EnergyCategory::PullDown`] buckets summed across devices).
     pub pulldown_joules: f64,
+    /// Physical bytes the content store wrote over the run (new blobs plus
+    /// partial-upgrade tails).
+    pub stored_bytes: usize,
+    /// Bytes the cold recompression pass gave back.
+    pub reclaimed_bytes: usize,
+    /// Ingests answered by an existing blob (no new physical bytes).
+    pub dedup_hits: usize,
+    /// Physical bytes live in the store when the run ended — always
+    /// `stored_bytes - reclaimed_bytes` (the ledger identity the tooling
+    /// cross-checks).
+    pub live_blob_bytes: usize,
+    /// Cumulative storage counters snapshotted at each server epoch commit,
+    /// in commit order — the capacity-over-time trajectory.
+    pub storage_epochs: Vec<EpochStorage>,
     /// Per-epoch cell utilization: delivered bits over capacity × epoch
     /// length, indexed by epoch. Empty when the cell is disabled.
     pub cell_utilization: Vec<f64>,
@@ -247,6 +263,21 @@ impl FleetReport {
         push_field(&mut out, "pulldown_denied", self.pulldown_denied);
         push_field(&mut out, "pulldown_bytes", self.pulldown_bytes);
         out.push_str(&format!(",\"pulldown_joules\":{}", self.pulldown_joules));
+        push_field(&mut out, "stored_bytes", self.stored_bytes);
+        push_field(&mut out, "reclaimed_bytes", self.reclaimed_bytes);
+        push_field(&mut out, "dedup_hits", self.dedup_hits);
+        push_field(&mut out, "live_blob_bytes", self.live_blob_bytes);
+        out.push_str(",\"storage_epochs\":[");
+        for (i, e) in self.storage_epochs.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"stored_bytes\":{},\"reclaimed_bytes\":{},\"dedup_hits\":{}}}",
+                e.stored_bytes, e.reclaimed_bytes, e.dedup_hits
+            ));
+        }
+        out.push(']');
         out.push_str(",\"cell_utilization\":[");
         for (i, u) in self.cell_utilization.iter().enumerate() {
             if i > 0 {
@@ -450,7 +481,7 @@ fn run_round(
             let bytes = wire::framed_upload_bytes(tail, chunk);
             match client.transmit_resumable(EnergyCategory::ImageUpload, bytes) {
                 Ok(_) => {
-                    server.upgrade_partial_image(id);
+                    server.ingest(IngestRequest::upgrade(id));
                     device.uplink_bytes += bytes;
                     totals.partials_upgraded += 1;
                 }
@@ -873,7 +904,7 @@ pub fn run_fleet_with_server(
                 let bytes = wire::framed_upload_bytes(est, chunk);
                 match clients[dev].transmit_resumable(EnergyCategory::PullDown, bytes) {
                     Ok(_) => {
-                        server.fulfill_on_device(id);
+                        server.ingest(IngestRequest::fulfill(id));
                         devices[dev].uplink_bytes += bytes;
                         pulldown_fulfilled += 1;
                         pulldown_bytes += bytes;
@@ -962,6 +993,11 @@ pub fn run_fleet_with_server(
         pulldown_denied,
         pulldown_bytes,
         pulldown_joules,
+        stored_bytes: server.storage().ledger().stored_bytes,
+        reclaimed_bytes: server.storage().ledger().reclaimed_bytes,
+        dedup_hits: server.storage().ledger().dedup_hits,
+        live_blob_bytes: server.storage().live_bytes(),
+        storage_epochs: server.storage().ledger().epochs.clone(),
         cell_utilization,
         devices,
     };
@@ -1325,6 +1361,15 @@ mod tests {
             pulldown_denied: 1,
             pulldown_bytes: 64,
             pulldown_joules: 0.5,
+            stored_bytes: 100,
+            reclaimed_bytes: 20,
+            dedup_hits: 3,
+            live_blob_bytes: 80,
+            storage_epochs: vec![EpochStorage {
+                stored_bytes: 100,
+                reclaimed_bytes: 20,
+                dedup_hits: 3,
+            }],
             cell_utilization: vec![0.5, 0.25],
             devices: vec![DeviceSummary {
                 device: 0,
@@ -1352,6 +1397,10 @@ mod tests {
              \"pulldown_requests\":3,\"pulldown_fulfilled\":2,\
              \"pulldown_denied\":1,\"pulldown_bytes\":64,\
              \"pulldown_joules\":0.5,\
+             \"stored_bytes\":100,\"reclaimed_bytes\":20,\
+             \"dedup_hits\":3,\"live_blob_bytes\":80,\
+             \"storage_epochs\":[{\"stored_bytes\":100,\
+             \"reclaimed_bytes\":20,\"dedup_hits\":3}],\
              \"cell_utilization\":[0.5,0.25],\
              \"devices\":[{\"device\":0,\"rounds\":1,\"uploaded_images\":1,\
              \"uplink_bytes\":42,\"grants\":2,\"denied\":1,\

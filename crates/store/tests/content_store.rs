@@ -1,0 +1,126 @@
+//! End-to-end lifecycle of the content store on real encoded payloads:
+//! ingest → dedup → grouping → cold recompression → ledger identity.
+
+use bees_image::{codec, Rgb, RgbImage};
+use bees_store::{ContentStore, Fidelity, InsertOutcome, StorageConfig, StorePayload};
+
+/// A deterministic synthetic photo (no dataset dependency).
+fn photo(seed: u64, shift: u32) -> RgbImage {
+    RgbImage::from_fn(96, 72, |x, y| {
+        let x = x + shift;
+        let v = seed
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(((x / 8) as u64) << 32 | (y / 8) as u64)
+            .wrapping_mul(1442695040888963407);
+        Rgb::new((v >> 40) as u8, (v >> 48) as u8, (v >> 56) as u8)
+    })
+}
+
+fn permissive() -> StorageConfig {
+    StorageConfig {
+        recompress_min_age_s: 0.0,
+        recompress_min_group: 2,
+        ..StorageConfig::default()
+    }
+}
+
+#[test]
+fn full_lifecycle_holds_the_ledger_identity() {
+    let mut store = ContentStore::new();
+    // Three near-duplicate views of one subject, encoded at camera quality,
+    // plus a byte-identical re-upload of the lead view.
+    let payloads: Vec<Vec<u8>> = (0..3)
+        .map(|v| codec::encode_rgb(&photo(9, v), 85).unwrap())
+        .collect();
+    for (i, p) in payloads.iter().enumerate() {
+        let out = store.insert(
+            i as u64,
+            StorePayload::Bytes(p.clone()),
+            Fidelity::Full,
+            i as f64,
+        );
+        assert_eq!(out, InsertOutcome::Stored { len: p.len() });
+    }
+    let dup = store.insert(
+        3,
+        StorePayload::Bytes(payloads[0].clone()),
+        Fidelity::Full,
+        3.0,
+    );
+    assert_eq!(dup, InsertOutcome::DedupHit);
+    assert_eq!(store.image_count(), 4);
+    assert_eq!(store.blob_count(), 3);
+    assert_eq!(store.ledger().dedup_hits, 1);
+
+    // The epoch-commit grouping found the views similar.
+    store.merge_groups(0, 1);
+    store.merge_groups(2, 1);
+    assert_eq!(store.group_of(2), &[0, 1, 2, 3]);
+    assert_eq!(store.group_count(), 1);
+    store.commit_epoch();
+    assert_eq!(store.ledger().epochs.len(), 1);
+
+    let stored = store.ledger().stored_bytes;
+    assert_eq!(store.live_bytes(), stored);
+
+    // The cold pass re-encodes the redundant members, never the reference.
+    let reference = store.reference_member(0).unwrap();
+    let ref_len_before = store.blob_of(reference).unwrap().len;
+    let report = store.run_recompression(1_000.0, &permissive());
+    assert!(report.recompressed >= 1, "{report:?}");
+    assert!(report.bytes_reclaimed > 0);
+    assert!(report.mean_ssim() > 0.5 && report.mean_ssim() <= 1.0);
+    assert_eq!(store.blob_of(reference).unwrap().len, ref_len_before);
+
+    // Ledger identity survives the pass; a second pass is a no-op.
+    assert_eq!(
+        store.live_bytes(),
+        store.ledger().stored_bytes - store.ledger().reclaimed_bytes
+    );
+    let digest = store.layout_digest();
+    let second = store.run_recompression(2_000.0, &permissive());
+    assert_eq!(second.recompressed, 0);
+    assert_eq!(second.bytes_reclaimed, 0);
+    assert_eq!(store.layout_digest(), digest);
+}
+
+#[test]
+fn catalog_entries_fulfill_and_partials_upgrade_into_real_bytes() {
+    let mut store = ContentStore::new();
+    // A catalog record holds no physical bytes until the pull-down.
+    store.insert(
+        0,
+        StorePayload::Size {
+            size: 32_000,
+            fingerprint: 7,
+        },
+        Fidelity::OnDevice,
+        0.0,
+    );
+    assert_eq!(store.live_bytes(), 0);
+    store.fulfill(0, 32_000, 5.0);
+    assert_eq!(store.live_bytes(), 32_000);
+    assert_eq!(store.blob_of(0).unwrap().fidelity, Fidelity::Full);
+
+    // A salvaged partial accounts its prefix now and its tail later.
+    store.insert(
+        1,
+        StorePayload::Size {
+            size: 6_000,
+            fingerprint: 8,
+        },
+        Fidelity::Partial,
+        6.0,
+    );
+    store.upgrade(1, 4_000, 7.0);
+    assert_eq!(store.blob_of(1).unwrap().len, 10_000);
+    assert_eq!(store.blob_of(1).unwrap().fidelity, Fidelity::Full);
+    assert_eq!(store.ledger().stored_bytes, 42_000);
+    assert_eq!(store.live_bytes(), 42_000);
+
+    // Neither synthetic blob carries real bytes, so the cold pass must
+    // leave both untouched even with every gate wide open.
+    let report = store.run_recompression(1e9, &permissive());
+    assert_eq!(report.recompressed, 0);
+    assert_eq!(store.ledger().reclaimed_bytes, 0);
+}

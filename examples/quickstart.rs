@@ -3,7 +3,7 @@
 //! Run with: `cargo run --release --example quickstart`
 
 use bees::core::schemes::{BatchCtx, Bees, UploadScheme};
-use bees::core::{BeesConfig, Client, Server};
+use bees::core::{BeesConfig, Client, PreloadBatch, Server};
 use bees::datasets::{disaster_batch, SceneConfig};
 use bees::energy::EnergyCategory;
 
@@ -17,7 +17,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let data = disaster_batch(42, 20, 2, 0.25, SceneConfig::default());
 
     let mut server = Server::try_new(&config).expect("config is valid");
-    server.preload(&data.server_preload);
+    server.preload(PreloadBatch::new(&data.server_preload));
     let mut client = Client::try_new(0, &config)?;
 
     let scheme = Bees::adaptive(&config);

@@ -19,8 +19,11 @@ partials_pending``), the shared-cell contention counters
 ``deadline_abandons`` must equal the per-device sums, and the
 utilization series must be non-negative), and the pull-down ledger
 (``pulldown_requests == pulldown_fulfilled + pulldown_denied``, with
-bytes and joules only when something was actually fetched). Stdlib
-only.
+bytes and joules only when something was actually fetched), and the
+storage ledger (``stored_bytes - reclaimed_bytes == live_blob_bytes``,
+with the cumulative ``storage_epochs`` series monotone and bounded by
+the run totals).
+Stdlib only.
 """
 
 import json
@@ -116,13 +119,36 @@ def check_row_invariants(cells):
         if not fulfilled and (pd_bytes or pd_joules > 1e-9):
             complain(c, f"pulldown_bytes={pd_bytes} / pulldown_joules="
                         f"{pd_joules} without a fulfilled fetch")
+        stored = r.get("stored_bytes", 0)
+        reclaimed = r.get("reclaimed_bytes", 0)
+        live = r.get("live_blob_bytes", 0)
+        if stored - reclaimed != live:
+            complain(c, f"stored_bytes={stored} - reclaimed_bytes="
+                        f"{reclaimed} != live_blob_bytes={live}")
+        epochs = r.get("storage_epochs", [])
+        if epochs:
+            last = epochs[-1]
+            for key, total in [("stored_bytes", stored),
+                               ("reclaimed_bytes", reclaimed),
+                               ("dedup_hits", r.get("dedup_hits", 0))]:
+                if last.get(key, 0) > total:
+                    complain(c, f"storage_epochs[-1].{key}="
+                                f"{last.get(key, 0)} exceeds run total "
+                                f"{total}")
+            for i in range(1, len(epochs)):
+                for key in ("stored_bytes", "reclaimed_bytes",
+                            "dedup_hits"):
+                    if epochs[i].get(key, 0) < epochs[i - 1].get(key, 0):
+                        complain(c, f"storage_epochs[{i}].{key} decreased "
+                                    f"(cumulative series must be "
+                                    f"monotone)")
     return ok
 
 
 def print_table(cells):
     header = ["devices", "shards", "scheme", "captured", "uploaded",
               "elim %", "queries", "exhausted", "grants", "denied",
-              "abandoned", "pulled"]
+              "abandoned", "pulled", "dedup", "live KiB"]
     rows = [header]
     for c in cells:
         r = c["report"]
@@ -137,7 +163,9 @@ def print_table(cells):
                      str(r.get("grants_issued", 0)),
                      str(r.get("grants_denied", 0)),
                      str(r.get("deadline_abandons", 0)),
-                     str(r.get("pulldown_fulfilled", 0))])
+                     str(r.get("pulldown_fulfilled", 0)),
+                     str(r.get("dedup_hits", 0)),
+                     f"{r.get('live_blob_bytes', 0) / 1024.0:.1f}"])
     widths = [max(len(r[i]) for r in rows) for i in range(len(header))]
     for i, row in enumerate(rows):
         print("  ".join(cell.ljust(w) if j <= 2 else cell.rjust(w)
@@ -168,7 +196,7 @@ def main():
     if not check_row_invariants(cells):
         failed = True
     else:
-        print("salvage ledger and contention counters consistent: true")
+        print("salvage, contention, and storage ledgers consistent: true")
     return 1 if failed else 0
 
 

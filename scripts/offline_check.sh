@@ -63,13 +63,16 @@ deps_of() {
         bees_submodular) echo "bees_runtime serde" ;;
         bees_index) echo "bees_features bees_runtime rand rand_chacha serde" ;;
         bees_datasets) echo "bees_image rand rand_chacha serde" ;;
+        bees_store) echo "bees_image serde" ;;
         bees_core) echo "bees_image bees_features bees_index bees_energy bees_net \
-                         bees_submodular bees_datasets bees_telemetry rand rand_chacha serde" ;;
+                         bees_submodular bees_datasets bees_store bees_telemetry \
+                         rand rand_chacha serde" ;;
         bees_bench) echo "bees_image bees_features bees_runtime bees_index bees_energy \
-                          bees_net bees_submodular bees_datasets bees_core bees_telemetry \
-                          rand rand_chacha" ;;
+                          bees_net bees_submodular bees_datasets bees_store bees_core \
+                          bees_telemetry rand rand_chacha" ;;
         bees) echo "bees_runtime bees_telemetry bees_image bees_features bees_index \
-                    bees_energy bees_net bees_submodular bees_datasets bees_core" ;;
+                    bees_energy bees_net bees_submodular bees_datasets bees_store \
+                    bees_core" ;;
         *)
             echo "unknown crate $1" >&2
             exit 1
@@ -103,7 +106,7 @@ extern_flags() { # space-separated crate names -> --extern flags
 }
 
 CRATES="bees_runtime bees_telemetry bees_image bees_features bees_energy bees_net \
-        bees_submodular bees_index bees_datasets bees_core bees_bench bees"
+        bees_submodular bees_index bees_datasets bees_store bees_core bees_bench bees"
 
 src_of() {
     case "$1" in
@@ -219,6 +222,20 @@ for t in crates/image/tests/*.rs; do
     fi
     rustc --edition $EDITION --test --crate-name "$name" \
         $(extern_flags bees_image $(deps_of bees_image) $(dev_deps_of bees_image)) \
+        -L "$STUBS" -L "$LIBS" "${CODEGEN[@]}" "$t" -o "$TESTS/$name"
+    "$TESTS/$name" -q
+done
+
+say "store integration tests"
+# shellcheck disable=SC2046
+for t in crates/store/tests/*.rs; do
+    name="sto_$(basename "$t" .rs)"
+    if grep -q "use proptest" "$t"; then
+        say "skip $name (proptest)"
+        continue
+    fi
+    rustc --edition $EDITION --test --crate-name "$name" \
+        $(extern_flags bees_store $(deps_of bees_store) $(dev_deps_of bees_store)) \
         -L "$STUBS" -L "$LIBS" "${CODEGEN[@]}" "$t" -o "$TESTS/$name"
     "$TESTS/$name" -q
 done

@@ -22,5 +22,6 @@ pub use bees_image as image;
 pub use bees_index as index;
 pub use bees_net as net;
 pub use bees_runtime as runtime;
+pub use bees_store as store;
 pub use bees_submodular as submodular;
 pub use bees_telemetry as telemetry;

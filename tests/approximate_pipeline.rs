@@ -158,7 +158,9 @@ fn server_side_extraction_matches_client_side() {
     let config = BeesConfig::default();
     let mut server = Server::try_new(&config).unwrap();
     let scene = Scene::new(50, SceneConfig::default());
-    server.preload(&[scene.render(&ViewJitter::identity())]);
+    server.preload(bees::core::PreloadBatch::new(&[scene.render(
+        &ViewJitter::identity(),
+    )]));
     let other_view = scene.render(&ViewJitter {
         dx: 3.0,
         dy: -2.0,

@@ -256,7 +256,7 @@ fn retrieval_result_is_identical_across_threads_and_shards() {
     // time window + descriptor probe + on-device catalog) serialized
     // through `RetrievalResult::to_json` is byte-identical across worker
     // counts (1/2/8) and server shard counts (1/2/4).
-    use bees::core::{IndexBackend, RetrievalQuery, Server};
+    use bees::core::{IndexBackend, IngestRequest, RetrievalQuery, Server};
 
     let run = |shards: usize| -> String {
         let config = BeesConfig {
@@ -272,9 +272,17 @@ fn retrieval_result_is_identical_across_threads_and_shards() {
             let f = orb.extract(&img.to_gray());
             if i == 4 {
                 // One image never uploaded: it lives on device 3's catalog.
-                server.record_on_device(3, f, Some((0.01, 0.0)), 2048);
+                server.ingest(
+                    IngestRequest::on_device(3, 2048)
+                        .with_features(f)
+                        .with_geotag((0.01, 0.0)),
+                );
             } else {
-                server.ingest_image(f, 1000 + i, Some(((i % 2) as f64 * 0.01, 0.0)));
+                server.ingest(
+                    IngestRequest::full(1000 + i)
+                        .with_features(f)
+                        .with_geotag(((i % 2) as f64 * 0.01, 0.0)),
+                );
             }
         }
         let probe = orb.extract(&data.batch[0].to_gray());
@@ -520,5 +528,91 @@ fn ssmm_similarity_graph_is_layout_and_thread_invariant() {
         bees::runtime::set_threads(0);
         assert_eq!(reference, aos, "AoS graph moved at {threads} threads");
         assert_eq!(reference, soa, "SoA graph moved at {threads} threads");
+    }
+}
+
+#[test]
+fn storage_layout_is_identical_across_threads_and_shards() {
+    // The content store's acceptance property: after the same ingest
+    // sequence (real payload bytes, exact duplicates, commit-time grouping)
+    // plus a cold-recompression pass, the store lays out byte-identically
+    // across worker counts (1/2/8) and server shard counts (1/2/4) — pinned
+    // through `layout_digest` and the ledger counters.
+    use bees::core::{IngestRequest, RetrievalQuery, Server};
+    use bees::datasets::{Scene, ViewJitter};
+    use bees::image::codec;
+
+    let run = |shards: usize| -> (u64, usize, usize, usize, usize) {
+        let config = BeesConfig {
+            server_shards: shards,
+            ..BeesConfig::default()
+        };
+        let mut server = Server::try_new(&config).unwrap();
+        let orb = Orb::new(config.orb);
+        let mut probe = None;
+        let mut t = 0.0;
+        for s in 0..3u64 {
+            let scene = Scene::new(60 + s, small_scene());
+            let mut lead = None;
+            for v in 0..3u32 {
+                let img = scene.render(&ViewJitter {
+                    dx: v as f32 * 1.5,
+                    dy: -(v as f32),
+                    brightness: v as i32 * 4,
+                    ..ViewJitter::identity()
+                });
+                let payload = codec::encode_rgb(&img, 70).unwrap();
+                let f = orb.extract(&img.to_gray());
+                if probe.is_none() {
+                    probe = Some(f.clone());
+                }
+                if lead.is_none() {
+                    lead = Some((payload.clone(), f.clone()));
+                }
+                server.set_time(t);
+                server.ingest(
+                    IngestRequest::full(payload.len())
+                        .with_bytes(payload)
+                        .with_features(f),
+                );
+                t += 10.0;
+            }
+            // A byte-identical re-upload: must dedup at every shard count.
+            let (payload, f) = lead.unwrap();
+            server.set_time(t);
+            server.ingest(
+                IngestRequest::full(payload.len())
+                    .with_bytes(payload)
+                    .with_features(f),
+            );
+            t += 10.0;
+            server.answer(&RetrievalQuery::new().similar_to(probe.as_ref().unwrap()).top_k(1));
+        }
+        server.set_time(t + 1e6);
+        server.run_cold_recompression();
+        let store = server.storage();
+        (
+            store.layout_digest(),
+            store.ledger().stored_bytes,
+            store.ledger().reclaimed_bytes,
+            store.ledger().dedup_hits,
+            store.ledger().epochs.len(),
+        )
+    };
+
+    bees::runtime::set_threads(1);
+    let baseline = run(1);
+    assert!(baseline.3 > 0, "duplicates must dedup: {baseline:?}");
+    assert!(baseline.2 > 0, "the cold pass must reclaim: {baseline:?}");
+    for threads in [1usize, 2, 8] {
+        for shards in [1usize, 2, 4] {
+            bees::runtime::set_threads(threads);
+            let result = run(shards);
+            bees::runtime::set_threads(0);
+            assert_eq!(
+                baseline, result,
+                "store layout differs at {threads} threads, {shards} shards"
+            );
+        }
     }
 }

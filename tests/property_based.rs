@@ -309,7 +309,11 @@ proptest! {
             let geo = geos[i % geos.len()];
             let t = times[i % times.len()];
             server.set_time(t);
-            server.ingest_image(features(descs.clone()), 1000, Some(geo));
+            server.ingest(
+                bees::core::IngestRequest::full(1000)
+                    .with_features(features(descs.clone()))
+                    .with_geotag(geo),
+            );
             side.push((geo, t));
         }
         let probe = features(sets[0].clone());
@@ -335,5 +339,143 @@ proptest! {
         let composed_pairs: Vec<_> =
             composed.hits.iter().map(|h| (h.id, h.score)).collect();
         prop_assert_eq!(composed_pairs, sequential);
+    }
+}
+
+fn store_fidelity(n: u8) -> bees::store::Fidelity {
+    use bees::store::Fidelity;
+    match n % 4 {
+        0 => Fidelity::OnDevice,
+        1 => Fidelity::Thumbnail,
+        2 => Fidelity::Partial,
+        _ => Fidelity::Full,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn store_ledger_counts_every_insert(
+        ops in proptest::collection::vec((1usize..5000, 0u64..6, 0u8..4), 1..40)
+    ) {
+        use bees::store::{ContentStore, InsertOutcome, StorePayload};
+        let mut store = ContentStore::new();
+        let mut stored = 0usize;
+        let mut hits = 0usize;
+        for (i, &(size, fingerprint, f)) in ops.iter().enumerate() {
+            let payload = StorePayload::Size { size, fingerprint };
+            match store.insert(i as u64, payload, store_fidelity(f), i as f64) {
+                InsertOutcome::Stored { len } => stored += len,
+                InsertOutcome::DedupHit => hits += 1,
+            }
+        }
+        // Every image is filed, every byte is accounted exactly once, and
+        // the ledger identity holds with no recompression pass run.
+        prop_assert_eq!(store.image_count(), ops.len());
+        prop_assert_eq!(store.blob_count() + hits, ops.len());
+        prop_assert_eq!(store.ledger().stored_bytes, stored);
+        prop_assert_eq!(store.ledger().dedup_hits, hits);
+        prop_assert_eq!(store.ledger().reclaimed_bytes, 0);
+        prop_assert_eq!(
+            store.live_bytes(),
+            store.ledger().stored_bytes - store.ledger().reclaimed_bytes
+        );
+        // Each image resolves to a blob that counts it, and sits in its own
+        // group (grouping is the server's job, not insert's).
+        for i in 0..ops.len() as u64 {
+            let blob = store.blob_of(i).expect("inserted image resolves");
+            prop_assert!(blob.refs >= 1);
+            prop_assert!(store.group_of(i).contains(&i));
+        }
+        // Two identical replays lay out identically.
+        let mut replay = ContentStore::new();
+        for (i, &(size, fingerprint, f)) in ops.iter().enumerate() {
+            let payload = StorePayload::Size { size, fingerprint };
+            replay.insert(i as u64, payload, store_fidelity(f), i as f64);
+        }
+        prop_assert_eq!(store.layout_digest(), replay.layout_digest());
+    }
+
+    #[test]
+    fn store_dedup_keeps_the_best_fidelity_copy(
+        ops in proptest::collection::vec(
+            (proptest::collection::vec(0u8..4, 1..6), 0u8..4),
+            1..30,
+        )
+    ) {
+        use bees::store::{ContentStore, Fidelity, StorePayload};
+        use std::collections::HashMap;
+        let mut store = ContentStore::new();
+        let mut best: HashMap<Vec<u8>, Fidelity> = HashMap::new();
+        for (i, (bytes, f)) in ops.iter().enumerate() {
+            let fid = store_fidelity(*f);
+            store.insert(i as u64, StorePayload::Bytes(bytes.clone()), fid, 0.0);
+            let e = best.entry(bytes.clone()).or_insert(fid);
+            if fid > *e {
+                *e = fid;
+            }
+            // A dedup hit must never downgrade the shared blob's fidelity.
+            prop_assert_eq!(store.blob_of(i as u64).expect("stored").fidelity, best[bytes]);
+        }
+    }
+
+    #[test]
+    fn store_group_merges_are_order_invariant(
+        n in 2usize..12,
+        edges in proptest::collection::vec((0usize..12, 0usize..12), 0..20)
+    ) {
+        use bees::store::{ContentStore, Fidelity, StorePayload};
+        let build = |order: &[(usize, usize)]| {
+            let mut store = ContentStore::new();
+            for i in 0..n as u64 {
+                let payload = StorePayload::Size { size: 100, fingerprint: i };
+                store.insert(i, payload, Fidelity::Full, 0.0);
+            }
+            for &(a, b) in order {
+                store.merge_groups((a % n) as u64, (b % n) as u64);
+            }
+            let groups: Vec<Vec<u64>> =
+                (0..n as u64).map(|i| store.group_of(i).to_vec()).collect();
+            (groups, store.layout_digest())
+        };
+        let forward = build(&edges);
+        let mut reversed = edges.clone();
+        reversed.reverse();
+        // The final partition (and the canonical digest) depends only on
+        // which merges happened, never on their order, and membership stays
+        // ascending.
+        prop_assert_eq!(&forward, &build(&reversed));
+        for members in &forward.0 {
+            prop_assert!(members.windows(2).all(|w| w[0] < w[1]), "{members:?}");
+        }
+    }
+
+    #[test]
+    fn store_recompression_skips_stubs_and_is_idempotent(
+        ops in proptest::collection::vec((1usize..5000, 0u64..6, 0u8..4), 1..30)
+    ) {
+        use bees::store::{ContentStore, StorageConfig, StorePayload};
+        let mut store = ContentStore::new();
+        for (i, &(size, fingerprint, f)) in ops.iter().enumerate() {
+            let payload = StorePayload::Size { size, fingerprint };
+            store.insert(i as u64, payload, store_fidelity(f), 0.0);
+        }
+        // Fully permissive gates: only the no-real-bytes gate can hold.
+        let cfg = StorageConfig {
+            recompress_min_age_s: 0.0,
+            ..StorageConfig::default()
+        };
+        let before = store.layout_digest();
+        let first = store.run_recompression(1e9, &cfg);
+        // Size-only stubs carry no bytes: nothing to re-encode, nothing
+        // marked, nothing reclaimed — and a second pass changes nothing.
+        prop_assert_eq!(first.recompressed, 0);
+        prop_assert_eq!(first.bytes_reclaimed, 0);
+        prop_assert_eq!(store.layout_digest(), before);
+        let second = store.run_recompression(1e9, &cfg);
+        prop_assert_eq!(second.recompressed, 0);
+        prop_assert_eq!(store.layout_digest(), before);
+        prop_assert_eq!(store.ledger().reclaimed_bytes, 0);
     }
 }
